@@ -1,0 +1,135 @@
+// Command titancc compiles C for the simulated Titan.
+//
+// Usage:
+//
+//	titancc [flags] file.c
+//
+// Flags mirror the paper's compiler options:
+//
+//	-O0 / -O1        optimization level (default -O1)
+//	-inline          enable inline expansion (§7)
+//	-vector          enable vectorization (§5)
+//	-parallel        enable do-parallel generation (§2)
+//	-noalias         pointer parameters follow Fortran aliasing rules (§9)
+//	-vl N            vector strip length (default 32)
+//	-catalog f.cat   attach a procedure catalog for inlining (repeatable)
+//	-emit-catalog f  compile the unit into a catalog instead of code
+//	-S               print Titan assembly
+//	-il              print optimized IL
+//	-run             simulate after compiling
+//	-p N             processors for -run (1–4)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/driver"
+	"repro/internal/inline"
+	"repro/internal/titan"
+)
+
+type catalogList []string
+
+func (c *catalogList) String() string     { return fmt.Sprint(*c) }
+func (c *catalogList) Set(s string) error { *c = append(*c, s); return nil }
+
+func main() {
+	var (
+		o0       = flag.Bool("O0", false, "disable optimization")
+		doInline = flag.Bool("inline", false, "enable inline expansion")
+		doVector = flag.Bool("vector", false, "enable vectorization")
+		doPar    = flag.Bool("parallel", false, "enable parallelization")
+		noAlias  = flag.Bool("noalias", false, "pointer params follow Fortran aliasing rules")
+		listPar  = flag.Bool("list-parallel", false, "parallelize linked-list loops (asserts §10's independent-storage assumption)")
+		vl       = flag.Int("vl", 0, "vector strip length")
+		emitCat  = flag.String("emit-catalog", "", "write a procedure catalog instead of compiling")
+		asm      = flag.Bool("S", false, "print Titan assembly")
+		dumpIL   = flag.Bool("il", false, "print optimized IL")
+		runIt    = flag.Bool("run", false, "simulate after compiling")
+		procs    = flag.Int("p", 1, "processors for -run")
+		catalogs catalogList
+	)
+	flag.Var(&catalogs, "catalog", "attach a procedure catalog (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: titancc [flags] file.c")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *emitCat != "" {
+		f, err := os.Create(*emitCat)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := driver.WriteCatalogFromSource(f, string(src)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote catalog %s\n", *emitCat)
+		return
+	}
+
+	opts := driver.Options{
+		OptLevel:       1,
+		Inline:         *doInline,
+		Vectorize:      *doVector,
+		Parallelize:    *doPar,
+		ListParallel:   *listPar,
+		NoAlias:        *noAlias,
+		VL:             *vl,
+		StrengthReduce: true,
+	}
+	if *o0 {
+		opts.OptLevel = 0
+		opts.StrengthReduce = false
+	}
+	for _, path := range catalogs {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		cat, err := inline.ReadCatalog(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		opts.Catalogs = append(opts.Catalogs, cat)
+	}
+
+	res, err := driver.Compile(string(src), opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpIL {
+		fmt.Print(driver.DumpIL(res))
+	}
+	if *asm {
+		fmt.Print(driver.Disassemble(res))
+	}
+	if *runIt {
+		m := titan.NewMachine(res.Machine, *procs)
+		r, err := m.Run("main")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(r.Output)
+		fmt.Println(driver.FormatResult(r, *procs))
+	}
+	if !*dumpIL && !*asm && !*runIt {
+		fmt.Printf("compiled %s: %d procedures, %d inlined calls, %d vector stmts, %d parallel loops\n",
+			flag.Arg(0), len(res.IL.Procs), res.InlinedCalls,
+			res.VectorStats.VectorStmts, res.VectorStats.ParallelLoops+res.ParallelStats.LoopsParallelized)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "titancc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Command titanrun compiles a C file with the full optimization pipeline
+// and runs it on the simulated Titan at several processor counts, printing
+// a cycles/MFLOPS table — the quick way to reproduce the paper's speedup
+// shapes.
+//
+// Usage:
+//
+//	titanrun [-configs] file.c
+//
+// With -configs, the program is compiled and measured under four
+// configurations (scalar, +strength, +vector, +vector+parallel) the way
+// the paper's evaluation contrasts them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/driver"
+	"repro/internal/titan"
+)
+
+func main() {
+	configs := flag.Bool("configs", false, "sweep optimization configurations")
+	procs := flag.Int("p", 2, "max processors for parallel configs")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: titanrun [-configs] file.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	type cfg struct {
+		name  string
+		opts  driver.Options
+		procs int
+	}
+	var cfgs []cfg
+	if *configs {
+		cfgs = []cfg{
+			{"scalar -O1", driver.Options{OptLevel: 1}, 1},
+			{"+strength (§6)", driver.ScalarOptions(), 1},
+			{"+vector (§5)", driver.Options{OptLevel: 1, Inline: true, Vectorize: true, StrengthReduce: true}, 1},
+			{fmt.Sprintf("+parallel ×%d (§2)", *procs), driver.FullOptions(), *procs},
+		}
+	} else {
+		cfgs = []cfg{{"full", driver.FullOptions(), *procs}}
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "config\tprocs\tcycles\tinstrs\tflops\tMFLOPS\tspeedup")
+	var base int64
+	for _, c := range cfgs {
+		res, err := driver.Compile(string(src), c.opts)
+		if err != nil {
+			fatal(err)
+		}
+		m := titan.NewMachine(res.Machine, c.procs)
+		r, err := m.Run("main")
+		if err != nil {
+			fatal(err)
+		}
+		if r.Output != "" {
+			fmt.Print(r.Output)
+		}
+		if base == 0 {
+			base = r.Cycles
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%.2f\t%.2fx\n",
+			c.name, c.procs, r.Cycles, r.Instrs, r.FlopCount, r.MFLOPS(),
+			float64(base)/float64(r.Cycles))
+	}
+	w.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "titanrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// The paper's §6 example: a backsolve recurrence that cannot run in
+// vector — x[i+1] depends on x[i] — but where the dependence graph drives
+// register promotion, pointer strength reduction and int/FP overlap,
+// taking the loop from 0.5 to 1.9 simulated MFLOPS shape (≈3.8x).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/driver"
+)
+
+const program = `
+float x[2048], y[2048], z[2048];
+
+void backsolve(float *xv, float *yv, float *zv, int n)
+{
+	float *p, *q;
+	int i;
+	p = &xv[1];
+	q = &xv[0];
+	for (i = 0; i < n-2; i++)
+		p[i] = zv[i] * (yv[i] - q[i]);
+}
+
+int main(void)
+{
+	int i;
+	for (i = 0; i < 2048; i++) {
+		x[i] = 1.0f;
+		y[i] = i;
+		z[i] = 0.5f;
+	}
+	backsolve(x, y, z, 2048);
+	return 0;
+}
+`
+
+func main() {
+	// Show what §6 does to the loop.
+	res, err := driver.CompileIL(program, driver.Options{
+		OptLevel: 1, NoAlias: true, StrengthReduce: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("==== backsolve after dependence-driven optimization ====")
+	fmt.Println(res.IL.Proc("backsolve").String())
+
+	scalar, err := driver.Run(program, driver.Options{OptLevel: 1, NoAlias: true}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optimized, err := driver.Run(program, driver.Options{
+		OptLevel: 1, NoAlias: true, StrengthReduce: true,
+	}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scalar only:        %8d cycles  %5.2f MFLOPS\n", scalar.Cycles, scalar.MFLOPS())
+	fmt.Printf("dependence-driven:  %8d cycles  %5.2f MFLOPS\n", optimized.Cycles, optimized.MFLOPS())
+	fmt.Printf("speedup %.2fx (paper: 0.5 -> 1.9 MFLOPS, 3.8x)\n",
+		float64(scalar.Cycles)/float64(optimized.Cycles))
+}

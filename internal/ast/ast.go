@@ -1,0 +1,372 @@
+// Package ast defines the abstract syntax tree produced by the parser.
+//
+// The AST is a faithful representation of the C source: ?:, &&, ||, comma,
+// ++/-- and embedded assignments all appear as expression nodes. The lower
+// package is responsible for rewriting them into the side-effect-free IL.
+package ast
+
+import (
+	"repro/internal/ctype"
+	"repro/internal/token"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------- Expressions
+
+// Expr is implemented by all expression nodes. Type() is populated by sema.
+type Expr interface {
+	Node
+	Type() *ctype.Type
+	exprNode()
+}
+
+type exprBase struct {
+	P token.Pos
+	T *ctype.Type
+}
+
+func (e *exprBase) Pos() token.Pos { return e.P }
+
+// Type returns the expression's type (populated by sema).
+func (e *exprBase) Type() *ctype.Type { return e.T }
+
+// SetType records the expression's type; called by sema.
+func (e *exprBase) SetType(t *ctype.Type) { e.T = t }
+
+// SetPosition records the source position; called by the parser.
+func (e *exprBase) SetPosition(p token.Pos) { e.P = p }
+
+func (e *exprBase) exprNode() {}
+
+// IntConst is an integer or character constant.
+type IntConst struct {
+	exprBase
+	Value int64
+}
+
+// FloatConst is a floating constant.
+type FloatConst struct {
+	exprBase
+	Value float64
+}
+
+// StrConst is a string literal.
+type StrConst struct {
+	exprBase
+	Value string
+}
+
+// IdentExpr is a use of a named variable, function, or enum constant.
+type IdentExpr struct {
+	exprBase
+	Name string
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp int
+
+// Unary operators.
+const (
+	Neg     UnaryOp = iota // -x
+	Not                    // !x
+	BitNot                 // ~x
+	Deref                  // *x
+	Addr                   // &x
+	PreInc                 // ++x
+	PreDec                 // --x
+	PostInc                // x++
+	PostDec                // x--
+)
+
+var unaryNames = [...]string{"-", "!", "~", "*", "&", "++pre", "--pre", "post++", "post--"}
+
+// String returns the operator spelling.
+func (op UnaryOp) String() string { return unaryNames[op] }
+
+// UnaryExpr applies a unary operator.
+type UnaryExpr struct {
+	exprBase
+	Op UnaryOp
+	X  Expr
+}
+
+// BinOp enumerates binary operators (pure; assignment is separate).
+type BinOp int
+
+// Binary operators.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Rem
+	And // bitwise &
+	Or  // bitwise |
+	Xor
+	Shl
+	Shr
+	Eq
+	Ne
+	Lt
+	Gt
+	Le
+	Ge
+	LogAnd // &&
+	LogOr  // ||
+)
+
+var binNames = [...]string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+	"==", "!=", "<", ">", "<=", ">=", "&&", "||"}
+
+// String returns the operator spelling.
+func (op BinOp) String() string { return binNames[op] }
+
+// IsComparison reports whether op yields a boolean 0/1 result.
+func (op BinOp) IsComparison() bool { return op >= Eq && op <= Ge }
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	exprBase
+	Op   BinOp
+	L, R Expr
+}
+
+// AssignExpr is an assignment, possibly compound (Op != nil means L Op= R).
+type AssignExpr struct {
+	exprBase
+	Op *BinOp // nil for plain =
+	L  Expr
+	R  Expr
+}
+
+// CondExpr is the ?: operator.
+type CondExpr struct {
+	exprBase
+	Cond, Then, Else Expr
+}
+
+// CommaExpr is the comma operator (left evaluated for effect).
+type CommaExpr struct {
+	exprBase
+	L, R Expr
+}
+
+// CallExpr is a function call.
+type CallExpr struct {
+	exprBase
+	Fun  Expr
+	Args []Expr
+}
+
+// IndexExpr is a[i].
+type IndexExpr struct {
+	exprBase
+	X, Index Expr
+}
+
+// MemberExpr is x.Name (Arrow false) or x->Name (Arrow true).
+type MemberExpr struct {
+	exprBase
+	X     Expr
+	Name  string
+	Arrow bool
+}
+
+// CastExpr is (T)x.
+type CastExpr struct {
+	exprBase
+	To *ctype.Type
+	X  Expr
+}
+
+// SizeofExpr is sizeof(T) or sizeof expr; sema folds it to a constant, but
+// the node keeps what was written.
+type SizeofExpr struct {
+	exprBase
+	OfType *ctype.Type // non-nil for sizeof(type)
+	X      Expr        // non-nil for sizeof expr
+}
+
+// ---------------------------------------------------------------- Statements
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+type stmtBase struct{ P token.Pos }
+
+func (s *stmtBase) Pos() token.Pos { return s.P }
+func (s *stmtBase) stmtNode()      {}
+
+// ExprStmt is an expression evaluated for its side effects.
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// DeclStmt is a local declaration (possibly several declarators).
+type DeclStmt struct {
+	stmtBase
+	Decls []*VarDecl
+}
+
+// CompoundStmt is { ... }.
+type CompoundStmt struct {
+	stmtBase
+	List []Stmt
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	stmtBase
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	stmtBase
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhileStmt is do { } while ( ).
+type DoWhileStmt struct {
+	stmtBase
+	Body Stmt
+	Cond Expr
+}
+
+// ForStmt is a C for loop; any of Init/Cond/Post may be nil.
+type ForStmt struct {
+	stmtBase
+	Init Expr // nil or expression (declarations in for-init are not C89)
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// ReturnStmt returns, with optional value.
+type ReturnStmt struct {
+	stmtBase
+	X Expr // may be nil
+}
+
+// BreakStmt breaks the nearest loop or switch.
+type BreakStmt struct{ stmtBase }
+
+// ContinueStmt continues the nearest loop.
+type ContinueStmt struct{ stmtBase }
+
+// GotoStmt jumps to a label.
+type GotoStmt struct {
+	stmtBase
+	Label string
+}
+
+// LabeledStmt attaches a label to a statement.
+type LabeledStmt struct {
+	stmtBase
+	Label string
+	Stmt  Stmt
+}
+
+// SwitchStmt is a switch.
+type SwitchStmt struct {
+	stmtBase
+	Tag  Expr
+	Body Stmt // compound containing Case/Default labels
+}
+
+// CaseStmt is "case N:" or "default:" (Expr nil) within a switch body.
+type CaseStmt struct {
+	stmtBase
+	Value Expr // nil for default
+	Stmt  Stmt
+}
+
+// EmptyStmt is ";".
+type EmptyStmt struct{ stmtBase }
+
+// PragmaStmt carries a #pragma directive through to the optimizer
+// (e.g. "#pragma safe" asserts the following loop is free of aliasing).
+type PragmaStmt struct {
+	stmtBase
+	Text string
+}
+
+// ---------------------------------------------------------------- Declarations
+
+// StorageClass is a declaration's storage class.
+type StorageClass int
+
+// Storage classes.
+const (
+	SCNone StorageClass = iota
+	SCStatic
+	SCExtern
+	SCRegister
+	SCAuto
+	SCTypedef
+)
+
+// VarDecl declares one variable.
+type VarDecl struct {
+	P       token.Pos
+	Name    string
+	Type    *ctype.Type
+	Storage StorageClass
+	Init    Expr // scalar initializer, may be nil
+	// InitList holds a brace initializer's elements, flattened in layout
+	// order (nested braces contribute their elements in sequence, K&R
+	// style). Mutually exclusive with Init.
+	InitList []Expr
+}
+
+// Pos returns the declaration position.
+func (d *VarDecl) Pos() token.Pos { return d.P }
+
+// FuncDecl is a function definition or prototype (Body nil).
+type FuncDecl struct {
+	P       token.Pos
+	Name    string
+	Type    *ctype.Type // Kind Func
+	Storage StorageClass
+	Body    *CompoundStmt // nil for a prototype
+}
+
+// Pos returns the declaration position.
+func (d *FuncDecl) Pos() token.Pos { return d.P }
+
+// File is one translation unit.
+type File struct {
+	Funcs   []*FuncDecl
+	Globals []*VarDecl
+	// Order preserves interleaving for diagnostics: each entry is a
+	// *FuncDecl or *VarDecl.
+	Order []Node
+}
+
+// Helper constructors used by the parser and tests.
+
+// NewIntConst returns an integer constant node of type int.
+func NewIntConst(pos token.Pos, v int64) *IntConst {
+	return &IntConst{exprBase: exprBase{P: pos, T: ctype.IntType}, Value: v}
+}
+
+// NewFloatConst returns a double constant node.
+func NewFloatConst(pos token.Pos, v float64) *FloatConst {
+	return &FloatConst{exprBase: exprBase{P: pos, T: ctype.DoubleType}, Value: v}
+}
+
+// NewIdent returns an identifier node (untyped until sema).
+func NewIdent(pos token.Pos, name string) *IdentExpr {
+	return &IdentExpr{exprBase: exprBase{P: pos}, Name: name}
+}

@@ -1,0 +1,306 @@
+// Package bench provides the measurement harness shared by the repository
+// benchmarks (bench_test.go), the experiments tool (cmd/experiments), and
+// the examples: it compiles C workloads under named configurations and
+// measures simulated cycles, kernel-only differential cycles, and MFLOPS.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/driver"
+	"repro/internal/titan"
+)
+
+// Workload is a C program whose kernel region is delimited by the marker
+// line "/*KERNEL*/" — the harness measures the kernel differentially by
+// also running a variant with the kernel line removed, so setup loops do
+// not dilute the measurement.
+type Workload struct {
+	Name string
+	Src  string
+}
+
+// KernelMarker delimits the measured call in a workload's main.
+const KernelMarker = "/*KERNEL*/"
+
+// Measurement is one configuration's result.
+type Measurement struct {
+	Config     string
+	Processors int
+	// Total program numbers.
+	Cycles int64
+	Flops  int64
+	// Kernel-only (differential) numbers; equal to the totals when the
+	// workload has no marker.
+	KernelCycles int64
+	KernelFlops  int64
+}
+
+// MFLOPS is the kernel's simulated floating-point rate.
+func (m Measurement) MFLOPS() float64 {
+	if m.KernelCycles <= 0 {
+		return 0
+	}
+	sec := float64(m.KernelCycles) / (titan.ClockMHz * 1e6)
+	return float64(m.KernelFlops) / sec / 1e6
+}
+
+// Config names an optimization configuration.
+type Config struct {
+	Name       string
+	Opts       driver.Options
+	Processors int
+}
+
+// StandardConfigs are the paper's evaluation axes.
+func StandardConfigs(maxProcs int) []Config {
+	return []Config{
+		{"scalar", driver.Options{OptLevel: 1}, 1},
+		{"scalar+sched (§6)", driver.ScalarOptions(), 1},
+		{"inline+vector (§5,7)", driver.Options{OptLevel: 1, Inline: true, Vectorize: true, StrengthReduce: true}, 1},
+		{fmt.Sprintf("full, P=%d (§2,9)", maxProcs), driver.FullOptions(), maxProcs},
+	}
+}
+
+// Run measures one workload under one configuration.
+func Run(w Workload, cfg Config) (Measurement, error) {
+	full, err := driver.Run(w.Src, cfg.Opts, cfg.Processors)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("%s/%s: %w", w.Name, cfg.Name, err)
+	}
+	m := Measurement{
+		Config:       cfg.Name,
+		Processors:   cfg.Processors,
+		Cycles:       full.Cycles,
+		Flops:        full.FlopCount,
+		KernelCycles: full.Cycles,
+		KernelFlops:  full.FlopCount,
+	}
+	if strings.Contains(w.Src, KernelMarker) {
+		baseSrc := stripKernel(w.Src)
+		base, err := driver.Run(baseSrc, cfg.Opts, cfg.Processors)
+		if err != nil {
+			return Measurement{}, fmt.Errorf("%s/%s baseline: %w", w.Name, cfg.Name, err)
+		}
+		m.KernelCycles = full.Cycles - base.Cycles
+		m.KernelFlops = full.FlopCount - base.FlopCount
+		if m.KernelCycles < 1 {
+			m.KernelCycles = 1
+		}
+	}
+	return m, nil
+}
+
+// stripKernel removes every line containing the marker.
+func stripKernel(src string) string {
+	lines := strings.Split(src, "\n")
+	out := make([]string, 0, len(lines))
+	for _, l := range lines {
+		if strings.Contains(l, KernelMarker) {
+			continue
+		}
+		out = append(out, l)
+	}
+	return strings.Join(out, "\n")
+}
+
+// Sweep measures a workload under several configurations.
+func Sweep(w Workload, cfgs []Config) ([]Measurement, error) {
+	var out []Measurement
+	for _, c := range cfgs {
+		m, err := Run(w, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Speedup returns base.KernelCycles / m.KernelCycles.
+func Speedup(base, m Measurement) float64 {
+	if m.KernelCycles == 0 {
+		return 0
+	}
+	return float64(base.KernelCycles) / float64(m.KernelCycles)
+}
+
+// ------------------------------------------------------------- workloads
+
+// Backsolve is E1: the §6 recurrence loop.
+func Backsolve(n int) Workload {
+	return Workload{Name: "backsolve", Src: fmt.Sprintf(`
+float x[%d], y[%d], z[%d];
+
+void backsolve(float *xv, float *yv, float *zv, int n)
+{
+	float *p, *q;
+	int i;
+	p = &xv[1];
+	q = &xv[0];
+	for (i = 0; i < n-2; i++)
+		p[i] = zv[i] * (yv[i] - q[i]);
+}
+
+int main(void)
+{
+	int i;
+	for (i = 0; i < %d; i++) {
+		x[i] = 1.0f;
+		y[i] = i;
+		z[i] = 0.5f;
+	}
+	backsolve(x, y, z, %d); %s
+	return 0;
+}
+`, n, n, n, n, n, KernelMarker)}
+}
+
+// Daxpy is E2: the §9 program.
+func Daxpy(n int) Workload {
+	return Workload{Name: "daxpy", Src: fmt.Sprintf(`
+float a[%d], b[%d], c[%d];
+
+void daxpy(float *x, float *y, float *z, float alpha, int n)
+{
+	if (n <= 0)
+		return;
+	if (alpha == 0)
+		return;
+	for (; n; n--)
+		*x++ = *y++ + alpha * *z++;
+}
+
+int main(void)
+{
+	int i;
+	for (i = 0; i < %d; i++) {
+		b[i] = i;
+		c[i] = 1;
+	}
+	daxpy(a, b, c, 1.0, %d); %s
+	return 0;
+}
+`, n, n, n, n, n, KernelMarker)}
+}
+
+// CopyLoop is E3: §5.3's pointer copy.
+func CopyLoop(n int) Workload {
+	return Workload{Name: "copyloop", Src: fmt.Sprintf(`
+float dst[%d], src[%d];
+
+void copyloop(float *a, float *b, int n)
+{
+	while (n) {
+		*a++ = *b++;
+		n--;
+	}
+}
+
+int main(void)
+{
+	int i;
+	for (i = 0; i < %d; i++) src[i] = i;
+	copyloop(dst, src, %d); %s
+	return 0;
+}
+`, n, n, n, n, KernelMarker)}
+}
+
+// ReverseAxpy is E4: §5.3's Fortran-style auxiliary induction variable.
+func ReverseAxpy(n int) Workload {
+	return Workload{Name: "reverseaxpy", Src: fmt.Sprintf(`
+float a[%d], b[%d];
+
+void raxpy(int n)
+{
+	int i, iv;
+	iv = n - 1;
+	for (i = 0; i < n; i++) {
+		a[iv] = a[iv] + b[i];
+		iv = iv - 1;
+	}
+}
+
+int main(void)
+{
+	int i;
+	for (i = 0; i < %d; i++) {
+		a[i] = 1;
+		b[i] = i;
+	}
+	raxpy(%d); %s
+	return 0;
+}
+`, n, n, n, n, KernelMarker)}
+}
+
+// VectorAdd is E7's scaling workload.
+func VectorAdd(n int) Workload {
+	return Workload{Name: "vectoradd", Src: fmt.Sprintf(`
+float a[%d], b[%d], c[%d];
+
+void vadd(int n)
+{
+	int i;
+	for (i = 0; i < n; i++)
+		a[i] = b[i] * 2.0f + c[i];
+}
+
+int main(void)
+{
+	int i;
+	for (i = 0; i < %d; i++) {
+		b[i] = i;
+		c[i] = 1;
+	}
+	vadd(%d); %s
+	return 0;
+}
+`, n, n, n, n, n, KernelMarker)}
+}
+
+// Transform4x4 is E10: arrays embedded in structures (§10 / graphics).
+func Transform4x4(verts int) Workload {
+	return Workload{Name: "transform4x4", Src: fmt.Sprintf(`
+struct xform { float m[4][4]; };
+struct vertex { float p[4]; };
+
+struct xform world;
+struct vertex verts[%d];
+
+void transform(struct xform *t, struct vertex *v, int n)
+{
+	int k, i, j;
+	float out[4];
+	for (k = 0; k < n; k++) {
+		for (i = 0; i < 4; i++) {
+			float s;
+			s = 0;
+			for (j = 0; j < 4; j++)
+				s = s + t->m[i][j] * v[k].p[j];
+			out[i] = s;
+		}
+		for (i = 0; i < 4; i++)
+			v[k].p[i] = out[i];
+	}
+}
+
+int main(void)
+{
+	int i, k;
+	for (i = 0; i < 4; i++) {
+		int j;
+		for (j = 0; j < 4; j++)
+			world.m[i][j] = 0;
+		world.m[i][i] = 2.0f;
+	}
+	for (k = 0; k < %d; k++)
+		for (i = 0; i < 4; i++)
+			verts[k].p[i] = k + i;
+	transform(&world, verts, %d); %s
+	return 0;
+}
+`, verts, verts, verts, KernelMarker)}
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+)
+
+func TestKernelDifferentialMeasurement(t *testing.T) {
+	w := Daxpy(128)
+	if !strings.Contains(w.Src, KernelMarker) {
+		t.Fatal("workload missing kernel marker")
+	}
+	m, err := Run(w, Config{Name: "scalar", Opts: driver.Options{OptLevel: 1}, Processors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.KernelCycles <= 0 || m.KernelCycles >= m.Cycles {
+		t.Errorf("kernel cycles %d of %d total (differential broken?)", m.KernelCycles, m.Cycles)
+	}
+	if m.KernelFlops <= 0 || m.KernelFlops > m.Flops {
+		t.Errorf("kernel flops %d of %d", m.KernelFlops, m.Flops)
+	}
+	// daxpy does 2 flops per element.
+	if m.KernelFlops != 2*128 {
+		t.Errorf("kernel flops %d, want 256", m.KernelFlops)
+	}
+}
+
+func TestStripKernelRemovesOnlyMarkedLines(t *testing.T) {
+	src := "a\nb " + KernelMarker + "\nc\n"
+	got := stripKernel(src)
+	if got != "a\nc\n" {
+		t.Errorf("stripKernel: %q", got)
+	}
+}
+
+func TestWorkloadsCompileEverywhere(t *testing.T) {
+	workloads := []Workload{
+		Backsolve(128), Daxpy(64), CopyLoop(64), ReverseAxpy(64),
+		VectorAdd(128), Transform4x4(8),
+	}
+	cfgs := StandardConfigs(2)
+	for _, w := range workloads {
+		for _, c := range cfgs {
+			if _, err := Run(w, c); err != nil {
+				t.Errorf("%s under %s: %v", w.Name, c.Name, err)
+			}
+		}
+	}
+}
+
+func TestMFLOPSAndSpeedup(t *testing.T) {
+	base := Measurement{KernelCycles: 1600, KernelFlops: 100}
+	half := Measurement{KernelCycles: 800, KernelFlops: 100}
+	if s := Speedup(base, half); s != 2 {
+		t.Errorf("speedup %f", s)
+	}
+	// 1600 cycles at 16 MHz = 100 µs; 100 flops → 1 MFLOPS.
+	if m := base.MFLOPS(); m < 0.99 || m > 1.01 {
+		t.Errorf("MFLOPS %f", m)
+	}
+	var zero Measurement
+	if zero.MFLOPS() != 0 {
+		t.Error("zero measurement MFLOPS")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	ms, err := Sweep(VectorAdd(256), StandardConfigs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("measurements: %d", len(ms))
+	}
+	// The full configuration must beat plain scalar.
+	if ms[3].KernelCycles >= ms[0].KernelCycles {
+		t.Errorf("no win: %d vs %d", ms[3].KernelCycles, ms[0].KernelCycles)
+	}
+}

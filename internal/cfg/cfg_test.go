@@ -1,0 +1,231 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/ctype"
+	"repro/internal/il"
+)
+
+func assign(id il.VarID) *il.Assign {
+	return &il.Assign{Dst: il.Ref(id, ctype.IntType), Src: il.Int(0)}
+}
+
+func TestStraightLine(t *testing.T) {
+	body := []il.Stmt{assign(0), assign(1), assign(2)}
+	g, err := Build(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// entry → a0 → a1 → a2 → exit
+	n0 := g.NodeOf[body[0]]
+	n1 := g.NodeOf[body[1]]
+	n2 := g.NodeOf[body[2]]
+	if len(n0.Succs) != 1 || n0.Succs[0] != n1.ID {
+		t.Errorf("a0 succs %v", n0.Succs)
+	}
+	if len(n2.Succs) != 1 || n2.Succs[0] != g.Exit {
+		t.Errorf("a2 succs %v", n2.Succs)
+	}
+}
+
+func TestIfElseDiamond(t *testing.T) {
+	thenS := assign(1)
+	elseS := assign(2)
+	ifs := &il.If{Cond: il.Ref(0, ctype.IntType), Then: []il.Stmt{thenS}, Else: []il.Stmt{elseS}}
+	after := assign(3)
+	g, err := Build([]il.Stmt{ifs, after})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.NodeOf[ifs]
+	if len(c.Succs) != 2 {
+		t.Fatalf("cond succs %v", c.Succs)
+	}
+	a := g.NodeOf[after]
+	if len(a.Preds) != 2 {
+		t.Errorf("join preds %v", a.Preds)
+	}
+}
+
+func TestIfNoElseFallthrough(t *testing.T) {
+	thenS := assign(1)
+	ifs := &il.If{Cond: il.Ref(0, ctype.IntType), Then: []il.Stmt{thenS}}
+	after := assign(2)
+	g, err := Build([]il.Stmt{ifs, after})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g.NodeOf[after]
+	// Preds: then-stmt and cond itself.
+	if len(a.Preds) != 2 {
+		t.Errorf("after preds %v", a.Preds)
+	}
+}
+
+func TestWhileBackEdge(t *testing.T) {
+	bodyS := assign(1)
+	w := &il.While{Cond: il.Ref(0, ctype.IntType), Body: []il.Stmt{bodyS}}
+	g, err := Build([]il.Stmt{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.NodeOf[w]
+	b := g.NodeOf[bodyS]
+	// body → cond back edge
+	found := false
+	for _, s := range b.Succs {
+		if s == c.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no back edge: body succs %v", b.Succs)
+	}
+	// cond → exit and cond → body
+	if len(c.Succs) != 2 {
+		t.Errorf("cond succs %v", c.Succs)
+	}
+}
+
+func TestGotoResolution(t *testing.T) {
+	lbl := &il.Label{Name: ".L1"}
+	gt := &il.Goto{Target: ".L1"}
+	skipped := assign(1)
+	g, err := Build([]il.Stmt{gt, skipped, lbl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gn := g.NodeOf[gt]
+	ln := g.NodeOf[lbl]
+	if len(gn.Succs) != 1 || gn.Succs[0] != ln.ID {
+		t.Errorf("goto succs %v, label node %d", gn.Succs, ln.ID)
+	}
+	if g.Reachable()[g.NodeOf[skipped].ID] {
+		t.Error("statement after goto should be unreachable")
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	if _, err := Build([]il.Stmt{&il.Goto{Target: ".nope"}}); err == nil {
+		t.Fatal("expected undefined-label error")
+	}
+}
+
+func TestReturnEdges(t *testing.T) {
+	ret := &il.Return{}
+	after := assign(1)
+	g, err := Build([]il.Stmt{ret, after})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := g.NodeOf[ret]
+	if len(rn.Succs) != 1 || rn.Succs[0] != g.Exit {
+		t.Errorf("return succs %v", rn.Succs)
+	}
+	if g.Reachable()[g.NodeOf[after].ID] {
+		t.Error("code after return should be unreachable")
+	}
+}
+
+func TestGotoIntoLoopDetected(t *testing.T) {
+	// §5.2: a branch entering a loop body disqualifies DO conversion.
+	inLbl := &il.Label{Name: ".in"}
+	bodyS := assign(1)
+	w := &il.While{Cond: il.Ref(0, ctype.IntType), Body: []il.Stmt{inLbl, bodyS}}
+	gt := &il.Goto{Target: ".in"}
+	g, err := Build([]il.Stmt{gt, w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodySet := map[il.Stmt]bool{inLbl: true, bodyS: true}
+	if !g.EntersBody(g.NodeOf[w], bodySet) {
+		t.Error("goto into loop not detected")
+	}
+}
+
+func TestCleanLoopNotEntered(t *testing.T) {
+	bodyS := assign(1)
+	w := &il.While{Cond: il.Ref(0, ctype.IntType), Body: []il.Stmt{bodyS}}
+	g, err := Build([]il.Stmt{assign(2), w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EntersBody(g.NodeOf[w], map[il.Stmt]bool{bodyS: true}) {
+		t.Error("clean loop flagged as entered")
+	}
+}
+
+func TestDoLoopEdges(t *testing.T) {
+	bodyS := assign(1)
+	d := &il.DoLoop{IV: 0, Init: il.Int(0), Limit: il.Int(9), Step: il.Int(1), Body: []il.Stmt{bodyS}}
+	g, err := Build([]il.Stmt{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Head evaluates bounds once, then feeds the latch; the latch controls
+	// iteration (body or fallthrough).
+	h := g.NodeOf[d]
+	if len(h.Succs) != 1 {
+		t.Fatalf("head succs %v", h.Succs)
+	}
+	latch := g.Nodes[h.Succs[0]]
+	if !latch.Latch || latch.IVDef != d.IV {
+		t.Fatalf("latch: %+v", latch)
+	}
+	if len(latch.Succs) != 2 {
+		t.Errorf("latch succs %v", latch.Succs)
+	}
+	// Body's successor is the latch, not the head.
+	b := g.NodeOf[bodyS]
+	if len(b.Succs) != 1 || b.Succs[0] != latch.ID {
+		t.Errorf("body succs %v", b.Succs)
+	}
+	// Init evaluation happens once: the latch's def must not reach the
+	// head, which has a single outside predecessor.
+	if len(h.Preds) != 1 {
+		t.Errorf("head preds %v", h.Preds)
+	}
+}
+
+func TestDominators(t *testing.T) {
+	// entry → c → {t, e} → join
+	thenS := assign(1)
+	elseS := assign(2)
+	ifs := &il.If{Cond: il.Ref(0, ctype.IntType), Then: []il.Stmt{thenS}, Else: []il.Stmt{elseS}}
+	join := assign(3)
+	g, err := Build([]il.Stmt{ifs, join})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := g.Dominators()
+	c := g.NodeOf[ifs].ID
+	j := g.NodeOf[join].ID
+	tn := g.NodeOf[thenS].ID
+	if !dom[j][c] {
+		t.Error("cond should dominate join")
+	}
+	if dom[j][tn] {
+		t.Error("then-branch should not dominate join")
+	}
+	if !dom[tn][c] {
+		t.Error("cond should dominate then")
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	bodyS := assign(1)
+	w := &il.While{Cond: il.Ref(0, ctype.IntType), Body: []il.Stmt{bodyS}}
+	after := assign(2)
+	g, err := Build([]il.Stmt{w, after})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := g.Dominators()
+	if !dom[g.NodeOf[after].ID][g.NodeOf[w].ID] {
+		t.Error("loop head should dominate code after loop")
+	}
+	if !dom[g.NodeOf[bodyS].ID][g.NodeOf[w].ID] {
+		t.Error("loop head should dominate body")
+	}
+}

@@ -1,0 +1,903 @@
+// Package codegen lowers optimized IL to Titan instructions.
+//
+// Register allocation follows the paper's plan (§3): the compiler leans on
+// a large register file and "generates temporary variables with a fair
+// amount of impunity", expecting them to live in registers. Scalars that
+// never have their address taken get dedicated registers; address-taken
+// variables, arrays and aggregates live in the stack frame; globals and
+// exported statics live in the data segment. Register-windowed calls keep
+// the convention simple (arguments in r8../f8.., results in r2/f2).
+//
+// Vector statements lower to VSETL/VLD/arith/VST sequences over vector
+// register file sections; do-parallel loops bracket their body in
+// PAR.BEGIN/PAR.END markers and stride by processor count, matching the
+// runtime's iteration-spreading contract (§2).
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/ctype"
+	"repro/internal/il"
+	"repro/internal/titan"
+)
+
+// Register map (64 int + 64 float registers; the Titan's register file is
+// large, §2).
+const (
+	regSP     = titan.RegSP
+	regRet    = titan.RegRetInt
+	regArg0   = titan.RegArg0
+	scratchLo = 16
+	scratchHi = 31 // inclusive
+	varLo     = 32
+	varHi     = 63
+)
+
+// vecSlotStride spaces vector register file sections; VL must not exceed
+// it.
+const vecSlotStride = 128
+
+// Error is a code generation failure.
+type Error struct{ Msg string }
+
+func (e *Error) Error() string { return "codegen: " + e.Msg }
+
+func errf(format string, args ...interface{}) error {
+	return &Error{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Generate lowers a whole program.
+func Generate(prog *il.Program) (*titan.Program, error) {
+	tp := &titan.Program{
+		Funcs:      map[string]*titan.Func{},
+		DataBase:   4096,
+		GlobalAddr: map[string]int64{},
+		MemSize:    1 << 24,
+	}
+	// Lay out globals.
+	addr := tp.DataBase
+	align := func(a int64, n int64) int64 { return (a + n - 1) / n * n }
+	for _, g := range prog.Globals {
+		size := int64(g.Type.Size())
+		if size == 0 {
+			size = 4
+		}
+		addr = align(addr, 8)
+		tp.GlobalAddr[g.Name] = addr
+		addr += size
+	}
+	data := make([]byte, addr-tp.DataBase)
+	for _, g := range prog.Globals {
+		off := tp.GlobalAddr[g.Name] - tp.DataBase
+		if g.Data != nil {
+			copy(data[off:], g.Data)
+			continue
+		}
+		if g.HasInit {
+			writeScalar(data[off:], g.Type, g.InitInt, g.InitFloat)
+		}
+	}
+	tp.Data = data
+
+	for _, p := range prog.Procs {
+		f, err := genProc(p, tp)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		tp.Funcs[p.Name] = f
+	}
+	Peephole(tp)
+	return tp, nil
+}
+
+func writeScalar(b []byte, t *ctype.Type, iv int64, fv float64) {
+	switch {
+	case t.Kind == ctype.Float:
+		bits := f32bits(float32(pickF(t, iv, fv)))
+		putU32(b, bits)
+	case t.Kind == ctype.Double:
+		putU64(b, f64bits(pickF(t, iv, fv)))
+	case t.Size() == 1:
+		b[0] = byte(iv)
+	case t.Size() == 2:
+		b[0], b[1] = byte(iv), byte(iv>>8)
+	default:
+		putU32(b, uint32(iv))
+	}
+}
+
+func pickF(t *ctype.Type, iv int64, fv float64) float64 {
+	if fv != 0 {
+		return fv
+	}
+	return float64(iv)
+}
+
+// location describes where a variable lives.
+type locKind int
+
+const (
+	locIntReg locKind = iota
+	locFltReg
+	locStack  // frame offset from SP
+	locGlobal // absolute address
+)
+
+type location struct {
+	kind locKind
+	reg  int
+	off  int64 // stack offset or global address
+}
+
+type gen struct {
+	p     *il.Proc
+	tp    *titan.Program
+	f     *titan.Func
+	locs  []location
+	frame int64
+	// scratch pools
+	intFree  []int
+	fltFree  []int
+	labelSeq int
+	// spillBase is the frame area for expression spills.
+	vecSlotNext int
+}
+
+func genProc(p *il.Proc, tp *titan.Program) (*titan.Func, error) {
+	g := &gen{
+		p:  p,
+		tp: tp,
+		f:  &titan.Func{Name: p.Name, Labels: map[string]int{}},
+	}
+	for r := scratchLo; r <= scratchHi; r++ {
+		g.intFree = append(g.intFree, r)
+		g.fltFree = append(g.fltFree, r)
+	}
+	if err := g.allocate(); err != nil {
+		return nil, err
+	}
+	// Prologue: reserve the frame and bind parameters.
+	if g.frame > 0 {
+		g.emit(titan.Instr{Op: titan.OpAddi, Rd: regSP, Rs1: regSP, Imm: -g.frame})
+	}
+	intArg, fltArg := 0, 0
+	for _, id := range p.Params {
+		v := &p.Vars[id]
+		isFlt := v.Type.IsFloat()
+		var argReg int
+		if isFlt {
+			argReg = titan.FRegArg0 + fltArg
+			fltArg++
+		} else {
+			argReg = regArg0 + intArg
+			intArg++
+		}
+		if argReg > 15 {
+			return nil, errf("too many parameters (max 8 of a kind)")
+		}
+		loc := g.locs[id]
+		switch loc.kind {
+		case locIntReg:
+			g.emit(titan.Instr{Op: titan.OpMov, Rd: loc.reg, Rs1: argReg})
+		case locFltReg:
+			g.emit(titan.Instr{Op: titan.OpFmov, Rd: loc.reg, Rs1: argReg})
+		case locStack:
+			g.storeToLoc(loc, argReg, v.Type)
+		}
+	}
+	if err := g.stmts(p.Body); err != nil {
+		return nil, err
+	}
+	g.emit(titan.Instr{Op: titan.OpRet})
+	return g.f, nil
+}
+
+// allocate assigns every variable a location.
+func (g *gen) allocate() error {
+	intReg := varLo
+	fltReg := varLo
+	g.locs = make([]location, len(g.p.Vars))
+	for i := range g.p.Vars {
+		v := &g.p.Vars[i]
+		switch v.Class {
+		case il.ClassGlobal, il.ClassStatic:
+			a, ok := g.tp.GlobalAddr[v.Name]
+			if !ok {
+				// An extern never defined in this unit: allocate it now at
+				// the end of memory-mapped data? Give it a fresh address.
+				a = g.tp.DataBase + int64(len(g.tp.Data))
+				g.tp.GlobalAddr[v.Name] = a
+				grow := make([]byte, int64(v.Type.Size()))
+				g.tp.Data = append(g.tp.Data, grow...)
+			}
+			g.locs[i] = location{kind: locGlobal, off: a}
+			continue
+		}
+		needsMemory := v.AddrTaken || v.Type.Kind == ctype.Array || v.Type.IsAggregate()
+		if needsMemory {
+			size := int64(v.Type.Size())
+			if size == 0 {
+				size = 4
+			}
+			g.frame = (g.frame + 7) / 8 * 8
+			g.locs[i] = location{kind: locStack, off: g.frame}
+			g.frame += size
+			continue
+		}
+		if v.Type.IsFloat() {
+			if fltReg <= varHi {
+				g.locs[i] = location{kind: locFltReg, reg: fltReg}
+				fltReg++
+				continue
+			}
+		} else {
+			if intReg <= varHi {
+				g.locs[i] = location{kind: locIntReg, reg: intReg}
+				intReg++
+				continue
+			}
+		}
+		// Register file exhausted: stack slot.
+		g.frame = (g.frame + 7) / 8 * 8
+		g.locs[i] = location{kind: locStack, off: g.frame}
+		g.frame += 8
+	}
+	return nil
+}
+
+func (g *gen) emit(in titan.Instr) { g.f.Instrs = append(g.f.Instrs, in) }
+
+func (g *gen) label(name string) { g.f.Labels[name] = len(g.f.Instrs) }
+
+func (g *gen) newLabel(hint string) string {
+	g.labelSeq++
+	return fmt.Sprintf(".%s.%s%d", g.p.Name, hint, g.labelSeq)
+}
+
+// scratch register management.
+func (g *gen) getInt() (int, error) {
+	if len(g.intFree) == 0 {
+		return 0, errf("integer expression too complex (scratch exhausted)")
+	}
+	r := g.intFree[len(g.intFree)-1]
+	g.intFree = g.intFree[:len(g.intFree)-1]
+	return r, nil
+}
+
+func (g *gen) getFlt() (int, error) {
+	if len(g.fltFree) == 0 {
+		return 0, errf("float expression too complex (scratch exhausted)")
+	}
+	r := g.fltFree[len(g.fltFree)-1]
+	g.fltFree = g.fltFree[:len(g.fltFree)-1]
+	return r, nil
+}
+
+func (g *gen) putInt(r int) {
+	if r >= scratchLo && r <= scratchHi {
+		g.intFree = append(g.intFree, r)
+	}
+}
+
+func (g *gen) putFlt(r int) {
+	if r >= scratchLo && r <= scratchHi {
+		g.fltFree = append(g.fltFree, r)
+	}
+}
+
+// isFloatType reports whether e computes in the FP unit.
+func isFloatType(t *ctype.Type) bool { return t != nil && t.IsFloat() }
+
+// ---------------------------------------------------------------- statements
+
+func (g *gen) stmts(list []il.Stmt) error {
+	for _, s := range list {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) stmt(s il.Stmt) error {
+	switch n := s.(type) {
+	case *il.Assign:
+		return g.assign(n)
+	case *il.Call:
+		return g.call(n)
+	case *il.If:
+		return g.ifStmt(n)
+	case *il.While:
+		return g.whileStmt(n)
+	case *il.DoLoop:
+		return g.doLoop(n)
+	case *il.DoParallel:
+		return g.doParallel(n)
+	case *il.VectorAssign:
+		return g.vectorAssign(n)
+	case *il.Goto:
+		g.emit(titan.Instr{Op: titan.OpJmp, Sym: ".L" + n.Target})
+		return nil
+	case *il.Label:
+		g.label(".L" + n.Name)
+		return nil
+	case *il.Return:
+		if n.Val != nil {
+			if isFloatType(n.Val.Type()) {
+				r, err := g.evalFlt(n.Val)
+				if err != nil {
+					return err
+				}
+				g.emit(titan.Instr{Op: titan.OpFmov, Rd: titan.RegRetFlt, Rs1: r})
+				g.putFlt(r)
+			} else {
+				r, err := g.evalInt(n.Val)
+				if err != nil {
+					return err
+				}
+				g.emit(titan.Instr{Op: titan.OpMov, Rd: regRet, Rs1: r})
+				g.putInt(r)
+			}
+		}
+		g.emit(titan.Instr{Op: titan.OpRet})
+		return nil
+	}
+	return errf("unhandled statement %T", s)
+}
+
+func (g *gen) assign(n *il.Assign) error {
+	switch dst := n.Dst.(type) {
+	case *il.VarRef:
+		v := &g.p.Vars[dst.ID]
+		loc := g.locs[dst.ID]
+		if isFloatType(v.Type) {
+			r, err := g.evalFlt(n.Src)
+			if err != nil {
+				return err
+			}
+			switch loc.kind {
+			case locFltReg:
+				g.emit(titan.Instr{Op: titan.OpFmov, Rd: loc.reg, Rs1: r})
+			default:
+				g.storeToLoc(loc, r, v.Type)
+			}
+			g.putFlt(r)
+			return nil
+		}
+		r, err := g.evalInt(n.Src)
+		if err != nil {
+			return err
+		}
+		switch loc.kind {
+		case locIntReg:
+			g.emit(titan.Instr{Op: titan.OpMov, Rd: loc.reg, Rs1: r})
+		default:
+			g.storeToLoc(loc, r, v.Type)
+		}
+		g.putInt(r)
+		return nil
+	case *il.Load:
+		addr, err := g.evalInt(dst.Addr)
+		if err != nil {
+			return err
+		}
+		t := dst.T
+		if isFloatType(t) {
+			val, err := g.evalFlt(n.Src)
+			if err != nil {
+				return err
+			}
+			op := titan.OpFst4
+			if t.Kind == ctype.Double {
+				op = titan.OpFst8
+			}
+			g.emit(titan.Instr{Op: op, Rs1: addr, Rs2: val})
+			g.putFlt(val)
+		} else {
+			val, err := g.evalInt(n.Src)
+			if err != nil {
+				return err
+			}
+			var op titan.Op
+			switch t.Size() {
+			case 1:
+				op = titan.OpSt1
+			case 2:
+				op = titan.OpSt2
+			default:
+				op = titan.OpSt4
+			}
+			g.emit(titan.Instr{Op: op, Rs1: addr, Rs2: val})
+			g.putInt(val)
+		}
+		g.putInt(addr)
+		return nil
+	}
+	return errf("bad assignment destination %T", n.Dst)
+}
+
+// storeToLoc stores register r (of var type t) to a stack or global
+// location.
+func (g *gen) storeToLoc(loc location, r int, t *ctype.Type) {
+	var base, off = regSP, loc.off
+	if loc.kind == locGlobal {
+		// Absolute addressing via scratch-free immediate base: use r0?
+		// Titan has no zero register; materialize in a scratch... store
+		// ops take (rs1 + imm); use rs1 = SP trick is wrong. Emit LDI into
+		// the reserved assembler temp r15? r15 may hold an argument.
+		// Reserve r7 as the assembler temporary (never otherwise used).
+		g.emit(titan.Instr{Op: titan.OpLdi, Rd: asmTemp, Imm: loc.off})
+		base, off = asmTemp, 0
+	}
+	if isFloatType(t) {
+		op := titan.OpFst4
+		if t.Kind == ctype.Double {
+			op = titan.OpFst8
+		}
+		g.emit(titan.Instr{Op: op, Rs1: base, Rs2: r, Imm: off})
+		return
+	}
+	var op titan.Op
+	switch t.Size() {
+	case 1:
+		op = titan.OpSt1
+	case 2:
+		op = titan.OpSt2
+	default:
+		op = titan.OpSt4
+	}
+	g.emit(titan.Instr{Op: op, Rs1: base, Rs2: r, Imm: off})
+}
+
+// asmTemp is a register reserved for assembler-level address
+// materialization.
+const asmTemp = 7
+
+func (g *gen) loadFromLoc(loc location, rd int, t *ctype.Type) {
+	base, off := regSP, loc.off
+	if loc.kind == locGlobal {
+		g.emit(titan.Instr{Op: titan.OpLdi, Rd: asmTemp, Imm: loc.off})
+		base, off = asmTemp, 0
+	}
+	if isFloatType(t) {
+		op := titan.OpFld4
+		if t.Kind == ctype.Double {
+			op = titan.OpFld8
+		}
+		g.emit(titan.Instr{Op: op, Rd: rd, Rs1: base, Imm: off})
+		return
+	}
+	var op titan.Op
+	switch t.Size() {
+	case 1:
+		op = titan.OpLd1
+	case 2:
+		op = titan.OpLd2
+	default:
+		op = titan.OpLd4
+	}
+	g.emit(titan.Instr{Op: op, Rd: rd, Rs1: base, Imm: off})
+}
+
+func (g *gen) call(n *il.Call) error {
+	if n.FunPtr != nil {
+		return errf("indirect calls are not supported by the code generator")
+	}
+	intArg, fltArg := 0, 0
+	for _, a := range n.Args {
+		if isFloatType(a.Type()) {
+			r, err := g.evalFlt(a)
+			if err != nil {
+				return err
+			}
+			g.emit(titan.Instr{Op: titan.OpFmov, Rd: titan.FRegArg0 + fltArg, Rs1: r})
+			g.emit(titan.Instr{Op: titan.OpFarg, Rs1: r})
+			g.putFlt(r)
+			fltArg++
+		} else {
+			r, err := g.evalInt(a)
+			if err != nil {
+				return err
+			}
+			g.emit(titan.Instr{Op: titan.OpMov, Rd: regArg0 + intArg, Rs1: r})
+			g.emit(titan.Instr{Op: titan.OpArg, Rs1: r})
+			g.putInt(r)
+			intArg++
+		}
+		if intArg > 7 || fltArg > 7 {
+			return errf("too many call arguments")
+		}
+	}
+	g.emit(titan.Instr{Op: titan.OpCall, Sym: n.Callee})
+	if n.Dst != il.NoVar {
+		v := &g.p.Vars[n.Dst]
+		loc := g.locs[n.Dst]
+		if isFloatType(v.Type) {
+			switch loc.kind {
+			case locFltReg:
+				g.emit(titan.Instr{Op: titan.OpFmov, Rd: loc.reg, Rs1: titan.RegRetFlt})
+			default:
+				g.storeToLoc(loc, titan.RegRetFlt, v.Type)
+			}
+		} else {
+			switch loc.kind {
+			case locIntReg:
+				g.emit(titan.Instr{Op: titan.OpMov, Rd: loc.reg, Rs1: regRet})
+			default:
+				g.storeToLoc(loc, regRet, v.Type)
+			}
+		}
+	}
+	return nil
+}
+
+func (g *gen) ifStmt(n *il.If) error {
+	cond, err := g.evalInt(n.Cond)
+	if err != nil {
+		return err
+	}
+	elseL := g.newLabel("else")
+	endL := g.newLabel("endif")
+	g.emit(titan.Instr{Op: titan.OpBeqz, Rs1: cond, Sym: elseL})
+	g.putInt(cond)
+	if err := g.stmts(n.Then); err != nil {
+		return err
+	}
+	if len(n.Else) > 0 {
+		g.emit(titan.Instr{Op: titan.OpJmp, Sym: endL})
+		g.label(elseL)
+		if err := g.stmts(n.Else); err != nil {
+			return err
+		}
+		g.label(endL)
+	} else {
+		g.label(elseL)
+	}
+	return nil
+}
+
+func (g *gen) whileStmt(n *il.While) error {
+	topL := g.newLabel("wtop")
+	endL := g.newLabel("wend")
+	g.label(topL)
+	cond, err := g.evalInt(n.Cond)
+	if err != nil {
+		return err
+	}
+	g.emit(titan.Instr{Op: titan.OpBeqz, Rs1: cond, Sym: endL})
+	g.putInt(cond)
+	if err := g.stmts(n.Body); err != nil {
+		return err
+	}
+	g.emit(titan.Instr{Op: titan.OpJmp, Sym: topL})
+	g.label(endL)
+	return nil
+}
+
+// loopRegs evaluates a DO loop's header into dedicated registers. The IV
+// gets its allocated variable register; limit lives in a scratch register
+// held for the loop's duration.
+func (g *gen) doLoop(n *il.DoLoop) error {
+	stepC, ok := il.IsIntConst(n.Step)
+	if !ok {
+		return errf("DO loop step must be a constant after optimization")
+	}
+	ivLoc := g.locs[n.IV]
+	if ivLoc.kind != locIntReg {
+		return errf("loop variable not in a register")
+	}
+	iv := ivLoc.reg
+	initR, err := g.evalInt(n.Init)
+	if err != nil {
+		return err
+	}
+	g.emit(titan.Instr{Op: titan.OpMov, Rd: iv, Rs1: initR})
+	g.putInt(initR)
+	limR, err := g.evalInt(n.Limit)
+	if err != nil {
+		return err
+	}
+	topL := g.newLabel("dtop")
+	endL := g.newLabel("dend")
+	g.label(topL)
+	t, err := g.getInt()
+	if err != nil {
+		return err
+	}
+	if stepC > 0 {
+		g.emit(titan.Instr{Op: titan.OpCmpGt, Rd: t, Rs1: iv, Rs2: limR})
+	} else {
+		g.emit(titan.Instr{Op: titan.OpCmpLt, Rd: t, Rs1: iv, Rs2: limR})
+	}
+	g.emit(titan.Instr{Op: titan.OpBnez, Rs1: t, Sym: endL})
+	g.putInt(t)
+	if err := g.stmts(n.Body); err != nil {
+		return err
+	}
+	g.emit(titan.Instr{Op: titan.OpAddi, Rd: iv, Rs1: iv, Imm: stepC})
+	g.emit(titan.Instr{Op: titan.OpJmp, Sym: topL})
+	g.label(endL)
+	g.putInt(limR)
+	return nil
+}
+
+// doParallel emits the §2 iteration-spreading shape: each processor starts
+// at init + pid·step and strides by nproc·step.
+func (g *gen) doParallel(n *il.DoParallel) error {
+	stepC, ok := il.IsIntConst(n.Step)
+	if !ok {
+		return errf("parallel loop step must be constant")
+	}
+	ivLoc := g.locs[n.IV]
+	if ivLoc.kind != locIntReg {
+		return errf("parallel loop variable not in a register")
+	}
+	iv := ivLoc.reg
+	initR, err := g.evalInt(n.Init)
+	if err != nil {
+		return err
+	}
+	limR, err := g.evalInt(n.Limit)
+	if err != nil {
+		return err
+	}
+	g.emit(titan.Instr{Op: titan.OpParBegin})
+	pid, err := g.getInt()
+	if err != nil {
+		return err
+	}
+	np, err := g.getInt()
+	if err != nil {
+		return err
+	}
+	g.emit(titan.Instr{Op: titan.OpPid, Rd: pid})
+	g.emit(titan.Instr{Op: titan.OpNproc, Rd: np})
+	// iv = init + pid*step
+	g.emit(titan.Instr{Op: titan.OpMuli, Rd: pid, Rs1: pid, Imm: stepC})
+	g.emit(titan.Instr{Op: titan.OpAdd, Rd: iv, Rs1: initR, Rs2: pid})
+	// stride = nproc * step (reuse np)
+	g.emit(titan.Instr{Op: titan.OpMuli, Rd: np, Rs1: np, Imm: stepC})
+	g.putInt(initR)
+	g.putInt(pid)
+
+	topL := g.newLabel("ptop")
+	endL := g.newLabel("pend")
+	g.label(topL)
+	t, err := g.getInt()
+	if err != nil {
+		return err
+	}
+	if stepC > 0 {
+		g.emit(titan.Instr{Op: titan.OpCmpGt, Rd: t, Rs1: iv, Rs2: limR})
+	} else {
+		g.emit(titan.Instr{Op: titan.OpCmpLt, Rd: t, Rs1: iv, Rs2: limR})
+	}
+	g.emit(titan.Instr{Op: titan.OpBnez, Rs1: t, Sym: endL})
+	g.putInt(t)
+	if err := g.stmts(n.Body); err != nil {
+		return err
+	}
+	g.emit(titan.Instr{Op: titan.OpAdd, Rd: iv, Rs1: iv, Rs2: np})
+	g.emit(titan.Instr{Op: titan.OpJmp, Sym: topL})
+	g.label(endL)
+	g.emit(titan.Instr{Op: titan.OpParEnd})
+	g.putInt(np)
+	g.putInt(limR)
+	return nil
+}
+
+// vectorAssign lowers one vector statement.
+func (g *gen) vectorAssign(n *il.VectorAssign) error {
+	lenR, err := g.evalInt(n.Len)
+	if err != nil {
+		return err
+	}
+	g.emit(titan.Instr{Op: titan.OpVsetl, Rs1: lenR})
+	g.putInt(lenR)
+	g.vecSlotNext = 0
+	var slot int
+	if containsVec(n.RHS) {
+		slot, err = g.vecExpr(n.RHS)
+		if err != nil {
+			return err
+		}
+	} else {
+		// Pure scalar right-hand side: broadcast it across the lanes.
+		sc, err := g.evalFltAny(n.RHS)
+		if err != nil {
+			return err
+		}
+		slot = g.nextSlot()
+		g.emit(titan.Instr{Op: titan.OpVbcast, Rd: slot, Rs1: sc})
+		g.putFlt(sc)
+	}
+	base, err := g.evalInt(n.DstBase)
+	if err != nil {
+		return err
+	}
+	stride, err := g.evalInt(n.DstStride)
+	if err != nil {
+		return err
+	}
+	g.emit(titan.Instr{Op: titan.OpVst, Rd: slot, Rs1: base, Rs2: stride, Imm: elemKind(n.Elem)})
+	g.putInt(base)
+	g.putInt(stride)
+	return nil
+}
+
+func elemKind(t *ctype.Type) int64 {
+	switch {
+	case t == nil:
+		return titan.ElemF32
+	case t.Kind == ctype.Double:
+		return titan.ElemF64
+	case t.IsInteger():
+		return titan.ElemI32
+	default:
+		return titan.ElemF32
+	}
+}
+
+// vecExpr generates a vector expression into a VRF slot. Scalar operands
+// broadcast through vector-scalar instructions.
+func (g *gen) vecExpr(e il.Expr) (int, error) {
+	switch n := e.(type) {
+	case *il.VecRef:
+		base, err := g.evalInt(n.Base)
+		if err != nil {
+			return 0, err
+		}
+		stride, err := g.evalInt(n.Stride)
+		if err != nil {
+			return 0, err
+		}
+		slot := g.nextSlot()
+		g.emit(titan.Instr{Op: titan.OpVld, Rd: slot, Rs1: base, Rs2: stride, Imm: elemKind(n.T)})
+		g.putInt(base)
+		g.putInt(stride)
+		return slot, nil
+	case *il.Cast:
+		// The VRF holds float64 internally; conversions are free.
+		return g.vecExpr(n.X)
+	case *il.Bin:
+		lVec := containsVec(n.L)
+		rVec := containsVec(n.R)
+		switch {
+		case lVec && rVec:
+			ls, err := g.vecExpr(n.L)
+			if err != nil {
+				return 0, err
+			}
+			rs, err := g.vecExpr(n.R)
+			if err != nil {
+				return 0, err
+			}
+			var op titan.Op
+			switch n.Op {
+			case il.OpAdd:
+				op = titan.OpVadd
+			case il.OpSub:
+				op = titan.OpVsub
+			case il.OpMul:
+				op = titan.OpVmul
+			case il.OpDiv:
+				op = titan.OpVdiv
+			default:
+				return 0, errf("vector operator %v unsupported", n.Op)
+			}
+			slot := g.nextSlot()
+			g.emit(titan.Instr{Op: op, Rd: slot, Rs1: ls, Rs2: rs})
+			return slot, nil
+		case lVec:
+			ls, err := g.vecExpr(n.L)
+			if err != nil {
+				return 0, err
+			}
+			sc, err := g.evalFltAny(n.R)
+			if err != nil {
+				return 0, err
+			}
+			var op titan.Op
+			switch n.Op {
+			case il.OpAdd:
+				op = titan.OpVadds
+			case il.OpSub:
+				op = titan.OpVsubs
+			case il.OpMul:
+				op = titan.OpVmuls
+			case il.OpDiv:
+				op = titan.OpVdivs
+			default:
+				return 0, errf("vector operator %v unsupported", n.Op)
+			}
+			slot := g.nextSlot()
+			g.emit(titan.Instr{Op: op, Rd: slot, Rs1: ls, Rs2: sc})
+			g.putFlt(sc)
+			return slot, nil
+		case rVec:
+			rs, err := g.vecExpr(n.R)
+			if err != nil {
+				return 0, err
+			}
+			sc, err := g.evalFltAny(n.L)
+			if err != nil {
+				return 0, err
+			}
+			var op titan.Op
+			switch n.Op {
+			case il.OpAdd:
+				op = titan.OpVadds
+			case il.OpMul:
+				op = titan.OpVmuls
+			case il.OpSub:
+				op = titan.OpVsubsr
+			case il.OpDiv:
+				op = titan.OpVdivsr
+			default:
+				return 0, errf("vector operator %v unsupported", n.Op)
+			}
+			slot := g.nextSlot()
+			g.emit(titan.Instr{Op: op, Rd: slot, Rs1: rs, Rs2: sc})
+			g.putFlt(sc)
+			return slot, nil
+		}
+	case *il.Un:
+		if n.Op == il.OpNeg && containsVec(n.X) {
+			xs, err := g.vecExpr(n.X)
+			if err != nil {
+				return 0, err
+			}
+			// 0 - v via reversed subtract.
+			sc, err := g.getFlt()
+			if err != nil {
+				return 0, err
+			}
+			g.emit(titan.Instr{Op: titan.OpFldi, Rd: sc, FImm: 0})
+			slot := g.nextSlot()
+			g.emit(titan.Instr{Op: titan.OpVsubsr, Rd: slot, Rs1: xs, Rs2: sc})
+			g.putFlt(sc)
+			return slot, nil
+		}
+	}
+	return 0, errf("expression %s is not a vector expression", e)
+}
+
+// evalFltAny evaluates a scalar operand (of any arithmetic type) into a
+// float register for broadcasting.
+func (g *gen) evalFltAny(e il.Expr) (int, error) {
+	if isFloatType(e.Type()) {
+		return g.evalFlt(e)
+	}
+	r, err := g.evalInt(e)
+	if err != nil {
+		return 0, err
+	}
+	fr, err := g.getFlt()
+	if err != nil {
+		return 0, err
+	}
+	g.emit(titan.Instr{Op: titan.OpCvtIF, Rd: fr, Rs1: r})
+	g.putInt(r)
+	return fr, nil
+}
+
+func containsVec(e il.Expr) bool {
+	found := false
+	il.WalkExpr(e, func(x il.Expr) bool {
+		if _, ok := x.(*il.VecRef); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (g *gen) nextSlot() int {
+	s := g.vecSlotNext
+	g.vecSlotNext += vecSlotStride
+	if g.vecSlotNext >= titan.VRFWords {
+		g.vecSlotNext = 0
+	}
+	return s
+}

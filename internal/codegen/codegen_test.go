@@ -1,0 +1,383 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ctype"
+	"repro/internal/il"
+	"repro/internal/lower"
+	"repro/internal/parser"
+	"repro/internal/sema"
+	"repro/internal/titan"
+)
+
+// gen compiles source to a Titan program without the IL optimizer, so the
+// tests see codegen's own output.
+func genProgram(t *testing.T, src string) *titan.Program {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	prog, err := lower.File(f, info)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	tp, err := Generate(prog)
+	if err != nil {
+		t.Fatalf("codegen: %v", err)
+	}
+	return tp
+}
+
+func runMain(t *testing.T, tp *titan.Program) titan.Result {
+	t.Helper()
+	m := titan.NewMachine(tp, 1)
+	r, err := m.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestGlobalLayout(t *testing.T) {
+	tp := genProgram(t, `
+char c1;
+double d;
+int i;
+float arr[10];
+int main(void) { return 0; }
+`)
+	// All globals 8-aligned, non-overlapping.
+	type g struct {
+		name string
+		size int64
+	}
+	sizes := map[string]int64{"c1": 1, "d": 8, "i": 4, "arr": 40}
+	for name, addr := range tp.GlobalAddr {
+		if addr%8 != 0 {
+			t.Errorf("%s at unaligned %d", name, addr)
+		}
+		for other, oaddr := range tp.GlobalAddr {
+			if other == name {
+				continue
+			}
+			if addr < oaddr+sizes[other] && oaddr < addr+sizes[name] {
+				t.Errorf("%s and %s overlap", name, other)
+			}
+		}
+	}
+	_ = g{}
+}
+
+func TestGlobalInitializersMaterialize(t *testing.T) {
+	tp := genProgram(t, `
+int answer = 42;
+float pi = 3.5;
+double tau = 7.0;
+int main(void) { return answer; }
+`)
+	if r := runMain(t, tp); r.ExitCode != 42 {
+		t.Errorf("exit %d", r.ExitCode)
+	}
+	tp2 := genProgram(t, `
+float pi = 3.5;
+int main(void) { if (pi == 3.5f) return 1; return 0; }
+`)
+	if r := runMain(t, tp2); r.ExitCode != 1 {
+		t.Errorf("float init wrong")
+	}
+}
+
+func TestStringData(t *testing.T) {
+	tp := genProgram(t, `
+char *msg(void) { return "xyz"; }
+int main(void) { char *p; p = msg(); return *p; }
+`)
+	if r := runMain(t, tp); r.ExitCode != 'x' {
+		t.Errorf("exit %d", r.ExitCode)
+	}
+}
+
+func TestParamPassing(t *testing.T) {
+	tp := genProgram(t, `
+int combine(int a, int b, int c, float x, float y) {
+	return a * 100 + b * 10 + c + (int)(x + y);
+}
+int main(void) { return combine(1, 2, 3, 1.5f, 2.5f); }
+`)
+	if r := runMain(t, tp); r.ExitCode != 127 {
+		t.Errorf("exit %d", r.ExitCode)
+	}
+}
+
+func TestAddrTakenLocalOnStack(t *testing.T) {
+	tp := genProgram(t, `
+void bump(int *p) { *p = *p + 1; }
+int main(void) {
+	int x;
+	x = 41;
+	bump(&x);
+	return x;
+}
+`)
+	if r := runMain(t, tp); r.ExitCode != 42 {
+		t.Errorf("exit %d", r.ExitCode)
+	}
+}
+
+func TestManyLocalsSpill(t *testing.T) {
+	// More scalar locals than variable registers: the excess lives on the
+	// stack and everything still computes.
+	var sb strings.Builder
+	sb.WriteString("int main(void) {\n")
+	for i := 0; i < 40; i++ {
+		sb.WriteString("int v")
+		sb.WriteByte(byte('0' + i/10))
+		sb.WriteByte(byte('0' + i%10))
+		sb.WriteString(";\n")
+	}
+	total := 0
+	for i := 0; i < 40; i++ {
+		sb.WriteString("v")
+		sb.WriteByte(byte('0' + i/10))
+		sb.WriteByte(byte('0' + i%10))
+		sb.WriteString(" = ")
+		sb.WriteString(itoa(i))
+		sb.WriteString(";\n")
+		total += i
+	}
+	sb.WriteString("return ")
+	for i := 0; i < 40; i++ {
+		if i > 0 {
+			sb.WriteString(" + ")
+		}
+		sb.WriteString("v")
+		sb.WriteByte(byte('0' + i/10))
+		sb.WriteByte(byte('0' + i%10))
+	}
+	sb.WriteString(";\n}\n")
+	tp := genProgram(t, sb.String())
+	if r := runMain(t, tp); r.ExitCode != int64(total) {
+		t.Errorf("exit %d want %d", r.ExitCode, total)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestDeepExpression(t *testing.T) {
+	// Sethi–Ullman ordering keeps scratch pressure bounded for
+	// right-leaning trees.
+	tp := genProgram(t, `
+int main(void) {
+	int a;
+	a = 1;
+	return a + (a + (a + (a + (a + (a + (a + (a + a)))))));
+}
+`)
+	if r := runMain(t, tp); r.ExitCode != 9 {
+		t.Errorf("exit %d", r.ExitCode)
+	}
+}
+
+func TestVectorAssignCodegen(t *testing.T) {
+	// Hand-build a proc with a VectorAssign and check the emitted ops.
+	p := il.NewProc("main", ctype.IntType)
+	prog := &il.Program{Procs: []*il.Proc{p}}
+	prog.AddGlobal(il.GlobalVar{Name: "a", Type: ctype.ArrayOf(ctype.FloatType, 64)})
+	prog.AddGlobal(il.GlobalVar{Name: "b", Type: ctype.ArrayOf(ctype.FloatType, 64)})
+	av := p.AddVar(il.Var{Name: "a", Type: ctype.ArrayOf(ctype.FloatType, 64), Class: il.ClassGlobal})
+	bv := p.AddVar(il.Var{Name: "b", Type: ctype.ArrayOf(ctype.FloatType, 64), Class: il.ClassGlobal})
+	pt := ctype.PointerTo(ctype.FloatType)
+	p.Body = []il.Stmt{
+		&il.VectorAssign{
+			DstBase:   &il.AddrOf{ID: av, T: pt},
+			DstStride: il.Int(4),
+			Len:       il.Int(64),
+			Elem:      ctype.FloatType,
+			RHS: &il.Bin{Op: il.OpMul,
+				L: &il.VecRef{Base: &il.AddrOf{ID: bv, T: pt}, Stride: il.Int(4), T: ctype.FloatType},
+				R: &il.ConstFloat{Val: 2, T: ctype.FloatType},
+				T: ctype.FloatType},
+		},
+		&il.Return{Val: il.Int(0)},
+	}
+	tp, err := Generate(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := tp.Funcs["main"].Disassemble()
+	for _, want := range []string{"vsetl", "vld", "vmuls", "vst"} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("missing %s:\n%s", want, asm)
+		}
+	}
+	if r := runMain(t, tp); r.FlopCount != 64 {
+		t.Errorf("flops %d", r.FlopCount)
+	}
+}
+
+func TestIndirectCallRejected(t *testing.T) {
+	src := `
+int deref(int (*f)(int)) { return f(1); }
+int main(void) { return 0; }
+`
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lower.File(f, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(prog); err == nil {
+		t.Error("indirect call should be a codegen error (documented limitation)")
+	}
+}
+
+// ------------------------------------------------------------- scheduler
+
+func TestScheduleHoistsLoads(t *testing.T) {
+	// Block: load; long FP chain using it; an independent load at the end.
+	// The scheduler should move the second load before the chain.
+	f := &titan.Func{Name: "f", Labels: map[string]int{}, Instrs: []titan.Instr{
+		{Op: titan.OpFld4, Rd: 20, Rs1: 32},          // load A
+		{Op: titan.OpFadd, Rd: 21, Rs1: 20, Rs2: 20}, // chain
+		{Op: titan.OpFadd, Rd: 22, Rs1: 21, Rs2: 21}, // chain
+		{Op: titan.OpFld4, Rd: 23, Rs1: 33},          // independent load B
+		{Op: titan.OpRet},
+	}}
+	tp := &titan.Program{Funcs: map[string]*titan.Func{"f": f}}
+	Schedule(tp)
+	// Load B must now appear before the second fadd.
+	posB, posAdd2 := -1, -1
+	for i, in := range f.Instrs {
+		if in.Op == titan.OpFld4 && in.Rd == 23 {
+			posB = i
+		}
+		if in.Op == titan.OpFadd && in.Rd == 22 {
+			posAdd2 = i
+		}
+	}
+	if posB > posAdd2 {
+		t.Errorf("load not hoisted: %v", f.Instrs)
+	}
+}
+
+func TestSchedulePreservesStoreOrder(t *testing.T) {
+	f := &titan.Func{Name: "f", Labels: map[string]int{}, Instrs: []titan.Instr{
+		{Op: titan.OpSt4, Rs1: 32, Rs2: 33},         // store 1
+		{Op: titan.OpLd4, Rd: 20, Rs1: 32},          // load after store
+		{Op: titan.OpSt4, Rs1: 32, Rs2: 20, Imm: 4}, // store 2 (uses load)
+		{Op: titan.OpRet},
+	}}
+	tp := &titan.Program{Funcs: map[string]*titan.Func{"f": f}}
+	Schedule(tp)
+	var ops []titan.Op
+	for _, in := range f.Instrs {
+		ops = append(ops, in.Op)
+	}
+	want := []titan.Op{titan.OpSt4, titan.OpLd4, titan.OpSt4, titan.OpRet}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("memory order changed: %v", ops)
+		}
+	}
+}
+
+func TestScheduleKeepsLabelsCorrect(t *testing.T) {
+	// A loop whose label must keep pointing at the loop top after
+	// reordering.
+	f := &titan.Func{Name: "f", Labels: map[string]int{"top": 2}, Instrs: []titan.Instr{
+		{Op: titan.OpLdi, Rd: 32, Imm: 3},
+		{Op: titan.OpLdi, Rd: 33, Imm: 0},
+		// top:
+		{Op: titan.OpAdd, Rd: 33, Rs1: 33, Rs2: 32},
+		{Op: titan.OpAddi, Rd: 32, Rs1: 32, Imm: -1},
+		{Op: titan.OpBnez, Rs1: 32, Sym: "top"},
+		{Op: titan.OpMov, Rd: titan.RegRetInt, Rs1: 33},
+		{Op: titan.OpRet},
+	}}
+	tp := &titan.Program{Funcs: map[string]*titan.Func{"main": f}}
+	Schedule(tp)
+	m := titan.NewMachine(&titan.Program{Funcs: map[string]*titan.Func{"main": f}, MemSize: 1 << 16}, 1)
+	r, err := m.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ExitCode != 6 { // 3+2+1
+		t.Errorf("exit %d (labels broken?)", r.ExitCode)
+	}
+}
+
+// ------------------------------------------------------------- peephole
+
+func TestPeepholeCoalescesMoves(t *testing.T) {
+	tp := genProgram(t, `
+int main(void) {
+	int a, b;
+	a = 1;
+	b = a + 2;
+	return b;
+}
+`)
+	asm := tp.Funcs["main"].Disassemble()
+	// The addi result should target the variable register directly; no
+	// mov between scratch and variable remains for this pattern.
+	if strings.Count(asm, "mov") > 1 { // only the return mov may remain
+		t.Errorf("moves not coalesced:\n%s", asm)
+	}
+	if r := runMain(t, tp); r.ExitCode != 3 {
+		t.Errorf("exit %d", r.ExitCode)
+	}
+}
+
+func TestPeepholeKeepsArgMoves(t *testing.T) {
+	// The scratch feeding ARG must not be clobbered by coalescing.
+	tp := genProgram(t, `
+int printf(char *fmt, ...);
+int main(void) { printf("%d", 7); return 0; }
+`)
+	if r := runMain(t, tp); r.Output != "7" {
+		t.Errorf("output %q", r.Output)
+	}
+}
+
+func TestFrameRestoredAcrossCalls(t *testing.T) {
+	tp := genProgram(t, `
+int helper(int x) {
+	int arr[4];
+	arr[0] = x;
+	arr[1] = x + 1;
+	return arr[0] + arr[1];
+}
+int main(void) {
+	int a[4];
+	a[0] = 10;
+	a[1] = helper(5);
+	return a[0] + a[1];
+}
+`)
+	if r := runMain(t, tp); r.ExitCode != 21 {
+		t.Errorf("exit %d", r.ExitCode)
+	}
+}

@@ -1,0 +1,134 @@
+package codegen
+
+// Copy coalescing: the expression generator evaluates into scratch
+// registers and then moves results into variable registers, producing
+//
+//	addi r16, r43, 4        fadd f16, f40, f41
+//	mov  r43, r16           fmov f40, f16
+//
+// pairs. The peephole rewrites the defining instruction to target the
+// variable register directly and deletes the move, provided the scratch
+// value has no later use. Beyond code size, this matters for timing: a
+// trailing fmov adds a full FP-unit latency to every loop-carried
+// recurrence (the §6 f_reg chain).
+
+import "repro/internal/titan"
+
+// Peephole runs local cleanups over every function.
+func Peephole(tp *titan.Program) {
+	for _, f := range tp.Funcs {
+		coalesceCopies(f)
+	}
+}
+
+func coalesceCopies(f *titan.Func) {
+	// Branch targets invalidate adjacency assumptions.
+	isTarget := make([]bool, len(f.Instrs)+1)
+	for _, idx := range f.Labels {
+		isTarget[idx] = true
+	}
+
+	removed := map[int]bool{}
+	for i := 0; i+1 < len(f.Instrs); i++ {
+		if removed[i] || isTarget[i+1] {
+			continue
+		}
+		mv := f.Instrs[i+1]
+		var isFlt bool
+		switch mv.Op {
+		case titan.OpMov:
+			isFlt = false
+		case titan.OpFmov:
+			isFlt = true
+		default:
+			continue
+		}
+		s := mv.Rs1
+		if s < scratchLo || s > scratchHi {
+			continue
+		}
+		def := &f.Instrs[i]
+		if !writesReg(*def, s, isFlt) {
+			continue
+		}
+		// The scratch value must not be read again before its next write
+		// (or a control transfer, which conservatively blocks).
+		if scratchLiveAfter(f, i+2, s, isFlt, isTarget) {
+			continue
+		}
+		def.Rd = mv.Rd
+		removed[i+1] = true
+	}
+	if len(removed) == 0 {
+		return
+	}
+	var out []titan.Instr
+	oldToNew := make([]int, len(f.Instrs)+1)
+	for i, in := range f.Instrs {
+		oldToNew[i] = len(out)
+		if removed[i] {
+			continue
+		}
+		out = append(out, in)
+	}
+	oldToNew[len(f.Instrs)] = len(out)
+	for l, idx := range f.Labels {
+		f.Labels[l] = oldToNew[idx]
+	}
+	f.Instrs = out
+}
+
+// writesReg reports whether the instruction's destination is register r of
+// the given file.
+func writesReg(in titan.Instr, r int, flt bool) bool {
+	defs, _ := defsUses(in)
+	want := rcInt
+	if flt {
+		want = rcFlt
+	}
+	for _, d := range defs {
+		if d.class == want && d.num == r {
+			return true
+		}
+	}
+	return false
+}
+
+// scratchLiveAfter reports whether register s may be read at or after
+// position i before being rewritten.
+//
+// The scan exploits a code-generator invariant: scratch registers from the
+// free pool never carry values across statement boundaries, and registers
+// held across a region (a DO loop's limit register, a parallel loop's
+// stride) are removed from the pool for the region's duration, so they can
+// never be the destination of a coalescing candidate. A control transfer
+// or label therefore ends the scratch's live range.
+func scratchLiveAfter(f *titan.Func, i int, s int, flt bool, isTarget []bool) bool {
+	want := rcInt
+	if flt {
+		want = rcFlt
+	}
+	for ; i < len(f.Instrs); i++ {
+		if isTarget[i] {
+			return false // statement boundary: pool scratches are dead
+		}
+		in := f.Instrs[i]
+		defs, uses := defsUses(in)
+		for _, u := range uses {
+			if u.class == want && u.num == s {
+				return true
+			}
+		}
+		for _, d := range defs {
+			if d.class == want && d.num == s {
+				return false // rewritten before any read
+			}
+		}
+		switch in.Op {
+		case titan.OpJmp, titan.OpBeqz, titan.OpBnez, titan.OpRet, titan.OpHalt,
+			titan.OpCall, titan.OpParBegin, titan.OpParEnd:
+			return false // statement boundary
+		}
+	}
+	return false
+}

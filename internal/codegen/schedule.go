@@ -1,0 +1,345 @@
+package codegen
+
+// This file implements §6's instruction scheduling: within each basic
+// block, instructions are list-scheduled by critical-path priority so that
+// independent integer and floating-point instructions interleave and loads
+// issue as early as their operands allow. The Titan dispatches in order,
+// one instruction per cycle at best, so emission order is the schedule —
+// hoisting loads above a dependent FP chain hides the memory latency, and
+// mixing pointer bumps between FP operations fills the integer unit's
+// otherwise idle slots ("changing the instruction order so that integer
+// and floating point instructions overlap and so that memory access and
+// computation overlap can provide a significant speedup in many
+// programs", §2).
+//
+// Memory ordering is conservative: stores order against all other memory
+// operations; loads reorder freely with loads. The dependence information
+// that justified more aggressive reordering at the IL level has already
+// been spent (register promotion removed the conflicting references), so
+// the conservative rule loses nothing on the §6 workloads.
+
+import "repro/internal/titan"
+
+// Schedule reorders every function's basic blocks in place.
+func Schedule(tp *titan.Program) {
+	for _, f := range tp.Funcs {
+		scheduleFunc(f)
+	}
+}
+
+func scheduleFunc(f *titan.Func) {
+	// Block boundaries: label targets and control transfers.
+	isTarget := make([]bool, len(f.Instrs)+1)
+	for _, idx := range f.Labels {
+		isTarget[idx] = true
+	}
+	var out []titan.Instr
+	// oldToNew maps old block-start indices to new positions; labels only
+	// ever point at block starts (label targets force boundaries).
+	oldToNew := map[int]int{}
+
+	flush := func(block []titan.Instr, oldStart int) {
+		oldToNew[oldStart] = len(out)
+		order := scheduleBlock(block)
+		for _, oi := range order {
+			out = append(out, block[oi])
+		}
+	}
+
+	start := 0
+	for i := 0; i <= len(f.Instrs); i++ {
+		atEnd := i == len(f.Instrs)
+		if !atEnd && isTarget[i] {
+			if i > start {
+				flush(f.Instrs[start:i], start)
+			}
+			oldToNew[i] = len(out)
+			start = i
+		}
+		if atEnd {
+			if i > start {
+				flush(f.Instrs[start:i], start)
+			}
+			oldToNew[i] = len(out)
+			break
+		}
+		if isControl(f.Instrs[i].Op) {
+			// Schedule the straight-line prefix, keep the control
+			// instruction as the block terminator.
+			if i > start {
+				flush(f.Instrs[start:i], start)
+			}
+			oldToNew[i] = len(out)
+			out = append(out, f.Instrs[i])
+			start = i + 1
+		}
+	}
+
+	// Remap labels. Every label target was recorded as a block start or a
+	// control-instruction position.
+	newLabels := make(map[string]int, len(f.Labels))
+	for l, idx := range f.Labels {
+		n, ok := oldToNew[idx]
+		if !ok {
+			// Defensive: leave the function unscheduled rather than emit
+			// a wrong branch target.
+			return
+		}
+		newLabels[l] = n
+	}
+	f.Labels = newLabels
+	f.Instrs = out
+}
+
+func isControl(op titan.Op) bool {
+	switch op {
+	case titan.OpJmp, titan.OpBeqz, titan.OpBnez, titan.OpCall, titan.OpRet,
+		titan.OpHalt, titan.OpParBegin, titan.OpParEnd, titan.OpArg, titan.OpFarg:
+		return true
+	}
+	return false
+}
+
+// regClass distinguishes the register files for dependence tracking.
+type regClass int
+
+const (
+	rcInt regClass = iota
+	rcFlt
+	rcVec
+	rcVL // the vector length register
+)
+
+type regRef struct {
+	class regClass
+	num   int
+}
+
+// defsUses returns the registers an instruction writes and reads.
+func defsUses(in titan.Instr) (defs, uses []regRef) {
+	ir := func(n int) regRef { return regRef{rcInt, n} }
+	fr := func(n int) regRef { return regRef{rcFlt, n} }
+	vr := func(n int) regRef { return regRef{rcVec, n} }
+	switch in.Op {
+	case titan.OpLdi:
+		defs = append(defs, ir(in.Rd))
+	case titan.OpFldi:
+		defs = append(defs, fr(in.Rd))
+	case titan.OpMov, titan.OpNeg, titan.OpNot, titan.OpBnot, titan.OpAddi, titan.OpMuli:
+		defs = append(defs, ir(in.Rd))
+		uses = append(uses, ir(in.Rs1))
+	case titan.OpAdd, titan.OpSub, titan.OpMul, titan.OpDiv, titan.OpRem,
+		titan.OpAnd, titan.OpOr, titan.OpXor, titan.OpShl, titan.OpShr,
+		titan.OpCmpEq, titan.OpCmpNe, titan.OpCmpLt, titan.OpCmpLe,
+		titan.OpCmpGt, titan.OpCmpGe:
+		defs = append(defs, ir(in.Rd))
+		uses = append(uses, ir(in.Rs1), ir(in.Rs2))
+	case titan.OpPid, titan.OpNproc:
+		defs = append(defs, ir(in.Rd))
+	case titan.OpLd1, titan.OpLd2, titan.OpLd4:
+		defs = append(defs, ir(in.Rd))
+		uses = append(uses, ir(in.Rs1))
+	case titan.OpSt1, titan.OpSt2, titan.OpSt4:
+		uses = append(uses, ir(in.Rs1), ir(in.Rs2))
+	case titan.OpFld4, titan.OpFld8:
+		defs = append(defs, fr(in.Rd))
+		uses = append(uses, ir(in.Rs1))
+	case titan.OpFst4, titan.OpFst8:
+		uses = append(uses, ir(in.Rs1), fr(in.Rs2))
+	case titan.OpFmov, titan.OpFneg:
+		defs = append(defs, fr(in.Rd))
+		uses = append(uses, fr(in.Rs1))
+	case titan.OpFadd, titan.OpFsub, titan.OpFmul, titan.OpFdiv:
+		defs = append(defs, fr(in.Rd))
+		uses = append(uses, fr(in.Rs1), fr(in.Rs2))
+	case titan.OpFcmpEq, titan.OpFcmpNe, titan.OpFcmpLt, titan.OpFcmpLe,
+		titan.OpFcmpGt, titan.OpFcmpGe:
+		defs = append(defs, ir(in.Rd))
+		uses = append(uses, fr(in.Rs1), fr(in.Rs2))
+	case titan.OpCvtIF:
+		defs = append(defs, fr(in.Rd))
+		uses = append(uses, ir(in.Rs1))
+	case titan.OpCvtFI:
+		defs = append(defs, ir(in.Rd))
+		uses = append(uses, fr(in.Rs1))
+	case titan.OpVsetl:
+		defs = append(defs, regRef{rcVL, 0})
+		uses = append(uses, ir(in.Rs1))
+	case titan.OpVld:
+		defs = append(defs, vr(in.Rd))
+		uses = append(uses, ir(in.Rs1), ir(in.Rs2), regRef{rcVL, 0})
+	case titan.OpVst:
+		uses = append(uses, vr(in.Rd), ir(in.Rs1), ir(in.Rs2), regRef{rcVL, 0})
+	case titan.OpVadd, titan.OpVsub, titan.OpVmul, titan.OpVdiv:
+		defs = append(defs, vr(in.Rd))
+		uses = append(uses, vr(in.Rs1), vr(in.Rs2), regRef{rcVL, 0})
+	case titan.OpVadds, titan.OpVsubs, titan.OpVsubsr, titan.OpVmuls,
+		titan.OpVdivs, titan.OpVdivsr:
+		defs = append(defs, vr(in.Rd))
+		uses = append(uses, vr(in.Rs1), fr(in.Rs2), regRef{rcVL, 0})
+	case titan.OpVmov:
+		defs = append(defs, vr(in.Rd))
+		uses = append(uses, vr(in.Rs1), regRef{rcVL, 0})
+	case titan.OpVbcast:
+		defs = append(defs, vr(in.Rd))
+		uses = append(uses, fr(in.Rs1), regRef{rcVL, 0})
+	case titan.OpArg, titan.OpBeqz, titan.OpBnez:
+		uses = append(uses, ir(in.Rs1))
+	case titan.OpFarg:
+		uses = append(uses, fr(in.Rs1))
+	}
+	return defs, uses
+}
+
+func isLoad(op titan.Op) bool {
+	switch op {
+	case titan.OpLd1, titan.OpLd2, titan.OpLd4, titan.OpFld4, titan.OpFld8, titan.OpVld:
+		return true
+	}
+	return false
+}
+
+func isStore(op titan.Op) bool {
+	switch op {
+	case titan.OpSt1, titan.OpSt2, titan.OpSt4, titan.OpFst4, titan.OpFst8, titan.OpVst:
+		return true
+	}
+	return false
+}
+
+// latencyOf estimates result latency for priority computation.
+func latencyOf(op titan.Op) int {
+	switch op {
+	case titan.OpMul, titan.OpMuli:
+		return 4
+	case titan.OpDiv, titan.OpRem:
+		return 12
+	case titan.OpLd1, titan.OpLd2, titan.OpLd4, titan.OpFld4, titan.OpFld8:
+		return 6
+	case titan.OpFadd, titan.OpFsub, titan.OpFmul, titan.OpFneg,
+		titan.OpCvtIF, titan.OpCvtFI, titan.OpFmov, titan.OpFldi:
+		return 6
+	case titan.OpFdiv:
+		return 18
+	case titan.OpVld, titan.OpVst, titan.OpVadd, titan.OpVsub, titan.OpVmul,
+		titan.OpVadds, titan.OpVsubs, titan.OpVsubsr, titan.OpVmuls, titan.OpVbcast:
+		return 16
+	case titan.OpVdiv, titan.OpVdivs, titan.OpVdivsr:
+		return 32
+	default:
+		return 1
+	}
+}
+
+// scheduleBlock returns a legal execution order (indices into block) that
+// greedily minimizes the in-order dispatch makespan: list scheduling with
+// critical-path priority.
+func scheduleBlock(block []titan.Instr) []int {
+	n := len(block)
+	if n <= 2 {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return order
+	}
+
+	// Build dependences.
+	succ := make([][]int, n)
+	npred := make([]int, n)
+	addEdge := func(a, b int) {
+		succ[a] = append(succ[a], b)
+		npred[b]++
+	}
+	lastDef := map[regRef]int{}
+	lastUses := map[regRef][]int{}
+	lastStore := -1
+	var loadsSinceStore []int
+	for i := 0; i < n; i++ {
+		defs, uses := defsUses(block[i])
+		for _, u := range uses {
+			if d, ok := lastDef[u]; ok {
+				addEdge(d, i) // RAW
+			}
+			lastUses[u] = append(lastUses[u], i)
+		}
+		for _, d := range defs {
+			if pd, ok := lastDef[d]; ok {
+				addEdge(pd, i) // WAW
+			}
+			for _, u := range lastUses[d] {
+				if u != i {
+					addEdge(u, i) // WAR
+				}
+			}
+			lastDef[d] = i
+			lastUses[d] = nil
+		}
+		// Memory ordering.
+		op := block[i].Op
+		if isStore(op) {
+			if lastStore >= 0 {
+				addEdge(lastStore, i)
+			}
+			for _, l := range loadsSinceStore {
+				addEdge(l, i)
+			}
+			lastStore = i
+			loadsSinceStore = nil
+		} else if isLoad(op) {
+			if lastStore >= 0 {
+				addEdge(lastStore, i)
+			}
+			loadsSinceStore = append(loadsSinceStore, i)
+		}
+	}
+
+	// Critical-path priority: longest latency-weighted path to any sink.
+	// Loads get a small bonus — a load whose consumer lives in a later
+	// block has no in-block successors, yet issuing it early still hides
+	// its latency downstream.
+	prio := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		best := 0
+		for _, s := range succ[i] {
+			if prio[s] > best {
+				best = prio[s]
+			}
+		}
+		prio[i] = best + latencyOf(block[i].Op)
+		if isLoad(block[i].Op) {
+			prio[i] += 2
+		}
+	}
+
+	// List schedule: among ready instructions pick highest priority,
+	// breaking ties by original order (stability).
+	order := make([]int, 0, n)
+	scheduled := make([]bool, n)
+	for len(order) < n {
+		best := -1
+		for i := 0; i < n; i++ {
+			if scheduled[i] || npred[i] > 0 {
+				continue
+			}
+			if best == -1 || prio[i] > prio[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			// Cycle (cannot happen with a well-formed DAG); bail out to
+			// original order for safety.
+			order = order[:0]
+			for i := 0; i < n; i++ {
+				order = append(order, i)
+			}
+			return order
+		}
+		scheduled[best] = true
+		order = append(order, best)
+		for _, s := range succ[best] {
+			npred[s]--
+		}
+	}
+	return order
+}

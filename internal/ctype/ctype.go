@@ -1,0 +1,410 @@
+// Package ctype implements the C type system shared by the front end and
+// the intermediate language.
+//
+// The Titan, like most word-addressed vector machines of its era, gives the
+// compiler a simple data model: the IL distinguishes a single integer width
+// (32-bit int, which char/short/long collapse to after loading) and two
+// float widths. Types here retain the full C surface (so sizeof and pointer
+// arithmetic scale correctly) while mapping onto that model.
+package ctype
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates types.
+type Kind int
+
+// Type kinds.
+const (
+	Void Kind = iota
+	Char
+	Short
+	Int
+	Long
+	Float
+	Double
+	Pointer
+	Array
+	Func
+	Struct
+	Union
+	Enum
+)
+
+// Sizes in bytes. The Titan model uses 4-byte words; double is two words.
+const (
+	CharSize    = 1
+	ShortSize   = 2
+	IntSize     = 4
+	LongSize    = 4
+	FloatSize   = 4
+	DoubleSize  = 8
+	PointerSize = 4
+)
+
+// Field is one member of a struct or union.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int // byte offset within the aggregate
+}
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// Type is a C type. Types are immutable after construction; share freely.
+type Type struct {
+	Kind     Kind
+	Unsigned bool  // for integer kinds
+	Elem     *Type // Pointer: pointee; Array: element
+	Len      int   // Array: element count (-1 if unknown, e.g. param decay source)
+
+	// Func.
+	Ret      *Type
+	Params   []Param
+	Variadic bool
+	// OldStyle marks a function declared with an empty parameter list
+	// "f()" — unknown arguments, K&R style.
+	OldStyle bool
+
+	// Struct/Union/Enum.
+	Tag    string
+	Fields []Field
+	size   int // computed aggregate size
+
+	// Qualifiers.
+	Volatile bool
+	Const    bool
+}
+
+// Predeclared singleton types for the common cases. Qualified or derived
+// types are built with the constructor functions.
+var (
+	VoidType   = &Type{Kind: Void}
+	CharType   = &Type{Kind: Char}
+	UCharType  = &Type{Kind: Char, Unsigned: true}
+	ShortType  = &Type{Kind: Short}
+	IntType    = &Type{Kind: Int}
+	UIntType   = &Type{Kind: Int, Unsigned: true}
+	LongType   = &Type{Kind: Long}
+	FloatType  = &Type{Kind: Float}
+	DoubleType = &Type{Kind: Double}
+)
+
+// PointerTo returns a pointer type to elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: Pointer, Elem: elem} }
+
+// ArrayOf returns an array type of n elems.
+func ArrayOf(elem *Type, n int) *Type { return &Type{Kind: Array, Elem: elem, Len: n} }
+
+// FuncOf returns a function type.
+func FuncOf(ret *Type, params []Param, variadic bool) *Type {
+	return &Type{Kind: Func, Ret: ret, Params: params, Variadic: variadic}
+}
+
+// StructOf returns a struct type with fields laid out at word-aligned
+// offsets (char packs at byte granularity; everything else aligns to its
+// size, capped at word size, as on the Titan).
+func StructOf(tag string, fields []Field) *Type {
+	t := &Type{Kind: Struct, Tag: tag}
+	off := 0
+	for _, f := range fields {
+		a := alignOf(f.Type)
+		off = alignUp(off, a)
+		f.Offset = off
+		off += f.Type.Size()
+		t.Fields = append(t.Fields, f)
+	}
+	t.size = alignUp(off, alignOf(t))
+	return t
+}
+
+// UnionOf returns a union type: all fields at offset zero, size of largest.
+func UnionOf(tag string, fields []Field) *Type {
+	t := &Type{Kind: Union, Tag: tag}
+	size := 0
+	for _, f := range fields {
+		f.Offset = 0
+		t.Fields = append(t.Fields, f)
+		if s := f.Type.Size(); s > size {
+			size = s
+		}
+	}
+	t.size = alignUp(size, alignOf(t))
+	return t
+}
+
+// Qualified returns a copy of t with the given qualifiers OR-ed in.
+// It returns t itself when nothing changes.
+func Qualified(t *Type, volatile, cnst bool) *Type {
+	if (t.Volatile || !volatile) && (t.Const || !cnst) {
+		return t
+	}
+	q := *t
+	q.Volatile = t.Volatile || volatile
+	q.Const = t.Const || cnst
+	return &q
+}
+
+func alignUp(n, a int) int {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+func alignOf(t *Type) int {
+	switch t.Kind {
+	case Char:
+		return 1
+	case Short:
+		return 2
+	case Double:
+		return 4 // word-aligned doubles, Titan-style
+	case Struct, Union:
+		a := 1
+		for _, f := range t.Fields {
+			if fa := alignOf(f.Type); fa > a {
+				a = fa
+			}
+		}
+		return a
+	case Array:
+		return alignOf(t.Elem)
+	default:
+		return 4
+	}
+}
+
+// Size returns sizeof(t) in bytes.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case Void:
+		return 0
+	case Char:
+		return CharSize
+	case Short:
+		return ShortSize
+	case Int, Enum:
+		return IntSize
+	case Long:
+		return LongSize
+	case Float:
+		return FloatSize
+	case Double:
+		return DoubleSize
+	case Pointer:
+		return PointerSize
+	case Array:
+		if t.Len < 0 {
+			return PointerSize
+		}
+		return t.Len * t.Elem.Size()
+	case Struct, Union:
+		return t.size
+	case Func:
+		return PointerSize
+	}
+	panic(fmt.Sprintf("ctype: Size of unknown kind %d", t.Kind))
+}
+
+// IsInteger reports whether t is an integer type (char..long or enum).
+func (t *Type) IsInteger() bool {
+	switch t.Kind {
+	case Char, Short, Int, Long, Enum:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether t is float or double.
+func (t *Type) IsFloat() bool { return t.Kind == Float || t.Kind == Double }
+
+// IsArith reports whether t is an arithmetic (integer or floating) type.
+func (t *Type) IsArith() bool { return t.IsInteger() || t.IsFloat() }
+
+// IsScalar reports whether t is arithmetic or a pointer — usable in a
+// boolean context.
+func (t *Type) IsScalar() bool { return t.IsArith() || t.Kind == Pointer }
+
+// IsAggregate reports whether t is a struct or union.
+func (t *Type) IsAggregate() bool { return t.Kind == Struct || t.Kind == Union }
+
+// Decay returns the type after array-to-pointer and function-to-pointer
+// decay, as happens in rvalue contexts.
+func (t *Type) Decay() *Type {
+	switch t.Kind {
+	case Array:
+		return PointerTo(t.Elem)
+	case Func:
+		return PointerTo(t)
+	}
+	return t
+}
+
+// Field returns the field with the given name, or nil.
+func (t *Type) Field(name string) *Field {
+	for i := range t.Fields {
+		if t.Fields[i].Name == name {
+			return &t.Fields[i]
+		}
+	}
+	return nil
+}
+
+// Compatible reports whether a and b are compatible enough for assignment
+// and comparison purposes in this compiler: identical kinds with compatible
+// components, any-pointer ↔ void-pointer, and arithmetic ↔ arithmetic.
+func Compatible(a, b *Type) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if a.IsArith() && b.IsArith() {
+		return true
+	}
+	if a.Kind == Pointer && b.Kind == Pointer {
+		if a.Elem.Kind == Void || b.Elem.Kind == Void {
+			return true
+		}
+		return Compatible(a.Elem, b.Elem) || a.Elem.Kind == b.Elem.Kind
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case Struct, Union:
+		return a == b || (a.Tag != "" && a.Tag == b.Tag)
+	case Func:
+		return true // checked at call sites
+	}
+	return true
+}
+
+// Common returns the usual-arithmetic-conversions result type for a binary
+// operation over a and b. Pointers win over integers (pointer arithmetic);
+// double > float > long/int.
+func Common(a, b *Type) *Type {
+	if a.Kind == Pointer || a.Kind == Array {
+		return a.Decay()
+	}
+	if b.Kind == Pointer || b.Kind == Array {
+		return b.Decay()
+	}
+	if a.Kind == Double || b.Kind == Double {
+		return DoubleType
+	}
+	if a.Kind == Float || b.Kind == Float {
+		return FloatType
+	}
+	if a.Unsigned || b.Unsigned {
+		return UIntType
+	}
+	return IntType
+}
+
+// Cell is one scalar storage cell within a (possibly aggregate) type.
+type Cell struct {
+	Offset int
+	Type   *Type
+}
+
+// ScalarCells flattens a type into its scalar cells in layout order:
+// arrays contribute their elements, structs their fields, unions their
+// first member. Scalars yield a single cell at offset 0. This is the
+// traversal brace initializers follow.
+func ScalarCells(t *Type) []Cell {
+	var out []Cell
+	var walk func(t *Type, base int)
+	walk = func(t *Type, base int) {
+		switch t.Kind {
+		case Array:
+			n := t.Len
+			if n < 0 {
+				n = 0
+			}
+			for i := 0; i < n; i++ {
+				walk(t.Elem, base+i*t.Elem.Size())
+			}
+		case Struct:
+			for _, f := range t.Fields {
+				walk(f.Type, base+f.Offset)
+			}
+		case Union:
+			if len(t.Fields) > 0 {
+				walk(t.Fields[0].Type, base+t.Fields[0].Offset)
+			}
+		default:
+			out = append(out, Cell{Offset: base, Type: t})
+		}
+	}
+	walk(t, 0)
+	return out
+}
+
+// String renders the type in C-like notation.
+func (t *Type) String() string {
+	var sb strings.Builder
+	if t.Volatile {
+		sb.WriteString("volatile ")
+	}
+	if t.Const {
+		sb.WriteString("const ")
+	}
+	switch t.Kind {
+	case Void:
+		sb.WriteString("void")
+	case Char:
+		if t.Unsigned {
+			sb.WriteString("unsigned ")
+		}
+		sb.WriteString("char")
+	case Short:
+		sb.WriteString("short")
+	case Int:
+		if t.Unsigned {
+			sb.WriteString("unsigned ")
+		}
+		sb.WriteString("int")
+	case Long:
+		sb.WriteString("long")
+	case Float:
+		sb.WriteString("float")
+	case Double:
+		sb.WriteString("double")
+	case Pointer:
+		fmt.Fprintf(&sb, "%s*", t.Elem)
+	case Array:
+		if t.Len < 0 {
+			fmt.Fprintf(&sb, "%s[]", t.Elem)
+		} else {
+			fmt.Fprintf(&sb, "%s[%d]", t.Elem, t.Len)
+		}
+	case Func:
+		fmt.Fprintf(&sb, "%s(", t.Ret)
+		for i, p := range t.Params {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(p.Type.String())
+		}
+		if t.Variadic {
+			if len(t.Params) > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString("...")
+		}
+		sb.WriteString(")")
+	case Struct:
+		fmt.Fprintf(&sb, "struct %s", t.Tag)
+	case Union:
+		fmt.Fprintf(&sb, "union %s", t.Tag)
+	case Enum:
+		fmt.Fprintf(&sb, "enum %s", t.Tag)
+	}
+	return sb.String()
+}

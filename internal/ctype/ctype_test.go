@@ -1,0 +1,262 @@
+package ctype
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSizes(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want int
+	}{
+		{CharType, 1}, {ShortType, 2}, {IntType, 4}, {LongType, 4},
+		{FloatType, 4}, {DoubleType, 8},
+		{PointerTo(DoubleType), 4},
+		{ArrayOf(FloatType, 100), 400},
+		{ArrayOf(ArrayOf(FloatType, 4), 4), 64},
+	}
+	for _, c := range cases {
+		if got := c.t.Size(); got != c.want {
+			t.Errorf("sizeof(%s) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	s := StructOf("point", []Field{
+		{Name: "tag", Type: CharType},
+		{Name: "x", Type: FloatType},
+		{Name: "y", Type: FloatType},
+	})
+	if f := s.Field("tag"); f.Offset != 0 {
+		t.Errorf("tag offset %d", f.Offset)
+	}
+	if f := s.Field("x"); f.Offset != 4 {
+		t.Errorf("x offset %d (char should pad to word)", f.Offset)
+	}
+	if f := s.Field("y"); f.Offset != 8 {
+		t.Errorf("y offset %d", f.Offset)
+	}
+	if s.Size() != 12 {
+		t.Errorf("size %d", s.Size())
+	}
+	if s.Field("missing") != nil {
+		t.Error("found missing field")
+	}
+}
+
+func TestStructWithEmbeddedArray(t *testing.T) {
+	// The paper's §10 lesson: arrays embedded within structures (graphics
+	// code). Layout must place the matrix contiguously.
+	m := StructOf("xform", []Field{
+		{Name: "m", Type: ArrayOf(ArrayOf(FloatType, 4), 4)},
+		{Name: "flags", Type: IntType},
+	})
+	if m.Field("m").Offset != 0 || m.Field("flags").Offset != 64 {
+		t.Errorf("offsets %d %d", m.Field("m").Offset, m.Field("flags").Offset)
+	}
+	if m.Size() != 68 {
+		t.Errorf("size %d", m.Size())
+	}
+}
+
+func TestUnionLayout(t *testing.T) {
+	u := UnionOf("u", []Field{
+		{Name: "i", Type: IntType},
+		{Name: "d", Type: DoubleType},
+		{Name: "c", Type: CharType},
+	})
+	if u.Size() != 8 {
+		t.Errorf("union size %d", u.Size())
+	}
+	for _, f := range u.Fields {
+		if f.Offset != 0 {
+			t.Errorf("field %s at offset %d", f.Name, f.Offset)
+		}
+	}
+}
+
+func TestDecay(t *testing.T) {
+	a := ArrayOf(FloatType, 10)
+	d := a.Decay()
+	if d.Kind != Pointer || d.Elem.Kind != Float {
+		t.Errorf("array decay: %s", d)
+	}
+	f := FuncOf(IntType, nil, false)
+	if fd := f.Decay(); fd.Kind != Pointer || fd.Elem.Kind != Func {
+		t.Errorf("func decay: %s", fd)
+	}
+	if IntType.Decay() != IntType {
+		t.Error("int decays")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !IntType.IsInteger() || !IntType.IsArith() || !IntType.IsScalar() {
+		t.Error("int predicates")
+	}
+	if !FloatType.IsFloat() || FloatType.IsInteger() {
+		t.Error("float predicates")
+	}
+	p := PointerTo(IntType)
+	if !p.IsScalar() || p.IsArith() {
+		t.Error("pointer predicates")
+	}
+	if VoidType.IsScalar() {
+		t.Error("void is scalar")
+	}
+	s := StructOf("s", nil)
+	if !s.IsAggregate() || s.IsScalar() {
+		t.Error("struct predicates")
+	}
+}
+
+func TestCommon(t *testing.T) {
+	cases := []struct {
+		a, b *Type
+		want Kind
+	}{
+		{IntType, IntType, Int},
+		{IntType, FloatType, Float},
+		{FloatType, DoubleType, Double},
+		{CharType, IntType, Int},
+		{PointerTo(FloatType), IntType, Pointer},
+		{IntType, PointerTo(FloatType), Pointer},
+		{ArrayOf(FloatType, 8), IntType, Pointer},
+	}
+	for _, c := range cases {
+		if got := Common(c.a, c.b); got.Kind != c.want {
+			t.Errorf("Common(%s, %s) = %s, want kind %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	if !Compatible(IntType, DoubleType) {
+		t.Error("arith compat")
+	}
+	if !Compatible(PointerTo(VoidType), PointerTo(FloatType)) {
+		t.Error("void* compat")
+	}
+	if Compatible(PointerTo(FloatType), IntType) {
+		t.Error("ptr/int compat should fail")
+	}
+	s1 := StructOf("a", nil)
+	s2 := StructOf("a", nil)
+	s3 := StructOf("b", nil)
+	if !Compatible(s1, s2) || Compatible(s1, s3) {
+		t.Error("struct tag compat")
+	}
+}
+
+func TestQualified(t *testing.T) {
+	v := Qualified(IntType, true, false)
+	if !v.Volatile || v.Const {
+		t.Error("volatile qualifier")
+	}
+	if IntType.Volatile {
+		t.Error("Qualified mutated the singleton")
+	}
+	if Qualified(IntType, false, false) != IntType {
+		t.Error("no-op Qualified should return the same type")
+	}
+	if v2 := Qualified(v, true, false); v2 != v {
+		t.Error("idempotent Qualified should return the same type")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want string
+	}{
+		{IntType, "int"},
+		{PointerTo(FloatType), "float*"},
+		{ArrayOf(FloatType, 100), "float[100]"},
+		{Qualified(IntType, true, false), "volatile int"},
+		{FuncOf(VoidType, []Param{{Type: PointerTo(FloatType)}, {Type: IntType}}, false), "void(float*, int)"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("got %q want %q", got, c.want)
+		}
+	}
+}
+
+// Property: array sizes scale linearly with length.
+func TestQuickArraySize(t *testing.T) {
+	f := func(n uint8) bool {
+		a := ArrayOf(IntType, int(n))
+		return a.Size() == int(n)*4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: struct field offsets are non-decreasing and within size.
+func TestQuickStructOffsets(t *testing.T) {
+	prims := []*Type{CharType, ShortType, IntType, FloatType, DoubleType}
+	f := func(picks []uint8) bool {
+		var fields []Field
+		for i, p := range picks {
+			if i >= 12 {
+				break
+			}
+			fields = append(fields, Field{Name: string(rune('a' + i)), Type: prims[int(p)%len(prims)]})
+		}
+		s := StructOf("q", fields)
+		prev := 0
+		for _, f := range s.Fields {
+			if f.Offset < prev {
+				return false
+			}
+			if f.Offset+f.Type.Size() > s.Size() {
+				return false
+			}
+			prev = f.Offset
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalarCells(t *testing.T) {
+	// int[3] → three int cells.
+	cells := ScalarCells(ArrayOf(IntType, 3))
+	if len(cells) != 3 || cells[2].Offset != 8 {
+		t.Fatalf("array cells: %+v", cells)
+	}
+	// struct { char tag; float xy[2]; } → char at 0, floats at 4, 8.
+	s := StructOf("s", []Field{
+		{Name: "tag", Type: CharType},
+		{Name: "xy", Type: ArrayOf(FloatType, 2)},
+	})
+	cells = ScalarCells(s)
+	if len(cells) != 3 {
+		t.Fatalf("struct cells: %+v", cells)
+	}
+	if cells[0].Offset != 0 || cells[0].Type.Kind != Char {
+		t.Errorf("cell 0: %+v", cells[0])
+	}
+	if cells[1].Offset != 4 || cells[2].Offset != 8 {
+		t.Errorf("float cells: %+v", cells[1:])
+	}
+	// union: first member only.
+	u := UnionOf("u", []Field{
+		{Name: "i", Type: IntType},
+		{Name: "d", Type: DoubleType},
+	})
+	cells = ScalarCells(u)
+	if len(cells) != 1 || cells[0].Type.Kind != Int {
+		t.Errorf("union cells: %+v", cells)
+	}
+	// scalar: one cell at 0.
+	cells = ScalarCells(DoubleType)
+	if len(cells) != 1 || cells[0].Offset != 0 {
+		t.Errorf("scalar cells: %+v", cells)
+	}
+}

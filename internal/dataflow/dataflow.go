@@ -1,0 +1,378 @@
+// Package dataflow computes reaching definitions, use-def chains, and live
+// variables over the IL control-flow graph.
+//
+// The paper's scalar optimizer drives everything off use-def chains (§5.2:
+// while→DO conversion "should occur ... immediately after use-def chains
+// have been constructed"). The chains here are exact for scalar variables
+// and conservative for memory: a call may define every global, static and
+// address-taken variable; a store through a pointer may define every
+// address-taken or global variable.
+package dataflow
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/il"
+)
+
+// Def is one definition point.
+type Def struct {
+	ID   int
+	Node *cfg.Node
+	Var  il.VarID
+	// Ambiguous marks may-defs (call clobbers, stores through pointers,
+	// and the synthetic entry definitions of uninitialized variables).
+	Ambiguous bool
+	// Entry marks the synthetic definition at procedure entry (parameter
+	// values and uninitialized locals).
+	Entry bool
+}
+
+// Analysis holds the dataflow results for one procedure.
+type Analysis struct {
+	Proc  *il.Proc
+	Graph *cfg.Graph
+
+	Defs   []*Def
+	defsOf map[il.VarID][]*Def
+	// in[n] is the bitset of defs reaching node n's entry.
+	in  []bitset
+	out []bitset
+	// gen/kill per node.
+	gen, kill []bitset
+	// defsAt lists the defs performed by each node.
+	defsAt [][]*Def
+}
+
+// Analyze builds the CFG and reaching-definition chains for p.
+func Analyze(p *il.Proc) (*Analysis, error) {
+	g, err := cfg.Build(p.Body)
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{Proc: p, Graph: g, defsOf: map[il.VarID][]*Def{}}
+	a.collectDefs()
+	a.solve()
+	return a, nil
+}
+
+// clobberSet returns the variables a memory write or call might define.
+func (a *Analysis) clobberSet(call bool) []il.VarID {
+	var out []il.VarID
+	for i := range a.Proc.Vars {
+		v := &a.Proc.Vars[i]
+		if v.AddrTaken || v.Class == il.ClassGlobal || v.Class == il.ClassStatic {
+			out = append(out, il.VarID(i))
+		}
+	}
+	_ = call
+	return out
+}
+
+func (a *Analysis) addDef(node *cfg.Node, v il.VarID, ambiguous, entry bool) *Def {
+	d := &Def{ID: len(a.Defs), Node: node, Var: v, Ambiguous: ambiguous, Entry: entry}
+	a.Defs = append(a.Defs, d)
+	a.defsOf[v] = append(a.defsOf[v], d)
+	return d
+}
+
+func (a *Analysis) collectDefs() {
+	nNodes := len(a.Graph.Nodes)
+	a.defsAt = make([][]*Def, nNodes)
+
+	// Entry definitions: every variable has an initial (unknown) value;
+	// parameters are unambiguous, everything else ambiguous.
+	entryNode := a.Graph.Nodes[a.Graph.Entry]
+	for i := range a.Proc.Vars {
+		id := il.VarID(i)
+		isParam := a.Proc.Vars[i].Class == il.ClassParam
+		d := a.addDef(entryNode, id, !isParam, true)
+		a.defsAt[entryNode.ID] = append(a.defsAt[entryNode.ID], d)
+	}
+
+	for _, n := range a.Graph.Nodes {
+		// DO-loop heads define the IV's initial value; latches define its
+		// per-iteration advance.
+		if n.IVDef != il.NoVar {
+			d := a.addDef(n, n.IVDef, false, false)
+			a.defsAt[n.ID] = append(a.defsAt[n.ID], d)
+		}
+		if n.Stmt == nil {
+			continue
+		}
+		switch s := n.Stmt.(type) {
+		case *il.Assign:
+			if v, ok := s.Dst.(*il.VarRef); ok {
+				d := a.addDef(n, v.ID, false, false)
+				a.defsAt[n.ID] = append(a.defsAt[n.ID], d)
+			} else {
+				for _, v := range a.clobberSet(false) {
+					d := a.addDef(n, v, true, false)
+					a.defsAt[n.ID] = append(a.defsAt[n.ID], d)
+				}
+			}
+		case *il.VectorAssign:
+			for _, v := range a.clobberSet(false) {
+				d := a.addDef(n, v, true, false)
+				a.defsAt[n.ID] = append(a.defsAt[n.ID], d)
+			}
+		case *il.Call:
+			if s.Dst != il.NoVar {
+				d := a.addDef(n, s.Dst, false, false)
+				a.defsAt[n.ID] = append(a.defsAt[n.ID], d)
+			}
+			for _, v := range a.clobberSet(true) {
+				d := a.addDef(n, v, true, false)
+				a.defsAt[n.ID] = append(a.defsAt[n.ID], d)
+			}
+		}
+	}
+
+	// gen/kill.
+	nDefs := len(a.Defs)
+	a.gen = make([]bitset, nNodes)
+	a.kill = make([]bitset, nNodes)
+	for id := range a.Graph.Nodes {
+		a.gen[id] = newBitset(nDefs)
+		a.kill[id] = newBitset(nDefs)
+		for _, d := range a.defsAt[id] {
+			a.gen[id].set(d.ID)
+			if !d.Ambiguous {
+				// An unambiguous def kills all other defs of the variable.
+				for _, other := range a.defsOf[d.Var] {
+					if other.ID != d.ID {
+						a.kill[id].set(other.ID)
+					}
+				}
+			}
+		}
+		// gen wins over kill within a node.
+		a.kill[id].andNot(a.gen[id])
+	}
+}
+
+func (a *Analysis) solve() {
+	nNodes := len(a.Graph.Nodes)
+	nDefs := len(a.Defs)
+	a.in = make([]bitset, nNodes)
+	a.out = make([]bitset, nNodes)
+	for i := 0; i < nNodes; i++ {
+		a.in[i] = newBitset(nDefs)
+		a.out[i] = newBitset(nDefs)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for id, n := range a.Graph.Nodes {
+			in := newBitset(nDefs)
+			for _, p := range n.Preds {
+				in.or(a.out[p])
+			}
+			out := in.clone()
+			out.andNot(a.kill[id])
+			out.or(a.gen[id])
+			if !in.equal(a.in[id]) || !out.equal(a.out[id]) {
+				a.in[id] = in
+				a.out[id] = out
+				changed = true
+			}
+		}
+	}
+}
+
+// ReachingDefs returns the definitions of v reaching the entry of statement
+// s. Returns nil if s has no CFG node.
+func (a *Analysis) ReachingDefs(s il.Stmt, v il.VarID) []*Def {
+	n, ok := a.Graph.NodeOf[s]
+	if !ok {
+		return nil
+	}
+	return a.reachingAt(n, v)
+}
+
+func (a *Analysis) reachingAt(n *cfg.Node, v il.VarID) []*Def {
+	var out []*Def
+	for _, d := range a.defsOf[v] {
+		if a.in[n.ID].get(d.ID) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// UniqueDef returns the single unambiguous definition of v reaching s, or
+// nil if there are several, none, or only ambiguous ones.
+func (a *Analysis) UniqueDef(s il.Stmt, v il.VarID) *Def {
+	defs := a.ReachingDefs(s, v)
+	if len(defs) != 1 || defs[0].Ambiguous {
+		return nil
+	}
+	return defs[0]
+}
+
+// DefsInside returns the definitions of v whose node's statement is in the
+// given set.
+func (a *Analysis) DefsInside(v il.VarID, set map[il.Stmt]bool) []*Def {
+	var out []*Def
+	for _, d := range a.defsOf[v] {
+		if d.Node.Stmt != nil && set[d.Node.Stmt] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DefsOf returns all definitions of v.
+func (a *Analysis) DefsOf(v il.VarID) []*Def { return a.defsOf[v] }
+
+// UsedVars returns the variables read by statement s (in its expressions;
+// a scalar assignment destination is not a use, but a store's address is).
+func UsedVars(s il.Stmt) []il.VarID {
+	seen := map[il.VarID]bool{}
+	var order []il.VarID
+	add := func(e il.Expr) {
+		il.WalkExpr(e, func(x il.Expr) bool {
+			switch n := x.(type) {
+			case *il.VarRef:
+				if !seen[n.ID] {
+					seen[n.ID] = true
+					order = append(order, n.ID)
+				}
+			case *il.AddrOf:
+				if !seen[n.ID] {
+					seen[n.ID] = true
+					order = append(order, n.ID)
+				}
+			}
+			return true
+		})
+	}
+	if as, ok := s.(*il.Assign); ok {
+		if ld, isStore := as.Dst.(*il.Load); isStore {
+			add(ld.Addr)
+		}
+		add(as.Src)
+		return order
+	}
+	il.StmtExprs(s, add)
+	return order
+}
+
+// ---------------------------------------------------------------- liveness
+
+// Liveness holds live-variable sets per CFG node.
+type Liveness struct {
+	Graph *cfg.Graph
+	// liveOut[n] is the set of variables live at n's exit.
+	liveOut []bitset
+	nVars   int
+}
+
+// LiveOut reports whether v is live after statement s.
+func (lv *Liveness) LiveOut(s il.Stmt, v il.VarID) bool {
+	n, ok := lv.Graph.NodeOf[s]
+	if !ok {
+		return true // unknown statements stay conservative
+	}
+	return lv.liveOut[n.ID].get(int(v))
+}
+
+// ComputeLiveness runs backward live-variable analysis. Global, static and
+// address-taken variables are treated as live at procedure exit.
+func ComputeLiveness(p *il.Proc, g *cfg.Graph) *Liveness {
+	nVars := len(p.Vars)
+	nNodes := len(g.Nodes)
+	use := make([]bitset, nNodes)
+	def := make([]bitset, nNodes)
+	for id, n := range g.Nodes {
+		use[id] = newBitset(nVars)
+		def[id] = newBitset(nVars)
+		if n.IVDef != il.NoVar {
+			def[id].set(int(n.IVDef))
+		}
+		if n.Stmt == nil {
+			continue
+		}
+		for _, v := range UsedVars(n.Stmt) {
+			use[id].set(int(v))
+		}
+		if dv := il.DefinedVar(n.Stmt); dv != il.NoVar {
+			def[id].set(int(dv))
+		}
+	}
+	// Variables observable after return.
+	exitLive := newBitset(nVars)
+	for i := range p.Vars {
+		v := &p.Vars[i]
+		if v.AddrTaken || v.Class == il.ClassGlobal || v.Class == il.ClassStatic {
+			exitLive.set(i)
+		}
+	}
+
+	liveIn := make([]bitset, nNodes)
+	liveOut := make([]bitset, nNodes)
+	for i := 0; i < nNodes; i++ {
+		liveIn[i] = newBitset(nVars)
+		liveOut[i] = newBitset(nVars)
+	}
+	liveOut[g.Exit] = exitLive.clone()
+	liveIn[g.Exit] = exitLive.clone()
+	changed := true
+	for changed {
+		changed = false
+		for id := len(g.Nodes) - 1; id >= 0; id-- {
+			n := g.Nodes[id]
+			out := newBitset(nVars)
+			if id == g.Exit {
+				out = exitLive.clone()
+			}
+			for _, s := range n.Succs {
+				out.or(liveIn[s])
+			}
+			in := out.clone()
+			in.andNot(def[id])
+			in.or(use[id])
+			if !out.equal(liveOut[id]) || !in.equal(liveIn[id]) {
+				liveOut[id] = out
+				liveIn[id] = in
+				changed = true
+			}
+		}
+	}
+	return &Liveness{Graph: g, liveOut: liveOut, nVars: nVars}
+}
+
+// ---------------------------------------------------------------- bitsets
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << uint(i%64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+
+func (b bitset) or(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+func (b bitset) andNot(o bitset) {
+	for i := range b {
+		b[i] &^= o[i]
+	}
+}
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) equal(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,309 @@
+package dataflow
+
+import (
+	"testing"
+
+	"repro/internal/il"
+	"repro/internal/parser"
+	"repro/internal/sema"
+
+	"repro/internal/ctype"
+	"repro/internal/lower"
+)
+
+func compileProc(t *testing.T, src, name string) *il.Proc {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	prog, err := lower.File(f, info)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	p := prog.Proc(name)
+	if p == nil {
+		t.Fatalf("no proc %s", name)
+	}
+	return p
+}
+
+func analyze(t *testing.T, p *il.Proc) *Analysis {
+	t.Helper()
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestStraightLineUniqueDef(t *testing.T) {
+	p := compileProc(t, "int f(void) { int a; int b; a = 1; b = a; return b; }", "f")
+	a := analyze(t, p)
+	// At "b = a", the unique def of a is "a = 1".
+	bAssign := p.Body[1].(*il.Assign)
+	aID := p.LookupVar("a")
+	d := a.UniqueDef(bAssign, aID)
+	if d == nil {
+		t.Fatalf("no unique def of a:\n%s", p)
+	}
+	if as, ok := d.Node.Stmt.(*il.Assign); !ok || il.DefinedVar(as) != aID {
+		t.Errorf("wrong def: %v", d.Node.Stmt)
+	}
+}
+
+func TestTwoDefsMerge(t *testing.T) {
+	src := `
+int f(int c) {
+	int a, b;
+	if (c) a = 1; else a = 2;
+	b = a;
+	return b;
+}
+`
+	p := compileProc(t, src, "f")
+	a := analyze(t, p)
+	var bAssign *il.Stmt
+	il.WalkStmts(p.Body, func(s il.Stmt) bool {
+		if as, ok := s.(*il.Assign); ok {
+			if v, ok := as.Src.(*il.VarRef); ok && p.Vars[v.ID].Name == "a" {
+				bAssign = &s
+			}
+		}
+		return true
+	})
+	if bAssign == nil {
+		t.Fatalf("no b = a found:\n%s", p)
+	}
+	defs := a.ReachingDefs(*bAssign, p.LookupVar("a"))
+	if len(defs) != 2 {
+		t.Errorf("defs of a at merge: %d, want 2", len(defs))
+	}
+	if a.UniqueDef(*bAssign, p.LookupVar("a")) != nil {
+		t.Error("UniqueDef should fail at a merge")
+	}
+}
+
+func TestParamEntryDef(t *testing.T) {
+	p := compileProc(t, "int f(int n) { return n; }", "f")
+	a := analyze(t, p)
+	ret := p.Body[0].(*il.Return)
+	d := a.UniqueDef(ret, p.LookupVar("n"))
+	if d == nil || !d.Entry {
+		t.Errorf("param def: %+v", d)
+	}
+}
+
+func TestLoopCarriedDefs(t *testing.T) {
+	// i is defined before the loop and inside it; both reach the condition.
+	src := `
+void f(int n) {
+	int i;
+	i = n;
+	while (i) {
+		i = i - 1;
+	}
+}
+`
+	p := compileProc(t, src, "f")
+	a := analyze(t, p)
+	w := p.Body[1].(*il.While)
+	defs := a.ReachingDefs(w, p.LookupVar("i"))
+	if len(defs) != 2 {
+		t.Fatalf("defs of i at loop head: %d, want 2\n%s", len(defs), p)
+	}
+	// One def inside the loop, one before.
+	inLoop := 0
+	set := map[il.Stmt]bool{}
+	il.WalkStmts(w.Body, func(s il.Stmt) bool { set[s] = true; return true })
+	for _, d := range defs {
+		if d.Node.Stmt != nil && set[d.Node.Stmt] {
+			inLoop++
+		}
+	}
+	if inLoop != 1 {
+		t.Errorf("defs inside loop: %d, want 1", inLoop)
+	}
+	if got := a.DefsInside(p.LookupVar("i"), set); len(got) != 1 {
+		t.Errorf("DefsInside: %d", len(got))
+	}
+}
+
+func TestCallClobbersGlobals(t *testing.T) {
+	src := `
+int g;
+void ext(void);
+int f(void) {
+	g = 1;
+	ext();
+	return g;
+}
+`
+	p := compileProc(t, src, "f")
+	a := analyze(t, p)
+	ret := p.Body[2].(*il.Return)
+	gID := p.LookupVar("g")
+	if a.UniqueDef(ret, gID) != nil {
+		t.Error("call should clobber global g")
+	}
+	defs := a.ReachingDefs(ret, gID)
+	foundAmbig := false
+	for _, d := range defs {
+		if d.Ambiguous && !d.Entry {
+			foundAmbig = true
+		}
+	}
+	if !foundAmbig {
+		t.Error("no ambiguous def from call")
+	}
+}
+
+func TestStoreClobbersAddrTaken(t *testing.T) {
+	src := `
+void f(int *p) {
+	int x, y;
+	x = 1;
+	*p = 5;
+	y = x;
+}
+`
+	p := compileProc(t, src, "f")
+	a := analyze(t, p)
+	// x is not address-taken, so the store through p does NOT clobber it.
+	var yAssign il.Stmt
+	for _, s := range p.Body {
+		if as, ok := s.(*il.Assign); ok {
+			if v, ok := as.Dst.(*il.VarRef); ok && p.Vars[v.ID].Name == "y" {
+				yAssign = s
+			}
+		}
+	}
+	if a.UniqueDef(yAssign, p.LookupVar("x")) == nil {
+		t.Error("store should not clobber non-addr-taken x")
+	}
+}
+
+func TestStoreClobbersAddressTakenVar(t *testing.T) {
+	src := `
+void g(int *);
+int f(void) {
+	int x;
+	x = 1;
+	g(&x);
+	return x;
+}
+`
+	p := compileProc(t, src, "f")
+	a := analyze(t, p)
+	ret := p.Body[2].(*il.Return)
+	if a.UniqueDef(ret, p.LookupVar("x")) != nil {
+		t.Error("call with &x should clobber x")
+	}
+}
+
+func TestUsedVars(t *testing.T) {
+	p := compileProc(t, "void f(int *p, int i, int j) { *(p+i) = j; }", "f")
+	st := p.Body[0].(*il.Assign)
+	used := UsedVars(st)
+	names := map[string]bool{}
+	for _, v := range used {
+		names[p.Vars[v].Name] = true
+	}
+	if !names["p"] || !names["i"] || !names["j"] {
+		t.Errorf("used: %v", names)
+	}
+}
+
+func TestUsedVarsExcludesScalarDst(t *testing.T) {
+	p := compileProc(t, "void f(int a, int b) { a = b; }", "f")
+	st := p.Body[0].(*il.Assign)
+	for _, v := range UsedVars(st) {
+		if p.Vars[v].Name == "a" {
+			t.Error("scalar destination counted as use")
+		}
+	}
+}
+
+func TestLivenessSimple(t *testing.T) {
+	src := `
+int f(void) {
+	int a, b;
+	a = 1;
+	b = 2;
+	return a;
+}
+`
+	p := compileProc(t, src, "f")
+	a := analyze(t, p)
+	lv := ComputeLiveness(p, a.Graph)
+	aAssign := p.Body[0]
+	bAssign := p.Body[1]
+	aID, bID := p.LookupVar("a"), p.LookupVar("b")
+	if !lv.LiveOut(aAssign, aID) {
+		t.Error("a should be live after a = 1")
+	}
+	if lv.LiveOut(bAssign, bID) {
+		t.Error("b should be dead after b = 2 (never used)")
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	src := `
+int f(int n) {
+	int s, i;
+	s = 0;
+	i = 0;
+	while (i < n) {
+		s = s + i;
+		i = i + 1;
+	}
+	return s;
+}
+`
+	p := compileProc(t, src, "f")
+	a := analyze(t, p)
+	lv := ComputeLiveness(p, a.Graph)
+	w := p.Body[2].(*il.While)
+	sInc := w.Body[0]
+	if !lv.LiveOut(sInc, p.LookupVar("s")) {
+		t.Error("s live around loop")
+	}
+	if !lv.LiveOut(sInc, p.LookupVar("i")) {
+		t.Error("i live inside loop")
+	}
+}
+
+func TestLivenessGlobalsLiveAtExit(t *testing.T) {
+	src := "int g; void f(void) { g = 1; }"
+	p := compileProc(t, src, "f")
+	a := analyze(t, p)
+	lv := ComputeLiveness(p, a.Graph)
+	if !lv.LiveOut(p.Body[0], p.LookupVar("g")) {
+		t.Error("global must be live at exit")
+	}
+}
+
+func TestDoLoopDefinesIV(t *testing.T) {
+	p := il.NewProc("f", ctype.VoidType)
+	iv := p.AddVar(il.Var{Name: "i", Type: ctype.IntType, Class: il.ClassLocal})
+	x := p.AddVar(il.Var{Name: "x", Type: ctype.IntType, Class: il.ClassLocal})
+	use := &il.Assign{Dst: il.Ref(x, ctype.IntType), Src: il.Ref(iv, ctype.IntType)}
+	loop := &il.DoLoop{IV: iv, Init: il.Int(0), Limit: il.Int(9), Step: il.Int(1), Body: []il.Stmt{use}}
+	p.Body = []il.Stmt{loop}
+	a := analyze(t, p)
+	defs := a.ReachingDefs(use, iv)
+	foundIV := false
+	for _, d := range defs {
+		if d.Node.IVDef == iv {
+			foundIV = true
+		}
+	}
+	if !foundIV {
+		t.Errorf("DoLoop should define its IV; defs: %d", len(defs))
+	}
+	_ = loop
+}

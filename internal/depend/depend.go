@@ -1,0 +1,703 @@
+// Package depend implements the array dependence analysis that drives
+// vectorization (§5), parallelization, and the dependence-driven scalar
+// optimizations of §6.
+//
+// Analysis is per-DO-loop. Every memory reference in the loop body is
+// normalized to the linear form  base + coef·IV + offset  (in bytes);
+// references that resist normalization are treated conservatively. Pairs
+// of references are disambiguated by their base objects (distinct named
+// arrays cannot overlap; distinct pointer parameters may, unless the loop
+// is marked safe or the compiler is told pointer parameters follow Fortran
+// aliasing rules — §9), then subjected to an exact single-subscript test
+// (the GCD test specialized to equal strides gives exact distances).
+//
+// The resulting graph has statement-level edges labelled flow/anti/output
+// and carried/independent, plus the scalar dependences among the body's
+// top-level statements. Vectorization legality is then a question of
+// strongly connected components (Allen–Kennedy codegen, in package
+// vector).
+package depend
+
+import (
+	"fmt"
+
+	"repro/internal/ctype"
+	"repro/internal/il"
+)
+
+// Options controls aliasing assumptions.
+type Options struct {
+	// NoAlias asserts pointer parameters never alias each other or named
+	// arrays (the compiler option of §9: "pointer parameters have Fortran
+	// semantics").
+	NoAlias bool
+}
+
+// DepKind classifies dependences.
+type DepKind int
+
+// Dependence kinds.
+const (
+	Flow   DepKind = iota // write then read (true dependence)
+	Anti                  // read then write
+	Output                // write then write
+)
+
+var depNames = [...]string{"flow", "anti", "output"}
+
+// String names the kind.
+func (k DepKind) String() string { return depNames[k] }
+
+// Dep is one statement-level dependence edge: To depends on From.
+type Dep struct {
+	From, To int // indices into the loop's top-level statement list
+	Kind     DepKind
+	// Carried marks loop-carried dependences (distance ≥ 1).
+	Carried bool
+	// Distance is the dependence distance in iterations when Known.
+	Distance int64
+	Known    bool
+	// Scalar marks dependences through scalar variables rather than
+	// memory.
+	Scalar bool
+	// Var is the scalar variable for Scalar deps.
+	Var il.VarID
+}
+
+// String renders the edge.
+func (d *Dep) String() string {
+	tag := ""
+	if d.Carried {
+		if d.Known {
+			tag = fmt.Sprintf(" carried(%d)", d.Distance)
+		} else {
+			tag = " carried(?)"
+		}
+	}
+	kind := d.Kind.String()
+	if d.Scalar {
+		kind += "/scalar"
+	}
+	return fmt.Sprintf("S%d -%s%s-> S%d", d.From, kind, tag, d.To)
+}
+
+// BaseKind classifies reference bases.
+type BaseKind int
+
+// Base kinds.
+const (
+	BaseVar     BaseKind = iota // a named object (&array)
+	BasePointer                 // a loop-invariant pointer variable
+	BaseUnknown
+)
+
+// Base identifies the object a reference roots at.
+type Base struct {
+	Kind BaseKind
+	Var  il.VarID // BaseVar: the object; BasePointer: the pointer variable
+	// Extra is a loop-invariant byte offset expression added to the root
+	// (e.g. a row offset in a struct or outer-loop subscript). Compared
+	// structurally.
+	Extra il.Expr
+}
+
+// Ref is one memory reference in linear form.
+type Ref struct {
+	StmtIdx  int
+	IsWrite  bool
+	Base     Base
+	Coef     int64 // bytes advanced per iteration of the analyzed loop
+	Offset   int64 // constant byte offset
+	Size     int   // access size in bytes
+	Linear   bool  // Coef/Offset valid
+	Volatile bool
+	Expr     il.Expr // the original address expression
+}
+
+// LoopDeps is the dependence analysis result for one loop.
+type LoopDeps struct {
+	Loop  *il.DoLoop
+	Refs  []Ref
+	Deps  []Dep
+	Trips int64 // compile-time trip count, or -1 when unknown
+	// Barrier[i] marks statements (calls, volatile accesses, irregular
+	// control) that must not be reordered or vectorized.
+	Barrier []bool
+}
+
+// HasCycleThrough reports whether stmt i has any carried self-dependence
+// (the quick "is this statement vectorizable alone" check).
+func (ld *LoopDeps) HasCycleThrough(i int) bool {
+	for _, d := range ld.Deps {
+		if d.From == i && d.To == i && d.Carried {
+			return true
+		}
+	}
+	return false
+}
+
+// AnalyzeLoop computes the dependence graph for the top-level statements
+// of a DO loop.
+func AnalyzeLoop(p *il.Proc, loop *il.DoLoop, opts Options) *LoopDeps {
+	ld := &LoopDeps{Loop: loop, Trips: tripCount(loop)}
+	ld.Barrier = make([]bool, len(loop.Body))
+
+	// Gather memory references and barriers.
+	for i, s := range loop.Body {
+		switch n := s.(type) {
+		case *il.Assign:
+			if ld.collectStmtRefs(p, loop, i, n) {
+				ld.Barrier[i] = true
+			}
+		case *il.Call:
+			ld.Barrier[i] = true
+		case *il.If, *il.While, *il.DoLoop, *il.DoParallel, *il.Goto, *il.Label, *il.Return:
+			// Nested control flow: conservative barrier (inner loops are
+			// analyzed on their own; the outer loop treats them whole).
+			ld.Barrier[i] = true
+		case *il.VectorAssign:
+			ld.Barrier[i] = true
+			_ = n
+		}
+	}
+
+	ld.memoryDeps(p, opts)
+	ld.scalarDeps(p, loop)
+	ld.barrierDeps()
+	return ld
+}
+
+// tripCount returns the constant trip count, or -1.
+func tripCount(loop *il.DoLoop) int64 {
+	i, ok1 := il.IsIntConst(loop.Init)
+	l, ok2 := il.IsIntConst(loop.Limit)
+	s, ok3 := il.IsIntConst(loop.Step)
+	if !ok1 || !ok2 || !ok3 || s == 0 {
+		return -1
+	}
+	var t int64
+	if s > 0 {
+		t = (l-i)/s + 1
+	} else {
+		t = (i-l)/(-s) + 1
+	}
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// collectStmtRefs extracts the refs of one assignment; reports whether the
+// statement contains something that must act as a barrier (volatile).
+func (ld *LoopDeps) collectStmtRefs(p *il.Proc, loop *il.DoLoop, idx int, as *il.Assign) bool {
+	barrier := false
+	add := func(addr il.Expr, size int, write, volatile bool) {
+		r := normalizeRef(p, loop, addr)
+		r.StmtIdx = idx
+		r.IsWrite = write
+		r.Size = size
+		r.Volatile = volatile
+		r.Expr = addr
+		if volatile {
+			barrier = true
+		}
+		ld.Refs = append(ld.Refs, r)
+	}
+	if ld, ok := as.Dst.(*il.Load); ok {
+		add(ld.Addr, ld.T.Size(), true, ld.Volatile)
+	}
+	collectLoads := func(e il.Expr) {
+		il.WalkExpr(e, func(x il.Expr) bool {
+			if l, ok := x.(*il.Load); ok {
+				add(l.Addr, l.T.Size(), false, l.Volatile)
+			}
+			return true
+		})
+	}
+	if ldst, ok := as.Dst.(*il.Load); ok {
+		collectLoads(ldst.Addr)
+	}
+	collectLoads(as.Src)
+	// Direct reads/writes of volatile scalars are barriers too.
+	if p.HasVolatile(as.Src) {
+		barrier = true
+	}
+	if v, ok := as.Dst.(*il.VarRef); ok && p.Vars[v.ID].IsVolatile() {
+		barrier = true
+	}
+	return barrier
+}
+
+// normalizeRef reduces an address expression to base + coef·IV + offset.
+func normalizeRef(p *il.Proc, loop *il.DoLoop, addr il.Expr) Ref {
+	lin := linearize(p, loop, addr)
+	if lin == nil {
+		return Ref{Base: Base{Kind: BaseUnknown}, Linear: false}
+	}
+	base := classifyBase(p, lin.rest)
+	return Ref{Base: base, Coef: lin.coef, Offset: lin.offset, Linear: true}
+}
+
+// linForm is addr = rest + coef*iv + offset with rest iv-free.
+type linForm struct {
+	coef   int64
+	offset int64
+	rest   []il.Expr // summed invariant terms
+}
+
+// linearize decomposes addr into linear form over the loop IV. Returns nil
+// when the expression is not affine in the IV.
+func linearize(p *il.Proc, loop *il.DoLoop, e il.Expr) *linForm {
+	switch n := e.(type) {
+	case *il.ConstInt:
+		return &linForm{offset: n.Val}
+	case *il.VarRef:
+		if n.ID == loop.IV {
+			return &linForm{coef: 1}
+		}
+		return &linForm{rest: []il.Expr{n}}
+	case *il.AddrOf:
+		return &linForm{rest: []il.Expr{n}}
+	case *il.Cast:
+		return linearize(p, loop, n.X)
+	case *il.Bin:
+		switch n.Op {
+		case il.OpAdd:
+			l := linearize(p, loop, n.L)
+			r := linearize(p, loop, n.R)
+			if l == nil || r == nil {
+				return nil
+			}
+			return &linForm{coef: l.coef + r.coef, offset: l.offset + r.offset,
+				rest: append(append([]il.Expr{}, l.rest...), r.rest...)}
+		case il.OpSub:
+			l := linearize(p, loop, n.L)
+			r := linearize(p, loop, n.R)
+			if l == nil || r == nil {
+				return nil
+			}
+			// Negated invariant terms remain invariant; wrap them.
+			rest := append([]il.Expr{}, l.rest...)
+			for _, t := range r.rest {
+				rest = append(rest, il.NewUn(il.OpNeg, il.CloneExpr(t), t.Type()))
+			}
+			return &linForm{coef: l.coef - r.coef, offset: l.offset - r.offset, rest: rest}
+		case il.OpMul:
+			if c, ok := il.IsIntConst(n.L); ok {
+				r := linearize(p, loop, n.R)
+				if r == nil {
+					return nil
+				}
+				return scaleLin(r, c)
+			}
+			if c, ok := il.IsIntConst(n.R); ok {
+				l := linearize(p, loop, n.L)
+				if l == nil {
+					return nil
+				}
+				return scaleLin(l, c)
+			}
+			// Products of invariants are invariant.
+			if !il.UsesVar(n.L, loop.IV) && !il.UsesVar(n.R, loop.IV) && pure(n) {
+				return &linForm{rest: []il.Expr{n}}
+			}
+			return nil
+		}
+		if !il.UsesVar(e, loop.IV) && pure(e) {
+			return &linForm{rest: []il.Expr{e}}
+		}
+		return nil
+	case *il.Un:
+		if n.Op == il.OpNeg {
+			x := linearize(p, loop, n.X)
+			if x == nil {
+				return nil
+			}
+			return scaleLin(x, -1)
+		}
+	}
+	if !il.UsesVar(e, loop.IV) && pure(e) {
+		return &linForm{rest: []il.Expr{e}}
+	}
+	return nil
+}
+
+func scaleLin(l *linForm, c int64) *linForm {
+	out := &linForm{coef: l.coef * c, offset: l.offset * c}
+	for _, t := range l.rest {
+		out.rest = append(out.rest, il.Mul(il.Int(c), il.CloneExpr(t), ctype.IntType))
+	}
+	return out
+}
+
+// pure reports whether e is load-free.
+func pure(e il.Expr) bool {
+	ok := true
+	il.WalkExpr(e, func(x il.Expr) bool {
+		if _, isLoad := x.(*il.Load); isLoad {
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// classifyBase finds the root object among the invariant terms.
+func classifyBase(p *il.Proc, rest []il.Expr) Base {
+	var rootVar il.VarID = il.NoVar
+	var rootPtr il.VarID = il.NoVar
+	var extras []il.Expr
+	roots := 0
+	for _, t := range rest {
+		switch n := t.(type) {
+		case *il.AddrOf:
+			rootVar = n.ID
+			roots++
+		case *il.VarRef:
+			if n.T != nil && n.T.Kind == ctype.Pointer {
+				rootPtr = n.ID
+				roots++
+			} else {
+				extras = append(extras, t)
+			}
+		default:
+			extras = append(extras, t)
+		}
+	}
+	if roots != 1 {
+		return Base{Kind: BaseUnknown}
+	}
+	extra := sumExprs(extras)
+	if rootVar != il.NoVar {
+		return Base{Kind: BaseVar, Var: rootVar, Extra: extra}
+	}
+	return Base{Kind: BasePointer, Var: rootPtr, Extra: extra}
+}
+
+func sumExprs(list []il.Expr) il.Expr {
+	var out il.Expr
+	for _, e := range list {
+		if out == nil {
+			out = e
+		} else {
+			out = il.Add(out, e, ctype.IntType)
+		}
+	}
+	return out
+}
+
+// sameBase reports whether two bases denote the same object with the same
+// invariant offset (so the subscript test applies).
+func sameBase(a, b Base) bool {
+	if a.Kind == BaseUnknown || b.Kind == BaseUnknown {
+		return false
+	}
+	if a.Kind != b.Kind || a.Var != b.Var {
+		return false
+	}
+	return il.ExprEqual(a.Extra, b.Extra)
+}
+
+// mayAlias reports whether two references with different bases could still
+// touch the same memory.
+func mayAlias(p *il.Proc, a, b Base, safe bool, opts Options) bool {
+	if a.Kind == BaseUnknown || b.Kind == BaseUnknown {
+		return true
+	}
+	if safe || opts.NoAlias {
+		// Fortran rules: distinct bases are distinct objects.
+		if a.Kind == b.Kind && a.Var == b.Var && !il.ExprEqual(a.Extra, b.Extra) {
+			// Same root, different invariant offsets: could still overlap
+			// unless both offsets are constants handled by the subscript
+			// test; stay conservative.
+			return true
+		}
+		return a.Kind == b.Kind && a.Var == b.Var
+	}
+	// Two distinct named objects never overlap.
+	if a.Kind == BaseVar && b.Kind == BaseVar {
+		if a.Var != b.Var {
+			return false
+		}
+		return true
+	}
+	// A pointer may point anywhere (C imposes no aliasing rules — §1).
+	return true
+}
+
+// BasesMayAlias reports whether two reference bases might denote
+// overlapping storage, under the loop-safe flag and aliasing options.
+// Identical bases trivially alias.
+func BasesMayAlias(p *il.Proc, a, b Base, safe bool, opts Options) bool {
+	if sameBase(a, b) {
+		return true
+	}
+	return mayAlias(p, a, b, safe, opts)
+}
+
+// memoryDeps tests every pair of references.
+func (ld *LoopDeps) memoryDeps(p *il.Proc, opts Options) {
+	safe := ld.Loop.Safe
+	for i := range ld.Refs {
+		for j := range ld.Refs {
+			if j <= i {
+				continue
+			}
+			a, b := &ld.Refs[i], &ld.Refs[j]
+			if !a.IsWrite && !b.IsWrite {
+				continue
+			}
+			ld.testPair(p, a, b, safe, opts)
+		}
+	}
+}
+
+// testPair adds dependence edges between two references.
+func (ld *LoopDeps) testPair(p *il.Proc, a, b *Ref, safe bool, opts Options) {
+	if !a.Linear || !b.Linear {
+		if a.Base.Kind != BaseUnknown && b.Base.Kind != BaseUnknown &&
+			!sameBase(a.Base, b.Base) && !mayAlias(p, a.Base, b.Base, safe, opts) {
+			return
+		}
+		ld.addUnknownDep(a, b)
+		return
+	}
+	if !sameBase(a.Base, b.Base) {
+		if !mayAlias(p, a.Base, b.Base, safe, opts) {
+			return
+		}
+		ld.addUnknownDep(a, b)
+		return
+	}
+	// Same object: exact test on  coefA·i1 + offA  =  coefB·i2 + offB.
+	// Equal coefficients give exact distances; unequal ones fall back to
+	// the GCD test.
+	if a.Coef == b.Coef {
+		c := a.Coef
+		if c == 0 {
+			// Invariant addresses: same location iff offsets overlap.
+			if overlaps(a.Offset, a.Size, b.Offset, b.Size) {
+				ld.addDep(a, b, 0)
+			}
+			return
+		}
+		// Same location: c·ia + offA = c·ib + offB ⟹ ib = ia + (offA-offB)/c,
+		// so positive diff means b touches the location diff iterations
+		// after a.
+		diff := a.Offset - b.Offset
+		if diff%c != 0 {
+			// Strided accesses interleave without touching (assumes
+			// aligned same-size elements, which the front end guarantees
+			// for scalar element types).
+			if !overlapsStride(a, b) {
+				return
+			}
+			ld.addUnknownDep(a, b)
+			return
+		}
+		dist := diff / c
+		if dist < 0 {
+			dist = -dist
+		}
+		if ld.Trips >= 0 && dist >= ld.Trips {
+			return // too far apart to meet within the loop
+		}
+		// Signed distance: positive means a's iteration precedes b's.
+		ld.addDep(a, b, diff/c)
+		return
+	}
+	// GCD test.
+	g := gcd64(abs64(a.Coef), abs64(b.Coef))
+	if g != 0 && (b.Offset-a.Offset)%g != 0 {
+		return // independent
+	}
+	ld.addUnknownDep(a, b)
+}
+
+// overlaps reports byte-interval overlap.
+func overlaps(o1 int64, s1 int, o2 int64, s2 int) bool {
+	return o1 < o2+int64(s2) && o2 < o1+int64(s1)
+}
+
+// overlapsStride conservatively checks whether unaligned strided accesses
+// can overlap given element sizes (they can when sizes exceed the offset
+// residue).
+func overlapsStride(a, b *Ref) bool {
+	c := abs64(a.Coef)
+	r := (b.Offset - a.Offset) % c
+	if r < 0 {
+		r += c
+	}
+	return r < int64(a.Size) || c-r < int64(b.Size)
+}
+
+// addDep records a dependence with signed iteration distance d between the
+// iterations of a (source) and b (sink); d>0 means b's access happens d
+// iterations after a's.
+func (ld *LoopDeps) addDep(a, b *Ref, d int64) {
+	// Order the endpoints so the edge runs source→sink in execution
+	// order: for d>0 the earlier-iteration access is a; for d<0 it is b;
+	// for d==0 statement order decides.
+	src, dst := a, b
+	dist := d
+	if d < 0 {
+		src, dst = b, a
+		dist = -d
+	} else if d == 0 && b.StmtIdx < a.StmtIdx {
+		src, dst = b, a
+	}
+	kind := depKindFor(src.IsWrite, dst.IsWrite)
+	ld.Deps = append(ld.Deps, Dep{
+		From: src.StmtIdx, To: dst.StmtIdx,
+		Kind:    kind,
+		Carried: dist != 0,
+		Distance: func() int64 {
+			return dist
+		}(),
+		Known: true,
+	})
+}
+
+// addUnknownDep records a conservative both-direction dependence.
+func (ld *LoopDeps) addUnknownDep(a, b *Ref) {
+	k1 := depKindFor(a.IsWrite, b.IsWrite)
+	k2 := depKindFor(b.IsWrite, a.IsWrite)
+	ld.Deps = append(ld.Deps,
+		Dep{From: a.StmtIdx, To: b.StmtIdx, Kind: k1, Carried: true},
+		Dep{From: b.StmtIdx, To: a.StmtIdx, Kind: k2, Carried: true},
+	)
+}
+
+func depKindFor(srcWrite, dstWrite bool) DepKind {
+	switch {
+	case srcWrite && dstWrite:
+		return Output
+	case srcWrite:
+		return Flow
+	default:
+		return Anti
+	}
+}
+
+// scalarDeps adds dependences through scalar variables among top-level
+// statements: flow (def→use), anti (use→def), output (def→def), both
+// within an iteration and carried around the back edge.
+func (ld *LoopDeps) scalarDeps(p *il.Proc, loop *il.DoLoop) {
+	n := len(loop.Body)
+	defs := make([]map[il.VarID]bool, n)
+	uses := make([]map[il.VarID]bool, n)
+	for i, s := range loop.Body {
+		defs[i] = map[il.VarID]bool{}
+		uses[i] = map[il.VarID]bool{}
+		il.WalkStmts([]il.Stmt{s}, func(sub il.Stmt) bool {
+			if dv := il.DefinedVar(sub); dv != il.NoVar {
+				defs[i][dv] = true
+			}
+			for _, u := range usedScalars(sub) {
+				uses[i][u] = true
+			}
+			return true
+		})
+		// The loop IV is defined by the loop header, not body statements.
+		delete(defs[i], loop.IV)
+	}
+	add := func(from, to int, kind DepKind, carried bool, v il.VarID) {
+		ld.Deps = append(ld.Deps, Dep{From: from, To: to, Kind: kind,
+			Carried: carried, Distance: 1, Known: carried, Scalar: true, Var: v})
+	}
+	for i := 0; i < n; i++ {
+		for v := range defs[i] {
+			// Forward within the iteration until the next def kills it.
+			for j := i + 1; j < n; j++ {
+				if uses[j][v] {
+					add(i, j, Flow, false, v)
+				}
+				if defs[j][v] {
+					add(i, j, Output, false, v)
+					break
+				}
+			}
+			// Carried to earlier-or-same statements around the back edge,
+			// unless an intervening def kills it first.
+			killed := false
+			for j := i + 1; j < n && !killed; j++ {
+				killed = defs[j][v]
+			}
+			if !killed {
+				for j := 0; j <= i; j++ {
+					if uses[j][v] {
+						add(i, j, Flow, true, v)
+					}
+					if defs[j][v] {
+						add(i, j, Output, true, v)
+						break
+					}
+				}
+			}
+		}
+		for v := range uses[i] {
+			// Anti: use then later def (same iteration).
+			for j := i + 1; j < n; j++ {
+				if defs[j][v] {
+					add(i, j, Anti, false, v)
+					break
+				}
+			}
+		}
+	}
+}
+
+// usedScalars returns scalar variables read by a statement.
+func usedScalars(s il.Stmt) []il.VarID {
+	var out []il.VarID
+	add := func(e il.Expr) {
+		il.WalkExpr(e, func(x il.Expr) bool {
+			if v, ok := x.(*il.VarRef); ok {
+				out = append(out, v.ID)
+			}
+			return true
+		})
+	}
+	if as, ok := s.(*il.Assign); ok {
+		if ld, isStore := as.Dst.(*il.Load); isStore {
+			add(ld.Addr)
+		}
+		add(as.Src)
+		return out
+	}
+	il.StmtExprs(s, add)
+	return out
+}
+
+// barrierDeps serializes barrier statements against everything.
+func (ld *LoopDeps) barrierDeps() {
+	n := len(ld.Barrier)
+	for i := 0; i < n; i++ {
+		if !ld.Barrier[i] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if j == i {
+				// A barrier depends on itself across iterations.
+				ld.Deps = append(ld.Deps, Dep{From: i, To: i, Kind: Output, Carried: true})
+				continue
+			}
+			ld.Deps = append(ld.Deps, Dep{From: i, To: j, Kind: Output, Carried: true})
+			ld.Deps = append(ld.Deps, Dep{From: j, To: i, Kind: Output, Carried: true})
+		}
+	}
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs64(a int64) int64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

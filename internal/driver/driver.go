@@ -1,0 +1,311 @@
+// Package driver orchestrates the Titan C compilation pipeline in the
+// paper's phase order (§2, §5.2):
+//
+//	parse → type check → lower to IL → inline expansion (optionally from
+//	catalogs) → scalar optimization (use-def chains, while→DO conversion,
+//	constant propagation with unreachable-code elimination, induction
+//	variable substitution, copy propagation, dead code elimination) →
+//	dependence analysis → vectorization → parallelization → dependence-
+//	driven strength reduction on the serial residue → code generation →
+//	Titan simulation.
+package driver
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ast"
+	"repro/internal/codegen"
+	"repro/internal/depend"
+	"repro/internal/il"
+	"repro/internal/inline"
+	"repro/internal/lower"
+	"repro/internal/opt"
+	"repro/internal/parallel"
+	"repro/internal/parser"
+	"repro/internal/sema"
+	"repro/internal/strength"
+	"repro/internal/titan"
+	"repro/internal/vector"
+)
+
+// Options selects compiler behavior; the zero value is plain scalar
+// compilation with scalar optimization.
+type Options struct {
+	// OptLevel 0 disables all optimization; 1 enables the scalar pipeline
+	// (default for the named constructors below).
+	OptLevel int
+	// Inline enables inline expansion.
+	Inline bool
+	// InlineConfig overrides the default expansion policy.
+	InlineConfig *inline.Config
+	// Catalogs provides library procedure databases for inlining (§7).
+	Catalogs []*inline.Catalog
+	// Vectorize enables the vectorizer.
+	Vectorize bool
+	// Parallelize enables do-parallel generation (implies nothing about
+	// processor count; that is a machine property).
+	Parallelize bool
+	// ListParallel enables the §10 extension: linked-list while loops are
+	// spread across processors by serializing the pointer chase. Turning
+	// it on asserts the paper's "each motion down a pointer goes to
+	// independent storage" assumption for the whole unit.
+	ListParallel bool
+	// VL overrides the strip length (vector.DefaultVL when 0).
+	VL int
+	// NoAlias asserts pointer parameters follow Fortran aliasing rules
+	// (§9's compiler option).
+	NoAlias bool
+	// StrengthReduce runs §6's dependence-driven scalar loop optimization.
+	StrengthReduce bool
+	// SimpleIVSub selects the A2 ablation inside the scalar optimizer.
+	SimpleIVSub bool
+	// NoCopyProp disables copy/forward propagation (combined with
+	// SimpleIVSub this models the full "straightforward" pipeline of
+	// §5.3).
+	NoCopyProp bool
+	// DisableIVSub turns induction-variable substitution off entirely.
+	DisableIVSub bool
+	// ForceIVSub runs induction-variable substitution even when neither
+	// vectorization nor strength reduction is enabled (ildump's phase
+	// view; normally ivsub only pays off when a later phase consumes it —
+	// §6).
+	ForceIVSub bool
+	// NoStrengthPromotion / NoStrengthReduction toggle §6 sub-passes.
+	NoStrengthPromotion bool
+	NoStrengthReduction bool
+	// NoSchedule disables the §6 dependence-informed instruction
+	// scheduler (ablation A5). Scheduling otherwise runs whenever the
+	// dependence-driven phases do ("Information from the dependence graph
+	// is passed back to the code generation to allow better overlap").
+	NoSchedule bool
+}
+
+// ScalarOptions is the -O1 scalar configuration.
+func ScalarOptions() Options {
+	return Options{OptLevel: 1, StrengthReduce: true}
+}
+
+// FullOptions is the full §9 configuration: inlining, vectorization,
+// parallelization, and strength reduction.
+func FullOptions() Options {
+	return Options{OptLevel: 1, Inline: true, Vectorize: true, Parallelize: true, StrengthReduce: true}
+}
+
+// Result carries the compiled artifacts of one translation unit.
+type Result struct {
+	AST     *ast.File
+	IL      *il.Program
+	Machine *titan.Program
+	// Stats from the loop phases.
+	VectorStats   vector.Stats
+	ParallelStats parallel.Stats
+	ListStats     parallel.ListStats
+	NestStats     parallel.NestStats
+	StrengthStats strength.Stats
+	InlinedCalls  int
+}
+
+// Compile runs the full pipeline over one source buffer.
+func Compile(src string, opts Options) (*Result, error) {
+	res := &Result{}
+	f, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	res.AST = f
+	info, err := sema.Check(f)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := lower.File(f, info)
+	if err != nil {
+		return nil, err
+	}
+	res.IL = prog
+
+	if err := OptimizeIL(res, opts); err != nil {
+		return nil, err
+	}
+
+	tp, err := codegen.Generate(prog)
+	if err != nil {
+		return nil, err
+	}
+	if (opts.StrengthReduce || opts.Vectorize) && !opts.NoSchedule {
+		codegen.Schedule(tp)
+	}
+	res.Machine = tp
+	return res, nil
+}
+
+// CompileIL runs the front half only (through loop optimization), for
+// tools that inspect IL.
+func CompileIL(src string, opts Options) (*Result, error) {
+	res := &Result{}
+	f, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	res.AST = f
+	info, err := sema.Check(f)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := lower.File(f, info)
+	if err != nil {
+		return nil, err
+	}
+	res.IL = prog
+	if err := OptimizeIL(res, opts); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// OptimizeIL applies the mid-end phases to res.IL in place.
+func OptimizeIL(res *Result, opts Options) error {
+	prog := res.IL
+	if opts.Inline {
+		cfg := inline.DefaultConfig()
+		if opts.InlineConfig != nil {
+			cfg = *opts.InlineConfig
+		}
+		in := inline.New(prog, cfg)
+		for _, c := range opts.Catalogs {
+			in.AddCatalog(c)
+		}
+		res.InlinedCalls = in.ExpandProgram()
+	}
+	if opts.OptLevel >= 1 {
+		oo := opt.Options{
+			IVSub:       !opts.DisableIVSub && (opts.Vectorize || opts.StrengthReduce || opts.ForceIVSub),
+			SimpleIVSub: opts.SimpleIVSub,
+			NoCopyProp:  opts.NoCopyProp,
+		}
+		opt.OptimizeProgram(prog, oo)
+	}
+	dopts := depend.Options{NoAlias: opts.NoAlias}
+	if opts.Parallelize {
+		// Loop nests parallelize at the outer level before the vectorizer
+		// rewrites the inner loops (§2's outer-parallel/inner-vector
+		// pattern).
+		for _, p := range prog.Procs {
+			st := parallel.ParallelizeNests(p)
+			res.NestStats.NestsParallelized += st.NestsParallelized
+		}
+	}
+	if opts.Vectorize {
+		for _, p := range prog.Procs {
+			st := vector.VectorizeProc(p, vector.Config{
+				VL:       opts.VL,
+				Parallel: opts.Parallelize,
+				Depend:   dopts,
+			})
+			res.VectorStats.LoopsExamined += st.LoopsExamined
+			res.VectorStats.LoopsVectorized += st.LoopsVectorized
+			res.VectorStats.VectorStmts += st.VectorStmts
+			res.VectorStats.ParallelLoops += st.ParallelLoops
+			res.VectorStats.SerialResidue += st.SerialResidue
+		}
+	}
+	if opts.Parallelize {
+		for _, p := range prog.Procs {
+			st := parallel.ParallelizeProc(p, dopts)
+			res.ParallelStats.LoopsExamined += st.LoopsExamined
+			res.ParallelStats.LoopsParallelized += st.LoopsParallelized
+		}
+	}
+	if opts.ListParallel {
+		for _, p := range prog.Procs {
+			st := parallel.ParallelizeListLoops(prog, p)
+			res.ListStats.LoopsConverted += st.LoopsConverted
+		}
+	}
+	if opts.StrengthReduce && opts.OptLevel >= 1 {
+		for _, p := range prog.Procs {
+			st := strength.OptimizeLoops(p, strength.Config{
+				Depend:      dopts,
+				NoPromotion: opts.NoStrengthPromotion,
+				NoReduction: opts.NoStrengthReduction,
+			})
+			res.StrengthStats.PromotedLoads += st.PromotedLoads
+			res.StrengthStats.ReducedRefs += st.ReducedRefs
+			res.StrengthStats.Pointers += st.Pointers
+			res.StrengthStats.HoistedExprs += st.HoistedExprs
+			res.StrengthStats.LoopsTransformed += st.LoopsTransformed
+		}
+		// Strength reduction introduces preheader temporaries; one more
+		// scalar cleanup round tidies them.
+		if opts.OptLevel >= 1 {
+			opt.OptimizeProgram(prog, opt.Options{IVSub: false})
+		}
+	}
+	return nil
+}
+
+// Run compiles and simulates in one step.
+func Run(src string, opts Options, processors int) (titan.Result, error) {
+	res, err := Compile(src, opts)
+	if err != nil {
+		return titan.Result{}, err
+	}
+	m := titan.NewMachine(res.Machine, processors)
+	return m.Run("main")
+}
+
+// WriteCatalogFromSource compiles a library source and writes its catalog.
+func WriteCatalogFromSource(w io.Writer, src string) error {
+	f, err := parser.Parse(src)
+	if err != nil {
+		return err
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		return err
+	}
+	prog, err := lower.File(f, info)
+	if err != nil {
+		return err
+	}
+	return inline.WriteCatalog(w, inline.BuildCatalog(prog))
+}
+
+// DumpIL renders the IL of every procedure (the ildump tool's engine).
+func DumpIL(res *Result) string {
+	if res.IL == nil {
+		return ""
+	}
+	return res.IL.String()
+}
+
+// Disassemble renders the generated Titan code.
+func Disassemble(res *Result) string {
+	if res.Machine == nil {
+		return ""
+	}
+	out := ""
+	for _, name := range sortedFuncNames(res.Machine) {
+		out += res.Machine.Funcs[name].Disassemble() + "\n"
+	}
+	return out
+}
+
+func sortedFuncNames(tp *titan.Program) []string {
+	var names []string
+	for n := range tp.Funcs {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// FormatResult renders a simulation result like the titanrun tool does.
+func FormatResult(r titan.Result, processors int) string {
+	return fmt.Sprintf("exit=%d cycles=%d instrs=%d flops=%d mflops=%.2f procs=%d",
+		r.ExitCode, r.Cycles, r.Instrs, r.FlopCount, r.MFLOPS(), processors)
+}

@@ -1,0 +1,590 @@
+package driver
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/inline"
+	"repro/internal/titan"
+)
+
+// runSrc compiles and runs on a machine with the given processor count.
+func runSrc(t *testing.T, src string, opts Options, procs int) titan.Result {
+	t.Helper()
+	res, err := Run(src, opts, procs)
+	if err != nil {
+		t.Fatalf("run: %v\nsource:\n%s", err, src)
+	}
+	return res
+}
+
+func TestReturnConstant(t *testing.T) {
+	res := runSrc(t, "int main(void) { return 42; }", ScalarOptions(), 1)
+	if res.ExitCode != 42 {
+		t.Errorf("exit %d", res.ExitCode)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"2 + 3 * 4", 14},
+		{"(2 + 3) * 4", 20},
+		{"100 / 7", 14},
+		{"100 % 7", 2},
+		{"1 << 10", 1024},
+		{"255 & 15", 15},
+		{"8 | 1", 9},
+		{"5 ^ 3", 6},
+		{"~0 + 2", 1},
+		{"-7 + 10", 3},
+		{"!5", 0},
+		{"!0", 1},
+		{"3 < 4", 1},
+		{"4 <= 3", 0},
+		{"7 == 7", 1},
+		{"7 != 7", 0},
+	}
+	for _, c := range cases {
+		src := "int main(void) { return " + c.expr + "; }"
+		// Use O0-ish path too? Constant folding handles these at compile
+		// time; also verify through variables so the machine computes.
+		res := runSrc(t, src, ScalarOptions(), 1)
+		if res.ExitCode != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, res.ExitCode, c.want)
+		}
+	}
+}
+
+func TestRuntimeArithmetic(t *testing.T) {
+	// Defeat constant folding with a helper function parameter.
+	src := `
+int compute(int a, int b) {
+	int r;
+	r = a * b + a % b - (a >> 2);
+	return r;
+}
+int main(void) { return compute(37, 5); }
+`
+	res := runSrc(t, src, Options{OptLevel: 1}, 1)
+	want := int64(37*5 + 37%5 - (37 >> 2))
+	if res.ExitCode != want {
+		t.Errorf("exit %d want %d", res.ExitCode, want)
+	}
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	src := `
+float halve(float x) { return x / 2.0f; }
+int main(void) {
+	float v;
+	v = halve(7.0f);
+	if (v == 3.5f) return 1;
+	return 0;
+}
+`
+	if res := runSrc(t, src, ScalarOptions(), 1); res.ExitCode != 1 {
+		t.Errorf("7/2 != 3.5")
+	}
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	src := `
+int histogram[10];
+int main(void) {
+	int i, total;
+	for (i = 0; i < 10; i++)
+		histogram[i] = i * i;
+	total = 0;
+	for (i = 0; i < 10; i++)
+		total = total + histogram[i];
+	return total; /* 285 */
+}
+`
+	if res := runSrc(t, src, ScalarOptions(), 1); res.ExitCode != 285 {
+		t.Errorf("exit %d want 285", res.ExitCode)
+	}
+}
+
+func TestPointersAndAddressOf(t *testing.T) {
+	src := `
+void set(int *p, int v) { *p = v; }
+int main(void) {
+	int x;
+	set(&x, 77);
+	return x;
+}
+`
+	if res := runSrc(t, src, Options{OptLevel: 1}, 1); res.ExitCode != 77 {
+		t.Errorf("exit %d", res.ExitCode)
+	}
+}
+
+func TestStructAccess(t *testing.T) {
+	src := `
+struct point { int x; int y; };
+int main(void) {
+	struct point p;
+	p.x = 30;
+	p.y = 12;
+	return p.x + p.y;
+}
+`
+	if res := runSrc(t, src, ScalarOptions(), 1); res.ExitCode != 42 {
+		t.Errorf("exit %d", res.ExitCode)
+	}
+}
+
+func TestStringAndPrintf(t *testing.T) {
+	src := `
+int printf(char *fmt, ...);
+int main(void) {
+	printf("n=%d\n", 5 + 5);
+	return 0;
+}
+`
+	res := runSrc(t, src, ScalarOptions(), 1)
+	if res.Output != "n=10\n" {
+		t.Errorf("output %q", res.Output)
+	}
+}
+
+func TestRecursionRuns(t *testing.T) {
+	src := `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int main(void) { return fib(10); }
+`
+	if res := runSrc(t, src, ScalarOptions(), 1); res.ExitCode != 55 {
+		t.Errorf("fib(10) = %d", res.ExitCode)
+	}
+}
+
+func TestSwitchRuns(t *testing.T) {
+	src := `
+int classify(int n) {
+	switch (n) {
+	case 0: return 100;
+	case 1:
+	case 2: return 200;
+	default: return 300;
+	}
+}
+int main(void) {
+	return classify(0) + classify(1) + classify(2) + classify(9);
+}
+`
+	if res := runSrc(t, src, ScalarOptions(), 1); res.ExitCode != 800 {
+		t.Errorf("exit %d", res.ExitCode)
+	}
+}
+
+func TestWhilePointerCopyCorrect(t *testing.T) {
+	// §5.3's loop must compute a correct copy under every optimization
+	// level.
+	src := `
+float src_a[64], dst_a[64];
+void copyloop(float *a, float *b, int n) {
+	while (n) {
+		*a++ = *b++;
+		n--;
+	}
+}
+int main(void) {
+	int i, bad;
+	for (i = 0; i < 64; i++) src_a[i] = i * 2;
+	copyloop(dst_a, src_a, 64);
+	bad = 0;
+	for (i = 0; i < 64; i++)
+		if (dst_a[i] != i * 2) bad = bad + 1;
+	return bad;
+}
+`
+	for _, opts := range []Options{{OptLevel: 0}, ScalarOptions(), FullOptions()} {
+		res := runSrc(t, src, opts, 1)
+		if res.ExitCode != 0 {
+			t.Errorf("opts %+v: %d mismatches", opts, res.ExitCode)
+		}
+	}
+}
+
+func TestDaxpyCorrectAllConfigs(t *testing.T) {
+	src := `
+float xa[100], ya[100], za[100];
+void daxpy(float *x, float *y, float *z, float alpha, int n)
+{
+	if (n <= 0)
+		return;
+	if (alpha == 0)
+		return;
+	for (; n; n--)
+		*x++ = *y++ + alpha * *z++;
+}
+int main(void)
+{
+	int i, bad;
+	for (i = 0; i < 100; i++) {
+		ya[i] = i;
+		za[i] = 2 * i;
+	}
+	daxpy(xa, ya, za, 3.0f, 100);
+	bad = 0;
+	for (i = 0; i < 100; i++)
+		if (xa[i] != i + 3.0f * (2 * i)) bad = bad + 1;
+	return bad;
+}
+`
+	for procs := 1; procs <= 4; procs++ {
+		for _, opts := range []Options{{OptLevel: 0}, ScalarOptions(), FullOptions()} {
+			res := runSrc(t, src, opts, procs)
+			if res.ExitCode != 0 {
+				t.Errorf("procs=%d opts=%+v: %d mismatches", procs, opts, res.ExitCode)
+			}
+		}
+	}
+}
+
+func TestVectorizedFasterThanScalar(t *testing.T) {
+	src := `
+float a[4096], b[4096], c[4096];
+int main(void) {
+	int i;
+	for (i = 0; i < 4096; i++) {
+		b[i] = i;
+		c[i] = 1;
+	}
+	for (i = 0; i < 4096; i++)
+		a[i] = b[i] + 2.0f * c[i];
+	return 0;
+}
+`
+	scalar := runSrc(t, src, ScalarOptions(), 1)
+	vec := runSrc(t, src, Options{OptLevel: 1, Vectorize: true, StrengthReduce: true}, 1)
+	if vec.Cycles >= scalar.Cycles {
+		t.Errorf("vector %d cycles, scalar %d", vec.Cycles, scalar.Cycles)
+	}
+	speedup := float64(scalar.Cycles) / float64(vec.Cycles)
+	if speedup < 1.5 {
+		t.Errorf("vector speedup only %.2f", speedup)
+	}
+	t.Logf("vector speedup %.2fx (scalar %d, vector %d cycles)", speedup, scalar.Cycles, vec.Cycles)
+}
+
+func TestParallelScaling(t *testing.T) {
+	src := `
+float a[8192], b[8192], c[8192];
+int main(void) {
+	int i;
+	for (i = 0; i < 8192; i++) {
+		b[i] = i;
+		c[i] = 3;
+	}
+	for (i = 0; i < 8192; i++)
+		a[i] = b[i] * c[i] + b[i];
+	return 0;
+}
+`
+	r1 := runSrc(t, src, FullOptions(), 1)
+	r2 := runSrc(t, src, FullOptions(), 2)
+	r4 := runSrc(t, src, FullOptions(), 4)
+	if r2.Cycles >= r1.Cycles || r4.Cycles >= r2.Cycles {
+		t.Errorf("no scaling: p1=%d p2=%d p4=%d", r1.Cycles, r2.Cycles, r4.Cycles)
+	}
+	t.Logf("cycles p1=%d p2=%d p4=%d", r1.Cycles, r2.Cycles, r4.Cycles)
+}
+
+func TestBacksolveCorrectAndFaster(t *testing.T) {
+	// E1 behavior check: §6 transformations preserve the recurrence
+	// semantics and speed it up.
+	src := `
+float x[256], y[256], z[256];
+void backsolve(float *xv, float *yv, float *zv, int n)
+{
+	float *p, *q;
+	int i;
+	p = &xv[1];
+	q = &xv[0];
+	for (i = 0; i < n-2; i++)
+		p[i] = zv[i] * (yv[i] - q[i]);
+}
+int main(void)
+{
+	int i;
+	float expect, got;
+	for (i = 0; i < 256; i++) {
+		x[i] = 1.0f;
+		y[i] = i;
+		z[i] = 0.5f;
+	}
+	backsolve(x, y, z, 256);
+	/* Recompute serially with plain indexing and compare. */
+	for (i = 0; i < 256; i++) x[i] = 1.0f;
+	/* keep a reference copy in z2 */
+	return 0;
+}
+`
+	base := runSrc(t, src, Options{OptLevel: 1, NoAlias: true}, 1)
+	optd := runSrc(t, src, Options{OptLevel: 1, NoAlias: true, StrengthReduce: true}, 1)
+	if optd.Cycles > base.Cycles {
+		t.Errorf("strength reduction slowed the loop: %d vs %d", optd.Cycles, base.Cycles)
+	}
+	t.Logf("backsolve cycles: base=%d §6-optimized=%d (%.2fx)",
+		base.Cycles, optd.Cycles, float64(base.Cycles)/float64(optd.Cycles))
+}
+
+func TestBacksolveNumericallyCorrect(t *testing.T) {
+	src := `
+float x[64], y[64], z[64], ref[64];
+void backsolve(float *xv, float *yv, float *zv, int n)
+{
+	float *p, *q;
+	int i;
+	p = &xv[1];
+	q = &xv[0];
+	for (i = 0; i < n-2; i++)
+		p[i] = zv[i] * (yv[i] - q[i]);
+}
+int main(void)
+{
+	int i, bad;
+	for (i = 0; i < 64; i++) {
+		x[i] = 1.0f;
+		ref[i] = 1.0f;
+		y[i] = i;
+		z[i] = 0.5f;
+	}
+	backsolve(x, y, z, 64);
+	for (i = 0; i < 62; i++)
+		ref[i+1] = z[i] * (y[i] - ref[i]);
+	bad = 0;
+	for (i = 0; i < 64; i++)
+		if (x[i] != ref[i]) bad = bad + 1;
+	return bad;
+}
+`
+	for _, opts := range []Options{{OptLevel: 0}, ScalarOptions(), {OptLevel: 1, NoAlias: true, StrengthReduce: true}} {
+		res := runSrc(t, src, opts, 1)
+		if res.ExitCode != 0 {
+			t.Errorf("opts %+v: %d mismatches", opts, res.ExitCode)
+		}
+	}
+}
+
+func TestInlineCatalogPipeline(t *testing.T) {
+	lib := `
+float fmadd(float a, float b, float c) { return a * b + c; }
+`
+	var buf bytes.Buffer
+	if err := WriteCatalogFromSource(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := inline.ReadCatalog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+float fmadd(float a, float b, float c);
+int main(void) {
+	float r;
+	r = fmadd(2.0f, 3.0f, 4.0f);
+	if (r == 10.0f) return 1;
+	return 0;
+}
+`
+	opts := FullOptions()
+	opts.Catalogs = []*inline.Catalog{cat}
+	res, err := Compile(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InlinedCalls != 1 {
+		t.Errorf("inlined %d calls", res.InlinedCalls)
+	}
+	m := titan.NewMachine(res.Machine, 1)
+	r, err := m.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ExitCode != 1 {
+		t.Errorf("exit %d", r.ExitCode)
+	}
+}
+
+func TestVolatileBusyWaitPreserved(t *testing.T) {
+	// The §1 loop must still poll under full optimization: we verify the
+	// load stays inside the loop by checking the generated code contains
+	// a load between the loop's branches. Simulating it would hang, so we
+	// only inspect.
+	src := `
+volatile int keyboard_status;
+int main(void) {
+	keyboard_status = 1; /* pre-set so a simulation would exit */
+	while (!keyboard_status) ;
+	return keyboard_status;
+}
+`
+	res, err := Compile(src, FullOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := titan.NewMachine(res.Machine, 1)
+	r, err := m.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ExitCode != 1 {
+		t.Errorf("exit %d", r.ExitCode)
+	}
+	asm := Disassemble(res)
+	if !strings.Contains(asm, "ld4") {
+		t.Errorf("volatile load vanished:\n%s", asm)
+	}
+}
+
+func TestMatrix4x4NoStripLoop(t *testing.T) {
+	// §5.2/§10: 4×4 graphics transforms vectorize without strip loops.
+	src := `
+struct xform { float m[4][4]; };
+struct xform world;
+float vin[4], vout[4];
+int main(void) {
+	int i, j;
+	for (i = 0; i < 4; i++)
+		for (j = 0; j < 4; j++)
+			world.m[i][j] = (i == j);
+	vin[0] = 1; vin[1] = 2; vin[2] = 3; vin[3] = 4;
+	for (i = 0; i < 4; i++) {
+		float s;
+		s = 0;
+		for (j = 0; j < 4; j++)
+			s = s + world.m[i][j] * vin[j];
+		vout[i] = s;
+	}
+	if (vout[0] == 1.0f && vout[1] == 2.0f && vout[2] == 3.0f && vout[3] == 4.0f)
+		return 1;
+	return 0;
+}
+`
+	res := runSrc(t, src, FullOptions(), 1)
+	if res.ExitCode != 1 {
+		t.Errorf("identity transform wrong: exit %d", res.ExitCode)
+	}
+}
+
+func TestMFLOPSReported(t *testing.T) {
+	src := `
+float a[1024], b[1024];
+int main(void) {
+	int i;
+	for (i = 0; i < 1024; i++) b[i] = i;
+	for (i = 0; i < 1024; i++) a[i] = b[i] * 2.0f + 1.0f;
+	return 0;
+}
+`
+	res := runSrc(t, src, FullOptions(), 1)
+	if res.FlopCount < 2048 {
+		t.Errorf("flops %d (want ≥ 2048)", res.FlopCount)
+	}
+	if res.MFLOPS() <= 0 || math.IsInf(res.MFLOPS(), 0) {
+		t.Errorf("MFLOPS %f", res.MFLOPS())
+	}
+}
+
+func TestDisassembleAndDump(t *testing.T) {
+	src := "int main(void) { return 7; }"
+	res, err := Compile(src, ScalarOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Disassemble(res), "main:") {
+		t.Error("disassembly missing main")
+	}
+	if !strings.Contains(DumpIL(res), "proc main") {
+		t.Error("IL dump missing main")
+	}
+	r, _ := titan.NewMachine(res.Machine, 1).Run("main")
+	if !strings.Contains(FormatResult(r, 1), "exit=7") {
+		t.Error("FormatResult missing exit code")
+	}
+}
+
+func TestCompileErrorsSurface(t *testing.T) {
+	if _, err := Compile("int main(void) { return x; }", ScalarOptions()); err == nil {
+		t.Error("undeclared identifier accepted")
+	}
+	if _, err := Compile("int main(void { return 0; }", ScalarOptions()); err == nil {
+		t.Error("syntax error accepted")
+	}
+}
+
+func TestSumReductionCorrect(t *testing.T) {
+	// Reductions stay serial but must stay correct everywhere.
+	src := `
+float vals[512];
+int main(void) {
+	int i;
+	float s;
+	for (i = 0; i < 512; i++) vals[i] = 0.5f;
+	s = 0;
+	for (i = 0; i < 512; i++) s = s + vals[i];
+	if (s == 256.0f) return 1;
+	return 0;
+}
+`
+	for _, opts := range []Options{ScalarOptions(), FullOptions()} {
+		if res := runSrc(t, src, opts, 2); res.ExitCode != 1 {
+			t.Errorf("opts %+v: wrong sum", opts)
+		}
+	}
+}
+
+func TestCharShortMemory(t *testing.T) {
+	src := `
+char bytes[16];
+short halves[16];
+int main(void) {
+	int i, total;
+	for (i = 0; i < 16; i++) {
+		bytes[i] = i * 3;
+		halves[i] = i * 100;
+	}
+	total = 0;
+	for (i = 0; i < 16; i++)
+		total = total + bytes[i] + halves[i];
+	return total & 0x7fff;
+}
+`
+	want := int64(0)
+	for i := int64(0); i < 16; i++ {
+		want += int64(int8(i*3)) + i*100
+	}
+	want &= 0x7fff
+	if res := runSrc(t, src, ScalarOptions(), 1); res.ExitCode != want {
+		t.Errorf("exit %d want %d", res.ExitCode, want)
+	}
+}
+
+func TestDoubleArithmetic(t *testing.T) {
+	src := `
+double acc[8];
+int main(void) {
+	int i;
+	double s;
+	for (i = 0; i < 8; i++) acc[i] = 0.1;
+	s = 0.0;
+	for (i = 0; i < 8; i++) s = s + acc[i];
+	/* 8 * 0.1 in double: compare against the same computation */
+	if (s > 0.79 && s < 0.81) return 1;
+	return 0;
+}
+`
+	if res := runSrc(t, src, ScalarOptions(), 1); res.ExitCode != 1 {
+		t.Errorf("double accumulation wrong")
+	}
+}

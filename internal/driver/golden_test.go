@@ -1,0 +1,99 @@
+package driver
+
+// Golden tests pin the IL that the pipeline produces for the paper's
+// centerpiece programs. Regenerate after an intentional change with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/driver -run Golden
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const goldenDaxpy = `
+void daxpy(float *x, float *y, float *z, float alpha, int n)
+{
+	if (n <= 0)
+		return;
+	if (alpha == 0)
+		return;
+	for (; n; n--)
+		*x++ = *y++ + alpha * *z++;
+}
+
+int main(void)
+{
+	float a[100], b[100], c[100];
+	daxpy(a, b, c, 1.0, 100);
+	return 0;
+}
+`
+
+const goldenBacksolve = `
+void backsolve(float *x, float *y, float *z, int n)
+{
+	float *p, *q;
+	int i;
+	p = &x[1];
+	q = &x[0];
+	for (i = 0; i < n-2; i++)
+		p[i] = z[i] * (y[i] - q[i]);
+}
+`
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with UPDATE_GOLDEN=1): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("golden mismatch for %s.\n--- want\n%s\n--- got\n%s", name, want, got)
+	}
+}
+
+func TestGoldenDaxpyFinalIL(t *testing.T) {
+	res, err := CompileIL(goldenDaxpy, FullOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "daxpy_main_full.il", res.IL.Proc("main").String())
+}
+
+func TestGoldenBacksolveStrengthIL(t *testing.T) {
+	res, err := CompileIL(goldenBacksolve, Options{
+		OptLevel: 1, NoAlias: true, StrengthReduce: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "backsolve_full.il", res.IL.Proc("backsolve").String())
+}
+
+func TestGoldenCopyLoopScalarIL(t *testing.T) {
+	src := `
+void copyloop(float *a, float *b, int n)
+{
+	while (n) {
+		*a++ = *b++;
+		n--;
+	}
+}
+`
+	res, err := CompileIL(src, Options{OptLevel: 1, ForceIVSub: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "copyloop_scalar.il", res.IL.Proc("copyloop").String())
+}

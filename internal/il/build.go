@@ -1,0 +1,252 @@
+package il
+
+import "repro/internal/ctype"
+
+// This file provides smart constructors used throughout the optimizer. The
+// binary constructors fold constant operands and apply simple algebraic
+// identities, which keeps address arithmetic built by the lowering and
+// substitution passes in a canonical, readable form.
+
+// Int returns an int constant.
+func Int(v int64) *ConstInt { return &ConstInt{Val: v, T: ctype.IntType} }
+
+// Flt returns a float constant of type t (float or double).
+func Flt(v float64, t *ctype.Type) *ConstFloat { return &ConstFloat{Val: v, T: t} }
+
+// Ref returns a variable reference.
+func Ref(id VarID, t *ctype.Type) *VarRef { return &VarRef{ID: id, T: t} }
+
+// IsIntConst reports whether e is an integer constant, returning its value.
+func IsIntConst(e Expr) (int64, bool) {
+	if c, ok := e.(*ConstInt); ok {
+		return c.Val, true
+	}
+	return 0, false
+}
+
+// IsZero reports whether e is the integer or float constant zero.
+func IsZero(e Expr) bool {
+	switch c := e.(type) {
+	case *ConstInt:
+		return c.Val == 0
+	case *ConstFloat:
+		return c.Val == 0
+	}
+	return false
+}
+
+// IsOne reports whether e is the integer constant one.
+func IsOne(e Expr) bool {
+	c, ok := e.(*ConstInt)
+	return ok && c.Val == 1
+}
+
+// NewBin builds a binary expression, folding integer constant operands and
+// applying the identities x+0, x-0, x*1, x*0, 0+x, 1*x, x/1.
+func NewBin(op Op, l, r Expr, t *ctype.Type) Expr {
+	lc, lok := l.(*ConstInt)
+	rc, rok := r.(*ConstInt)
+	if lok && rok && t.IsInteger() {
+		// Folding uses signed 64-bit semantics; an unsigned operand whose
+		// value wrapped negative would fold wrong, so leave it to the
+		// machine (which canonicalizes unsigned operands).
+		unsignedHazard := (unsignedType(lc.T) && lc.Val < 0) ||
+			(unsignedType(rc.T) && rc.Val < 0)
+		if !unsignedHazard {
+			if v, ok := foldInt(op, lc.Val, rc.Val); ok {
+				return &ConstInt{Val: v, T: t}
+			}
+		}
+	}
+	lf, lfok := l.(*ConstFloat)
+	rf, rfok := r.(*ConstFloat)
+	if lfok && rfok && t.IsFloat() {
+		if v, ok := foldFloat(op, lf.Val, rf.Val); ok {
+			return &ConstFloat{Val: v, T: t}
+		}
+	}
+	switch op {
+	case OpAdd:
+		if IsZero(l) {
+			return r
+		}
+		if IsZero(r) {
+			return l
+		}
+	case OpSub:
+		if IsZero(r) {
+			return l
+		}
+	case OpMul:
+		if IsOne(l) {
+			return r
+		}
+		if IsOne(r) {
+			return l
+		}
+		if t.IsInteger() && (IsZero(l) || IsZero(r)) {
+			return &ConstInt{Val: 0, T: t}
+		}
+	case OpDiv:
+		if IsOne(r) {
+			return l
+		}
+	}
+	return &Bin{Op: op, L: l, R: r, T: t}
+}
+
+func unsignedType(t *ctype.Type) bool { return t != nil && t.Unsigned }
+
+func foldInt(op Op, a, b int64) (int64, bool) {
+	b2i := func(c bool) int64 {
+		if c {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case OpAdd:
+		return a + b, true
+	case OpSub:
+		return a - b, true
+	case OpMul:
+		return a * b, true
+	case OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case OpRem:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case OpAnd:
+		return a & b, true
+	case OpOr:
+		return a | b, true
+	case OpXor:
+		return a ^ b, true
+	case OpShl:
+		if b < 0 || b > 63 {
+			return 0, false
+		}
+		return a << uint(b), true
+	case OpShr:
+		if b < 0 || b > 63 {
+			return 0, false
+		}
+		return a >> uint(b), true
+	case OpEq:
+		return b2i(a == b), true
+	case OpNe:
+		return b2i(a != b), true
+	case OpLt:
+		return b2i(a < b), true
+	case OpGt:
+		return b2i(a > b), true
+	case OpLe:
+		return b2i(a <= b), true
+	case OpGe:
+		return b2i(a >= b), true
+	}
+	return 0, false
+}
+
+func foldFloat(op Op, a, b float64) (float64, bool) {
+	switch op {
+	case OpAdd:
+		return a + b, true
+	case OpSub:
+		return a - b, true
+	case OpMul:
+		return a * b, true
+	case OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	}
+	return 0, false
+}
+
+// FoldCompareFloat folds a comparison over float constants to 0/1.
+func FoldCompareFloat(op Op, a, b float64) (int64, bool) {
+	b2i := func(c bool) int64 {
+		if c {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case OpEq:
+		return b2i(a == b), true
+	case OpNe:
+		return b2i(a != b), true
+	case OpLt:
+		return b2i(a < b), true
+	case OpGt:
+		return b2i(a > b), true
+	case OpLe:
+		return b2i(a <= b), true
+	case OpGe:
+		return b2i(a >= b), true
+	}
+	return 0, false
+}
+
+// Add builds l+r of type t with folding.
+func Add(l, r Expr, t *ctype.Type) Expr { return NewBin(OpAdd, l, r, t) }
+
+// Sub builds l-r of type t with folding.
+func Sub(l, r Expr, t *ctype.Type) Expr { return NewBin(OpSub, l, r, t) }
+
+// Mul builds l*r of type t with folding.
+func Mul(l, r Expr, t *ctype.Type) Expr { return NewBin(OpMul, l, r, t) }
+
+// NewUn builds a unary expression, folding constants.
+func NewUn(op Op, x Expr, t *ctype.Type) Expr {
+	if c, ok := x.(*ConstInt); ok {
+		switch op {
+		case OpNeg:
+			return &ConstInt{Val: -c.Val, T: t}
+		case OpBitNot:
+			return &ConstInt{Val: ^c.Val, T: t}
+		case OpNot:
+			v := int64(0)
+			if c.Val == 0 {
+				v = 1
+			}
+			return &ConstInt{Val: v, T: t}
+		}
+	}
+	if c, ok := x.(*ConstFloat); ok && op == OpNeg {
+		return &ConstFloat{Val: -c.Val, T: t}
+	}
+	return &Un{Op: op, X: x, T: t}
+}
+
+// NewCast builds a cast, folding constant operands and eliding identity
+// casts between same-kind scalar types.
+func NewCast(x Expr, to *ctype.Type) Expr {
+	if x.Type() != nil && x.Type().Kind == to.Kind && x.Type().Unsigned == to.Unsigned {
+		return x
+	}
+	if c, ok := x.(*ConstInt); ok {
+		if to.IsFloat() {
+			return &ConstFloat{Val: float64(c.Val), T: to}
+		}
+		if to.IsInteger() || to.Kind == ctype.Pointer {
+			return &ConstInt{Val: c.Val, T: to}
+		}
+	}
+	if c, ok := x.(*ConstFloat); ok {
+		if to.IsInteger() {
+			return &ConstInt{Val: int64(c.Val), T: to}
+		}
+		if to.IsFloat() {
+			return &ConstFloat{Val: c.Val, T: to}
+		}
+	}
+	return &Cast{X: x, T: to}
+}

@@ -1,0 +1,493 @@
+// Package il defines the Titan compiler's high-level intermediate language.
+//
+// Following the paper (§3), the IL departs from the traditional low-level C
+// representation in three ways:
+//
+//   - Expressions are pure. Every operation that changes memory is an
+//     explicit statement: the IL has an assignment statement but no
+//     assignment operator, and ?:, &&, || and function calls are not
+//     representable inside expressions.
+//   - Loops are explicit. The front end lowers every C for loop to a While;
+//     the optimizer converts While loops to Fortran-style DoLoops when it
+//     can prove the iteration pattern, and the vectorizer converts DoLoops
+//     to VectorAssign and DoParallel forms.
+//   - Procedures contain no hard pointers. Variables are referenced by
+//     VarID (an index into the procedure's variable table), globals by
+//     name, and callees by name, so a procedure can be written to a catalog
+//     and inlined into another translation unit (§7).
+package il
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ctype"
+)
+
+// VarID indexes a procedure's Vars table.
+type VarID int
+
+// NoVar marks "no variable" (e.g. a call whose result is discarded).
+const NoVar VarID = -1
+
+// VarClass says where a variable lives.
+type VarClass int
+
+// Variable classes.
+const (
+	ClassParam  VarClass = iota // incoming parameter
+	ClassLocal                  // automatic local
+	ClassTemp                   // compiler temporary
+	ClassGlobal                 // reference to a program global (by name)
+	ClassStatic                 // function-static, exported as a hidden global
+)
+
+var classNames = [...]string{"param", "local", "temp", "global", "static"}
+
+// String names the class.
+func (c VarClass) String() string { return classNames[c] }
+
+// Var is one entry in a procedure's variable table.
+type Var struct {
+	Name  string
+	Type  *ctype.Type
+	Class VarClass
+	// AddrTaken records whether & was applied to the variable (or it is an
+	// array/aggregate, which is addressed by nature). Address-taken
+	// variables cannot be register-allocated and may alias loads/stores.
+	AddrTaken bool
+}
+
+// IsVolatile reports whether accesses to the variable are volatile.
+func (v *Var) IsVolatile() bool { return v.Type != nil && v.Type.Volatile }
+
+// ---------------------------------------------------------------- Expressions
+
+// Op is an IL operator. The set is smaller than C's: logical and
+// conditional operators were statement-ized by the front end.
+type Op int
+
+// Operators.
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpEq
+	OpNe
+	OpLt
+	OpGt
+	OpLe
+	OpGe
+	OpNeg // unary -
+	OpNot // unary ! (0/1 result)
+	OpBitNot
+)
+
+var opNames = [...]string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+	"==", "!=", "<", ">", "<=", ">=", "neg", "!", "~"}
+
+// String returns the operator spelling.
+func (op Op) String() string { return opNames[op] }
+
+// IsComparison reports whether op produces a 0/1 int.
+func (op Op) IsComparison() bool { return op >= OpEq && op <= OpGe }
+
+// IsCommutative reports whether op commutes.
+func (op Op) IsCommutative() bool {
+	switch op {
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor, OpEq, OpNe:
+		return true
+	}
+	return false
+}
+
+// Expr is a pure IL expression.
+type Expr interface {
+	Type() *ctype.Type
+	String() string
+	exprNode()
+}
+
+// ConstInt is an integer constant.
+type ConstInt struct {
+	Val int64
+	T   *ctype.Type
+}
+
+// Type returns the constant's type.
+func (e *ConstInt) Type() *ctype.Type { return e.T }
+
+// String renders the constant.
+func (e *ConstInt) String() string { return fmt.Sprintf("%d", e.Val) }
+func (e *ConstInt) exprNode()      {}
+
+// ConstFloat is a floating constant.
+type ConstFloat struct {
+	Val float64
+	T   *ctype.Type
+}
+
+// Type returns the constant's type.
+func (e *ConstFloat) Type() *ctype.Type { return e.T }
+
+// String renders the constant.
+func (e *ConstFloat) String() string { return fmt.Sprintf("%g", e.Val) }
+func (e *ConstFloat) exprNode()      {}
+
+// VarRef reads a scalar variable.
+type VarRef struct {
+	ID VarID
+	T  *ctype.Type
+}
+
+// Type returns the variable's type.
+func (e *VarRef) Type() *ctype.Type { return e.T }
+
+// String renders the reference as v<ID>; Proc.ExprString gives names.
+func (e *VarRef) String() string { return fmt.Sprintf("v%d", e.ID) }
+func (e *VarRef) exprNode()      {}
+
+// AddrOf takes the address of a variable (for arrays and aggregates this is
+// the base address).
+type AddrOf struct {
+	ID VarID
+	T  *ctype.Type // pointer type
+}
+
+// Type returns the pointer type.
+func (e *AddrOf) Type() *ctype.Type { return e.T }
+
+// String renders the address expression.
+func (e *AddrOf) String() string { return fmt.Sprintf("&v%d", e.ID) }
+func (e *AddrOf) exprNode()      {}
+
+// Load reads memory at Addr. Volatile loads must not be duplicated,
+// eliminated, or reordered.
+type Load struct {
+	Addr     Expr
+	T        *ctype.Type
+	Volatile bool
+}
+
+// Type returns the loaded value's type.
+func (e *Load) Type() *ctype.Type { return e.T }
+
+// String renders the load.
+func (e *Load) String() string {
+	if e.Volatile {
+		return fmt.Sprintf("*(volatile)(%s)", e.Addr)
+	}
+	return fmt.Sprintf("*(%s)", e.Addr)
+}
+func (e *Load) exprNode() {}
+
+// Bin applies a binary operator.
+type Bin struct {
+	Op   Op
+	L, R Expr
+	T    *ctype.Type
+}
+
+// Type returns the result type.
+func (e *Bin) Type() *ctype.Type { return e.T }
+
+// String renders the expression fully parenthesized.
+func (e *Bin) String() string { return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R) }
+func (e *Bin) exprNode()      {}
+
+// Un applies a unary operator.
+type Un struct {
+	Op Op
+	X  Expr
+	T  *ctype.Type
+}
+
+// Type returns the result type.
+func (e *Un) Type() *ctype.Type { return e.T }
+
+// String renders the expression.
+func (e *Un) String() string { return fmt.Sprintf("(%s %s)", e.Op, e.X) }
+func (e *Un) exprNode()      {}
+
+// Cast converts between scalar types.
+type Cast struct {
+	X Expr
+	T *ctype.Type
+}
+
+// Type returns the target type.
+func (e *Cast) Type() *ctype.Type { return e.T }
+
+// String renders the cast.
+func (e *Cast) String() string { return fmt.Sprintf("(%s)(%s)", e.T, e.X) }
+func (e *Cast) exprNode()      {}
+
+// VecRef is a vector operand inside a VectorAssign right-hand side: the
+// memory section Base + lane*Stride for lane in [0, length). Base is a byte
+// address expression; Stride is in bytes.
+type VecRef struct {
+	Base   Expr
+	Stride Expr
+	T      *ctype.Type // element type
+}
+
+// Type returns the element type.
+func (e *VecRef) Type() *ctype.Type { return e.T }
+
+// String renders the section in the paper's colon notation.
+func (e *VecRef) String() string { return fmt.Sprintf("[%s :%s]", e.Base, e.Stride) }
+func (e *VecRef) exprNode()      {}
+
+// ---------------------------------------------------------------- Statements
+
+// Stmt is an IL statement.
+type Stmt interface {
+	String() string
+	stmtNode()
+}
+
+// Assign stores Src into Dst. Dst must be a *VarRef (scalar variable) or a
+// *Load (store through an address).
+type Assign struct {
+	Dst Expr
+	Src Expr
+}
+
+// String renders the assignment.
+func (s *Assign) String() string { return fmt.Sprintf("%s = %s", s.Dst, s.Src) }
+func (s *Assign) stmtNode()      {}
+
+// Call invokes Callee. Dst receives the result (NoVar to discard). An
+// indirect call through a function pointer sets FunPtr instead of Callee.
+type Call struct {
+	Dst    VarID
+	Callee string
+	FunPtr Expr // non-nil for indirect calls
+	Args   []Expr
+	T      *ctype.Type // result type (void for none)
+}
+
+// String renders the call.
+func (s *Call) String() string {
+	args := make([]string, len(s.Args))
+	for i, a := range s.Args {
+		args[i] = a.String()
+	}
+	target := s.Callee
+	if s.FunPtr != nil {
+		target = "(*" + s.FunPtr.String() + ")"
+	}
+	if s.Dst == NoVar {
+		return fmt.Sprintf("call %s(%s)", target, strings.Join(args, ", "))
+	}
+	return fmt.Sprintf("v%d = call %s(%s)", s.Dst, target, strings.Join(args, ", "))
+}
+func (s *Call) stmtNode() {}
+
+// If branches on Cond.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// String renders a one-line summary.
+func (s *If) String() string {
+	return fmt.Sprintf("if %s then [%d stmts] else [%d stmts]", s.Cond, len(s.Then), len(s.Else))
+}
+func (s *If) stmtNode() {}
+
+// While loops while Cond is non-zero.
+type While struct {
+	Cond Expr
+	Body []Stmt
+	// Safe is set by "#pragma safe": the loop body is free of aliasing
+	// between distinct pointer parameters.
+	Safe bool
+}
+
+// String renders a one-line summary.
+func (s *While) String() string { return fmt.Sprintf("while %s [%d stmts]", s.Cond, len(s.Body)) }
+func (s *While) stmtNode()      {}
+
+// DoLoop is a Fortran-style counted loop: IV takes Init, Init+Step, ...
+// while the trip count floor((Limit-Init)/Step)+1 (when positive) has not
+// been exhausted. Step must evaluate non-zero; its sign gives direction.
+// The loop body must not assign IV; the conversion passes guarantee this.
+type DoLoop struct {
+	IV    VarID
+	Init  Expr
+	Limit Expr
+	Step  Expr
+	Body  []Stmt
+	Safe  bool
+}
+
+// String renders a one-line summary.
+func (s *DoLoop) String() string {
+	return fmt.Sprintf("do v%d = %s, %s, %s [%d stmts]", s.IV, s.Init, s.Limit, s.Step, len(s.Body))
+}
+func (s *DoLoop) stmtNode() {}
+
+// DoParallel is a DoLoop whose iterations are independent and may be
+// spread across processors.
+type DoParallel struct {
+	IV    VarID
+	Init  Expr
+	Limit Expr
+	Step  Expr
+	Body  []Stmt
+}
+
+// String renders a one-line summary.
+func (s *DoParallel) String() string {
+	return fmt.Sprintf("do parallel v%d = %s, %s, %s [%d stmts]", s.IV, s.Init, s.Limit, s.Step, len(s.Body))
+}
+func (s *DoParallel) stmtNode() {}
+
+// VectorAssign is the vector statement  dst[0:Len) = RHS  where the
+// destination section starts at byte address DstBase with byte stride
+// DstStride, and RHS is an expression over VecRef sections (all of length
+// Len) and scalar (broadcast) operands. Len is an expression (elements).
+type VectorAssign struct {
+	DstBase   Expr
+	DstStride Expr
+	Len       Expr
+	Elem      *ctype.Type
+	RHS       Expr
+}
+
+// String renders the vector statement.
+func (s *VectorAssign) String() string {
+	return fmt.Sprintf("[%s :%s](0:%s) = %s", s.DstBase, s.DstStride, s.Len, s.RHS)
+}
+func (s *VectorAssign) stmtNode() {}
+
+// Goto transfers control to a label.
+type Goto struct{ Target string }
+
+// String renders the goto.
+func (s *Goto) String() string { return "goto " + s.Target }
+func (s *Goto) stmtNode()      {}
+
+// Label marks a goto target.
+type Label struct{ Name string }
+
+// String renders the label.
+func (s *Label) String() string { return s.Name + ":" }
+func (s *Label) stmtNode()      {}
+
+// Return leaves the procedure, optionally with a value.
+type Return struct{ Val Expr }
+
+// String renders the return.
+func (s *Return) String() string {
+	if s.Val == nil {
+		return "return"
+	}
+	return "return " + s.Val.String()
+}
+func (s *Return) stmtNode() {}
+
+// ---------------------------------------------------------------- Procedures
+
+// Proc is one procedure in IL form. It is self-contained: all variables it
+// touches are in Vars (globals appear as ClassGlobal entries naming the
+// program-level symbol), so a Proc can be serialized to a catalog.
+type Proc struct {
+	Name     string
+	Ret      *ctype.Type
+	Params   []VarID // indexes of ClassParam vars, in order
+	Vars     []Var
+	Body     []Stmt
+	Variadic bool
+
+	labelSeq int
+}
+
+// NewProc returns an empty procedure.
+func NewProc(name string, ret *ctype.Type) *Proc {
+	return &Proc{Name: name, Ret: ret}
+}
+
+// AddVar appends a variable and returns its ID.
+func (p *Proc) AddVar(v Var) VarID {
+	p.Vars = append(p.Vars, v)
+	return VarID(len(p.Vars) - 1)
+}
+
+// NewTemp creates a fresh compiler temporary of type t.
+func (p *Proc) NewTemp(t *ctype.Type) VarID {
+	return p.AddVar(Var{Name: fmt.Sprintf("t%d", len(p.Vars)), Type: t, Class: ClassTemp})
+}
+
+// NewLabel returns a fresh label name unique within the procedure.
+func (p *Proc) NewLabel(hint string) string {
+	p.labelSeq++
+	return fmt.Sprintf(".%s%d", hint, p.labelSeq)
+}
+
+// Var returns the variable table entry for id.
+func (p *Proc) Var(id VarID) *Var { return &p.Vars[id] }
+
+// LookupVar finds a variable by name, returning NoVar if absent.
+func (p *Proc) LookupVar(name string) VarID {
+	for i := range p.Vars {
+		if p.Vars[i].Name == name {
+			return VarID(i)
+		}
+	}
+	return NoVar
+}
+
+// Program is a whole translation unit in IL form.
+type Program struct {
+	Globals []GlobalVar
+	Procs   []*Proc
+}
+
+// GlobalVar is a program-level variable.
+type GlobalVar struct {
+	Name string
+	Type *ctype.Type
+	// Init is an optional scalar initial value.
+	InitInt   int64
+	InitFloat float64
+	HasInit   bool
+	// Data holds raw initial bytes (string literals).
+	Data []byte
+}
+
+// Proc finds a procedure by name, or nil.
+func (pr *Program) Proc(name string) *Proc {
+	for _, p := range pr.Procs {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Global finds a global by name, or nil.
+func (pr *Program) Global(name string) *GlobalVar {
+	for i := range pr.Globals {
+		if pr.Globals[i].Name == name {
+			return &pr.Globals[i]
+		}
+	}
+	return nil
+}
+
+// AddGlobal appends a global if not already present.
+func (pr *Program) AddGlobal(g GlobalVar) {
+	if pr.Global(g.Name) == nil {
+		pr.Globals = append(pr.Globals, g)
+	}
+}

@@ -1,0 +1,344 @@
+package il
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ctype"
+)
+
+func TestSmartConstructorsFold(t *testing.T) {
+	cases := []struct {
+		got  Expr
+		want int64
+	}{
+		{NewBin(OpAdd, Int(2), Int(3), ctype.IntType), 5},
+		{NewBin(OpSub, Int(2), Int(3), ctype.IntType), -1},
+		{NewBin(OpMul, Int(4), Int(3), ctype.IntType), 12},
+		{NewBin(OpDiv, Int(7), Int(2), ctype.IntType), 3},
+		{NewBin(OpRem, Int(7), Int(2), ctype.IntType), 1},
+		{NewBin(OpShl, Int(1), Int(4), ctype.IntType), 16},
+		{NewBin(OpLt, Int(1), Int(2), ctype.IntType), 1},
+		{NewBin(OpGe, Int(1), Int(2), ctype.IntType), 0},
+		{NewUn(OpNeg, Int(5), ctype.IntType), -5},
+		{NewUn(OpNot, Int(0), ctype.IntType), 1},
+		{NewUn(OpBitNot, Int(0), ctype.IntType), -1},
+	}
+	for i, c := range cases {
+		ci, ok := c.got.(*ConstInt)
+		if !ok {
+			t.Errorf("case %d: not folded: %s", i, c.got)
+			continue
+		}
+		if ci.Val != c.want {
+			t.Errorf("case %d: got %d want %d", i, ci.Val, c.want)
+		}
+	}
+}
+
+func TestIdentities(t *testing.T) {
+	x := Ref(0, ctype.IntType)
+	if got := NewBin(OpAdd, x, Int(0), ctype.IntType); got != x {
+		t.Errorf("x+0: %s", got)
+	}
+	if got := NewBin(OpAdd, Int(0), x, ctype.IntType); got != x {
+		t.Errorf("0+x: %s", got)
+	}
+	if got := NewBin(OpMul, x, Int(1), ctype.IntType); got != x {
+		t.Errorf("x*1: %s", got)
+	}
+	if got := NewBin(OpMul, Int(0), x, ctype.IntType); !IsZero(got) {
+		t.Errorf("0*x: %s", got)
+	}
+	if got := NewBin(OpSub, x, Int(0), ctype.IntType); got != x {
+		t.Errorf("x-0: %s", got)
+	}
+	if got := NewBin(OpDiv, x, Int(1), ctype.IntType); got != x {
+		t.Errorf("x/1: %s", got)
+	}
+}
+
+func TestNoFoldDivZero(t *testing.T) {
+	e := NewBin(OpDiv, Int(1), Int(0), ctype.IntType)
+	if _, ok := e.(*ConstInt); ok {
+		t.Error("1/0 must not fold")
+	}
+}
+
+func TestFloatFold(t *testing.T) {
+	e := NewBin(OpMul, Flt(2, ctype.FloatType), Flt(3, ctype.FloatType), ctype.FloatType)
+	if c, ok := e.(*ConstFloat); !ok || c.Val != 6 {
+		t.Errorf("2.0*3.0: %s", e)
+	}
+}
+
+func TestCastFold(t *testing.T) {
+	if c, ok := NewCast(Int(3), ctype.FloatType).(*ConstFloat); !ok || c.Val != 3 {
+		t.Error("(float)3 should fold")
+	}
+	if c, ok := NewCast(Flt(2.7, ctype.FloatType), ctype.IntType).(*ConstInt); !ok || c.Val != 2 {
+		t.Error("(int)2.7 should fold to 2")
+	}
+	x := Ref(0, ctype.IntType)
+	if NewCast(x, ctype.IntType) != x {
+		t.Error("identity cast should be elided")
+	}
+}
+
+func mkProc() *Proc {
+	p := NewProc("f", ctype.VoidType)
+	p.AddVar(Var{Name: "a", Type: ctype.IntType, Class: ClassLocal})
+	p.AddVar(Var{Name: "b", Type: ctype.IntType, Class: ClassLocal})
+	return p
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := mkProc()
+	orig := &Assign{
+		Dst: Ref(0, ctype.IntType),
+		Src: &Bin{Op: OpAdd, L: Ref(1, ctype.IntType), R: Int(1), T: ctype.IntType},
+	}
+	cl := CloneStmt(orig).(*Assign)
+	cl.Src.(*Bin).R.(*ConstInt).Val = 99
+	if orig.Src.(*Bin).R.(*ConstInt).Val != 1 {
+		t.Error("clone shares structure with original")
+	}
+	_ = p
+}
+
+func TestCloneLoops(t *testing.T) {
+	body := []Stmt{
+		&Assign{Dst: Ref(0, ctype.IntType), Src: Int(1)},
+		&If{Cond: Ref(1, ctype.IntType), Then: []Stmt{&Goto{Target: "L"}}},
+		&Label{Name: "L"},
+	}
+	loop := &DoLoop{IV: 0, Init: Int(0), Limit: Int(9), Step: Int(1), Body: body}
+	cl := CloneStmt(loop).(*DoLoop)
+	cl.Body[0].(*Assign).Src = Int(42)
+	if v, _ := IsIntConst(loop.Body[0].(*Assign).Src); v != 1 {
+		t.Error("loop clone shares body")
+	}
+	if !reflect.DeepEqual(cl.Body[2], body[2]) {
+		t.Error("label not cloned equal")
+	}
+}
+
+func TestWalkStmtsVisitsNested(t *testing.T) {
+	prog := []Stmt{
+		&While{Cond: Int(1), Body: []Stmt{
+			&If{Cond: Int(1), Then: []Stmt{&Return{}}, Else: []Stmt{&Goto{Target: "x"}}},
+		}},
+		&Label{Name: "x"},
+	}
+	var kinds []string
+	WalkStmts(prog, func(s Stmt) bool {
+		kinds = append(kinds, reflect.TypeOf(s).Elem().Name())
+		return true
+	})
+	want := []string{"While", "If", "Return", "Goto", "Label"}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Errorf("visit order %v want %v", kinds, want)
+	}
+}
+
+func TestWalkExprPrune(t *testing.T) {
+	e := &Bin{Op: OpAdd,
+		L: &Load{Addr: Ref(0, ctype.PointerTo(ctype.IntType)), T: ctype.IntType},
+		R: Int(1), T: ctype.IntType}
+	count := 0
+	WalkExpr(e, func(x Expr) bool {
+		count++
+		_, isLoad := x.(*Load)
+		return !isLoad // prune below loads
+	})
+	if count != 3 { // Bin, Load, ConstInt — not the Load's address
+		t.Errorf("visited %d nodes", count)
+	}
+}
+
+func TestRewriteExpr(t *testing.T) {
+	// Replace VarRef(0) with constant 7 in (v0 + v1): should fold nothing
+	// but substitute correctly.
+	e := &Bin{Op: OpAdd, L: Ref(0, ctype.IntType), R: Ref(1, ctype.IntType), T: ctype.IntType}
+	out := RewriteExpr(e, func(x Expr) Expr {
+		if v, ok := x.(*VarRef); ok && v.ID == 0 {
+			return Int(7)
+		}
+		return x
+	})
+	b := out.(*Bin)
+	if v, ok := IsIntConst(b.L); !ok || v != 7 {
+		t.Errorf("substitution failed: %s", out)
+	}
+	// Original untouched.
+	if _, ok := e.L.(*VarRef); !ok {
+		t.Error("RewriteExpr mutated its input")
+	}
+}
+
+func TestExprEqual(t *testing.T) {
+	a := &Bin{Op: OpMul, L: Ref(2, ctype.IntType), R: Int(4), T: ctype.IntType}
+	b := &Bin{Op: OpMul, L: Ref(2, ctype.IntType), R: Int(4), T: ctype.IntType}
+	c := &Bin{Op: OpMul, L: Ref(2, ctype.IntType), R: Int(5), T: ctype.IntType}
+	if !ExprEqual(a, b) {
+		t.Error("a != b")
+	}
+	if ExprEqual(a, c) {
+		t.Error("a == c")
+	}
+	if !ExprEqual(CloneExpr(a), a) {
+		t.Error("clone not equal")
+	}
+}
+
+func TestUsesVar(t *testing.T) {
+	e := &Load{Addr: &Bin{Op: OpAdd, L: Ref(3, ctype.PointerTo(ctype.FloatType)),
+		R: Ref(4, ctype.IntType), T: ctype.PointerTo(ctype.FloatType)}, T: ctype.FloatType}
+	if !UsesVar(e, 3) || !UsesVar(e, 4) || UsesVar(e, 5) {
+		t.Error("UsesVar wrong")
+	}
+	addr := &AddrOf{ID: 9, T: ctype.PointerTo(ctype.IntType)}
+	if !UsesVar(addr, 9) {
+		t.Error("AddrOf should count as a use")
+	}
+}
+
+func TestHasVolatile(t *testing.T) {
+	p := NewProc("f", ctype.VoidType)
+	vol := p.AddVar(Var{Name: "ks", Type: ctype.Qualified(ctype.IntType, true, false), Class: ClassGlobal})
+	norm := p.AddVar(Var{Name: "x", Type: ctype.IntType, Class: ClassLocal})
+	if !p.HasVolatile(Ref(vol, p.Vars[vol].Type)) {
+		t.Error("volatile var ref not detected")
+	}
+	if p.HasVolatile(Ref(norm, ctype.IntType)) {
+		t.Error("normal var flagged volatile")
+	}
+	vl := &Load{Addr: Ref(norm, ctype.PointerTo(ctype.IntType)), T: ctype.IntType, Volatile: true}
+	if !p.HasVolatile(vl) {
+		t.Error("volatile load not detected")
+	}
+}
+
+func TestDefinedVarAndIsStore(t *testing.T) {
+	a := &Assign{Dst: Ref(2, ctype.IntType), Src: Int(1)}
+	if DefinedVar(a) != 2 || IsStore(a) {
+		t.Error("scalar assign misclassified")
+	}
+	st := &Assign{Dst: &Load{Addr: Ref(0, ctype.PointerTo(ctype.IntType)), T: ctype.IntType}, Src: Int(1)}
+	if DefinedVar(st) != NoVar || !IsStore(st) {
+		t.Error("store misclassified")
+	}
+	c := &Call{Dst: 5, Callee: "f", T: ctype.IntType}
+	if DefinedVar(c) != 5 {
+		t.Error("call dst missed")
+	}
+}
+
+func TestProcPrinting(t *testing.T) {
+	p := NewProc("axpy", ctype.VoidType)
+	x := p.AddVar(Var{Name: "x", Type: ctype.PointerTo(ctype.FloatType), Class: ClassParam})
+	n := p.AddVar(Var{Name: "n", Type: ctype.IntType, Class: ClassParam})
+	p.Params = []VarID{x, n}
+	i := p.AddVar(Var{Name: "i", Type: ctype.IntType, Class: ClassLocal})
+	p.Body = []Stmt{
+		&DoLoop{IV: i, Init: Int(0), Limit: Sub(Ref(n, ctype.IntType), Int(1), ctype.IntType), Step: Int(1),
+			Body: []Stmt{
+				&Assign{
+					Dst: &Load{Addr: Add(Ref(x, p.Vars[x].Type), Mul(Int(4), Ref(i, ctype.IntType), ctype.IntType), p.Vars[x].Type), T: ctype.FloatType},
+					Src: Flt(0, ctype.FloatType),
+				},
+			}},
+	}
+	s := p.String()
+	for _, want := range []string{"proc axpy", "do i = 0,", "*(", "= 0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printout missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestNewTempAndLabelUnique(t *testing.T) {
+	p := NewProc("f", ctype.VoidType)
+	t1 := p.NewTemp(ctype.IntType)
+	t2 := p.NewTemp(ctype.IntType)
+	if t1 == t2 || p.Vars[t1].Name == p.Vars[t2].Name {
+		t.Error("temps collide")
+	}
+	l1 := p.NewLabel("x")
+	l2 := p.NewLabel("x")
+	if l1 == l2 {
+		t.Error("labels collide")
+	}
+}
+
+func TestCountStmts(t *testing.T) {
+	body := []Stmt{
+		&Assign{Dst: Ref(0, ctype.IntType), Src: Int(1)},
+		&If{Cond: Int(1), Then: []Stmt{&Return{}, &Return{}}},
+	}
+	if got := CountStmts(body); got != 4 {
+		t.Errorf("CountStmts = %d, want 4", got)
+	}
+}
+
+// randomExpr builds a random expression tree over two int variables.
+func randomExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return Int(int64(r.Intn(100) - 50))
+		case 1:
+			return Ref(0, ctype.IntType)
+		default:
+			return Ref(1, ctype.IntType)
+		}
+	}
+	ops := []Op{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpEq, OpLt}
+	return &Bin{Op: ops[r.Intn(len(ops))],
+		L: randomExpr(r, depth-1), R: randomExpr(r, depth-1), T: ctype.IntType}
+}
+
+// Property: CloneExpr produces an ExprEqual tree, and rewriting the clone
+// never changes the original.
+func TestQuickCloneEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, 4)
+		cl := CloneExpr(e)
+		if !ExprEqual(e, cl) {
+			return false
+		}
+		RewriteExpr(cl, func(x Expr) Expr {
+			if c, ok := x.(*ConstInt); ok {
+				return Int(c.Val + 1)
+			}
+			return x
+		})
+		return ExprEqual(e, cl) // RewriteExpr must not mutate its input
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: constant folding in NewBin agrees with direct evaluation.
+func TestQuickFoldCorrect(t *testing.T) {
+	eval := func(op Op, a, b int64) (int64, bool) { return foldInt(op, a, b) }
+	f := func(a, b int32, opIdx uint8) bool {
+		ops := []Op{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpEq, OpNe, OpLt, OpGt, OpLe, OpGe}
+		op := ops[int(opIdx)%len(ops)]
+		e := NewBin(op, Int(int64(a)), Int(int64(b)), ctype.IntType)
+		want, ok := eval(op, int64(a), int64(b))
+		if !ok {
+			return true
+		}
+		c, isConst := e.(*ConstInt)
+		return isConst && c.Val == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,181 @@
+package il
+
+import "repro/internal/ctype"
+
+// SimplifyLinear canonicalizes an integer or pointer-typed sum: it
+// collects additive terms (constants, scaled variables and addresses,
+// opaque subtrees), combines like terms, and rebuilds the expression.
+// The pass turns the induction-variable algebra the optimizer generates —
+// (a + 4·n) + (−4·n), x + 0, 2·i + 3·i — back into readable, cheap forms.
+// Expressions containing volatile references are returned unchanged.
+func SimplifyLinear(e Expr) Expr {
+	t := e.Type()
+	if t == nil || !(t.IsInteger() || t.Kind == ctype.Pointer) {
+		return e
+	}
+	c := &collector{terms: map[string]*term{}}
+	if !c.collect(e, 1) {
+		return e
+	}
+	// Only rebuild when something actually combined or vanished; the
+	// canonical form is idempotent, so the folding fixpoint terminates.
+	zeroed := false
+	for _, tm := range c.terms {
+		if tm.coef == 0 {
+			zeroed = true
+		}
+	}
+	if !c.combined && !zeroed && c.constCount < 2 {
+		return e
+	}
+	if len(c.order) == 0 {
+		return &ConstInt{Val: c.constant, T: t}
+	}
+	// Rebuild: terms in first-seen order, constant last.
+	var out Expr
+	add := func(x Expr) {
+		if out == nil {
+			out = x
+			return
+		}
+		out = &Bin{Op: OpAdd, L: out, R: x, T: t}
+	}
+	for _, key := range c.order {
+		tm := c.terms[key]
+		if tm.coef == 0 {
+			continue
+		}
+		// Clone so the rebuilt tree never shares nodes with the original
+		// (or with a merged duplicate term).
+		switch {
+		case tm.coef == 1:
+			add(CloneExpr(tm.expr))
+		case tm.coef == -1:
+			add(&Un{Op: OpNeg, X: CloneExpr(tm.expr), T: ctype.IntType})
+		default:
+			add(&Bin{Op: OpMul, L: &ConstInt{Val: tm.coef, T: ctype.IntType},
+				R: CloneExpr(tm.expr), T: ctype.IntType})
+		}
+	}
+	if out == nil {
+		return &ConstInt{Val: c.constant, T: t}
+	}
+	if c.constant > 0 {
+		out = &Bin{Op: OpAdd, L: out, R: &ConstInt{Val: c.constant, T: t}, T: t}
+	} else if c.constant < 0 {
+		out = &Bin{Op: OpSub, L: out, R: &ConstInt{Val: -c.constant, T: t}, T: t}
+	}
+	// Give the root the original type.
+	setExprType(out, t)
+	return out
+}
+
+func setExprType(e Expr, t *ctype.Type) {
+	switch n := e.(type) {
+	case *Bin:
+		n.T = t
+	case *Un:
+		n.T = t
+	case *ConstInt:
+		n.T = t
+	}
+}
+
+type term struct {
+	expr Expr
+	coef int64
+}
+
+type collector struct {
+	constant   int64
+	constCount int
+	terms      map[string]*term
+	order      []string
+	combined   bool
+}
+
+// collect walks e as a signed sum; returns false when the expression is
+// not linear enough to be worth rebuilding (or contains volatiles).
+func (c *collector) collect(e Expr, sign int64) bool {
+	switch n := e.(type) {
+	case *ConstInt:
+		c.constant += sign * n.Val
+		c.constCount++
+		return true
+	case *Bin:
+		switch n.Op {
+		case OpAdd:
+			return c.collect(n.L, sign) && c.collect(n.R, sign)
+		case OpSub:
+			return c.collect(n.L, sign) && c.collect(n.R, -sign)
+		case OpMul:
+			if v, ok := IsIntConst(n.L); ok {
+				return c.collectScaled(n.R, sign*v)
+			}
+			if v, ok := IsIntConst(n.R); ok {
+				return c.collectScaled(n.L, sign*v)
+			}
+		}
+	case *Un:
+		if n.Op == OpNeg {
+			return c.collect(n.X, -sign)
+		}
+	}
+	return c.addTerm(e, sign)
+}
+
+// collectScaled handles k·subexpr where subexpr may itself be a sum.
+func (c *collector) collectScaled(e Expr, k int64) bool {
+	switch n := e.(type) {
+	case *ConstInt:
+		c.constant += k * n.Val
+		c.constCount++
+		return true
+	case *Bin:
+		switch n.Op {
+		case OpAdd:
+			return c.collectScaled(n.L, k) && c.collectScaled(n.R, k)
+		case OpSub:
+			return c.collectScaled(n.L, k) && c.collectScaled(n.R, -k)
+		case OpMul:
+			if v, ok := IsIntConst(n.L); ok {
+				return c.collectScaled(n.R, k*v)
+			}
+			if v, ok := IsIntConst(n.R); ok {
+				return c.collectScaled(n.L, k*v)
+			}
+		}
+	case *Un:
+		if n.Op == OpNeg {
+			return c.collectScaled(n.X, -k)
+		}
+	}
+	return c.addTerm(e, k)
+}
+
+func (c *collector) addTerm(e Expr, coef int64) bool {
+	if coef == 0 {
+		c.combined = true
+		return true
+	}
+	// Volatile or impure subtrees must not be merged or duplicated.
+	impure := false
+	WalkExpr(e, func(x Expr) bool {
+		if l, ok := x.(*Load); ok && l.Volatile {
+			impure = true
+		}
+		return !impure
+	})
+	if impure {
+		return false
+	}
+	key := e.String()
+	if tm, ok := c.terms[key]; ok {
+		tm.coef += coef
+		c.combined = true
+		return true
+	}
+	c.terms[key] = &term{expr: e, coef: coef}
+	c.order = append(c.order, key)
+	return true
+}

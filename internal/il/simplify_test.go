@@ -1,0 +1,173 @@
+package il
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ctype"
+)
+
+func TestSimplifyCancellation(t *testing.T) {
+	it := ctype.IntType
+	a := Ref(0, ctype.PointerTo(ctype.FloatType))
+	n := Ref(1, it)
+	// (a + 4*n) + (-4*n)  →  a
+	e := &Bin{Op: OpAdd,
+		L: &Bin{Op: OpAdd, L: a, R: &Bin{Op: OpMul, L: Int(4), R: n, T: it}, T: a.T},
+		R: &Bin{Op: OpMul, L: Int(-4), R: Ref(1, it), T: it},
+		T: a.T}
+	got := SimplifyLinear(e)
+	if v, ok := got.(*VarRef); !ok || v.ID != 0 {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestSimplifyLikeTerms(t *testing.T) {
+	it := ctype.IntType
+	i := Ref(2, it)
+	// 2*i + 3*i → 5*i
+	e := &Bin{Op: OpAdd,
+		L: &Bin{Op: OpMul, L: Int(2), R: i, T: it},
+		R: &Bin{Op: OpMul, L: Int(3), R: Ref(2, it), T: it},
+		T: it}
+	got := SimplifyLinear(e)
+	b, ok := got.(*Bin)
+	if !ok || b.Op != OpMul {
+		t.Fatalf("got %s", got)
+	}
+	if v, _ := IsIntConst(b.L); v != 5 {
+		t.Errorf("coef %s", b.L)
+	}
+}
+
+func TestSimplifyConstantMerge(t *testing.T) {
+	it := ctype.IntType
+	x := Ref(0, it)
+	// (x + 2) + 3 → x + 5
+	e := &Bin{Op: OpAdd,
+		L: &Bin{Op: OpAdd, L: x, R: Int(2), T: it},
+		R: Int(3), T: it}
+	got := SimplifyLinear(e)
+	b, ok := got.(*Bin)
+	if !ok || b.Op != OpAdd {
+		t.Fatalf("got %s", got)
+	}
+	if v, _ := IsIntConst(b.R); v != 5 {
+		t.Errorf("constant %s", b.R)
+	}
+	// (x + 2) - 5 → x - 3
+	e2 := &Bin{Op: OpSub,
+		L: &Bin{Op: OpAdd, L: Ref(0, it), R: Int(2), T: it},
+		R: Int(5), T: it}
+	got2 := SimplifyLinear(e2)
+	b2, ok := got2.(*Bin)
+	if !ok || b2.Op != OpSub {
+		t.Fatalf("got %s", got2)
+	}
+	if v, _ := IsIntConst(b2.R); v != 3 {
+		t.Errorf("constant %s", b2.R)
+	}
+}
+
+func TestSimplifyLeavesUncombinable(t *testing.T) {
+	it := ctype.IntType
+	e := &Bin{Op: OpAdd, L: Ref(0, it), R: Ref(1, it), T: it}
+	if got := SimplifyLinear(e); got != e {
+		t.Errorf("uncombinable rebuilt: %s", got)
+	}
+	// Volatile loads must not be touched.
+	vol := &Bin{Op: OpAdd,
+		L: &Load{Addr: Ref(0, ctype.PointerTo(it)), T: it, Volatile: true},
+		R: &Load{Addr: Ref(0, ctype.PointerTo(it)), T: it, Volatile: true},
+		T: it}
+	if got := SimplifyLinear(vol); got != vol {
+		t.Errorf("volatile sum rebuilt: %s", got)
+	}
+	// Floats are out of scope.
+	fe := &Bin{Op: OpAdd, L: Flt(1, ctype.FloatType), R: Flt(2, ctype.FloatType), T: ctype.FloatType}
+	if got := SimplifyLinear(fe); got != fe {
+		t.Errorf("float sum touched: %s", got)
+	}
+}
+
+func TestSimplifyToZero(t *testing.T) {
+	it := ctype.IntType
+	x := Ref(0, it)
+	e := &Bin{Op: OpSub, L: x, R: Ref(0, it), T: it}
+	got := SimplifyLinear(e)
+	if v, ok := IsIntConst(got); !ok || v != 0 {
+		t.Errorf("x - x = %s", got)
+	}
+}
+
+// evalLinear evaluates an expression over two int variables.
+func evalLinear(e Expr, v0, v1 int64) int64 {
+	switch n := e.(type) {
+	case *ConstInt:
+		return n.Val
+	case *VarRef:
+		if n.ID == 0 {
+			return v0
+		}
+		return v1
+	case *Bin:
+		l, r := evalLinear(n.L, v0, v1), evalLinear(n.R, v0, v1)
+		switch n.Op {
+		case OpAdd:
+			return l + r
+		case OpSub:
+			return l - r
+		case OpMul:
+			return l * r
+		}
+	case *Un:
+		if n.Op == OpNeg {
+			return -evalLinear(n.X, v0, v1)
+		}
+	}
+	panic("evalLinear: " + e.String())
+}
+
+// randomLinear builds a random +,-,*const tree over two variables.
+func randomLinear(r *rand.Rand, depth int) Expr {
+	it := ctype.IntType
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return Int(int64(r.Intn(11) - 5))
+		case 1:
+			return Ref(0, it)
+		default:
+			return Ref(1, it)
+		}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return &Bin{Op: OpAdd, L: randomLinear(r, depth-1), R: randomLinear(r, depth-1), T: it}
+	case 1:
+		return &Bin{Op: OpSub, L: randomLinear(r, depth-1), R: randomLinear(r, depth-1), T: it}
+	case 2:
+		return &Bin{Op: OpMul, L: Int(int64(r.Intn(7) - 3)), R: randomLinear(r, depth-1), T: it}
+	default:
+		return &Un{Op: OpNeg, X: randomLinear(r, depth-1), T: it}
+	}
+}
+
+// Property: SimplifyLinear preserves value and is idempotent.
+func TestQuickSimplifyPreservesValue(t *testing.T) {
+	f := func(seed int64, a, b int8) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomLinear(r, 5)
+		s := SimplifyLinear(e)
+		v0, v1 := int64(a), int64(b)
+		if evalLinear(e, v0, v1) != evalLinear(s, v0, v1) {
+			return false
+		}
+		s2 := SimplifyLinear(s)
+		return evalLinear(s2, v0, v1) == evalLinear(s, v0, v1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

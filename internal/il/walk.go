@@ -1,0 +1,374 @@
+package il
+
+// This file provides the traversal, rewriting, and cloning utilities the
+// optimizer phases are built on.
+
+// WalkExpr calls f on e and every subexpression, pre-order. If f returns
+// false the subtree below the node is skipped.
+func WalkExpr(e Expr, f func(Expr) bool) {
+	if e == nil || !f(e) {
+		return
+	}
+	switch n := e.(type) {
+	case *Load:
+		WalkExpr(n.Addr, f)
+	case *Bin:
+		WalkExpr(n.L, f)
+		WalkExpr(n.R, f)
+	case *Un:
+		WalkExpr(n.X, f)
+	case *Cast:
+		WalkExpr(n.X, f)
+	case *VecRef:
+		WalkExpr(n.Base, f)
+		WalkExpr(n.Stride, f)
+	}
+}
+
+// WalkStmts calls f on every statement in the list and, recursively, in
+// nested bodies. If f returns false the statement's nested bodies are
+// skipped.
+func WalkStmts(stmts []Stmt, f func(Stmt) bool) {
+	for _, s := range stmts {
+		if !f(s) {
+			continue
+		}
+		switch n := s.(type) {
+		case *If:
+			WalkStmts(n.Then, f)
+			WalkStmts(n.Else, f)
+		case *While:
+			WalkStmts(n.Body, f)
+		case *DoLoop:
+			WalkStmts(n.Body, f)
+		case *DoParallel:
+			WalkStmts(n.Body, f)
+		}
+	}
+}
+
+// StmtExprs calls f on each top-level expression operand of s (not
+// recursing into subexpressions; use WalkExpr for that).
+func StmtExprs(s Stmt, f func(Expr)) {
+	switch n := s.(type) {
+	case *Assign:
+		f(n.Dst)
+		f(n.Src)
+	case *Call:
+		if n.FunPtr != nil {
+			f(n.FunPtr)
+		}
+		for _, a := range n.Args {
+			f(a)
+		}
+	case *If:
+		f(n.Cond)
+	case *While:
+		f(n.Cond)
+	case *DoLoop:
+		f(n.Init)
+		f(n.Limit)
+		f(n.Step)
+	case *DoParallel:
+		f(n.Init)
+		f(n.Limit)
+		f(n.Step)
+	case *VectorAssign:
+		f(n.DstBase)
+		f(n.DstStride)
+		f(n.Len)
+		f(n.RHS)
+	case *Return:
+		if n.Val != nil {
+			f(n.Val)
+		}
+	}
+}
+
+// RewriteExpr rebuilds e bottom-up, replacing each node with f(node).
+// f receives a node whose children have already been rewritten.
+func RewriteExpr(e Expr, f func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch n := e.(type) {
+	case *Load:
+		m := *n
+		m.Addr = RewriteExpr(n.Addr, f)
+		return f(&m)
+	case *Bin:
+		m := *n
+		m.L = RewriteExpr(n.L, f)
+		m.R = RewriteExpr(n.R, f)
+		return f(&m)
+	case *Un:
+		m := *n
+		m.X = RewriteExpr(n.X, f)
+		return f(&m)
+	case *Cast:
+		m := *n
+		m.X = RewriteExpr(n.X, f)
+		return f(&m)
+	case *VecRef:
+		m := *n
+		m.Base = RewriteExpr(n.Base, f)
+		m.Stride = RewriteExpr(n.Stride, f)
+		return f(&m)
+	default:
+		return f(CloneExpr(e))
+	}
+}
+
+// RewriteStmtExprs applies RewriteExpr with f to every expression operand
+// of s, in place.
+func RewriteStmtExprs(s Stmt, f func(Expr) Expr) {
+	switch n := s.(type) {
+	case *Assign:
+		// The destination of a store is an expression too, but a VarRef
+		// destination is a definition, not a use; rewriters that must
+		// distinguish handle Assign themselves before calling this.
+		n.Dst = RewriteExpr(n.Dst, f)
+		n.Src = RewriteExpr(n.Src, f)
+	case *Call:
+		if n.FunPtr != nil {
+			n.FunPtr = RewriteExpr(n.FunPtr, f)
+		}
+		for i := range n.Args {
+			n.Args[i] = RewriteExpr(n.Args[i], f)
+		}
+	case *If:
+		n.Cond = RewriteExpr(n.Cond, f)
+	case *While:
+		n.Cond = RewriteExpr(n.Cond, f)
+	case *DoLoop:
+		n.Init = RewriteExpr(n.Init, f)
+		n.Limit = RewriteExpr(n.Limit, f)
+		n.Step = RewriteExpr(n.Step, f)
+	case *DoParallel:
+		n.Init = RewriteExpr(n.Init, f)
+		n.Limit = RewriteExpr(n.Limit, f)
+		n.Step = RewriteExpr(n.Step, f)
+	case *VectorAssign:
+		n.DstBase = RewriteExpr(n.DstBase, f)
+		n.DstStride = RewriteExpr(n.DstStride, f)
+		n.Len = RewriteExpr(n.Len, f)
+		n.RHS = RewriteExpr(n.RHS, f)
+	case *Return:
+		if n.Val != nil {
+			n.Val = RewriteExpr(n.Val, f)
+		}
+	}
+}
+
+// RewriteTreeExprs applies f (via RewriteExpr) to every expression operand
+// of s and of all statements nested inside it. Scalar assignment
+// destinations are definitions, not uses, and are left alone; store
+// destinations have their address rewritten.
+func RewriteTreeExprs(s Stmt, f func(Expr) Expr) {
+	WalkStmts([]Stmt{s}, func(sub Stmt) bool {
+		if as, ok := sub.(*Assign); ok {
+			if ld, isStore := as.Dst.(*Load); isStore {
+				as.Dst = &Load{Addr: RewriteExpr(ld.Addr, f), T: ld.T, Volatile: ld.Volatile}
+			}
+			as.Src = RewriteExpr(as.Src, f)
+			return true
+		}
+		RewriteStmtExprs(sub, f)
+		return true
+	})
+}
+
+// CloneExpr deep-copies an expression.
+func CloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch n := e.(type) {
+	case *ConstInt:
+		m := *n
+		return &m
+	case *ConstFloat:
+		m := *n
+		return &m
+	case *VarRef:
+		m := *n
+		return &m
+	case *AddrOf:
+		m := *n
+		return &m
+	case *Load:
+		return &Load{Addr: CloneExpr(n.Addr), T: n.T, Volatile: n.Volatile}
+	case *Bin:
+		return &Bin{Op: n.Op, L: CloneExpr(n.L), R: CloneExpr(n.R), T: n.T}
+	case *Un:
+		return &Un{Op: n.Op, X: CloneExpr(n.X), T: n.T}
+	case *Cast:
+		return &Cast{X: CloneExpr(n.X), T: n.T}
+	case *VecRef:
+		return &VecRef{Base: CloneExpr(n.Base), Stride: CloneExpr(n.Stride), T: n.T}
+	}
+	panic("il: CloneExpr of unknown node")
+}
+
+// CloneStmt deep-copies a statement.
+func CloneStmt(s Stmt) Stmt {
+	switch n := s.(type) {
+	case *Assign:
+		return &Assign{Dst: CloneExpr(n.Dst), Src: CloneExpr(n.Src)}
+	case *Call:
+		m := &Call{Dst: n.Dst, Callee: n.Callee, T: n.T, FunPtr: CloneExpr(n.FunPtr)}
+		for _, a := range n.Args {
+			m.Args = append(m.Args, CloneExpr(a))
+		}
+		return m
+	case *If:
+		return &If{Cond: CloneExpr(n.Cond), Then: CloneStmts(n.Then), Else: CloneStmts(n.Else)}
+	case *While:
+		return &While{Cond: CloneExpr(n.Cond), Body: CloneStmts(n.Body), Safe: n.Safe}
+	case *DoLoop:
+		return &DoLoop{IV: n.IV, Init: CloneExpr(n.Init), Limit: CloneExpr(n.Limit),
+			Step: CloneExpr(n.Step), Body: CloneStmts(n.Body), Safe: n.Safe}
+	case *DoParallel:
+		return &DoParallel{IV: n.IV, Init: CloneExpr(n.Init), Limit: CloneExpr(n.Limit),
+			Step: CloneExpr(n.Step), Body: CloneStmts(n.Body)}
+	case *VectorAssign:
+		return &VectorAssign{DstBase: CloneExpr(n.DstBase), DstStride: CloneExpr(n.DstStride),
+			Len: CloneExpr(n.Len), Elem: n.Elem, RHS: CloneExpr(n.RHS)}
+	case *Goto:
+		m := *n
+		return &m
+	case *Label:
+		m := *n
+		return &m
+	case *Return:
+		return &Return{Val: CloneExpr(n.Val)}
+	}
+	panic("il: CloneStmt of unknown node")
+}
+
+// CloneStmts deep-copies a statement list.
+func CloneStmts(list []Stmt) []Stmt {
+	if list == nil {
+		return nil
+	}
+	out := make([]Stmt, len(list))
+	for i, s := range list {
+		out[i] = CloneStmt(s)
+	}
+	return out
+}
+
+// ExprEqual reports structural equality of two expressions (types compared
+// by kind, not identity).
+func ExprEqual(a, b Expr) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	switch x := a.(type) {
+	case *ConstInt:
+		y, ok := b.(*ConstInt)
+		return ok && x.Val == y.Val
+	case *ConstFloat:
+		y, ok := b.(*ConstFloat)
+		return ok && x.Val == y.Val
+	case *VarRef:
+		y, ok := b.(*VarRef)
+		return ok && x.ID == y.ID
+	case *AddrOf:
+		y, ok := b.(*AddrOf)
+		return ok && x.ID == y.ID
+	case *Load:
+		y, ok := b.(*Load)
+		return ok && x.Volatile == y.Volatile && ExprEqual(x.Addr, y.Addr)
+	case *Bin:
+		y, ok := b.(*Bin)
+		return ok && x.Op == y.Op && ExprEqual(x.L, y.L) && ExprEqual(x.R, y.R)
+	case *Un:
+		y, ok := b.(*Un)
+		return ok && x.Op == y.Op && ExprEqual(x.X, y.X)
+	case *Cast:
+		y, ok := b.(*Cast)
+		return ok && x.T.Kind == y.T.Kind && ExprEqual(x.X, y.X)
+	case *VecRef:
+		y, ok := b.(*VecRef)
+		return ok && ExprEqual(x.Base, y.Base) && ExprEqual(x.Stride, y.Stride)
+	}
+	return false
+}
+
+// UsesVar reports whether e reads variable id (VarRef or AddrOf).
+func UsesVar(e Expr, id VarID) bool {
+	found := false
+	WalkExpr(e, func(x Expr) bool {
+		switch n := x.(type) {
+		case *VarRef:
+			if n.ID == id {
+				found = true
+			}
+		case *AddrOf:
+			if n.ID == id {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// HasVolatile reports whether e contains a volatile load or a reference to
+// a volatile variable.
+func (p *Proc) HasVolatile(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) bool {
+		switch n := x.(type) {
+		case *Load:
+			if n.Volatile {
+				found = true
+			}
+		case *VarRef:
+			if p.Vars[n.ID].IsVolatile() {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// HasLoad reports whether e contains any memory load.
+func HasLoad(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) bool {
+		if _, ok := x.(*Load); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// DefinedVar returns the variable a statement defines directly (a scalar
+// assignment destination or a call result), or NoVar.
+func DefinedVar(s Stmt) VarID {
+	switch n := s.(type) {
+	case *Assign:
+		if v, ok := n.Dst.(*VarRef); ok {
+			return v.ID
+		}
+	case *Call:
+		return n.Dst
+	}
+	return NoVar
+}
+
+// IsStore reports whether s writes through memory (store or vector store).
+func IsStore(s Stmt) bool {
+	switch n := s.(type) {
+	case *Assign:
+		_, isLoad := n.Dst.(*Load)
+		return isLoad
+	case *VectorAssign:
+		return true
+	}
+	return false
+}

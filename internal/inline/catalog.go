@@ -1,0 +1,727 @@
+package inline
+
+// This file implements procedure catalogs: the paper's databases of parsed
+// procedures (§7). "In order to inline functions from other files, the
+// intermediate representation for functions must be saved in an easily
+// accessible form. To permit this, we eliminated all hard pointers from
+// the IL." Our IL references variables by index and globals/callees by
+// name, so serialization needs only a type table (types form graphs —
+// self-referential structs — and are flattened to indices here).
+//
+// The format is a simple tagged binary encoding (varints via
+// encoding/binary) with a magic header and version byte.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/ctype"
+	"repro/internal/il"
+)
+
+// Catalog is a set of procedures plus the globals they reference
+// (including exported function statics).
+type Catalog struct {
+	Procs   []*il.Proc
+	Globals []il.GlobalVar
+}
+
+const (
+	catalogMagic   = "TITANCAT"
+	catalogVersion = 1
+)
+
+// BuildCatalog packages a program's procedures and globals for archiving.
+func BuildCatalog(prog *il.Program) *Catalog {
+	return &Catalog{Procs: prog.Procs, Globals: prog.Globals}
+}
+
+// WriteCatalog serializes a catalog.
+func WriteCatalog(w io.Writer, c *Catalog) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(catalogMagic); err != nil {
+		return err
+	}
+	enc := &encoder{w: bw, typeIdx: map[*ctype.Type]int{}}
+	enc.u64(catalogVersion)
+
+	// Pass 1: collect every type reachable from procs and globals so the
+	// table is complete before any body encodes.
+	for _, g := range c.Globals {
+		enc.typeID(g.Type)
+	}
+	for _, p := range c.Procs {
+		enc.typeID(p.Ret)
+		for i := range p.Vars {
+			enc.typeID(p.Vars[i].Type)
+		}
+		il.WalkStmts(p.Body, func(s il.Stmt) bool {
+			il.StmtExprs(s, func(e il.Expr) {
+				il.WalkExpr(e, func(x il.Expr) bool {
+					if t := x.Type(); t != nil {
+						enc.typeID(t)
+					}
+					return true
+				})
+			})
+			return true
+		})
+	}
+	enc.writeTypeTable()
+
+	enc.u64(uint64(len(c.Globals)))
+	for _, g := range c.Globals {
+		enc.str(g.Name)
+		enc.u64(uint64(enc.typeID(g.Type)))
+		enc.i64(g.InitInt)
+		enc.f64(g.InitFloat)
+		enc.boolean(g.HasInit)
+		enc.bytes(g.Data)
+	}
+	enc.u64(uint64(len(c.Procs)))
+	for _, p := range c.Procs {
+		enc.proc(p)
+	}
+	if enc.err != nil {
+		return enc.err
+	}
+	return bw.Flush()
+}
+
+// ReadCatalog deserializes a catalog.
+func ReadCatalog(r io.Reader) (*Catalog, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(catalogMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	if string(magic) != catalogMagic {
+		return nil, fmt.Errorf("catalog: bad magic %q", magic)
+	}
+	dec := &decoder{r: br}
+	if v := dec.u64(); v != catalogVersion {
+		return nil, fmt.Errorf("catalog: unsupported version %d", v)
+	}
+	dec.readTypeTable()
+
+	c := &Catalog{}
+	ng := dec.u64()
+	for i := uint64(0); i < ng && dec.err == nil; i++ {
+		g := il.GlobalVar{}
+		g.Name = dec.str()
+		g.Type = dec.typeByID(int(dec.u64()))
+		g.InitInt = dec.i64()
+		g.InitFloat = dec.f64()
+		g.HasInit = dec.boolean()
+		g.Data = dec.bytes()
+		c.Globals = append(c.Globals, g)
+	}
+	np := dec.u64()
+	for i := uint64(0); i < np && dec.err == nil; i++ {
+		c.Procs = append(c.Procs, dec.proc())
+	}
+	if dec.err != nil {
+		return nil, dec.err
+	}
+	return c, nil
+}
+
+// ---------------------------------------------------------------- encoder
+
+type encoder struct {
+	w       *bufio.Writer
+	err     error
+	typeIdx map[*ctype.Type]int
+	types   []*ctype.Type
+}
+
+func (e *encoder) u64(v uint64) {
+	if e.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, e.err = e.w.Write(buf[:n])
+}
+
+func (e *encoder) i64(v int64) {
+	if e.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, e.err = e.w.Write(buf[:n])
+}
+
+func (e *encoder) f64(v float64) {
+	if e.err != nil {
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], mathFloat64bits(v))
+	_, e.err = e.w.Write(buf[:])
+}
+
+func (e *encoder) str(s string) {
+	e.u64(uint64(len(s)))
+	if e.err == nil {
+		_, e.err = e.w.WriteString(s)
+	}
+}
+
+func (e *encoder) bytes(b []byte) {
+	e.u64(uint64(len(b)))
+	if e.err == nil {
+		_, e.err = e.w.Write(b)
+	}
+}
+
+func (e *encoder) boolean(b bool) {
+	if b {
+		e.u64(1)
+	} else {
+		e.u64(0)
+	}
+}
+
+// typeID interns a type, assigning indices before recursion so cyclic
+// types (struct node { struct node *next; }) terminate.
+func (e *encoder) typeID(t *ctype.Type) int {
+	if t == nil {
+		return -1
+	}
+	if id, ok := e.typeIdx[t]; ok {
+		return id
+	}
+	id := len(e.types)
+	e.typeIdx[t] = id
+	e.types = append(e.types, t)
+	if t.Elem != nil {
+		e.typeID(t.Elem)
+	}
+	if t.Ret != nil {
+		e.typeID(t.Ret)
+	}
+	for i := range t.Params {
+		e.typeID(t.Params[i].Type)
+	}
+	for i := range t.Fields {
+		e.typeID(t.Fields[i].Type)
+	}
+	return id
+}
+
+func (e *encoder) writeTypeTable() {
+	e.u64(uint64(len(e.types)))
+	for _, t := range e.types {
+		e.u64(uint64(t.Kind))
+		e.boolean(t.Unsigned)
+		e.boolean(t.Volatile)
+		e.boolean(t.Const)
+		e.i64(int64(t.Len))
+		e.i64(int64(e.refID(t.Elem)))
+		e.i64(int64(e.refID(t.Ret)))
+		e.boolean(t.Variadic)
+		e.boolean(t.OldStyle)
+		e.str(t.Tag)
+		e.u64(uint64(len(t.Params)))
+		for _, p := range t.Params {
+			e.str(p.Name)
+			e.i64(int64(e.refID(p.Type)))
+		}
+		e.u64(uint64(len(t.Fields)))
+		for _, f := range t.Fields {
+			e.str(f.Name)
+			e.i64(int64(e.refID(f.Type)))
+			e.i64(int64(f.Offset))
+		}
+		// Aggregate size is recomputed via StructOf layout rules on read?
+		// No: offsets are stored; store the total size too.
+		e.i64(int64(t.Size()))
+	}
+}
+
+func (e *encoder) refID(t *ctype.Type) int {
+	if t == nil {
+		return -1
+	}
+	return e.typeIdx[t]
+}
+
+func (e *encoder) proc(p *il.Proc) {
+	e.str(p.Name)
+	e.i64(int64(e.refID(p.Ret)))
+	e.boolean(p.Variadic)
+	e.u64(uint64(len(p.Params)))
+	for _, id := range p.Params {
+		e.u64(uint64(id))
+	}
+	e.u64(uint64(len(p.Vars)))
+	for i := range p.Vars {
+		v := &p.Vars[i]
+		e.str(v.Name)
+		e.i64(int64(e.refID(v.Type)))
+		e.u64(uint64(v.Class))
+		e.boolean(v.AddrTaken)
+	}
+	e.stmts(p.Body)
+}
+
+// Statement tags.
+const (
+	tAssign = iota
+	tCall
+	tIf
+	tWhile
+	tDoLoop
+	tDoParallel
+	tVectorAssign
+	tGoto
+	tLabel
+	tReturn
+)
+
+// Expression tags.
+const (
+	xNil = iota
+	xConstInt
+	xConstFloat
+	xVarRef
+	xAddrOf
+	xLoad
+	xBin
+	xUn
+	xCast
+	xVecRef
+)
+
+func (e *encoder) stmts(list []il.Stmt) {
+	e.u64(uint64(len(list)))
+	for _, s := range list {
+		e.stmt(s)
+	}
+}
+
+func (e *encoder) stmt(s il.Stmt) {
+	switch n := s.(type) {
+	case *il.Assign:
+		e.u64(tAssign)
+		e.expr(n.Dst)
+		e.expr(n.Src)
+	case *il.Call:
+		e.u64(tCall)
+		e.i64(int64(n.Dst))
+		e.str(n.Callee)
+		e.expr(n.FunPtr)
+		e.i64(int64(e.refID(n.T)))
+		e.u64(uint64(len(n.Args)))
+		for _, a := range n.Args {
+			e.expr(a)
+		}
+	case *il.If:
+		e.u64(tIf)
+		e.expr(n.Cond)
+		e.stmts(n.Then)
+		e.stmts(n.Else)
+	case *il.While:
+		e.u64(tWhile)
+		e.expr(n.Cond)
+		e.boolean(n.Safe)
+		e.stmts(n.Body)
+	case *il.DoLoop:
+		e.u64(tDoLoop)
+		e.u64(uint64(n.IV))
+		e.expr(n.Init)
+		e.expr(n.Limit)
+		e.expr(n.Step)
+		e.boolean(n.Safe)
+		e.stmts(n.Body)
+	case *il.DoParallel:
+		e.u64(tDoParallel)
+		e.u64(uint64(n.IV))
+		e.expr(n.Init)
+		e.expr(n.Limit)
+		e.expr(n.Step)
+		e.stmts(n.Body)
+	case *il.VectorAssign:
+		e.u64(tVectorAssign)
+		e.expr(n.DstBase)
+		e.expr(n.DstStride)
+		e.expr(n.Len)
+		e.i64(int64(e.refID(n.Elem)))
+		e.expr(n.RHS)
+	case *il.Goto:
+		e.u64(tGoto)
+		e.str(n.Target)
+	case *il.Label:
+		e.u64(tLabel)
+		e.str(n.Name)
+	case *il.Return:
+		e.u64(tReturn)
+		e.expr(n.Val)
+	default:
+		e.err = fmt.Errorf("catalog: cannot encode %T", s)
+	}
+}
+
+func (e *encoder) expr(x il.Expr) {
+	if x == nil {
+		e.u64(xNil)
+		return
+	}
+	switch n := x.(type) {
+	case *il.ConstInt:
+		e.u64(xConstInt)
+		e.i64(n.Val)
+		e.i64(int64(e.refID(n.T)))
+	case *il.ConstFloat:
+		e.u64(xConstFloat)
+		e.f64(n.Val)
+		e.i64(int64(e.refID(n.T)))
+	case *il.VarRef:
+		e.u64(xVarRef)
+		e.u64(uint64(n.ID))
+		e.i64(int64(e.refID(n.T)))
+	case *il.AddrOf:
+		e.u64(xAddrOf)
+		e.u64(uint64(n.ID))
+		e.i64(int64(e.refID(n.T)))
+	case *il.Load:
+		e.u64(xLoad)
+		e.expr(n.Addr)
+		e.i64(int64(e.refID(n.T)))
+		e.boolean(n.Volatile)
+	case *il.Bin:
+		e.u64(xBin)
+		e.u64(uint64(n.Op))
+		e.expr(n.L)
+		e.expr(n.R)
+		e.i64(int64(e.refID(n.T)))
+	case *il.Un:
+		e.u64(xUn)
+		e.u64(uint64(n.Op))
+		e.expr(n.X)
+		e.i64(int64(e.refID(n.T)))
+	case *il.Cast:
+		e.u64(xCast)
+		e.expr(n.X)
+		e.i64(int64(e.refID(n.T)))
+	case *il.VecRef:
+		e.u64(xVecRef)
+		e.expr(n.Base)
+		e.expr(n.Stride)
+		e.i64(int64(e.refID(n.T)))
+	default:
+		e.err = fmt.Errorf("catalog: cannot encode expr %T", x)
+	}
+}
+
+// ---------------------------------------------------------------- decoder
+
+type decoder struct {
+	r     *bufio.Reader
+	err   error
+	types []*ctype.Type
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.err = err
+	}
+	return v
+}
+
+func (d *decoder) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(d.r)
+	if err != nil {
+		d.err = err
+	}
+	return v
+}
+
+func (d *decoder) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(d.r, buf[:]); err != nil {
+		d.err = err
+		return 0
+	}
+	return mathFloat64frombits(binary.LittleEndian.Uint64(buf[:]))
+}
+
+func (d *decoder) str() string {
+	n := d.u64()
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	if n > 1<<20 {
+		d.err = fmt.Errorf("catalog: string too long (%d)", n)
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		d.err = err
+		return ""
+	}
+	return string(buf)
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.u64()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > 1<<24 {
+		d.err = fmt.Errorf("catalog: data too long (%d)", n)
+		return nil
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		d.err = err
+		return nil
+	}
+	return buf
+}
+
+func (d *decoder) boolean() bool { return d.u64() != 0 }
+
+func (d *decoder) typeByID(id int) *ctype.Type {
+	if id < 0 || id >= len(d.types) {
+		return nil
+	}
+	return d.types[id]
+}
+
+func (d *decoder) readTypeTable() {
+	n := int(d.u64())
+	if d.err != nil || n < 0 || n > 1<<20 {
+		if d.err == nil {
+			d.err = fmt.Errorf("catalog: bad type count %d", n)
+		}
+		return
+	}
+	// Allocate shells first so cyclic references resolve.
+	d.types = make([]*ctype.Type, n)
+	for i := range d.types {
+		d.types[i] = &ctype.Type{}
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		t := d.types[i]
+		t.Kind = ctype.Kind(d.u64())
+		t.Unsigned = d.boolean()
+		t.Volatile = d.boolean()
+		t.Const = d.boolean()
+		t.Len = int(d.i64())
+		t.Elem = d.typeByID(int(d.i64()))
+		t.Ret = d.typeByID(int(d.i64()))
+		t.Variadic = d.boolean()
+		t.OldStyle = d.boolean()
+		t.Tag = d.str()
+		np := int(d.u64())
+		for j := 0; j < np && d.err == nil; j++ {
+			name := d.str()
+			pt := d.typeByID(int(d.i64()))
+			t.Params = append(t.Params, ctype.Param{Name: name, Type: pt})
+		}
+		nf := int(d.u64())
+		var fields []ctype.Field
+		for j := 0; j < nf && d.err == nil; j++ {
+			name := d.str()
+			ft := d.typeByID(int(d.i64()))
+			off := int(d.i64())
+			fields = append(fields, ctype.Field{Name: name, Type: ft, Offset: off})
+		}
+		t.Fields = fields
+		size := int(d.i64())
+		// Reapply aggregate size through the layout helper: rebuild via
+		// the stored offsets; Size() for structs reads the private size,
+		// so funnel through a rebuild when aggregate.
+		if t.Kind == ctype.Struct || t.Kind == ctype.Union {
+			*t = *rebuildAggregate(t, size)
+		}
+	}
+}
+
+// rebuildAggregate restores a struct/union with its stored layout.
+func rebuildAggregate(t *ctype.Type, size int) *ctype.Type {
+	var nt *ctype.Type
+	if t.Kind == ctype.Struct {
+		nt = ctype.StructOf(t.Tag, t.Fields)
+	} else {
+		nt = ctype.UnionOf(t.Tag, t.Fields)
+	}
+	// StructOf recomputes offsets with the same algorithm used at parse
+	// time, so the stored offsets match; keep qualifiers.
+	nt.Volatile = t.Volatile
+	nt.Const = t.Const
+	_ = size
+	return nt
+}
+
+func (d *decoder) proc() *il.Proc {
+	p := &il.Proc{}
+	p.Name = d.str()
+	p.Ret = d.typeByID(int(d.i64()))
+	p.Variadic = d.boolean()
+	np := int(d.u64())
+	for i := 0; i < np && d.err == nil; i++ {
+		p.Params = append(p.Params, il.VarID(d.u64()))
+	}
+	nv := int(d.u64())
+	for i := 0; i < nv && d.err == nil; i++ {
+		var v il.Var
+		v.Name = d.str()
+		v.Type = d.typeByID(int(d.i64()))
+		v.Class = il.VarClass(d.u64())
+		v.AddrTaken = d.boolean()
+		p.Vars = append(p.Vars, v)
+	}
+	p.Body = d.stmts()
+	return p
+}
+
+func (d *decoder) stmts() []il.Stmt {
+	n := int(d.u64())
+	if d.err != nil || n < 0 || n > 1<<22 {
+		if d.err == nil {
+			d.err = fmt.Errorf("catalog: bad statement count %d", n)
+		}
+		return nil
+	}
+	var out []il.Stmt
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, d.stmt())
+	}
+	return out
+}
+
+func (d *decoder) stmt() il.Stmt {
+	switch tag := d.u64(); tag {
+	case tAssign:
+		dst := d.expr()
+		src := d.expr()
+		return &il.Assign{Dst: dst, Src: src}
+	case tCall:
+		c := &il.Call{}
+		c.Dst = il.VarID(d.i64())
+		c.Callee = d.str()
+		c.FunPtr = d.expr()
+		c.T = d.typeByID(int(d.i64()))
+		na := int(d.u64())
+		for i := 0; i < na && d.err == nil; i++ {
+			c.Args = append(c.Args, d.expr())
+		}
+		return c
+	case tIf:
+		cond := d.expr()
+		then := d.stmts()
+		els := d.stmts()
+		return &il.If{Cond: cond, Then: then, Else: els}
+	case tWhile:
+		cond := d.expr()
+		safe := d.boolean()
+		body := d.stmts()
+		return &il.While{Cond: cond, Safe: safe, Body: body}
+	case tDoLoop:
+		iv := il.VarID(d.u64())
+		init := d.expr()
+		limit := d.expr()
+		step := d.expr()
+		safe := d.boolean()
+		body := d.stmts()
+		return &il.DoLoop{IV: iv, Init: init, Limit: limit, Step: step, Safe: safe, Body: body}
+	case tDoParallel:
+		iv := il.VarID(d.u64())
+		init := d.expr()
+		limit := d.expr()
+		step := d.expr()
+		body := d.stmts()
+		return &il.DoParallel{IV: iv, Init: init, Limit: limit, Step: step, Body: body}
+	case tVectorAssign:
+		base := d.expr()
+		stride := d.expr()
+		length := d.expr()
+		elem := d.typeByID(int(d.i64()))
+		rhs := d.expr()
+		return &il.VectorAssign{DstBase: base, DstStride: stride, Len: length, Elem: elem, RHS: rhs}
+	case tGoto:
+		return &il.Goto{Target: d.str()}
+	case tLabel:
+		return &il.Label{Name: d.str()}
+	case tReturn:
+		return &il.Return{Val: d.expr()}
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("catalog: unknown statement tag %d", tag)
+		}
+		return &il.Label{Name: ".bad"}
+	}
+}
+
+func (d *decoder) expr() il.Expr {
+	switch tag := d.u64(); tag {
+	case xNil:
+		return nil
+	case xConstInt:
+		v := d.i64()
+		t := d.typeByID(int(d.i64()))
+		return &il.ConstInt{Val: v, T: t}
+	case xConstFloat:
+		v := d.f64()
+		t := d.typeByID(int(d.i64()))
+		return &il.ConstFloat{Val: v, T: t}
+	case xVarRef:
+		id := il.VarID(d.u64())
+		t := d.typeByID(int(d.i64()))
+		return &il.VarRef{ID: id, T: t}
+	case xAddrOf:
+		id := il.VarID(d.u64())
+		t := d.typeByID(int(d.i64()))
+		return &il.AddrOf{ID: id, T: t}
+	case xLoad:
+		addr := d.expr()
+		t := d.typeByID(int(d.i64()))
+		vol := d.boolean()
+		return &il.Load{Addr: addr, T: t, Volatile: vol}
+	case xBin:
+		op := il.Op(d.u64())
+		l := d.expr()
+		r := d.expr()
+		t := d.typeByID(int(d.i64()))
+		return &il.Bin{Op: op, L: l, R: r, T: t}
+	case xUn:
+		op := il.Op(d.u64())
+		x := d.expr()
+		t := d.typeByID(int(d.i64()))
+		return &il.Un{Op: op, X: x, T: t}
+	case xCast:
+		x := d.expr()
+		t := d.typeByID(int(d.i64()))
+		return &il.Cast{X: x, T: t}
+	case xVecRef:
+		base := d.expr()
+		stride := d.expr()
+		t := d.typeByID(int(d.i64()))
+		return &il.VecRef{Base: base, Stride: stride, T: t}
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("catalog: unknown expr tag %d", tag)
+		}
+		return il.Int(0)
+	}
+}
+
+func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,287 @@
+// Package inline implements §7's inline expansion. Procedures are expanded
+// at call sites from the current translation unit or from catalogs —
+// serialized libraries of parsed procedures (see catalog.go) — with
+// parameter binding through temporaries, label and variable renaming, a
+// recursion guard, and static-variable export. The optimizations that make
+// inlined code fast (constant propagation into the guards, unreachable and
+// dead code elimination — §8) live in package opt.
+package inline
+
+import (
+	"fmt"
+
+	"repro/internal/il"
+)
+
+// Config controls expansion policy.
+type Config struct {
+	// MaxStmts bounds the callee size considered inlinable.
+	MaxStmts int
+	// MaxDepth bounds nested expansion (recursion guard backstop).
+	MaxDepth int
+	// Only, when non-empty, restricts inlining to the named procedures.
+	Only map[string]bool
+}
+
+// DefaultConfig matches the compiler's defaults: small static functions
+// and library kernels expand; anything over 200 statements does not.
+func DefaultConfig() Config { return Config{MaxStmts: 200, MaxDepth: 8} }
+
+// Inliner expands calls within one program, drawing callee bodies from the
+// program itself and from attached catalogs.
+type Inliner struct {
+	Prog    *il.Program
+	Catalog map[string]*il.Proc
+	Cfg     Config
+
+	// Expanded counts call sites expanded (for tests and reports).
+	Expanded int
+	seq      int
+}
+
+// New returns an inliner over prog.
+func New(prog *il.Program, cfg Config) *Inliner {
+	return &Inliner{Prog: prog, Catalog: map[string]*il.Proc{}, Cfg: cfg}
+}
+
+// AddCatalog attaches a library catalog; its procedures become candidates,
+// and its globals (including exported statics, §7) are merged into the
+// program.
+func (in *Inliner) AddCatalog(c *Catalog) {
+	for _, p := range c.Procs {
+		in.Catalog[p.Name] = p
+	}
+	for _, g := range c.Globals {
+		in.Prog.AddGlobal(g)
+	}
+}
+
+// lookup finds a callee body: unit procedures shadow catalog entries.
+func (in *Inliner) lookup(name string) *il.Proc {
+	if p := in.Prog.Proc(name); p != nil && len(p.Body) > 0 {
+		return p
+	}
+	return in.Catalog[name]
+}
+
+// ExpandProgram expands calls in every procedure.
+func (in *Inliner) ExpandProgram() int {
+	n := 0
+	for _, p := range in.Prog.Procs {
+		n += in.ExpandProc(p)
+	}
+	return n
+}
+
+// ExpandProc expands eligible calls in p until none remain or the depth
+// bound hits. Calls introduced by expansion are themselves candidates
+// (inlined functions may inline other functions, §7); the stack of names
+// being expanded guards against recursion.
+func (in *Inliner) ExpandProc(p *il.Proc) int {
+	count := 0
+	for depth := 0; depth < in.Cfg.MaxDepth; depth++ {
+		n := 0
+		p.Body = in.expandList(p, p.Body, map[string]bool{p.Name: true}, &n)
+		count += n
+		if n == 0 {
+			break
+		}
+	}
+	in.Expanded += count
+	return count
+}
+
+func (in *Inliner) expandList(p *il.Proc, list []il.Stmt, stack map[string]bool, n *int) []il.Stmt {
+	out := make([]il.Stmt, 0, len(list))
+	for _, s := range list {
+		switch st := s.(type) {
+		case *il.Call:
+			if repl, ok := in.expandCall(p, st, stack); ok {
+				*n++
+				out = append(out, repl...)
+				continue
+			}
+		case *il.If:
+			st.Then = in.expandList(p, st.Then, stack, n)
+			st.Else = in.expandList(p, st.Else, stack, n)
+		case *il.While:
+			st.Body = in.expandList(p, st.Body, stack, n)
+		case *il.DoLoop:
+			st.Body = in.expandList(p, st.Body, stack, n)
+		case *il.DoParallel:
+			st.Body = in.expandList(p, st.Body, stack, n)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Inlinable reports whether the named procedure could be expanded (used by
+// diagnostics and tests).
+func (in *Inliner) Inlinable(name string) bool {
+	callee := in.lookup(name)
+	if callee == nil || callee.Variadic {
+		return false
+	}
+	if in.Cfg.MaxStmts > 0 && il.CountStmts(callee.Body) > in.Cfg.MaxStmts {
+		return false
+	}
+	if len(in.Cfg.Only) > 0 && !in.Cfg.Only[name] {
+		return false
+	}
+	return true
+}
+
+// expandCall replaces one call with the callee's renamed body.
+func (in *Inliner) expandCall(p *il.Proc, call *il.Call, stack map[string]bool) ([]il.Stmt, bool) {
+	if call.FunPtr != nil || call.Callee == "" {
+		return nil, false // indirect calls hide the callee
+	}
+	if stack[call.Callee] || !in.Inlinable(call.Callee) {
+		return nil, false
+	}
+	callee := in.lookup(call.Callee)
+	if len(call.Args) != len(callee.Params) {
+		return nil, false // old-style mismatch; leave the call alone
+	}
+
+	in.seq++
+	prefix := fmt.Sprintf("in%d", in.seq)
+
+	// Map callee variables into the caller.
+	varMap := make([]il.VarID, len(callee.Vars))
+	for i := range callee.Vars {
+		cv := callee.Vars[i]
+		switch cv.Class {
+		case il.ClassGlobal, il.ClassStatic:
+			// Same program-level storage; reuse or add a caller entry.
+			// Statics were exported to globals when the callee was built
+			// (§7), so the caller references them by name.
+			if id := p.LookupVar(cv.Name); id != il.NoVar && p.Vars[id].Class == cv.Class {
+				varMap[i] = id
+			} else {
+				varMap[i] = p.AddVar(il.Var{Name: cv.Name, Type: cv.Type, Class: cv.Class, AddrTaken: cv.AddrTaken})
+			}
+		default:
+			varMap[i] = p.AddVar(il.Var{
+				Name:      prefix + "_" + cv.Name,
+				Type:      cv.Type,
+				Class:     il.ClassLocal,
+				AddrTaken: cv.AddrTaken,
+			})
+		}
+	}
+
+	endLabel := p.NewLabel(prefix + "end")
+
+	// Bind arguments to parameter temporaries (the profusion of
+	// temporaries §9 shows; copy propagation cleans them up).
+	var out []il.Stmt
+	for i, arg := range call.Args {
+		pid := varMap[callee.Params[i]]
+		out = append(out, &il.Assign{Dst: il.Ref(pid, p.Vars[pid].Type), Src: il.CloneExpr(arg)})
+	}
+
+	// Clone and rewrite the body.
+	body := il.CloneStmts(callee.Body)
+	body = rewriteInlined(body, varMap, prefix, call.Dst, endLabel, p)
+	out = append(out, body...)
+	out = append(out, &il.Label{Name: endLabel})
+
+	// Mark the callee in the stack while expanding nested calls inside
+	// the clone (mutual recursion guard).
+	stack[call.Callee] = true
+	nested := 0
+	out = in.expandList(p, out, stack, &nested)
+	delete(stack, call.Callee)
+	return out, true
+}
+
+// rewriteInlined renames variables and labels and turns returns into
+// result assignment + goto end.
+func rewriteInlined(body []il.Stmt, varMap []il.VarID, prefix string, dst il.VarID, endLabel string, p *il.Proc) []il.Stmt {
+	mapExpr := func(e il.Expr) il.Expr {
+		return il.RewriteExpr(e, func(x il.Expr) il.Expr {
+			switch n := x.(type) {
+			case *il.VarRef:
+				return il.Ref(varMap[n.ID], n.T)
+			case *il.AddrOf:
+				return &il.AddrOf{ID: varMap[n.ID], T: n.T}
+			}
+			return x
+		})
+	}
+	var rewrite func(list []il.Stmt) []il.Stmt
+	rewrite = func(list []il.Stmt) []il.Stmt {
+		out := make([]il.Stmt, 0, len(list))
+		for _, s := range list {
+			switch n := s.(type) {
+			case *il.Assign:
+				if ld, ok := n.Dst.(*il.Load); ok {
+					n.Dst = &il.Load{Addr: mapExpr(ld.Addr), T: ld.T, Volatile: ld.Volatile}
+				} else if v, ok := n.Dst.(*il.VarRef); ok {
+					n.Dst = il.Ref(varMap[v.ID], v.T)
+				}
+				n.Src = mapExpr(n.Src)
+				out = append(out, n)
+			case *il.Call:
+				if n.Dst != il.NoVar {
+					n.Dst = varMap[n.Dst]
+				}
+				if n.FunPtr != nil {
+					n.FunPtr = mapExpr(n.FunPtr)
+				}
+				for i := range n.Args {
+					n.Args[i] = mapExpr(n.Args[i])
+				}
+				out = append(out, n)
+			case *il.If:
+				n.Cond = mapExpr(n.Cond)
+				n.Then = rewrite(n.Then)
+				n.Else = rewrite(n.Else)
+				out = append(out, n)
+			case *il.While:
+				n.Cond = mapExpr(n.Cond)
+				n.Body = rewrite(n.Body)
+				out = append(out, n)
+			case *il.DoLoop:
+				n.IV = varMap[n.IV]
+				n.Init = mapExpr(n.Init)
+				n.Limit = mapExpr(n.Limit)
+				n.Step = mapExpr(n.Step)
+				n.Body = rewrite(n.Body)
+				out = append(out, n)
+			case *il.DoParallel:
+				n.IV = varMap[n.IV]
+				n.Init = mapExpr(n.Init)
+				n.Limit = mapExpr(n.Limit)
+				n.Step = mapExpr(n.Step)
+				n.Body = rewrite(n.Body)
+				out = append(out, n)
+			case *il.VectorAssign:
+				n.DstBase = mapExpr(n.DstBase)
+				n.DstStride = mapExpr(n.DstStride)
+				n.Len = mapExpr(n.Len)
+				n.RHS = mapExpr(n.RHS)
+				out = append(out, n)
+			case *il.Goto:
+				out = append(out, &il.Goto{Target: prefix + n.Target})
+			case *il.Label:
+				out = append(out, &il.Label{Name: prefix + n.Name})
+			case *il.Return:
+				if n.Val != nil && dst != il.NoVar {
+					out = append(out, &il.Assign{Dst: il.Ref(dst, p.Vars[dst].Type), Src: mapExpr(n.Val)})
+				} else if n.Val != nil {
+					// Result discarded: still evaluate side-effect-free
+					// value? Values are pure in this IL; drop it.
+					_ = n
+				}
+				out = append(out, &il.Goto{Target: endLabel})
+			default:
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	return rewrite(body)
+}

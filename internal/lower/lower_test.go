@@ -1,0 +1,582 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/il"
+	"repro/internal/parser"
+	"repro/internal/sema"
+)
+
+// compile parses, checks, and lowers a source file.
+func compile(t *testing.T, src string) *il.Program {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	prog, err := File(f, info)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return prog
+}
+
+func proc(t *testing.T, src, name string) *il.Proc {
+	t.Helper()
+	p := compile(t, src).Proc(name)
+	if p == nil {
+		t.Fatalf("no proc %q", name)
+	}
+	return p
+}
+
+func TestSimpleAssign(t *testing.T) {
+	p := proc(t, "void f(void) { int a; a = 1 + 2; }", "f")
+	if len(p.Body) != 1 {
+		t.Fatalf("body: %d stmts\n%s", len(p.Body), p)
+	}
+	as := p.Body[0].(*il.Assign)
+	if v, ok := il.IsIntConst(as.Src); !ok || v != 3 {
+		t.Errorf("1+2 did not fold: %s", as.Src)
+	}
+}
+
+func TestPostIncShape(t *testing.T) {
+	// The paper's §5.3 scheme: *a++ = *b++ becomes
+	//   t1 = a; a = t1 + 4; t2 = b; b = t2 + 4; *t1 = *t2
+	src := "void f(float *a, float *b) { *a++ = *b++; }"
+	p := proc(t, src, "f")
+	out := p.String()
+	if got := len(p.Body); got != 5 {
+		t.Fatalf("want 5 statements, got %d:\n%s", got, out)
+	}
+	// First statement: t = a.
+	s0 := p.Body[0].(*il.Assign)
+	if _, ok := s0.Dst.(*il.VarRef); !ok {
+		t.Errorf("stmt 0 dst: %T", s0.Dst)
+	}
+	// Second: a = t + 4.
+	s1 := p.Body[1].(*il.Assign)
+	bin, ok := s1.Src.(*il.Bin)
+	if !ok || bin.Op != il.OpAdd {
+		t.Fatalf("stmt 1 src: %s", p.StmtString(s1, 0))
+	}
+	if v, _ := il.IsIntConst(bin.R); v != 4 {
+		t.Errorf("pointer stride: %s (want 4)", bin.R)
+	}
+	// Last: *t1 = *t2.
+	last := p.Body[4].(*il.Assign)
+	if _, ok := last.Dst.(*il.Load); !ok {
+		t.Errorf("stmt 4 dst: %T", last.Dst)
+	}
+	if _, ok := last.Src.(*il.Load); !ok {
+		t.Errorf("stmt 4 src: %T", last.Src)
+	}
+}
+
+func TestAssignChainVolatileWrittenOnceNeverRead(t *testing.T) {
+	// §4: with volatile v, a = v = b writes v once and never reads it.
+	src := "volatile int v; void f(int a, int b) { a = v = b; }"
+	p := proc(t, src, "f")
+	vid := p.LookupVar("v")
+	if vid == il.NoVar {
+		t.Fatal("no v in proc vars")
+	}
+	writes, reads := 0, 0
+	il.WalkStmts(p.Body, func(s il.Stmt) bool {
+		if as, ok := s.(*il.Assign); ok {
+			if vr, ok := as.Dst.(*il.VarRef); ok && vr.ID == vid {
+				writes++
+			}
+			if il.UsesVar(as.Src, vid) {
+				reads++
+			}
+		}
+		return true
+	})
+	if writes != 1 {
+		t.Errorf("v written %d times, want 1\n%s", writes, p)
+	}
+	if reads != 0 {
+		t.Errorf("v read %d times, want 0\n%s", reads, p)
+	}
+}
+
+func TestForBecomesWhile(t *testing.T) {
+	src := "void f(int n) { int i; for (i = 0; i < n; i++) ; }"
+	p := proc(t, src, "f")
+	var loops int
+	il.WalkStmts(p.Body, func(s il.Stmt) bool {
+		if _, ok := s.(*il.While); ok {
+			loops++
+		}
+		if _, ok := s.(*il.DoLoop); ok {
+			t.Error("front end must not emit DO loops")
+		}
+		return true
+	})
+	if loops != 1 {
+		t.Errorf("loops: %d\n%s", loops, p)
+	}
+}
+
+func TestWhileCondSLDuplicated(t *testing.T) {
+	// while (n--) — the condition has a side effect; its statement list
+	// must appear before the loop and again at the bottom of the body (§4).
+	src := "void f(int n) { while (n--) ; }"
+	p := proc(t, src, "f")
+	// Expect: t=n; n=t-1; while(t) { t=n; n=t-1 }
+	if len(p.Body) != 3 {
+		t.Fatalf("top-level: %d\n%s", len(p.Body), p)
+	}
+	w, ok := p.Body[2].(*il.While)
+	if !ok {
+		t.Fatalf("stmt 2: %T\n%s", p.Body[2], p)
+	}
+	if len(w.Body) != 2 {
+		t.Errorf("loop body: %d stmts (condition SL not duplicated?)\n%s", len(w.Body), p)
+	}
+}
+
+func TestLogicalAnd(t *testing.T) {
+	src := "int f(int a, int b) { return a && b; }"
+	p := proc(t, src, "f")
+	// Expect: t = 0; if a { t = (b != 0) }; return t
+	var haveIf bool
+	for _, s := range p.Body {
+		if _, ok := s.(*il.If); ok {
+			haveIf = true
+		}
+	}
+	if !haveIf {
+		t.Errorf("&& should lower to an If:\n%s", p)
+	}
+	out := p.String()
+	if strings.Contains(out, "&&") {
+		t.Error("&& appears in IL")
+	}
+}
+
+func TestLogicalOrShortCircuit(t *testing.T) {
+	// a || b must not evaluate b when a is true: b's side effects go
+	// inside the If.
+	src := "int g(void); int f(int a) { return a || g(); }"
+	p := proc(t, src, "f")
+	callInsideIf := false
+	for _, s := range p.Body {
+		if ifs, ok := s.(*il.If); ok {
+			il.WalkStmts(ifs.Then, func(s il.Stmt) bool {
+				if _, ok := s.(*il.Call); ok {
+					callInsideIf = true
+				}
+				return true
+			})
+		}
+		if _, ok := s.(*il.Call); ok {
+			t.Errorf("call to g at top level (no short circuit):\n%s", p)
+		}
+	}
+	if !callInsideIf {
+		t.Errorf("call not guarded:\n%s", p)
+	}
+}
+
+func TestCondOperator(t *testing.T) {
+	src := "int f(int c) { return c ? 10 : 20; }"
+	p := proc(t, src, "f")
+	ifs, ok := p.Body[0].(*il.If)
+	if !ok {
+		t.Fatalf("stmt 0: %T", p.Body[0])
+	}
+	if len(ifs.Then) != 1 || len(ifs.Else) != 1 {
+		t.Errorf("branches: %d/%d", len(ifs.Then), len(ifs.Else))
+	}
+}
+
+func TestCallLowering(t *testing.T) {
+	src := "int g(int); int f(void) { return g(41) + 1; }"
+	p := proc(t, src, "f")
+	call, ok := p.Body[0].(*il.Call)
+	if !ok {
+		t.Fatalf("stmt 0: %T\n%s", p.Body[0], p)
+	}
+	if call.Callee != "g" || call.Dst == il.NoVar || len(call.Args) != 1 {
+		t.Errorf("call: %s", p.StmtString(call, 0))
+	}
+}
+
+func TestVoidCallDiscard(t *testing.T) {
+	src := "void g(void); void f(void) { g(); }"
+	p := proc(t, src, "f")
+	call := p.Body[0].(*il.Call)
+	if call.Dst != il.NoVar {
+		t.Error("void call should discard result")
+	}
+}
+
+func TestIndexLowering(t *testing.T) {
+	// a[i] → *( &a + 4*i )
+	src := "float a[100]; float f(int i) { return a[i]; }"
+	p := proc(t, src, "f")
+	ret := p.Body[0].(*il.Return)
+	ld, ok := ret.Val.(*il.Load)
+	if !ok {
+		t.Fatalf("return: %T", ret.Val)
+	}
+	bin, ok := ld.Addr.(*il.Bin)
+	if !ok || bin.Op != il.OpAdd {
+		t.Fatalf("addr: %s", p.ExprString(ld.Addr))
+	}
+	if _, ok := bin.L.(*il.AddrOf); !ok {
+		t.Errorf("base: %T", bin.L)
+	}
+	mul, ok := bin.R.(*il.Bin)
+	if !ok || mul.Op != il.OpMul {
+		t.Fatalf("offset: %s", p.ExprString(bin.R))
+	}
+	if v, _ := il.IsIntConst(mul.L); v != 4 {
+		t.Errorf("scale: %s", p.ExprString(mul.L))
+	}
+}
+
+func TestMultiDimIndex(t *testing.T) {
+	// m[i][j] → *( &m + 16*i + 4*j )
+	src := "float m[4][4]; float f(int i, int j) { return m[i][j]; }"
+	p := proc(t, src, "f")
+	out := p.String()
+	if !strings.Contains(out, "16") || !strings.Contains(out, "4") {
+		t.Errorf("expected strides 16 and 4:\n%s", out)
+	}
+}
+
+func TestStructMember(t *testing.T) {
+	src := `
+struct point { float x, y; };
+float f(struct point *p) { return p->y; }
+`
+	p := proc(t, src, "f")
+	ret := p.Body[0].(*il.Return)
+	ld := ret.Val.(*il.Load)
+	bin, ok := ld.Addr.(*il.Bin)
+	if !ok {
+		t.Fatalf("p->y addr: %T", ld.Addr)
+	}
+	if v, _ := il.IsIntConst(bin.R); v != 4 {
+		t.Errorf("offset of y: %s", p.ExprString(bin.R))
+	}
+}
+
+func TestArrayInStruct(t *testing.T) {
+	// The §10 construct: arrays embedded within structures.
+	src := `
+struct xform { float m[4][4]; };
+float f(struct xform *t, int i, int j) { return t->m[i][j]; }
+`
+	p := proc(t, src, "f")
+	if _, ok := p.Body[0].(*il.Return); !ok {
+		t.Fatalf("body:\n%s", p)
+	}
+}
+
+func TestVolatileLoadFlagged(t *testing.T) {
+	src := "volatile int *status; int f(void) { return *status; }"
+	p := proc(t, src, "f")
+	ret := p.Body[0].(*il.Return)
+	ld, ok := ret.Val.(*il.Load)
+	if !ok {
+		t.Fatalf("return: %T", ret.Val)
+	}
+	if !ld.Volatile {
+		t.Error("volatile deref not flagged")
+	}
+}
+
+func TestVolatileBusyWait(t *testing.T) {
+	// The §1 example: while(!keyboard_status); must keep re-reading.
+	src := "volatile int ks; void f(void) { ks = 0; while (!ks) ; }"
+	p := proc(t, src, "f")
+	w, ok := p.Body[1].(*il.While)
+	if !ok {
+		t.Fatalf("stmt 1: %T\n%s", p.Body[1], p)
+	}
+	if !p.HasVolatile(w.Cond) {
+		t.Errorf("loop condition lost volatility: %s", p.ExprString(w.Cond))
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	src := `
+void f(int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		if (i == 3) continue;
+		if (i == 7) break;
+	}
+}
+`
+	p := proc(t, src, "f")
+	var gotos, labels int
+	il.WalkStmts(p.Body, func(s il.Stmt) bool {
+		switch s.(type) {
+		case *il.Goto:
+			gotos++
+		case *il.Label:
+			labels++
+		}
+		return true
+	})
+	if gotos != 2 || labels != 2 {
+		t.Errorf("gotos=%d labels=%d\n%s", gotos, labels, p)
+	}
+}
+
+func TestNoBreakNoLabels(t *testing.T) {
+	// Clean counted loops must not sprout labels (they would block DO
+	// conversion).
+	src := "void f(int n) { int i; for (i = 0; i < n; i++) ; }"
+	p := proc(t, src, "f")
+	il.WalkStmts(p.Body, func(s il.Stmt) bool {
+		if _, ok := s.(*il.Label); ok {
+			t.Errorf("unexpected label:\n%s", p)
+		}
+		return true
+	})
+}
+
+func TestSwitchLowering(t *testing.T) {
+	src := `
+int f(int n) {
+	int r;
+	switch (n) {
+	case 0: r = 10; break;
+	case 1: r = 20; break;
+	default: r = 30;
+	}
+	return r;
+}
+`
+	p := proc(t, src, "f")
+	out := p.String()
+	if strings.Count(out, "goto") < 3 {
+		t.Errorf("switch dispatch missing gotos:\n%s", out)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	src := `
+int f(int n) {
+	int r;
+	r = 0;
+	switch (n) {
+	case 0: r = r + 1;
+	case 1: r = r + 2; break;
+	default: r = 99;
+	}
+	return r;
+}
+`
+	p := proc(t, src, "f")
+	// Must not contain a goto between case 0's body and case 1's body:
+	// fallthrough is sequential. Just verify it lowers and has 2 case labels
+	// plus an end label.
+	labels := 0
+	il.WalkStmts(p.Body, func(s il.Stmt) bool {
+		if _, ok := s.(*il.Label); ok {
+			labels++
+		}
+		return true
+	})
+	if labels < 4 { // case0, case1, default, swend
+		t.Errorf("labels: %d\n%s", labels, p)
+	}
+}
+
+func TestDoWhile(t *testing.T) {
+	src := "void f(int n) { do { n = n - 1; } while (n); }"
+	p := proc(t, src, "f")
+	if _, ok := p.Body[0].(*il.Label); !ok {
+		t.Fatalf("do-while should start with label:\n%s", p)
+	}
+	last := p.Body[len(p.Body)-1].(*il.If)
+	if _, ok := last.Then[0].(*il.Goto); !ok {
+		t.Error("do-while should end with conditional goto")
+	}
+}
+
+func TestCompoundAssignPointer(t *testing.T) {
+	src := "void f(float *p) { p += 3; }"
+	p := proc(t, src, "f")
+	as := p.Body[0].(*il.Assign)
+	bin := as.Src.(*il.Bin)
+	if v, _ := il.IsIntConst(bin.R); v != 12 {
+		t.Errorf("p += 3 should add 12 bytes, got %s", p.ExprString(bin.R))
+	}
+}
+
+func TestStaticLocalBecomesGlobal(t *testing.T) {
+	// §7: static variables inside catalogued procedures must be made
+	// externally known.
+	src := "int counter(void) { static int n; n = n + 1; return n; }"
+	prog := compile(t, src)
+	if prog.Global("counter.n") == nil {
+		t.Errorf("static local not exported: %+v", prog.Globals)
+	}
+	p := prog.Proc("counter")
+	id := p.LookupVar("counter.n")
+	if id == il.NoVar || p.Vars[id].Class != il.ClassStatic {
+		t.Error("static local var class wrong")
+	}
+}
+
+func TestStringLiteral(t *testing.T) {
+	src := `char *msg(void) { return "hi"; }`
+	prog := compile(t, src)
+	found := false
+	for _, g := range prog.Globals {
+		if g.Data != nil && string(g.Data) == "hi\x00" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("string literal not interned: %+v", prog.Globals)
+	}
+}
+
+func TestGlobalInit(t *testing.T) {
+	prog := compile(t, "int n = 42; float pi = 3.5;")
+	n := prog.Global("n")
+	if !n.HasInit || n.InitInt != 42 {
+		t.Errorf("n init: %+v", n)
+	}
+	pi := prog.Global("pi")
+	if !pi.HasInit || pi.InitFloat != 3.5 {
+		t.Errorf("pi init: %+v", pi)
+	}
+}
+
+func TestLocalInitializers(t *testing.T) {
+	src := "int f(void) { int a = 1, b = a + 1; return b; }"
+	p := proc(t, src, "f")
+	if len(p.Body) != 3 {
+		t.Fatalf("body:\n%s", p)
+	}
+}
+
+func TestFloatIntCoercion(t *testing.T) {
+	src := "float f(int i) { float x; x = i; return x + i; }"
+	p := proc(t, src, "f")
+	as := p.Body[0].(*il.Assign)
+	if _, ok := as.Src.(*il.Cast); !ok {
+		t.Errorf("x = i should cast: %s", p.ExprString(as.Src))
+	}
+}
+
+func TestAddressOfElement(t *testing.T) {
+	// The backsolve idiom: p = &x[1].
+	src := "void f(void) { float x[10]; float *p; p = &x[1]; }"
+	p := proc(t, src, "f")
+	as := p.Body[0].(*il.Assign)
+	bin, ok := as.Src.(*il.Bin)
+	if !ok || bin.Op != il.OpAdd {
+		t.Fatalf("&x[1]: %s", p.ExprString(as.Src))
+	}
+	if v, _ := il.IsIntConst(bin.R); v != 4 {
+		t.Errorf("&x[1] offset: %s", p.ExprString(bin.R))
+	}
+}
+
+func TestPragmaSafeMarksLoop(t *testing.T) {
+	src := "void f(float *x, int n) {\n#pragma safe\n\twhile (n) { *x++ = 0; n--; }\n}"
+	p := proc(t, src, "f")
+	found := false
+	il.WalkStmts(p.Body, func(s il.Stmt) bool {
+		if w, ok := s.(*il.While); ok && w.Safe {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Errorf("pragma safe not applied:\n%s", p)
+	}
+}
+
+func TestPaperDaxpyLowering(t *testing.T) {
+	// §9: the daxpy body. for(;n;n--) *x++ = *y++ + alpha * *z++;
+	src := `
+void daxpy(float *x, float *y, float *z, float alpha, int n)
+{
+	if (n <= 0)
+		return;
+	if (alpha == 0)
+		return;
+	for (; n; n--)
+		*x++ = *y++ + alpha * *z++;
+}
+`
+	p := proc(t, src, "daxpy")
+	// Two guard Ifs then the While.
+	if _, ok := p.Body[0].(*il.If); !ok {
+		t.Fatalf("stmt 0: %T", p.Body[0])
+	}
+	if _, ok := p.Body[1].(*il.If); !ok {
+		t.Fatalf("stmt 1: %T", p.Body[1])
+	}
+	w, ok := p.Body[2].(*il.While)
+	if !ok {
+		t.Fatalf("stmt 2: %T\n%s", p.Body[2], p)
+	}
+	// Loop body: 3 pointer bumps (2 stmts each) + star assign + n-- (1) = 8.
+	if len(w.Body) != 8 {
+		t.Errorf("daxpy loop body: %d stmts\n%s", len(w.Body), p)
+	}
+	// alpha == 0 compares float against float.
+	guard := p.Body[1].(*il.If)
+	if cmp, ok := guard.Cond.(*il.Bin); !ok || cmp.Op != il.OpEq {
+		t.Errorf("guard: %s", p.ExprString(guard.Cond))
+	}
+}
+
+func TestCommaInForInit(t *testing.T) {
+	src := "void f(int n) { int i, j; for (i = 0, j = n; i < j; i++, j--) ; }"
+	p := proc(t, src, "f")
+	// init: i=0; j=n then loop.
+	if len(p.Body) != 3 {
+		t.Fatalf("body: %d\n%s", len(p.Body), p)
+	}
+}
+
+func TestNestedLoopLowering(t *testing.T) {
+	src := `
+float a[16][16];
+void f(int n) {
+	int i, j;
+	for (i = 0; i < n; i++)
+		for (j = 0; j < n; j++)
+			a[i][j] = 0;
+}
+`
+	p := proc(t, src, "f")
+	depth := 0
+	maxDepth := 0
+	var walk func([]il.Stmt, int)
+	walk = func(list []il.Stmt, d int) {
+		for _, s := range list {
+			if w, ok := s.(*il.While); ok {
+				if d+1 > maxDepth {
+					maxDepth = d + 1
+				}
+				walk(w.Body, d+1)
+			}
+		}
+	}
+	walk(p.Body, depth)
+	if maxDepth != 2 {
+		t.Errorf("nesting depth %d, want 2\n%s", maxDepth, p)
+	}
+}

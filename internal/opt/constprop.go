@@ -1,0 +1,307 @@
+package opt
+
+import (
+	"repro/internal/ctype"
+	"repro/internal/dataflow"
+	"repro/internal/il"
+)
+
+// PropagateConstants performs constant propagation off the use-def graph,
+// combined with the unreachable-code elimination of §8: when an if
+// condition simplifies to a constant, the untaken branch is deleted, and
+// the constant assignments whose definitions were blocked by the deleted
+// code get another round of propagation (here, by iterating to a fixpoint,
+// which subsumes the paper's re-queueing heuristic).
+//
+// It returns the number of rewrites performed.
+func PropagateConstants(p *il.Proc) int {
+	total := 0
+	for {
+		n := propagateOnce(p)
+		total += n
+		if n == 0 {
+			return total
+		}
+	}
+}
+
+func propagateOnce(p *il.Proc) int {
+	a, err := dataflow.Analyze(p)
+	if err != nil {
+		return 0
+	}
+	changed := 0
+
+	// Substitute uses whose every reaching definition assigns the same
+	// constant.
+	il.WalkStmts(p.Body, func(s il.Stmt) bool {
+		subst := func(e il.Expr) il.Expr {
+			return il.RewriteExpr(e, func(x il.Expr) il.Expr {
+				v, ok := x.(*il.VarRef)
+				if !ok {
+					return x
+				}
+				if c := constValueAt(p, a, s, v.ID); c != nil {
+					changed++
+					return c
+				}
+				return x
+			})
+		}
+		switch n := s.(type) {
+		case *il.Assign:
+			if ld, ok := n.Dst.(*il.Load); ok {
+				ld.Addr = subst(ld.Addr)
+			}
+			n.Src = subst(n.Src)
+		default:
+			il.RewriteStmtExprs(s, func(x il.Expr) il.Expr {
+				if v, ok := x.(*il.VarRef); ok {
+					if c := constValueAt(p, a, s, v.ID); c != nil {
+						changed++
+						return c
+					}
+				}
+				return x
+			})
+		}
+		return true
+	})
+
+	// Fold expressions bottom-up.
+	il.WalkStmts(p.Body, func(s il.Stmt) bool {
+		il.RewriteStmtExprs(s, foldNode)
+		return true
+	})
+
+	// Simplify control flow on constant conditions (§8).
+	p.Body = simplifyControl(p.Body, &changed)
+
+	// Remove code made unreachable by unconditional transfers (§8's
+	// vectorizer postpass).
+	changed += postpassUnreachable(p)
+	return changed
+}
+
+// constValueAt returns the constant value of v at statement s if every
+// reaching definition is an unambiguous assignment of that same constant.
+func constValueAt(p *il.Proc, a *dataflow.Analysis, s il.Stmt, v il.VarID) il.Expr {
+	if p.Vars[v].IsVolatile() {
+		return nil
+	}
+	defs := a.ReachingDefs(s, v)
+	if len(defs) == 0 {
+		return nil
+	}
+	var val il.Expr
+	for _, d := range defs {
+		if d.Ambiguous || d.Node.Stmt == nil {
+			return nil
+		}
+		as, ok := d.Node.Stmt.(*il.Assign)
+		if !ok {
+			return nil
+		}
+		switch as.Src.(type) {
+		case *il.ConstInt, *il.ConstFloat:
+		default:
+			return nil
+		}
+		if val == nil {
+			val = as.Src
+		} else if !il.ExprEqual(val, as.Src) {
+			return nil
+		}
+	}
+	if val == nil {
+		return nil
+	}
+	return il.CloneExpr(val)
+}
+
+// foldNode rebuilds one expression node through the folding constructors,
+// adding the float-comparison folding NewBin leaves alone.
+func foldNode(e il.Expr) il.Expr {
+	switch n := e.(type) {
+	case *il.Bin:
+		if n.Op.IsComparison() {
+			if lf, ok := n.L.(*il.ConstFloat); ok {
+				if rf, ok := n.R.(*il.ConstFloat); ok {
+					if v, ok := il.FoldCompareFloat(n.Op, lf.Val, rf.Val); ok {
+						return &il.ConstInt{Val: v, T: ctype.IntType}
+					}
+				}
+			}
+		}
+		folded := il.NewBin(n.Op, n.L, n.R, n.T)
+		if b, stillBin := folded.(*il.Bin); stillBin && (b.Op == il.OpAdd || b.Op == il.OpSub) {
+			return il.SimplifyLinear(folded)
+		}
+		return folded
+	case *il.Un:
+		return il.NewUn(n.Op, n.X, n.T)
+	case *il.Cast:
+		return il.NewCast(n.X, n.T)
+	}
+	return e
+}
+
+// simplifyControl deletes untaken branches of constant ifs and zero-trip
+// loops, splicing the surviving statements in place.
+func simplifyControl(list []il.Stmt, changed *int) []il.Stmt {
+	out := make([]il.Stmt, 0, len(list))
+	for _, s := range list {
+		switch n := s.(type) {
+		case *il.If:
+			n.Then = simplifyControl(n.Then, changed)
+			n.Else = simplifyControl(n.Else, changed)
+			if c, ok := il.IsIntConst(n.Cond); ok {
+				*changed++
+				if c != 0 {
+					out = append(out, n.Then...)
+				} else {
+					out = append(out, n.Else...)
+				}
+				continue
+			}
+			if len(n.Then) == 0 && len(n.Else) == 0 {
+				*changed++
+				continue
+			}
+		case *il.While:
+			n.Body = simplifyControl(n.Body, changed)
+			if c, ok := il.IsIntConst(n.Cond); ok && c == 0 {
+				*changed++
+				continue
+			}
+		case *il.DoLoop:
+			n.Body = simplifyControl(n.Body, changed)
+			if zeroTrip(n.Init, n.Limit, n.Step) {
+				*changed++
+				continue
+			}
+		case *il.DoParallel:
+			n.Body = simplifyControl(n.Body, changed)
+			if zeroTrip(n.Init, n.Limit, n.Step) {
+				*changed++
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// zeroTrip reports whether a DO loop provably executes zero times.
+func zeroTrip(init, limit, step il.Expr) bool {
+	i, ok1 := il.IsIntConst(init)
+	l, ok2 := il.IsIntConst(limit)
+	s, ok3 := il.IsIntConst(step)
+	if !ok1 || !ok2 || !ok3 || s == 0 {
+		return false
+	}
+	if s > 0 {
+		return i > l
+	}
+	return i < l
+}
+
+// postpassUnreachable removes statements that follow an unconditional
+// control transfer up to the next label (§8: "code immediately following
+// branches that are always taken is difficult to uncover as unreachable
+// during constant propagation. The vectorizer has a separate postpass").
+// It also deletes gotos that target the immediately following label.
+func postpassUnreachable(p *il.Proc) int {
+	removed := 0
+	// clean removes dead statements; follow is the label that control
+	// reaches immediately after the list ends (so trailing `goto follow`
+	// statements are no-ops, even from inside an If arm).
+	var clean func(list []il.Stmt, follow string) []il.Stmt
+	clean = func(list []il.Stmt, follow string) []il.Stmt {
+		out := make([]il.Stmt, 0, len(list))
+		dead := false
+		for i, s := range list {
+			if _, isLabel := s.(*il.Label); isLabel {
+				dead = false
+			}
+			if dead {
+				removed++
+				continue
+			}
+			// The label control falls to after this statement.
+			next := follow
+			if i+1 < len(list) {
+				if l, ok := list[i+1].(*il.Label); ok {
+					next = l.Name
+				} else {
+					next = ""
+				}
+			}
+			switch n := s.(type) {
+			case *il.Goto:
+				if n.Target == next {
+					removed++
+					continue
+				}
+				out = append(out, s)
+				dead = true
+				continue
+			case *il.Return:
+				out = append(out, s)
+				dead = true
+				continue
+			case *il.If:
+				n.Then = clean(n.Then, next)
+				n.Else = clean(n.Else, next)
+			case *il.While:
+				n.Body = clean(n.Body, "")
+			case *il.DoLoop:
+				n.Body = clean(n.Body, "")
+			case *il.DoParallel:
+				n.Body = clean(n.Body, "")
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	p.Body = clean(p.Body, "")
+	return removed
+}
+
+// RemoveUnusedLabels deletes labels that no goto targets. Run after the
+// other passes so label bookkeeping does not block loop conversion.
+func RemoveUnusedLabels(p *il.Proc) int {
+	targets := map[string]bool{}
+	il.WalkStmts(p.Body, func(s il.Stmt) bool {
+		if g, ok := s.(*il.Goto); ok {
+			targets[g.Target] = true
+		}
+		return true
+	})
+	removed := 0
+	var clean func([]il.Stmt) []il.Stmt
+	clean = func(list []il.Stmt) []il.Stmt {
+		out := make([]il.Stmt, 0, len(list))
+		for _, s := range list {
+			if l, ok := s.(*il.Label); ok && !targets[l.Name] {
+				removed++
+				continue
+			}
+			switch n := s.(type) {
+			case *il.If:
+				n.Then = clean(n.Then)
+				n.Else = clean(n.Else)
+			case *il.While:
+				n.Body = clean(n.Body)
+			case *il.DoLoop:
+				n.Body = clean(n.Body)
+			case *il.DoParallel:
+				n.Body = clean(n.Body)
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	p.Body = clean(p.Body)
+	return removed
+}

@@ -1,0 +1,381 @@
+package opt
+
+import (
+	"repro/internal/dataflow"
+	"repro/internal/il"
+)
+
+// EliminateDeadCode removes assignments to variables that are not live
+// afterwards ("dead, not unreachable, code" — §9). Inlining makes this
+// crucial: parameter-binding temporaries die as soon as substitution and
+// constant propagation run. Returns the number of statements removed.
+func EliminateDeadCode(p *il.Proc) int {
+	total := 0
+	for {
+		n := dceOnce(p)
+		total += n
+		if n == 0 {
+			return total
+		}
+	}
+}
+
+func dceOnce(p *il.Proc) int {
+	a, err := dataflow.Analyze(p)
+	if err != nil {
+		return 0
+	}
+	lv := dataflow.ComputeLiveness(p, a.Graph)
+	needed := markNeededDefs(p, a)
+	removed := 0
+	var clean func([]il.Stmt) []il.Stmt
+	clean = func(list []il.Stmt) []il.Stmt {
+		out := make([]il.Stmt, 0, len(list))
+		for _, s := range list {
+			switch n := s.(type) {
+			case *il.Assign:
+				if dst, ok := n.Dst.(*il.VarRef); ok {
+					dead := !lv.LiveOut(s, dst.ID) || !needed[s]
+					v := &p.Vars[dst.ID]
+					if dead && !v.IsVolatile() && !p.HasVolatile(n.Src) {
+						removed++
+						continue
+					}
+				}
+			case *il.If:
+				n.Then = clean(n.Then)
+				n.Else = clean(n.Else)
+				if len(n.Then) == 0 && len(n.Else) == 0 && !p.HasVolatile(n.Cond) {
+					removed++
+					continue
+				}
+			case *il.While:
+				n.Body = clean(n.Body)
+			case *il.DoLoop:
+				n.Body = clean(n.Body)
+				if len(n.Body) == 0 && !lv.LiveOut(s, n.IV) {
+					removed++
+					continue
+				}
+			case *il.DoParallel:
+				n.Body = clean(n.Body)
+				if len(n.Body) == 0 && !lv.LiveOut(s, n.IV) {
+					removed++
+					continue
+				}
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	p.Body = clean(p.Body)
+	return removed
+}
+
+// markNeededDefs runs the mark phase of mark-sweep dead-code elimination:
+// essential statements (calls, stores, returns, control conditions, writes
+// to externally visible variables) seed a worklist, and every definition
+// transitively feeding an essential use is marked. Pure assignments whose
+// statement never gets marked are dead even when they feed themselves in a
+// cycle (i = i + 1 with no other use).
+func markNeededDefs(p *il.Proc, a *dataflow.Analysis) map[il.Stmt]bool {
+	essential := func(s il.Stmt) bool {
+		switch n := s.(type) {
+		case *il.Call, *il.Return, *il.VectorAssign, *il.If, *il.While,
+			*il.DoLoop, *il.DoParallel, *il.Goto, *il.Label:
+			return true
+		case *il.Assign:
+			if il.IsStore(s) {
+				return true
+			}
+			dst := n.Dst.(*il.VarRef)
+			v := &p.Vars[dst.ID]
+			if v.IsVolatile() || v.Class == il.ClassGlobal || v.Class == il.ClassStatic || v.AddrTaken {
+				return true
+			}
+			return p.HasVolatile(n.Src)
+		}
+		return false
+	}
+
+	marked := map[il.Stmt]bool{}
+	var work []il.Stmt
+	need := func(s il.Stmt) {
+		if s != nil && !marked[s] {
+			marked[s] = true
+			work = append(work, s)
+		}
+	}
+	il.WalkStmts(p.Body, func(s il.Stmt) bool {
+		if essential(s) {
+			need(s)
+		}
+		return true
+	})
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, v := range dataflow.UsedVars(s) {
+			for _, d := range a.ReachingDefs(s, v) {
+				need(d.Node.Stmt)
+			}
+		}
+	}
+	return marked
+}
+
+// PropagateCopies replaces uses of a variable with the source of a copy
+// assignment `v = w`, `v = &x`, or `v = <pure expression>` when that copy
+// is available on every path (the classic available-copies dataflow,
+// extended to forward propagation of load-free expressions — the paper's
+// "propagating address constants", which is safe because strength
+// reduction and subexpression elimination undo any recomputation it
+// introduces, §11). Returns the number of rewrites performed.
+func PropagateCopies(p *il.Proc) int {
+	total := 0
+	for {
+		n := copyPropOnce(p)
+		total += n
+		if n == 0 {
+			return total
+		}
+	}
+}
+
+// copy instance: statement assigning v = <pure expr>.
+type copyInst struct {
+	stmt    *il.Assign
+	dst     il.VarID
+	src     il.Expr
+	srcVars []il.VarID
+}
+
+// copyExprLimit bounds the size of propagated expressions.
+const copyExprLimit = 16
+
+func copyPropOnce(p *il.Proc) int {
+	a, err := dataflow.Analyze(p)
+	if err != nil {
+		return 0
+	}
+	g := a.Graph
+
+	// Collect copy instances: pure, load-free, volatile-free sources of
+	// bounded size that do not reference their own destination.
+	var copies []copyInst
+	copyIdx := map[il.Stmt]int{}
+	il.WalkStmts(p.Body, func(s il.Stmt) bool {
+		as, ok := s.(*il.Assign)
+		if !ok {
+			return true
+		}
+		dst, ok := as.Dst.(*il.VarRef)
+		if !ok || p.Vars[dst.ID].IsVolatile() {
+			return true
+		}
+		nodes := 0
+		pure := true
+		var srcVars []il.VarID
+		il.WalkExpr(as.Src, func(x il.Expr) bool {
+			nodes++
+			switch n := x.(type) {
+			case *il.Load:
+				pure = false
+			case *il.VarRef:
+				if p.Vars[n.ID].IsVolatile() || n.ID == dst.ID {
+					pure = false
+				}
+				srcVars = append(srcVars, n.ID)
+			}
+			return pure
+		})
+		if !pure || nodes > copyExprLimit {
+			return true
+		}
+		copyIdx[s] = len(copies)
+		copies = append(copies, copyInst{as, dst.ID, as.Src, srcVars})
+		return true
+	})
+	if len(copies) == 0 {
+		return 0
+	}
+
+	// nodeKills returns the variables a node may define.
+	nodeKills := func(s il.Stmt) []il.VarID {
+		if s == nil {
+			return nil
+		}
+		var out []il.VarID
+		if dv := il.DefinedVar(s); dv != il.NoVar {
+			out = append(out, dv)
+		}
+		clobbers := false
+		switch s.(type) {
+		case *il.Call, *il.VectorAssign:
+			clobbers = true
+		case *il.Assign:
+			clobbers = il.IsStore(s)
+		}
+		if clobbers {
+			for i := range p.Vars {
+				v := &p.Vars[i]
+				if v.AddrTaken || v.Class == il.ClassGlobal || v.Class == il.ClassStatic {
+					out = append(out, il.VarID(i))
+				}
+			}
+		}
+		return out
+	}
+
+	// gen/kill bitsets over copies.
+	nNodes := len(g.Nodes)
+	gen := make([]map[int]bool, nNodes)
+	kill := make([]map[int]bool, nNodes)
+	for id, n := range g.Nodes {
+		gen[id] = map[int]bool{}
+		kill[id] = map[int]bool{}
+		kills := nodeKills(n.Stmt)
+		if n.IVDef != il.NoVar {
+			kills = append(kills, n.IVDef)
+		}
+		for _, kv := range kills {
+			for ci := range copies {
+				c := &copies[ci]
+				if c.dst == kv {
+					kill[id][ci] = true
+				}
+				for _, sv := range c.srcVars {
+					if sv == kv {
+						kill[id][ci] = true
+					}
+				}
+			}
+		}
+		if n.Stmt != nil {
+			if ci, ok := copyIdx[n.Stmt]; ok {
+				// gen is applied after kill, so the copy survives its own
+				// destination-kill (a copy never defines its source).
+				gen[id][ci] = true
+			}
+		}
+	}
+
+	// Forward must-analysis: in[n] = ∩ out[preds]; entry = ∅.
+	all := map[int]bool{}
+	for i := range copies {
+		all[i] = true
+	}
+	in := make([]map[int]bool, nNodes)
+	out := make([]map[int]bool, nNodes)
+	reach := g.Reachable()
+	for i := 0; i < nNodes; i++ {
+		if i == g.Entry {
+			out[i] = map[int]bool{}
+			in[i] = map[int]bool{}
+		} else {
+			out[i] = cloneSet(all)
+			in[i] = cloneSet(all)
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for id, n := range g.Nodes {
+			if !reach[id] || id == g.Entry {
+				continue
+			}
+			var newIn map[int]bool
+			for _, pr := range n.Preds {
+				if !reach[pr] {
+					continue
+				}
+				if newIn == nil {
+					newIn = cloneSet(out[pr])
+				} else {
+					newIn = intersectSet(newIn, out[pr])
+				}
+			}
+			if newIn == nil {
+				newIn = map[int]bool{}
+			}
+			newOut := cloneSet(newIn)
+			for k := range kill[id] {
+				delete(newOut, k)
+			}
+			for k := range gen[id] {
+				newOut[k] = true
+			}
+			if !equalSet(newIn, in[id]) || !equalSet(newOut, out[id]) {
+				in[id] = newIn
+				out[id] = newOut
+				changed = true
+			}
+		}
+	}
+
+	// Rewrite uses with available copies.
+	rewrites := 0
+	il.WalkStmts(p.Body, func(s il.Stmt) bool {
+		node, ok := g.NodeOf[s]
+		if !ok || !reach[node.ID] {
+			return true
+		}
+		avail := in[node.ID]
+		replace := func(x il.Expr) il.Expr {
+			v, ok := x.(*il.VarRef)
+			if !ok {
+				return x
+			}
+			// Iterate in copy-index order for determinism when several
+			// copies of the same destination are available.
+			for ci := range copies {
+				if avail[ci] && copies[ci].dst == v.ID && copies[ci].stmt != s {
+					rewrites++
+					return il.CloneExpr(copies[ci].src)
+				}
+			}
+			return x
+		}
+		switch n := s.(type) {
+		case *il.Assign:
+			if ld, ok := n.Dst.(*il.Load); ok {
+				ld.Addr = il.RewriteExpr(ld.Addr, replace)
+			}
+			n.Src = il.RewriteExpr(n.Src, replace)
+		default:
+			il.RewriteStmtExprs(s, replace)
+		}
+		return true
+	})
+	return rewrites
+}
+
+func cloneSet(s map[int]bool) map[int]bool {
+	c := make(map[int]bool, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func intersectSet(a, b map[int]bool) map[int]bool {
+	o := map[int]bool{}
+	for k := range a {
+		if b[k] {
+			o[k] = true
+		}
+	}
+	return o
+}
+
+func equalSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

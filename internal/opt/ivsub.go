@@ -1,0 +1,407 @@
+package opt
+
+import (
+	"repro/internal/ctype"
+	"repro/internal/il"
+)
+
+// SubstituteInductionVariables performs §5.3's induction-variable
+// substitution on every DO loop: auxiliary induction variables (variables
+// advanced by a loop-invariant amount each iteration, including the
+// pointer-bump temps the front end emits for *a++) are rewritten into
+// closed form over the loop's iteration count, and pure assignments are
+// forward-substituted into later statements with the paper's
+// blocking/backtracking bookkeeping — a statement rejected only because a
+// later statement redefines one of its operands is re-examined when the
+// blocker is itself rewritten. Returns the number of rewrites performed.
+func SubstituteInductionVariables(p *il.Proc) int {
+	return ivsubProc(p, true)
+}
+
+// SubstituteInductionVariablesSimple is the A2 ablation: recurrence
+// detection does not resolve through the front end's temp copies and only
+// one substitution pass runs, which is the "straightforward technique"
+// §5.3 says cannot handle the translated *a++ loop.
+func SubstituteInductionVariablesSimple(p *il.Proc) int {
+	return ivsubProc(p, false)
+}
+
+func ivsubProc(p *il.Proc, full bool) int {
+	changed := 0
+	p.Body = ivsubList(p, p.Body, full, &changed)
+	return changed
+}
+
+// ivsubList processes loops innermost-first, splicing preheader statements
+// before rewritten loops.
+func ivsubList(p *il.Proc, list []il.Stmt, full bool, changed *int) []il.Stmt {
+	out := make([]il.Stmt, 0, len(list))
+	for _, s := range list {
+		switch n := s.(type) {
+		case *il.If:
+			n.Then = ivsubList(p, n.Then, full, changed)
+			n.Else = ivsubList(p, n.Else, full, changed)
+		case *il.While:
+			n.Body = ivsubList(p, n.Body, full, changed)
+		case *il.DoLoop:
+			n.Body = ivsubList(p, n.Body, full, changed)
+			pre := ivsubLoop(p, n, full, changed)
+			out = append(out, pre...)
+		case *il.DoParallel:
+			n.Body = ivsubList(p, n.Body, full, changed)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// ivLimit bounds the substitution passes: n passes worst case (§5.3).
+func ivLimit(body []il.Stmt) int { return len(body) + 2 }
+
+// ivsubLoop rewrites one DO loop, returning preheader statements to place
+// before it.
+func ivsubLoop(p *il.Proc, loop *il.DoLoop, full bool, changed *int) []il.Stmt {
+	var pre []il.Stmt
+	passes := ivLimit(loop.Body)
+	if !full {
+		passes = 1
+	}
+	for pass := 0; pass < passes; pass++ {
+		n := 0
+		pre = append(pre, closedFormPass(p, loop, full, &n)...)
+		n += forwardSubstPass(p, loop, !full)
+		*changed += n
+		if n == 0 {
+			break
+		}
+	}
+	return pre
+}
+
+// kExpr returns the loop's iteration-index expression (0, 1, 2, ...) and
+// any preheader statements needed to snapshot a varying Init.
+func kExpr(p *il.Proc, loop *il.DoLoop) (il.Expr, []il.Stmt) {
+	stepC, _ := il.IsIntConst(loop.Step)
+	ivRef := il.Ref(loop.IV, ctype.IntType)
+	var pre []il.Stmt
+
+	init := loop.Init
+	if !exprInvariantInBody(p, loop.Body, init) {
+		// Init is evaluated once at entry; snapshot it so the closed forms
+		// can refer to it even though the body changes its variables.
+		t := p.NewTemp(ctype.IntType)
+		pre = append(pre, &il.Assign{Dst: il.Ref(t, ctype.IntType), Src: il.CloneExpr(init)})
+		loop.Init = il.Ref(t, ctype.IntType)
+		init = loop.Init
+	}
+	switch stepC {
+	case 1:
+		return il.Sub(ivRef, il.CloneExpr(init), ctype.IntType), pre
+	case -1:
+		return il.Sub(il.CloneExpr(init), ivRef, ctype.IntType), pre
+	default:
+		diff := il.Sub(ivRef, il.CloneExpr(init), ctype.IntType)
+		return il.NewBin(il.OpDiv, diff, il.CloneExpr(loop.Step), ctype.IntType), pre
+	}
+}
+
+// exprInvariantInBody reports whether no variable of e is defined in body.
+func exprInvariantInBody(p *il.Proc, body []il.Stmt, e il.Expr) bool {
+	defined := bodyDefinedVars(p, body)
+	inv := true
+	il.WalkExpr(e, func(x il.Expr) bool {
+		if v, ok := x.(*il.VarRef); ok {
+			if defined[v.ID] || p.Vars[v.ID].IsVolatile() {
+				inv = false
+			}
+		}
+		return inv
+	})
+	return inv
+}
+
+// bodyDefinedVars returns every variable possibly defined in body
+// (explicit defs plus clobbers by stores and calls).
+func bodyDefinedVars(p *il.Proc, body []il.Stmt) map[il.VarID]bool {
+	defined := map[il.VarID]bool{}
+	clobber := func() {
+		for i := range p.Vars {
+			v := &p.Vars[i]
+			if v.AddrTaken || v.Class == il.ClassGlobal || v.Class == il.ClassStatic {
+				defined[il.VarID(i)] = true
+			}
+		}
+	}
+	il.WalkStmts(body, func(s il.Stmt) bool {
+		if dv := il.DefinedVar(s); dv != il.NoVar {
+			defined[dv] = true
+		}
+		if il.IsStore(s) {
+			clobber()
+		}
+		switch n := s.(type) {
+		case *il.Call:
+			clobber()
+		case *il.DoLoop:
+			defined[n.IV] = true
+		case *il.DoParallel:
+			defined[n.IV] = true
+		}
+		return true
+	})
+	return defined
+}
+
+// basicIV is a detected auxiliary induction variable.
+type basicIV struct {
+	v      il.VarID
+	step   il.Expr // loop-invariant per-iteration increment
+	update int     // top-level index of the (single) updating statement
+}
+
+// detectBasicIVs finds variables with a single top-level update whose net
+// per-iteration effect is v += step. When resolveCopies is set, the
+// recurrence is resolved through the body's temp copies by symbolic
+// execution (the §5.3 requirement for front-end-generated code).
+func detectBasicIVs(p *il.Proc, loop *il.DoLoop, resolveCopies bool) []basicIV {
+	// One pass of symbolic execution over the top-level statements.
+	env := newSymEnv()
+	ok := true
+	for _, s := range loop.Body {
+		if !env.exec(p, s) {
+			ok = false
+			break
+		}
+	}
+	if !ok {
+		return nil
+	}
+
+	// Count updates per variable and record the top-level index.
+	updateIdx := map[il.VarID][]int{}
+	for i, s := range loop.Body {
+		if as, ok := s.(*il.Assign); ok {
+			if dst, ok := as.Dst.(*il.VarRef); ok {
+				updateIdx[dst.ID] = append(updateIdx[dst.ID], i)
+			}
+		}
+	}
+	// Nested defs disqualify.
+	nestedDefs := map[il.VarID]bool{}
+	for _, s := range loop.Body {
+		switch s.(type) {
+		case *il.Assign:
+		default:
+			il.WalkStmts([]il.Stmt{s}, func(sub il.Stmt) bool {
+				if dv := il.DefinedVar(sub); dv != il.NoVar {
+					nestedDefs[dv] = true
+				}
+				return true
+			})
+		}
+	}
+
+	// Deterministic order: iterate candidates by variable id, not map
+	// order (temp names and golden output depend on it).
+	var cands []il.VarID
+	for vid := range updateIdx {
+		cands = append(cands, vid)
+	}
+	sortVarIDs(cands)
+
+	var out []basicIV
+	for _, vid := range cands {
+		idxs := updateIdx[vid]
+		if len(idxs) != 1 || nestedDefs[vid] || vid == loop.IV {
+			continue
+		}
+		v := &p.Vars[vid]
+		if v.AddrTaken || v.Class == il.ClassGlobal || v.Class == il.ClassStatic || v.IsVolatile() {
+			continue
+		}
+		if !v.Type.IsInteger() && v.Type.Kind != ctype.Pointer {
+			continue
+		}
+		var next il.Expr
+		if resolveCopies {
+			var has bool
+			next, has = env.vals[vid]
+			if !has {
+				continue
+			}
+		} else {
+			// Straightforward technique: the update must literally read
+			// v = v ± c.
+			as := loop.Body[idxs[0]].(*il.Assign)
+			next = as.Src
+		}
+		step, ok := matchRecurrence(il.CloneExpr(next), vid)
+		if !ok || !exprInvariantInBody(p, loop.Body, step) {
+			continue
+		}
+		out = append(out, basicIV{v: vid, step: step, update: idxs[0]})
+	}
+	return out
+}
+
+// closedFormPass replaces uses of each auxiliary IV with its closed form
+// v0 + step*k (before the update) or v0 + step*(k+1) (after), where v0
+// snapshots the variable at loop entry. Returns preheader statements.
+func closedFormPass(p *il.Proc, loop *il.DoLoop, resolveCopies bool, changed *int) []il.Stmt {
+	ivs := detectBasicIVs(p, loop, resolveCopies)
+	if len(ivs) == 0 {
+		return nil
+	}
+	k, pre := kExpr(p, loop)
+
+	for _, biv := range ivs {
+		t := p.Vars[biv.v].Type
+		v0 := p.AddVar(il.Var{Name: p.Vars[biv.v].Name + ".0", Type: t, Class: il.ClassTemp})
+		pre = append(pre, &il.Assign{Dst: il.Ref(v0, t), Src: il.Ref(biv.v, t)})
+
+		valueAt := func(afterUpdate bool) il.Expr {
+			occ := il.CloneExpr(k)
+			if afterUpdate {
+				occ = il.Add(occ, il.Int(1), ctype.IntType)
+			}
+			return il.Add(il.Ref(v0, t), il.Mul(il.CloneExpr(biv.step), occ, ctype.IntType), t)
+		}
+
+		for i, s := range loop.Body {
+			after := i > biv.update
+			if i == biv.update {
+				// The update's RHS reads the before-update value; its
+				// destination stays v so the variable remains correct for
+				// any use after the loop.
+				as := s.(*il.Assign)
+				as.Src = il.RewriteExpr(as.Src, func(x il.Expr) il.Expr {
+					if vr, ok := x.(*il.VarRef); ok && vr.ID == biv.v {
+						*changed++
+						return valueAt(false)
+					}
+					return x
+				})
+				continue
+			}
+			il.RewriteTreeExprs(s, func(x il.Expr) il.Expr {
+				if vr, ok := x.(*il.VarRef); ok && vr.ID == biv.v {
+					*changed++
+					return valueAt(after)
+				}
+				return x
+			})
+		}
+	}
+	return pre
+}
+
+// forwardSubstPass forward-substitutes pure single-def assignments into
+// later statements of the loop body, with the blocking bookkeeping of
+// §5.3: when a substitution stops because statement B redefines one of the
+// source's operands, the candidate is recorded as blocked by B; whenever a
+// pass changes B (or deletes it), the blocked candidates are re-examined
+// on the next pass. In strict mode (the "straightforward" A2 ablation) a
+// blocking statement stops substitution before its own uses are rewritten,
+// so the front end's pointer-bump pattern never resolves. Returns the
+// number of substitutions.
+func forwardSubstPass(p *il.Proc, loop *il.DoLoop, strict bool) int {
+	changed := 0
+	body := loop.Body
+	defined := bodyDefinedVars(p, body)
+
+	// Count defs per var at top level; vars with nested or multiple defs
+	// are not candidates.
+	defCount := map[il.VarID]int{}
+	il.WalkStmts(body, func(s il.Stmt) bool {
+		if dv := il.DefinedVar(s); dv != il.NoVar {
+			defCount[dv]++
+		}
+		return true
+	})
+
+	for i, s := range body {
+		as, ok := s.(*il.Assign)
+		if !ok {
+			continue
+		}
+		dst, ok := as.Dst.(*il.VarRef)
+		if !ok || defCount[dst.ID] != 1 || dst.ID == loop.IV {
+			continue
+		}
+		v := &p.Vars[dst.ID]
+		if v.AddrTaken || v.IsVolatile() || v.Class == il.ClassGlobal || v.Class == il.ClassStatic {
+			continue
+		}
+		if !pureNoLoad(as.Src) || il.UsesVar(as.Src, dst.ID) {
+			continue
+		}
+		// Operand variables of the source.
+		var operands []il.VarID
+		il.WalkExpr(as.Src, func(x il.Expr) bool {
+			if vr, ok := x.(*il.VarRef); ok {
+				operands = append(operands, vr.ID)
+			}
+			return true
+		})
+		_ = defined
+
+		// Scan forward, substituting until an operand is redefined.
+		for j := i + 1; j < len(body); j++ {
+			t := body[j]
+			redefines := stmtMayDefine(p, t, operands)
+			_, plain := t.(*il.Assign)
+			if redefines && (strict || !plain) {
+				// A structured statement that redefines an operand may
+				// interleave the redefinition with uses of x; do not
+				// substitute into it at all.
+				break
+			}
+			il.RewriteTreeExprs(t, func(x il.Expr) il.Expr {
+				if vr, ok := x.(*il.VarRef); ok && vr.ID == dst.ID {
+					changed++
+					return il.CloneExpr(as.Src)
+				}
+				return x
+			})
+			if redefines {
+				// Blocked by t; §5.3's backtracking re-examines this
+				// candidate on the next pass, after t has been rewritten.
+				break
+			}
+		}
+	}
+	return changed
+}
+
+// sortVarIDs sorts ascending (insertion sort; candidate lists are tiny).
+func sortVarIDs(a []il.VarID) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// pureNoLoad reports whether e has no loads and no volatile references.
+func pureNoLoad(e il.Expr) bool {
+	pure := true
+	il.WalkExpr(e, func(x il.Expr) bool {
+		if _, ok := x.(*il.Load); ok {
+			pure = false
+		}
+		return pure
+	})
+	return pure
+}
+
+// stmtMayDefine reports whether s (including nested statements) may define
+// any of the given variables.
+func stmtMayDefine(p *il.Proc, s il.Stmt, vars []il.VarID) bool {
+	defined := bodyDefinedVars(p, []il.Stmt{s})
+	for _, v := range vars {
+		if defined[v] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,63 @@
+package opt
+
+import "repro/internal/il"
+
+// Options selects which scalar optimizations run.
+type Options struct {
+	// IVSub enables induction-variable substitution. The paper notes it
+	// deoptimizes code that does not vectorize (§6), so the driver turns
+	// it on when vectorization is requested and relies on strength
+	// reduction to undo the damage elsewhere.
+	IVSub bool
+	// SimpleIVSub selects the single-pass, no-copy-resolution variant
+	// (ablation A2).
+	SimpleIVSub bool
+	// NoCopyProp disables copy propagation. Combined with SimpleIVSub it
+	// models the "straightforward" 1980s pipeline of §5.3 that cannot
+	// resolve the front end's pointer-bump temporaries.
+	NoCopyProp bool
+	// NoWhileConversion disables while→DO conversion (for ablations).
+	NoWhileConversion bool
+}
+
+// DefaultOptions enables the full paper pipeline.
+func DefaultOptions() Options { return Options{IVSub: true} }
+
+// Optimize runs the scalar optimization pipeline on one procedure in the
+// paper's order (§5.2): use-def chains are built first (inside each pass),
+// while loops convert to DO loops immediately, and only then do the
+// DO-loop simplifications — induction-variable substitution, constant
+// propagation, and dead-code elimination — run. The pipeline iterates to a
+// bounded fixpoint since each pass exposes opportunities for the others.
+func Optimize(p *il.Proc, opts Options) {
+	for round := 0; round < 8; round++ {
+		changed := 0
+		if !opts.NoWhileConversion {
+			changed += ConvertWhileLoops(p)
+		}
+		changed += PropagateConstants(p)
+		if opts.IVSub {
+			if opts.SimpleIVSub {
+				changed += SubstituteInductionVariablesSimple(p)
+			} else {
+				changed += SubstituteInductionVariables(p)
+			}
+		}
+		if !opts.NoCopyProp {
+			changed += PropagateCopies(p)
+		}
+		changed += PropagateConstants(p)
+		changed += EliminateDeadCode(p)
+		changed += RemoveUnusedLabels(p)
+		if changed == 0 {
+			return
+		}
+	}
+}
+
+// OptimizeProgram runs Optimize over every procedure.
+func OptimizeProgram(prog *il.Program, opts Options) {
+	for _, p := range prog.Procs {
+		Optimize(p, opts)
+	}
+}

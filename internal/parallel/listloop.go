@@ -1,0 +1,217 @@
+package parallel
+
+// This file implements the extension §10 sketches as future work:
+// "we plan to enhance the parallelization to include list and graph
+// structures ... Such a loop cannot be vectorized with any benefit, but it
+// can be spread across multiple processors by pulling the code for moving
+// to the next element into the serialized portion of the parallel loop.
+// ... it does require an assumption that each motion down a pointer goes
+// to independent storage."
+//
+// A while loop of the shape
+//
+//	while (p) { ...uses of p...; p = *(p + off); }
+//
+// is rewritten (under the independent-storage assumption, which the driver
+// exposes as an explicit option) into
+//
+//	n = 0;
+//	while (p && n < CAP) { buf[n] = p; n = n + 1; p = *(p + off); }
+//	do parallel i = 0, n-1, 1 { q = buf[i]; ...body with q... }
+//	while (p) { original loop }        // tail beyond the buffer
+//
+// The pointer chase runs serially; the per-node work spreads across
+// processors.
+
+import (
+	"fmt"
+
+	"repro/internal/ctype"
+	"repro/internal/il"
+)
+
+// listBufCap is the compiler-allocated pointer buffer length.
+const listBufCap = 8192
+
+// ListStats reports list-loop conversions.
+type ListStats struct {
+	LoopsConverted int
+}
+
+// ParallelizeListLoops rewrites eligible linked-list while loops in p.
+// The prog is needed to allocate the shared pointer buffer. The caller
+// asserts the §10 independence assumption by calling at all.
+func ParallelizeListLoops(prog *il.Program, p *il.Proc) ListStats {
+	var st ListStats
+	p.Body = walkList(prog, p, p.Body, &st)
+	return st
+}
+
+func walkList(prog *il.Program, p *il.Proc, list []il.Stmt, st *ListStats) []il.Stmt {
+	out := make([]il.Stmt, 0, len(list))
+	for _, s := range list {
+		switch n := s.(type) {
+		case *il.If:
+			n.Then = walkList(prog, p, n.Then, st)
+			n.Else = walkList(prog, p, n.Else, st)
+		case *il.DoLoop:
+			n.Body = walkList(prog, p, n.Body, st)
+		case *il.DoParallel:
+			// leave
+		case *il.While:
+			n.Body = walkList(prog, p, n.Body, st)
+			if repl, ok := convertListLoop(prog, p, n); ok {
+				st.LoopsConverted++
+				out = append(out, repl...)
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// chaseShape matches the loop against while(ptr){...; ptr = *(ptr+off)}.
+func chaseShape(p *il.Proc, w *il.While) (ptr il.VarID, chase *il.Assign, ok bool) {
+	cond, isVar := w.Cond.(*il.VarRef)
+	if !isVar {
+		return il.NoVar, nil, false
+	}
+	v := &p.Vars[cond.ID]
+	if v.Type == nil || v.Type.Kind != ctype.Pointer || v.AddrTaken ||
+		v.Class == il.ClassGlobal || v.Class == il.ClassStatic || v.IsVolatile() {
+		return il.NoVar, nil, false
+	}
+	if len(w.Body) < 2 {
+		return il.NoVar, nil, false
+	}
+	last, isAssign := w.Body[len(w.Body)-1].(*il.Assign)
+	if !isAssign {
+		return il.NoVar, nil, false
+	}
+	dst, isVarDst := last.Dst.(*il.VarRef)
+	if !isVarDst || dst.ID != cond.ID {
+		return il.NoVar, nil, false
+	}
+	// The chase: load through ptr (+ constant offset).
+	ld, isLoad := last.Src.(*il.Load)
+	if !isLoad || ld.Volatile {
+		return il.NoVar, nil, false
+	}
+	base := ld.Addr
+	if b, isBin := base.(*il.Bin); isBin && b.Op == il.OpAdd {
+		if _, isConst := il.IsIntConst(b.R); isConst {
+			base = b.L
+		}
+	}
+	if bv, isVar := base.(*il.VarRef); !isVar || bv.ID != cond.ID {
+		return il.NoVar, nil, false
+	}
+	return cond.ID, last, true
+}
+
+// convertListLoop performs the rewrite, or reports false.
+func convertListLoop(prog *il.Program, p *il.Proc, w *il.While) ([]il.Stmt, bool) {
+	ptr, chase, ok := chaseShape(p, w)
+	if !ok {
+		return nil, false
+	}
+	body := w.Body[:len(w.Body)-1] // per-node work, chase removed
+
+	// Eligibility of the per-node work: straight-line assignments whose
+	// stores root at the node pointer, no calls, no other defs of ptr, no
+	// volatile, no defs of externally visible scalars.
+	for _, s := range body {
+		as, isAssign := s.(*il.Assign)
+		if !isAssign {
+			return nil, false
+		}
+		if p.HasVolatile(as.Src) || p.HasVolatile(as.Dst) {
+			return nil, false
+		}
+		if dv := il.DefinedVar(s); dv != il.NoVar {
+			if dv == ptr {
+				return nil, false
+			}
+			v := &p.Vars[dv]
+			if v.Class == il.ClassGlobal || v.Class == il.ClassStatic || v.AddrTaken || v.IsVolatile() {
+				return nil, false
+			}
+		}
+		if ld, isStore := as.Dst.(*il.Load); isStore {
+			// The store must be node-relative: its address uses ptr.
+			if !il.UsesVar(ld.Addr, ptr) {
+				return nil, false
+			}
+		}
+	}
+
+	// Allocate (or reuse) the shared pointer buffer and per-proc vars.
+	bufName := ".listbuf"
+	prog.AddGlobal(il.GlobalVar{Name: bufName,
+		Type: ctype.ArrayOf(ctype.PointerTo(ctype.VoidType), listBufCap)})
+	bufID := p.LookupVar(bufName)
+	if bufID == il.NoVar {
+		bufID = p.AddVar(il.Var{Name: bufName,
+			Type: ctype.ArrayOf(ctype.PointerTo(ctype.VoidType), listBufCap), Class: il.ClassGlobal})
+	}
+	ptrT := p.Vars[ptr].Type
+	count := p.AddVar(il.Var{Name: fmt.Sprintf("lcnt%d", len(p.Vars)), Type: ctype.IntType, Class: il.ClassTemp})
+	iv := p.AddVar(il.Var{Name: fmt.Sprintf("li%d", len(p.Vars)), Type: ctype.IntType, Class: il.ClassTemp})
+	node := p.AddVar(il.Var{Name: fmt.Sprintf("lnode%d", len(p.Vars)), Type: ptrT, Class: il.ClassTemp})
+
+	intT := ctype.IntType
+	bufAddr := func(idx il.Expr) il.Expr {
+		return il.Add(&il.AddrOf{ID: bufID, T: ctype.PointerTo(ctype.PointerTo(ctype.VoidType))},
+			il.Mul(il.Int(4), idx, intT), ctype.PointerTo(ptrT))
+	}
+
+	// Serial collection: n = 0; while (p && n < CAP) { buf[n] = p; n++;
+	// chase }. The && is expressed with the IL's pure operators.
+	collect := &il.While{
+		Cond: il.Ref(ptr, ptrT),
+		Body: []il.Stmt{
+			&il.If{
+				Cond: il.NewBin(il.OpGe, il.Ref(count, intT), il.Int(listBufCap), intT),
+				Then: []il.Stmt{&il.Goto{Target: ""}}, // patched below
+			},
+			&il.Assign{
+				Dst: &il.Load{Addr: bufAddr(il.Ref(count, intT)), T: ptrT},
+				Src: il.Ref(ptr, ptrT),
+			},
+			&il.Assign{Dst: il.Ref(count, intT), Src: il.Add(il.Ref(count, intT), il.Int(1), intT)},
+			il.CloneStmt(chase),
+		},
+	}
+	exitLbl := p.NewLabel("lful")
+	collect.Body[0].(*il.If).Then[0].(*il.Goto).Target = exitLbl
+
+	// Parallel per-node work: body with ptr replaced by the node temp.
+	parBody := []il.Stmt{
+		&il.Assign{Dst: il.Ref(node, ptrT), Src: &il.Load{Addr: bufAddr(il.Ref(iv, intT)), T: ptrT}},
+	}
+	for _, s := range body {
+		cl := il.CloneStmt(s)
+		il.RewriteTreeExprs(cl, func(e il.Expr) il.Expr {
+			if v, isVar := e.(*il.VarRef); isVar && v.ID == ptr {
+				return il.Ref(node, ptrT)
+			}
+			return e
+		})
+		parBody = append(parBody, cl)
+	}
+	par := &il.DoParallel{IV: iv, Init: il.Int(0),
+		Limit: il.Sub(il.Ref(count, intT), il.Int(1), intT), Step: il.Int(1), Body: parBody}
+
+	// Tail: whatever remains past the buffer runs with the original loop.
+	tail := &il.While{Cond: il.Ref(ptr, ptrT), Body: il.CloneStmts(w.Body)}
+
+	out := []il.Stmt{
+		&il.Assign{Dst: il.Ref(count, intT), Src: il.Int(0)},
+		collect,
+		&il.Label{Name: exitLbl},
+		par,
+		tail,
+	}
+	return out, true
+}

@@ -1,0 +1,425 @@
+package parallel
+
+// Loop-nest parallelization: the Titan's natural execution model for dense
+// 2-d workloads is the outer loop spread across processors with the inner
+// loop vectorized on each (§2; the Doré results of §10 are exactly this
+// pattern). This pass converts the *outer* loop of a two-level nest into a
+// do-parallel when outer iterations provably touch disjoint memory:
+//
+//	do i = 0, N-1 {
+//	    do j = 0, Tj-1 { ... a[base + c1·i + c2·j + d] ... }
+//	}
+//
+// Outer iterations are independent when, for every conflicting pair of
+// references to the same object, the outer stride c1 clears the span the
+// inner loop sweeps: |c1| > max cross extent. Rows of a matrix are the
+// canonical case (c1 = row size, inner sweep stays inside the row).
+//
+// The pass runs before vectorization, so the inner loops it leaves behind
+// inside the do-parallel body still vectorize.
+
+import (
+	"repro/internal/ctype"
+	"repro/internal/il"
+)
+
+// NestStats reports conversions.
+type NestStats struct {
+	NestsParallelized int
+}
+
+// ParallelizeNests converts eligible outer loops of 2-level nests.
+func ParallelizeNests(p *il.Proc) NestStats {
+	var st NestStats
+	p.Body = walkNests(p, p.Body, &st)
+	return st
+}
+
+func walkNests(p *il.Proc, list []il.Stmt, st *NestStats) []il.Stmt {
+	out := make([]il.Stmt, 0, len(list))
+	for _, s := range list {
+		switch n := s.(type) {
+		case *il.If:
+			n.Then = walkNests(p, n.Then, st)
+			n.Else = walkNests(p, n.Else, st)
+		case *il.While:
+			n.Body = walkNests(p, n.Body, st)
+		case *il.DoParallel:
+			// already parallel
+		case *il.DoLoop:
+			n.Body = walkNests(p, n.Body, st)
+			if nestIndependent(p, n) {
+				st.NestsParallelized++
+				out = append(out, &il.DoParallel{IV: n.IV, Init: n.Init,
+					Limit: n.Limit, Step: n.Step, Body: n.Body})
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// nestRef is one memory access in two-level affine form.
+type nestRef struct {
+	write   bool
+	c1, c2  int64 // outer and inner IV coefficients (bytes)
+	d       int64 // constant offset
+	base    il.Expr
+	baseKey string
+	size    int64
+	tj      int64 // inner trip count the access sweeps (1 for outer-body refs)
+}
+
+// nestIndependent reports whether the outer loop's iterations are provably
+// disjoint.
+func nestIndependent(p *il.Proc, outer *il.DoLoop) bool {
+	if _, ok := il.IsIntConst(outer.Step); !ok {
+		return false
+	}
+	// Gather the nest's statements: plain assigns at the outer level plus
+	// at most a few inner serial DoLoops with constant bounds and
+	// straight-line assign bodies.
+	type innerLoop struct {
+		loop  *il.DoLoop
+		trips int64
+	}
+	var inners []innerLoop
+	var flat []il.Stmt // (stmt, inner index or -1) pairs flattened below
+	innerOf := map[il.Stmt]int{}
+	sawInner := false
+	for _, s := range outer.Body {
+		switch n := s.(type) {
+		case *il.Assign:
+			flat = append(flat, s)
+			innerOf[s] = -1
+		case *il.DoLoop:
+			trips := tripConst(n)
+			if trips < 0 {
+				return false
+			}
+			if _, ok := il.IsIntConst(n.Step); !ok {
+				return false
+			}
+			for _, bs := range n.Body {
+				if _, ok := bs.(*il.Assign); !ok {
+					return false
+				}
+				flat = append(flat, bs)
+				innerOf[bs] = len(inners)
+			}
+			inners = append(inners, innerLoop{n, trips})
+			sawInner = true
+		default:
+			return false
+		}
+	}
+	if !sawInner {
+		return false // single-level loops belong to ParallelizeProc
+	}
+
+	// Scalar safety: no externally visible scalar definitions, no
+	// volatiles.
+	unsafe := false
+	il.WalkStmts(outer.Body, func(sub il.Stmt) bool {
+		if as, ok := sub.(*il.Assign); ok {
+			if p.HasVolatile(as.Src) || p.HasVolatile(as.Dst) {
+				unsafe = true
+			}
+		}
+		if dv := il.DefinedVar(sub); dv != il.NoVar {
+			v := &p.Vars[dv]
+			if v.Class == il.ClassGlobal || v.Class == il.ClassStatic || v.AddrTaken || v.IsVolatile() {
+				unsafe = true
+			}
+		}
+		return !unsafe
+	})
+	if unsafe {
+		return false
+	}
+
+	// Scalars written in the nest must be dead on entry to each outer
+	// iteration: every scalar defined anywhere in the nest must be defined
+	// before it is used (in straight-line order), or it carries a value
+	// across outer iterations (a reduction) and the loop must stay serial.
+	definedInNest := map[il.VarID]bool{}
+	for _, s := range flat {
+		if dv := il.DefinedVar(s); dv != il.NoVar {
+			definedInNest[dv] = true
+		}
+	}
+	seen := map[il.VarID]bool{}
+	for _, il2 := range inners {
+		seen[il2.loop.IV] = true // loop headers define their IVs first
+	}
+	usesBeforeDef := false
+	checkUses := func(e il.Expr) {
+		il.WalkExpr(e, func(x il.Expr) bool {
+			if v, ok := x.(*il.VarRef); ok {
+				if definedInNest[v.ID] && !seen[v.ID] {
+					usesBeforeDef = true
+				}
+			}
+			return !usesBeforeDef
+		})
+	}
+	for _, s := range outer.Body {
+		switch n := s.(type) {
+		case *il.Assign:
+			if ld, isStore := n.Dst.(*il.Load); isStore {
+				checkUses(ld.Addr)
+			}
+			checkUses(n.Src)
+			if dv := il.DefinedVar(n); dv != il.NoVar {
+				seen[dv] = true
+			}
+		case *il.DoLoop:
+			checkUses(n.Init)
+			checkUses(n.Limit)
+			checkUses(n.Step)
+			executes := tripConst(n) >= 1
+			for _, bs := range n.Body {
+				as := bs.(*il.Assign)
+				if ld, isStore := as.Dst.(*il.Load); isStore {
+					checkUses(ld.Addr)
+				}
+				checkUses(as.Src)
+				// A zero-trip inner loop's definitions never happen, so
+				// they cannot satisfy later uses.
+				if dv := il.DefinedVar(as); dv != il.NoVar && executes {
+					seen[dv] = true
+				}
+			}
+		}
+		if usesBeforeDef {
+			return false
+		}
+	}
+
+	// Collect and linearize every memory reference.
+	var refs []nestRef
+	for _, s := range flat {
+		as := s.(*il.Assign)
+		idx := innerOf[s]
+		var innerIV il.VarID = il.NoVar
+		var tj int64 = 1
+		var stepJ int64 = 1
+		if idx >= 0 {
+			innerIV = inners[idx].loop.IV
+			tj = inners[idx].trips
+			stepJ, _ = il.IsIntConst(inners[idx].loop.Step)
+		}
+		collect := func(addr il.Expr, size int64, write bool) bool {
+			r, ok := linearize2(p, addr, outer.IV, innerIV)
+			if !ok {
+				return false
+			}
+			r.write = write
+			r.size = size
+			r.tj = tj
+			r.c2 *= stepJ // per-trip advance includes the step sign
+			refs = append(refs, r)
+			return true
+		}
+		okAll := true
+		if ld, isStore := as.Dst.(*il.Load); isStore {
+			okAll = okAll && collect(ld.Addr, int64(ld.T.Size()), true)
+		}
+		il.WalkExpr(as.Src, func(e il.Expr) bool {
+			if ld, isLoad := e.(*il.Load); isLoad {
+				okAll = okAll && collect(ld.Addr, int64(ld.T.Size()), false)
+			}
+			return okAll
+		})
+		if !okAll {
+			return false
+		}
+	}
+
+	// Pairwise disjointness across outer iterations.
+	for i := range refs {
+		for j := i; j < len(refs); j++ {
+			a, b := &refs[i], &refs[j]
+			if !a.write && !b.write {
+				continue
+			}
+			if a.baseKey != b.baseKey {
+				// Distinct named objects never overlap; anything else is
+				// conservative.
+				if distinctObjects(p, a.base, b.base) {
+					continue
+				}
+				return false
+			}
+			// Same object: outer strides must agree, and the stride must
+			// clear the inner sweep.
+			if a.c1 != b.c1 || a.c1 == 0 {
+				return false
+			}
+			lo1, hi1 := span(a)
+			lo2, hi2 := span(b)
+			c1 := a.c1
+			if c1 < 0 {
+				c1 = -c1
+			}
+			if c1 <= max64(hi1-lo2, hi2-lo1) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// span returns the byte interval a reference sweeps within one outer
+// iteration, excluding the c1·i term.
+func span(r *nestRef) (lo, hi int64) {
+	sweep := r.c2 * (r.tj - 1)
+	lo, hi = r.d, r.d
+	if sweep < 0 {
+		lo += sweep
+	} else {
+		hi += sweep
+	}
+	hi += r.size - 1
+	return
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// tripConst returns the constant trip count of a DO loop, or -1.
+func tripConst(loop *il.DoLoop) int64 {
+	i, ok1 := il.IsIntConst(loop.Init)
+	l, ok2 := il.IsIntConst(loop.Limit)
+	s, ok3 := il.IsIntConst(loop.Step)
+	if !ok1 || !ok2 || !ok3 || s == 0 {
+		return -1
+	}
+	var t int64
+	if s > 0 {
+		t = (l-i)/s + 1
+	} else {
+		t = (i-l)/(-s) + 1
+	}
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// distinctObjects reports whether two base expressions are addresses of
+// different named objects.
+func distinctObjects(p *il.Proc, a, b il.Expr) bool {
+	av, aok := rootObject(a)
+	bv, bok := rootObject(b)
+	return aok && bok && av != bv
+}
+
+// rootObject finds the single AddrOf root of a base expression.
+func rootObject(e il.Expr) (il.VarID, bool) {
+	var root il.VarID = il.NoVar
+	count := 0
+	ok := true
+	il.WalkExpr(e, func(x il.Expr) bool {
+		switch n := x.(type) {
+		case *il.AddrOf:
+			root = n.ID
+			count++
+		case *il.VarRef:
+			if n.T != nil && n.T.Kind == ctype.Pointer {
+				ok = false // pointer roots may alias anything
+			}
+		case *il.Load:
+			ok = false
+		}
+		return ok
+	})
+	return root, ok && count == 1
+}
+
+// linearize2 decomposes addr = base + c1·ivOuter + c2·ivInner + d.
+func linearize2(p *il.Proc, addr il.Expr, ivOuter, ivInner il.VarID) (nestRef, bool) {
+	var r nestRef
+	var base il.Expr
+	okAll := true
+
+	var walk func(e il.Expr, scale int64)
+	walk = func(e il.Expr, scale int64) {
+		if !okAll {
+			return
+		}
+		switch n := e.(type) {
+		case *il.ConstInt:
+			r.d += scale * n.Val
+		case *il.VarRef:
+			switch n.ID {
+			case ivOuter:
+				r.c1 += scale
+			case ivInner:
+				r.c2 += scale
+			default:
+				addBase(&base, e, scale, &okAll)
+			}
+		case *il.AddrOf:
+			addBase(&base, e, scale, &okAll)
+		case *il.Cast:
+			walk(n.X, scale)
+		case *il.Un:
+			if n.Op == il.OpNeg {
+				walk(n.X, -scale)
+				return
+			}
+			okAll = false
+		case *il.Bin:
+			switch n.Op {
+			case il.OpAdd:
+				walk(n.L, scale)
+				walk(n.R, scale)
+			case il.OpSub:
+				walk(n.L, scale)
+				walk(n.R, -scale)
+			case il.OpMul:
+				if v, ok := il.IsIntConst(n.L); ok {
+					walk(n.R, scale*v)
+					return
+				}
+				if v, ok := il.IsIntConst(n.R); ok {
+					walk(n.L, scale*v)
+					return
+				}
+				okAll = false
+			default:
+				okAll = false
+			}
+		default:
+			okAll = false
+		}
+	}
+	walk(addr, 1)
+	if !okAll || base == nil {
+		return nestRef{}, false
+	}
+	r.base = base
+	r.baseKey = base.String()
+	return r, true
+}
+
+// addBase accumulates invariant terms into the base expression; scaled
+// invariant terms are allowed only with coefficient 1 (anything fancier is
+// conservative).
+func addBase(base *il.Expr, e il.Expr, scale int64, ok *bool) {
+	if scale != 1 {
+		*ok = false
+		return
+	}
+	if *base == nil {
+		*base = e
+		return
+	}
+	*base = &il.Bin{Op: il.OpAdd, L: *base, R: e, T: (*base).Type()}
+}

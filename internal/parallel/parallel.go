@@ -1,0 +1,103 @@
+// Package parallel converts serial DO loops whose iterations are provably
+// independent into do-parallel loops, spreading iterations across the
+// Titan's processors (§2: "Spreading loop iterations among multiple
+// processors can provide significant speedups").
+//
+// The vectorizer already emits do-parallel strip loops for vector code;
+// this pass picks up the loops that did not vectorize (e.g. loops whose
+// statements store the induction variable, or bodies with internal control
+// flow but no cross-iteration dependence). Loops with calls, volatile
+// accesses, scalar recurrences, or carried memory dependences stay serial.
+// The paper's planned extension — spreading linked-list while loops by
+// serializing the pointer chase — is future work there and here.
+package parallel
+
+import (
+	"repro/internal/depend"
+	"repro/internal/il"
+)
+
+// Stats reports conversions.
+type Stats struct {
+	LoopsExamined     int
+	LoopsParallelized int
+}
+
+// ParallelizeProc converts eligible serial DO loops in place.
+func ParallelizeProc(p *il.Proc, opts depend.Options) Stats {
+	var st Stats
+	p.Body = walk(p, p.Body, opts, &st)
+	return st
+}
+
+func walk(p *il.Proc, list []il.Stmt, opts depend.Options, st *Stats) []il.Stmt {
+	out := make([]il.Stmt, 0, len(list))
+	for _, s := range list {
+		switch n := s.(type) {
+		case *il.If:
+			n.Then = walk(p, n.Then, opts, st)
+			n.Else = walk(p, n.Else, opts, st)
+		case *il.While:
+			n.Body = walk(p, n.Body, opts, st)
+		case *il.DoParallel:
+			// Already parallel (vectorizer output); leave its body alone —
+			// nested parallelism is not profitable on a 4-processor
+			// machine.
+		case *il.DoLoop:
+			n.Body = walk(p, n.Body, opts, st)
+			st.LoopsExamined++
+			if ok := independent(p, n, opts); ok {
+				st.LoopsParallelized++
+				out = append(out, &il.DoParallel{IV: n.IV, Init: n.Init,
+					Limit: n.Limit, Step: n.Step, Body: n.Body})
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// independent reports whether the loop's iterations can run concurrently:
+// no carried dependence of any kind, no barriers (calls, volatile,
+// irregular control), and no scalar live-out computed iteratively.
+func independent(p *il.Proc, loop *il.DoLoop, opts depend.Options) bool {
+	// Nested loops inside the body are themselves statements the
+	// dependence pass treats as barriers; a loop nest parallelizes at the
+	// level whose body is loop-free.
+	for _, s := range loop.Body {
+		switch s.(type) {
+		case *il.DoLoop, *il.While, *il.DoParallel, *il.Goto, *il.Label, *il.Return, *il.Call:
+			return false
+		}
+	}
+	ld := depend.AnalyzeLoop(p, loop, opts)
+	for _, b := range ld.Barrier {
+		if b {
+			return false
+		}
+	}
+	for _, d := range ld.Deps {
+		if d.Carried {
+			return false
+		}
+	}
+	// Scalars written in the body must not be observable after the loop
+	// (each processor would race on them). Temporaries local to an
+	// iteration are freshly assigned before use; we accept only variables
+	// whose every use within the body follows their (single) definition —
+	// the dependence pass already rejected carried scalar flow, which
+	// covers use-before-def. Globals and address-taken variables remain
+	// unsafe because other code can read them after the loop.
+	unsafe := false
+	il.WalkStmts(loop.Body, func(sub il.Stmt) bool {
+		if dv := il.DefinedVar(sub); dv != il.NoVar {
+			v := &p.Vars[dv]
+			if v.Class == il.ClassGlobal || v.Class == il.ClassStatic || v.AddrTaken || v.IsVolatile() {
+				unsafe = true
+			}
+		}
+		return !unsafe
+	})
+	return !unsafe
+}

@@ -1,0 +1,96 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The front end must reject or accept arbitrary input without panicking.
+
+func TestNoPanicOnMutatedPrograms(t *testing.T) {
+	seed := `
+struct node { int v; struct node *next; };
+typedef float real;
+real table[16];
+int sum(struct node *p, int k) {
+	int s;
+	s = 0;
+	while (p) {
+		s += p->v << (k & 3);
+		p = p->next;
+	}
+	return s ? s : -1;
+}
+`
+	r := rand.New(rand.NewSource(42))
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("parser panicked: %v", p)
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		b := []byte(seed)
+		// Mutate a few bytes.
+		for k := 0; k < 1+r.Intn(6); k++ {
+			pos := r.Intn(len(b))
+			switch r.Intn(3) {
+			case 0:
+				b[pos] = byte(r.Intn(128))
+			case 1:
+				b = append(b[:pos], b[pos+1:]...)
+			default:
+				b = append(b[:pos], append([]byte{byte('!' + r.Intn(90))}, b[pos:]...)...)
+			}
+		}
+		_, _ = Parse(string(b)) // errors fine; panics are not
+	}
+}
+
+func TestNoPanicOnTokenSoup(t *testing.T) {
+	toks := []string{"int", "float", "struct", "while", "for", "if", "else",
+		"return", "(", ")", "{", "}", "[", "]", ";", ",", "*", "&", "+",
+		"-", "/", "%", "=", "==", "<", ">", "?", ":", "x", "y", "42",
+		"3.5", "\"s\"", "'c'", "->", ".", "++", "--", "goto", "volatile"}
+	r := rand.New(rand.NewSource(7))
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("parser panicked: %v", p)
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		n := 3 + r.Intn(40)
+		var sb strings.Builder
+		for k := 0; k < n; k++ {
+			sb.WriteString(toks[r.Intn(len(toks))])
+			sb.WriteByte(' ')
+		}
+		_, _ = Parse(sb.String())
+	}
+}
+
+func TestDeeplyNestedParens(t *testing.T) {
+	// Deep recursion should error out or parse, not overflow.
+	depth := 200
+	src := "int f(void) { return " + strings.Repeat("(", depth) + "1" +
+		strings.Repeat(")", depth) + "; }"
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("deep parens rejected: %v", err)
+	}
+}
+
+func TestUnterminatedConstructs(t *testing.T) {
+	cases := []string{
+		"int f(void) {",
+		"int f(void) { if (",
+		"struct s {",
+		"int a[",
+		"int f(void) { return \"",
+		"/*",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}

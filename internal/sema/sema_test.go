@@ -1,0 +1,323 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/ctype"
+	"repro/internal/parser"
+)
+
+func check(t *testing.T, src string) (*ast.File, *Info) {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := Check(f)
+	if err != nil {
+		t.Fatalf("sema: %v\nsource:\n%s", err, src)
+	}
+	return f, info
+}
+
+func checkErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Check(f)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got none\nsource:\n%s", wantSub, src)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not contain %q", err.Error(), wantSub)
+	}
+}
+
+func TestResolvesGlobalsAndLocals(t *testing.T) {
+	src := `
+int g;
+void f(int p) {
+	int l;
+	l = p + g;
+}
+`
+	f, info := check(t, src)
+	body := f.Funcs[0].Body
+	assign := body.List[1].(*ast.ExprStmt).X.(*ast.AssignExpr)
+	add := assign.R.(*ast.BinaryExpr)
+	p := info.Uses[add.L.(*ast.IdentExpr)]
+	g := info.Uses[add.R.(*ast.IdentExpr)]
+	if p.Kind != SymParam || g.Kind != SymGlobal {
+		t.Errorf("kinds: p=%v g=%v", p.Kind, g.Kind)
+	}
+}
+
+func TestShadowing(t *testing.T) {
+	src := `
+int x;
+void f(void) {
+	float x;
+	x = 1.5;
+	{
+		char x;
+		x = 'a';
+	}
+}
+`
+	f, info := check(t, src)
+	outer := f.Funcs[0].Body.List[1].(*ast.ExprStmt).X.(*ast.AssignExpr)
+	sym := info.Uses[outer.L.(*ast.IdentExpr)]
+	if sym.Type.Kind != ctype.Float {
+		t.Errorf("outer x resolves to %s", sym.Type)
+	}
+}
+
+func TestTypeAnnotation(t *testing.T) {
+	src := `
+float v[100];
+float f(int i) { return v[i] * 2.0f; }
+`
+	f, _ := check(t, src)
+	ret := f.Funcs[0].Body.List[0].(*ast.ReturnStmt)
+	mul := ret.X.(*ast.BinaryExpr)
+	if mul.Type().Kind != ctype.Float {
+		t.Errorf("v[i]*2.0f type %s", mul.Type())
+	}
+	if mul.L.Type().Kind != ctype.Float {
+		t.Errorf("v[i] type %s", mul.L.Type())
+	}
+}
+
+func TestPointerArithmeticTypes(t *testing.T) {
+	src := `
+void f(float *p, int i) {
+	float x;
+	x = *(p + i);
+	p = p + 1;
+}
+`
+	f, _ := check(t, src)
+	as := f.Funcs[0].Body.List[1].(*ast.ExprStmt).X.(*ast.AssignExpr)
+	deref := as.R.(*ast.UnaryExpr)
+	if deref.Type().Kind != ctype.Float {
+		t.Errorf("*(p+i) type %s", deref.Type())
+	}
+	inner := deref.X.(*ast.BinaryExpr)
+	if inner.Type().Kind != ctype.Pointer {
+		t.Errorf("p+i type %s", inner.Type())
+	}
+}
+
+func TestArrayDecayInCall(t *testing.T) {
+	check(t, `
+void daxpy(float *x, float *y, float a, int n);
+void g(void) {
+	float a[10], b[10];
+	daxpy(a, b, 2.0, 10);
+}
+`)
+}
+
+func TestPtrDiffIsInt(t *testing.T) {
+	src := "int f(float *a, float *b) { return a - b; }"
+	check(t, src)
+}
+
+func TestAddrTaken(t *testing.T) {
+	src := `
+void f(void) {
+	int x, y;
+	int *p;
+	p = &x;
+	y = x;
+}
+`
+	f, info := check(t, src)
+	decls := f.Funcs[0].Body.List[0].(*ast.DeclStmt)
+	xSym := info.Decls[decls.Decls[0]]
+	ySym := info.Decls[decls.Decls[1]]
+	if !xSym.AddrTaken {
+		t.Error("x should be addr-taken")
+	}
+	if ySym.AddrTaken {
+		t.Error("y should not be addr-taken")
+	}
+}
+
+func TestAddrOfSubscriptMarksArray(t *testing.T) {
+	// &x[1] (the backsolve idiom) marks x.
+	src := "void f(void) { float x[10]; float *p; p = &x[1]; }"
+	f, info := check(t, src)
+	decls := f.Funcs[0].Body.List[0].(*ast.DeclStmt)
+	if !info.Decls[decls.Decls[0]].AddrTaken {
+		t.Error("x should be addr-taken via &x[1]")
+	}
+}
+
+func TestStaticLocalMangled(t *testing.T) {
+	src := "int counter(void) { static int n; n = n + 1; return n; }"
+	f, info := check(t, src)
+	d := f.Funcs[0].Body.List[0].(*ast.DeclStmt).Decls[0]
+	sym := info.Decls[d]
+	if sym.Kind != SymStaticLocal || sym.MangledName != "counter.n" {
+		t.Errorf("static local: kind=%v mangled=%q", sym.Kind, sym.MangledName)
+	}
+}
+
+func TestMemberTypes(t *testing.T) {
+	src := `
+struct point { float x, y; };
+float f(struct point *p, struct point q) { return p->x + q.y; }
+`
+	check(t, src)
+}
+
+func TestPrototypeThenDefinition(t *testing.T) {
+	src := `
+int twice(int);
+int caller(void) { return twice(21); }
+int twice(int x) { return x + x; }
+`
+	check(t, src)
+}
+
+func TestImplicitFunctionDecl(t *testing.T) {
+	// K&R-style call to an undeclared function defaults to int().
+	src := "int f(void) { return undeclared_fn(1, 2); }"
+	check(t, src)
+}
+
+func TestVolatilePropagates(t *testing.T) {
+	src := `
+volatile int status;
+int f(void) { return status; }
+`
+	f, _ := check(t, src)
+	ret := f.Funcs[0].Body.List[0].(*ast.ReturnStmt)
+	if !ret.X.Type().Volatile {
+		t.Error("use of volatile variable should carry volatile type")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"int f(void) { return x; }", "undeclared"},
+		{"int f(void) { 1 = 2; return 0; }", "non-lvalue"},
+		{"void f(void) { return 1; }", "void function"},
+		{"int f(void) { return; }", "without value"},
+		{"int f(int x) { return *x; }", "non-pointer"},
+		{"int f(int x) { return x.y; }", "non-aggregate"},
+		{"struct p { int a; }; int f(struct p q) { return q.b; }", "no field"},
+		{"int f(void) { break; return 0; }", "break outside"},
+		{"int f(void) { continue; return 0; }", "continue outside"},
+		{"int f(void) { goto nowhere; return 0; }", "undefined label"},
+		{"int f(void) { x: goto x; x: return 0; }", "duplicate label"},
+		{"void g(int); void f(void) { g(1, 2); }", "arguments"},
+		{"int f(float p) { switch (p) { default: ; } return 0; }", "switch expression"},
+		{"void f(void) { case 1: ; }", "case label outside"},
+		{"int f(float *p) { return p % 3; }", "invalid operands"},
+		{"void f(void) { int a[3]; int b[3]; a = b; }", "array"},
+		{"int f(const int c) { c = 1; return c; }", "const"},
+		{"int f(void) { return f + 1; }", "cannot return"},
+	}
+	for _, c := range cases {
+		checkErr(t, c.src, c.want)
+	}
+}
+
+func TestCondExprTypes(t *testing.T) {
+	src := "float f(int c, float a, float b) { return c ? a : b; }"
+	f, _ := check(t, src)
+	ret := f.Funcs[0].Body.List[0].(*ast.ReturnStmt)
+	if ret.X.Type().Kind != ctype.Float {
+		t.Errorf("?: type %s", ret.X.Type())
+	}
+}
+
+func TestCommaType(t *testing.T) {
+	src := "int f(int a) { return (a = 1, a + 1); }"
+	f, _ := check(t, src)
+	ret := f.Funcs[0].Body.List[0].(*ast.ReturnStmt)
+	if ret.X.Type().Kind != ctype.Int {
+		t.Errorf("comma type %s", ret.X.Type())
+	}
+}
+
+func TestCompoundAssignTypes(t *testing.T) {
+	check(t, "void f(int n) { n += 2; n <<= 1; n %= 3; }")
+	checkErr(t, "void f(float x) { x %= 3.0; }", "invalid operands")
+}
+
+func TestIncDecOnPointers(t *testing.T) {
+	check(t, "void f(float *p) { p++; ++p; p--; }")
+	checkErr(t, "struct s {int a;}; void f(struct s q) { q++; }", "post++")
+}
+
+func TestMoreErrorPaths(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"int f(void) { return (1,2) ? 3 : f; }", "incompatible types"},
+		{"struct s { int a; }; int f(struct s q) { return q ? 1 : 0; }", "scalar"},
+		{"struct s { int a; }; int f(struct s q) { while (q) ; return 0; }", "scalar"},
+		{"struct s { int a; }; int f(struct s q) { return !q; }", "non-scalar"},
+		{"struct s { int a; }; int f(struct s q) { return -q; }", "non-arithmetic"},
+		{"int f(float x) { return ~x; }", "non-integer"},
+		{"struct s { int a; }; int f(struct s q, struct s r) { return q && r; }", "non-scalar"},
+		{"struct s { int a; }; int f(struct s q, struct s r) { return q < r; }", "non-scalar"},
+		{"struct s { int a; }; int f(struct s q) { return q + 1; }", "invalid operands"},
+		{"struct s { int a; }; int f(struct s q) { return q - 1; }", "invalid operands"},
+		{"struct s { int a; }; int f(struct s q) { return q * 2; }", "invalid operands"},
+		{"int f(int x) { return x(); }", "not a function"},
+		{"void g(int); int f(void) { g(1.5f); return 0; }", ""},
+		{"int f(void) { int x; return sizeof(x = 1); }", ""},
+	}
+	for _, c := range cases {
+		if c.want == "" {
+			check(t, c.src)
+			continue
+		}
+		checkErr(t, c.src, c.want)
+	}
+}
+
+func TestGlobalInitChecked(t *testing.T) {
+	checkErr(t, "int g = h;", "undeclared")
+}
+
+func TestVoidFuncReturnTypeUse(t *testing.T) {
+	// A void call's "value" cannot feed arithmetic.
+	checkErr(t, "void g(void); int f(void) { return g() + 1; }", "invalid operands")
+}
+
+func TestParamMissingNameInDefinition(t *testing.T) {
+	checkErr(t, "int f(int) { return 0; }", "missing name")
+}
+
+func TestPrototypeConflictPrefersDefinition(t *testing.T) {
+	// After the definition appears, calls use the defined signature.
+	src := `
+int g();
+int g(int a, int b) { return a + b; }
+int f(void) { return g(1, 2); }
+`
+	check(t, src)
+}
+
+func TestIndexSwappedForm(t *testing.T) {
+	// C allows 3[arr].
+	check(t, "int arr[10]; int f(void) { return 3[arr]; }")
+	checkErr(t, "int f(int a, int b) { return a[b]; }", "not array or pointer")
+	checkErr(t, "float x; int arr[4]; int f(void) { return arr[x]; }", "not an integer")
+}
+
+func TestCharLiteralAndPromotion(t *testing.T) {
+	src := `
+int f(char c, short s) { return c + s; }
+int g(void) { return 'A' + 1; }
+`
+	file, _ := check(t, src)
+	_ = file
+}

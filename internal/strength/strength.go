@@ -1,0 +1,541 @@
+// Package strength implements §6's dependence-driven optimizations for
+// loops that do not vectorize:
+//
+//   - Register promotion: a carried flow dependence of distance 1 between
+//     a store and a load of the same array means the loaded value is
+//     exactly the value stored one iteration earlier — the dependence
+//     graph "pinpoints the memory locations that are most frequently
+//     accessed". The value is kept in a register across iterations,
+//     eliminating the load (the backsolve example's f_reg1).
+//   - Strength reduction of addresses: affine addresses base + c·IV are
+//     rewritten as bumped pointer temporaries, eliminating the integer
+//     multiplications induction-variable substitution introduced (§6:
+//     "classic vectorizing transformations ... deoptimize programs that do
+//     not vectorize"; this undoes the damage). References with equal base
+//     and stride share one pointer — common subexpression elimination and
+//     loop-invariant removal fall out of the same rewrite.
+//   - Loop-invariant hoisting for pure scalar subexpressions.
+//
+// All three run only on serial DO loops (vector statements carry their own
+// addressing).
+package strength
+
+import (
+	"fmt"
+
+	"repro/internal/ctype"
+	"repro/internal/depend"
+	"repro/internal/il"
+)
+
+// Stats reports what the pass did.
+type Stats struct {
+	PromotedLoads    int // loads replaced by registers
+	ReducedRefs      int // references rewritten to bumped pointers
+	Pointers         int // pointer temporaries introduced
+	HoistedExprs     int // invariant expressions moved to the preheader
+	LoopsTransformed int
+}
+
+// Config controls the pass.
+type Config struct {
+	Depend depend.Options
+	// NoPromotion disables register promotion (ablations).
+	NoPromotion bool
+	// NoReduction disables address strength reduction (ablation A1: leave
+	// the multiplications ivsub introduced in place).
+	NoReduction bool
+}
+
+// OptimizeLoops transforms every serial innermost DO loop of p.
+func OptimizeLoops(p *il.Proc, cfg Config) Stats {
+	var st Stats
+	p.Body = walk(p, p.Body, cfg, &st)
+	return st
+}
+
+func walk(p *il.Proc, list []il.Stmt, cfg Config, st *Stats) []il.Stmt {
+	out := make([]il.Stmt, 0, len(list))
+	for _, s := range list {
+		switch n := s.(type) {
+		case *il.If:
+			n.Then = walk(p, n.Then, cfg, st)
+			n.Else = walk(p, n.Else, cfg, st)
+		case *il.While:
+			n.Body = walk(p, n.Body, cfg, st)
+		case *il.DoParallel:
+			n.Body = walk(p, n.Body, cfg, st)
+		case *il.DoLoop:
+			n.Body = walk(p, n.Body, cfg, st)
+			if eligible(n) {
+				pre := transformLoop(p, n, cfg, st)
+				out = append(out, pre...)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// eligible restricts the pass to innermost serial loops of straight-line
+// assignments (no vector statements, no control flow) free of volatile
+// references, which must be left exactly as written (§1).
+func eligible(loop *il.DoLoop) bool {
+	volatileRef := false
+	for _, s := range loop.Body {
+		as, ok := s.(*il.Assign)
+		if !ok {
+			return false
+		}
+		check := func(e il.Expr) {
+			il.WalkExpr(e, func(x il.Expr) bool {
+				if l, isLoad := x.(*il.Load); isLoad && l.Volatile {
+					volatileRef = true
+				}
+				return true
+			})
+		}
+		check(as.Dst)
+		check(as.Src)
+	}
+	if volatileRef {
+		return false
+	}
+	if _, ok := il.IsIntConst(loop.Step); !ok {
+		return false
+	}
+	return true
+}
+
+// transformLoop applies promotion then reduction, returning preheader
+// statements.
+func transformLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) []il.Stmt {
+	var pre []il.Stmt
+	changed := false
+	if !cfg.NoPromotion {
+		if stmts, ok := promote(p, loop, cfg, st); ok {
+			pre = append(pre, stmts...)
+			changed = true
+		}
+	}
+	if !cfg.NoReduction {
+		if stmts, ok := reduce(p, loop, cfg, st); ok {
+			pre = append(pre, stmts...)
+			changed = true
+		}
+	}
+	if stmts, ok := hoist(p, loop, st); ok {
+		pre = append(pre, stmts...)
+		changed = true
+	}
+	if changed {
+		st.LoopsTransformed++
+	}
+	return pre
+}
+
+// ---------------------------------------------------------------- promotion
+
+// promote finds a store→load carried flow dependence of distance 1 on the
+// same base and keeps the value in a register.
+func promote(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) ([]il.Stmt, bool) {
+	ld := depend.AnalyzeLoop(p, loop, cfg.Depend)
+	for _, b := range ld.Barrier {
+		if b {
+			return nil, false
+		}
+	}
+	// Find the unique (store, load) pair with distance-1 flow.
+	var storeRef, loadRef *depend.Ref
+	for i := range ld.Refs {
+		for j := range ld.Refs {
+			a, b := &ld.Refs[i], &ld.Refs[j]
+			if !a.IsWrite || b.IsWrite || !a.Linear || !b.Linear {
+				continue
+			}
+			if a.Coef != b.Coef || a.Coef == 0 {
+				continue
+			}
+			if a.Base.Kind != b.Base.Kind || a.Base.Var != b.Base.Var || !il.ExprEqual(a.Base.Extra, b.Base.Extra) {
+				continue
+			}
+			// Load reads what the store wrote one iteration ago:
+			// a.Offset - b.Offset == Coef  (for step +1 normalized loops).
+			if a.Offset-b.Offset == a.Coef {
+				if storeRef != nil {
+					return nil, false // multiple candidates: bail
+				}
+				storeRef, loadRef = a, b
+			}
+		}
+	}
+	if storeRef == nil {
+		return nil, false
+	}
+	// The store must be a top-level statement; the load must live in the
+	// same or a later statement each iteration... for the backsolve shape
+	// both are in the same statement.
+	if storeRef.StmtIdx >= len(loop.Body) {
+		return nil, false
+	}
+	storeStmt, ok := loop.Body[storeRef.StmtIdx].(*il.Assign)
+	if !ok || !il.IsStore(storeStmt) {
+		return nil, false
+	}
+	// Aside from this pair, no other reference may touch — or possibly
+	// alias — the promoted base (conservative).
+	for i := range ld.Refs {
+		r := &ld.Refs[i]
+		if r == storeRef || r == loadRef {
+			continue
+		}
+		if !r.Linear || r.Base.Kind == depend.BaseUnknown {
+			return nil, false
+		}
+		if depend.BasesMayAlias(p, r.Base, storeRef.Base, loop.Safe, cfg.Depend) {
+			return nil, false
+		}
+	}
+	// The pair itself must also be exact, not a may-alias guess: both
+	// refs share a provably identical base by construction above.
+
+	elem := elementType(storeStmt)
+	reg := p.AddVar(il.Var{Name: fmt.Sprintf("f_reg%d", len(p.Vars)), Type: elem, Class: il.ClassTemp})
+	regRef := func() *il.VarRef { return il.Ref(reg, elem) }
+
+	// Preheader: reg = load at the first iteration's address.
+	initAddr := substIV(loadRef.Expr, loop.IV, loop.Init)
+	pre := []il.Stmt{&il.Assign{Dst: regRef(), Src: &il.Load{Addr: initAddr, T: elem}}}
+
+	// Replace the load and funnel the store through the register.
+	loadExpr := loadRef.Expr
+	replaced := 0
+	for _, s := range loop.Body {
+		as, ok := s.(*il.Assign)
+		if !ok {
+			continue
+		}
+		as.Src = il.RewriteExpr(as.Src, func(e il.Expr) il.Expr {
+			if l, isLoad := e.(*il.Load); isLoad && il.ExprEqual(l.Addr, loadExpr) {
+				replaced++
+				return regRef()
+			}
+			return e
+		})
+	}
+	if replaced == 0 {
+		return nil, false
+	}
+	// Split the store: reg = Src; *addr = reg.
+	idx := storeRef.StmtIdx
+	newBody := make([]il.Stmt, 0, len(loop.Body)+1)
+	for i, s := range loop.Body {
+		if i == idx {
+			as := s.(*il.Assign)
+			newBody = append(newBody,
+				&il.Assign{Dst: regRef(), Src: as.Src},
+				&il.Assign{Dst: as.Dst, Src: regRef()})
+			continue
+		}
+		newBody = append(newBody, s)
+	}
+	loop.Body = newBody
+	st.PromotedLoads += replaced
+	return pre, true
+}
+
+// elementType returns the stored element type of a store statement.
+func elementType(as *il.Assign) *ctype.Type {
+	if l, ok := as.Dst.(*il.Load); ok {
+		return l.T
+	}
+	return ctype.FloatType
+}
+
+// substIV replaces the loop IV in a cloned expression.
+func substIV(e il.Expr, iv il.VarID, with il.Expr) il.Expr {
+	return il.RewriteExpr(e, func(x il.Expr) il.Expr {
+		if v, ok := x.(*il.VarRef); ok && v.ID == iv {
+			return il.CloneExpr(with)
+		}
+		return x
+	})
+}
+
+// ---------------------------------------------------------------- reduction
+
+// addrClass groups references by (base expression, stride).
+type addrClass struct {
+	key  string
+	base il.Expr
+	coef int64
+	ptr  il.VarID
+	t    *ctype.Type // pointee for naming only
+}
+
+// reduce rewrites affine addresses into bumped pointers.
+func reduce(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) ([]il.Stmt, bool) {
+	stepC, _ := il.IsIntConst(loop.Step)
+	classes := map[string]*addrClass{}
+	var order []*addrClass
+
+	classify := func(addr il.Expr, elem *ctype.Type) (*addrClass, int64, bool) {
+		coef, base, off, ok := affineParts(loop.IV, addr)
+		if !ok || coef == 0 {
+			return nil, 0, false
+		}
+		key := fmt.Sprintf("%s|%d", base.String(), coef)
+		c, exists := classes[key]
+		if !exists {
+			c = &addrClass{key: key, base: base, coef: coef, t: elem}
+			classes[key] = c
+			order = append(order, c)
+		}
+		return c, off, true
+	}
+
+	// First pass: classify every reference.
+	type rewriteTarget struct {
+		class *addrClass
+		off   int64
+	}
+	any := false
+	for _, s := range loop.Body {
+		as := s.(*il.Assign)
+		check := func(addr il.Expr, elem *ctype.Type) {
+			if _, _, ok := classify(addr, elem); ok {
+				any = true
+			}
+		}
+		if l, ok := as.Dst.(*il.Load); ok {
+			check(l.Addr, l.T)
+		}
+		il.WalkExpr(as.Src, func(e il.Expr) bool {
+			if l, ok := e.(*il.Load); ok {
+				check(l.Addr, l.T)
+			}
+			return true
+		})
+	}
+	if !any {
+		return nil, false
+	}
+
+	// Allocate pointer temps and preheader initializations:
+	//   ptr = base + coef·Init.
+	var pre []il.Stmt
+	for _, c := range order {
+		pt := ctype.PointerTo(c.t)
+		c.ptr = p.AddVar(il.Var{Name: fmt.Sprintf("temp_p%d", len(p.Vars)), Type: pt, Class: il.ClassTemp})
+		init := il.Add(il.CloneExpr(c.base),
+			il.Mul(il.Int(c.coef), il.CloneExpr(loop.Init), ctype.IntType), pt)
+		pre = append(pre, &il.Assign{Dst: il.Ref(c.ptr, pt), Src: init})
+		st.Pointers++
+	}
+
+	// Second pass: rewrite references and append the bumps.
+	rewriteAddr := func(addr il.Expr, elem *ctype.Type) il.Expr {
+		c, off, ok := classify(addr, elem)
+		if !ok {
+			return addr
+		}
+		st.ReducedRefs++
+		pt := ctype.PointerTo(elem)
+		return il.Add(il.Ref(c.ptr, pt), il.Int(off), pt)
+	}
+	for _, s := range loop.Body {
+		as := s.(*il.Assign)
+		if l, ok := as.Dst.(*il.Load); ok {
+			as.Dst = &il.Load{Addr: rewriteAddr(l.Addr, l.T), T: l.T, Volatile: l.Volatile}
+		}
+		as.Src = il.RewriteExpr(as.Src, func(e il.Expr) il.Expr {
+			if l, ok := e.(*il.Load); ok {
+				return &il.Load{Addr: rewriteAddr(l.Addr, l.T), T: l.T, Volatile: l.Volatile}
+			}
+			return e
+		})
+	}
+	for _, c := range order {
+		pt := ctype.PointerTo(c.t)
+		bump := il.Add(il.Ref(c.ptr, pt), il.Int(c.coef*stepC), pt)
+		loop.Body = append(loop.Body, &il.Assign{Dst: il.Ref(c.ptr, pt), Src: bump})
+	}
+	return pre, true
+}
+
+// affineParts decomposes addr = base + coef·iv + off with base iv-free and
+// off the constant part.
+func affineParts(iv il.VarID, e il.Expr) (coef int64, base il.Expr, off int64, ok bool) {
+	c, rest, okA := affine(iv, e)
+	if !okA {
+		return 0, nil, 0, false
+	}
+	// Split the constant part out of rest.
+	off = 0
+	base = il.RewriteExpr(rest, func(x il.Expr) il.Expr { return x })
+	base, off = splitConst(base)
+	return c, base, off, true
+}
+
+// splitConst pulls additive integer constants out of e.
+func splitConst(e il.Expr) (il.Expr, int64) {
+	if c, ok := il.IsIntConst(e); ok {
+		return il.Int(0), c
+	}
+	if b, ok := e.(*il.Bin); ok {
+		switch b.Op {
+		case il.OpAdd:
+			l, cl := splitConst(b.L)
+			r, cr := splitConst(b.R)
+			return il.Add(l, r, b.T), cl + cr
+		case il.OpSub:
+			l, cl := splitConst(b.L)
+			r, cr := splitConst(b.R)
+			return il.Sub(l, r, b.T), cl - cr
+		}
+	}
+	return e, 0
+}
+
+// affine mirrors the vectorizer's decomposition (coef, rest).
+func affine(iv il.VarID, e il.Expr) (int64, il.Expr, bool) {
+	switch n := e.(type) {
+	case *il.ConstInt, *il.ConstFloat, *il.AddrOf:
+		return 0, e, true
+	case *il.VarRef:
+		if n.ID == iv {
+			return 1, il.Int(0), true
+		}
+		return 0, e, true
+	case *il.Cast:
+		if !il.UsesVar(n.X, iv) {
+			return 0, e, true
+		}
+		return affine(iv, n.X)
+	case *il.Bin:
+		switch n.Op {
+		case il.OpAdd:
+			cl, rl, okl := affine(iv, n.L)
+			cr, rr, okr := affine(iv, n.R)
+			if !okl || !okr {
+				return 0, nil, false
+			}
+			return cl + cr, il.Add(rl, rr, n.T), true
+		case il.OpSub:
+			cl, rl, okl := affine(iv, n.L)
+			cr, rr, okr := affine(iv, n.R)
+			if !okl || !okr {
+				return 0, nil, false
+			}
+			return cl - cr, il.Sub(rl, rr, n.T), true
+		case il.OpMul:
+			if c, ok := il.IsIntConst(n.L); ok {
+				ci, ri, oki := affine(iv, n.R)
+				if !oki {
+					return 0, nil, false
+				}
+				return c * ci, il.Mul(il.Int(c), ri, n.T), true
+			}
+			if c, ok := il.IsIntConst(n.R); ok {
+				ci, ri, oki := affine(iv, n.L)
+				if !oki {
+					return 0, nil, false
+				}
+				return c * ci, il.Mul(ri, il.Int(c), n.T), true
+			}
+		}
+	case *il.Un:
+		if n.Op == il.OpNeg {
+			c, r, ok := affine(iv, n.X)
+			if !ok {
+				return 0, nil, false
+			}
+			return -c, il.NewUn(il.OpNeg, r, n.T), true
+		}
+	}
+	if !il.UsesVar(e, iv) && pureExpr(e) {
+		return 0, e, true
+	}
+	return 0, nil, false
+}
+
+func pureExpr(e il.Expr) bool {
+	ok := true
+	il.WalkExpr(e, func(x il.Expr) bool {
+		if _, isLoad := x.(*il.Load); isLoad {
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// ---------------------------------------------------------------- hoisting
+
+// hoist moves pure loop-invariant non-trivial subexpressions into
+// preheader temporaries (loop-invariant code motion with CSE: equal
+// expressions share a temp).
+func hoist(p *il.Proc, loop *il.DoLoop, st *Stats) ([]il.Stmt, bool) {
+	defined := map[il.VarID]bool{loop.IV: true}
+	for _, s := range loop.Body {
+		il.WalkStmts([]il.Stmt{s}, func(sub il.Stmt) bool {
+			if dv := il.DefinedVar(sub); dv != il.NoVar {
+				defined[dv] = true
+			}
+			return true
+		})
+	}
+	invariant := func(e il.Expr) bool {
+		if !pureExpr(e) {
+			return false
+		}
+		ok := true
+		il.WalkExpr(e, func(x il.Expr) bool {
+			if v, isVar := x.(*il.VarRef); isVar {
+				if defined[v.ID] || p.Vars[v.ID].IsVolatile() {
+					ok = false
+				}
+			}
+			return ok
+		})
+		return ok
+	}
+	size := func(e il.Expr) int {
+		n := 0
+		il.WalkExpr(e, func(il.Expr) bool { n++; return true })
+		return n
+	}
+
+	temps := map[string]il.VarID{}
+	var pre []il.Stmt
+	changed := false
+	for _, s := range loop.Body {
+		as, ok := s.(*il.Assign)
+		if !ok {
+			continue
+		}
+		rewrite := func(e il.Expr) il.Expr {
+			return il.RewriteExpr(e, func(x il.Expr) il.Expr {
+				b, isBin := x.(*il.Bin)
+				if !isBin || !invariant(b) || size(b) < 3 {
+					return x
+				}
+				key := b.String()
+				id, have := temps[key]
+				if !have {
+					id = p.NewTemp(b.T)
+					temps[key] = id
+					pre = append(pre, &il.Assign{Dst: il.Ref(id, b.T), Src: il.CloneExpr(b)})
+					st.HoistedExprs++
+				}
+				changed = true
+				return il.Ref(id, b.T)
+			})
+		}
+		if l, isStore := as.Dst.(*il.Load); isStore {
+			as.Dst = &il.Load{Addr: rewrite(l.Addr), T: l.T, Volatile: l.Volatile}
+		}
+		as.Src = rewrite(as.Src)
+	}
+	return pre, changed
+}

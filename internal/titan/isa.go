@@ -1,0 +1,283 @@
+// Package titan models the Ardent Titan: a multiprocessor whose every
+// processor couples a RISC integer unit, a deeply pipelined floating-point
+// unit that also executes all vector instructions, a large vector register
+// file, and a pipelined path to memory shared by up to four processors
+// (§2).
+//
+// The simulator is functional plus a scoreboard timing model: each
+// register carries a ready-time, each unit (integer, floating point,
+// memory) an issue-time, and instructions dispatch in order, one per
+// cycle at best, stalling on operand or unit availability. Independent
+// integer and floating-point instructions therefore overlap — the §6
+// effect dependence-informed scheduling exploits — and vector instructions
+// cost startup + length on their unit, keeping the pipeline full (§2).
+package titan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is an instruction opcode.
+type Op int
+
+// Opcodes.
+const (
+	// Integer unit.
+	OpNop Op = iota
+	OpLdi    // rd ← imm
+	OpMov    // rd ← rs1
+	OpAdd    // rd ← rs1 + rs2
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpAddi // rd ← rs1 + imm
+	OpMuli // rd ← rs1 * imm
+	OpNeg
+	OpNot  // logical not (0/1)
+	OpBnot // bitwise complement
+	OpCmpEq
+	OpCmpNe
+	OpCmpLt
+	OpCmpLe
+	OpCmpGt
+	OpCmpGe
+	OpPid   // rd ← processor id (within a parallel region)
+	OpNproc // rd ← processor count
+
+	// Memory.
+	OpLd1 // rd ← sext(mem1[rs1+imm])
+	OpLd2
+	OpLd4
+	OpSt1 // mem[rs1+imm] ← rs2
+	OpSt2
+	OpSt4
+	OpFld4 // fd ← mem.f32[rs1+imm]
+	OpFld8
+	OpFst4 // mem.f32[rs1+imm] ← fs2
+	OpFst8
+
+	// Floating point unit (scalar).
+	OpFldi // fd ← fimm
+	OpFmov
+	OpFadd
+	OpFsub
+	OpFmul
+	OpFdiv
+	OpFneg
+	OpFcmpEq // rd ← fs1 cmp fs2
+	OpFcmpNe
+	OpFcmpLt
+	OpFcmpLe
+	OpFcmpGt
+	OpFcmpGe
+	OpCvtIF // fd ← float(rs1)
+	OpCvtFI // rd ← int(fs1)
+
+	// Vector unit (executed by the FP unit, §2). Vd/Vs are vector
+	// register file slot indices; the active length comes from the VL
+	// register (OpVsetl).
+	OpVsetl // VL ← rs1 (clamped to MaxVL)
+	OpVld   // vrf[vd..] ← mem[rs1 + k·rs2], element kind in Imm
+	OpVst   // mem[rs1 + k·rs2] ← vrf[vd..]
+	OpVadd  // vd ← vs1 + vs2
+	OpVsub
+	OpVmul
+	OpVdiv
+	OpVadds // vd ← vs1 + fs2 (scalar broadcast)
+	OpVsubs
+	OpVsubsr // vd ← fs2 - vs1
+	OpVmuls
+	OpVdivs
+	OpVdivsr
+	OpVmov
+	OpVbcast // vd[k] ← fs1 for all lanes
+
+	// Control.
+	OpJmp  // pc ← label
+	OpBeqz // if rs1 == 0 branch
+	OpBnez
+	OpCall // call function (register-windowed)
+	OpRet
+	OpArg // append rs1/fs1 to the outgoing argument list
+	OpFarg
+	OpHalt
+
+	// Parallel region markers (§2: spreading loop iterations among
+	// processors). The enclosed code reads OpPid/OpNproc to pick its
+	// share of iterations.
+	OpParBegin
+	OpParEnd
+)
+
+// Element kinds for vector memory operations (Instr.Imm).
+const (
+	ElemF32 = 4
+	ElemF64 = 8
+	ElemI32 = 1 // int32 elements, width 4
+)
+
+// MaxVL is the hardware strip length: the vector register file holds 8192
+// words addressable as vectors of any length and stride; the compiler's
+// strips use 32-element sections.
+const MaxVL = 2048
+
+// VRFWords is the vector register file size in words.
+const VRFWords = 8192
+
+// Instr is one instruction.
+type Instr struct {
+	Op   Op
+	Rd   int // destination register / vector slot
+	Rs1  int
+	Rs2  int
+	Imm  int64
+	FImm float64
+	Sym  string // label or callee
+}
+
+var opNames = map[Op]string{
+	OpNop: "nop", OpLdi: "ldi", OpMov: "mov", OpAdd: "add", OpSub: "sub",
+	OpMul: "mul", OpDiv: "div", OpRem: "rem", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpShl: "shl", OpShr: "shr", OpAddi: "addi", OpMuli: "muli",
+	OpNeg: "neg", OpNot: "not", OpBnot: "bnot",
+	OpCmpEq: "cmpeq", OpCmpNe: "cmpne", OpCmpLt: "cmplt", OpCmpLe: "cmple",
+	OpCmpGt: "cmpgt", OpCmpGe: "cmpge", OpPid: "pid", OpNproc: "nproc",
+	OpLd1: "ld1", OpLd2: "ld2", OpLd4: "ld4",
+	OpSt1: "st1", OpSt2: "st2", OpSt4: "st4",
+	OpFld4: "fld4", OpFld8: "fld8", OpFst4: "fst4", OpFst8: "fst8",
+	OpFldi: "fldi", OpFmov: "fmov", OpFadd: "fadd", OpFsub: "fsub",
+	OpFmul: "fmul", OpFdiv: "fdiv", OpFneg: "fneg",
+	OpFcmpEq: "fcmpeq", OpFcmpNe: "fcmpne", OpFcmpLt: "fcmplt",
+	OpFcmpLe: "fcmple", OpFcmpGt: "fcmpgt", OpFcmpGe: "fcmpge",
+	OpCvtIF: "cvtif", OpCvtFI: "cvtfi",
+	OpVsetl: "vsetl", OpVld: "vld", OpVst: "vst",
+	OpVadd: "vadd", OpVsub: "vsub", OpVmul: "vmul", OpVdiv: "vdiv",
+	OpVadds: "vadds", OpVsubs: "vsubs", OpVsubsr: "vsubsr",
+	OpVmuls: "vmuls", OpVdivs: "vdivs", OpVdivsr: "vdivsr", OpVmov: "vmov",
+	OpVbcast: "vbcast",
+	OpJmp:    "jmp", OpBeqz: "beqz", OpBnez: "bnez", OpCall: "call",
+	OpRet: "ret", OpArg: "arg", OpFarg: "farg", OpHalt: "halt",
+	OpParBegin: "par.begin", OpParEnd: "par.end",
+}
+
+// String disassembles one instruction.
+func (in Instr) String() string {
+	n := opNames[in.Op]
+	switch in.Op {
+	case OpNop, OpRet, OpHalt, OpParBegin, OpParEnd:
+		return n
+	case OpLdi:
+		return fmt.Sprintf("%s r%d, %d", n, in.Rd, in.Imm)
+	case OpFldi:
+		return fmt.Sprintf("%s f%d, %g", n, in.Rd, in.FImm)
+	case OpMov, OpNeg, OpNot, OpBnot:
+		return fmt.Sprintf("%s r%d, r%d", n, in.Rd, in.Rs1)
+	case OpFmov, OpFneg:
+		return fmt.Sprintf("%s f%d, f%d", n, in.Rd, in.Rs1)
+	case OpAddi, OpMuli:
+		return fmt.Sprintf("%s r%d, r%d, %d", n, in.Rd, in.Rs1, in.Imm)
+	case OpLd1, OpLd2, OpLd4:
+		return fmt.Sprintf("%s r%d, %d(r%d)", n, in.Rd, in.Imm, in.Rs1)
+	case OpSt1, OpSt2, OpSt4:
+		return fmt.Sprintf("%s r%d, %d(r%d)", n, in.Rs2, in.Imm, in.Rs1)
+	case OpFld4, OpFld8:
+		return fmt.Sprintf("%s f%d, %d(r%d)", n, in.Rd, in.Imm, in.Rs1)
+	case OpFst4, OpFst8:
+		return fmt.Sprintf("%s f%d, %d(r%d)", n, in.Rs2, in.Imm, in.Rs1)
+	case OpFadd, OpFsub, OpFmul, OpFdiv:
+		return fmt.Sprintf("%s f%d, f%d, f%d", n, in.Rd, in.Rs1, in.Rs2)
+	case OpFcmpEq, OpFcmpNe, OpFcmpLt, OpFcmpLe, OpFcmpGt, OpFcmpGe:
+		return fmt.Sprintf("%s r%d, f%d, f%d", n, in.Rd, in.Rs1, in.Rs2)
+	case OpCvtIF:
+		return fmt.Sprintf("%s f%d, r%d", n, in.Rd, in.Rs1)
+	case OpCvtFI:
+		return fmt.Sprintf("%s r%d, f%d", n, in.Rd, in.Rs1)
+	case OpVsetl:
+		return fmt.Sprintf("%s r%d", n, in.Rs1)
+	case OpVld, OpVst:
+		return fmt.Sprintf("%s v%d, (r%d), r%d, ek%d", n, in.Rd, in.Rs1, in.Rs2, in.Imm)
+	case OpVadd, OpVsub, OpVmul, OpVdiv:
+		return fmt.Sprintf("%s v%d, v%d, v%d", n, in.Rd, in.Rs1, in.Rs2)
+	case OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr:
+		return fmt.Sprintf("%s v%d, v%d, f%d", n, in.Rd, in.Rs1, in.Rs2)
+	case OpVmov:
+		return fmt.Sprintf("%s v%d, v%d", n, in.Rd, in.Rs1)
+	case OpVbcast:
+		return fmt.Sprintf("%s v%d, f%d", n, in.Rd, in.Rs1)
+	case OpJmp:
+		return fmt.Sprintf("%s %s", n, in.Sym)
+	case OpBeqz, OpBnez:
+		return fmt.Sprintf("%s r%d, %s", n, in.Rs1, in.Sym)
+	case OpCall:
+		return fmt.Sprintf("%s %s", n, in.Sym)
+	case OpArg:
+		return fmt.Sprintf("%s r%d", n, in.Rs1)
+	case OpFarg:
+		return fmt.Sprintf("%s f%d", n, in.Rs1)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", n, in.Rd, in.Rs1, in.Rs2)
+	}
+}
+
+// Func is one compiled function.
+type Func struct {
+	Name   string
+	Instrs []Instr
+	Labels map[string]int // label → instruction index
+}
+
+// Program is a linked executable image.
+type Program struct {
+	Funcs map[string]*Func
+	// Data is the initial memory image for globals.
+	Data []byte
+	// DataBase is the address where Data is loaded.
+	DataBase int64
+	// GlobalAddr maps global names to addresses (for tests and loaders).
+	GlobalAddr map[string]int64
+	// MemSize is the total memory to allocate (stack at top).
+	MemSize int64
+}
+
+// Disassemble renders a function listing.
+func (f *Func) Disassemble() string {
+	var sb strings.Builder
+	rev := map[int][]string{}
+	for l, i := range f.Labels {
+		rev[i] = append(rev[i], l)
+	}
+	fmt.Fprintf(&sb, "%s:\n", f.Name)
+	for i, in := range f.Instrs {
+		for _, l := range rev[i] {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+		fmt.Fprintf(&sb, "    %s\n", in)
+	}
+	for _, l := range rev[len(f.Instrs)] {
+		fmt.Fprintf(&sb, "%s:\n", l)
+	}
+	return sb.String()
+}
+
+// Calling convention: arguments in r8.. / f8.., results in r2 / f2. The
+// hardware provides register windows: CALL snapshots the register file and
+// RET restores everything except the result registers.
+const (
+	RegSP     = 1 // stack pointer
+	RegRetInt = 2
+	RegRetFlt = 2
+	RegArg0   = 8 // first integer argument register
+	FRegArg0  = 8 // first float argument register
+	// The Titan's register set is unusually large (§2: the vector register
+	// file doubles as 8192 scalar registers); the model exposes 64 of
+	// each kind to the compiler.
+	NumIntRegs = 64
+	NumFltRegs = 64
+)

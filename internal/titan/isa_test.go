@@ -1,0 +1,225 @@
+package titan
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDisassembleAllOpcodes(t *testing.T) {
+	// Every opcode must disassemble to its mnemonic (guards the opNames
+	// table against gaps).
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpNop}, "nop"},
+		{Instr{Op: OpLdi, Rd: 1, Imm: 5}, "ldi r1, 5"},
+		{Instr{Op: OpFldi, Rd: 2, FImm: 1.5}, "fldi f2, 1.5"},
+		{Instr{Op: OpMov, Rd: 1, Rs1: 2}, "mov r1, r2"},
+		{Instr{Op: OpFmov, Rd: 1, Rs1: 2}, "fmov f1, f2"},
+		{Instr{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Instr{Op: OpAddi, Rd: 1, Rs1: 2, Imm: -4}, "addi r1, r2, -4"},
+		{Instr{Op: OpMuli, Rd: 1, Rs1: 2, Imm: 8}, "muli r1, r2, 8"},
+		{Instr{Op: OpLd4, Rd: 1, Rs1: 2, Imm: 12}, "ld4 r1, 12(r2)"},
+		{Instr{Op: OpSt2, Rs1: 2, Rs2: 3, Imm: 6}, "st2 r3, 6(r2)"},
+		{Instr{Op: OpFld8, Rd: 4, Rs1: 5}, "fld8 f4, 0(r5)"},
+		{Instr{Op: OpFst4, Rs1: 5, Rs2: 6, Imm: 8}, "fst4 f6, 8(r5)"},
+		{Instr{Op: OpFadd, Rd: 1, Rs1: 2, Rs2: 3}, "fadd f1, f2, f3"},
+		{Instr{Op: OpFcmpLt, Rd: 1, Rs1: 2, Rs2: 3}, "fcmplt r1, f2, f3"},
+		{Instr{Op: OpCvtIF, Rd: 1, Rs1: 2}, "cvtif f1, r2"},
+		{Instr{Op: OpCvtFI, Rd: 1, Rs1: 2}, "cvtfi r1, f2"},
+		{Instr{Op: OpVsetl, Rs1: 3}, "vsetl r3"},
+		{Instr{Op: OpVld, Rd: 0, Rs1: 1, Rs2: 2, Imm: ElemF32}, "vld v0, (r1), r2, ek4"},
+		{Instr{Op: OpVadd, Rd: 0, Rs1: 64, Rs2: 128}, "vadd v0, v64, v128"},
+		{Instr{Op: OpVmuls, Rd: 0, Rs1: 64, Rs2: 3}, "vmuls v0, v64, f3"},
+		{Instr{Op: OpVmov, Rd: 0, Rs1: 64}, "vmov v0, v64"},
+		{Instr{Op: OpVbcast, Rd: 0, Rs1: 3}, "vbcast v0, f3"},
+		{Instr{Op: OpJmp, Sym: "L"}, "jmp L"},
+		{Instr{Op: OpBeqz, Rs1: 1, Sym: "L"}, "beqz r1, L"},
+		{Instr{Op: OpCall, Sym: "f"}, "call f"},
+		{Instr{Op: OpRet}, "ret"},
+		{Instr{Op: OpArg, Rs1: 2}, "arg r2"},
+		{Instr{Op: OpFarg, Rs1: 2}, "farg f2"},
+		{Instr{Op: OpHalt}, "halt"},
+		{Instr{Op: OpParBegin}, "par.begin"},
+		{Instr{Op: OpParEnd}, "par.end"},
+		{Instr{Op: OpNeg, Rd: 1, Rs1: 2}, "neg r1, r2"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.in.Op, got, c.want)
+		}
+	}
+}
+
+func TestFuncDisassembleWithLabels(t *testing.T) {
+	f := &Func{Name: "f", Labels: map[string]int{"top": 1, "end": 2},
+		Instrs: []Instr{
+			{Op: OpLdi, Rd: 1, Imm: 0},
+			{Op: OpAddi, Rd: 1, Rs1: 1, Imm: 1},
+			{Op: OpRet},
+		}}
+	out := f.Disassemble()
+	for _, want := range []string{"f:", "top:", "end:", "ldi r1, 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRemainingVectorOps(t *testing.T) {
+	// Functional checks for the vector ops not covered elsewhere:
+	// vsub, vdiv, vsubs, vsubsr, vdivs, vdivsr, vmov, i32/f64 elements.
+	n := int64(8)
+	prog := mkProg([]Instr{
+		{Op: OpLdi, Rd: 10, Imm: n},
+		{Op: OpVsetl, Rs1: 10},
+		{Op: OpLdi, Rd: 11, Imm: 4096},
+		{Op: OpLdi, Rd: 13, Imm: 8},
+		{Op: OpVld, Rd: 0, Rs1: 11, Rs2: 13, Imm: ElemF64},
+		{Op: OpFldi, Rd: 20, FImm: 2},
+		{Op: OpVsubs, Rd: 128, Rs1: 0, Rs2: 20},  // v - 2
+		{Op: OpVsubsr, Rd: 256, Rs1: 0, Rs2: 20}, // 2 - v
+		{Op: OpVdivs, Rd: 384, Rs1: 0, Rs2: 20},  // v / 2
+		{Op: OpVdivsr, Rd: 512, Rs1: 0, Rs2: 20}, // 2 / v
+		{Op: OpVsub, Rd: 640, Rs1: 128, Rs2: 256},
+		{Op: OpVdiv, Rd: 768, Rs1: 0, Rs2: 0},
+		{Op: OpVmov, Rd: 896, Rs1: 768},
+		{Op: OpLdi, Rd: 12, Imm: 8192},
+		{Op: OpVst, Rd: 640, Rs1: 12, Rs2: 13, Imm: ElemF64},
+		{Op: OpLdi, Rd: 14, Imm: 12288},
+		{Op: OpVst, Rd: 896, Rs1: 14, Rs2: 13, Imm: ElemF64},
+		{Op: OpRet},
+	}, nil)
+	m := NewMachine(prog, 1)
+	for i := int64(0); i < n; i++ {
+		putF64(m.mem, 4096+8*i, float64(i+1))
+	}
+	if _, err := m.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < n; i++ {
+		v := float64(i + 1)
+		wantSub := (v - 2) - (2 - v)
+		if got := getF64(m.mem, 8192+8*i); got != wantSub {
+			t.Errorf("vsub[%d] = %g want %g", i, got, wantSub)
+		}
+		if got := getF64(m.mem, 12288+8*i); got != 1 {
+			t.Errorf("vdiv/vmov[%d] = %g want 1", i, got)
+		}
+	}
+}
+
+func TestVectorI32Elements(t *testing.T) {
+	n := int64(4)
+	prog := mkProg([]Instr{
+		{Op: OpLdi, Rd: 10, Imm: n},
+		{Op: OpVsetl, Rs1: 10},
+		{Op: OpLdi, Rd: 11, Imm: 4096},
+		{Op: OpLdi, Rd: 13, Imm: 4},
+		{Op: OpVld, Rd: 0, Rs1: 11, Rs2: 13, Imm: ElemI32},
+		{Op: OpFldi, Rd: 20, FImm: 3},
+		{Op: OpVmuls, Rd: 128, Rs1: 0, Rs2: 20},
+		{Op: OpVst, Rd: 128, Rs1: 11, Rs2: 13, Imm: ElemI32},
+		{Op: OpRet},
+	}, nil)
+	m := NewMachine(prog, 1)
+	for i := int64(0); i < n; i++ {
+		m.mem[4096+4*i] = byte(i + 1) // small ints, little endian
+	}
+	if _, err := m.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < n; i++ {
+		got := int64(int32(uint32(m.mem[4096+4*i]) | uint32(m.mem[4096+4*i+1])<<8 |
+			uint32(m.mem[4096+4*i+2])<<16 | uint32(m.mem[4096+4*i+3])<<24))
+		if got != 3*(i+1) {
+			t.Errorf("i32[%d] = %d want %d", i, got, 3*(i+1))
+		}
+	}
+}
+
+func TestVsetlClamping(t *testing.T) {
+	prog := mkProg([]Instr{
+		{Op: OpLdi, Rd: 10, Imm: 99999},
+		{Op: OpVsetl, Rs1: 10},
+		{Op: OpLdi, Rd: 11, Imm: -5},
+		{Op: OpVsetl, Rs1: 11},
+		{Op: OpRet},
+	}, nil)
+	if _, err := NewMachine(prog, 1).Run("main"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorLoadFaults(t *testing.T) {
+	prog := mkProg([]Instr{
+		{Op: OpLdi, Rd: 10, Imm: 4},
+		{Op: OpVsetl, Rs1: 10},
+		{Op: OpLdi, Rd: 11, Imm: -64},
+		{Op: OpLdi, Rd: 13, Imm: 4},
+		{Op: OpVld, Rd: 0, Rs1: 11, Rs2: 13, Imm: ElemF32},
+		{Op: OpRet},
+	}, nil)
+	if _, err := NewMachine(prog, 1).Run("main"); err == nil {
+		t.Error("negative vector load address accepted")
+	}
+}
+
+func TestUnknownLabelErrors(t *testing.T) {
+	prog := mkProg([]Instr{{Op: OpJmp, Sym: "nowhere"}}, nil)
+	if _, err := NewMachine(prog, 1).Run("main"); err == nil {
+		t.Error("unknown label accepted")
+	}
+	prog2 := mkProg([]Instr{{Op: OpCall, Sym: "missing"}, {Op: OpRet}}, nil)
+	if _, err := NewMachine(prog2, 1).Run("main"); err == nil {
+		t.Error("undefined function accepted")
+	}
+}
+
+func TestStrayParEnd(t *testing.T) {
+	prog := mkProg([]Instr{{Op: OpParEnd}, {Op: OpRet}}, nil)
+	if _, err := NewMachine(prog, 1).Run("main"); err == nil {
+		t.Error("stray par.end accepted")
+	}
+	prog2 := mkProg([]Instr{{Op: OpParBegin}, {Op: OpRet}}, nil)
+	if _, err := NewMachine(prog2, 1).Run("main"); err == nil {
+		t.Error("unmatched par.begin accepted")
+	}
+}
+
+func TestProcessorClamp(t *testing.T) {
+	prog := mkProg([]Instr{{Op: OpNproc, Rd: RegRetInt}, {Op: OpRet}}, nil)
+	m := NewMachine(prog, 99)
+	r, err := m.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ExitCode != 4 {
+		t.Errorf("nproc %d (clamp to 4)", r.ExitCode)
+	}
+	m0 := NewMachine(prog, 0)
+	r0, _ := m0.Run("main")
+	if r0.ExitCode != 1 {
+		t.Errorf("nproc %d (clamp to 1)", r0.ExitCode)
+	}
+}
+
+func putF64(mem []byte, addr int64, v float64) {
+	bits := mathFloat64bitsT(v)
+	for i := 0; i < 8; i++ {
+		mem[addr+int64(i)] = byte(bits >> (8 * i))
+	}
+}
+
+func getF64(mem []byte, addr int64) float64 {
+	var bits uint64
+	for i := 0; i < 8; i++ {
+		bits |= uint64(mem[addr+int64(i)]) << (8 * i)
+	}
+	return mathFloat64frombitsT(bits)
+}
+
+func mathFloat64bitsT(v float64) uint64     { return math.Float64bits(v) }
+func mathFloat64frombitsT(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,786 @@
+package titan
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ClockMHz is the nominal clock used to convert simulated cycles to
+// simulated seconds for MFLOPS reporting. The Titan's units ran at 16 MHz.
+const ClockMHz = 16.0
+
+// Result summarizes a simulation run.
+type Result struct {
+	Cycles    int64
+	FlopCount int64
+	Instrs    int64
+	ExitCode  int64
+	Output    string
+}
+
+// MFLOPS returns millions of floating-point operations per simulated
+// second.
+func (r Result) MFLOPS() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(r.Cycles) / (ClockMHz * 1e6)
+	return float64(r.FlopCount) / seconds / 1e6
+}
+
+// Machine simulates one Titan.
+type Machine struct {
+	prog *Program
+	mem  []byte
+	// Processors sets the processor count for parallel regions (1–4).
+	Processors int
+	// Trace, when non-nil, receives a line per retired instruction.
+	Trace func(string)
+	// MaxInstrs guards against runaway programs (0: default bound).
+	MaxInstrs int64
+
+	out strings.Builder
+}
+
+// NewMachine loads a program.
+func NewMachine(prog *Program, processors int) *Machine {
+	if processors < 1 {
+		processors = 1
+	}
+	if processors > 4 {
+		processors = 4
+	}
+	size := prog.MemSize
+	if size < prog.DataBase+int64(len(prog.Data))+1<<16 {
+		size = prog.DataBase + int64(len(prog.Data)) + 1<<16
+	}
+	m := &Machine{prog: prog, mem: make([]byte, size), Processors: processors}
+	copy(m.mem[prog.DataBase:], prog.Data)
+	return m
+}
+
+// cpu is one processor context.
+type cpu struct {
+	m    *Machine
+	r    [NumIntRegs]int64
+	f    [NumFltRegs]float64
+	vrf  [VRFWords]float64
+	vl   int64
+	pid  int64
+	args []argval
+
+	// Scoreboard state.
+	clock    int64 // dispatch clock
+	intReady [NumIntRegs]int64
+	fltReady [NumFltRegs]int64
+	vecReady map[int]int64 // per-slot base
+	intUnit  int64         // next cycle the unit can accept work
+	fltUnit  int64
+	memUnit  int64
+
+	cycles int64 // completion horizon
+	flops  int64
+	icount int64
+}
+
+type argval struct {
+	i     int64
+	f     float64
+	isFlt bool
+}
+
+// Run executes main (or the named entry) to completion.
+func (m *Machine) Run(entry string) (Result, error) {
+	f, ok := m.prog.Funcs[entry]
+	if !ok {
+		return Result{}, fmt.Errorf("titan: no function %q", entry)
+	}
+	c := &cpu{m: m, vecReady: map[int]int64{}}
+	c.r[RegSP] = int64(len(m.mem)) - 8
+	max := m.MaxInstrs
+	if max == 0 {
+		max = 2_000_000_000
+	}
+	if err := c.exec(f, 0, -1, max); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Cycles:    c.cycles,
+		FlopCount: c.flops,
+		Instrs:    c.icount,
+		ExitCode:  c.r[RegRetInt],
+		Output:    m.out.String(),
+	}, nil
+}
+
+// dispatch charges the scoreboard for one instruction and returns the
+// cycle at which its result is ready.
+func (c *cpu) dispatch(in Instr) int64 {
+	// Operand availability.
+	ready := c.clock
+	maxr := func(t int64) {
+		if t > ready {
+			ready = t
+		}
+	}
+	switch in.Op {
+	case OpMov, OpNeg, OpNot, OpBnot, OpAddi, OpMuli, OpBeqz, OpBnez, OpArg,
+		OpVsetl, OpCvtIF, OpPid, OpNproc:
+		maxr(c.intReady[in.Rs1])
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpCmpEq, OpCmpNe, OpCmpLt, OpCmpLe, OpCmpGt, OpCmpGe:
+		maxr(c.intReady[in.Rs1])
+		maxr(c.intReady[in.Rs2])
+	case OpLd1, OpLd2, OpLd4, OpFld4, OpFld8:
+		maxr(c.intReady[in.Rs1])
+	case OpSt1, OpSt2, OpSt4:
+		// Stores drain through a store buffer: dispatch waits only for
+		// the address; the data follows when ready.
+		maxr(c.intReady[in.Rs1])
+	case OpFst4, OpFst8:
+		maxr(c.intReady[in.Rs1])
+	case OpFmov, OpFneg, OpCvtFI, OpFarg, OpVbcast:
+		maxr(c.fltReady[in.Rs1])
+	case OpFadd, OpFsub, OpFmul, OpFdiv,
+		OpFcmpEq, OpFcmpNe, OpFcmpLt, OpFcmpLe, OpFcmpGt, OpFcmpGe:
+		maxr(c.fltReady[in.Rs1])
+		maxr(c.fltReady[in.Rs2])
+	case OpVld, OpVst:
+		// Vector stores drain through the store buffer like scalar
+		// stores: dispatch needs only the address and stride.
+		maxr(c.intReady[in.Rs1])
+		maxr(c.intReady[in.Rs2])
+	case OpVadd, OpVsub, OpVmul, OpVdiv, OpVmov:
+		maxr(c.vecReady[in.Rs1])
+		maxr(c.vecReady[in.Rs2])
+	case OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr:
+		maxr(c.vecReady[in.Rs1])
+		maxr(c.fltReady[in.Rs2])
+	}
+
+	// Unit, latency, occupancy.
+	var unit *int64
+	var lat, occ int64
+	vl := c.vl
+	if vl <= 0 {
+		vl = 1
+	}
+	switch in.Op {
+	case OpMul, OpMuli:
+		unit, lat, occ = &c.intUnit, 4, 1
+	case OpDiv, OpRem:
+		unit, lat, occ = &c.intUnit, 12, 8
+	case OpLd1, OpLd2, OpLd4, OpFld4, OpFld8:
+		unit, lat, occ = &c.memUnit, 6, 1
+	case OpSt1, OpSt2, OpSt4, OpFst4, OpFst8:
+		unit, lat, occ = &c.memUnit, 1, 1
+	case OpFadd, OpFsub, OpFmul, OpFneg,
+		OpFcmpEq, OpFcmpNe, OpFcmpLt, OpFcmpLe, OpFcmpGt, OpFcmpGe,
+		OpCvtIF, OpCvtFI, OpFmov, OpFldi:
+		unit, lat, occ = &c.fltUnit, 6, 1
+	case OpFdiv:
+		unit, lat, occ = &c.fltUnit, 18, 12
+	case OpVld, OpVst:
+		// The per-processor memory path is highly pipelined (§2): one
+		// element per cycle after a short setup.
+		unit, lat, occ = &c.memUnit, 6+vl, 2+vl
+	case OpVadd, OpVsub, OpVmul, OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVmov, OpVbcast:
+		unit, lat, occ = &c.fltUnit, 8+vl, 4+vl
+	case OpVdiv, OpVdivs, OpVdivsr:
+		unit, lat, occ = &c.fltUnit, 12+2*vl, 8+2*vl
+	case OpJmp, OpBeqz, OpBnez:
+		unit, lat, occ = &c.intUnit, 2, 1
+	case OpCall:
+		unit, lat, occ = &c.intUnit, 10, 10
+	case OpRet:
+		unit, lat, occ = &c.intUnit, 8, 8
+	default:
+		unit, lat, occ = &c.intUnit, 1, 1
+	}
+
+	issue := ready
+	if *unit > issue {
+		issue = *unit
+	}
+	*unit = issue + occ
+	done := issue + lat
+	// In-order dispatch: the next instruction cannot dispatch before this
+	// one did.
+	c.clock = issue + 1
+	if done > c.cycles {
+		c.cycles = done
+	}
+
+	// Record result readiness.
+	switch in.Op {
+	case OpLdi, OpMov, OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpAddi, OpMuli, OpNeg, OpNot, OpBnot,
+		OpCmpEq, OpCmpNe, OpCmpLt, OpCmpLe, OpCmpGt, OpCmpGe,
+		OpLd1, OpLd2, OpLd4, OpCvtFI, OpPid, OpNproc,
+		OpFcmpEq, OpFcmpNe, OpFcmpLt, OpFcmpLe, OpFcmpGt, OpFcmpGe:
+		c.intReady[in.Rd] = done
+	case OpFldi, OpFmov, OpFadd, OpFsub, OpFmul, OpFdiv, OpFneg, OpCvtIF,
+		OpFld4, OpFld8:
+		c.fltReady[in.Rd] = done
+	case OpVld, OpVadd, OpVsub, OpVmul, OpVdiv,
+		OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr, OpVmov, OpVbcast:
+		c.vecReady[in.Rd] = done
+	}
+
+	// FLOP accounting.
+	switch in.Op {
+	case OpFadd, OpFsub, OpFmul, OpFdiv:
+		c.flops++
+	case OpVadd, OpVsub, OpVmul, OpVdiv,
+		OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr:
+		c.flops += vl
+	}
+	return done
+}
+
+// exec runs instructions of f starting at pc until RET/HALT (stop == -1)
+// or until reaching instruction index stop (used by parallel regions).
+func (c *cpu) exec(f *Func, pc int, stop int, maxInstrs int64) error {
+	for pc < len(f.Instrs) {
+		if pc == stop {
+			return nil
+		}
+		if c.icount >= maxInstrs {
+			return fmt.Errorf("titan: instruction budget exhausted in %s (possible infinite loop)", f.Name)
+		}
+		in := f.Instrs[pc]
+		c.icount++
+		c.dispatch(in)
+		if c.m.Trace != nil {
+			c.m.Trace(fmt.Sprintf("%s+%d: %s", f.Name, pc, in))
+		}
+		switch in.Op {
+		case OpNop:
+		case OpLdi:
+			c.r[in.Rd] = in.Imm
+		case OpMov:
+			c.r[in.Rd] = c.r[in.Rs1]
+		case OpAdd:
+			c.r[in.Rd] = c.r[in.Rs1] + c.r[in.Rs2]
+		case OpSub:
+			c.r[in.Rd] = c.r[in.Rs1] - c.r[in.Rs2]
+		case OpMul:
+			c.r[in.Rd] = c.r[in.Rs1] * c.r[in.Rs2]
+		case OpDiv:
+			if c.r[in.Rs2] == 0 {
+				return fmt.Errorf("titan: integer division by zero in %s", f.Name)
+			}
+			c.r[in.Rd] = c.r[in.Rs1] / c.r[in.Rs2]
+		case OpRem:
+			if c.r[in.Rs2] == 0 {
+				return fmt.Errorf("titan: integer remainder by zero in %s", f.Name)
+			}
+			c.r[in.Rd] = c.r[in.Rs1] % c.r[in.Rs2]
+		case OpAnd:
+			c.r[in.Rd] = c.r[in.Rs1] & c.r[in.Rs2]
+		case OpOr:
+			c.r[in.Rd] = c.r[in.Rs1] | c.r[in.Rs2]
+		case OpXor:
+			c.r[in.Rd] = c.r[in.Rs1] ^ c.r[in.Rs2]
+		case OpShl:
+			c.r[in.Rd] = c.r[in.Rs1] << uint(c.r[in.Rs2]&63)
+		case OpShr:
+			c.r[in.Rd] = c.r[in.Rs1] >> uint(c.r[in.Rs2]&63)
+		case OpAddi:
+			c.r[in.Rd] = c.r[in.Rs1] + in.Imm
+		case OpMuli:
+			c.r[in.Rd] = c.r[in.Rs1] * in.Imm
+		case OpNeg:
+			c.r[in.Rd] = -c.r[in.Rs1]
+		case OpNot:
+			c.r[in.Rd] = b2i(c.r[in.Rs1] == 0)
+		case OpBnot:
+			c.r[in.Rd] = ^c.r[in.Rs1]
+		case OpCmpEq:
+			c.r[in.Rd] = b2i(c.r[in.Rs1] == c.r[in.Rs2])
+		case OpCmpNe:
+			c.r[in.Rd] = b2i(c.r[in.Rs1] != c.r[in.Rs2])
+		case OpCmpLt:
+			c.r[in.Rd] = b2i(c.r[in.Rs1] < c.r[in.Rs2])
+		case OpCmpLe:
+			c.r[in.Rd] = b2i(c.r[in.Rs1] <= c.r[in.Rs2])
+		case OpCmpGt:
+			c.r[in.Rd] = b2i(c.r[in.Rs1] > c.r[in.Rs2])
+		case OpCmpGe:
+			c.r[in.Rd] = b2i(c.r[in.Rs1] >= c.r[in.Rs2])
+		case OpPid:
+			c.r[in.Rd] = c.pid
+		case OpNproc:
+			c.r[in.Rd] = int64(c.m.Processors)
+
+		case OpLd1:
+			a, err := c.addr(in, 1)
+			if err != nil {
+				return err
+			}
+			c.r[in.Rd] = int64(int8(c.m.mem[a]))
+		case OpLd2:
+			a, err := c.addr(in, 2)
+			if err != nil {
+				return err
+			}
+			c.r[in.Rd] = int64(int16(binary.LittleEndian.Uint16(c.m.mem[a:])))
+		case OpLd4:
+			a, err := c.addr(in, 4)
+			if err != nil {
+				return err
+			}
+			c.r[in.Rd] = int64(int32(binary.LittleEndian.Uint32(c.m.mem[a:])))
+		case OpSt1:
+			a, err := c.addr(in, 1)
+			if err != nil {
+				return err
+			}
+			c.m.mem[a] = byte(c.r[in.Rs2])
+		case OpSt2:
+			a, err := c.addr(in, 2)
+			if err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint16(c.m.mem[a:], uint16(c.r[in.Rs2]))
+		case OpSt4:
+			a, err := c.addr(in, 4)
+			if err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint32(c.m.mem[a:], uint32(c.r[in.Rs2]))
+		case OpFld4:
+			a, err := c.addr(in, 4)
+			if err != nil {
+				return err
+			}
+			c.f[in.Rd] = float64(math.Float32frombits(binary.LittleEndian.Uint32(c.m.mem[a:])))
+		case OpFld8:
+			a, err := c.addr(in, 8)
+			if err != nil {
+				return err
+			}
+			c.f[in.Rd] = math.Float64frombits(binary.LittleEndian.Uint64(c.m.mem[a:]))
+		case OpFst4:
+			a, err := c.addr(in, 4)
+			if err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint32(c.m.mem[a:], math.Float32bits(float32(c.f[in.Rs2])))
+		case OpFst8:
+			a, err := c.addr(in, 8)
+			if err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint64(c.m.mem[a:], math.Float64bits(c.f[in.Rs2]))
+
+		case OpFldi:
+			c.f[in.Rd] = in.FImm
+		case OpFmov:
+			c.f[in.Rd] = c.f[in.Rs1]
+		case OpFadd:
+			c.f[in.Rd] = c.f[in.Rs1] + c.f[in.Rs2]
+		case OpFsub:
+			c.f[in.Rd] = c.f[in.Rs1] - c.f[in.Rs2]
+		case OpFmul:
+			c.f[in.Rd] = c.f[in.Rs1] * c.f[in.Rs2]
+		case OpFdiv:
+			c.f[in.Rd] = c.f[in.Rs1] / c.f[in.Rs2]
+		case OpFneg:
+			c.f[in.Rd] = -c.f[in.Rs1]
+		case OpFcmpEq:
+			c.r[in.Rd] = b2i(c.f[in.Rs1] == c.f[in.Rs2])
+		case OpFcmpNe:
+			c.r[in.Rd] = b2i(c.f[in.Rs1] != c.f[in.Rs2])
+		case OpFcmpLt:
+			c.r[in.Rd] = b2i(c.f[in.Rs1] < c.f[in.Rs2])
+		case OpFcmpLe:
+			c.r[in.Rd] = b2i(c.f[in.Rs1] <= c.f[in.Rs2])
+		case OpFcmpGt:
+			c.r[in.Rd] = b2i(c.f[in.Rs1] > c.f[in.Rs2])
+		case OpFcmpGe:
+			c.r[in.Rd] = b2i(c.f[in.Rs1] >= c.f[in.Rs2])
+		case OpCvtIF:
+			c.f[in.Rd] = float64(c.r[in.Rs1])
+		case OpCvtFI:
+			c.r[in.Rd] = int64(c.f[in.Rs1])
+
+		case OpVsetl:
+			vl := c.r[in.Rs1]
+			if vl < 0 {
+				vl = 0
+			}
+			if vl > MaxVL {
+				vl = MaxVL
+			}
+			c.vl = vl
+		case OpVld:
+			if err := c.vecLoad(in); err != nil {
+				return err
+			}
+		case OpVst:
+			if err := c.vecStore(in); err != nil {
+				return err
+			}
+		case OpVadd:
+			c.vecBin(in, func(a, b float64) float64 { return a + b })
+		case OpVsub:
+			c.vecBin(in, func(a, b float64) float64 { return a - b })
+		case OpVmul:
+			c.vecBin(in, func(a, b float64) float64 { return a * b })
+		case OpVdiv:
+			c.vecBin(in, func(a, b float64) float64 { return a / b })
+		case OpVadds:
+			c.vecScalar(in, func(a, s float64) float64 { return a + s })
+		case OpVsubs:
+			c.vecScalar(in, func(a, s float64) float64 { return a - s })
+		case OpVsubsr:
+			c.vecScalar(in, func(a, s float64) float64 { return s - a })
+		case OpVmuls:
+			c.vecScalar(in, func(a, s float64) float64 { return a * s })
+		case OpVdivs:
+			c.vecScalar(in, func(a, s float64) float64 { return a / s })
+		case OpVdivsr:
+			c.vecScalar(in, func(a, s float64) float64 { return s / a })
+		case OpVmov:
+			for k := int64(0); k < c.vl; k++ {
+				c.vrf[(int64(in.Rd)+k)%VRFWords] = c.vrf[(int64(in.Rs1)+k)%VRFWords]
+			}
+		case OpVbcast:
+			for k := int64(0); k < c.vl; k++ {
+				c.vrf[(int64(in.Rd)+k)%VRFWords] = c.f[in.Rs1]
+			}
+
+		case OpJmp:
+			t, ok := f.Labels[in.Sym]
+			if !ok {
+				return fmt.Errorf("titan: unknown label %q in %s", in.Sym, f.Name)
+			}
+			pc = t
+			continue
+		case OpBeqz:
+			if c.r[in.Rs1] == 0 {
+				t, ok := f.Labels[in.Sym]
+				if !ok {
+					return fmt.Errorf("titan: unknown label %q in %s", in.Sym, f.Name)
+				}
+				pc = t
+				continue
+			}
+		case OpBnez:
+			if c.r[in.Rs1] != 0 {
+				t, ok := f.Labels[in.Sym]
+				if !ok {
+					return fmt.Errorf("titan: unknown label %q in %s", in.Sym, f.Name)
+				}
+				pc = t
+				continue
+			}
+		case OpArg:
+			c.args = append(c.args, argval{i: c.r[in.Rs1]})
+		case OpFarg:
+			c.args = append(c.args, argval{f: c.f[in.Rs1], isFlt: true})
+		case OpCall:
+			if err := c.call(in.Sym, maxInstrs); err != nil {
+				return err
+			}
+		case OpRet, OpHalt:
+			return nil
+
+		case OpParBegin:
+			end := c.findParEnd(f, pc)
+			if end < 0 {
+				return fmt.Errorf("titan: unmatched par.begin in %s", f.Name)
+			}
+			if err := c.parallelRegion(f, pc+1, end, maxInstrs); err != nil {
+				return err
+			}
+			pc = end + 1
+			continue
+		case OpParEnd:
+			// Reached only inside parallelRegion via stop; at top level it
+			// is a stray marker.
+			return fmt.Errorf("titan: stray par.end in %s", f.Name)
+
+		default:
+			return fmt.Errorf("titan: unimplemented op %v", in.Op)
+		}
+		pc++
+	}
+	return nil
+}
+
+func (c *cpu) addr(in Instr, size int64) (int64, error) {
+	a := c.r[in.Rs1] + in.Imm
+	if a < 0 || a+size > int64(len(c.m.mem)) {
+		return 0, fmt.Errorf("titan: memory fault at address %d (size %d)", a, size)
+	}
+	return a, nil
+}
+
+func (c *cpu) vecLoad(in Instr) error {
+	base := c.r[in.Rs1]
+	stride := c.r[in.Rs2]
+	for k := int64(0); k < c.vl; k++ {
+		a := base + k*stride
+		switch in.Imm {
+		case ElemF32:
+			if a < 0 || a+4 > int64(len(c.m.mem)) {
+				return fmt.Errorf("titan: vector load fault at %d", a)
+			}
+			c.vrf[(int64(in.Rd)+k)%VRFWords] = float64(math.Float32frombits(binary.LittleEndian.Uint32(c.m.mem[a:])))
+		case ElemF64:
+			if a < 0 || a+8 > int64(len(c.m.mem)) {
+				return fmt.Errorf("titan: vector load fault at %d", a)
+			}
+			c.vrf[(int64(in.Rd)+k)%VRFWords] = math.Float64frombits(binary.LittleEndian.Uint64(c.m.mem[a:]))
+		case ElemI32:
+			if a < 0 || a+4 > int64(len(c.m.mem)) {
+				return fmt.Errorf("titan: vector load fault at %d", a)
+			}
+			c.vrf[(int64(in.Rd)+k)%VRFWords] = float64(int32(binary.LittleEndian.Uint32(c.m.mem[a:])))
+		default:
+			return fmt.Errorf("titan: bad vector element kind %d", in.Imm)
+		}
+	}
+	return nil
+}
+
+func (c *cpu) vecStore(in Instr) error {
+	base := c.r[in.Rs1]
+	stride := c.r[in.Rs2]
+	for k := int64(0); k < c.vl; k++ {
+		a := base + k*stride
+		v := c.vrf[(int64(in.Rd)+k)%VRFWords]
+		switch in.Imm {
+		case ElemF32:
+			if a < 0 || a+4 > int64(len(c.m.mem)) {
+				return fmt.Errorf("titan: vector store fault at %d", a)
+			}
+			binary.LittleEndian.PutUint32(c.m.mem[a:], math.Float32bits(float32(v)))
+		case ElemF64:
+			if a < 0 || a+8 > int64(len(c.m.mem)) {
+				return fmt.Errorf("titan: vector store fault at %d", a)
+			}
+			binary.LittleEndian.PutUint64(c.m.mem[a:], math.Float64bits(v))
+		case ElemI32:
+			if a < 0 || a+4 > int64(len(c.m.mem)) {
+				return fmt.Errorf("titan: vector store fault at %d", a)
+			}
+			binary.LittleEndian.PutUint32(c.m.mem[a:], uint32(int32(v)))
+		default:
+			return fmt.Errorf("titan: bad vector element kind %d", in.Imm)
+		}
+	}
+	return nil
+}
+
+func (c *cpu) vecBin(in Instr, f func(a, b float64) float64) {
+	for k := int64(0); k < c.vl; k++ {
+		c.vrf[(int64(in.Rd)+k)%VRFWords] = f(
+			c.vrf[(int64(in.Rs1)+k)%VRFWords],
+			c.vrf[(int64(in.Rs2)+k)%VRFWords])
+	}
+}
+
+func (c *cpu) vecScalar(in Instr, f func(a, s float64) float64) {
+	s := c.f[in.Rs2]
+	for k := int64(0); k < c.vl; k++ {
+		c.vrf[(int64(in.Rd)+k)%VRFWords] = f(c.vrf[(int64(in.Rs1)+k)%VRFWords], s)
+	}
+}
+
+// call implements register-windowed calls plus runtime intrinsics.
+func (c *cpu) call(name string, maxInstrs int64) error {
+	if c.intrinsic(name) {
+		c.args = nil
+		return nil
+	}
+	callee, ok := c.m.prog.Funcs[name]
+	if !ok {
+		return fmt.Errorf("titan: call to undefined function %q", name)
+	}
+	// Register window: snapshot, run, restore all but results.
+	savedR := c.r
+	savedF := c.f
+	savedArgs := c.args
+	c.args = nil
+	if err := c.exec(callee, 0, -1, maxInstrs); err != nil {
+		return err
+	}
+	retI := c.r[RegRetInt]
+	retF := c.f[RegRetFlt]
+	c.r = savedR
+	c.f = savedF
+	c.r[RegRetInt] = retI
+	c.f[RegRetFlt] = retF
+	_ = savedArgs
+	return nil
+}
+
+// parallelRegion runs [start, end) once per processor, charging the
+// maximum chunk time plus fork/join overhead.
+func (c *cpu) parallelRegion(f *Func, start, end int, maxInstrs int64) error {
+	const forkOverhead = 20 // cycles per processor spawn via shared memory
+	base := *c
+	var maxDelta int64
+	var flops, icount int64
+	var finalState *cpu
+	for pid := 0; pid < c.m.Processors; pid++ {
+		sub := base
+		sub.pid = int64(pid)
+		sub.vecReady = cloneReady(base.vecReady)
+		start0 := sub.cycles
+		if err := sub.exec(f, start, end, maxInstrs); err != nil {
+			return err
+		}
+		delta := sub.cycles - start0
+		if delta > maxDelta {
+			maxDelta = delta
+		}
+		flops += sub.flops - base.flops
+		icount += sub.icount - base.icount
+		if pid == 0 {
+			s := sub
+			finalState = &s
+		}
+	}
+	// Adopt processor 0's register state (scalar results inside parallel
+	// regions are chunk-local by construction), with pooled costs.
+	*c = *finalState
+	c.pid = 0
+	c.flops = base.flops + flops
+	c.icount = base.icount + icount
+	c.cycles = base.cycles + maxDelta + forkOverhead*int64(c.m.Processors-1)
+	c.clock = c.cycles
+	c.intUnit, c.fltUnit, c.memUnit = c.cycles, c.cycles, c.cycles
+	return nil
+}
+
+func cloneReady(m map[int]int64) map[int]int64 {
+	out := make(map[int]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *cpu) findParEnd(f *Func, pc int) int {
+	depth := 0
+	for i := pc + 1; i < len(f.Instrs); i++ {
+		switch f.Instrs[i].Op {
+		case OpParBegin:
+			depth++
+		case OpParEnd:
+			if depth == 0 {
+				return i
+			}
+			depth--
+		}
+	}
+	return -1
+}
+
+// intrinsic implements the tiny runtime: printf (with %d/%g/%f/%s/%c and
+// %%), putchar, puts, and exit-less abort stubs used by examples.
+func (c *cpu) intrinsic(name string) bool {
+	switch name {
+	case "printf":
+		c.doPrintf()
+		return true
+	case "putchar":
+		if len(c.args) > 0 {
+			c.m.out.WriteByte(byte(c.args[0].i))
+		}
+		c.r[RegRetInt] = 0
+		return true
+	case "puts":
+		if len(c.args) > 0 {
+			c.m.out.WriteString(c.cstring(c.args[0].i))
+			c.m.out.WriteByte('\n')
+		}
+		c.r[RegRetInt] = 0
+		return true
+	}
+	return false
+}
+
+func (c *cpu) cstring(addr int64) string {
+	var sb strings.Builder
+	for addr >= 0 && addr < int64(len(c.m.mem)) && c.m.mem[addr] != 0 {
+		sb.WriteByte(c.m.mem[addr])
+		addr++
+	}
+	return sb.String()
+}
+
+func (c *cpu) doPrintf() {
+	if len(c.args) == 0 {
+		return
+	}
+	format := c.cstring(c.args[0].i)
+	rest := c.args[1:]
+	next := func() argval {
+		if len(rest) == 0 {
+			return argval{}
+		}
+		v := rest[0]
+		rest = rest[1:]
+		return v
+	}
+	i := 0
+	for i < len(format) {
+		ch := format[i]
+		if ch != '%' || i+1 >= len(format) {
+			c.m.out.WriteByte(ch)
+			i++
+			continue
+		}
+		i++
+		// Skip width/precision modifiers.
+		spec := "%"
+		for i < len(format) && strings.ContainsRune("0123456789.-+l", rune(format[i])) {
+			spec += string(format[i])
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := format[i]
+		i++
+		switch verb {
+		case 'd', 'i':
+			fmt.Fprintf(&c.m.out, strings.ReplaceAll(spec, "l", "")+"d", next().i)
+		case 'u':
+			fmt.Fprintf(&c.m.out, strings.ReplaceAll(spec, "l", "")+"d", next().i)
+		case 'x':
+			fmt.Fprintf(&c.m.out, strings.ReplaceAll(spec, "l", "")+"x", next().i)
+		case 'c':
+			c.m.out.WriteByte(byte(next().i))
+		case 'f', 'e', 'g':
+			a := next()
+			v := a.f
+			if !a.isFlt {
+				v = float64(a.i)
+			}
+			fmt.Fprintf(&c.m.out, spec+string(verb), v)
+		case 's':
+			c.m.out.WriteString(c.cstring(next().i))
+		case '%':
+			c.m.out.WriteByte('%')
+		default:
+			c.m.out.WriteByte('%')
+			c.m.out.WriteByte(verb)
+		}
+	}
+	c.r[RegRetInt] = int64(len(format))
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

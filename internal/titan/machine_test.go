@@ -1,0 +1,420 @@
+package titan
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// mkProg wraps instructions into a one-function program.
+func mkProg(instrs []Instr, labels map[string]int) *Program {
+	if labels == nil {
+		labels = map[string]int{}
+	}
+	return &Program{
+		Funcs:    map[string]*Func{"main": {Name: "main", Instrs: instrs, Labels: labels}},
+		DataBase: 4096,
+		MemSize:  1 << 20,
+	}
+}
+
+func run(t *testing.T, prog *Program, procs int) Result {
+	t.Helper()
+	m := NewMachine(prog, procs)
+	res, err := m.Run("main")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestIntegerALU(t *testing.T) {
+	prog := mkProg([]Instr{
+		{Op: OpLdi, Rd: 10, Imm: 6},
+		{Op: OpLdi, Rd: 11, Imm: 7},
+		{Op: OpMul, Rd: RegRetInt, Rs1: 10, Rs2: 11},
+		{Op: OpRet},
+	}, nil)
+	res := run(t, prog, 1)
+	if res.ExitCode != 42 {
+		t.Errorf("exit: %d", res.ExitCode)
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	prog := mkProg([]Instr{
+		{Op: OpLdi, Rd: 10, Imm: 4096},
+		{Op: OpLdi, Rd: 11, Imm: -123},
+		{Op: OpSt4, Rs1: 10, Rs2: 11, Imm: 8},
+		{Op: OpLd4, Rd: RegRetInt, Rs1: 10, Imm: 8},
+		{Op: OpRet},
+	}, nil)
+	if res := run(t, prog, 1); res.ExitCode != -123 {
+		t.Errorf("exit: %d", res.ExitCode)
+	}
+}
+
+func TestByteAndHalfMemory(t *testing.T) {
+	prog := mkProg([]Instr{
+		{Op: OpLdi, Rd: 10, Imm: 4096},
+		{Op: OpLdi, Rd: 11, Imm: 0x1ff},
+		{Op: OpSt1, Rs1: 10, Rs2: 11},
+		{Op: OpLd1, Rd: 12, Rs1: 10},
+		{Op: OpLdi, Rd: 13, Imm: -2},
+		{Op: OpSt2, Rs1: 10, Rs2: 13, Imm: 4},
+		{Op: OpLd2, Rd: 14, Rs1: 10, Imm: 4},
+		{Op: OpAdd, Rd: RegRetInt, Rs1: 12, Rs2: 14},
+		{Op: OpRet},
+	}, nil)
+	// st1 truncates 0x1ff → 0xff → sext → -1; -1 + -2 = -3.
+	if res := run(t, prog, 1); res.ExitCode != -3 {
+		t.Errorf("exit: %d", res.ExitCode)
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	prog := mkProg([]Instr{
+		{Op: OpFldi, Rd: 10, FImm: 1.5},
+		{Op: OpFldi, Rd: 11, FImm: 2.5},
+		{Op: OpFmul, Rd: 12, Rs1: 10, Rs2: 11},
+		{Op: OpFldi, Rd: 13, FImm: 3.75},
+		{Op: OpFcmpEq, Rd: RegRetInt, Rs1: 12, Rs2: 13},
+		{Op: OpRet},
+	}, nil)
+	res := run(t, prog, 1)
+	if res.ExitCode != 1 {
+		t.Errorf("1.5*2.5 != 3.75?")
+	}
+	if res.FlopCount != 1 {
+		t.Errorf("flops: %d", res.FlopCount)
+	}
+}
+
+func TestFloat32MemoryPrecision(t *testing.T) {
+	prog := mkProg([]Instr{
+		{Op: OpLdi, Rd: 10, Imm: 4096},
+		{Op: OpFldi, Rd: 11, FImm: 0.1}, // not representable in f32
+		{Op: OpFst4, Rs1: 10, Rs2: 11},
+		{Op: OpFld4, Rd: 12, Rs1: 10},
+		{Op: OpFcmpEq, Rd: RegRetInt, Rs1: 11, Rs2: 12},
+		{Op: OpRet},
+	}, nil)
+	// After the f32 round trip the value differs from the f64 original.
+	if res := run(t, prog, 1); res.ExitCode != 0 {
+		t.Errorf("f32 store kept f64 precision")
+	}
+	prog2 := mkProg([]Instr{
+		{Op: OpLdi, Rd: 10, Imm: 4096},
+		{Op: OpFldi, Rd: 11, FImm: 0.1},
+		{Op: OpFst8, Rs1: 10, Rs2: 11},
+		{Op: OpFld8, Rd: 12, Rs1: 10},
+		{Op: OpFcmpEq, Rd: RegRetInt, Rs1: 11, Rs2: 12},
+		{Op: OpRet},
+	}, nil)
+	if res := run(t, prog2, 1); res.ExitCode != 1 {
+		t.Errorf("f64 store lost precision")
+	}
+}
+
+func TestBranchLoop(t *testing.T) {
+	// sum 1..10 = 55
+	prog := mkProg([]Instr{
+		{Op: OpLdi, Rd: 10, Imm: 10}, // i
+		{Op: OpLdi, Rd: 11, Imm: 0},  // s
+		// L: s += i; i--; bnez i, L
+		{Op: OpAdd, Rd: 11, Rs1: 11, Rs2: 10},
+		{Op: OpAddi, Rd: 10, Rs1: 10, Imm: -1},
+		{Op: OpBnez, Rs1: 10, Sym: "L"},
+		{Op: OpMov, Rd: RegRetInt, Rs1: 11},
+		{Op: OpRet},
+	}, map[string]int{"L": 2})
+	if res := run(t, prog, 1); res.ExitCode != 55 {
+		t.Errorf("exit: %d", res.ExitCode)
+	}
+}
+
+func TestCallRegisterWindow(t *testing.T) {
+	prog := &Program{
+		Funcs: map[string]*Func{
+			"main": {Name: "main", Instrs: []Instr{
+				{Op: OpLdi, Rd: 20, Imm: 111}, // caller-live value
+				{Op: OpLdi, Rd: RegArg0, Imm: 5},
+				{Op: OpCall, Sym: "double"},
+				// r20 must survive; result in r2.
+				{Op: OpAdd, Rd: RegRetInt, Rs1: RegRetInt, Rs2: 20},
+				{Op: OpRet},
+			}, Labels: map[string]int{}},
+			"double": {Name: "double", Instrs: []Instr{
+				{Op: OpLdi, Rd: 20, Imm: 999}, // clobber a window register
+				{Op: OpAdd, Rd: RegRetInt, Rs1: RegArg0, Rs2: RegArg0},
+				{Op: OpRet},
+			}, Labels: map[string]int{}},
+		},
+		MemSize: 1 << 20,
+	}
+	if res := run(t, prog, 1); res.ExitCode != 121 {
+		t.Errorf("exit: %d (window restore broken?)", res.ExitCode)
+	}
+}
+
+func TestVectorAddAndTiming(t *testing.T) {
+	n := int64(32)
+	instrs := []Instr{
+		{Op: OpLdi, Rd: 10, Imm: n},
+		{Op: OpVsetl, Rs1: 10},
+		{Op: OpLdi, Rd: 11, Imm: 4096}, // a
+		{Op: OpLdi, Rd: 12, Imm: 8192}, // b
+		{Op: OpLdi, Rd: 13, Imm: 4},    // stride
+		{Op: OpVld, Rd: 0, Rs1: 11, Rs2: 13, Imm: ElemF32},
+		{Op: OpVld, Rd: 64, Rs1: 12, Rs2: 13, Imm: ElemF32},
+		{Op: OpVadd, Rd: 128, Rs1: 0, Rs2: 64},
+		{Op: OpVst, Rd: 128, Rs1: 11, Rs2: 13, Imm: ElemF32},
+		{Op: OpRet},
+	}
+	prog := mkProg(instrs, nil)
+	m := NewMachine(prog, 1)
+	// Seed memory: a[i] = i, b[i] = 10.
+	for i := int64(0); i < n; i++ {
+		putF32(m.mem, 4096+4*i, float32(i))
+		putF32(m.mem, 8192+4*i, 10)
+	}
+	res, err := m.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < n; i++ {
+		if got := getF32(m.mem, 4096+4*i); got != float32(i)+10 {
+			t.Fatalf("a[%d] = %g", i, got)
+		}
+	}
+	if res.FlopCount != n {
+		t.Errorf("flops: %d, want %d", res.FlopCount, n)
+	}
+}
+
+func TestVectorFasterThanScalarLoop(t *testing.T) {
+	// The core §2 claim: vector instructions keep the pipeline full.
+	n := int64(128)
+	// Scalar: load, add, store per element.
+	var scalar []Instr
+	scalar = append(scalar,
+		Instr{Op: OpLdi, Rd: 10, Imm: 4096},
+		Instr{Op: OpLdi, Rd: 11, Imm: n},
+		Instr{Op: OpFldi, Rd: 10, FImm: 1.0},
+	)
+	scalar = append(scalar,
+		Instr{Op: OpFld4, Rd: 11, Rs1: 10},
+		Instr{Op: OpFadd, Rd: 12, Rs1: 11, Rs2: 10},
+		Instr{Op: OpFst4, Rs1: 10, Rs2: 12},
+		Instr{Op: OpAddi, Rd: 10, Rs1: 10, Imm: 4},
+		Instr{Op: OpAddi, Rd: 11, Rs1: 11, Imm: -1},
+		Instr{Op: OpBnez, Rs1: 11, Sym: "L"},
+		Instr{Op: OpRet},
+	)
+	labels := map[string]int{"L": 3}
+	sp := mkProg(scalar, labels)
+	// Fix register conflicts: rebuild carefully.
+	sp.Funcs["main"].Instrs = []Instr{
+		{Op: OpLdi, Rd: 10, Imm: 4096}, // addr
+		{Op: OpLdi, Rd: 11, Imm: n},    // count
+		{Op: OpFldi, Rd: 20, FImm: 1.0},
+		{Op: OpFld4, Rd: 21, Rs1: 10},
+		{Op: OpFadd, Rd: 22, Rs1: 21, Rs2: 20},
+		{Op: OpFst4, Rs1: 10, Rs2: 22},
+		{Op: OpAddi, Rd: 10, Rs1: 10, Imm: 4},
+		{Op: OpAddi, Rd: 11, Rs1: 11, Imm: -1},
+		{Op: OpBnez, Rs1: 11, Sym: "L"},
+		{Op: OpRet},
+	}
+	sp.Funcs["main"].Labels = map[string]int{"L": 3}
+	resScalar := run(t, sp, 1)
+
+	// Vector: 4 strips of 32.
+	var vec []Instr
+	vec = append(vec,
+		Instr{Op: OpLdi, Rd: 9, Imm: 32},
+		Instr{Op: OpVsetl, Rs1: 9},
+		Instr{Op: OpLdi, Rd: 13, Imm: 4},
+		Instr{Op: OpFldi, Rd: 20, FImm: 1.0},
+	)
+	for s := int64(0); s < n; s += 32 {
+		vec = append(vec,
+			Instr{Op: OpLdi, Rd: 10, Imm: 4096 + 4*s},
+			Instr{Op: OpVld, Rd: 0, Rs1: 10, Rs2: 13, Imm: ElemF32},
+			Instr{Op: OpVadds, Rd: 64, Rs1: 0, Rs2: 20},
+			Instr{Op: OpVst, Rd: 64, Rs1: 10, Rs2: 13, Imm: ElemF32},
+		)
+	}
+	vec = append(vec, Instr{Op: OpRet})
+	vp := mkProg(vec, nil)
+	resVec := run(t, vp, 1)
+
+	if resVec.Cycles >= resScalar.Cycles {
+		t.Errorf("vector (%d cycles) not faster than scalar (%d cycles)", resVec.Cycles, resScalar.Cycles)
+	}
+	speedup := float64(resScalar.Cycles) / float64(resVec.Cycles)
+	if speedup < 2 {
+		t.Errorf("vector speedup only %.2fx", speedup)
+	}
+}
+
+func TestIntFPOverlap(t *testing.T) {
+	// §6: independent integer and floating point instructions overlap.
+	// Dependent chain: each FADD feeds the next → serialized.
+	depChain := []Instr{
+		{Op: OpFldi, Rd: 10, FImm: 1},
+		{Op: OpFadd, Rd: 10, Rs1: 10, Rs2: 10},
+		{Op: OpFadd, Rd: 10, Rs1: 10, Rs2: 10},
+		{Op: OpFadd, Rd: 10, Rs1: 10, Rs2: 10},
+		{Op: OpFadd, Rd: 10, Rs1: 10, Rs2: 10},
+		{Op: OpRet},
+	}
+	dep := run(t, mkProg(depChain, nil), 1)
+
+	// Independent FP ops pipeline at one per cycle.
+	indep := []Instr{
+		{Op: OpFldi, Rd: 10, FImm: 1},
+		{Op: OpFadd, Rd: 11, Rs1: 10, Rs2: 10},
+		{Op: OpFadd, Rd: 12, Rs1: 10, Rs2: 10},
+		{Op: OpFadd, Rd: 13, Rs1: 10, Rs2: 10},
+		{Op: OpFadd, Rd: 14, Rs1: 10, Rs2: 10},
+		{Op: OpRet},
+	}
+	ind := run(t, mkProg(indep, nil), 1)
+	if ind.Cycles >= dep.Cycles {
+		t.Errorf("independent FP (%d) not faster than dependent chain (%d)", ind.Cycles, dep.Cycles)
+	}
+}
+
+func TestParallelRegionScaling(t *testing.T) {
+	// Store 0..255 into an array, cyclically distributed by PID; 2 procs
+	// should take roughly half the cycles of 1.
+	body := func() []Instr {
+		return []Instr{
+			// r10 = pid, r11 = nproc
+			{Op: OpParBegin},
+			{Op: OpPid, Rd: 10},
+			{Op: OpNproc, Rd: 11},
+			// i = pid
+			{Op: OpMov, Rd: 12, Rs1: 10},
+			// L: if i >= 256 goto E
+			{Op: OpLdi, Rd: 13, Imm: 256},
+			{Op: OpCmpGe, Rd: 14, Rs1: 12, Rs2: 13},
+			{Op: OpBnez, Rs1: 14, Sym: "E"},
+			// mem[4096 + 4*i] = i
+			{Op: OpMuli, Rd: 15, Rs1: 12, Imm: 4},
+			{Op: OpAddi, Rd: 15, Rs1: 15, Imm: 4096},
+			{Op: OpSt4, Rs1: 15, Rs2: 12},
+			// i += nproc
+			{Op: OpAdd, Rd: 12, Rs1: 12, Rs2: 11},
+			{Op: OpJmp, Sym: "L"},
+			{Op: OpParEnd}, // label E points here
+			{Op: OpRet},
+		}
+	}
+	labels := map[string]int{"L": 4, "E": 12}
+
+	p1 := mkProg(body(), labels)
+	r1 := run(t, p1, 1)
+	p2 := mkProg(body(), labels)
+	m2 := NewMachine(p2, 2)
+	r2, err := m2.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Functional: every slot written.
+	for i := int64(0); i < 256; i++ {
+		got := int64(int32(uint32(m2.mem[4096+4*i]) | uint32(m2.mem[4096+4*i+1])<<8 |
+			uint32(m2.mem[4096+4*i+2])<<16 | uint32(m2.mem[4096+4*i+3])<<24))
+		if got != i {
+			t.Fatalf("mem[%d] = %d", i, got)
+		}
+	}
+	sp := float64(r1.Cycles) / float64(r2.Cycles)
+	if sp < 1.5 || sp > 2.5 {
+		t.Errorf("2-processor speedup %.2f (p1=%d p2=%d)", sp, r1.Cycles, r2.Cycles)
+	}
+}
+
+func TestPrintfIntrinsic(t *testing.T) {
+	// Build "n=%d x=%g s=%s\n" in memory at 4096, "hi" at 4200.
+	prog := mkProg([]Instr{
+		{Op: OpLdi, Rd: 10, Imm: 4096},
+		{Op: OpArg, Rs1: 10},
+		{Op: OpLdi, Rd: 11, Imm: 42},
+		{Op: OpArg, Rs1: 11},
+		{Op: OpFldi, Rd: 12, FImm: 2.5},
+		{Op: OpFarg, Rs1: 12},
+		{Op: OpLdi, Rd: 13, Imm: 4200},
+		{Op: OpArg, Rs1: 13},
+		{Op: OpCall, Sym: "printf"},
+		{Op: OpRet},
+	}, nil)
+	m := NewMachine(prog, 1)
+	copy(m.mem[4096:], "n=%d x=%g s=%s!\x00")
+	copy(m.mem[4200:], "hi\x00")
+	res, err := m.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "n=42 x=2.5 s=hi!" {
+		t.Errorf("output %q", res.Output)
+	}
+}
+
+func TestMemoryFault(t *testing.T) {
+	prog := mkProg([]Instr{
+		{Op: OpLdi, Rd: 10, Imm: -4},
+		{Op: OpLd4, Rd: 11, Rs1: 10},
+		{Op: OpRet},
+	}, nil)
+	m := NewMachine(prog, 1)
+	if _, err := m.Run("main"); err == nil || !strings.Contains(err.Error(), "fault") {
+		t.Errorf("expected memory fault, got %v", err)
+	}
+}
+
+func TestInfiniteLoopGuard(t *testing.T) {
+	prog := mkProg([]Instr{
+		{Op: OpJmp, Sym: "L"},
+	}, map[string]int{"L": 0})
+	m := NewMachine(prog, 1)
+	m.MaxInstrs = 10000
+	if _, err := m.Run("main"); err == nil {
+		t.Error("expected budget error")
+	}
+}
+
+func TestDivideByZeroTrap(t *testing.T) {
+	prog := mkProg([]Instr{
+		{Op: OpLdi, Rd: 10, Imm: 1},
+		{Op: OpLdi, Rd: 11, Imm: 0},
+		{Op: OpDiv, Rd: 12, Rs1: 10, Rs2: 11},
+		{Op: OpRet},
+	}, nil)
+	m := NewMachine(prog, 1)
+	if _, err := m.Run("main"); err == nil {
+		t.Error("expected division trap")
+	}
+}
+
+func TestMFLOPSComputation(t *testing.T) {
+	r := Result{Cycles: 16_000_000, FlopCount: 8_000_000}
+	// 16M cycles at 16 MHz = 1 second; 8M flops → 8 MFLOPS.
+	if got := r.MFLOPS(); math.Abs(got-8) > 1e-9 {
+		t.Errorf("MFLOPS = %g", got)
+	}
+}
+
+func putF32(mem []byte, addr int64, v float32) {
+	bits := math.Float32bits(v)
+	mem[addr] = byte(bits)
+	mem[addr+1] = byte(bits >> 8)
+	mem[addr+2] = byte(bits >> 16)
+	mem[addr+3] = byte(bits >> 24)
+}
+
+func getF32(mem []byte, addr int64) float32 {
+	bits := uint32(mem[addr]) | uint32(mem[addr+1])<<8 | uint32(mem[addr+2])<<16 | uint32(mem[addr+3])<<24
+	return math.Float32frombits(bits)
+}

@@ -1,0 +1,74 @@
+package token
+
+import "testing"
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		EOF: "EOF", Ident: "identifier", KwWhile: "while",
+		PlusAssign: "+=", Ellipsis: "...", Arrow: "->", Pragma: "#pragma",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(9999).String(); got != "Kind(9999)" {
+		t.Errorf("unknown kind: %q", got)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: Ident, Text: "foo"}
+	if tok.String() != `identifier "foo"` {
+		t.Errorf("got %q", tok.String())
+	}
+	op := Token{Kind: Plus}
+	if op.String() != "+" {
+		t.Errorf("got %q", op.String())
+	}
+}
+
+func TestPosString(t *testing.T) {
+	p := Pos{Line: 3, Col: 14}
+	if p.String() != "3:14" {
+		t.Errorf("got %q", p.String())
+	}
+}
+
+func TestIsAssignOp(t *testing.T) {
+	for _, k := range []Kind{Assign, PlusAssign, ShrAssign, CaretAssign} {
+		if !k.IsAssignOp() {
+			t.Errorf("%v should be assign op", k)
+		}
+	}
+	for _, k := range []Kind{Plus, Eq, Ident} {
+		if k.IsAssignOp() {
+			t.Errorf("%v should not be assign op", k)
+		}
+	}
+}
+
+func TestIsTypeStart(t *testing.T) {
+	for _, k := range []Kind{KwInt, KwVolatile, KwStruct, KwTypedef, KwUnsigned} {
+		if !k.IsTypeStart() {
+			t.Errorf("%v should start a type", k)
+		}
+	}
+	for _, k := range []Kind{Ident, KwWhile, LParen} {
+		if k.IsTypeStart() {
+			t.Errorf("%v should not start a type", k)
+		}
+	}
+}
+
+func TestKeywordTableComplete(t *testing.T) {
+	// Every keyword spelling round-trips through its Kind name.
+	for spell, kind := range Keywords {
+		if kind.String() != spell {
+			t.Errorf("keyword %q has kind name %q", spell, kind.String())
+		}
+	}
+	if len(Keywords) != 32 {
+		t.Errorf("keyword count %d", len(Keywords))
+	}
+}

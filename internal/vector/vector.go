@@ -1,0 +1,491 @@
+// Package vector implements the vectorizer: Allen–Kennedy codegen over the
+// dependence graph. Each innermost DO loop's top-level statements are
+// grouped into strongly connected components of the dependence graph;
+// acyclic components whose statement is a regular store become vector
+// statements (loop distribution), cyclic components stay as serial loops.
+// Vector statements longer than the Titan's vector length are strip mined
+// (§9); strips with no carried dependences become do-parallel loops so the
+// iterations can spread across processors (§2).
+package vector
+
+import (
+	"repro/internal/ctype"
+	"repro/internal/depend"
+	"repro/internal/il"
+)
+
+// DefaultVL is the strip length. The Titan's vector register file holds
+// 8192 words; the compiler uses 32-element strips so four strips of eight
+// vector temporaries fit comfortably (and matching the paper's §9 output).
+const DefaultVL = 32
+
+// Config controls vectorization.
+type Config struct {
+	// VL is the strip length (DefaultVL when zero).
+	VL int
+	// Parallel enables emitting do-parallel strip loops when legal.
+	Parallel bool
+	// Depend carries aliasing assumptions.
+	Depend depend.Options
+}
+
+func (c Config) vl() int64 {
+	if c.VL <= 0 {
+		return DefaultVL
+	}
+	return int64(c.VL)
+}
+
+// Stats reports what the vectorizer did to a procedure.
+type Stats struct {
+	LoopsExamined   int
+	LoopsVectorized int // at least one statement went vector
+	VectorStmts     int
+	ParallelLoops   int
+	SerialResidue   int // statements left in serial loops after distribution
+}
+
+// VectorizeProc vectorizes every innermost DO loop in the procedure.
+func VectorizeProc(p *il.Proc, cfg Config) Stats {
+	var st Stats
+	p.Body = vectorizeList(p, p.Body, cfg, &st)
+	return st
+}
+
+func vectorizeList(p *il.Proc, list []il.Stmt, cfg Config, st *Stats) []il.Stmt {
+	out := make([]il.Stmt, 0, len(list))
+	for _, s := range list {
+		switch n := s.(type) {
+		case *il.If:
+			n.Then = vectorizeList(p, n.Then, cfg, st)
+			n.Else = vectorizeList(p, n.Else, cfg, st)
+		case *il.While:
+			n.Body = vectorizeList(p, n.Body, cfg, st)
+		case *il.DoLoop:
+			n.Body = vectorizeList(p, n.Body, cfg, st)
+			if isInnermost(n.Body) {
+				st.LoopsExamined++
+				if repl, ok := vectorizeLoop(p, n, cfg, st); ok {
+					st.LoopsVectorized++
+					out = append(out, repl...)
+					continue
+				}
+			}
+		case *il.DoParallel:
+			n.Body = vectorizeList(p, n.Body, cfg, st)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// isInnermost reports whether the body contains no loops.
+func isInnermost(body []il.Stmt) bool {
+	inner := false
+	il.WalkStmts(body, func(s il.Stmt) bool {
+		switch s.(type) {
+		case *il.DoLoop, *il.While, *il.DoParallel:
+			inner = true
+		}
+		return !inner
+	})
+	return !inner
+}
+
+// vectorizeLoop attempts Allen–Kennedy codegen on one innermost loop,
+// returning the replacement statement sequence.
+func vectorizeLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) ([]il.Stmt, bool) {
+	if !normalize(p, loop) {
+		return nil, false
+	}
+	ld := depend.AnalyzeLoop(p, loop, cfg.Depend)
+	n := len(loop.Body)
+	if n == 0 {
+		return nil, false
+	}
+
+	// Condense the dependence graph into SCCs.
+	adj := make([][]int, n)
+	for _, d := range ld.Deps {
+		adj[d.From] = append(adj[d.From], d.To)
+	}
+	sccs := tarjan(n, adj)
+
+	// Decide vectorizability per SCC.
+	type piece struct {
+		stmts  []int
+		vector bool
+	}
+	var pieces []piece
+	anyVector := false
+	for _, scc := range sccs {
+		vec := false
+		if len(scc) == 1 {
+			i := scc[0]
+			selfCycle := false
+			for _, d := range ld.Deps {
+				if d.From == i && d.To == i && d.Carried {
+					selfCycle = true
+				}
+			}
+			if !selfCycle && !ld.Barrier[i] && vectorizableStmt(p, loop, loop.Body[i]) {
+				vec = true
+			}
+		}
+		pieces = append(pieces, piece{scc, vec})
+		if vec {
+			anyVector = true
+		}
+	}
+	if !anyVector {
+		return nil, false
+	}
+
+	// Distribution is only legal when no scalar flow crosses component
+	// boundaries (scalar expansion is not implemented).
+	sccOf := make([]int, n)
+	for pi, pc := range pieces {
+		for _, i := range pc.stmts {
+			sccOf[i] = pi
+		}
+	}
+	if len(pieces) > 1 {
+		for _, d := range ld.Deps {
+			if d.Scalar && sccOf[d.From] != sccOf[d.To] {
+				return nil, false
+			}
+		}
+	}
+
+	// No carried dependence anywhere ⇒ strips are independent ⇒ parallel.
+	carried := false
+	for _, d := range ld.Deps {
+		if d.Carried {
+			carried = true
+		}
+	}
+	parallelOK := cfg.Parallel && !carried
+
+	var out []il.Stmt
+	for _, pc := range pieces {
+		if pc.vector {
+			for _, i := range pc.stmts {
+				stmts := emitVector(p, loop, loop.Body[i].(*il.Assign), cfg, parallelOK, st)
+				out = append(out, stmts...)
+				st.VectorStmts++
+			}
+			continue
+		}
+		// Serial residue: a copy of the loop holding just this component.
+		var body []il.Stmt
+		for _, i := range pc.stmts {
+			body = append(body, loop.Body[i])
+			st.SerialResidue++
+		}
+		out = append(out, &il.DoLoop{IV: loop.IV, Init: il.CloneExpr(loop.Init),
+			Limit: il.CloneExpr(loop.Limit), Step: il.CloneExpr(loop.Step),
+			Body: body, Safe: loop.Safe})
+	}
+	return out, true
+}
+
+// normalize rewrites the loop to Init 0, Step 1, replacing body uses of
+// the IV by Init + Step·IV. Returns false when the step is not a known
+// constant.
+func normalize(p *il.Proc, loop *il.DoLoop) bool {
+	stepC, ok := il.IsIntConst(loop.Step)
+	if !ok || stepC == 0 {
+		return false
+	}
+	initC, initConst := il.IsIntConst(loop.Init)
+	if initConst && initC == 0 && stepC == 1 {
+		return true
+	}
+	// trips-1 = (Limit-Init)/Step  (exact for DO semantics).
+	t := p.Vars[loop.IV].Type
+	diff := il.Sub(il.CloneExpr(loop.Limit), il.CloneExpr(loop.Init), t)
+	limit := il.NewBin(il.OpDiv, diff, il.CloneExpr(loop.Step), t)
+	oldIV := loop.IV
+	init := loop.Init
+	step := loop.Step
+	newIV := p.AddVar(il.Var{Name: p.Vars[oldIV].Name + ".n", Type: ctype.IntType, Class: il.ClassTemp})
+	for _, s := range loop.Body {
+		il.RewriteTreeExprs(s, func(e il.Expr) il.Expr {
+			if v, ok := e.(*il.VarRef); ok && v.ID == oldIV {
+				return il.Add(il.CloneExpr(init),
+					il.Mul(il.CloneExpr(step), il.Ref(newIV, ctype.IntType), ctype.IntType), t)
+			}
+			return e
+		})
+	}
+	loop.IV = newIV
+	loop.Init = il.Int(0)
+	loop.Limit = limit
+	loop.Step = il.Int(1)
+	return true
+}
+
+// vectorizableStmt reports whether s is a store whose destination and
+// every load are affine in the loop IV with non-zero destination stride,
+// and whose value expression uses the IV only inside load addresses.
+func vectorizableStmt(p *il.Proc, loop *il.DoLoop, s il.Stmt) bool {
+	as, ok := s.(*il.Assign)
+	if !ok {
+		return false
+	}
+	dst, ok := as.Dst.(*il.Load)
+	if !ok || dst.Volatile {
+		return false
+	}
+	if _, _, ok := splitAffine(p, loop, dst.Addr); !ok {
+		return false
+	}
+	if c, _, _ := mustSplit(p, loop, dst.Addr); c == 0 {
+		return false
+	}
+	// Loads must be affine; the residual expression must not use the IV.
+	ok = true
+	resid := il.RewriteExpr(as.Src, func(e il.Expr) il.Expr {
+		if ld, isLoad := e.(*il.Load); isLoad {
+			if ld.Volatile {
+				ok = false
+			}
+			if _, _, affine := splitAffine(p, loop, ld.Addr); !affine {
+				ok = false
+			}
+			// Stand-in constant so the UsesVar check below only sees
+			// residual (non-address) uses of the IV.
+			return il.Int(0)
+		}
+		return e
+	})
+	if !ok {
+		return false
+	}
+	if il.UsesVar(resid, loop.IV) {
+		return false
+	}
+	return true
+}
+
+// splitAffine decomposes addr into (coef, base) with base IV-free.
+func splitAffine(p *il.Proc, loop *il.DoLoop, addr il.Expr) (int64, il.Expr, bool) {
+	c, b, ok := affine(p, loop.IV, addr)
+	return c, b, ok
+}
+
+func mustSplit(p *il.Proc, loop *il.DoLoop, addr il.Expr) (int64, il.Expr, bool) {
+	return splitAffine(p, loop, addr)
+}
+
+// affine returns (coef, rest) such that e = rest + coef·iv.
+func affine(p *il.Proc, iv il.VarID, e il.Expr) (int64, il.Expr, bool) {
+	switch n := e.(type) {
+	case *il.ConstInt:
+		return 0, e, true
+	case *il.ConstFloat:
+		return 0, e, true
+	case *il.VarRef:
+		if n.ID == iv {
+			return 1, il.Int(0), true
+		}
+		return 0, e, true
+	case *il.AddrOf:
+		return 0, e, true
+	case *il.Cast:
+		c, r, ok := affine(p, iv, n.X)
+		if !ok {
+			return 0, nil, false
+		}
+		if c == 0 {
+			return 0, e, true
+		}
+		return c, r, true
+	case *il.Bin:
+		switch n.Op {
+		case il.OpAdd:
+			cl, rl, okl := affine(p, iv, n.L)
+			cr, rr, okr := affine(p, iv, n.R)
+			if !okl || !okr {
+				return 0, nil, false
+			}
+			return cl + cr, il.Add(rl, rr, e.Type()), true
+		case il.OpSub:
+			cl, rl, okl := affine(p, iv, n.L)
+			cr, rr, okr := affine(p, iv, n.R)
+			if !okl || !okr {
+				return 0, nil, false
+			}
+			return cl - cr, il.Sub(rl, rr, e.Type()), true
+		case il.OpMul:
+			if c, ok := il.IsIntConst(n.L); ok {
+				ci, ri, oki := affine(p, iv, n.R)
+				if !oki {
+					return 0, nil, false
+				}
+				return c * ci, il.Mul(il.Int(c), ri, e.Type()), true
+			}
+			if c, ok := il.IsIntConst(n.R); ok {
+				ci, ri, oki := affine(p, iv, n.L)
+				if !oki {
+					return 0, nil, false
+				}
+				return c * ci, il.Mul(ri, il.Int(c), e.Type()), true
+			}
+		}
+	case *il.Un:
+		if n.Op == il.OpNeg {
+			c, r, ok := affine(p, iv, n.X)
+			if !ok {
+				return 0, nil, false
+			}
+			return -c, il.NewUn(il.OpNeg, r, e.Type()), true
+		}
+	}
+	if !il.UsesVar(e, iv) {
+		return 0, e, true
+	}
+	return 0, nil, false
+}
+
+// emitVector produces the strip-mined vector code for one store statement
+// of a normalized loop (IV 0..Limit step 1).
+func emitVector(p *il.Proc, loop *il.DoLoop, as *il.Assign, cfg Config, parallelOK bool, st *Stats) []il.Stmt {
+	vl := cfg.vl()
+	dst := as.Dst.(*il.Load)
+	dstCoef, dstBase, _ := affine(p, loop.IV, dst.Addr)
+
+	// Total length = Limit + 1 (normalized).
+	total := il.Add(il.CloneExpr(loop.Limit), il.Int(1), ctype.IntType)
+
+	// RHS with loads replaced by vector section references of the strip
+	// origin; the strip IV is added to bases below.
+	makeRHS := func(originIV il.Expr) il.Expr {
+		return il.RewriteExpr(as.Src, func(e il.Expr) il.Expr {
+			ld, ok := e.(*il.Load)
+			if !ok {
+				return e
+			}
+			coef, base, _ := affine(p, loop.IV, ld.Addr)
+			if coef == 0 {
+				return e // invariant scalar load, broadcast
+			}
+			b := il.Add(base, il.Mul(il.Int(coef), il.CloneExpr(originIV), ctype.IntType), ld.Addr.Type())
+			return &il.VecRef{Base: b, Stride: il.Int(coef), T: ld.T}
+		})
+	}
+
+	// Small constant trip counts skip the strip loop entirely (§5.2: 4×4
+	// graphics transforms must not pay strip overhead).
+	if tc, ok := il.IsIntConst(total); ok && tc <= vl && tc > 0 {
+		va := &il.VectorAssign{
+			DstBase:   il.Add(dstBase, il.Mul(il.Int(dstCoef), il.Int(0), ctype.IntType), dst.Addr.Type()),
+			DstStride: il.Int(dstCoef),
+			Len:       il.Int(tc),
+			Elem:      dst.T,
+			RHS:       makeRHS(il.Int(0)),
+		}
+		return []il.Stmt{va}
+	}
+
+	// Strip loop:
+	//   do vi = 0, total-1, VL {
+	//       vlen = total - vi; if (VL < vlen) vlen = VL
+	//       [dstBase + c·vi : c](0:vlen) = RHS
+	//   }
+	vi := p.AddVar(il.Var{Name: "vi", Type: ctype.IntType, Class: il.ClassTemp})
+	vlen := p.AddVar(il.Var{Name: "vlen", Type: ctype.IntType, Class: il.ClassTemp})
+	viRef := il.Ref(vi, ctype.IntType)
+	vlenRef := il.Ref(vlen, ctype.IntType)
+
+	body := []il.Stmt{
+		&il.Assign{Dst: vlenRef, Src: il.Sub(total, il.CloneExpr(viRef), ctype.IntType)},
+		&il.If{
+			Cond: il.NewBin(il.OpLt, il.Int(vl), il.CloneExpr(vlenRef), ctype.IntType),
+			Then: []il.Stmt{&il.Assign{Dst: il.CloneExpr(vlenRef).(*il.VarRef), Src: il.Int(vl)}},
+		},
+		&il.VectorAssign{
+			DstBase:   il.Add(dstBase, il.Mul(il.Int(dstCoef), il.CloneExpr(viRef), ctype.IntType), dst.Addr.Type()),
+			DstStride: il.Int(dstCoef),
+			Len:       il.CloneExpr(vlenRef),
+			Elem:      dst.T,
+			RHS:       makeRHS(viRef),
+		},
+	}
+	limit := il.CloneExpr(loop.Limit)
+	if parallelOK {
+		st.ParallelLoops++
+		return []il.Stmt{&il.DoParallel{IV: vi, Init: il.Int(0), Limit: limit, Step: il.Int(vl), Body: body}}
+	}
+	return []il.Stmt{&il.DoLoop{IV: vi, Init: il.Int(0), Limit: limit, Step: il.Int(vl), Body: body}}
+}
+
+// tarjan computes strongly connected components in reverse topological
+// order; the caller receives them in topological order.
+func tarjan(n int, adj [][]int) [][]int {
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var sccs [][]int
+	counter := 0
+
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] == -1 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] {
+				if index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+		}
+		if low[v] == index[v] {
+			var scc []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == -1 {
+			strongconnect(v)
+		}
+	}
+	// Tarjan emits reverse topological order; flip it, then order the
+	// statements inside each component by source position.
+	for i, j := 0, len(sccs)-1; i < j; i, j = i+1, j-1 {
+		sccs[i], sccs[j] = sccs[j], sccs[i]
+	}
+	for _, scc := range sccs {
+		sortInts(scc)
+	}
+	return sccs
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
