@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -15,6 +16,18 @@ import (
 )
 
 func main() {
+	timePasses := flag.Bool("time-passes", false, "also print the full pipeline's per-pass report for the §9 daxpy program")
+	flag.Parse()
+
+	if *timePasses {
+		res, err := driver.Compile(bench.Daxpy(4096).Src, driver.FullOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Report.String())
+		fmt.Println()
+	}
+
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	defer w.Flush()
 	fmt.Fprintln(w, "id\texperiment\tpaper\tmeasured")
@@ -56,7 +69,7 @@ func main() {
 			scalar := must(bench.Run(c.wl, bench.Config{Name: "scalar", Opts: driver.Options{OptLevel: 1}, Processors: 1}))
 			vec := must(bench.Run(c.wl, bench.Config{Name: "vec", Opts: driver.FullOptions(), Processors: 1}))
 			fmt.Fprintf(w, "%s\t%s §5.3\tvectorizes\t%d vector stmts, %.1fx\n",
-				c.id, c.wl.Name, res.VectorStats.VectorStmts, bench.Speedup(scalar, vec))
+				c.id, c.wl.Name, res.Report.Vector.VectorStmts, bench.Speedup(scalar, vec))
 		}
 	}
 	// E5: §8 dead inline.
@@ -103,7 +116,7 @@ int main(void) { daxpy1(&cell, 1.0f, 0.0f, 2.0f); return 0; }
 		scalar := must(bench.Run(wl, bench.Config{Name: "scalar", Opts: driver.Options{OptLevel: 1}, Processors: 1}))
 		full := must(bench.Run(wl, bench.Config{Name: "full", Opts: driver.FullOptions(), Processors: 1}))
 		fmt.Fprintf(w, "E10\tarrays in structs §10\tvectorizes\t%d vector stmts, %.2fx\n",
-			res.VectorStats.VectorStmts, bench.Speedup(scalar, full))
+			res.Report.Vector.VectorStmts, bench.Speedup(scalar, full))
 	}
 	// A1: ivsub deoptimization.
 	{

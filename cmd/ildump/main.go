@@ -1,62 +1,85 @@
-// Command ildump shows a C file's intermediate form at successive pipeline
+// Command ildump shows a C file's intermediate form between pipeline
 // phases — the teaching/debugging view of how the paper's transformations
-// rewrite a program (lowering, while→DO conversion, induction-variable
-// substitution, vectorization).
+// rewrite a program (lowering, inlining, while→DO conversion,
+// induction-variable substitution, vectorization, strength reduction).
+//
+// It compiles the file once under the full pipeline and prints the IL the
+// pass manager's snapshot hook reports at every pass boundary, so the
+// phase names and ordering here are exactly the manager's — the tool
+// cannot drift from the real pipeline.
 //
 // Usage:
 //
-//	ildump [-phase N] file.c
+//	ildump [-after pass] [-phase N] file.c
 //
-// Phases:
-//
-//	0  raw lowering ((SL,E) pairs made explicit, for→while)
-//	1  after inline expansion
-//	2  after scalar optimization (while→DO, constants, IV substitution)
-//	3  after vectorization and parallelization
-//	4  after strength reduction (final IL)
+// With -after, only the snapshot following the named pass is shown
+// (e.g. -after lower, -after scalarize, -after vectorize). With -phase N,
+// only the N'th snapshot (0 = lowered IL) is shown.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/driver"
+	"repro/internal/il"
+	"repro/internal/pass"
 )
 
 func main() {
-	phase := flag.Int("phase", -1, "show only this phase (0-4)")
+	after := flag.String("after", "", "show only the snapshot after this pass")
+	phase := flag.Int("phase", -1, "show only the N'th snapshot (0 = lowered IL)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ildump [-phase N] file.c")
+		fmt.Fprintln(os.Stderr, "usage: ildump [-after pass] [-phase N] file.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
+	if err := dump(os.Stdout, string(src), *after, *phase); err != nil {
+		fatal(err)
+	}
+}
 
-	type ph struct {
+// dump compiles src once and writes the requested pass-boundary
+// snapshots. An empty after and negative phase mean "all".
+func dump(w io.Writer, src, after string, phase int) error {
+	type snapshot struct {
 		name string
-		opts driver.Options
+		text string
 	}
-	phases := []ph{
-		{"phase 0: lowered IL", driver.Options{OptLevel: 0}},
-		{"phase 1: after inlining", driver.Options{OptLevel: 0, Inline: true}},
-		{"phase 2: after scalar optimization", driver.Options{OptLevel: 1, Inline: true, ForceIVSub: true}},
-		{"phase 3: after vectorization", driver.Options{OptLevel: 1, Inline: true, Vectorize: true, Parallelize: true}},
-		{"phase 4: final IL", driver.FullOptions()},
+	var snaps []snapshot
+	ctx := pass.NewContext()
+	ctx.Snapshot = func(name string, prog *il.Program) {
+		snaps = append(snaps, snapshot{name, prog.String()})
 	}
-	for i, p := range phases {
-		if *phase >= 0 && *phase != i {
+	opts := driver.FullOptions()
+	if _, err := driver.CompileILWith(src, opts, ctx); err != nil {
+		return err
+	}
+	shown := 0
+	for i, s := range snaps {
+		if after != "" && s.name != after {
 			continue
 		}
-		res, err := driver.CompileIL(string(src), p.opts)
-		if err != nil {
-			fatal(err)
+		if phase >= 0 && phase != i {
+			continue
 		}
-		fmt.Printf("==== %s ====\n%s\n", p.name, driver.DumpIL(res))
+		header := "after " + s.name
+		if s.name == pass.SnapshotInput {
+			header = "lowered IL"
+		}
+		fmt.Fprintf(w, "==== phase %d: %s ====\n%s\n", i, header, s.text)
+		shown++
 	}
+	if shown == 0 {
+		return fmt.Errorf("no snapshot matched (passes: lower %v)", pass.NewManager(opts).Passes())
+	}
+	return nil
 }
 
 func fatal(err error) {

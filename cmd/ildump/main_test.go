@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The §9 daxpy program — the same source the driver's golden IL test pins
+// (testdata/daxpy_main_full.il over there is its final IL).
+const daxpySrc = `
+void daxpy(float *x, float *y, float *z, float alpha, int n)
+{
+	if (n <= 0)
+		return;
+	if (alpha == 0)
+		return;
+	for (; n; n--)
+		*x++ = *y++ + alpha * *z++;
+}
+
+int main(void)
+{
+	float a[100], b[100], c[100];
+	daxpy(a, b, c, 1.0, 100);
+	return 0;
+}
+`
+
+// TestPhaseOrder pins the snapshot-hook phase names and their ordering for
+// the full pipeline. If the §5.2/§6 pass order regresses (while→DO before
+// use-def, strength reduction before vectorization, ...) this fails
+// loudly.
+func TestPhaseOrder(t *testing.T) {
+	var sb strings.Builder
+	if err := dump(&sb, daxpySrc, "", -1); err != nil {
+		t.Fatal(err)
+	}
+	headers := regexp.MustCompile(`==== phase \d+: [^=]+ ====`).FindAllString(sb.String(), -1)
+	want := []string{
+		"==== phase 0: lowered IL ====",
+		"==== phase 1: after inline ====",
+		"==== phase 2: after scalarize ====",
+		"==== phase 3: after nest-parallelize ====",
+		"==== phase 4: after vectorize ====",
+		"==== phase 5: after parallelize ====",
+		"==== phase 6: after strength ====",
+		"==== phase 7: after cleanup ====",
+	}
+	if len(headers) != len(want) {
+		t.Fatalf("got %d phases %v, want %d", len(headers), headers, len(want))
+	}
+	for i, h := range headers {
+		if strings.TrimSpace(h) != want[i] {
+			t.Errorf("phase %d: got %q, want %q", i, h, want[i])
+		}
+	}
+}
+
+// TestGoldenDump pins the full between-phase IL dump. Regenerate after an
+// intentional pipeline change with:
+//
+//	UPDATE_GOLDEN=1 go test ./cmd/ildump
+func TestGoldenDump(t *testing.T) {
+	var sb strings.Builder
+	if err := dump(&sb, daxpySrc, "", -1); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "daxpy_phases.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with UPDATE_GOLDEN=1): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("golden mismatch for %s.\n--- want\n%s\n--- got\n%s", path, want, got)
+	}
+}
+
+// TestDumpFilters checks the -after and -phase selectors.
+func TestDumpFilters(t *testing.T) {
+	var sb strings.Builder
+	if err := dump(&sb, daxpySrc, "vectorize", -1); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "==== phase"); n != 1 {
+		t.Errorf("-after vectorize: got %d headers, want 1", n)
+	}
+	if !strings.Contains(sb.String(), "after vectorize") {
+		t.Errorf("-after vectorize: wrong header in %q", sb.String())
+	}
+	sb.Reset()
+	if err := dump(&sb, daxpySrc, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "phase 0: lowered IL") {
+		t.Errorf("-phase 0: missing lowered IL header in %q", sb.String())
+	}
+	if err := dump(&strings.Builder{}, daxpySrc, "no-such-pass", -1); err == nil {
+		t.Error("unknown pass name should error")
+	}
+}

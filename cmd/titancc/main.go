@@ -18,6 +18,13 @@
 //	-il              print optimized IL
 //	-run             simulate after compiling
 //	-p N             processors for -run (1–4)
+//	-entry name      entry function for -run (default main)
+//
+// Pipeline instrumentation (the pass manager's report and snapshot hook):
+//
+//	-time-passes     print per-pass wall time and IL statement deltas
+//	-dump-after=p    print the IL snapshot after pass p (e.g. scalarize,
+//	                 vectorize, strength; "lower" is the pre-pass IL)
 package main
 
 import (
@@ -26,7 +33,9 @@ import (
 	"os"
 
 	"repro/internal/driver"
+	"repro/internal/il"
 	"repro/internal/inline"
+	"repro/internal/pass"
 	"repro/internal/titan"
 )
 
@@ -37,19 +46,22 @@ func (c *catalogList) Set(s string) error { *c = append(*c, s); return nil }
 
 func main() {
 	var (
-		o0       = flag.Bool("O0", false, "disable optimization")
-		doInline = flag.Bool("inline", false, "enable inline expansion")
-		doVector = flag.Bool("vector", false, "enable vectorization")
-		doPar    = flag.Bool("parallel", false, "enable parallelization")
-		noAlias  = flag.Bool("noalias", false, "pointer params follow Fortran aliasing rules")
-		listPar  = flag.Bool("list-parallel", false, "parallelize linked-list loops (asserts §10's independent-storage assumption)")
-		vl       = flag.Int("vl", 0, "vector strip length")
-		emitCat  = flag.String("emit-catalog", "", "write a procedure catalog instead of compiling")
-		asm      = flag.Bool("S", false, "print Titan assembly")
-		dumpIL   = flag.Bool("il", false, "print optimized IL")
-		runIt    = flag.Bool("run", false, "simulate after compiling")
-		procs    = flag.Int("p", 1, "processors for -run")
-		catalogs catalogList
+		o0         = flag.Bool("O0", false, "disable optimization")
+		doInline   = flag.Bool("inline", false, "enable inline expansion")
+		doVector   = flag.Bool("vector", false, "enable vectorization")
+		doPar      = flag.Bool("parallel", false, "enable parallelization")
+		noAlias    = flag.Bool("noalias", false, "pointer params follow Fortran aliasing rules")
+		listPar    = flag.Bool("list-parallel", false, "parallelize linked-list loops (asserts §10's independent-storage assumption)")
+		vl         = flag.Int("vl", 0, "vector strip length")
+		emitCat    = flag.String("emit-catalog", "", "write a procedure catalog instead of compiling")
+		asm        = flag.Bool("S", false, "print Titan assembly")
+		dumpIL     = flag.Bool("il", false, "print optimized IL")
+		runIt      = flag.Bool("run", false, "simulate after compiling")
+		procs      = flag.Int("p", 1, "processors for -run")
+		entry      = flag.String("entry", "main", "entry function for -run")
+		timePasses = flag.Bool("time-passes", false, "print per-pass wall time and IL statement deltas")
+		dumpAfter  = flag.String("dump-after", "", "print the IL snapshot after the named pass")
+		catalogs   catalogList
 	)
 	flag.Var(&catalogs, "catalog", "attach a procedure catalog (repeatable)")
 	flag.Parse()
@@ -103,9 +115,29 @@ func main() {
 		opts.Catalogs = append(opts.Catalogs, cat)
 	}
 
-	res, err := driver.Compile(string(src), opts)
+	ctx := pass.NewContext()
+	var dumped string
+	if *dumpAfter != "" {
+		ctx.Snapshot = func(name string, prog *il.Program) {
+			if name == *dumpAfter {
+				dumped = prog.String()
+			}
+		}
+	}
+
+	res, err := driver.CompileWith(string(src), opts, ctx)
 	if err != nil {
 		fatal(err)
+	}
+	if *dumpAfter != "" {
+		if dumped == "" {
+			fatal(fmt.Errorf("no pass named %q ran (pipeline: lower %v)",
+				*dumpAfter, pass.NewManager(opts).Passes()))
+		}
+		fmt.Printf("==== after %s ====\n%s", *dumpAfter, dumped)
+	}
+	if *timePasses {
+		fmt.Print(res.Report.String())
 	}
 	if *dumpIL {
 		fmt.Print(driver.DumpIL(res))
@@ -114,15 +146,18 @@ func main() {
 		fmt.Print(driver.Disassemble(res))
 	}
 	if *runIt {
+		if _, ok := res.Machine.Funcs[*entry]; !ok {
+			fatal(fmt.Errorf("entry function %q is not defined", *entry))
+		}
 		m := titan.NewMachine(res.Machine, *procs)
-		r, err := m.Run("main")
+		r, err := m.Run(*entry)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(r.Output)
 		fmt.Println(driver.FormatResult(r, *procs))
 	}
-	if !*dumpIL && !*asm && !*runIt {
+	if !*dumpIL && !*asm && !*runIt && !*timePasses && *dumpAfter == "" {
 		fmt.Printf("compiled %s: %d procedures, %d inlined calls, %d vector stmts, %d parallel loops\n",
 			flag.Arg(0), len(res.IL.Procs), res.InlinedCalls,
 			res.VectorStats.VectorStmts, res.VectorStats.ParallelLoops+res.ParallelStats.LoopsParallelized)

@@ -25,6 +25,7 @@ import (
 func main() {
 	configs := flag.Bool("configs", false, "sweep optimization configurations")
 	procs := flag.Int("p", 2, "max processors for parallel configs")
+	entry := flag.String("entry", "main", "entry function to simulate")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: titanrun [-configs] file.c")
@@ -60,8 +61,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if _, ok := res.Machine.Funcs[*entry]; !ok {
+			fatal(fmt.Errorf("entry function %q is not defined", *entry))
+		}
 		m := titan.NewMachine(res.Machine, c.procs)
-		r, err := m.Run("main")
+		r, err := m.Run(*entry)
 		if err != nil {
 			fatal(err)
 		}

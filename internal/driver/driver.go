@@ -8,21 +8,28 @@
 //	dependence analysis → vectorization → parallelization → dependence-
 //	driven strength reduction on the serial residue → code generation →
 //	Titan simulation.
+//
+// The mid-end phases live in package pass: driver builds a pass.Manager
+// from the Options and delegates, so the pipeline order is written down
+// exactly once (pass.BuildPipeline) and every compile gets the manager's
+// per-pass instrumentation, IL verification, and per-procedure worker
+// pool for free.
 package driver
 
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 
 	"repro/internal/ast"
 	"repro/internal/codegen"
-	"repro/internal/depend"
 	"repro/internal/il"
 	"repro/internal/inline"
 	"repro/internal/lower"
-	"repro/internal/opt"
 	"repro/internal/parallel"
 	"repro/internal/parser"
+	"repro/internal/pass"
 	"repro/internal/sema"
 	"repro/internal/strength"
 	"repro/internal/titan"
@@ -30,56 +37,9 @@ import (
 )
 
 // Options selects compiler behavior; the zero value is plain scalar
-// compilation with scalar optimization.
-type Options struct {
-	// OptLevel 0 disables all optimization; 1 enables the scalar pipeline
-	// (default for the named constructors below).
-	OptLevel int
-	// Inline enables inline expansion.
-	Inline bool
-	// InlineConfig overrides the default expansion policy.
-	InlineConfig *inline.Config
-	// Catalogs provides library procedure databases for inlining (§7).
-	Catalogs []*inline.Catalog
-	// Vectorize enables the vectorizer.
-	Vectorize bool
-	// Parallelize enables do-parallel generation (implies nothing about
-	// processor count; that is a machine property).
-	Parallelize bool
-	// ListParallel enables the §10 extension: linked-list while loops are
-	// spread across processors by serializing the pointer chase. Turning
-	// it on asserts the paper's "each motion down a pointer goes to
-	// independent storage" assumption for the whole unit.
-	ListParallel bool
-	// VL overrides the strip length (vector.DefaultVL when 0).
-	VL int
-	// NoAlias asserts pointer parameters follow Fortran aliasing rules
-	// (§9's compiler option).
-	NoAlias bool
-	// StrengthReduce runs §6's dependence-driven scalar loop optimization.
-	StrengthReduce bool
-	// SimpleIVSub selects the A2 ablation inside the scalar optimizer.
-	SimpleIVSub bool
-	// NoCopyProp disables copy/forward propagation (combined with
-	// SimpleIVSub this models the full "straightforward" pipeline of
-	// §5.3).
-	NoCopyProp bool
-	// DisableIVSub turns induction-variable substitution off entirely.
-	DisableIVSub bool
-	// ForceIVSub runs induction-variable substitution even when neither
-	// vectorization nor strength reduction is enabled (ildump's phase
-	// view; normally ivsub only pays off when a later phase consumes it —
-	// §6).
-	ForceIVSub bool
-	// NoStrengthPromotion / NoStrengthReduction toggle §6 sub-passes.
-	NoStrengthPromotion bool
-	NoStrengthReduction bool
-	// NoSchedule disables the §6 dependence-informed instruction
-	// scheduler (ablation A5). Scheduling otherwise runs whenever the
-	// dependence-driven phases do ("Information from the dependence graph
-	// is passed back to the code generation to allow better overlap").
-	NoSchedule bool
-}
+// compilation with scalar optimization. It is the pass package's option
+// type: the pass manager builds the pipeline directly from it.
+type Options = pass.Options
 
 // ScalarOptions is the -O1 scalar configuration.
 func ScalarOptions() Options {
@@ -97,7 +57,10 @@ type Result struct {
 	AST     *ast.File
 	IL      *il.Program
 	Machine *titan.Program
-	// Stats from the loop phases.
+	// Report is the pipeline's unified per-pass instrumentation: wall
+	// time and statement deltas per pass plus every phase's stats.
+	Report *pass.Report
+	// Per-phase stats, mirrored from Report for convenience.
 	VectorStats   vector.Stats
 	ParallelStats parallel.Stats
 	ListStats     parallel.ListStats
@@ -106,29 +69,39 @@ type Result struct {
 	InlinedCalls  int
 }
 
-// Compile runs the full pipeline over one source buffer.
-func Compile(src string, opts Options) (*Result, error) {
-	res := &Result{}
+// frontEnd runs parse → type check → lower and fills res.AST and res.IL.
+func frontEnd(src string, res *Result) error {
 	f, err := parser.Parse(src)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	res.AST = f
 	info, err := sema.Check(f)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	prog, err := lower.File(f, info)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	res.IL = prog
+	return nil
+}
 
-	if err := OptimizeIL(res, opts); err != nil {
+// Compile runs the full pipeline over one source buffer.
+func Compile(src string, opts Options) (*Result, error) {
+	return CompileWith(src, opts, nil)
+}
+
+// CompileWith is Compile with an explicit pass context, letting tools
+// install snapshot hooks, adjust the worker pool, or read the report from
+// a context they own. A nil ctx gets pass.NewContext defaults.
+func CompileWith(src string, opts Options, ctx *pass.Context) (*Result, error) {
+	res, err := CompileILWith(src, opts, ctx)
+	if err != nil {
 		return nil, err
 	}
-
-	tp, err := codegen.Generate(prog)
+	tp, err := codegen.Generate(res.IL)
 	if err != nil {
 		return nil, err
 	}
@@ -142,22 +115,16 @@ func Compile(src string, opts Options) (*Result, error) {
 // CompileIL runs the front half only (through loop optimization), for
 // tools that inspect IL.
 func CompileIL(src string, opts Options) (*Result, error) {
+	return CompileILWith(src, opts, nil)
+}
+
+// CompileILWith is CompileIL with an explicit pass context.
+func CompileILWith(src string, opts Options, ctx *pass.Context) (*Result, error) {
 	res := &Result{}
-	f, err := parser.Parse(src)
-	if err != nil {
+	if err := frontEnd(src, res); err != nil {
 		return nil, err
 	}
-	res.AST = f
-	info, err := sema.Check(f)
-	if err != nil {
-		return nil, err
-	}
-	prog, err := lower.File(f, info)
-	if err != nil {
-		return nil, err
-	}
-	res.IL = prog
-	if err := OptimizeIL(res, opts); err != nil {
+	if err := OptimizeILWith(res, opts, ctx); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -165,110 +132,54 @@ func CompileIL(src string, opts Options) (*Result, error) {
 
 // OptimizeIL applies the mid-end phases to res.IL in place.
 func OptimizeIL(res *Result, opts Options) error {
-	prog := res.IL
-	if opts.Inline {
-		cfg := inline.DefaultConfig()
-		if opts.InlineConfig != nil {
-			cfg = *opts.InlineConfig
-		}
-		in := inline.New(prog, cfg)
-		for _, c := range opts.Catalogs {
-			in.AddCatalog(c)
-		}
-		res.InlinedCalls = in.ExpandProgram()
-	}
-	if opts.OptLevel >= 1 {
-		oo := opt.Options{
-			IVSub:       !opts.DisableIVSub && (opts.Vectorize || opts.StrengthReduce || opts.ForceIVSub),
-			SimpleIVSub: opts.SimpleIVSub,
-			NoCopyProp:  opts.NoCopyProp,
-		}
-		opt.OptimizeProgram(prog, oo)
-	}
-	dopts := depend.Options{NoAlias: opts.NoAlias}
-	if opts.Parallelize {
-		// Loop nests parallelize at the outer level before the vectorizer
-		// rewrites the inner loops (§2's outer-parallel/inner-vector
-		// pattern).
-		for _, p := range prog.Procs {
-			st := parallel.ParallelizeNests(p)
-			res.NestStats.NestsParallelized += st.NestsParallelized
-		}
-	}
-	if opts.Vectorize {
-		for _, p := range prog.Procs {
-			st := vector.VectorizeProc(p, vector.Config{
-				VL:       opts.VL,
-				Parallel: opts.Parallelize,
-				Depend:   dopts,
-			})
-			res.VectorStats.LoopsExamined += st.LoopsExamined
-			res.VectorStats.LoopsVectorized += st.LoopsVectorized
-			res.VectorStats.VectorStmts += st.VectorStmts
-			res.VectorStats.ParallelLoops += st.ParallelLoops
-			res.VectorStats.SerialResidue += st.SerialResidue
-		}
-	}
-	if opts.Parallelize {
-		for _, p := range prog.Procs {
-			st := parallel.ParallelizeProc(p, dopts)
-			res.ParallelStats.LoopsExamined += st.LoopsExamined
-			res.ParallelStats.LoopsParallelized += st.LoopsParallelized
-		}
-	}
-	if opts.ListParallel {
-		for _, p := range prog.Procs {
-			st := parallel.ParallelizeListLoops(prog, p)
-			res.ListStats.LoopsConverted += st.LoopsConverted
-		}
-	}
-	if opts.StrengthReduce && opts.OptLevel >= 1 {
-		for _, p := range prog.Procs {
-			st := strength.OptimizeLoops(p, strength.Config{
-				Depend:      dopts,
-				NoPromotion: opts.NoStrengthPromotion,
-				NoReduction: opts.NoStrengthReduction,
-			})
-			res.StrengthStats.PromotedLoads += st.PromotedLoads
-			res.StrengthStats.ReducedRefs += st.ReducedRefs
-			res.StrengthStats.Pointers += st.Pointers
-			res.StrengthStats.HoistedExprs += st.HoistedExprs
-			res.StrengthStats.LoopsTransformed += st.LoopsTransformed
-		}
-		// Strength reduction introduces preheader temporaries; one more
-		// scalar cleanup round tidies them.
-		if opts.OptLevel >= 1 {
-			opt.OptimizeProgram(prog, opt.Options{IVSub: false})
-		}
-	}
-	return nil
+	return OptimizeILWith(res, opts, nil)
 }
 
-// Run compiles and simulates in one step.
+// OptimizeILWith runs the pass manager's pipeline over res.IL and records
+// the report (and its stat mirrors) on res.
+func OptimizeILWith(res *Result, opts Options, ctx *pass.Context) error {
+	rep, err := pass.NewManager(opts).Run(res.IL, ctx)
+	res.Report = rep
+	res.VectorStats = rep.Vector
+	res.ParallelStats = rep.Parallel
+	res.ListStats = rep.List
+	res.NestStats = rep.Nest
+	res.StrengthStats = rep.Strength
+	res.InlinedCalls = rep.Inline.CallsExpanded
+	return err
+}
+
+// Run compiles and simulates in one step, starting at main.
 func Run(src string, opts Options, processors int) (titan.Result, error) {
+	return RunEntry(src, "", opts, processors)
+}
+
+// RunEntry compiles and simulates starting at the named entry procedure
+// (main when entry is empty). A missing entry is reported as a compile
+// error naming the functions the program does define.
+func RunEntry(src, entry string, opts Options, processors int) (titan.Result, error) {
+	if entry == "" {
+		entry = "main"
+	}
 	res, err := Compile(src, opts)
 	if err != nil {
 		return titan.Result{}, err
 	}
+	if _, ok := res.Machine.Funcs[entry]; !ok {
+		return titan.Result{}, fmt.Errorf("driver: entry function %q is not defined (program defines: %s)",
+			entry, strings.Join(sortedFuncNames(res.Machine), ", "))
+	}
 	m := titan.NewMachine(res.Machine, processors)
-	return m.Run("main")
+	return m.Run(entry)
 }
 
 // WriteCatalogFromSource compiles a library source and writes its catalog.
 func WriteCatalogFromSource(w io.Writer, src string) error {
-	f, err := parser.Parse(src)
-	if err != nil {
+	res := &Result{}
+	if err := frontEnd(src, res); err != nil {
 		return err
 	}
-	info, err := sema.Check(f)
-	if err != nil {
-		return err
-	}
-	prog, err := lower.File(f, info)
-	if err != nil {
-		return err
-	}
-	return inline.WriteCatalog(w, inline.BuildCatalog(prog))
+	return inline.WriteCatalog(w, inline.BuildCatalog(res.IL))
 }
 
 // DumpIL renders the IL of every procedure (the ildump tool's engine).
@@ -284,23 +195,20 @@ func Disassemble(res *Result) string {
 	if res.Machine == nil {
 		return ""
 	}
-	out := ""
+	var sb strings.Builder
 	for _, name := range sortedFuncNames(res.Machine) {
-		out += res.Machine.Funcs[name].Disassemble() + "\n"
+		sb.WriteString(res.Machine.Funcs[name].Disassemble())
+		sb.WriteByte('\n')
 	}
-	return out
+	return sb.String()
 }
 
 func sortedFuncNames(tp *titan.Program) []string {
-	var names []string
+	names := make([]string, 0, len(tp.Funcs))
 	for n := range tp.Funcs {
 		names = append(names, n)
 	}
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
+	sort.Strings(names)
 	return names
 }
 

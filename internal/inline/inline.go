@@ -27,6 +27,16 @@ type Config struct {
 // and library kernels expand; anything over 200 statements does not.
 func DefaultConfig() Config { return Config{MaxStmts: 200, MaxDepth: 8} }
 
+// Stats reports what expansion did, in the shape the pass pipeline's
+// report expects.
+type Stats struct {
+	// CallsExpanded counts call sites replaced by callee bodies.
+	CallsExpanded int
+}
+
+// Add folds another unit's stats into s.
+func (s *Stats) Add(o Stats) { s.CallsExpanded += o.CallsExpanded }
+
 // Inliner expands calls within one program, drawing callee bodies from the
 // program itself and from attached catalogs.
 type Inliner struct {

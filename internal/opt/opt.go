@@ -23,41 +23,84 @@ type Options struct {
 // DefaultOptions enables the full paper pipeline.
 func DefaultOptions() Options { return Options{IVSub: true} }
 
-// Optimize runs the scalar optimization pipeline on one procedure in the
-// paper's order (§5.2): use-def chains are built first (inside each pass),
-// while loops convert to DO loops immediately, and only then do the
-// DO-loop simplifications — induction-variable substitution, constant
-// propagation, and dead-code elimination — run. The pipeline iterates to a
-// bounded fixpoint since each pass exposes opportunities for the others.
-func Optimize(p *il.Proc, opts Options) {
-	for round := 0; round < 8; round++ {
-		changed := 0
-		if !opts.NoWhileConversion {
-			changed += ConvertWhileLoops(p)
+// SubPass is one named step of the scalar optimizer. Run returns the
+// number of changes it made to the procedure.
+type SubPass struct {
+	Name string
+	Run  func(*il.Proc) int
+}
+
+// SubPasses returns the scalar sub-passes opts enables, in the paper's
+// §5.2 order: while loops convert to DO loops immediately after use-def
+// chains are available (each sub-pass builds its own), then the DO-loop
+// simplifications — constant propagation, induction-variable
+// substitution, copy propagation — and finally dead-code elimination.
+// This slice is the single place the scalar phase order is written down;
+// both the fixpoint driver below and the pass manager's snapshot and
+// instrumentation layers consume it.
+func SubPasses(opts Options) []SubPass {
+	var sp []SubPass
+	if !opts.NoWhileConversion {
+		sp = append(sp, SubPass{"while-to-do", ConvertWhileLoops})
+	}
+	sp = append(sp, SubPass{"constprop", PropagateConstants})
+	if opts.IVSub {
+		if opts.SimpleIVSub {
+			sp = append(sp, SubPass{"ivsub-simple", SubstituteInductionVariablesSimple})
+		} else {
+			sp = append(sp, SubPass{"ivsub", SubstituteInductionVariables})
 		}
-		changed += PropagateConstants(p)
-		if opts.IVSub {
-			if opts.SimpleIVSub {
-				changed += SubstituteInductionVariablesSimple(p)
-			} else {
-				changed += SubstituteInductionVariables(p)
-			}
-		}
-		if !opts.NoCopyProp {
-			changed += PropagateCopies(p)
-		}
-		changed += PropagateConstants(p)
-		changed += EliminateDeadCode(p)
-		changed += RemoveUnusedLabels(p)
-		if changed == 0 {
-			return
-		}
+	}
+	if !opts.NoCopyProp {
+		sp = append(sp, SubPass{"copyprop", PropagateCopies})
+	}
+	sp = append(sp,
+		SubPass{"constprop-after", PropagateConstants},
+		SubPass{"dce", EliminateDeadCode},
+		SubPass{"unused-labels", RemoveUnusedLabels},
+	)
+	return sp
+}
+
+// Counts records, per sub-pass name, how many changes it made. Merging
+// across procedures is a keywise sum, so the aggregate is deterministic
+// regardless of the order procedures are optimized in.
+type Counts map[string]int
+
+// Add folds another procedure's counts into c.
+func (c Counts) Add(o Counts) {
+	for k, v := range o {
+		c[k] += v
 	}
 }
 
-// OptimizeProgram runs Optimize over every procedure.
-func OptimizeProgram(prog *il.Program, opts Options) {
-	for _, p := range prog.Procs {
-		Optimize(p, opts)
+// Optimize runs the scalar optimization pipeline on one procedure in the
+// paper's order (§5.2); see SubPasses. The pipeline iterates to a bounded
+// fixpoint since each sub-pass exposes opportunities for the others. The
+// returned Counts report changes per sub-pass across all rounds.
+func Optimize(p *il.Proc, opts Options) Counts {
+	sub := SubPasses(opts)
+	counts := Counts{}
+	for round := 0; round < 8; round++ {
+		changed := 0
+		for _, s := range sub {
+			n := s.Run(p)
+			counts[s.Name] += n
+			changed += n
+		}
+		if changed == 0 {
+			break
+		}
 	}
+	return counts
+}
+
+// OptimizeProgram runs Optimize over every procedure and returns the
+// merged counts.
+func OptimizeProgram(prog *il.Program, opts Options) Counts {
+	counts := Counts{}
+	for _, p := range prog.Procs {
+		counts.Add(Optimize(p, opts))
+	}
+	return counts
 }

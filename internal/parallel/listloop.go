@@ -38,6 +38,9 @@ type ListStats struct {
 	LoopsConverted int
 }
 
+// Add folds another procedure's stats into s.
+func (s *ListStats) Add(o ListStats) { s.LoopsConverted += o.LoopsConverted }
+
 // ParallelizeListLoops rewrites eligible linked-list while loops in p.
 // The prog is needed to allocate the shared pointer buffer. The caller
 // asserts the §10 independence assumption by calling at all.

@@ -28,6 +28,9 @@ type NestStats struct {
 	NestsParallelized int
 }
 
+// Add folds another procedure's stats into s.
+func (s *NestStats) Add(o NestStats) { s.NestsParallelized += o.NestsParallelized }
+
 // ParallelizeNests converts eligible outer loops of 2-level nests.
 func ParallelizeNests(p *il.Proc) NestStats {
 	var st NestStats

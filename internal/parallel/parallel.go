@@ -23,6 +23,12 @@ type Stats struct {
 	LoopsParallelized int
 }
 
+// Add folds another procedure's stats into s.
+func (s *Stats) Add(o Stats) {
+	s.LoopsExamined += o.LoopsExamined
+	s.LoopsParallelized += o.LoopsParallelized
+}
+
 // ParallelizeProc converts eligible serial DO loops in place.
 func ParallelizeProc(p *il.Proc, opts depend.Options) Stats {
 	var st Stats

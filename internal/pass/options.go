@@ -1,0 +1,60 @@
+package pass
+
+import "repro/internal/inline"
+
+// Options selects compiler behavior; the zero value is plain scalar
+// compilation with scalar optimization. The type lives here — rather than
+// in package driver, which re-exports it as driver.Options — because the
+// pass manager builds the paper-mandated pipeline from it (BuildPipeline)
+// and driver imports pass, not the other way around.
+type Options struct {
+	// OptLevel 0 disables all optimization; 1 enables the scalar pipeline
+	// (default for the driver's named constructors).
+	OptLevel int
+	// Inline enables inline expansion.
+	Inline bool
+	// InlineConfig overrides the default expansion policy.
+	InlineConfig *inline.Config
+	// Catalogs provides library procedure databases for inlining (§7).
+	Catalogs []*inline.Catalog
+	// Vectorize enables the vectorizer.
+	Vectorize bool
+	// Parallelize enables do-parallel generation (implies nothing about
+	// processor count; that is a machine property).
+	Parallelize bool
+	// ListParallel enables the §10 extension: linked-list while loops are
+	// spread across processors by serializing the pointer chase. Turning
+	// it on asserts the paper's "each motion down a pointer goes to
+	// independent storage" assumption for the whole unit.
+	ListParallel bool
+	// VL overrides the strip length (vector.DefaultVL when 0).
+	VL int
+	// NoAlias asserts pointer parameters follow Fortran aliasing rules
+	// (§9's compiler option).
+	NoAlias bool
+	// StrengthReduce runs §6's dependence-driven scalar loop optimization.
+	StrengthReduce bool
+	// SimpleIVSub selects the A2 ablation inside the scalar optimizer.
+	SimpleIVSub bool
+	// NoCopyProp disables copy/forward propagation (combined with
+	// SimpleIVSub this models the full "straightforward" pipeline of
+	// §5.3).
+	NoCopyProp bool
+	// DisableIVSub turns induction-variable substitution off entirely.
+	DisableIVSub bool
+	// ForceIVSub runs induction-variable substitution even when neither
+	// vectorization nor strength reduction is enabled (ildump's phase
+	// view; normally ivsub only pays off when a later phase consumes it —
+	// §6).
+	ForceIVSub bool
+	// NoStrengthPromotion / NoStrengthReduction toggle §6 sub-passes.
+	NoStrengthPromotion bool
+	NoStrengthReduction bool
+	// NoSchedule disables the §6 dependence-informed instruction
+	// scheduler (ablation A5). Scheduling otherwise runs whenever the
+	// dependence-driven phases do ("Information from the dependence graph
+	// is passed back to the code generation to allow better overlap").
+	// The scheduler runs in codegen, after the IL pipeline; the flag
+	// rides along here so one Options value describes a whole compile.
+	NoSchedule bool
+}

@@ -1,0 +1,157 @@
+// Package pass is the compiler mid-end's pass framework. The paper's
+// pipeline order is load-bearing — §5.2 mandates while→DO conversion right
+// after use-def chains, §6 mandates strength reduction after vectorization
+// on the serial residue — and BuildPipeline is the single place that order
+// is written down. A Manager runs the pipeline over an il.Program with
+// unified per-pass instrumentation (wall time, statement counts, the loop
+// phases' stats folded into one Report), an optional IL-snapshot hook (the
+// ildump tool is a thin consumer), a between-pass IL verifier, and a
+// bounded worker pool that runs the per-procedure phases concurrently.
+package pass
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/il"
+)
+
+// Canonical pass names, in pipeline order. Tools address passes by these
+// strings (-dump-after=vectorize, snapshot hooks, report rows).
+const (
+	// SnapshotInput names the pre-pipeline snapshot: the front end's raw
+	// lowered IL, before any pass has run.
+	SnapshotInput = "lower"
+
+	PassInline       = "inline"
+	PassScalar       = "scalarize"
+	PassNest         = "nest-parallelize"
+	PassVectorize    = "vectorize"
+	PassParallelize  = "parallelize"
+	PassListParallel = "list-parallelize"
+	PassStrength     = "strength"
+	PassCleanup      = "cleanup"
+)
+
+// Pass is one mid-end phase. Run mutates prog in place and records its
+// stats on ctx.Report.
+type Pass interface {
+	Name() string
+	Run(prog *il.Program, ctx *Context) error
+}
+
+// Context carries the cross-cutting machinery a pipeline run threads
+// through every pass: the instrumentation report, optional hooks, and the
+// worker-pool width. The zero value is usable; NewContext returns the
+// defaults the driver uses.
+type Context struct {
+	// Report accumulates per-pass instrumentation. Manager.Run fills it.
+	Report *Report
+	// Snapshot, when non-nil, is called with the lowered IL before the
+	// first pass (name SnapshotInput) and again after every pass, letting
+	// tools observe between-phase IL without re-running the pipeline.
+	// The program is live; callers must render or copy what they need
+	// before returning.
+	Snapshot func(name string, prog *il.Program)
+	// Verify runs the IL verifier before the first pass and after every
+	// pass, failing the compile at the pass boundary that corrupted the
+	// IL instead of letting it surface as a codegen panic or wrong
+	// simulation output. On by default (NewContext): the whole test
+	// corpus compiles under it and the check is a linear walk.
+	Verify bool
+	// Workers bounds the per-procedure worker pool for passes that
+	// process procedures independently. 0 means GOMAXPROCS; 1 runs
+	// serially.
+	Workers int
+}
+
+// NewContext returns the default context: verifier on, worker pool as
+// wide as GOMAXPROCS.
+func NewContext() *Context {
+	return &Context{Report: &Report{}, Verify: true, Workers: runtime.GOMAXPROCS(0)}
+}
+
+func (ctx *Context) workers() int {
+	if ctx.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return ctx.Workers
+}
+
+// Manager owns an ordered pass pipeline built from Options.
+type Manager struct {
+	passes []Pass
+}
+
+// NewManager builds the paper-mandated pipeline for opts.
+func NewManager(opts Options) *Manager {
+	return &Manager{passes: BuildPipeline(opts)}
+}
+
+// Passes returns the pipeline's pass names in execution order.
+func (m *Manager) Passes() []string {
+	names := make([]string, len(m.passes))
+	for i, p := range m.passes {
+		names[i] = p.Name()
+	}
+	return names
+}
+
+// Run executes the pipeline over prog, filling ctx.Report. A nil ctx gets
+// NewContext defaults. The returned Report is ctx.Report.
+func (m *Manager) Run(prog *il.Program, ctx *Context) (*Report, error) {
+	if ctx == nil {
+		ctx = NewContext()
+	}
+	if ctx.Report == nil {
+		ctx.Report = &Report{}
+	}
+	rep := ctx.Report
+
+	// VectorAssign is only legal once the vectorizer slot has run; the
+	// front end never emits it and no earlier pass may.
+	vectorSeen := false
+	if ctx.Verify {
+		if err := Verify(prog, vectorSeen); err != nil {
+			return rep, fmt.Errorf("pass: IL invalid before pipeline: %w", err)
+		}
+	}
+	if ctx.Snapshot != nil {
+		ctx.Snapshot(SnapshotInput, prog)
+	}
+	for _, p := range m.passes {
+		before := countStmts(prog)
+		start := time.Now()
+		if err := p.Run(prog, ctx); err != nil {
+			return rep, fmt.Errorf("pass %s: %w", p.Name(), err)
+		}
+		rep.Passes = append(rep.Passes, PassStat{
+			Name:        p.Name(),
+			Duration:    time.Since(start),
+			StmtsBefore: before,
+			StmtsAfter:  countStmts(prog),
+		})
+		if p.Name() == PassVectorize {
+			vectorSeen = true
+		}
+		if ctx.Snapshot != nil {
+			ctx.Snapshot(p.Name(), prog)
+		}
+		if ctx.Verify {
+			if err := Verify(prog, vectorSeen); err != nil {
+				return rep, fmt.Errorf("pass %s: IL invalid after pass: %w", p.Name(), err)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// countStmts is the whole-program statement count the report's deltas use.
+func countStmts(prog *il.Program) int {
+	n := 0
+	for _, p := range prog.Procs {
+		n += il.CountStmts(p.Body)
+	}
+	return n
+}

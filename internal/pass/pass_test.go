@@ -1,0 +1,118 @@
+package pass
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/ctype"
+	"repro/internal/il"
+)
+
+// TestPipelineOrderFull pins the §5.2/§6 pipeline order for the full
+// configuration: BuildPipeline is the single place the order is written
+// down, and this is its spec.
+func TestPipelineOrderFull(t *testing.T) {
+	m := NewManager(Options{
+		OptLevel: 1, Inline: true, Vectorize: true, Parallelize: true,
+		ListParallel: true, StrengthReduce: true,
+	})
+	want := []string{
+		PassInline, PassScalar, PassNest, PassVectorize, PassParallelize,
+		PassListParallel, PassStrength, PassCleanup,
+	}
+	if got := m.Passes(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("pipeline order:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestPipelineEmptyAtO0(t *testing.T) {
+	if got := NewManager(Options{OptLevel: 0}).Passes(); len(got) != 0 {
+		t.Fatalf("plain -O0 pipeline should be empty, got %v", got)
+	}
+}
+
+// TestManagerCatchesSeededCorruption proves the debug-mode verifier fails
+// the compile at the pass boundary rather than letting corrupt IL reach
+// codegen.
+func TestManagerCatchesSeededCorruption(t *testing.T) {
+	p := newProc("f", 1)
+	p.Body = []il.Stmt{
+		&il.Assign{Dst: &il.VarRef{ID: 0, T: ctype.IntType}, Src: &il.VarRef{ID: 99, T: ctype.IntType}},
+	}
+	_, err := NewManager(Options{OptLevel: 0}).Run(progOf(p), nil)
+	wantErr(t, err, "IL invalid before pipeline")
+	wantErr(t, err, "undefined variable id v99")
+}
+
+// TestManagerInstrumentation checks the report rows a pipeline run leaves
+// behind: one row per pass, times measured, statement counts consistent.
+func TestManagerInstrumentation(t *testing.T) {
+	p := newProc("f", 2)
+	p.Body = []il.Stmt{
+		// A dead temp assignment the scalar pipeline removes.
+		&il.Assign{Dst: &il.VarRef{ID: 0, T: ctype.IntType}, Src: ci(1)},
+		&il.Return{},
+	}
+	m := NewManager(Options{OptLevel: 1})
+	rep, err := m.Run(progOf(p), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Passes) != 1 || rep.Passes[0].Name != PassScalar {
+		t.Fatalf("want one %s row, got %+v", PassScalar, rep.Passes)
+	}
+	row := rep.Passes[0]
+	if row.StmtsBefore != 2 || row.StmtsAfter != 1 || row.Delta() != -1 {
+		t.Errorf("stmt accounting: %d -> %d (%+d), want 2 -> 1 (-1)",
+			row.StmtsBefore, row.StmtsAfter, row.Delta())
+	}
+	changes := 0
+	for _, n := range rep.Scalar {
+		changes += n
+	}
+	if changes == 0 {
+		t.Errorf("scalar sub-pass counts not recorded: %v", rep.Scalar)
+	}
+	out := rep.String()
+	for _, frag := range []string{"scalarize", "2 -> 1", "total"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report %q missing %q", out, frag)
+		}
+	}
+}
+
+// TestSnapshotHook checks hook firing order: the lowered IL first, then
+// one snapshot per pass.
+func TestSnapshotHook(t *testing.T) {
+	p := newProc("f", 1)
+	p.Body = []il.Stmt{&il.Return{}}
+	var names []string
+	ctx := NewContext()
+	ctx.Snapshot = func(name string, prog *il.Program) { names = append(names, name) }
+	if _, err := NewManager(Options{OptLevel: 1}).Run(progOf(p), ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{SnapshotInput, PassScalar}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("snapshot order: got %v, want %v", names, want)
+	}
+}
+
+// TestForEachProcOrderAndBounds checks the worker pool returns results in
+// Procs order whatever the concurrency, including workers > len(procs).
+func TestForEachProcOrderAndBounds(t *testing.T) {
+	var procs []*il.Proc
+	for i := 0; i < 23; i++ {
+		procs = append(procs, newProc(strings.Repeat("p", i+1), 0))
+	}
+	prog := &il.Program{Procs: procs}
+	for _, workers := range []int{1, 2, 4, 64} {
+		got := forEachProc(prog, workers, func(p *il.Proc) int { return len(p.Name) })
+		for i, n := range got {
+			if n != i+1 {
+				t.Fatalf("workers=%d: slot %d got %d, want %d", workers, i, n, i+1)
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package pass
+
+import (
+	"repro/internal/depend"
+	"repro/internal/il"
+	"repro/internal/inline"
+	"repro/internal/opt"
+	"repro/internal/parallel"
+	"repro/internal/strength"
+	"repro/internal/vector"
+)
+
+// BuildPipeline returns the mid-end pipeline for opts as an explicit
+// ordered slice. This function is the single place the paper-mandated
+// phase order is written down:
+//
+//	inline expansion (§7)
+//	→ scalar optimization (§5.2: while→DO right after use-def chains,
+//	  then constprop, ivsub, copyprop, DCE to a fixpoint)
+//	→ loop-nest parallelization (outer level first, §2's
+//	  outer-parallel/inner-vector pattern)
+//	→ vectorization (§5)
+//	→ do-parallel conversion (§2)
+//	→ linked-list parallelization (§10 extension)
+//	→ strength reduction on the serial residue (§6: after vectorization,
+//	  off the dependence graph) → one scalar cleanup round for the
+//	  preheader temporaries it introduces.
+func BuildPipeline(opts Options) []Pass {
+	dopts := depend.Options{NoAlias: opts.NoAlias}
+	var ps []Pass
+	if opts.Inline {
+		ps = append(ps, &inlinePass{opts: opts})
+	}
+	if opts.OptLevel >= 1 {
+		ps = append(ps, &scalarPass{name: PassScalar, opts: scalarOptions(opts)})
+	}
+	if opts.Parallelize {
+		// Loop nests parallelize at the outer level before the vectorizer
+		// rewrites the inner loops (§2's outer-parallel/inner-vector
+		// pattern).
+		ps = append(ps, &nestPass{})
+	}
+	if opts.Vectorize {
+		ps = append(ps, &vectorPass{cfg: vector.Config{
+			VL:       opts.VL,
+			Parallel: opts.Parallelize,
+			Depend:   dopts,
+		}})
+	}
+	if opts.Parallelize {
+		ps = append(ps, &parallelPass{dopts: dopts})
+	}
+	if opts.ListParallel {
+		ps = append(ps, &listPass{})
+	}
+	if opts.StrengthReduce && opts.OptLevel >= 1 {
+		ps = append(ps,
+			&strengthPass{cfg: strength.Config{
+				Depend:      dopts,
+				NoPromotion: opts.NoStrengthPromotion,
+				NoReduction: opts.NoStrengthReduction,
+			}},
+			// Strength reduction introduces preheader temporaries; one
+			// more scalar round tidies them.
+			&scalarPass{name: PassCleanup, opts: opt.Options{IVSub: false}},
+		)
+	}
+	return ps
+}
+
+// scalarOptions derives the scalar optimizer's configuration from the
+// compile options (the §6 rule: induction-variable substitution only pays
+// off when vectorization or strength reduction consumes it).
+func scalarOptions(opts Options) opt.Options {
+	return opt.Options{
+		IVSub:       !opts.DisableIVSub && (opts.Vectorize || opts.StrengthReduce || opts.ForceIVSub),
+		SimpleIVSub: opts.SimpleIVSub,
+		NoCopyProp:  opts.NoCopyProp,
+	}
+}
+
+// ------------------------------------------------------------- adapters
+
+// inlinePass expands calls, whole-program (the inliner rewrites callers
+// from shared callee bodies and merges catalog globals, so it stays
+// serial).
+type inlinePass struct{ opts Options }
+
+func (*inlinePass) Name() string { return PassInline }
+
+func (ip *inlinePass) Run(prog *il.Program, ctx *Context) error {
+	cfg := inline.DefaultConfig()
+	if ip.opts.InlineConfig != nil {
+		cfg = *ip.opts.InlineConfig
+	}
+	in := inline.New(prog, cfg)
+	for _, c := range ip.opts.Catalogs {
+		in.AddCatalog(c)
+	}
+	ctx.Report.Inline.Add(inline.Stats{CallsExpanded: in.ExpandProgram()})
+	return nil
+}
+
+// scalarPass runs the §5.2 scalar fixpoint per procedure; it appears
+// twice in a full pipeline (scalarize, then cleanup after strength
+// reduction).
+type scalarPass struct {
+	name string
+	opts opt.Options
+}
+
+func (sp *scalarPass) Name() string { return sp.name }
+
+func (sp *scalarPass) Run(prog *il.Program, ctx *Context) error {
+	if ctx.Report.Scalar == nil {
+		ctx.Report.Scalar = opt.Counts{}
+	}
+	for _, c := range forEachProc(prog, ctx.workers(), func(p *il.Proc) opt.Counts {
+		return opt.Optimize(p, sp.opts)
+	}) {
+		ctx.Report.Scalar.Add(c)
+	}
+	return nil
+}
+
+// nestPass parallelizes the outer loops of independent 2-level nests.
+type nestPass struct{}
+
+func (*nestPass) Name() string { return PassNest }
+
+func (*nestPass) Run(prog *il.Program, ctx *Context) error {
+	for _, st := range forEachProc(prog, ctx.workers(), parallel.ParallelizeNests) {
+		ctx.Report.Nest.Add(st)
+	}
+	return nil
+}
+
+// vectorPass strip-mines and vectorizes innermost DO loops.
+type vectorPass struct{ cfg vector.Config }
+
+func (*vectorPass) Name() string { return PassVectorize }
+
+func (vp *vectorPass) Run(prog *il.Program, ctx *Context) error {
+	for _, st := range forEachProc(prog, ctx.workers(), func(p *il.Proc) vector.Stats {
+		return vector.VectorizeProc(p, vp.cfg)
+	}) {
+		ctx.Report.Vector.Add(st)
+	}
+	return nil
+}
+
+// parallelPass converts dependence-free serial DO loops to do-parallel.
+type parallelPass struct{ dopts depend.Options }
+
+func (*parallelPass) Name() string { return PassParallelize }
+
+func (pp *parallelPass) Run(prog *il.Program, ctx *Context) error {
+	for _, st := range forEachProc(prog, ctx.workers(), func(p *il.Proc) parallel.Stats {
+		return parallel.ParallelizeProc(p, pp.dopts)
+	}) {
+		ctx.Report.Parallel.Add(st)
+	}
+	return nil
+}
+
+// listPass spreads linked-list while loops across processors. It
+// allocates shared pointer-buffer globals on the program, so it runs the
+// procedures serially (workers=1) to keep prog.Globals race-free and its
+// layout deterministic.
+type listPass struct{}
+
+func (*listPass) Name() string { return PassListParallel }
+
+func (*listPass) Run(prog *il.Program, ctx *Context) error {
+	for _, st := range forEachProc(prog, 1, func(p *il.Proc) parallel.ListStats {
+		return parallel.ParallelizeListLoops(prog, p)
+	}) {
+		ctx.Report.List.Add(st)
+	}
+	return nil
+}
+
+// strengthPass runs §6's dependence-driven loop optimization on the
+// serial residue.
+type strengthPass struct{ cfg strength.Config }
+
+func (*strengthPass) Name() string { return PassStrength }
+
+func (sp *strengthPass) Run(prog *il.Program, ctx *Context) error {
+	for _, st := range forEachProc(prog, ctx.workers(), func(p *il.Proc) strength.Stats {
+		return strength.OptimizeLoops(p, sp.cfg)
+	}) {
+		ctx.Report.Strength.Add(st)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package pass
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ctype"
+	"repro/internal/il"
+)
+
+// newProc returns a proc with nvars int temporaries.
+func newProc(name string, nvars int) *il.Proc {
+	p := il.NewProc(name, ctype.VoidType)
+	for i := 0; i < nvars; i++ {
+		p.NewTemp(ctype.IntType)
+	}
+	return p
+}
+
+func progOf(procs ...*il.Proc) *il.Program {
+	return &il.Program{Procs: procs}
+}
+
+func ci(v int64) *il.ConstInt { return &il.ConstInt{Val: v, T: ctype.IntType} }
+
+func wantErr(t *testing.T, err error, frag string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("verifier accepted corrupt IL, want error containing %q", frag)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("error %q does not mention %q", err, frag)
+	}
+}
+
+func TestVerifyAcceptsWellFormed(t *testing.T) {
+	p := newProc("f", 2)
+	p.Body = []il.Stmt{
+		&il.Assign{Dst: &il.VarRef{ID: 0, T: ctype.IntType}, Src: ci(1)},
+		&il.DoLoop{IV: 1, Init: ci(0), Limit: ci(9), Step: ci(1), Body: []il.Stmt{
+			&il.Assign{Dst: &il.VarRef{ID: 0, T: ctype.IntType}, Src: &il.VarRef{ID: 1, T: ctype.IntType}},
+		}},
+		&il.Return{},
+	}
+	if err := Verify(progOf(p), false); err != nil {
+		t.Fatalf("well-formed IL rejected: %v", err)
+	}
+}
+
+// The seeded-corruption case the issue calls out: a reference to a temp ID
+// that no variable-table entry defines.
+func TestVerifyRejectsUndefinedTemp(t *testing.T) {
+	p := newProc("f", 1)
+	p.Body = []il.Stmt{
+		&il.Assign{Dst: &il.VarRef{ID: 0, T: ctype.IntType}, Src: &il.VarRef{ID: 99, T: ctype.IntType}},
+	}
+	wantErr(t, Verify(progOf(p), false), "undefined variable id v99")
+}
+
+func TestVerifyRejectsUndefinedLoopIV(t *testing.T) {
+	p := newProc("f", 1)
+	p.Body = []il.Stmt{
+		&il.DoLoop{IV: 42, Init: ci(0), Limit: ci(9), Step: ci(1)},
+	}
+	wantErr(t, Verify(progOf(p), false), "iv v42 out of range")
+}
+
+// The other seeded-corruption case: a VectorAssign before the vectorizer
+// slot has run.
+func TestVerifyRejectsMisplacedVectorAssign(t *testing.T) {
+	p := newProc("f", 1)
+	va := &il.VectorAssign{
+		DstBase:   ci(0),
+		DstStride: ci(4),
+		Len:       ci(8),
+		Elem:      ctype.FloatType,
+		RHS:       &il.VecRef{Base: ci(0), Stride: ci(4), T: ctype.FloatType},
+	}
+	p.Body = []il.Stmt{va}
+	wantErr(t, Verify(progOf(p), false), "vector statement")
+	if err := Verify(progOf(p), true); err != nil {
+		t.Fatalf("VectorAssign after the vectorizer slot rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsVecRefOperandBeforeVectorizer(t *testing.T) {
+	p := newProc("f", 1)
+	p.Body = []il.Stmt{
+		&il.Assign{
+			Dst: &il.VarRef{ID: 0, T: ctype.IntType},
+			Src: &il.VecRef{Base: ci(0), Stride: ci(4), T: ctype.IntType},
+		},
+	}
+	wantErr(t, Verify(progOf(p), false), "vector operand")
+}
+
+func TestVerifyRejectsGotoUndefinedLabel(t *testing.T) {
+	p := newProc("f", 0)
+	p.Body = []il.Stmt{&il.Goto{Target: ".nowhere"}}
+	wantErr(t, Verify(progOf(p), false), "undefined label")
+}
+
+func TestVerifyRejectsDuplicateLabel(t *testing.T) {
+	p := newProc("f", 0)
+	p.Body = []il.Stmt{&il.Label{Name: ".L1"}, &il.Label{Name: ".L1"}}
+	wantErr(t, Verify(progOf(p), false), "defined twice")
+}
+
+func TestVerifyRejectsIVAssignedInBody(t *testing.T) {
+	p := newProc("f", 2)
+	p.Body = []il.Stmt{
+		&il.DoLoop{IV: 0, Init: ci(0), Limit: ci(9), Step: ci(1), Body: []il.Stmt{
+			&il.Assign{Dst: &il.VarRef{ID: 0, T: ctype.IntType}, Src: ci(5)},
+		}},
+	}
+	wantErr(t, Verify(progOf(p), false), "assigns the induction variable")
+}
+
+func TestVerifyRejectsVolatileLoopBound(t *testing.T) {
+	p := newProc("f", 2)
+	p.Body = []il.Stmt{
+		&il.DoLoop{IV: 0, Init: ci(0),
+			Limit: &il.Load{Addr: &il.VarRef{ID: 1, T: ctype.PointerTo(ctype.IntType)}, T: ctype.IntType, Volatile: true},
+			Step:  ci(1)},
+	}
+	wantErr(t, Verify(progOf(p), false), "impure")
+}
+
+func TestVerifyRejectsBadCall(t *testing.T) {
+	p := newProc("f", 1)
+	p.Body = []il.Stmt{&il.Call{Dst: 7, Callee: "g", T: ctype.IntType}}
+	wantErr(t, Verify(progOf(p), false), "out of range")
+
+	p2 := newProc("f", 1)
+	p2.Body = []il.Stmt{&il.Call{Dst: il.NoVar, T: ctype.VoidType}}
+	wantErr(t, Verify(progOf(p2), false), "neither callee name nor function pointer")
+}
+
+func TestVerifyRejectsBadParamID(t *testing.T) {
+	p := newProc("f", 1)
+	p.Params = []il.VarID{5}
+	wantErr(t, Verify(progOf(p), false), "parameter id v5 out of range")
+}
+
+func TestVerifyNamesProc(t *testing.T) {
+	p := newProc("offender", 0)
+	p.Body = []il.Stmt{&il.Goto{Target: ".x"}}
+	wantErr(t, Verify(progOf(newProc("fine", 0), p), false), "proc offender")
+}

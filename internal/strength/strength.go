@@ -37,6 +37,15 @@ type Stats struct {
 	LoopsTransformed int
 }
 
+// Add folds another procedure's stats into s.
+func (s *Stats) Add(o Stats) {
+	s.PromotedLoads += o.PromotedLoads
+	s.ReducedRefs += o.ReducedRefs
+	s.Pointers += o.Pointers
+	s.HoistedExprs += o.HoistedExprs
+	s.LoopsTransformed += o.LoopsTransformed
+}
+
 // Config controls the pass.
 type Config struct {
 	Depend depend.Options

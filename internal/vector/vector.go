@@ -45,6 +45,16 @@ type Stats struct {
 	SerialResidue   int // statements left in serial loops after distribution
 }
 
+// Add folds another procedure's stats into s (the pipeline merges per-proc
+// results through this).
+func (s *Stats) Add(o Stats) {
+	s.LoopsExamined += o.LoopsExamined
+	s.LoopsVectorized += o.LoopsVectorized
+	s.VectorStmts += o.VectorStmts
+	s.ParallelLoops += o.ParallelLoops
+	s.SerialResidue += o.SerialResidue
+}
+
 // VectorizeProc vectorizes every innermost DO loop in the procedure.
 func VectorizeProc(p *il.Proc, cfg Config) Stats {
 	var st Stats
