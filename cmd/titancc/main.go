@@ -70,6 +70,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *runIt {
+		if err := titan.ValidateProcessors(*procs); err != nil {
+			fatal(err)
+		}
+	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,91 @@
+// Command titand runs the Titan compile service: a long-lived HTTP
+// daemon that compiles C for the simulated Titan behind a bounded worker
+// pool, deduplicates identical in-flight requests, and serves repeats
+// from a content-addressed artifact cache (see internal/service).
+//
+// Usage:
+//
+//	titand [flags]
+//
+// Flags:
+//
+//	-addr host:port   listen address (default 127.0.0.1:8344)
+//	-workers N        concurrent compiles (default GOMAXPROCS)
+//	-queue N          queued compiles beyond the running ones before
+//	                  requests are rejected with 503 (default 64)
+//	-timeout D        per-request wait bound, e.g. 30s (default 60s)
+//	-cache-mb N       in-memory artifact cache budget (default 64)
+//	-cache-dir DIR    also persist artifacts under DIR so restarts
+//	                  serve them warm (default off)
+//
+// Endpoints: POST /compile, POST+GET /catalogs, GET /metrics,
+// GET /healthz. SIGINT/SIGTERM shut down gracefully: the listener
+// closes, in-flight compiles drain and publish to the cache, then the
+// process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8344", "listen address")
+		workers  = flag.Int("workers", 0, "concurrent compiles (0: GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "queued compiles before 503")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-request wait bound")
+		cacheMB  = flag.Int64("cache-mb", 64, "in-memory artifact cache budget (MiB)")
+		cacheDir = flag.String("cache-dir", "", "persist artifacts under this directory (off when empty)")
+		drainFor = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight compiles at shutdown")
+	)
+	flag.Parse()
+	log.SetPrefix("titand: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	srv, err := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Timeout:    *timeout,
+		CacheBytes: *cacheMB << 20,
+		CacheDir:   *cacheDir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("listening on %s (workers=%d queue=%d cache=%dMiB dir=%q)",
+		*addr, *workers, *queue, *cacheMB, *cacheDir)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Print("signal received; draining")
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Drain(shutdownCtx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	log.Print("drained; exiting")
+}

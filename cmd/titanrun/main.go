@@ -31,6 +31,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: titanrun [-configs] file.c")
 		os.Exit(2)
 	}
+	if err := titan.ValidateProcessors(*procs); err != nil {
+		fatal(err)
+	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)

@@ -14,6 +14,7 @@ package inline
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -91,23 +92,38 @@ func WriteCatalog(w io.Writer, c *Catalog) error {
 	return bw.Flush()
 }
 
-// ReadCatalog deserializes a catalog.
-func ReadCatalog(r io.Reader) (*Catalog, error) {
+// ReadCatalog deserializes a catalog. Malformed input — wrong magic,
+// a version this build does not understand, or a stream truncated or
+// corrupted anywhere after the header — is reported as a descriptive
+// error, never a panic: the daemon feeds this decoder bytes uploaded
+// over HTTP.
+func ReadCatalog(r io.Reader) (c *Catalog, err error) {
+	// Backstop: the decoder validates counts and indices as it goes, but
+	// corrupt input that slips through a missed check must still surface
+	// as an error, not take down the process.
+	defer func() {
+		if p := recover(); p != nil {
+			c, err = nil, fmt.Errorf("catalog: malformed input: %v", p)
+		}
+	}()
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(catalogMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("catalog: %w", err)
+	if n, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("catalog: truncated input: got %d of %d magic bytes (want %q)", n, len(catalogMagic), catalogMagic)
 	}
 	if string(magic) != catalogMagic {
-		return nil, fmt.Errorf("catalog: bad magic %q", magic)
+		return nil, fmt.Errorf("catalog: bad magic %q (want %q): not a Titan procedure catalog", magic, catalogMagic)
 	}
 	dec := &decoder{r: br}
-	if v := dec.u64(); v != catalogVersion {
-		return nil, fmt.Errorf("catalog: unsupported version %d", v)
+	if v := dec.u64(); dec.err != nil || v != catalogVersion {
+		if dec.err != nil {
+			return nil, fmt.Errorf("catalog: truncated input: missing version: %w", dec.err)
+		}
+		return nil, fmt.Errorf("catalog: unsupported version %d (this build reads version %d)", v, catalogVersion)
 	}
 	dec.readTypeTable()
 
-	c := &Catalog{}
+	c = &Catalog{}
 	ng := dec.u64()
 	for i := uint64(0); i < ng && dec.err == nil; i++ {
 		g := il.GlobalVar{}
@@ -124,6 +140,9 @@ func ReadCatalog(r io.Reader) (*Catalog, error) {
 		c.Procs = append(c.Procs, dec.proc())
 	}
 	if dec.err != nil {
+		if errors.Is(dec.err, io.EOF) || errors.Is(dec.err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("catalog: truncated input: %w", dec.err)
+		}
 		return nil, dec.err
 	}
 	return c, nil
@@ -425,6 +444,25 @@ type decoder struct {
 	r     *bufio.Reader
 	err   error
 	types []*ctype.Type
+	depth int // statement/expression recursion depth (bounded)
+}
+
+// maxDecodeDepth bounds statement/expression nesting so a crafted input
+// cannot overflow the stack via deeply nested tags (every level of real
+// nesting consumes input bytes, so legitimate catalogs stay far below).
+const maxDecodeDepth = 1 << 14
+
+// enter tracks recursion depth; it reports false (and sets the error)
+// once the nesting bound is exceeded.
+func (d *decoder) enter() bool {
+	d.depth++
+	if d.depth > maxDecodeDepth {
+		if d.err == nil {
+			d.err = fmt.Errorf("catalog: statement/expression nesting exceeds %d levels", maxDecodeDepth)
+		}
+		return false
+	}
+	return true
 }
 
 func (d *decoder) u64() uint64 {
@@ -505,8 +543,10 @@ func (d *decoder) typeByID(id int) *ctype.Type {
 }
 
 func (d *decoder) readTypeTable() {
+	// 64k types is far beyond any real translation unit; the bound also
+	// caps finishTypes' value-edge recursion depth on crafted input.
 	n := int(d.u64())
-	if d.err != nil || n < 0 || n > 1<<20 {
+	if d.err != nil || n < 0 || n > 1<<16 {
 		if d.err == nil {
 			d.err = fmt.Errorf("catalog: bad type count %d", n)
 		}
@@ -520,6 +560,12 @@ func (d *decoder) readTypeTable() {
 	for i := 0; i < n && d.err == nil; i++ {
 		t := d.types[i]
 		t.Kind = ctype.Kind(d.u64())
+		if t.Kind < ctype.Void || t.Kind > ctype.Enum {
+			if d.err == nil {
+				d.err = fmt.Errorf("catalog: type %d has unknown kind %d", i, t.Kind)
+			}
+			return
+		}
 		t.Unsigned = d.boolean()
 		t.Volatile = d.boolean()
 		t.Const = d.boolean()
@@ -544,29 +590,90 @@ func (d *decoder) readTypeTable() {
 			fields = append(fields, ctype.Field{Name: name, Type: ft, Offset: off})
 		}
 		t.Fields = fields
-		size := int(d.i64())
-		// Reapply aggregate size through the layout helper: rebuild via
-		// the stored offsets; Size() for structs reads the private size,
-		// so funnel through a rebuild when aggregate.
-		if t.Kind == ctype.Struct || t.Kind == ctype.Union {
-			*t = *rebuildAggregate(t, size)
+		d.i64() // stored aggregate size; recomputed by finishTypes
+	}
+	if d.err == nil {
+		d.finishTypes()
+	}
+}
+
+// finishTypes validates the decoded type graph and rebuilds aggregate
+// layout. Two jobs, both deferred until the whole table is read:
+//
+//  1. Validation. The layout helpers dereference element and field types
+//     and recurse through value containment, so a corrupt table with a
+//     dangling reference or a type that contains itself by value (legal
+//     in no C program — only pointers may close a cycle) must be
+//     rejected here, not crash there.
+//  2. Bottom-up rebuild. StructOf/UnionOf recompute offsets from field
+//     sizes, so a struct's field types must have final layout before the
+//     struct does. typeID interns parents before children at encode
+//     time, so table order is top-down — the rebuild follows value edges
+//     depth-first instead.
+func (d *decoder) finishTypes() {
+	const (
+		unseen = iota
+		visiting
+		finished
+	)
+	state := make([]byte, len(d.types))
+	index := make(map[*ctype.Type]int, len(d.types))
+	for i, t := range d.types {
+		index[t] = i
+	}
+	var visit func(i int)
+	visit = func(i int) {
+		if d.err != nil || state[i] == finished {
+			return
+		}
+		if state[i] == visiting {
+			d.err = fmt.Errorf("catalog: type %d contains itself by value", i)
+			return
+		}
+		state[i] = visiting
+		t := d.types[i]
+		switch t.Kind {
+		case ctype.Array:
+			if t.Elem == nil {
+				d.err = fmt.Errorf("catalog: array type %d has a dangling element type", i)
+				return
+			}
+			visit(index[t.Elem])
+		case ctype.Struct, ctype.Union:
+			for _, f := range t.Fields {
+				if f.Type == nil {
+					d.err = fmt.Errorf("catalog: aggregate type %d field %q has a dangling type reference", i, f.Name)
+					return
+				}
+				visit(index[f.Type])
+				if d.err != nil {
+					return
+				}
+			}
+			*t = *rebuildAggregate(t)
+		}
+		state[i] = finished
+	}
+	for i := range d.types {
+		visit(i)
+		if d.err != nil {
+			return
 		}
 	}
 }
 
-// rebuildAggregate restores a struct/union with its stored layout.
-func rebuildAggregate(t *ctype.Type, size int) *ctype.Type {
+// rebuildAggregate restores a struct/union through the layout helper.
+// StructOf recomputes offsets with the same algorithm used at parse
+// time, so the stored offsets match; qualifiers are kept.
+func rebuildAggregate(t *ctype.Type) *ctype.Type {
 	var nt *ctype.Type
 	if t.Kind == ctype.Struct {
 		nt = ctype.StructOf(t.Tag, t.Fields)
 	} else {
 		nt = ctype.UnionOf(t.Tag, t.Fields)
 	}
-	// StructOf recomputes offsets with the same algorithm used at parse
-	// time, so the stored offsets match; keep qualifiers.
 	nt.Volatile = t.Volatile
 	nt.Const = t.Const
-	_ = size
 	return nt
 }
 
@@ -608,6 +715,10 @@ func (d *decoder) stmts() []il.Stmt {
 }
 
 func (d *decoder) stmt() il.Stmt {
+	if !d.enter() {
+		return &il.Label{Name: ".bad"}
+	}
+	defer func() { d.depth-- }()
 	switch tag := d.u64(); tag {
 	case tAssign:
 		dst := d.expr()
@@ -671,6 +782,10 @@ func (d *decoder) stmt() il.Stmt {
 }
 
 func (d *decoder) expr() il.Expr {
+	if !d.enter() {
+		return il.Int(0)
+	}
+	defer func() { d.depth-- }()
 	switch tag := d.u64(); tag {
 	case xNil:
 		return nil

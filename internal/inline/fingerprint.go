@@ -1,0 +1,22 @@
+package inline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Fingerprint returns the SHA-256 hex digest of the catalog's serialized
+// form. It is the catalog's content identity: the compile service keys
+// its registry by it, and the driver folds it into compile cache keys so
+// two compiles attaching byte-identical catalogs share a cache entry.
+//
+// The digest is computed over the canonical serialization (WriteCatalog),
+// not over whatever bytes the catalog was read from, so a catalog
+// round-tripped through ReadCatalog keeps its identity.
+func (c *Catalog) Fingerprint() (string, error) {
+	h := sha256.New()
+	if err := WriteCatalog(h, c); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,202 @@
+package inline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ctype"
+	"repro/internal/il"
+	"repro/internal/lower"
+	"repro/internal/parser"
+	"repro/internal/sema"
+)
+
+// frontEnd lowers C source to IL for catalog construction; testing.TB so
+// both tests and the fuzz seed builder can use it.
+func frontEnd(t testing.TB, src string) *il.Program {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	prog, err := lower.File(f, info)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return prog
+}
+
+// catalogBytes compiles a small library and serializes its catalog — the
+// well-formed seed the robustness tests corrupt.
+func catalogBytes(t testing.TB) []byte {
+	t.Helper()
+	src := `
+struct pt { int x; int y; };
+int gsum;
+int norm2(struct pt *p) { return p->x * p->x + p->y * p->y; }
+float axpy(float a, float x, float y) { return a * x + y; }
+void accum(int *v, int n) { int i; for (i = 0; i < n; i++) gsum = gsum + v[i]; }
+`
+	var buf bytes.Buffer
+	if err := WriteCatalog(&buf, BuildCatalog(frontEnd(t, src))); err != nil {
+		t.Fatalf("write catalog: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadCatalogRoundTrip(t *testing.T) {
+	raw := catalogBytes(t)
+	c, err := ReadCatalog(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(c.Procs) != 3 || len(c.Globals) != 1 {
+		t.Fatalf("got %d procs, %d globals", len(c.Procs), len(c.Globals))
+	}
+	fp1, err := c.Fingerprint()
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	// Round-tripping must preserve the content identity.
+	var buf bytes.Buffer
+	if err := WriteCatalog(&buf, c); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	c2, err := ReadCatalog(&buf)
+	if err != nil {
+		t.Fatalf("reread: %v", err)
+	}
+	fp2, err := c2.Fingerprint()
+	if err != nil {
+		t.Fatalf("refingerprint: %v", err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("fingerprint not stable across round trip: %s vs %s", fp1, fp2)
+	}
+}
+
+// TestReadCatalogAggregateLayout pins a decode-ordering fix: typeID
+// interns a struct before its field types, so the decoder must not
+// recompute the struct's layout until the whole table is read — doing it
+// mid-table laid structs out with zero-sized shell fields.
+func TestReadCatalogAggregateLayout(t *testing.T) {
+	src := `
+struct q { char c; double d; int a[3]; };
+int use(struct q *p) { return p->a[2]; }
+`
+	prog := frontEnd(t, src)
+	var want *ctype.Type
+	for i := range prog.Procs[0].Vars {
+		ty := prog.Procs[0].Vars[i].Type
+		if ty != nil && ty.Kind == ctype.Pointer && ty.Elem.Kind == ctype.Struct {
+			want = ty.Elem
+		}
+	}
+	if want == nil {
+		t.Fatal("no pointer-to-struct parameter found")
+	}
+	var buf bytes.Buffer
+	if err := WriteCatalog(&buf, BuildCatalog(prog)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c, err := ReadCatalog(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	var got *ctype.Type
+	for i := range c.Procs[0].Vars {
+		ty := c.Procs[0].Vars[i].Type
+		if ty != nil && ty.Kind == ctype.Pointer && ty.Elem.Kind == ctype.Struct {
+			got = ty.Elem
+		}
+	}
+	if got == nil {
+		t.Fatal("decoded proc lost its pointer-to-struct parameter")
+	}
+	if got.Size() != want.Size() {
+		t.Errorf("struct size %d, want %d", got.Size(), want.Size())
+	}
+	for i := range want.Fields {
+		if got.Fields[i].Offset != want.Fields[i].Offset {
+			t.Errorf("field %s offset %d, want %d",
+				want.Fields[i].Name, got.Fields[i].Offset, want.Fields[i].Offset)
+		}
+	}
+}
+
+func TestReadCatalogBadMagic(t *testing.T) {
+	_, err := ReadCatalog(strings.NewReader("NOTACATALOGDATA"))
+	if err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("want bad-magic error, got %v", err)
+	}
+	// Too short for even the magic: reported as truncation, with counts.
+	_, err = ReadCatalog(strings.NewReader("TIT"))
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("want truncated error, got %v", err)
+	}
+}
+
+func TestReadCatalogUnsupportedVersion(t *testing.T) {
+	raw := append([]byte(catalogMagic), 99) // varint(99) is one byte
+	_, err := ReadCatalog(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatal("want error for version 99")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "99") || !strings.Contains(msg, "version 1") {
+		t.Fatalf("version error should name found and expected versions, got %q", msg)
+	}
+}
+
+func TestReadCatalogTruncated(t *testing.T) {
+	raw := catalogBytes(t)
+	// Cut the stream at several depths: inside the type table, inside the
+	// globals, inside a procedure body. Every prefix must produce a
+	// descriptive error, never a panic or a silent success.
+	for _, n := range []int{len(catalogMagic), len(catalogMagic) + 1, len(raw) / 4, len(raw) / 2, len(raw) - 1} {
+		_, err := ReadCatalog(bytes.NewReader(raw[:n]))
+		if err == nil {
+			t.Errorf("prefix of %d bytes: want error, got nil", n)
+			continue
+		}
+		if !strings.Contains(err.Error(), "catalog:") {
+			t.Errorf("prefix of %d bytes: error %q lacks catalog: prefix", n, err)
+		}
+	}
+}
+
+// FuzzReadCatalog asserts the decoder never panics: catalogs arrive over
+// HTTP in the compile service, so arbitrary bytes must fail cleanly.
+func FuzzReadCatalog(f *testing.F) {
+	raw := catalogBytes(f)
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])        // truncated mid-stream
+	f.Add(raw[:len(catalogMagic)]) // header only
+	f.Add([]byte("TITANCAT"))
+	f.Add([]byte("NOTACATA"))
+	f.Add(append([]byte(catalogMagic), 99)) // future version
+	corrupt := bytes.Clone(raw)
+	for i := len(catalogMagic) + 1; i < len(corrupt); i += 7 {
+		corrupt[i] ^= 0x5a
+	}
+	f.Add(corrupt)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadCatalog(bytes.NewReader(data))
+		if err == nil && c == nil {
+			t.Fatal("nil catalog with nil error")
+		}
+		if err == nil {
+			// Whatever decoded must re-serialize (fingerprinting relies
+			// on it) — and must not panic doing so.
+			if _, ferr := c.Fingerprint(); ferr != nil {
+				t.Skipf("decoded catalog does not re-serialize: %v", ferr)
+			}
+		}
+	})
+}

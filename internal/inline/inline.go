@@ -31,7 +31,7 @@ func DefaultConfig() Config { return Config{MaxStmts: 200, MaxDepth: 8} }
 // report expects.
 type Stats struct {
 	// CallsExpanded counts call sites replaced by callee bodies.
-	CallsExpanded int
+	CallsExpanded int `json:"calls_expanded"`
 }
 
 // Add folds another unit's stats into s.

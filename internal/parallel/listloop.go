@@ -35,7 +35,7 @@ const listBufCap = 8192
 
 // ListStats reports list-loop conversions.
 type ListStats struct {
-	LoopsConverted int
+	LoopsConverted int `json:"loops_converted"`
 }
 
 // Add folds another procedure's stats into s.

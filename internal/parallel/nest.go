@@ -25,7 +25,7 @@ import (
 
 // NestStats reports conversions.
 type NestStats struct {
-	NestsParallelized int
+	NestsParallelized int `json:"nests_parallelized"`
 }
 
 // Add folds another procedure's stats into s.

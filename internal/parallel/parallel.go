@@ -19,8 +19,8 @@ import (
 
 // Stats reports conversions.
 type Stats struct {
-	LoopsExamined     int
-	LoopsParallelized int
+	LoopsExamined     int `json:"loops_examined"`
+	LoopsParallelized int `json:"loops_parallelized"`
 }
 
 // Add folds another procedure's stats into s.

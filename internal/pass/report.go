@@ -14,12 +14,14 @@ import (
 )
 
 // PassStat is one pipeline row: what a pass cost and what it did to the
-// program's size.
+// program's size. The JSON form (consumed by the compile service's
+// /metrics and /compile endpoints) encodes Duration as integer
+// nanoseconds under duration_ns.
 type PassStat struct {
-	Name        string
-	Duration    time.Duration
-	StmtsBefore int
-	StmtsAfter  int
+	Name        string        `json:"name"`
+	Duration    time.Duration `json:"duration_ns"`
+	StmtsBefore int           `json:"stmts_before"`
+	StmtsAfter  int           `json:"stmts_after"`
 }
 
 // Delta is the signed IL statement change the pass made.
@@ -31,15 +33,15 @@ func (s PassStat) Delta() int { return s.StmtsAfter - s.StmtsBefore }
 // the worker pool in Procs order produce the same Report regardless of
 // which worker finished first.
 type Report struct {
-	Passes []PassStat
+	Passes []PassStat `json:"passes,omitempty"`
 
-	Inline   inline.Stats
-	Scalar   opt.Counts // per scalar sub-pass change counts (scalarize + cleanup)
-	Nest     parallel.NestStats
-	Vector   vector.Stats
-	Parallel parallel.Stats
-	List     parallel.ListStats
-	Strength strength.Stats
+	Inline   inline.Stats       `json:"inline"`
+	Scalar   opt.Counts         `json:"scalar,omitempty"` // per scalar sub-pass change counts (scalarize + cleanup)
+	Nest     parallel.NestStats `json:"nest"`
+	Vector   vector.Stats       `json:"vector"`
+	Parallel parallel.Stats     `json:"parallel"`
+	List     parallel.ListStats `json:"list"`
+	Strength strength.Stats     `json:"strength"`
 }
 
 // Pass returns the stat row for the named pass, or nil. If a pass ran

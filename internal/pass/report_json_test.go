@@ -1,0 +1,85 @@
+package pass
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/inline"
+	"repro/internal/opt"
+	"repro/internal/parallel"
+	"repro/internal/strength"
+	"repro/internal/vector"
+)
+
+func fullReport() *Report {
+	return &Report{
+		Passes: []PassStat{
+			{Name: PassInline, Duration: 1500 * time.Nanosecond, StmtsBefore: 10, StmtsAfter: 18},
+			{Name: PassScalar, Duration: 2 * time.Microsecond, StmtsBefore: 18, StmtsAfter: 12},
+		},
+		Inline:   inline.Stats{CallsExpanded: 3},
+		Scalar:   opt.Counts{"constprop": 4, "dce": 2},
+		Nest:     parallel.NestStats{NestsParallelized: 1},
+		Vector:   vector.Stats{LoopsExamined: 5, LoopsVectorized: 2, VectorStmts: 7, ParallelLoops: 1, SerialResidue: 3},
+		Parallel: parallel.Stats{LoopsExamined: 4, LoopsParallelized: 2},
+		List:     parallel.ListStats{LoopsConverted: 1},
+		Strength: strength.Stats{PromotedLoads: 2, ReducedRefs: 3, Pointers: 1, HoistedExprs: 4, LoopsTransformed: 2},
+	}
+}
+
+// TestReportJSONRoundTrip: the /metrics and /compile endpoints ship
+// Reports as JSON; marshal → unmarshal must reproduce the value exactly.
+func TestReportJSONRoundTrip(t *testing.T) {
+	want := fullReport()
+	blob, err := json.Marshal(want)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got := &Report{}
+	if err := json.Unmarshal(blob, got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestReportJSONStable pins the wire shape: machine consumers key on
+// these field names, so renames are breaking changes.
+func TestReportJSONStable(t *testing.T) {
+	blob, err := json.Marshal(fullReport())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	const want = `{"passes":[` +
+		`{"name":"inline","duration_ns":1500,"stmts_before":10,"stmts_after":18},` +
+		`{"name":"scalarize","duration_ns":2000,"stmts_before":18,"stmts_after":12}],` +
+		`"inline":{"calls_expanded":3},` +
+		`"scalar":{"constprop":4,"dce":2},` +
+		`"nest":{"nests_parallelized":1},` +
+		`"vector":{"loops_examined":5,"loops_vectorized":2,"vector_stmts":7,"parallel_loops":1,"serial_residue":3},` +
+		`"parallel":{"loops_examined":4,"loops_parallelized":2},` +
+		`"list":{"loops_converted":1},` +
+		`"strength":{"promoted_loads":2,"reduced_refs":3,"pointers":1,"hoisted_exprs":4,"loops_transformed":2}}`
+	if string(blob) != want {
+		t.Fatalf("wire shape drifted:\n got %s\nwant %s", blob, want)
+	}
+}
+
+// An empty report must still be valid, small JSON (omitempty on the
+// variable-size parts).
+func TestReportJSONEmpty(t *testing.T) {
+	blob, err := json.Marshal(&Report{})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got := &Report{}
+	if err := json.Unmarshal(blob, got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(got, &Report{}) {
+		t.Fatalf("empty round trip mismatch: %+v", got)
+	}
+}

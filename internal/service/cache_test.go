@@ -1,0 +1,133 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func blobOf(n int, fill byte) []byte { return bytes.Repeat([]byte{fill}, n) }
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := NewCache(100, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), blobOf(30, byte(i)))
+	}
+	// 4×30 > 100: k0 (least recently used) must be gone, the rest present.
+	if _, tier := c.Get("k0"); tier != TierNone {
+		t.Error("k0 survived past the budget")
+	}
+	for i := 1; i < 4; i++ {
+		if _, tier := c.Get(fmt.Sprintf("k%d", i)); tier != TierMemory {
+			t.Errorf("k%d not in memory", i)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 3 || st.Bytes != 90 || st.Evictions != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+
+	// Touching k1 makes k2 the eviction victim for the next insert.
+	c.Get("k1")
+	c.Put("k4", blobOf(30, 4))
+	if _, tier := c.Get("k2"); tier != TierNone {
+		t.Error("k2 survived: LRU order not maintained by Get")
+	}
+	if _, tier := c.Get("k1"); tier != TierMemory {
+		t.Error("recently used k1 was evicted")
+	}
+}
+
+func TestCacheOversizedBlobSkipsMemory(t *testing.T) {
+	c, err := NewCache(10, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("small", blobOf(8, 1))
+	c.Put("huge", blobOf(1000, 2))
+	if _, tier := c.Get("huge"); tier != TierNone {
+		t.Error("over-budget blob entered memory")
+	}
+	if _, tier := c.Get("small"); tier != TierMemory {
+		t.Error("over-budget blob evicted a fitting one")
+	}
+}
+
+func TestCacheUnboundedBudget(t *testing.T) {
+	c, err := NewCache(-1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		c.Put(fmt.Sprintf("k%d", i), blobOf(1000, byte(i)))
+	}
+	if st := c.Stats(); st.Entries != 50 || st.Evictions != 0 {
+		t.Errorf("unbounded cache evicted: %+v", st)
+	}
+}
+
+func TestCacheDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("abc123", []byte(`{"key":"abc123"}`))
+	if _, err := os.Stat(filepath.Join(dir, "abc123.json")); err != nil {
+		t.Fatalf("artifact not on disk: %v", err)
+	}
+
+	// A fresh cache over the same directory — the restart case — serves
+	// the artifact from disk and promotes it to memory.
+	c2, err := NewCache(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, tier := c2.Get("abc123")
+	if tier != TierDisk || string(blob) != `{"key":"abc123"}` {
+		t.Fatalf("warm restart: tier=%q blob=%q", tier, blob)
+	}
+	if _, tier := c2.Get("abc123"); tier != TierMemory {
+		t.Error("disk hit was not promoted to memory")
+	}
+}
+
+// TestServerWarmRestartFromDisk drives the restart path end to end: a
+// second server over the same cache directory serves the first server's
+// compile as a disk hit without running any pass.
+func TestServerWarmRestartFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newTestServer(t, Config{CacheDir: dir})
+	req := CompileRequest{Source: daxpySrc, Options: fullOpts()}
+	first, code := postCompile(t, ts1, req)
+	if code != 200 || first.Cached {
+		t.Fatalf("first: %d cached=%v", code, first.Cached)
+	}
+
+	s2, err := New(Config{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	out, code := postCompile(t, ts2, req)
+	if code != 200 {
+		t.Fatalf("restart compile: %d", code)
+	}
+	if !out.Cached || out.CacheTier != TierDisk {
+		t.Fatalf("restart not served from disk: cached=%v tier=%q", out.Cached, out.CacheTier)
+	}
+	if out.IL != first.IL || out.Asm != first.Asm {
+		t.Error("disk artifact differs from the original")
+	}
+	m := getMetrics(t, ts2)
+	if m.Compiles.DiskHits != 1 || len(m.Passes) != 0 {
+		t.Errorf("restart server ran a pass for a disk hit: %+v passes=%v", m.Compiles, m.Passes)
+	}
+}

@@ -1,0 +1,154 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/inline"
+)
+
+// catalogRegistry is §7 as a network service: procedure catalogs are
+// uploaded once, keyed by content fingerprint, and attached to compiles
+// by that id. Catalogs are immutable after upload — the inliner clones
+// callee bodies out of them — so one registry entry serves any number of
+// concurrent compiles.
+type catalogRegistry struct {
+	mu   sync.RWMutex
+	cats map[string]*inline.Catalog
+	meta map[string]CatalogRecord
+}
+
+// CatalogRecord is the registry's metadata for one catalog.
+type CatalogRecord struct {
+	ID       string    `json:"id"` // content fingerprint (SHA-256 hex)
+	Name     string    `json:"name,omitempty"`
+	Procs    []string  `json:"procs"`
+	Globals  int       `json:"globals"`
+	Bytes    int       `json:"bytes"`
+	Uploaded time.Time `json:"uploaded"`
+}
+
+func newCatalogRegistry() *catalogRegistry {
+	return &catalogRegistry{cats: map[string]*inline.Catalog{}, meta: map[string]CatalogRecord{}}
+}
+
+// add registers a catalog under its fingerprint; re-uploading identical
+// content is idempotent and keeps the original record.
+func (r *catalogRegistry) add(cat *inline.Catalog, name string, size int) (CatalogRecord, bool, error) {
+	id, err := cat.Fingerprint()
+	if err != nil {
+		return CatalogRecord{}, false, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rec, ok := r.meta[id]; ok {
+		return rec, false, nil
+	}
+	procs := make([]string, 0, len(cat.Procs))
+	for _, p := range cat.Procs {
+		procs = append(procs, p.Name)
+	}
+	sort.Strings(procs)
+	rec := CatalogRecord{ID: id, Name: name, Procs: procs, Globals: len(cat.Globals), Bytes: size, Uploaded: time.Now().UTC()}
+	r.cats[id] = cat
+	r.meta[id] = rec
+	return rec, true, nil
+}
+
+// resolve maps catalog ids from a compile request to catalogs. Unknown
+// ids are an error naming the id, so clients learn to upload first.
+func (r *catalogRegistry) resolve(ids []string) ([]*inline.Catalog, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*inline.Catalog, 0, len(ids))
+	for _, id := range ids {
+		c, ok := r.cats[id]
+		if !ok {
+			return nil, fmt.Errorf("unknown catalog %q: upload it via POST /catalogs first", id)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func (r *catalogRegistry) list() []CatalogRecord {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]CatalogRecord, 0, len(r.meta))
+	for _, rec := range r.meta {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (r *catalogRegistry) count() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.cats)
+}
+
+// CatalogUploadResponse is the POST /catalogs body.
+type CatalogUploadResponse struct {
+	Catalog CatalogRecord `json:"catalog"`
+	Created bool          `json:"created"`
+}
+
+// CatalogListResponse is the GET /catalogs body.
+type CatalogListResponse struct {
+	Catalogs []CatalogRecord `json:"catalogs"`
+	Count    int             `json:"count"`
+}
+
+// handleCatalogs serves POST (upload one serialized catalog, body as
+// produced by titancc -emit-catalog) and GET (list the registry).
+func (s *Server) handleCatalogs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		if err != nil {
+			httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("reading catalog body: %w", err))
+			return
+		}
+		cat, err := inline.ReadCatalog(bytes.NewReader(body))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		rec, created, err := s.registry.add(cat, r.URL.Query().Get("name"), len(body))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		status := http.StatusOK
+		if created {
+			status = http.StatusCreated
+		}
+		writeJSON(w, status, CatalogUploadResponse{Catalog: rec, Created: created})
+	case http.MethodGet:
+		recs := s.registry.list()
+		writeJSON(w, http.StatusOK, CatalogListResponse{Catalogs: recs, Count: len(recs)})
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,276 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/inline"
+	"repro/internal/pass"
+	"repro/internal/titan"
+)
+
+// CompileRequest is the POST /compile body: one C translation unit plus
+// the paper's compiler options, optionally followed by a simulation run.
+type CompileRequest struct {
+	Source  string         `json:"source"`
+	Options CompileOptions `json:"options"`
+	// Processors > 0 simulates the compiled program on that many Titan
+	// processors (1..4, §2) and includes the run result in the response
+	// and the cache entry.
+	Processors int `json:"processors,omitempty"`
+	// Entry names the simulation entry function (default main).
+	Entry string `json:"entry,omitempty"`
+}
+
+// CompileOptions is the JSON mirror of driver.Options. Pointers mark the
+// fields whose zero value is not the server default: omitting opt_level
+// means -O1, omitting strength_reduce means on (titancc's defaults).
+type CompileOptions struct {
+	OptLevel       *int  `json:"opt_level,omitempty"`
+	StrengthReduce *bool `json:"strength_reduce,omitempty"`
+	Inline         bool  `json:"inline,omitempty"`
+	Vectorize      bool  `json:"vectorize,omitempty"`
+	Parallelize    bool  `json:"parallelize,omitempty"`
+	ListParallel   bool  `json:"list_parallel,omitempty"`
+	NoAlias        bool  `json:"noalias,omitempty"`
+	VL             int   `json:"vl,omitempty"`
+	// Catalogs lists registry ids (content fingerprints from POST
+	// /catalogs) to attach for inline expansion.
+	Catalogs []string `json:"catalogs,omitempty"`
+}
+
+func (o CompileOptions) driverOptions(cats []*inline.Catalog) driver.Options {
+	opts := driver.Options{
+		OptLevel:       1,
+		StrengthReduce: true,
+		Inline:         o.Inline,
+		Vectorize:      o.Vectorize,
+		Parallelize:    o.Parallelize,
+		ListParallel:   o.ListParallel,
+		NoAlias:        o.NoAlias,
+		VL:             o.VL,
+		Catalogs:       cats,
+	}
+	if o.OptLevel != nil {
+		opts.OptLevel = *o.OptLevel
+	}
+	if o.StrengthReduce != nil {
+		opts.StrengthReduce = *o.StrengthReduce
+	}
+	return opts
+}
+
+// RunResult is a simulation outcome in JSON form.
+type RunResult struct {
+	ExitCode   int64   `json:"exit_code"`
+	Cycles     int64   `json:"cycles"`
+	Instrs     int64   `json:"instrs"`
+	Flops      int64   `json:"flops"`
+	MFLOPS     float64 `json:"mflops"`
+	Processors int     `json:"processors"`
+	Output     string  `json:"output,omitempty"`
+}
+
+// CompileResponse is the POST /compile reply. Key, IL, Asm, Report, and
+// Run form the cached artifact; Cached, CacheTier, and ElapsedNS are
+// stamped per request.
+type CompileResponse struct {
+	Key    string       `json:"key"`
+	IL     string       `json:"il"`
+	Asm    string       `json:"asm"`
+	Report *pass.Report `json:"report"`
+	Run    *RunResult   `json:"run,omitempty"`
+
+	Cached    bool   `json:"cached"`
+	CacheTier string `json:"cache_tier,omitempty"` // memory, disk, or inflight
+	ElapsedNS int64  `json:"elapsed_ns"`
+}
+
+// errQueueFull rejects work when every worker is busy and the queue is
+// at depth; clients should back off and retry.
+var errQueueFull = errors.New("service: compile queue full")
+
+// handleCompile serves POST /compile: cache lookup, then a deduplicated,
+// queued, timed compile.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	start := time.Now()
+	s.metrics.begin()
+	defer s.metrics.end()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("reading request body: %w", err))
+		return
+	}
+	var req CompileRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Source == "" {
+		httpError(w, http.StatusBadRequest, errors.New("source must not be empty"))
+		return
+	}
+	if req.Processors != 0 {
+		// The paper's machine tops out at four processors; reject rather
+		// than silently clamp (§2).
+		if err := titan.ValidateProcessors(req.Processors); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if req.Entry == "" {
+		req.Entry = "main"
+	}
+	cats, err := s.registry.resolve(req.Options.Catalogs)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := req.Options.driverOptions(cats)
+	key, err := requestKey(req, opts)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	if blob, tier := s.cache.Get(key); tier != TierNone {
+		s.metrics.hit(tier)
+		s.respondArtifact(w, blob, start, true, tier)
+		return
+	}
+
+	fl, leader := s.flight.do(key, &s.inflight, func() ([]byte, error) {
+		return s.compile(key, req, opts)
+	})
+
+	timeout := time.NewTimer(s.cfg.Timeout)
+	defer timeout.Stop()
+	select {
+	case <-fl.done:
+		if fl.err != nil {
+			if errors.Is(fl.err, errQueueFull) {
+				s.metrics.rejected()
+				httpError(w, http.StatusServiceUnavailable, fl.err)
+				return
+			}
+			s.metrics.failed()
+			httpError(w, http.StatusUnprocessableEntity, fl.err)
+			return
+		}
+		if leader {
+			// The leader's compile already recorded the miss (with its
+			// pass report) in s.compile.
+			s.respondArtifact(w, fl.blob, start, false, TierNone)
+		} else {
+			s.metrics.hit(TierInflight)
+			s.respondArtifact(w, fl.blob, start, true, TierInflight)
+		}
+	case <-timeout.C:
+		// The compile keeps running (it is tracked for drain and will
+		// warm the cache); only this request gives up waiting.
+		s.metrics.timeout()
+		httpError(w, http.StatusGatewayTimeout,
+			fmt.Errorf("compile still running after %s; retry to pick up the cached result", s.cfg.Timeout))
+	case <-r.Context().Done():
+		s.metrics.timeout()
+		httpError(w, http.StatusServiceUnavailable, r.Context().Err())
+	}
+}
+
+// requestKey extends the driver's content-addressed compile key with the
+// run spec, so "compile" and "compile and simulate on 2 processors" are
+// distinct artifacts.
+func requestKey(req CompileRequest, opts driver.Options) (string, error) {
+	base, err := driver.CacheKey(req.Source, opts)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	io.WriteString(h, base)
+	if req.Processors > 0 {
+		fmt.Fprintf(h, "\nrun:procs=%d,entry=%s", req.Processors, req.Entry)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// compile is the leader path: take a queue slot, wait for a worker, run
+// the full pipeline (plus optional simulation), cache the artifact.
+func (s *Server) compile(key string, req CompileRequest, opts driver.Options) ([]byte, error) {
+	select {
+	case s.queueSem <- struct{}{}:
+		defer func() { <-s.queueSem }()
+	default:
+		return nil, errQueueFull
+	}
+	s.workerSem <- struct{}{}
+	defer func() { <-s.workerSem }()
+	if s.compileHook != nil {
+		s.compileHook(key)
+	}
+
+	res, err := driver.Compile(req.Source, opts)
+	if err != nil {
+		return nil, err
+	}
+	art := CompileResponse{
+		Key:    key,
+		IL:     driver.DumpIL(res),
+		Asm:    driver.Disassemble(res),
+		Report: res.Report,
+	}
+	if req.Processors > 0 {
+		if _, ok := res.Machine.Funcs[req.Entry]; !ok {
+			return nil, fmt.Errorf("entry function %q is not defined", req.Entry)
+		}
+		m := titan.NewMachine(res.Machine, req.Processors)
+		r, err := m.Run(req.Entry)
+		if err != nil {
+			return nil, fmt.Errorf("simulation: %w", err)
+		}
+		art.Run = &RunResult{
+			ExitCode:   r.ExitCode,
+			Cycles:     r.Cycles,
+			Instrs:     r.Instrs,
+			Flops:      r.FlopCount,
+			MFLOPS:     r.MFLOPS(),
+			Processors: req.Processors,
+			Output:     r.Output,
+		}
+	}
+	blob, err := json.Marshal(art)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.Put(key, blob)
+	s.metrics.miss(res.Report)
+	return blob, nil
+}
+
+// respondArtifact stamps the per-request fields onto a cached artifact
+// blob and writes it.
+func (s *Server) respondArtifact(w http.ResponseWriter, blob []byte, start time.Time, cached bool, tier string) {
+	var resp CompileResponse
+	if err := json.Unmarshal(blob, &resp); err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("corrupt cached artifact: %w", err))
+		return
+	}
+	resp.Cached = cached
+	resp.CacheTier = tier
+	elapsed := time.Since(start)
+	resp.ElapsedNS = elapsed.Nanoseconds()
+	s.metrics.observe(elapsed)
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,174 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/pass"
+)
+
+// metrics aggregates what the daemon has done since start: request
+// counters, per-pass cumulative wall time folded from every compiled
+// request's pass.Report, and a latency summary. The /metrics handler
+// serves a consistent snapshot.
+type metrics struct {
+	mu       sync.Mutex
+	start    time.Time
+	compiles CompileCounters
+	passes   map[string]*PassTotals
+	latency  LatencySummary
+}
+
+// CompileCounters counts request outcomes. CacheHits is the sum of the
+// per-tier hit counters; Total = CacheHits + CacheMisses + Errors +
+// Rejected (timeouts are not an outcome — the compile a timed-out
+// request started still completes and lands in Misses).
+type CompileCounters struct {
+	Total        int64 `json:"total"`
+	CacheHits    int64 `json:"cache_hits"`
+	MemoryHits   int64 `json:"memory_hits"`
+	DiskHits     int64 `json:"disk_hits"`
+	InflightHits int64 `json:"inflight_hits"` // joined an identical running compile
+	CacheMisses  int64 `json:"cache_misses"`
+	Errors       int64 `json:"errors"`
+	Rejected     int64 `json:"rejected"` // queue full
+	Timeouts     int64 `json:"timeouts"`
+	InFlight     int64 `json:"in_flight"` // gauge: requests inside the handler now
+}
+
+// PassTotals is one pass's cumulative cost across every compile served.
+type PassTotals struct {
+	Runs    int64 `json:"runs"`
+	TotalNS int64 `json:"total_ns"`
+}
+
+// LatencySummary summarizes end-to-end /compile latency (all outcomes
+// that produced a response body, hits and misses alike).
+type LatencySummary struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+	MinNS   int64 `json:"min_ns"`
+	MaxNS   int64 `json:"max_ns"`
+	MeanNS  int64 `json:"mean_ns"`
+}
+
+// MetricsResponse is the GET /metrics body.
+type MetricsResponse struct {
+	UptimeNS int64                 `json:"uptime_ns"`
+	Compiles CompileCounters       `json:"compiles"`
+	Cache    CacheStats            `json:"cache"`
+	Catalogs int                   `json:"catalogs"`
+	Passes   map[string]PassTotals `json:"passes"`
+	Latency  LatencySummary        `json:"latency"`
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), passes: map[string]*PassTotals{}}
+}
+
+func (m *metrics) begin() {
+	m.mu.Lock()
+	m.compiles.InFlight++
+	m.mu.Unlock()
+}
+
+func (m *metrics) end() {
+	m.mu.Lock()
+	m.compiles.InFlight--
+	m.mu.Unlock()
+}
+
+// hit records a request served without compiling, by tier (TierMemory,
+// TierDisk, or TierInflight).
+func (m *metrics) hit(tier string) {
+	m.mu.Lock()
+	m.compiles.Total++
+	m.compiles.CacheHits++
+	switch tier {
+	case TierMemory:
+		m.compiles.MemoryHits++
+	case TierDisk:
+		m.compiles.DiskHits++
+	case TierInflight:
+		m.compiles.InflightHits++
+	}
+	m.mu.Unlock()
+}
+
+// miss records one real compile, folding its pass report into the
+// cumulative per-pass table. This is the only place pass time enters
+// /metrics, which is what lets tests assert "a cache hit ran no pass":
+// the per-pass totals are flat across a hit.
+func (m *metrics) miss(rep *pass.Report) {
+	m.mu.Lock()
+	m.compiles.Total++
+	m.compiles.CacheMisses++
+	if rep != nil {
+		for _, p := range rep.Passes {
+			t := m.passes[p.Name]
+			if t == nil {
+				t = &PassTotals{}
+				m.passes[p.Name] = t
+			}
+			t.Runs++
+			t.TotalNS += p.Duration.Nanoseconds()
+		}
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) failed() {
+	m.mu.Lock()
+	m.compiles.Total++
+	m.compiles.Errors++
+	m.mu.Unlock()
+}
+
+func (m *metrics) rejected() {
+	m.mu.Lock()
+	m.compiles.Total++
+	m.compiles.Rejected++
+	m.mu.Unlock()
+}
+
+func (m *metrics) timeout() {
+	m.mu.Lock()
+	m.compiles.Timeouts++
+	m.mu.Unlock()
+}
+
+func (m *metrics) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	m.mu.Lock()
+	l := &m.latency
+	l.Count++
+	l.TotalNS += ns
+	if l.MinNS == 0 || ns < l.MinNS {
+		l.MinNS = ns
+	}
+	if ns > l.MaxNS {
+		l.MaxNS = ns
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) snapshot(cache CacheStats, catalogs int) MetricsResponse {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	passes := make(map[string]PassTotals, len(m.passes))
+	for name, t := range m.passes {
+		passes[name] = *t
+	}
+	lat := m.latency
+	if lat.Count > 0 {
+		lat.MeanNS = lat.TotalNS / lat.Count
+	}
+	return MetricsResponse{
+		UptimeNS: time.Since(m.start).Nanoseconds(),
+		Compiles: m.compiles,
+		Cache:    cache,
+		Catalogs: catalogs,
+		Passes:   passes,
+		Latency:  lat,
+	}
+}

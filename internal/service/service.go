@@ -1,0 +1,168 @@
+// Package service is titand's compile service: the paper's §7 view of
+// compilation as a database problem, grown into a long-lived daemon. A
+// cold CLI pays the whole pipeline on every invocation; workloads that
+// fire thousands of near-identical compile requests (autotuners,
+// NeuroVectorizer-style search loops) want a server that compiles each
+// distinct unit once and serves the rest from a content-addressed cache.
+//
+// The daemon exposes:
+//
+//	POST /compile  — C source + options → IL, Titan assembly, the pass
+//	                 report, and optionally a simulation result
+//	POST /catalogs — upload a §7 procedure catalog; registered by
+//	                 content fingerprint
+//	GET  /catalogs — list the catalog registry
+//	GET  /metrics  — aggregated pass.Report, cache and queue counters,
+//	                 latency summary
+//	GET  /healthz  — liveness and drain state
+//
+// Compiles run on a bounded worker pool behind a bounded queue (overload
+// answers 503, not collapse), identical in-flight requests are
+// deduplicated singleflight-style, and results land in an in-memory LRU
+// under a byte budget with an optional disk tier so restarts stay warm.
+// Shutdown drains: in-flight compiles finish and publish to the cache
+// before the daemon exits.
+package service
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sizes the daemon. The zero value is usable: every field has a
+// production default.
+type Config struct {
+	// Workers bounds concurrent compiles (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds compiles admitted beyond the running ones;
+	// past Workers+QueueDepth, /compile answers 503 (default 64).
+	QueueDepth int
+	// Timeout bounds how long one request waits for its compile
+	// (default 60s). The compile itself keeps running to warm the cache.
+	Timeout time.Duration
+	// CacheBytes is the in-memory artifact budget (default 64 MiB,
+	// negative = unbounded).
+	CacheBytes int64
+	// CacheDir, when set, adds a disk tier under this directory so a
+	// restarted daemon stays warm.
+	CacheDir string
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Server is the compile service. Create with New, mount Handler on an
+// http.Server, and call Drain during shutdown.
+type Server struct {
+	cfg      Config
+	cache    *Cache
+	registry *catalogRegistry
+	metrics  *metrics
+	flight   flightGroup
+
+	queueSem  chan struct{} // admission: Workers+QueueDepth slots
+	workerSem chan struct{} // execution: Workers slots
+	inflight  sync.WaitGroup
+	draining  atomic.Bool
+
+	// compileHook, when set (tests), runs on the worker goroutine with
+	// a worker slot held, before the pipeline starts.
+	compileHook func(key string)
+}
+
+// New builds a Server from cfg (zero value fine).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	cache, err := NewCache(cfg.CacheBytes, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:       cfg,
+		cache:     cache,
+		registry:  newCatalogRegistry(),
+		metrics:   newMetrics(),
+		queueSem:  make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		workerSem: make(chan struct{}, cfg.Workers),
+	}, nil
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/catalogs", s.handleCatalogs)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.Stats(), s.registry.count()))
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status   string `json:"status"` // ok | draining
+	InFlight int64  `json:"in_flight"`
+	UptimeNS int64  `json:"uptime_ns"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.snapshot(CacheStats{}, 0)
+	h := HealthResponse{Status: "ok", InFlight: snap.Compiles.InFlight, UptimeNS: snap.UptimeNS}
+	status := http.StatusOK
+	if s.draining.Load() {
+		// Load balancers should stop routing here; existing work drains.
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// Drain marks the server draining and waits for every tracked compile —
+// including compiles whose requester already timed out — to finish and
+// publish to the cache, or for ctx to expire. The caller shuts the
+// http.Server down first (which waits for in-flight handlers), then
+// drains the compile pool.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -30,11 +30,11 @@ import (
 
 // Stats reports what the pass did.
 type Stats struct {
-	PromotedLoads    int // loads replaced by registers
-	ReducedRefs      int // references rewritten to bumped pointers
-	Pointers         int // pointer temporaries introduced
-	HoistedExprs     int // invariant expressions moved to the preheader
-	LoopsTransformed int
+	PromotedLoads    int `json:"promoted_loads"`    // loads replaced by registers
+	ReducedRefs      int `json:"reduced_refs"`      // references rewritten to bumped pointers
+	Pointers         int `json:"pointers"`          // pointer temporaries introduced
+	HoistedExprs     int `json:"hoisted_exprs"`     // invariant expressions moved to the preheader
+	LoopsTransformed int `json:"loops_transformed"` // loops §6 rewrote
 }
 
 // Add folds another procedure's stats into s.

@@ -30,6 +30,21 @@ func (r Result) MFLOPS() float64 {
 	return float64(r.FlopCount) / seconds / 1e6
 }
 
+// MaxProcessors is the Titan's processor-count ceiling: the machine
+// shipped with up to four compute boards sharing memory (§2).
+const MaxProcessors = 4
+
+// ValidateProcessors rejects processor counts outside 1..MaxProcessors
+// with a descriptive error. Entry points (CLIs, the compile service)
+// call this so a bad -p fails loudly instead of being silently clamped
+// by NewMachine.
+func ValidateProcessors(n int) error {
+	if n < 1 || n > MaxProcessors {
+		return fmt.Errorf("titan: processor count %d out of range (the Titan supports 1..%d processors)", n, MaxProcessors)
+	}
+	return nil
+}
+
 // Machine simulates one Titan.
 type Machine struct {
 	prog *Program
@@ -49,8 +64,8 @@ func NewMachine(prog *Program, processors int) *Machine {
 	if processors < 1 {
 		processors = 1
 	}
-	if processors > 4 {
-		processors = 4
+	if processors > MaxProcessors {
+		processors = MaxProcessors
 	}
 	size := prog.MemSize
 	if size < prog.DataBase+int64(len(prog.Data))+1<<16 {

@@ -38,11 +38,11 @@ func (c Config) vl() int64 {
 
 // Stats reports what the vectorizer did to a procedure.
 type Stats struct {
-	LoopsExamined   int
-	LoopsVectorized int // at least one statement went vector
-	VectorStmts     int
-	ParallelLoops   int
-	SerialResidue   int // statements left in serial loops after distribution
+	LoopsExamined   int `json:"loops_examined"`
+	LoopsVectorized int `json:"loops_vectorized"` // at least one statement went vector
+	VectorStmts     int `json:"vector_stmts"`
+	ParallelLoops   int `json:"parallel_loops"`
+	SerialResidue   int `json:"serial_residue"` // statements left in serial loops after distribution
 }
 
 // Add folds another procedure's stats into s (the pipeline merges per-proc
