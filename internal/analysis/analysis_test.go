@@ -1,0 +1,177 @@
+// The test package is external so it can build procs through the front
+// end (parser → sema → lower) without creating an import cycle back
+// through the packages that consume the cache.
+package analysis_test
+
+import (
+	"testing"
+
+	. "repro/internal/analysis"
+
+	"repro/internal/depend"
+	"repro/internal/il"
+	"repro/internal/lower"
+	"repro/internal/opt"
+	"repro/internal/parser"
+	"repro/internal/sema"
+)
+
+// procOf lowers src, runs the scalar optimizer (so for-loops become DO
+// loops), and returns the named procedure and its first DO loop (nil if
+// the source has none).
+func procOf(t *testing.T, src, name string) (*il.Proc, *il.DoLoop) {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	prog, err := lower.File(f, info)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	p := prog.Proc(name)
+	if p == nil {
+		t.Fatalf("no proc %s", name)
+	}
+	opt.Optimize(p, opt.DefaultOptions())
+	var loop *il.DoLoop
+	il.WalkStmts(p.Body, func(s il.Stmt) bool {
+		if d, ok := s.(*il.DoLoop); ok && loop == nil {
+			loop = d
+		}
+		return loop == nil
+	})
+	return p, loop
+}
+
+const loopSrc = `
+float a[100], b[100];
+void f(int n) {
+	int i;
+	for (i = 0; i < n; i++) a[i] = b[i] + 1.0;
+}
+`
+
+func TestDataflowHitAndInvalidation(t *testing.T) {
+	p, _ := procOf(t, loopSrc, "f")
+	c := NewCache()
+
+	a1, err := c.Dataflow(p)
+	if err != nil {
+		t.Fatalf("dataflow: %v", err)
+	}
+	a2, err := c.Dataflow(p)
+	if err != nil {
+		t.Fatalf("dataflow: %v", err)
+	}
+	if a1 != a2 {
+		t.Errorf("same generation returned distinct analyses")
+	}
+	if st := c.Stats(); st.DataflowHits != 1 || st.DataflowMisses != 1 {
+		t.Errorf("stats after repeat query = %+v, want 1 hit / 1 miss", st)
+	}
+
+	// A generation bump must force a recompute.
+	p.BumpGeneration()
+	a3, err := c.Dataflow(p)
+	if err != nil {
+		t.Fatalf("dataflow: %v", err)
+	}
+	if a3 == a1 {
+		t.Errorf("stale analysis survived a generation bump")
+	}
+	if st := c.Stats(); st.DataflowHits != 1 || st.DataflowMisses != 2 {
+		t.Errorf("stats after invalidation = %+v, want 1 hit / 2 misses", st)
+	}
+}
+
+func TestDataflowLivenessSharesSolution(t *testing.T) {
+	p, _ := procOf(t, loopSrc, "f")
+	c := NewCache()
+
+	a1, lv1, err := c.DataflowLiveness(p)
+	if err != nil {
+		t.Fatalf("liveness: %v", err)
+	}
+	a2, lv2, err := c.DataflowLiveness(p)
+	if err != nil {
+		t.Fatalf("liveness: %v", err)
+	}
+	if a1 != a2 || lv1 != lv2 {
+		t.Errorf("same generation returned distinct solutions")
+	}
+	// The second query hits both tiers; a plain Dataflow call afterwards
+	// reuses the same underlying analysis.
+	if a3, _ := c.Dataflow(p); a3 != a1 {
+		t.Errorf("Dataflow and DataflowLiveness disagree on the cached analysis")
+	}
+	st := c.Stats()
+	if st.DataflowHits != 2 || st.DataflowMisses != 1 {
+		t.Errorf("dataflow stats = %+v, want 2 hits / 1 miss", st)
+	}
+	if st.LivenessHits != 1 || st.LivenessMisses != 1 {
+		t.Errorf("liveness stats = %+v, want 1 hit / 1 miss", st)
+	}
+
+	p.BumpGeneration()
+	if _, lv3, err := c.DataflowLiveness(p); err != nil || lv3 == lv1 {
+		t.Errorf("stale liveness survived a generation bump (err=%v)", err)
+	}
+}
+
+func TestLoopDepsKeyedByLoopAndOptions(t *testing.T) {
+	p, loop := procOf(t, loopSrc, "f")
+	if loop == nil {
+		t.Fatal("no DO loop")
+	}
+	c := NewCache()
+
+	ld1 := c.LoopDeps(p, loop, depend.Options{})
+	ld2 := c.LoopDeps(p, loop, depend.Options{})
+	if ld1 != ld2 {
+		t.Errorf("same (loop, options) returned distinct dependence graphs")
+	}
+	// Different aliasing assumptions are a different cache entry.
+	ldNoAlias := c.LoopDeps(p, loop, depend.Options{NoAlias: true})
+	if ldNoAlias == ld1 {
+		t.Errorf("NoAlias query shared the aliasing-aware graph")
+	}
+	if st := c.Stats(); st.DependHits != 1 || st.DependMisses != 2 {
+		t.Errorf("stats = %+v, want 1 hit / 2 misses", st)
+	}
+
+	p.BumpGeneration()
+	if ld3 := c.LoopDeps(p, loop, depend.Options{}); ld3 == ld1 {
+		t.Errorf("stale dependence graph survived a generation bump")
+	}
+}
+
+// A nil cache must behave exactly like calling the analyses directly:
+// every query computes, nothing is retained, stats stay zero.
+func TestNilCachePassthrough(t *testing.T) {
+	p, loop := procOf(t, loopSrc, "f")
+	var c *Cache
+
+	a1, err := c.Dataflow(p)
+	if err != nil || a1 == nil {
+		t.Fatalf("nil-cache Dataflow: %v", err)
+	}
+	if a2, _ := c.Dataflow(p); a2 == a1 {
+		t.Errorf("nil cache memoized a dataflow solution")
+	}
+	if _, lv, err := c.DataflowLiveness(p); err != nil || lv == nil {
+		t.Fatalf("nil-cache DataflowLiveness: %v", err)
+	}
+	if loop != nil {
+		if ld := c.LoopDeps(p, loop, depend.Options{}); ld == nil {
+			t.Fatal("nil-cache LoopDeps returned nil")
+		}
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Errorf("nil cache reported stats %+v", st)
+	}
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GenConfig sizes SyntheticProgram's output. The generator is
+// deterministic: the same config always yields the same source, so
+// benchmark runs compare like with like.
+type GenConfig struct {
+	// Procs is the number of loop procedures.
+	Procs int
+	// LoopsPerProc is how many vectorizable for-loops each procedure
+	// gets, in addition to its fixed while-loop and nested-loop blocks.
+	LoopsPerProc int
+	// ChainWidth is the number of multiply-add terms in each loop body's
+	// expression chain (wider chains mean bigger use-def problems).
+	ChainWidth int
+}
+
+// SyntheticProgram generates a large compilable C program that stresses
+// the mid-end the way the evaluation workloads do, only at scale: every
+// procedure mixes vectorizable for-loops with wide expression chains,
+// a while-loop that the §5.2 conversion turns into a DO loop, a 2-level
+// nest for the nest parallelizer, and straight-line scalar code for
+// constant propagation and dead-code elimination to chew on. The compile
+// benchmarks measure driver.Compile throughput over this source.
+func SyntheticProgram(cfg GenConfig) string {
+	var sb strings.Builder
+	sb.WriteString("float a[512], b[512], c[512], d[512];\nfloat m[32][32], w[32][32];\n")
+	for p := 0; p < cfg.Procs; p++ {
+		fmt.Fprintf(&sb, "\nvoid p%d(int n)\n{\n\tint i, j, t;\n\tfloat s;\n", p)
+		// Straight-line scalar food: a constant chain with a dead store.
+		fmt.Fprintf(&sb, "\tt = %d;\n\tt = t * 2 + 1;\n\tt = t - t;\n\ts = 0;\n", p+1)
+		// Vectorizable loops with ChainWidth-term bodies. Coefficients
+		// vary per (proc, loop, term) so no two loops fold identically.
+		for l := 0; l < cfg.LoopsPerProc; l++ {
+			terms := make([]string, 0, cfg.ChainWidth)
+			for k := 0; k < cfg.ChainWidth; k++ {
+				src := []string{"b[i]", "c[i]", "d[i]"}[k%3]
+				terms = append(terms, fmt.Sprintf("%s * %d.0f", src, (p+l+k)%7+1))
+			}
+			fmt.Fprintf(&sb, "\tfor (i = 0; i < n; i++)\n\t\ta[i] = %s;\n",
+				strings.Join(terms, " + "))
+		}
+		// A while loop for the §5.2 conversion (and its use-def splice).
+		sb.WriteString("\twhile (n) {\n\t\td[n-1] = a[n-1] + b[n-1];\n\t\tn--;\n\t}\n")
+		// A 2-level independent nest for the nest parallelizer.
+		fmt.Fprintf(&sb, "\tfor (i = 0; i < 32; i++)\n\t\tfor (j = 0; j < 32; j++)\n"+
+			"\t\t\tm[i][j] = w[i][j] * %d.0f + s;\n", p%5+1)
+		sb.WriteString("}\n")
+	}
+	// main stays empty: the compile benchmarks never simulate, and under
+	// full options the inliner would otherwise merge every procedure into
+	// main, collapsing the many-procedure shape this program exists to
+	// provide (and blowing codegen's register budget).
+	sb.WriteString("\nint main(void)\n{\n\treturn 0;\n}\n")
+	return sb.String()
+}

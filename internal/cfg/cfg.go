@@ -190,6 +190,47 @@ func (g *Graph) Reachable() map[int]bool {
 	return seen
 }
 
+// RPO returns every node ID in reverse postorder from Entry, followed by
+// the unreachable nodes in ID order. Forward dataflow sweeps that visit
+// nodes in this order see each node's predecessors first wherever the
+// graph is acyclic, so the worklist solver converges in a couple of
+// passes instead of one fixpoint round per loop depth. Appending the
+// unreachable tail keeps the solved sets defined at every node (queries
+// walk all statements, reachable or not).
+func (g *Graph) RPO() []int {
+	order := make([]int, 0, len(g.Nodes))
+	seen := make([]bool, len(g.Nodes))
+	// Iterative DFS with an explicit edge cursor per frame: a node is
+	// appended once all its successors are done (postorder), then the
+	// whole sequence is reversed.
+	type frame struct{ id, next int }
+	stack := []frame{{g.Entry, 0}}
+	seen[g.Entry] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(g.Nodes[f.id].Succs) {
+			s := g.Nodes[f.id].Succs[f.next]
+			f.next++
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		order = append(order, f.id)
+		stack = stack[:len(stack)-1]
+	}
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	for id := range g.Nodes {
+		if !seen[id] {
+			order = append(order, id)
+		}
+	}
+	return order
+}
+
 // Dominators computes the immediate-dominator-free dominator sets using the
 // standard iterative algorithm. dom[n] contains every node that dominates n
 // (including n itself). Unreachable nodes get nil.

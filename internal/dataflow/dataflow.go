@@ -10,6 +10,8 @@
 package dataflow
 
 import (
+	"math/bits"
+
 	"repro/internal/cfg"
 	"repro/internal/il"
 )
@@ -41,6 +43,13 @@ type Analysis struct {
 	gen, kill []bitset
 	// defsAt lists the defs performed by each node.
 	defsAt [][]*Def
+	// clobbers caches the may-define set of a call or store (the
+	// address-taken, global and static variables), computed once per
+	// analysis instead of once per clobbering statement.
+	clobbers []il.VarID
+	// defMask lazily caches, per variable, the bitset of its def IDs, so
+	// chain queries intersect words instead of probing def-by-def.
+	defMask map[il.VarID]bitset
 }
 
 // Analyze builds the CFG and reaching-definition chains for p.
@@ -50,22 +59,27 @@ func Analyze(p *il.Proc) (*Analysis, error) {
 		return nil, err
 	}
 	a := &Analysis{Proc: p, Graph: g, defsOf: map[il.VarID][]*Def{}}
+	a.collectClobbers()
 	a.collectDefs()
 	a.solve()
 	return a, nil
 }
 
-// clobberSet returns the variables a memory write or call might define.
-func (a *Analysis) clobberSet(call bool) []il.VarID {
-	var out []il.VarID
+// collectClobbers precomputes the variables a memory write or call might
+// define.
+func (a *Analysis) collectClobbers() {
 	for i := range a.Proc.Vars {
 		v := &a.Proc.Vars[i]
 		if v.AddrTaken || v.Class == il.ClassGlobal || v.Class == il.ClassStatic {
-			out = append(out, il.VarID(i))
+			a.clobbers = append(a.clobbers, il.VarID(i))
 		}
 	}
+}
+
+// clobberSet returns the variables a memory write or call might define.
+func (a *Analysis) clobberSet(call bool) []il.VarID {
 	_ = call
-	return out
+	return a.clobbers
 }
 
 func (a *Analysis) addDef(node *cfg.Node, v il.VarID, ambiguous, entry bool) *Def {
@@ -127,13 +141,12 @@ func (a *Analysis) collectDefs() {
 		}
 	}
 
-	// gen/kill.
+	// gen/kill, carved from one backing slab (capped sub-slices, so a
+	// later grow reallocates instead of clobbering its neighbor).
 	nDefs := len(a.Defs)
-	a.gen = make([]bitset, nNodes)
-	a.kill = make([]bitset, nNodes)
+	a.gen = newBitsetSlab(nNodes, nDefs)
+	a.kill = newBitsetSlab(nNodes, nDefs)
 	for id := range a.Graph.Nodes {
-		a.gen[id] = newBitset(nDefs)
-		a.kill[id] = newBitset(nDefs)
 		for _, d := range a.defsAt[id] {
 			a.gen[id].set(d.ID)
 			if !d.Ambiguous {
@@ -150,30 +163,52 @@ func (a *Analysis) collectDefs() {
 	}
 }
 
+// solve runs the reaching-definitions fixpoint as a reverse-postorder
+// worklist: nodes are visited predecessors-first, each sweep only touches
+// nodes whose inputs changed, and the per-node transfer computes into two
+// reused scratch bitsets instead of allocating fresh sets every sweep.
+// The solution is the unique least fixpoint, identical to what the naive
+// Gauss–Seidel iteration produced.
 func (a *Analysis) solve() {
 	nNodes := len(a.Graph.Nodes)
 	nDefs := len(a.Defs)
-	a.in = make([]bitset, nNodes)
-	a.out = make([]bitset, nNodes)
-	for i := 0; i < nNodes; i++ {
-		a.in[i] = newBitset(nDefs)
-		a.out[i] = newBitset(nDefs)
+	a.in = newBitsetSlab(nNodes, nDefs)
+	a.out = newBitsetSlab(nNodes, nDefs)
+
+	order := a.Graph.RPO()
+	dirty := make([]bool, nNodes)
+	for i := range dirty {
+		dirty[i] = true
 	}
-	changed := true
-	for changed {
-		changed = false
-		for id, n := range a.Graph.Nodes {
-			in := newBitset(nDefs)
-			for _, p := range n.Preds {
-				in.or(a.out[p])
+	inScratch := newBitset(nDefs)
+	outScratch := newBitset(nDefs)
+	anyDirty := true
+	for anyDirty {
+		anyDirty = false
+		for _, id := range order {
+			if !dirty[id] {
+				continue
 			}
-			out := in.clone()
-			out.andNot(a.kill[id])
-			out.or(a.gen[id])
-			if !in.equal(a.in[id]) || !out.equal(a.out[id]) {
-				a.in[id] = in
-				a.out[id] = out
-				changed = true
+			dirty[id] = false
+			n := a.Graph.Nodes[id]
+			inScratch.clear()
+			for _, p := range n.Preds {
+				inScratch.or(a.out[p])
+			}
+			copy(outScratch, inScratch)
+			outScratch.andNot(a.kill[id])
+			outScratch.or(a.gen[id])
+			if !inScratch.equal(a.in[id]) {
+				copy(a.in[id], inScratch)
+			}
+			if !outScratch.equal(a.out[id]) {
+				copy(a.out[id], outScratch)
+				for _, s := range n.Succs {
+					if !dirty[s] {
+						dirty[s] = true
+						anyDirty = true
+					}
+				}
 			}
 		}
 	}
@@ -191,12 +226,50 @@ func (a *Analysis) ReachingDefs(s il.Stmt, v il.VarID) []*Def {
 
 func (a *Analysis) reachingAt(n *cfg.Node, v il.VarID) []*Def {
 	var out []*Def
-	for _, d := range a.defsOf[v] {
-		if a.in[n.ID].get(d.ID) {
-			out = append(out, d)
+	a.forEachReachingAt(n, v, func(d *Def) { out = append(out, d) })
+	return out
+}
+
+// ForEachReachingDef calls fn for every definition of v reaching the entry
+// of s, in def-ID order, without materializing a slice.
+func (a *Analysis) ForEachReachingDef(s il.Stmt, v il.VarID, fn func(*Def)) {
+	if n, ok := a.Graph.NodeOf[s]; ok {
+		a.forEachReachingAt(n, v, fn)
+	}
+}
+
+// forEachReachingAt intersects the node's reaching set with the variable's
+// def mask word-by-word instead of probing every def of v bit-by-bit.
+func (a *Analysis) forEachReachingAt(n *cfg.Node, v il.VarID, fn func(*Def)) {
+	mask := a.maskOf(v)
+	in := a.in[n.ID]
+	words := len(mask)
+	if len(in) < words {
+		words = len(in)
+	}
+	for w := 0; w < words; w++ {
+		word := mask[w] & in[w]
+		for word != 0 {
+			fn(a.Defs[w*64+bits.TrailingZeros64(word)])
+			word &= word - 1
 		}
 	}
-	return out
+}
+
+// maskOf returns (building lazily) the bitset of v's def IDs.
+func (a *Analysis) maskOf(v il.VarID) bitset {
+	if m, ok := a.defMask[v]; ok {
+		return m
+	}
+	if a.defMask == nil {
+		a.defMask = map[il.VarID]bitset{}
+	}
+	m := newBitset(len(a.Defs))
+	for _, d := range a.defsOf[v] {
+		m.set(d.ID)
+	}
+	a.defMask[v] = m
+	return m
 }
 
 // UniqueDef returns the single unambiguous definition of v reaching s, or
@@ -223,6 +296,65 @@ func (a *Analysis) DefsInside(v il.VarID, set map[il.Stmt]bool) []*Def {
 
 // DefsOf returns all definitions of v.
 func (a *Analysis) DefsOf(v il.VarID) []*Def { return a.defsOf[v] }
+
+// SpliceWhileConversion patches the analysis in place after while→DO
+// conversion replaced w with d (same body statements, fresh dummy IV):
+// the §5.2 incremental use-def reconstruction, instead of a full re-solve.
+// The while's condition node becomes the DO node (head and latch merged),
+// one definition of the dummy IV is appended to the chains, and its
+// reaching bit is flowed forward along successor edges — the dummy is
+// fresh, so the new def kills nothing and is killed nowhere.
+//
+// The patched analysis answers the conversion queries (NodeOf, EntersBody,
+// DefsInside) exactly as a rebuilt one would; it deliberately omits the
+// dummy's synthetic entry definition, so it must not outlive the
+// conversion pass (UniqueDef on the dummy would be over-precise).
+// Returns false when w has no node; the caller falls back to Analyze.
+func (a *Analysis) SpliceWhileConversion(w *il.While, d *il.DoLoop) bool {
+	n, ok := a.Graph.NodeOf[w]
+	if !ok {
+		return false
+	}
+	delete(a.Graph.NodeOf, w)
+	a.Graph.NodeOf[d] = n
+	n.Stmt = d
+	n.IVDef = d.IV
+
+	def := a.addDef(n, d.IV, false, false)
+	a.defsAt[n.ID] = append(a.defsAt[n.ID], def)
+	delete(a.defMask, d.IV)
+
+	nDefs := len(a.Defs)
+	a.gen[n.ID] = growTo(a.gen[n.ID], nDefs)
+	a.gen[n.ID].set(def.ID)
+	a.out[n.ID] = growTo(a.out[n.ID], nDefs)
+	a.out[n.ID].set(def.ID)
+	work := []int{n.ID}
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range a.Graph.Nodes[id].Succs {
+			a.in[s] = growTo(a.in[s], nDefs)
+			if !a.in[s].get(def.ID) {
+				a.in[s].set(def.ID)
+				a.out[s] = growTo(a.out[s], nDefs)
+				a.out[s].set(def.ID)
+				work = append(work, s)
+			}
+		}
+	}
+	return true
+}
+
+// growTo widens b to hold at least width bits. The slab sub-slices are
+// capped, so growing one reallocates it rather than clobbering a neighbor.
+func growTo(b bitset, width int) bitset {
+	words := (width + 63) / 64
+	for len(b) < words {
+		b = append(b, 0)
+	}
+	return b
+}
 
 // UsedVars returns the variables read by statement s (in its expressions;
 // a scalar assignment destination is not a use, but a store's address is).
@@ -308,33 +440,54 @@ func ComputeLiveness(p *il.Proc, g *cfg.Graph) *Liveness {
 		}
 	}
 
-	liveIn := make([]bitset, nNodes)
-	liveOut := make([]bitset, nNodes)
-	for i := 0; i < nNodes; i++ {
-		liveIn[i] = newBitset(nVars)
-		liveOut[i] = newBitset(nVars)
+	// Backward worklist over postorder (successors-first), with the same
+	// reused-scratch scheme as the forward solver: no per-sweep bitset
+	// allocations, and converged regions are skipped.
+	liveIn := newBitsetSlab(nNodes, nVars)
+	liveOut := newBitsetSlab(nNodes, nVars)
+	copy(liveOut[g.Exit], exitLive)
+	copy(liveIn[g.Exit], exitLive)
+
+	order := g.RPO()
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
 	}
-	liveOut[g.Exit] = exitLive.clone()
-	liveIn[g.Exit] = exitLive.clone()
-	changed := true
-	for changed {
-		changed = false
-		for id := len(g.Nodes) - 1; id >= 0; id-- {
+	dirty := make([]bool, nNodes)
+	for i := range dirty {
+		dirty[i] = true
+	}
+	outScratch := newBitset(nVars)
+	inScratch := newBitset(nVars)
+	anyDirty := true
+	for anyDirty {
+		anyDirty = false
+		for _, id := range order {
+			if !dirty[id] {
+				continue
+			}
+			dirty[id] = false
 			n := g.Nodes[id]
-			out := newBitset(nVars)
+			outScratch.clear()
 			if id == g.Exit {
-				out = exitLive.clone()
+				outScratch.or(exitLive)
 			}
 			for _, s := range n.Succs {
-				out.or(liveIn[s])
+				outScratch.or(liveIn[s])
 			}
-			in := out.clone()
-			in.andNot(def[id])
-			in.or(use[id])
-			if !out.equal(liveOut[id]) || !in.equal(liveIn[id]) {
-				liveOut[id] = out
-				liveIn[id] = in
-				changed = true
+			copy(inScratch, outScratch)
+			inScratch.andNot(def[id])
+			inScratch.or(use[id])
+			if !outScratch.equal(liveOut[id]) {
+				copy(liveOut[id], outScratch)
+			}
+			if !inScratch.equal(liveIn[id]) {
+				copy(liveIn[id], inScratch)
+				for _, p := range n.Preds {
+					if !dirty[p] {
+						dirty[p] = true
+						anyDirty = true
+					}
+				}
 			}
 		}
 	}
@@ -349,6 +502,36 @@ func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
 
 func (b bitset) set(i int)      { b[i/64] |= 1 << uint(i%64) }
 func (b bitset) get(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+
+func (b bitset) clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// forEach calls fn for every set bit, in ascending order, skipping zero
+// words and using TrailingZeros64 within non-zero ones.
+func (b bitset) forEach(fn func(int)) {
+	for w, word := range b {
+		for word != 0 {
+			fn(w*64 + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}
+
+// newBitsetSlab carves n bitsets of the given width out of one backing
+// allocation. The sub-slices are capped (three-index), so a later append
+// reallocates the grown set instead of clobbering its neighbor.
+func newBitsetSlab(n, width int) []bitset {
+	words := (width + 63) / 64
+	backing := make([]uint64, n*words)
+	out := make([]bitset, n)
+	for i := range out {
+		out[i] = bitset(backing[i*words : (i+1)*words : (i+1)*words])
+	}
+	return out
+}
 
 func (b bitset) or(o bitset) {
 	for i := range b {

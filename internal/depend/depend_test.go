@@ -1,7 +1,12 @@
-package depend
+// The test package is external (with a dot-import of depend) so it can
+// drive the scalar optimizer: opt now depends on the analysis cache,
+// which depends on depend — an in-package test would be an import cycle.
+package depend_test
 
 import (
 	"testing"
+
+	. "repro/internal/depend"
 
 	"repro/internal/il"
 	"repro/internal/lower"

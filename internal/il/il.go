@@ -410,6 +410,15 @@ type Proc struct {
 	Variadic bool
 
 	labelSeq int
+	// gen counts mutations of the procedure (body rewrites, new
+	// variables). Analyses memoize per (proc, generation): a pass that
+	// made no changes leaves gen alone, so the next analysis request can
+	// reuse the previous solution (§5.2's incremental-reconstruction
+	// obligation, discharged by generation-keyed caching in package
+	// analysis). Every mutating pass must route its change count through
+	// Changed (or call BumpGeneration directly); AddVar bumps on its own
+	// so growing the variable table can never be forgotten.
+	gen uint64
 }
 
 // NewProc returns an empty procedure.
@@ -417,9 +426,31 @@ func NewProc(name string, ret *ctype.Type) *Proc {
 	return &Proc{Name: name, Ret: ret}
 }
 
-// AddVar appends a variable and returns its ID.
+// Generation returns the procedure's mutation counter. Two calls
+// returning the same value bracket a window in which no pass registered a
+// change, so any analysis computed inside the window is still valid.
+func (p *Proc) Generation() uint64 { return p.gen }
+
+// BumpGeneration invalidates every cached analysis of the procedure.
+func (p *Proc) BumpGeneration() { p.gen++ }
+
+// Changed notes that a pass made n changes to the procedure: any nonzero
+// count bumps the generation so generation-keyed analysis caches
+// invalidate. It returns n, so mutating passes end with
+// `return p.Changed(n)` and cannot forget the bump.
+func (p *Proc) Changed(n int) int {
+	if n != 0 {
+		p.gen++
+	}
+	return n
+}
+
+// AddVar appends a variable and returns its ID. Growing the variable
+// table invalidates cached analyses (their bitsets are sized to Vars), so
+// it bumps the generation itself.
 func (p *Proc) AddVar(v Var) VarID {
 	p.Vars = append(p.Vars, v)
+	p.gen++
 	return VarID(len(p.Vars) - 1)
 }
 

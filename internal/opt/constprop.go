@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/ctype"
 	"repro/internal/dataflow"
 	"repro/internal/il"
@@ -14,10 +15,14 @@ import (
 // which subsumes the paper's re-queueing heuristic).
 //
 // It returns the number of rewrites performed.
-func PropagateConstants(p *il.Proc) int {
+func PropagateConstants(p *il.Proc) int { return PropagateConstantsWith(p, nil) }
+
+// PropagateConstantsWith is PropagateConstants against an analysis cache
+// (nil re-solves every round).
+func PropagateConstantsWith(p *il.Proc, ac *analysis.Cache) int {
 	total := 0
 	for {
-		n := propagateOnce(p)
+		n := propagateOnce(p, ac)
 		total += n
 		if n == 0 {
 			return total
@@ -25,8 +30,8 @@ func PropagateConstants(p *il.Proc) int {
 	}
 }
 
-func propagateOnce(p *il.Proc) int {
-	a, err := dataflow.Analyze(p)
+func propagateOnce(p *il.Proc, ac *analysis.Cache) int {
+	a, err := ac.Dataflow(p)
 	if err != nil {
 		return 0
 	}
@@ -68,9 +73,20 @@ func propagateOnce(p *il.Proc) int {
 		return true
 	})
 
-	// Fold expressions bottom-up.
+	// Fold expressions bottom-up. Folds are not counted toward the
+	// propagation fixpoint (they cannot enable further substitutions on
+	// their own), but they do rewrite uses, so they must invalidate any
+	// cached liveness: foldNode preserves node identity on no-change
+	// exactly so real folds are detectable here.
+	folds := 0
 	il.WalkStmts(p.Body, func(s il.Stmt) bool {
-		il.RewriteStmtExprs(s, foldNode)
+		il.RewriteStmtExprs(s, func(e il.Expr) il.Expr {
+			f := foldNode(e)
+			if f != e {
+				folds++
+			}
+			return f
+		})
 		return true
 	})
 
@@ -80,6 +96,7 @@ func propagateOnce(p *il.Proc) int {
 	// Remove code made unreachable by unconditional transfers (§8's
 	// vectorizer postpass).
 	changed += postpassUnreachable(p)
+	p.Changed(changed + folds)
 	return changed
 }
 
@@ -134,14 +151,31 @@ func foldNode(e il.Expr) il.Expr {
 			}
 		}
 		folded := il.NewBin(n.Op, n.L, n.R, n.T)
-		if b, stillBin := folded.(*il.Bin); stillBin && (b.Op == il.OpAdd || b.Op == il.OpSub) {
-			return il.SimplifyLinear(folded)
+		if b, stillBin := folded.(*il.Bin); stillBin {
+			if b.Op == n.Op && b.L == n.L && b.R == n.R {
+				// Nothing folded: keep the original node, so callers can
+				// detect real rewrites by identity (SimplifyLinear already
+				// returns its argument when nothing combines).
+				folded = n
+				b = n
+			}
+			if b.Op == il.OpAdd || b.Op == il.OpSub {
+				return il.SimplifyLinear(folded)
+			}
 		}
 		return folded
 	case *il.Un:
-		return il.NewUn(n.Op, n.X, n.T)
+		folded := il.NewUn(n.Op, n.X, n.T)
+		if u, still := folded.(*il.Un); still && u.Op == n.Op && u.X == n.X {
+			return n
+		}
+		return folded
 	case *il.Cast:
-		return il.NewCast(n.X, n.T)
+		folded := il.NewCast(n.X, n.T)
+		if c, still := folded.(*il.Cast); still && c.X == n.X {
+			return n
+		}
+		return folded
 	}
 	return e
 }
@@ -303,5 +337,5 @@ func RemoveUnusedLabels(p *il.Proc) int {
 		return out
 	}
 	p.Body = clean(p.Body)
-	return removed
+	return p.Changed(removed)
 }

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/dataflow"
 	"repro/internal/il"
 )
@@ -9,10 +10,14 @@ import (
 // afterwards ("dead, not unreachable, code" — §9). Inlining makes this
 // crucial: parameter-binding temporaries die as soon as substitution and
 // constant propagation run. Returns the number of statements removed.
-func EliminateDeadCode(p *il.Proc) int {
+func EliminateDeadCode(p *il.Proc) int { return EliminateDeadCodeWith(p, nil) }
+
+// EliminateDeadCodeWith is EliminateDeadCode against an analysis cache
+// (nil re-solves every round).
+func EliminateDeadCodeWith(p *il.Proc, ac *analysis.Cache) int {
 	total := 0
 	for {
-		n := dceOnce(p)
+		n := dceOnce(p, ac)
 		total += n
 		if n == 0 {
 			return total
@@ -20,12 +25,11 @@ func EliminateDeadCode(p *il.Proc) int {
 	}
 }
 
-func dceOnce(p *il.Proc) int {
-	a, err := dataflow.Analyze(p)
+func dceOnce(p *il.Proc, ac *analysis.Cache) int {
+	a, lv, err := ac.DataflowLiveness(p)
 	if err != nil {
 		return 0
 	}
-	lv := dataflow.ComputeLiveness(p, a.Graph)
 	needed := markNeededDefs(p, a)
 	removed := 0
 	var clean func([]il.Stmt) []il.Stmt
@@ -69,7 +73,7 @@ func dceOnce(p *il.Proc) int {
 		return out
 	}
 	p.Body = clean(p.Body)
-	return removed
+	return p.Changed(removed)
 }
 
 // markNeededDefs runs the mark phase of mark-sweep dead-code elimination:
@@ -116,9 +120,9 @@ func markNeededDefs(p *il.Proc, a *dataflow.Analysis) map[il.Stmt]bool {
 		s := work[len(work)-1]
 		work = work[:len(work)-1]
 		for _, v := range dataflow.UsedVars(s) {
-			for _, d := range a.ReachingDefs(s, v) {
+			a.ForEachReachingDef(s, v, func(d *dataflow.Def) {
 				need(d.Node.Stmt)
-			}
+			})
 		}
 	}
 	return marked
@@ -131,10 +135,14 @@ func markNeededDefs(p *il.Proc, a *dataflow.Analysis) map[il.Stmt]bool {
 // "propagating address constants", which is safe because strength
 // reduction and subexpression elimination undo any recomputation it
 // introduces, §11). Returns the number of rewrites performed.
-func PropagateCopies(p *il.Proc) int {
+func PropagateCopies(p *il.Proc) int { return PropagateCopiesWith(p, nil) }
+
+// PropagateCopiesWith is PropagateCopies against an analysis cache (nil
+// re-solves every round).
+func PropagateCopiesWith(p *il.Proc, ac *analysis.Cache) int {
 	total := 0
 	for {
-		n := copyPropOnce(p)
+		n := copyPropOnce(p, ac)
 		total += n
 		if n == 0 {
 			return total
@@ -153,8 +161,8 @@ type copyInst struct {
 // copyExprLimit bounds the size of propagated expressions.
 const copyExprLimit = 16
 
-func copyPropOnce(p *il.Proc) int {
-	a, err := dataflow.Analyze(p)
+func copyPropOnce(p *il.Proc, ac *analysis.Cache) int {
+	a, err := ac.Dataflow(p)
 	if err != nil {
 		return 0
 	}
@@ -347,7 +355,7 @@ func copyPropOnce(p *il.Proc) int {
 		}
 		return true
 	})
-	return rewrites
+	return p.Changed(rewrites)
 }
 
 func cloneSet(s map[int]bool) map[int]bool {

@@ -29,7 +29,7 @@ func SubstituteInductionVariablesSimple(p *il.Proc) int {
 func ivsubProc(p *il.Proc, full bool) int {
 	changed := 0
 	p.Body = ivsubList(p, p.Body, full, &changed)
-	return changed
+	return p.Changed(changed)
 }
 
 // ivsubList processes loops innermost-first, splicing preheader statements

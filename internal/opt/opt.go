@@ -1,6 +1,9 @@
 package opt
 
-import "repro/internal/il"
+import (
+	"repro/internal/analysis"
+	"repro/internal/il"
+)
 
 // Options selects which scalar optimizations run.
 type Options struct {
@@ -38,12 +41,17 @@ type SubPass struct {
 // This slice is the single place the scalar phase order is written down;
 // both the fixpoint driver below and the pass manager's snapshot and
 // instrumentation layers consume it.
-func SubPasses(opts Options) []SubPass {
+func SubPasses(opts Options) []SubPass { return SubPassesWith(opts, nil) }
+
+// SubPassesWith is SubPasses with the sub-passes bound to an analysis
+// cache; a nil cache re-solves every analysis (the uncached baseline).
+func SubPassesWith(opts Options, ac *analysis.Cache) []SubPass {
+	constprop := func(p *il.Proc) int { return PropagateConstantsWith(p, ac) }
 	var sp []SubPass
 	if !opts.NoWhileConversion {
-		sp = append(sp, SubPass{"while-to-do", ConvertWhileLoops})
+		sp = append(sp, SubPass{"while-to-do", func(p *il.Proc) int { return ConvertWhileLoopsWith(p, ac) }})
 	}
-	sp = append(sp, SubPass{"constprop", PropagateConstants})
+	sp = append(sp, SubPass{"constprop", constprop})
 	if opts.IVSub {
 		if opts.SimpleIVSub {
 			sp = append(sp, SubPass{"ivsub-simple", SubstituteInductionVariablesSimple})
@@ -52,15 +60,25 @@ func SubPasses(opts Options) []SubPass {
 		}
 	}
 	if !opts.NoCopyProp {
-		sp = append(sp, SubPass{"copyprop", PropagateCopies})
+		sp = append(sp, SubPass{"copyprop", func(p *il.Proc) int { return PropagateCopiesWith(p, ac) }})
 	}
 	sp = append(sp,
-		SubPass{"constprop-after", PropagateConstants},
-		SubPass{"dce", EliminateDeadCode},
+		SubPass{"constprop-after", constprop},
+		SubPass{"dce", func(p *il.Proc) int { return EliminateDeadCodeWith(p, ac) }},
 		SubPass{"unused-labels", RemoveUnusedLabels},
 	)
 	return sp
 }
+
+// FixpointCapped is the Counts key recording how many procedures hit
+// maxRounds with changes still being made: the fixpoint was capped, not
+// reached. Surfaced through pass.Report so non-convergence is visible
+// instead of silently swallowed.
+const FixpointCapped = "fixpoint-capped"
+
+// maxRounds bounds the scalar fixpoint (each sub-pass exposes
+// opportunities for the others, but convergence is usually immediate).
+const maxRounds = 8
 
 // Counts records, per sub-pass name, how many changes it made. Merging
 // across procedures is a keywise sum, so the aggregate is deterministic
@@ -79,9 +97,17 @@ func (c Counts) Add(o Counts) {
 // fixpoint since each sub-pass exposes opportunities for the others. The
 // returned Counts report changes per sub-pass across all rounds.
 func Optimize(p *il.Proc, opts Options) Counts {
-	sub := SubPasses(opts)
+	return OptimizeWith(p, opts, analysis.NewCache())
+}
+
+// OptimizeWith is Optimize against a caller-owned analysis cache. The
+// final no-change rounds of the fixpoint — and any sub-pass that makes no
+// changes in between — become cache hits instead of full re-solves. A nil
+// cache re-solves everything (the uncached baseline).
+func OptimizeWith(p *il.Proc, opts Options, ac *analysis.Cache) Counts {
+	sub := SubPassesWith(opts, ac)
 	counts := Counts{}
-	for round := 0; round < 8; round++ {
+	for round := 0; round < maxRounds; round++ {
 		changed := 0
 		for _, s := range sub {
 			n := s.Run(p)
@@ -91,6 +117,9 @@ func Optimize(p *il.Proc, opts Options) Counts {
 		if changed == 0 {
 			break
 		}
+		if round == maxRounds-1 {
+			counts[FixpointCapped]++
+		}
 	}
 	return counts
 }
@@ -98,9 +127,15 @@ func Optimize(p *il.Proc, opts Options) Counts {
 // OptimizeProgram runs Optimize over every procedure and returns the
 // merged counts.
 func OptimizeProgram(prog *il.Program, opts Options) Counts {
+	return OptimizeProgramWith(prog, opts, analysis.NewCache())
+}
+
+// OptimizeProgramWith runs OptimizeWith over every procedure with a
+// shared cache and returns the merged counts.
+func OptimizeProgramWith(prog *il.Program, opts Options, ac *analysis.Cache) Counts {
 	counts := Counts{}
 	for _, p := range prog.Procs {
-		counts.Add(Optimize(p, opts))
+		counts.Add(OptimizeWith(p, opts, ac))
 	}
 	return counts
 }

@@ -6,6 +6,7 @@
 package opt
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/ctype"
 	"repro/internal/dataflow"
 	"repro/internal/il"
@@ -28,45 +29,72 @@ import (
 // dummy variable counts the iterations, and the original updates to i stay
 // in place for induction-variable substitution and dead-code elimination
 // to clean up.
-func ConvertWhileLoops(p *il.Proc) int {
-	// Converting a loop invalidates the CFG for enclosing loops, so the
-	// conversion iterates — each pass converts the loops whose analysis is
-	// still exact (innermost first), then reanalyzes. This is the
-	// incremental-reconstruction obligation of §5.2 discharged by
-	// recomputation.
+func ConvertWhileLoops(p *il.Proc) int { return ConvertWhileLoopsWith(p, nil) }
+
+// conversion records one while→DO rewrite of a sweep, for the between-
+// sweep §5.2 chain splice.
+type conversion struct {
+	w *il.While
+	d *il.DoLoop
+}
+
+// ConvertWhileLoopsWith is ConvertWhileLoops against an analysis cache
+// (nil analyzes directly).
+func ConvertWhileLoopsWith(p *il.Proc, ac *analysis.Cache) int {
+	// Converting a loop invalidates the analysis for enclosing loops, so
+	// the conversion iterates — each sweep converts the loops whose
+	// analysis is still exact (innermost first). Between sweeps the §5.2
+	// incremental-reconstruction obligation is discharged by splicing each
+	// new DO node into the existing chains (SpliceWhileConversion) instead
+	// of re-solving from scratch; the spliced analysis answers the
+	// conversion queries exactly as a rebuilt one would, and is dropped
+	// when the pass finishes (the generation bump keyed it stale).
 	total := 0
+	var a *dataflow.Analysis
 	for {
-		a, err := dataflow.Analyze(p)
-		if err != nil {
-			return total
+		if a == nil {
+			var err error
+			a, err = ac.Dataflow(p)
+			if err != nil {
+				return total
+			}
 		}
 		n := 0
-		p.Body = convertList(p, a, p.Body, &n)
+		var convs []conversion
+		p.Body = convertList(p, a, p.Body, &n, &convs)
 		total += n
+		p.Changed(n)
 		if n == 0 {
 			return total
+		}
+		for _, c := range convs {
+			if !a.SpliceWhileConversion(c.w, c.d) {
+				a = nil // fall back to a full re-solve
+				break
+			}
 		}
 	}
 }
 
-func convertList(p *il.Proc, a *dataflow.Analysis, list []il.Stmt, n *int) []il.Stmt {
+func convertList(p *il.Proc, a *dataflow.Analysis, list []il.Stmt, n *int, convs *[]conversion) []il.Stmt {
 	out := make([]il.Stmt, 0, len(list))
 	for _, s := range list {
 		switch st := s.(type) {
 		case *il.While:
-			st.Body = convertList(p, a, st.Body, n)
+			st.Body = convertList(p, a, st.Body, n, convs)
 			if d := tryConvert(p, a, st, out); d != nil {
 				*n++
+				*convs = append(*convs, conversion{st, d})
 				out = append(out, d)
 				continue
 			}
 		case *il.If:
-			st.Then = convertList(p, a, st.Then, n)
-			st.Else = convertList(p, a, st.Else, n)
+			st.Then = convertList(p, a, st.Then, n, convs)
+			st.Else = convertList(p, a, st.Else, n, convs)
 		case *il.DoLoop:
-			st.Body = convertList(p, a, st.Body, n)
+			st.Body = convertList(p, a, st.Body, n, convs)
 		case *il.DoParallel:
-			st.Body = convertList(p, a, st.Body, n)
+			st.Body = convertList(p, a, st.Body, n, convs)
 		}
 		out = append(out, s)
 	}

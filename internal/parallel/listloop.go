@@ -65,6 +65,7 @@ func walkList(prog *il.Program, p *il.Proc, list []il.Stmt, st *ListStats) []il.
 			n.Body = walkList(prog, p, n.Body, st)
 			if repl, ok := convertListLoop(prog, p, n); ok {
 				st.LoopsConverted++
+				p.BumpGeneration()
 				out = append(out, repl...)
 				continue
 			}

@@ -53,6 +53,7 @@ func walkNests(p *il.Proc, list []il.Stmt, st *NestStats) []il.Stmt {
 			n.Body = walkNests(p, n.Body, st)
 			if nestIndependent(p, n) {
 				st.NestsParallelized++
+				p.BumpGeneration()
 				out = append(out, &il.DoParallel{IV: n.IV, Init: n.Init,
 					Limit: n.Limit, Step: n.Step, Body: n.Body})
 				continue

@@ -13,6 +13,7 @@
 package parallel
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/depend"
 	"repro/internal/il"
 )
@@ -31,29 +32,38 @@ func (s *Stats) Add(o Stats) {
 
 // ParallelizeProc converts eligible serial DO loops in place.
 func ParallelizeProc(p *il.Proc, opts depend.Options) Stats {
+	return ParallelizeProcWith(p, opts, nil)
+}
+
+// ParallelizeProcWith is ParallelizeProc against an analysis cache that
+// memoizes the per-loop dependence graphs (nil analyzes directly).
+func ParallelizeProcWith(p *il.Proc, opts depend.Options, ac *analysis.Cache) Stats {
 	var st Stats
-	p.Body = walk(p, p.Body, opts, &st)
+	p.Body = walk(p, p.Body, opts, ac, &st)
 	return st
 }
 
-func walk(p *il.Proc, list []il.Stmt, opts depend.Options, st *Stats) []il.Stmt {
+func walk(p *il.Proc, list []il.Stmt, opts depend.Options, ac *analysis.Cache, st *Stats) []il.Stmt {
 	out := make([]il.Stmt, 0, len(list))
 	for _, s := range list {
 		switch n := s.(type) {
 		case *il.If:
-			n.Then = walk(p, n.Then, opts, st)
-			n.Else = walk(p, n.Else, opts, st)
+			n.Then = walk(p, n.Then, opts, ac, st)
+			n.Else = walk(p, n.Else, opts, ac, st)
 		case *il.While:
-			n.Body = walk(p, n.Body, opts, st)
+			n.Body = walk(p, n.Body, opts, ac, st)
 		case *il.DoParallel:
 			// Already parallel (vectorizer output); leave its body alone —
 			// nested parallelism is not profitable on a 4-processor
 			// machine.
 		case *il.DoLoop:
-			n.Body = walk(p, n.Body, opts, st)
+			n.Body = walk(p, n.Body, opts, ac, st)
 			st.LoopsExamined++
-			if ok := independent(p, n, opts); ok {
+			if ok := independent(p, n, opts, ac); ok {
 				st.LoopsParallelized++
+				// The loop object changes identity and kind; stale cached
+				// analyses of the enclosing procedure must not survive.
+				p.BumpGeneration()
 				out = append(out, &il.DoParallel{IV: n.IV, Init: n.Init,
 					Limit: n.Limit, Step: n.Step, Body: n.Body})
 				continue
@@ -67,7 +77,7 @@ func walk(p *il.Proc, list []il.Stmt, opts depend.Options, st *Stats) []il.Stmt 
 // independent reports whether the loop's iterations can run concurrently:
 // no carried dependence of any kind, no barriers (calls, volatile,
 // irregular control), and no scalar live-out computed iteratively.
-func independent(p *il.Proc, loop *il.DoLoop, opts depend.Options) bool {
+func independent(p *il.Proc, loop *il.DoLoop, opts depend.Options, ac *analysis.Cache) bool {
 	// Nested loops inside the body are themselves statements the
 	// dependence pass treats as barriers; a loop nest parallelizes at the
 	// level whose body is loop-free.
@@ -77,7 +87,7 @@ func independent(p *il.Proc, loop *il.DoLoop, opts depend.Options) bool {
 			return false
 		}
 	}
-	ld := depend.AnalyzeLoop(p, loop, opts)
+	ld := ac.LoopDeps(p, loop, opts)
 	for _, b := range ld.Barrier {
 		if b {
 			return false

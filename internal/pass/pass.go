@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/il"
 )
 
@@ -64,12 +65,19 @@ type Context struct {
 	// process procedures independently. 0 means GOMAXPROCS; 1 runs
 	// serially.
 	Workers int
+	// Analysis memoizes per-procedure CFG/use-def/liveness solutions and
+	// per-loop dependence graphs across passes, invalidated by each
+	// procedure's generation counter. Nil disables caching: every
+	// sub-pass re-solves from scratch (the pre-cache behavior, kept as
+	// the differential-testing baseline).
+	Analysis *analysis.Cache
 }
 
 // NewContext returns the default context: verifier on, worker pool as
-// wide as GOMAXPROCS.
+// wide as GOMAXPROCS, analysis cache on.
 func NewContext() *Context {
-	return &Context{Report: &Report{}, Verify: true, Workers: runtime.GOMAXPROCS(0)}
+	return &Context{Report: &Report{}, Verify: true, Workers: runtime.GOMAXPROCS(0),
+		Analysis: analysis.NewCache()}
 }
 
 func (ctx *Context) workers() int {
@@ -144,6 +152,7 @@ func (m *Manager) Run(prog *il.Program, ctx *Context) (*Report, error) {
 			}
 		}
 	}
+	rep.Analysis = ctx.Analysis.Stats()
 	return rep, nil
 }
 

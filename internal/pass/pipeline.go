@@ -116,7 +116,7 @@ func (sp *scalarPass) Run(prog *il.Program, ctx *Context) error {
 		ctx.Report.Scalar = opt.Counts{}
 	}
 	for _, c := range forEachProc(prog, ctx.workers(), func(p *il.Proc) opt.Counts {
-		return opt.Optimize(p, sp.opts)
+		return opt.OptimizeWith(p, sp.opts, ctx.Analysis)
 	}) {
 		ctx.Report.Scalar.Add(c)
 	}
@@ -141,8 +141,10 @@ type vectorPass struct{ cfg vector.Config }
 func (*vectorPass) Name() string { return PassVectorize }
 
 func (vp *vectorPass) Run(prog *il.Program, ctx *Context) error {
+	cfg := vp.cfg
+	cfg.Analysis = ctx.Analysis
 	for _, st := range forEachProc(prog, ctx.workers(), func(p *il.Proc) vector.Stats {
-		return vector.VectorizeProc(p, vp.cfg)
+		return vector.VectorizeProc(p, cfg)
 	}) {
 		ctx.Report.Vector.Add(st)
 	}
@@ -156,7 +158,7 @@ func (*parallelPass) Name() string { return PassParallelize }
 
 func (pp *parallelPass) Run(prog *il.Program, ctx *Context) error {
 	for _, st := range forEachProc(prog, ctx.workers(), func(p *il.Proc) parallel.Stats {
-		return parallel.ParallelizeProc(p, pp.dopts)
+		return parallel.ParallelizeProcWith(p, pp.dopts, ctx.Analysis)
 	}) {
 		ctx.Report.Parallel.Add(st)
 	}
@@ -187,8 +189,10 @@ type strengthPass struct{ cfg strength.Config }
 func (*strengthPass) Name() string { return PassStrength }
 
 func (sp *strengthPass) Run(prog *il.Program, ctx *Context) error {
+	cfg := sp.cfg
+	cfg.Analysis = ctx.Analysis
 	for _, st := range forEachProc(prog, ctx.workers(), func(p *il.Proc) strength.Stats {
-		return strength.OptimizeLoops(p, sp.cfg)
+		return strength.OptimizeLoops(p, cfg)
 	}) {
 		ctx.Report.Strength.Add(st)
 	}

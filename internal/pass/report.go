@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/inline"
 	"repro/internal/opt"
 	"repro/internal/parallel"
@@ -42,6 +43,9 @@ type Report struct {
 	Parallel parallel.Stats     `json:"parallel"`
 	List     parallel.ListStats `json:"list"`
 	Strength strength.Stats     `json:"strength"`
+	// Analysis is the analysis cache's hit/miss tally for the run (all
+	// zero when the cache was disabled).
+	Analysis analysis.Stats `json:"analysis"`
 }
 
 // Pass returns the stat row for the named pass, or nil. If a pass ran
@@ -105,6 +109,15 @@ func (r *Report) String() string {
 		fmt.Fprintf(&sb, "strength: %d loops, %d promoted loads, %d reduced refs, %d pointers, %d hoisted\n",
 			r.Strength.LoopsTransformed, r.Strength.PromotedLoads, r.Strength.ReducedRefs,
 			r.Strength.Pointers, r.Strength.HoistedExprs)
+	}
+	if r.Analysis != (analysis.Stats{}) {
+		fmt.Fprintf(&sb, "analysis cache: dataflow %d/%d, liveness %d/%d, depend %d/%d hits\n",
+			r.Analysis.DataflowHits, r.Analysis.DataflowHits+r.Analysis.DataflowMisses,
+			r.Analysis.LivenessHits, r.Analysis.LivenessHits+r.Analysis.LivenessMisses,
+			r.Analysis.DependHits, r.Analysis.DependHits+r.Analysis.DependMisses)
+	}
+	if n := r.Scalar[opt.FixpointCapped]; n > 0 {
+		fmt.Fprintf(&sb, "WARNING: scalar fixpoint capped without converging in %d procedure(s)\n", n)
 	}
 	return sb.String()
 }

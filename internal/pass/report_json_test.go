@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/inline"
 	"repro/internal/opt"
 	"repro/internal/parallel"
@@ -26,6 +27,7 @@ func fullReport() *Report {
 		Parallel: parallel.Stats{LoopsExamined: 4, LoopsParallelized: 2},
 		List:     parallel.ListStats{LoopsConverted: 1},
 		Strength: strength.Stats{PromotedLoads: 2, ReducedRefs: 3, Pointers: 1, HoistedExprs: 4, LoopsTransformed: 2},
+		Analysis: analysis.Stats{DataflowHits: 9, DataflowMisses: 4, LivenessHits: 3, LivenessMisses: 2, DependHits: 6, DependMisses: 5},
 	}
 }
 
@@ -62,7 +64,8 @@ func TestReportJSONStable(t *testing.T) {
 		`"vector":{"loops_examined":5,"loops_vectorized":2,"vector_stmts":7,"parallel_loops":1,"serial_residue":3},` +
 		`"parallel":{"loops_examined":4,"loops_parallelized":2},` +
 		`"list":{"loops_converted":1},` +
-		`"strength":{"promoted_loads":2,"reduced_refs":3,"pointers":1,"hoisted_exprs":4,"loops_transformed":2}}`
+		`"strength":{"promoted_loads":2,"reduced_refs":3,"pointers":1,"hoisted_exprs":4,"loops_transformed":2},` +
+		`"analysis":{"dataflow_hits":9,"dataflow_misses":4,"liveness_hits":3,"liveness_misses":2,"depend_hits":6,"depend_misses":5}}`
 	if string(blob) != want {
 		t.Fatalf("wire shape drifted:\n got %s\nwant %s", blob, want)
 	}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/pass"
 )
 
@@ -16,6 +17,7 @@ type metrics struct {
 	start    time.Time
 	compiles CompileCounters
 	passes   map[string]*PassTotals
+	analysis analysis.Stats
 	latency  LatencySummary
 }
 
@@ -59,7 +61,10 @@ type MetricsResponse struct {
 	Cache    CacheStats            `json:"cache"`
 	Catalogs int                   `json:"catalogs"`
 	Passes   map[string]PassTotals `json:"passes"`
-	Latency  LatencySummary        `json:"latency"`
+	// Analysis is the cumulative in-compile analysis-cache tally (use-def,
+	// liveness, dependence graphs) summed over every real compile's report.
+	Analysis analysis.Stats `json:"analysis"`
+	Latency  LatencySummary `json:"latency"`
 }
 
 func newMetrics() *metrics {
@@ -113,6 +118,7 @@ func (m *metrics) miss(rep *pass.Report) {
 			t.Runs++
 			t.TotalNS += p.Duration.Nanoseconds()
 		}
+		m.analysis.Add(rep.Analysis)
 	}
 	m.mu.Unlock()
 }
@@ -169,6 +175,7 @@ func (m *metrics) snapshot(cache CacheStats, catalogs int) MetricsResponse {
 		Cache:    cache,
 		Catalogs: catalogs,
 		Passes:   passes,
+		Analysis: m.analysis,
 		Latency:  lat,
 	}
 }

@@ -23,6 +23,7 @@ package strength
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/ctype"
 	"repro/internal/depend"
 	"repro/internal/il"
@@ -54,6 +55,9 @@ type Config struct {
 	// NoReduction disables address strength reduction (ablation A1: leave
 	// the multiplications ivsub introduced in place).
 	NoReduction bool
+	// Analysis, when non-nil, memoizes per-loop dependence graphs across
+	// this pass and the vector/parallel consumers of the same loops.
+	Analysis *analysis.Cache
 }
 
 // OptimizeLoops transforms every serial innermost DO loop of p.
@@ -139,6 +143,7 @@ func transformLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) []il.Stmt
 	}
 	if changed {
 		st.LoopsTransformed++
+		p.BumpGeneration()
 	}
 	return pre
 }
@@ -148,7 +153,7 @@ func transformLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) []il.Stmt
 // promote finds a store→load carried flow dependence of distance 1 on the
 // same base and keeps the value in a register.
 func promote(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) ([]il.Stmt, bool) {
-	ld := depend.AnalyzeLoop(p, loop, cfg.Depend)
+	ld := cfg.Analysis.LoopDeps(p, loop, cfg.Depend)
 	for _, b := range ld.Barrier {
 		if b {
 			return nil, false

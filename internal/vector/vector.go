@@ -9,6 +9,7 @@
 package vector
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/ctype"
 	"repro/internal/depend"
 	"repro/internal/il"
@@ -27,6 +28,9 @@ type Config struct {
 	Parallel bool
 	// Depend carries aliasing assumptions.
 	Depend depend.Options
+	// Analysis, when non-nil, memoizes per-loop dependence graphs across
+	// this pass and the parallel/strength consumers of the same loops.
+	Analysis *analysis.Cache
 }
 
 func (c Config) vl() int64 {
@@ -108,7 +112,7 @@ func vectorizeLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) ([]il.Stm
 	if !normalize(p, loop) {
 		return nil, false
 	}
-	ld := depend.AnalyzeLoop(p, loop, cfg.Depend)
+	ld := cfg.Analysis.LoopDeps(p, loop, cfg.Depend)
 	n := len(loop.Body)
 	if n == 0 {
 		return nil, false
@@ -196,6 +200,9 @@ func vectorizeLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) ([]il.Stm
 			Limit: il.CloneExpr(loop.Limit), Step: il.CloneExpr(loop.Step),
 			Body: body, Safe: loop.Safe})
 	}
+	// The rewrite replaces statements the proc-wide chains and any cached
+	// dependence graphs were built over; stale entries must not survive.
+	p.BumpGeneration()
 	return out, true
 }
 
