@@ -19,6 +19,10 @@
 //	-run             simulate after compiling
 //	-p N             processors for -run (1–4)
 //	-entry name      entry function for -run (default main)
+//	-stats           print a host throughput line after -run (wall time,
+//	                 host instrs/sec, ns per simulated cycle, MFLOPS)
+//	-cpuprofile f    write a CPU profile of the -run simulation to f
+//	-memprofile f    write an allocation profile to f on exit
 //
 // Pipeline instrumentation (the pass manager's report and snapshot hook):
 //
@@ -32,10 +36,13 @@ import (
 	"fmt"
 	"os"
 
+	"time"
+
 	"repro/internal/driver"
 	"repro/internal/il"
 	"repro/internal/inline"
 	"repro/internal/pass"
+	"repro/internal/profiling"
 	"repro/internal/titan"
 )
 
@@ -59,6 +66,9 @@ func main() {
 		runIt      = flag.Bool("run", false, "simulate after compiling")
 		procs      = flag.Int("p", 1, "processors for -run")
 		entry      = flag.String("entry", "main", "entry function for -run")
+		stats      = flag.Bool("stats", false, "print host simulation throughput after -run")
+		cpuprofile = flag.String("cpuprofile", "", "write CPU profile of the -run simulation to file")
+		memprofile = flag.String("memprofile", "", "write allocation profile to file")
 		timePasses = flag.Bool("time-passes", false, "print per-pass wall time and IL statement deltas")
 		dumpAfter  = flag.String("dump-after", "", "print the IL snapshot after the named pass")
 		catalogs   catalogList
@@ -154,13 +164,26 @@ func main() {
 		if _, ok := res.Machine.Funcs[*entry]; !ok {
 			fatal(fmt.Errorf("entry function %q is not defined", *entry))
 		}
+		stopCPU, err := profiling.StartCPU(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
 		m := titan.NewMachine(res.Machine, *procs)
+		start := time.Now()
 		r, err := m.Run(*entry)
+		wall := time.Since(start)
+		stopCPU()
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(r.Output)
 		fmt.Println(driver.FormatResult(r, *procs))
+		if *stats {
+			fmt.Println(profiling.FormatStats(r, wall))
+		}
+		if err := profiling.WriteHeap(*memprofile); err != nil {
+			fatal(err)
+		}
 	}
 	if !*dumpIL && !*asm && !*runIt && !*timePasses && *dumpAfter == "" {
 		fmt.Printf("compiled %s: %d procedures, %d inlined calls, %d vector stmts, %d parallel loops\n",

@@ -10,6 +10,15 @@
 // With -configs, the program is compiled and measured under four
 // configurations (scalar, +strength, +vector, +vector+parallel) the way
 // the paper's evaluation contrasts them.
+//
+// Host-side measurement of the simulator itself:
+//
+//	-engine fast|ref  execution engine: the fast engine (default) or the
+//	                  reference interpreter it is differenced against
+//	-stats            print a host throughput line per run (wall time,
+//	                  host instrs/sec, ns per simulated cycle, MFLOPS)
+//	-cpuprofile f     write a CPU profile of the simulation(s) to f
+//	-memprofile f     write an allocation profile to f on exit
 package main
 
 import (
@@ -17,8 +26,10 @@ import (
 	"fmt"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/driver"
+	"repro/internal/profiling"
 	"repro/internal/titan"
 )
 
@@ -26,7 +37,14 @@ func main() {
 	configs := flag.Bool("configs", false, "sweep optimization configurations")
 	procs := flag.Int("p", 2, "max processors for parallel configs")
 	entry := flag.String("entry", "main", "entry function to simulate")
+	engine := flag.String("engine", "fast", "execution engine: fast or ref")
+	stats := flag.Bool("stats", false, "print host simulation throughput per run")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := flag.String("memprofile", "", "write allocation profile to file")
 	flag.Parse()
+	if *engine != "fast" && *engine != "ref" {
+		fatal(fmt.Errorf("unknown engine %q (want fast or ref)", *engine))
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: titanrun [-configs] file.c")
 		os.Exit(2)
@@ -56,6 +74,11 @@ func main() {
 		cfgs = []cfg{{"full", driver.FullOptions(), *procs}}
 	}
 
+	stopCPU, err := profiling.StartCPU(*cpuprofile)
+	if err != nil {
+		fatal(err)
+	}
+
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "config\tprocs\tcycles\tinstrs\tflops\tMFLOPS\tspeedup")
 	var base int64
@@ -68,12 +91,22 @@ func main() {
 			fatal(fmt.Errorf("entry function %q is not defined", *entry))
 		}
 		m := titan.NewMachine(res.Machine, c.procs)
-		r, err := m.Run(*entry)
+		start := time.Now()
+		var r titan.Result
+		if *engine == "ref" {
+			r, err = m.RunReference(*entry)
+		} else {
+			r, err = m.Run(*entry)
+		}
+		wall := time.Since(start)
 		if err != nil {
 			fatal(err)
 		}
 		if r.Output != "" {
 			fmt.Print(r.Output)
+		}
+		if *stats {
+			fmt.Println(profiling.FormatStats(r, wall))
 		}
 		if base == 0 {
 			base = r.Cycles
@@ -83,6 +116,10 @@ func main() {
 			float64(base)/float64(r.Cycles))
 	}
 	w.Flush()
+	stopCPU()
+	if err := profiling.WriteHeap(*memprofile); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

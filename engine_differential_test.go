@@ -1,0 +1,83 @@
+package repro
+
+// Differential validation of the fast Titan execution engine: on every
+// E-series evaluation workload, compiled at full optimization, the
+// engine (titan.Machine.Run) must produce a bit-identical Result —
+// cycles, flops, instruction count, exit code, and output — to the
+// reference interpreter (RunReference) at every supported processor
+// count. Run with -race these tests also prove the goroutine-backed
+// parallel regions clean.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/driver"
+	"repro/internal/titan"
+)
+
+// eseriesWorkloads is the §9 evaluation set at a size that exercises
+// multiple vector strips and parallel chunks per processor.
+func eseriesWorkloads() []bench.Workload {
+	return []bench.Workload{
+		bench.Backsolve(512),
+		bench.Daxpy(512),
+		bench.CopyLoop(512),
+		bench.ReverseAxpy(512),
+		bench.VectorAdd(512),
+		bench.Transform4x4(64),
+	}
+}
+
+func TestEngineMatchesReferenceOnESeries(t *testing.T) {
+	for _, w := range eseriesWorkloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := driver.Compile(w.Src, driver.FullOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, procs := range []int{1, 2, 4} {
+				fast, errF := titan.NewMachine(res.Machine, procs).Run("main")
+				ref, errR := titan.NewMachine(res.Machine, procs).RunReference("main")
+				if errF != nil || errR != nil {
+					t.Fatalf("p=%d: engine err %v, reference err %v", procs, errF, errR)
+				}
+				if fast != ref {
+					t.Errorf("p=%d: engine %+v != reference %+v", procs, fast, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineDeterministicOnSyntheticDoall runs the large parallel
+// workload repeatedly at 4 processors: goroutine scheduling must never
+// reach the simulated Result.
+func TestEngineDeterministicOnSyntheticDoall(t *testing.T) {
+	w := bench.SyntheticDoall(2048, 4)
+	res, err := driver.Compile(w.Src, driver.FullOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first titan.Result
+	for i := 0; i < 10; i++ {
+		got, err := titan.NewMachine(res.Machine, 4).Run("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = got
+			ref, err := titan.NewMachine(res.Machine, 4).RunReference("main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != ref {
+				t.Fatalf("engine %+v != reference %+v", got, ref)
+			}
+		} else if got != first {
+			t.Fatalf("run %d: %+v != first %+v", i, got, first)
+		}
+	}
+}

@@ -304,3 +304,33 @@ int main(void)
 }
 `, verts, verts, verts, KernelMarker)}
 }
+
+// SyntheticDoall is the execution-engine benchmark's parallel workload:
+// reps serial passes over an n-element dependence-free update, each pass
+// a doall loop the compiler spreads across the processors (and
+// vectorizes within each chunk). n is sized far above the strip length
+// so every processor runs many strips per region.
+func SyntheticDoall(n, reps int) Workload {
+	return Workload{Name: "syntheticdoall", Src: fmt.Sprintf(`
+float a[%d], b[%d], c[%d];
+
+void doall(int n)
+{
+	int i;
+	for (i = 0; i < n; i++)
+		a[i] = b[i] * 2.0f + c[i] + a[i] * 0.5f;
+}
+
+int main(void)
+{
+	int i, r;
+	for (i = 0; i < %d; i++) {
+		a[i] = 0;
+		b[i] = i;
+		c[i] = 1;
+	}
+	for (r = 0; r < %d; r++) doall(%d); %s
+	return 0;
+}
+`, n, n, n, n, reps, n, KernelMarker)}
+}

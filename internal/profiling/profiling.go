@@ -1,0 +1,65 @@
+// Package profiling is the shared -cpuprofile/-memprofile/-stats plumbing
+// for the CLI commands that run simulations (titanrun, titancc -run).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"repro/internal/titan"
+)
+
+// StartCPU begins a CPU profile written to path and returns the function
+// that stops and closes it. With an empty path it is a no-op.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap writes an allocation profile to path after a final GC so the
+// profile reflects live objects, not collection timing. With an empty
+// path it is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
+
+// FormatStats is the -stats line: host wall time of the simulation, the
+// host's simulation throughput (simulated instructions and cycles per
+// host second), and the modelled machine's own speed.
+func FormatStats(r titan.Result, wall time.Duration) string {
+	secs := wall.Seconds()
+	instrsPerSec, nsPerCycle := 0.0, 0.0
+	if secs > 0 && r.Instrs > 0 {
+		instrsPerSec = float64(r.Instrs) / secs
+	}
+	if r.Cycles > 0 {
+		nsPerCycle = float64(wall.Nanoseconds()) / float64(r.Cycles)
+	}
+	return fmt.Sprintf("stats: wall=%v host_instrs_per_sec=%.0f ns_per_sim_cycle=%.2f sim_mflops=%.2f",
+		wall.Round(time.Microsecond), instrsPerSec, nsPerCycle, r.MFLOPS())
+}

@@ -67,7 +67,10 @@ func (o CompileOptions) driverOptions(cats []*inline.Catalog) driver.Options {
 	return opts
 }
 
-// RunResult is a simulation outcome in JSON form.
+// RunResult is a simulation outcome in JSON form. HostNanos is the wall
+// time the engine took on the serving host — telemetry for sizing the
+// simulation budget of a deployment, not part of the simulated model (it
+// is stamped into the cached artifact by the request that computed it).
 type RunResult struct {
 	ExitCode   int64   `json:"exit_code"`
 	Cycles     int64   `json:"cycles"`
@@ -75,6 +78,7 @@ type RunResult struct {
 	Flops      int64   `json:"flops"`
 	MFLOPS     float64 `json:"mflops"`
 	Processors int     `json:"processors"`
+	HostNanos  int64   `json:"host_nanos"`
 	Output     string  `json:"output,omitempty"`
 }
 
@@ -236,7 +240,9 @@ func (s *Server) compile(key string, req CompileRequest, opts driver.Options) ([
 			return nil, fmt.Errorf("entry function %q is not defined", req.Entry)
 		}
 		m := titan.NewMachine(res.Machine, req.Processors)
+		start := time.Now()
 		r, err := m.Run(req.Entry)
+		hostNanos := time.Since(start).Nanoseconds()
 		if err != nil {
 			return nil, fmt.Errorf("simulation: %w", err)
 		}
@@ -247,6 +253,7 @@ func (s *Server) compile(key string, req CompileRequest, opts driver.Options) ([
 			Flops:      r.FlopCount,
 			MFLOPS:     r.MFLOPS(),
 			Processors: req.Processors,
+			HostNanos:  hostNanos,
 			Output:     r.Output,
 		}
 	}

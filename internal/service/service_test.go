@@ -177,6 +177,9 @@ func TestCompileRun(t *testing.T) {
 	if out.Run == nil || out.Run.Processors != 2 || out.Run.ExitCode != 0 || out.Run.Cycles == 0 {
 		t.Fatalf("run result: %+v", out.Run)
 	}
+	if out.Run.HostNanos <= 0 {
+		t.Errorf("HostNanos = %d, want > 0", out.Run.HostNanos)
+	}
 	// Same source, no run: distinct artifact.
 	plain, _ := postCompile(t, ts, CompileRequest{Source: daxpySrc, Options: fullOpts()})
 	if plain.Key == out.Key {

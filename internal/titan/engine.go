@@ -1,0 +1,1236 @@
+package titan
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"unsafe"
+)
+
+// The fast engine. Run executes the same programs as RunReference with a
+// bit-identical Result, but restructured for host throughput:
+//
+//   - every Func is pre-decoded once per Program into a dense []dinstr
+//     with the timing table (unit, latency, occupancy, vl scaling),
+//     operand/destination scoreboard kinds, and branch targets folded
+//     into each instruction, so the hot loop runs one data-driven charge
+//     plus one semantic switch instead of the reference's two full
+//     switches per retired instruction;
+//   - Trace and per-instruction budget checks are hoisted out of the
+//     straight-line path (budget is re-checked at every control
+//     transfer, which every loop must make);
+//   - common pairs execute as superinstructions: ALU/compare + Beqz/Bnez
+//     and Fld4/Fld8 + float arithmetic retire in one loop iteration
+//     (both instructions still charge the scoreboard individually, so
+//     simulated timing is unchanged);
+//   - vector memory and arithmetic run as bulk kernels over the memory
+//     slab and register file with the element-kind switch, bounds
+//     checks, and slot wrap-around hoisted out of the per-element loop
+//     (stride-1 loads/stores of float64 reinterpret the slab directly);
+//   - parallel regions fan out one goroutine per simulated processor
+//     over the shared slab, joined with the reference's max-delta +
+//     fork-overhead cycle model.
+
+// regKind says which scoreboard array an operand or result lives in.
+type regKind uint8
+
+const (
+	rkNone regKind = iota
+	rkInt
+	rkFlt
+	rkVec
+)
+
+// unitKind selects the functional unit that executes an op.
+type unitKind uint8
+
+const (
+	uInt unitKind = iota
+	uFlt
+	uMem
+)
+
+// flopKind is the op's contribution to the FLOP count.
+type flopKind uint8
+
+const (
+	fNone flopKind = iota
+	fOne
+	fVL
+)
+
+// fuseKind marks a superinstruction: this op and its successor retire
+// together in one loop iteration.
+type fuseKind uint8
+
+const (
+	fuseNone   fuseKind = iota
+	fuseBranch          // ALU/compare + Beqz/Bnez
+	fuseFltBin          // Fld4/Fld8 + Fadd/Fsub/Fmul/Fdiv
+)
+
+// dinstr is one pre-decoded instruction: the Instr operands plus
+// everything dispatch used to recompute per retirement — scoreboard
+// kinds, unit, base latency/occupancy and vl scaling, FLOP class — and
+// resolved control-flow targets. Vector register indices are pre-wrapped
+// into [0, VRFWords).
+type dinstr struct {
+	// Hot fields first: the dispatch loop and the inlined charge touch
+	// only these, keeping the per-instruction working set to about one
+	// cache line of the decoded stream.
+	op  Op
+	rd  int32
+	rs1 int32
+	rs2 int32
+	tgt int32 // branch target pc, or par.end index; -1 if unresolved
+	// Byte offsets into the cpu struct of the two operand ready-times,
+	// the destination ready-time, and the issuing unit, so charge runs
+	// branch-free: absent operands point at cpu.sbZero (always zero)
+	// and absent destinations at cpu.sbSink (never read).
+	s1off   int32
+	s2off   int32
+	doff    int32
+	unitOff int32
+	lat     int32
+	occ     int32
+	vsc     int32 // latency/occupancy grow by vsc·vl (0, 1, or 2)
+	flc     int32 // constant FLOP contribution per retirement
+	flv     int32 // per-vector-lane FLOP contribution (× clamped vl)
+	imm     int64
+	fimm    float64
+
+	fuse   fuseKind
+	s1k    regKind
+	s2k    regKind
+	dk     regKind
+	unit   unitKind
+	vscale uint8 // latency/occupancy grow by vscale·vl
+	fl     flopKind
+	sym    string
+	errMsg string // decode-time diagnosis, raised only if executed
+}
+
+// dfunc is a pre-decoded function.
+type dfunc struct {
+	name string
+	code []dinstr
+}
+
+// Byte offsets of the scoreboard arrays and unit clocks within cpu,
+// the basis of the decoded charge offsets.
+var (
+	offIntReady = int32(unsafe.Offsetof(cpu{}.intReady))
+	offFltReady = int32(unsafe.Offsetof(cpu{}.fltReady))
+	offVecReady = int32(unsafe.Offsetof(cpu{}.vecReady))
+	offIntUnit  = int32(unsafe.Offsetof(cpu{}.intUnit))
+	offFltUnit  = int32(unsafe.Offsetof(cpu{}.fltUnit))
+	offMemUnit  = int32(unsafe.Offsetof(cpu{}.memUnit))
+	offSbZero   = int32(unsafe.Offsetof(cpu{}.sbZero))
+	offSbSink   = int32(unsafe.Offsetof(cpu{}.sbSink))
+)
+
+// sbOff resolves an operand's ready-time slot to its byte offset in cpu.
+// Register indexes are validated here so the unchecked pointer
+// arithmetic in charge can never stray: the reference would panic on
+// the same malformed instruction at execution time, the decoder simply
+// reports it up front.
+func sbOff(k regKind, r int32, write bool) int32 {
+	switch k {
+	case rkInt:
+		if r < 0 || r >= NumIntRegs {
+			panic(fmt.Sprintf("titan: decode: integer register r%d out of range", r))
+		}
+		return offIntReady + 8*r
+	case rkFlt:
+		if r < 0 || r >= NumFltRegs {
+			panic(fmt.Sprintf("titan: decode: float register f%d out of range", r))
+		}
+		return offFltReady + 8*r
+	case rkVec:
+		// Pre-wrapped by the decoder into [0, VRFWords).
+		return offVecReady + 8*r
+	}
+	if write {
+		return offSbSink
+	}
+	return offSbZero
+}
+
+// decode builds the decoded form of every function, once. Concurrent
+// Machines sharing a Program race here only through the sync.Once.
+func (p *Program) decode() {
+	p.decOnce.Do(func() {
+		p.decoded = make(map[string]*dfunc, len(p.Funcs))
+		for name, f := range p.Funcs {
+			p.decoded[name] = decodeFunc(f)
+		}
+	})
+}
+
+// timeOf is the reference dispatch timing table, factored: latency and
+// occupancy are lat + vscale·vl / occ + vscale·vl.
+func timeOf(op Op) (unit unitKind, vscale uint8, lat, occ int64) {
+	switch op {
+	case OpMul, OpMuli:
+		return uInt, 0, 4, 1
+	case OpDiv, OpRem:
+		return uInt, 0, 12, 8
+	case OpLd1, OpLd2, OpLd4, OpFld4, OpFld8:
+		return uMem, 0, 6, 1
+	case OpSt1, OpSt2, OpSt4, OpFst4, OpFst8:
+		return uMem, 0, 1, 1
+	case OpFadd, OpFsub, OpFmul, OpFneg,
+		OpFcmpEq, OpFcmpNe, OpFcmpLt, OpFcmpLe, OpFcmpGt, OpFcmpGe,
+		OpCvtIF, OpCvtFI, OpFmov, OpFldi:
+		return uFlt, 0, 6, 1
+	case OpFdiv:
+		return uFlt, 0, 18, 12
+	case OpVld, OpVst:
+		return uMem, 1, 6, 2
+	case OpVadd, OpVsub, OpVmul, OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVmov, OpVbcast:
+		return uFlt, 1, 8, 4
+	case OpVdiv, OpVdivs, OpVdivsr:
+		return uFlt, 2, 12, 8
+	case OpJmp, OpBeqz, OpBnez:
+		return uInt, 0, 2, 1
+	case OpCall:
+		return uInt, 0, 10, 10
+	case OpRet:
+		return uInt, 0, 8, 8
+	default:
+		return uInt, 0, 1, 1
+	}
+}
+
+// srcKinds is the reference dispatch operand-readiness table.
+func srcKinds(op Op) (s1k, s2k regKind) {
+	switch op {
+	case OpMov, OpNeg, OpNot, OpBnot, OpAddi, OpMuli, OpBeqz, OpBnez, OpArg,
+		OpVsetl, OpCvtIF, OpPid, OpNproc,
+		OpLd1, OpLd2, OpLd4, OpFld4, OpFld8,
+		OpSt1, OpSt2, OpSt4, OpFst4, OpFst8:
+		return rkInt, rkNone
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpCmpEq, OpCmpNe, OpCmpLt, OpCmpLe, OpCmpGt, OpCmpGe,
+		OpVld, OpVst:
+		return rkInt, rkInt
+	case OpFmov, OpFneg, OpCvtFI, OpFarg, OpVbcast:
+		return rkFlt, rkNone
+	case OpFadd, OpFsub, OpFmul, OpFdiv,
+		OpFcmpEq, OpFcmpNe, OpFcmpLt, OpFcmpLe, OpFcmpGt, OpFcmpGe:
+		return rkFlt, rkFlt
+	case OpVadd, OpVsub, OpVmul, OpVdiv, OpVmov:
+		return rkVec, rkVec
+	case OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr:
+		return rkVec, rkFlt
+	}
+	return rkNone, rkNone
+}
+
+// dstKind is the reference dispatch result-readiness table.
+func dstKind(op Op) regKind {
+	switch op {
+	case OpLdi, OpMov, OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpAddi, OpMuli, OpNeg, OpNot, OpBnot,
+		OpCmpEq, OpCmpNe, OpCmpLt, OpCmpLe, OpCmpGt, OpCmpGe,
+		OpLd1, OpLd2, OpLd4, OpCvtFI, OpPid, OpNproc,
+		OpFcmpEq, OpFcmpNe, OpFcmpLt, OpFcmpLe, OpFcmpGt, OpFcmpGe:
+		return rkInt
+	case OpFldi, OpFmov, OpFadd, OpFsub, OpFmul, OpFdiv, OpFneg, OpCvtIF,
+		OpFld4, OpFld8:
+		return rkFlt
+	case OpVld, OpVadd, OpVsub, OpVmul, OpVdiv,
+		OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr, OpVmov, OpVbcast:
+		return rkVec
+	}
+	return rkNone
+}
+
+func flopOf(op Op) flopKind {
+	switch op {
+	case OpFadd, OpFsub, OpFmul, OpFdiv:
+		return fOne
+	case OpVadd, OpVsub, OpVmul, OpVdiv,
+		OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr:
+		return fVL
+	}
+	return fNone
+}
+
+// fusableALU ops may lead a fuseBranch pair: register-only, no faults,
+// no control flow.
+func fusableALU(op Op) bool {
+	switch op {
+	case OpLdi, OpMov, OpAdd, OpSub, OpAddi, OpAnd, OpOr, OpXor, OpNeg, OpNot,
+		OpCmpEq, OpCmpNe, OpCmpLt, OpCmpLe, OpCmpGt, OpCmpGe,
+		OpFcmpEq, OpFcmpNe, OpFcmpLt, OpFcmpLe, OpFcmpGt, OpFcmpGe:
+		return true
+	}
+	return false
+}
+
+func isFltBin(op Op) bool {
+	switch op {
+	case OpFadd, OpFsub, OpFmul, OpFdiv:
+		return true
+	}
+	return false
+}
+
+func decodeFunc(f *Func) *dfunc {
+	n := len(f.Instrs)
+	df := &dfunc{name: f.Name, code: make([]dinstr, n)}
+	isTarget := make([]bool, n+1)
+	for _, t := range f.Labels {
+		if t >= 0 && t <= n {
+			isTarget[t] = true
+		}
+	}
+	for pc, in := range f.Instrs {
+		d := &df.code[pc]
+		d.op = in.Op
+		d.rd, d.rs1, d.rs2 = int32(in.Rd), int32(in.Rs1), int32(in.Rs2)
+		d.imm, d.fimm, d.sym = in.Imm, in.FImm, in.Sym
+		d.s1k, d.s2k = srcKinds(in.Op)
+		d.dk = dstKind(in.Op)
+		var lat, occ int64
+		d.unit, d.vscale, lat, occ = timeOf(in.Op)
+		d.lat, d.occ = int32(lat), int32(occ)
+		d.vsc = int32(d.vscale)
+		d.fl = flopOf(in.Op)
+		// Pre-wrap vector register file indices, so the hot path indexes
+		// vecReady and kernel fast paths directly.
+		if d.s1k == rkVec {
+			d.rs1 = int32(vslot(in.Rs1))
+		}
+		if d.s2k == rkVec {
+			d.rs2 = int32(vslot(in.Rs2))
+		}
+		if d.dk == rkVec {
+			d.rd = int32(vslot(in.Rd))
+		}
+		d.s1off = sbOff(d.s1k, d.rs1, false)
+		d.s2off = sbOff(d.s2k, d.rs2, false)
+		d.doff = sbOff(d.dk, d.rd, true)
+		switch d.unit {
+		case uInt:
+			d.unitOff = offIntUnit
+		case uFlt:
+			d.unitOff = offFltUnit
+		default:
+			d.unitOff = offMemUnit
+		}
+		switch d.fl {
+		case fOne:
+			d.flc = 1
+		case fVL:
+			d.flv = 1
+		}
+		switch in.Op {
+		case OpJmp, OpBeqz, OpBnez:
+			if t, ok := f.Labels[in.Sym]; ok {
+				d.tgt = int32(t)
+			} else {
+				// The reference faults only when the branch is actually
+				// taken; keep a lazy error so dead code stays dead.
+				d.tgt = -1
+				d.errMsg = fmt.Sprintf("titan: unknown label %q in %s", in.Sym, f.Name)
+			}
+		case OpParBegin:
+			d.tgt = -1
+			depth := 0
+			for i := pc + 1; i < n; i++ {
+				switch f.Instrs[i].Op {
+				case OpParBegin:
+					depth++
+				case OpParEnd:
+					if depth == 0 {
+						d.tgt = int32(i)
+						i = n
+					} else {
+						depth--
+					}
+				}
+			}
+		}
+	}
+	// Fusion pass: pair an eligible op with its successor unless the
+	// successor is a jump target (it must stay independently reachable).
+	// Par markers can never appear in a pair, so pairs never straddle a
+	// region boundary or its stop point.
+	for pc := 0; pc+1 < n; pc++ {
+		d := &df.code[pc]
+		if isTarget[pc+1] {
+			continue
+		}
+		d2 := &df.code[pc+1]
+		switch {
+		case fusableALU(d.op) && (d2.op == OpBeqz || d2.op == OpBnez):
+			d.fuse = fuseBranch
+			pc++
+		case (d.op == OpFld4 || d.op == OpFld8) && isFltBin(d2.op):
+			d.fuse = fuseFltBin
+			pc++
+		}
+	}
+	return df
+}
+
+// charge advances the scoreboard for one decoded instruction: the
+// reference dispatch with its three switches replaced by decoded byte
+// offsets into the cpu struct, so the hot path is branch-free — operand
+// and destination slots, the issuing unit, the vl scaling, and the FLOP
+// contribution are all straight loads through pre-validated offsets.
+func (c *cpu) charge(d *dinstr) {
+	base := unsafe.Pointer(c)
+	ready := c.clock
+	if t := *(*int64)(unsafe.Add(base, uintptr(d.s1off))); t > ready {
+		ready = t
+	}
+	if t := *(*int64)(unsafe.Add(base, uintptr(d.s2off))); t > ready {
+		ready = t
+	}
+
+	vl := c.vlc
+	scale := int64(d.vsc) * vl
+
+	unit := (*int64)(unsafe.Add(base, uintptr(d.unitOff)))
+	issue := ready
+	if *unit > issue {
+		issue = *unit
+	}
+	*unit = issue + int64(d.occ) + scale
+	done := issue + int64(d.lat) + scale
+	c.clock = issue + 1
+	if done > c.cycles {
+		c.cycles = done
+	}
+	*(*int64)(unsafe.Add(base, uintptr(d.doff))) = done
+	c.flops += int64(d.flc) + int64(d.flv)*vl
+}
+
+// runFastEntry is Run's engine path.
+func (m *Machine) runFastEntry(entry string) (Result, error) {
+	m.prog.decode()
+	df, ok := m.prog.decoded[entry]
+	if !ok {
+		return Result{}, fmt.Errorf("titan: no function %q", entry)
+	}
+	c := &m.root
+	if m.rootUsed {
+		c = &cpu{}
+	}
+	m.rootUsed = true
+	c.m = m
+	c.out = &m.out
+	c.vlc = 1
+	c.r[RegSP] = int64(len(m.mem)) - 8
+	max := m.MaxInstrs
+	if max == 0 {
+		max = 2_000_000_000
+	}
+	if err := c.runFast(df, 0, -1, max); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Cycles:    c.cycles,
+		FlopCount: c.flops,
+		Instrs:    c.icount,
+		ExitCode:  c.r[RegRetInt],
+		Output:    m.out.String(),
+	}, nil
+}
+
+func (c *cpu) budgetErr(df *dfunc) error {
+	return fmt.Errorf("titan: instruction budget exhausted in %s (possible infinite loop)", df.name)
+}
+
+// runFast executes decoded instructions from pc until RET/HALT
+// (stop == -1) or instruction index stop (parallel regions). The
+// instruction budget is enforced at control transfers only — every loop
+// must make one — so straight-line code pays no per-instruction check.
+func (c *cpu) runFast(df *dfunc, pc, stop int, maxInstrs int64) error {
+	code := df.code
+	mem := c.m.mem
+	memLen := int64(len(mem))
+	for pc < len(code) {
+		if pc == stop {
+			return nil
+		}
+		d := &code[pc]
+		c.icount++
+		// charge(d), inlined by hand: the compiler judges the method
+		// too large to inline and this is the single hottest call in
+		// the engine (see charge for the commented version).
+		{
+			cb := unsafe.Pointer(c)
+			ready := c.clock
+			if t := *(*int64)(unsafe.Add(cb, uintptr(d.s1off))); t > ready {
+				ready = t
+			}
+			if t := *(*int64)(unsafe.Add(cb, uintptr(d.s2off))); t > ready {
+				ready = t
+			}
+			vl := c.vlc
+			scale := int64(d.vsc) * vl
+			unit := (*int64)(unsafe.Add(cb, uintptr(d.unitOff)))
+			issue := ready
+			if *unit > issue {
+				issue = *unit
+			}
+			*unit = issue + int64(d.occ) + scale
+			done := issue + int64(d.lat) + scale
+			c.clock = issue + 1
+			if done > c.cycles {
+				c.cycles = done
+			}
+			*(*int64)(unsafe.Add(cb, uintptr(d.doff))) = done
+			c.flops += int64(d.flc) + int64(d.flv)*vl
+		}
+		switch d.op {
+		case OpNop:
+		case OpLdi:
+			c.r[d.rd] = d.imm
+		case OpMov:
+			c.r[d.rd] = c.r[d.rs1]
+		case OpAdd:
+			c.r[d.rd] = c.r[d.rs1] + c.r[d.rs2]
+		case OpSub:
+			c.r[d.rd] = c.r[d.rs1] - c.r[d.rs2]
+		case OpMul:
+			c.r[d.rd] = c.r[d.rs1] * c.r[d.rs2]
+		case OpDiv:
+			if c.r[d.rs2] == 0 {
+				return fmt.Errorf("titan: integer division by zero in %s", df.name)
+			}
+			c.r[d.rd] = c.r[d.rs1] / c.r[d.rs2]
+		case OpRem:
+			if c.r[d.rs2] == 0 {
+				return fmt.Errorf("titan: integer remainder by zero in %s", df.name)
+			}
+			c.r[d.rd] = c.r[d.rs1] % c.r[d.rs2]
+		case OpAnd:
+			c.r[d.rd] = c.r[d.rs1] & c.r[d.rs2]
+		case OpOr:
+			c.r[d.rd] = c.r[d.rs1] | c.r[d.rs2]
+		case OpXor:
+			c.r[d.rd] = c.r[d.rs1] ^ c.r[d.rs2]
+		case OpShl:
+			c.r[d.rd] = c.r[d.rs1] << uint(c.r[d.rs2]&63)
+		case OpShr:
+			c.r[d.rd] = c.r[d.rs1] >> uint(c.r[d.rs2]&63)
+		case OpAddi:
+			c.r[d.rd] = c.r[d.rs1] + d.imm
+		case OpMuli:
+			c.r[d.rd] = c.r[d.rs1] * d.imm
+		case OpNeg:
+			c.r[d.rd] = -c.r[d.rs1]
+		case OpNot:
+			c.r[d.rd] = b2i(c.r[d.rs1] == 0)
+		case OpBnot:
+			c.r[d.rd] = ^c.r[d.rs1]
+		case OpCmpEq:
+			c.r[d.rd] = b2i(c.r[d.rs1] == c.r[d.rs2])
+		case OpCmpNe:
+			c.r[d.rd] = b2i(c.r[d.rs1] != c.r[d.rs2])
+		case OpCmpLt:
+			c.r[d.rd] = b2i(c.r[d.rs1] < c.r[d.rs2])
+		case OpCmpLe:
+			c.r[d.rd] = b2i(c.r[d.rs1] <= c.r[d.rs2])
+		case OpCmpGt:
+			c.r[d.rd] = b2i(c.r[d.rs1] > c.r[d.rs2])
+		case OpCmpGe:
+			c.r[d.rd] = b2i(c.r[d.rs1] >= c.r[d.rs2])
+		case OpPid:
+			c.r[d.rd] = c.pid
+		case OpNproc:
+			c.r[d.rd] = int64(c.m.Processors)
+
+		case OpLd1:
+			a := c.r[d.rs1] + d.imm
+			if uint64(a) > uint64(memLen-1) {
+				return &Fault{Addr: a, Size: 1, Kind: "load", Func: df.name, PC: pc}
+			}
+			c.r[d.rd] = int64(int8(mem[a]))
+		case OpLd2:
+			a := c.r[d.rs1] + d.imm
+			if uint64(a) > uint64(memLen-2) {
+				return &Fault{Addr: a, Size: 2, Kind: "load", Func: df.name, PC: pc}
+			}
+			c.r[d.rd] = int64(int16(binary.LittleEndian.Uint16(mem[a:])))
+		case OpLd4:
+			a := c.r[d.rs1] + d.imm
+			if uint64(a) > uint64(memLen-4) {
+				return &Fault{Addr: a, Size: 4, Kind: "load", Func: df.name, PC: pc}
+			}
+			c.r[d.rd] = int64(int32(binary.LittleEndian.Uint32(mem[a:])))
+		case OpSt1:
+			a := c.r[d.rs1] + d.imm
+			if uint64(a) > uint64(memLen-1) {
+				return &Fault{Addr: a, Size: 1, Kind: "store", Func: df.name, PC: pc}
+			}
+			mem[a] = byte(c.r[d.rs2])
+		case OpSt2:
+			a := c.r[d.rs1] + d.imm
+			if uint64(a) > uint64(memLen-2) {
+				return &Fault{Addr: a, Size: 2, Kind: "store", Func: df.name, PC: pc}
+			}
+			binary.LittleEndian.PutUint16(mem[a:], uint16(c.r[d.rs2]))
+		case OpSt4:
+			a := c.r[d.rs1] + d.imm
+			if uint64(a) > uint64(memLen-4) {
+				return &Fault{Addr: a, Size: 4, Kind: "store", Func: df.name, PC: pc}
+			}
+			binary.LittleEndian.PutUint32(mem[a:], uint32(c.r[d.rs2]))
+		case OpFld4:
+			a := c.r[d.rs1] + d.imm
+			if uint64(a) > uint64(memLen-4) {
+				return &Fault{Addr: a, Size: 4, Kind: "load", Func: df.name, PC: pc}
+			}
+			c.f[d.rd] = float64(math.Float32frombits(binary.LittleEndian.Uint32(mem[a:])))
+		case OpFld8:
+			a := c.r[d.rs1] + d.imm
+			if uint64(a) > uint64(memLen-8) {
+				return &Fault{Addr: a, Size: 8, Kind: "load", Func: df.name, PC: pc}
+			}
+			c.f[d.rd] = math.Float64frombits(binary.LittleEndian.Uint64(mem[a:]))
+		case OpFst4:
+			a := c.r[d.rs1] + d.imm
+			if uint64(a) > uint64(memLen-4) {
+				return &Fault{Addr: a, Size: 4, Kind: "store", Func: df.name, PC: pc}
+			}
+			binary.LittleEndian.PutUint32(mem[a:], math.Float32bits(float32(c.f[d.rs2])))
+		case OpFst8:
+			a := c.r[d.rs1] + d.imm
+			if uint64(a) > uint64(memLen-8) {
+				return &Fault{Addr: a, Size: 8, Kind: "store", Func: df.name, PC: pc}
+			}
+			binary.LittleEndian.PutUint64(mem[a:], math.Float64bits(c.f[d.rs2]))
+
+		case OpFldi:
+			c.f[d.rd] = d.fimm
+		case OpFmov:
+			c.f[d.rd] = c.f[d.rs1]
+		case OpFadd:
+			c.f[d.rd] = c.f[d.rs1] + c.f[d.rs2]
+		case OpFsub:
+			c.f[d.rd] = c.f[d.rs1] - c.f[d.rs2]
+		case OpFmul:
+			c.f[d.rd] = c.f[d.rs1] * c.f[d.rs2]
+		case OpFdiv:
+			c.f[d.rd] = c.f[d.rs1] / c.f[d.rs2]
+		case OpFneg:
+			c.f[d.rd] = -c.f[d.rs1]
+		case OpFcmpEq:
+			c.r[d.rd] = b2i(c.f[d.rs1] == c.f[d.rs2])
+		case OpFcmpNe:
+			c.r[d.rd] = b2i(c.f[d.rs1] != c.f[d.rs2])
+		case OpFcmpLt:
+			c.r[d.rd] = b2i(c.f[d.rs1] < c.f[d.rs2])
+		case OpFcmpLe:
+			c.r[d.rd] = b2i(c.f[d.rs1] <= c.f[d.rs2])
+		case OpFcmpGt:
+			c.r[d.rd] = b2i(c.f[d.rs1] > c.f[d.rs2])
+		case OpFcmpGe:
+			c.r[d.rd] = b2i(c.f[d.rs1] >= c.f[d.rs2])
+		case OpCvtIF:
+			c.f[d.rd] = float64(c.r[d.rs1])
+		case OpCvtFI:
+			c.r[d.rd] = int64(c.f[d.rs1])
+
+		case OpVsetl:
+			vl := c.r[d.rs1]
+			if vl < 0 {
+				vl = 0
+			}
+			if vl > MaxVL {
+				vl = MaxVL
+			}
+			c.vl = vl
+			c.vlc = vl
+			if vl == 0 {
+				c.vlc = 1
+			}
+		case OpVld:
+			if err := c.vldFast(d, df.name, pc); err != nil {
+				return err
+			}
+		case OpVst:
+			if err := c.vstFast(d, df.name, pc); err != nil {
+				return err
+			}
+		case OpVadd, OpVsub, OpVmul, OpVdiv:
+			c.vbinFast(d)
+		case OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr:
+			c.vscalarFast(d)
+		case OpVmov:
+			c.vmovFast(d)
+		case OpVbcast:
+			c.vbcastFast(d)
+
+		case OpJmp:
+			if c.icount >= maxInstrs {
+				return c.budgetErr(df)
+			}
+			if d.tgt < 0 {
+				return fmt.Errorf("%s", d.errMsg)
+			}
+			pc = int(d.tgt)
+			continue
+		case OpBeqz:
+			if c.icount >= maxInstrs {
+				return c.budgetErr(df)
+			}
+			if c.r[d.rs1] == 0 {
+				if d.tgt < 0 {
+					return fmt.Errorf("%s", d.errMsg)
+				}
+				pc = int(d.tgt)
+				continue
+			}
+		case OpBnez:
+			if c.icount >= maxInstrs {
+				return c.budgetErr(df)
+			}
+			if c.r[d.rs1] != 0 {
+				if d.tgt < 0 {
+					return fmt.Errorf("%s", d.errMsg)
+				}
+				pc = int(d.tgt)
+				continue
+			}
+		case OpArg:
+			c.args = append(c.args, argval{i: c.r[d.rs1]})
+		case OpFarg:
+			c.args = append(c.args, argval{f: c.f[d.rs1], isFlt: true})
+		case OpCall:
+			if c.icount >= maxInstrs {
+				return c.budgetErr(df)
+			}
+			if err := c.callFast(d, df, pc, maxInstrs); err != nil {
+				return err
+			}
+		case OpRet, OpHalt:
+			return nil
+
+		case OpParBegin:
+			if c.icount >= maxInstrs {
+				return c.budgetErr(df)
+			}
+			if d.tgt < 0 {
+				return fmt.Errorf("titan: unmatched par.begin in %s", df.name)
+			}
+			end := int(d.tgt)
+			if err := c.parallelRegionFast(df, pc+1, end, maxInstrs); err != nil {
+				return err
+			}
+			pc = end + 1
+			continue
+		case OpParEnd:
+			return fmt.Errorf("titan: stray par.end in %s", df.name)
+
+		default:
+			return fmt.Errorf("titan: unimplemented op %v", d.op)
+		}
+
+		if d.fuse != fuseNone {
+			d2 := &code[pc+1]
+			c.icount++
+			// charge(d2), inlined by hand like the dispatch site above.
+			{
+				cb := unsafe.Pointer(c)
+				ready := c.clock
+				if t := *(*int64)(unsafe.Add(cb, uintptr(d2.s1off))); t > ready {
+					ready = t
+				}
+				if t := *(*int64)(unsafe.Add(cb, uintptr(d2.s2off))); t > ready {
+					ready = t
+				}
+				vl := c.vlc
+				scale := int64(d2.vsc) * vl
+				unit := (*int64)(unsafe.Add(cb, uintptr(d2.unitOff)))
+				issue := ready
+				if *unit > issue {
+					issue = *unit
+				}
+				*unit = issue + int64(d2.occ) + scale
+				done := issue + int64(d2.lat) + scale
+				c.clock = issue + 1
+				if done > c.cycles {
+					c.cycles = done
+				}
+				*(*int64)(unsafe.Add(cb, uintptr(d2.doff))) = done
+				c.flops += int64(d2.flc) + int64(d2.flv)*vl
+			}
+			if d.fuse == fuseBranch {
+				if c.icount >= maxInstrs {
+					return c.budgetErr(df)
+				}
+				if (d2.op == OpBeqz) == (c.r[d2.rs1] == 0) {
+					if d2.tgt < 0 {
+						return fmt.Errorf("%s", d2.errMsg)
+					}
+					pc = int(d2.tgt)
+					continue
+				}
+			} else { // fuseFltBin
+				switch d2.op {
+				case OpFadd:
+					c.f[d2.rd] = c.f[d2.rs1] + c.f[d2.rs2]
+				case OpFsub:
+					c.f[d2.rd] = c.f[d2.rs1] - c.f[d2.rs2]
+				case OpFmul:
+					c.f[d2.rd] = c.f[d2.rs1] * c.f[d2.rs2]
+				case OpFdiv:
+					c.f[d2.rd] = c.f[d2.rs1] / c.f[d2.rs2]
+				}
+			}
+			pc += 2
+			continue
+		}
+		pc++
+	}
+	return nil
+}
+
+// callFast mirrors call over decoded functions.
+func (c *cpu) callFast(d *dinstr, df *dfunc, pc int, maxInstrs int64) error {
+	if handled, err := c.intrinsic(d.sym); handled {
+		c.args = nil
+		return locateFault(err, df.name, pc)
+	}
+	callee, ok := c.m.prog.decoded[d.sym]
+	if !ok {
+		return fmt.Errorf("titan: call to undefined function %q", d.sym)
+	}
+	savedR := c.r
+	savedF := c.f
+	c.args = nil
+	if err := c.runFast(callee, 0, -1, maxInstrs); err != nil {
+		return err
+	}
+	retI := c.r[RegRetInt]
+	retF := c.f[RegRetFlt]
+	c.r = savedR
+	c.f = savedF
+	c.r[RegRetInt] = retI
+	c.f[RegRetFlt] = retF
+	return nil
+}
+
+// parallelRegionFast runs [start, end) once per processor, one goroutine
+// each, over the shared memory slab. Registers, the VRF, and the
+// scoreboard are private per processor (cpu is copied by value); output
+// goes to a private builder per processor and is concatenated in pid
+// order at the join, which makes it byte-identical to the reference's
+// serialized pid-order execution. Memory is genuinely shared and
+// unsynchronized — safe because the compiler only builds parallel
+// regions from loops its dependence analysis proved iteration-disjoint
+// (see DESIGN.md, "Execution engine").
+//
+// Cycle accounting is the reference join: every processor's cycle delta
+// is measured from the common fork point, the maximum wins, and fork
+// overhead is charged per extra processor.
+func (c *cpu) parallelRegionFast(df *dfunc, start, end int, maxInstrs int64) error {
+	procs := c.m.Processors
+	if procs == 1 {
+		// Single processor: the reference copies state in, runs, and
+		// adopts everything back, so the join degenerates to forcing
+		// pid 0 and synchronizing clock and units to the completion
+		// horizon — run directly on c with no copy at all.
+		c.pid = 0
+		if err := c.runFast(df, start, end, maxInstrs); err != nil {
+			return err
+		}
+		c.pid = 0
+		c.clock = c.cycles
+		c.intUnit, c.fltUnit, c.memUnit = c.cycles, c.cycles, c.cycles
+		return nil
+	}
+	// Pids 1.. fork copies of the full cpu (registers, VRF, scoreboard)
+	// from the Machine's reusable scratch block; pid 0 runs directly on
+	// c and is adopted in place, so a P-processor region costs P-1
+	// struct copies and no allocation. Every processor writes output to
+	// its own builder and the join concatenates them in pid order,
+	// byte-identical to the reference's serialized pid-order run.
+	scr := c.m.claimScratch()
+	defer c.m.releaseScratch(scr)
+	baseCycles, baseFlops, baseIcount := c.cycles, c.flops, c.icount
+	parentOut := c.out
+	concurrent := engineHostParallelism > 1
+	var wg sync.WaitGroup
+	var maxDelta, flops, icount int64
+	var firstSubErr error
+	if concurrent {
+		for pid := 1; pid < procs; pid++ {
+			sub := &scr.subs[pid-1]
+			*sub = *c
+			sub.pid = int64(pid)
+			scr.outs[pid].Reset()
+			sub.out = &scr.outs[pid]
+			// The struct copy shares the args backing array; clone it
+			// so concurrent appends cannot race (values seen are
+			// identical to the reference's serialized run).
+			sub.args = append([]argval(nil), c.args...)
+			scr.errs[pid] = nil
+			wg.Add(1)
+			go func(sub *cpu, err *error) {
+				defer wg.Done()
+				*err = sub.runFast(df, start, end, maxInstrs)
+			}(sub, &scr.errs[pid])
+		}
+	} else {
+		// Single host core: goroutines cannot overlap, so fan-out is
+		// pure overhead — run the extra processors serialized instead,
+		// one reused scratch context. The join math is
+		// order-independent and a region's memory writes are
+		// iteration-disjoint by construction, so executing pids 1..
+		// before pid 0 changes nothing observable.
+		sub := &scr.subs[0]
+		for pid := 1; pid < procs; pid++ {
+			*sub = *c
+			sub.pid = int64(pid)
+			scr.outs[pid].Reset()
+			sub.out = &scr.outs[pid]
+			if err := sub.runFast(df, start, end, maxInstrs); err != nil {
+				if firstSubErr == nil {
+					firstSubErr = err
+				}
+				continue
+			}
+			if d := sub.cycles - baseCycles; d > maxDelta {
+				maxDelta = d
+			}
+			flops += sub.flops - baseFlops
+			icount += sub.icount - baseIcount
+		}
+	}
+	// Pid 0 executes on c itself — its state is the one the join adopts
+	// anyway — with output buffered so the pid-order concatenation
+	// below stays byte-identical to the reference.
+	scr.outs[0].Reset()
+	c.pid = 0
+	c.out = &scr.outs[0]
+	err0 := c.runFast(df, start, end, maxInstrs)
+	c.out = parentOut
+	if concurrent {
+		wg.Wait()
+		for pid := 1; pid < procs; pid++ {
+			if e := scr.errs[pid]; e != nil {
+				if firstSubErr == nil {
+					firstSubErr = e
+				}
+				continue
+			}
+			sub := &scr.subs[pid-1]
+			if d := sub.cycles - baseCycles; d > maxDelta {
+				maxDelta = d
+			}
+			flops += sub.flops - baseFlops
+			icount += sub.icount - baseIcount
+		}
+	}
+	// Pid 0's error wins, then the lowest erroring pid — the order the
+	// reference, which runs pids serially from 0, reports them in.
+	if err0 != nil {
+		return err0
+	}
+	if firstSubErr != nil {
+		return firstSubErr
+	}
+	for pid := 0; pid < procs; pid++ {
+		parentOut.WriteString(scr.outs[pid].String())
+	}
+	c.pid = 0
+	if d0 := c.cycles - baseCycles; d0 > maxDelta {
+		maxDelta = d0
+	}
+	c.flops += flops
+	c.icount += icount
+	c.cycles = baseCycles + maxDelta + forkOverhead*int64(procs-1)
+	c.clock = c.cycles
+	c.intUnit, c.fltUnit, c.memUnit = c.cycles, c.cycles, c.cycles
+	return nil
+}
+
+// hostLE reports whether the host is little-endian, gating the slab
+// reinterpretation fast paths (the simulated machine is little-endian).
+var hostLE = func() bool {
+	var x uint32 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// engineHostParallelism gates the goroutine fan-out for parallel
+// regions. On a single-core host goroutines cannot overlap and fork
+// cost is pure loss, so regions run serialized instead (same join math,
+// bit-identical Result either way). Tests override this to force the
+// concurrent path.
+var engineHostParallelism = runtime.GOMAXPROCS(0)
+
+// elemWidth returns the byte width of a vector element kind, or 0 if the
+// kind is invalid.
+func elemWidth(kind int64) int64 {
+	switch kind {
+	case ElemF32, ElemI32:
+		return 4
+	case ElemF64:
+		return 8
+	}
+	return 0
+}
+
+// vecRangeOK reports whether every element address base+k·stride,
+// k ∈ [0, vl), lies in [0, memLen-width]. It is conservative: for
+// magnitudes where the arithmetic could overflow it reports false and
+// the caller takes the per-element reference path, which reproduces the
+// reference's exact fault behavior.
+func vecRangeOK(base, stride, vl, width, memLen int64) bool {
+	const lim = int64(1) << 40
+	if base < -lim || base > lim || stride < -lim || stride > lim {
+		return false
+	}
+	lo, hi := base, base+(vl-1)*stride
+	if stride < 0 {
+		lo, hi = hi, lo
+	}
+	return lo >= 0 && hi+width <= memLen
+}
+
+// vldFast is the engine's OpVld: one element-kind switch and one bounds
+// check per instruction instead of per element, a contiguous float64
+// fast path that reinterprets the slab, and a strided fallback with the
+// switch hoisted. Out-of-range or overflow-prone operands fall back to
+// the reference per-element walk so faults are identical.
+func (c *cpu) vldFast(d *dinstr, fn string, pc int) error {
+	vl := c.vl
+	if vl == 0 {
+		return nil
+	}
+	width := elemWidth(d.imm)
+	if width == 0 {
+		return fmt.Errorf("titan: bad vector element kind %d", d.imm)
+	}
+	base := c.r[d.rs1]
+	stride := c.r[d.rs2]
+	slot := int(d.rd)
+	if int64(slot)+vl > VRFWords || !vecRangeOK(base, stride, vl, width, int64(len(c.m.mem))) {
+		return c.vecLoad(Instr{Op: OpVld, Rd: slot, Rs1: int(d.rs1), Rs2: int(d.rs2), Imm: d.imm}, fn, pc)
+	}
+	dst := c.vrf[slot : slot+int(vl)]
+	mem := c.m.mem
+	switch d.imm {
+	case ElemF64:
+		if stride == 8 && hostLE && base%8 == 0 {
+			copy(dst, unsafe.Slice((*float64)(unsafe.Pointer(&mem[base])), vl))
+			return nil
+		}
+		for k := range dst {
+			dst[k] = math.Float64frombits(binary.LittleEndian.Uint64(mem[base:]))
+			base += stride
+		}
+	case ElemF32:
+		if stride == 4 && hostLE && base%4 == 0 {
+			src := unsafe.Slice((*float32)(unsafe.Pointer(&mem[base])), vl)
+			for k := range dst {
+				dst[k] = float64(src[k])
+			}
+			return nil
+		}
+		for k := range dst {
+			dst[k] = float64(math.Float32frombits(binary.LittleEndian.Uint32(mem[base:])))
+			base += stride
+		}
+	case ElemI32:
+		for k := range dst {
+			dst[k] = float64(int32(binary.LittleEndian.Uint32(mem[base:])))
+			base += stride
+		}
+	}
+	return nil
+}
+
+// vstFast is the engine's OpVst, mirroring vldFast.
+func (c *cpu) vstFast(d *dinstr, fn string, pc int) error {
+	vl := c.vl
+	if vl == 0 {
+		return nil
+	}
+	width := elemWidth(d.imm)
+	if width == 0 {
+		return fmt.Errorf("titan: bad vector element kind %d", d.imm)
+	}
+	base := c.r[d.rs1]
+	stride := c.r[d.rs2]
+	slot := int(d.rd)
+	if int64(slot)+vl > VRFWords || !vecRangeOK(base, stride, vl, width, int64(len(c.m.mem))) {
+		return c.vecStore(Instr{Op: OpVst, Rd: slot, Rs1: int(d.rs1), Rs2: int(d.rs2), Imm: d.imm}, fn, pc)
+	}
+	src := c.vrf[slot : slot+int(vl)]
+	mem := c.m.mem
+	switch d.imm {
+	case ElemF64:
+		if stride == 8 && hostLE && base%8 == 0 {
+			copy(unsafe.Slice((*float64)(unsafe.Pointer(&mem[base])), vl), src)
+			return nil
+		}
+		for k := range src {
+			binary.LittleEndian.PutUint64(mem[base:], math.Float64bits(src[k]))
+			base += stride
+		}
+	case ElemF32:
+		if stride == 4 && hostLE && base%4 == 0 {
+			dst := unsafe.Slice((*float32)(unsafe.Pointer(&mem[base])), vl)
+			for k := range src {
+				dst[k] = float32(src[k])
+			}
+			return nil
+		}
+		for k := range src {
+			binary.LittleEndian.PutUint32(mem[base:], math.Float32bits(float32(src[k])))
+			base += stride
+		}
+	case ElemI32:
+		for k := range src {
+			binary.LittleEndian.PutUint32(mem[base:], uint32(int32(src[k])))
+			base += stride
+		}
+	}
+	return nil
+}
+
+// vbinFast is the engine's vector-vector arithmetic: per-op forward
+// loops over register-file slices (forward order preserves the
+// reference's semantics when slots overlap), with a vslot fallback when
+// a window wraps the file.
+func (c *cpu) vbinFast(d *dinstr) {
+	vl := int(c.vl)
+	rd, r1, r2 := int(d.rd), int(d.rs1), int(d.rs2)
+	if rd+vl > VRFWords || r1+vl > VRFWords || r2+vl > VRFWords {
+		for k := 0; k < vl; k++ {
+			a, b := c.vrf[vslot(r1+k)], c.vrf[vslot(r2+k)]
+			switch d.op {
+			case OpVadd:
+				c.vrf[vslot(rd+k)] = a + b
+			case OpVsub:
+				c.vrf[vslot(rd+k)] = a - b
+			case OpVmul:
+				c.vrf[vslot(rd+k)] = a * b
+			case OpVdiv:
+				c.vrf[vslot(rd+k)] = a / b
+			}
+		}
+		return
+	}
+	dst := c.vrf[rd : rd+vl]
+	a := c.vrf[r1 : r1+vl]
+	b := c.vrf[r2 : r2+vl]
+	switch d.op {
+	case OpVadd:
+		for k := range dst {
+			dst[k] = a[k] + b[k]
+		}
+	case OpVsub:
+		for k := range dst {
+			dst[k] = a[k] - b[k]
+		}
+	case OpVmul:
+		for k := range dst {
+			dst[k] = a[k] * b[k]
+		}
+	case OpVdiv:
+		for k := range dst {
+			dst[k] = a[k] / b[k]
+		}
+	}
+}
+
+// vscalarFast is the engine's vector-scalar arithmetic.
+func (c *cpu) vscalarFast(d *dinstr) {
+	vl := int(c.vl)
+	rd, r1 := int(d.rd), int(d.rs1)
+	s := c.f[d.rs2]
+	if rd+vl > VRFWords || r1+vl > VRFWords {
+		for k := 0; k < vl; k++ {
+			a := c.vrf[vslot(r1+k)]
+			switch d.op {
+			case OpVadds:
+				c.vrf[vslot(rd+k)] = a + s
+			case OpVsubs:
+				c.vrf[vslot(rd+k)] = a - s
+			case OpVsubsr:
+				c.vrf[vslot(rd+k)] = s - a
+			case OpVmuls:
+				c.vrf[vslot(rd+k)] = a * s
+			case OpVdivs:
+				c.vrf[vslot(rd+k)] = a / s
+			case OpVdivsr:
+				c.vrf[vslot(rd+k)] = s / a
+			}
+		}
+		return
+	}
+	dst := c.vrf[rd : rd+vl]
+	a := c.vrf[r1 : r1+vl]
+	switch d.op {
+	case OpVadds:
+		for k := range dst {
+			dst[k] = a[k] + s
+		}
+	case OpVsubs:
+		for k := range dst {
+			dst[k] = a[k] - s
+		}
+	case OpVsubsr:
+		for k := range dst {
+			dst[k] = s - a[k]
+		}
+	case OpVmuls:
+		for k := range dst {
+			dst[k] = a[k] * s
+		}
+	case OpVdivs:
+		for k := range dst {
+			dst[k] = a[k] / s
+		}
+	case OpVdivsr:
+		for k := range dst {
+			dst[k] = s / a[k]
+		}
+	}
+}
+
+func (c *cpu) vmovFast(d *dinstr) {
+	vl := int(c.vl)
+	rd, r1 := int(d.rd), int(d.rs1)
+	if rd+vl > VRFWords || r1+vl > VRFWords {
+		for k := 0; k < vl; k++ {
+			c.vrf[vslot(rd+k)] = c.vrf[vslot(r1+k)]
+		}
+		return
+	}
+	// Forward element order, not copy(): overlapping windows must behave
+	// like the reference's element loop.
+	dst := c.vrf[rd : rd+vl]
+	src := c.vrf[r1 : r1+vl]
+	for k := range dst {
+		dst[k] = src[k]
+	}
+}
+
+func (c *cpu) vbcastFast(d *dinstr) {
+	vl := int(c.vl)
+	rd := int(d.rd)
+	v := c.f[d.rs1]
+	if rd+vl > VRFWords {
+		for k := 0; k < vl; k++ {
+			c.vrf[vslot(rd+k)] = v
+		}
+		return
+	}
+	dst := c.vrf[rd : rd+vl]
+	for k := range dst {
+		dst[k] = v
+	}
+}

@@ -16,6 +16,7 @@ package titan
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Op is an instruction opcode.
@@ -244,6 +245,13 @@ type Program struct {
 	GlobalAddr map[string]int64
 	// MemSize is the total memory to allocate (stack at top).
 	MemSize int64
+
+	// Decoded form for the fast engine (engine.go), built once on first
+	// Run and then shared read-only by every Machine simulating this
+	// program — Programs are always handled by pointer. Mutating Funcs
+	// after a Run is not supported.
+	decOnce sync.Once
+	decoded map[string]*dfunc
 }
 
 // Disassemble renders a function listing.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 )
 
 // ClockMHz is the nominal clock used to convert simulated cycles to
@@ -45,18 +46,81 @@ func ValidateProcessors(n int) error {
 	return nil
 }
 
-// Machine simulates one Titan.
+// Fault is a simulated memory-access error: an out-of-range scalar load
+// or store, a strided vector element outside memory, or a C-string read
+// (printf/puts format or %s argument) from a bad pointer. It carries the
+// faulting address and the function+pc of the instruction that issued
+// the access.
+type Fault struct {
+	Addr int64
+	Size int64
+	Kind string // "load", "store", "vector load", "vector store", "cstring"
+	Func string
+	PC   int
+}
+
+func (e *Fault) Error() string {
+	return fmt.Sprintf("titan: fault at addr=%d (%s, size %d) in %s+%d", e.Addr, e.Kind, e.Size, e.Func, e.PC)
+}
+
+// Machine simulates one Titan. A Machine is single-use state for one
+// Run at a time: concurrent simulations each take their own Machine
+// (NewMachine is cheap; the Program may be shared freely).
 type Machine struct {
 	prog *Program
 	mem  []byte
 	// Processors sets the processor count for parallel regions (1–4).
 	Processors int
 	// Trace, when non-nil, receives a line per retired instruction.
+	// Tracing runs on the reference interpreter, whose per-instruction
+	// loop carries the hook; Run falls back to it automatically.
 	Trace func(string)
 	// MaxInstrs guards against runaway programs (0: default bound).
 	MaxInstrs int64
 
 	out strings.Builder
+
+	// Scratch block for the fast engine's parallel-region forks
+	// (engine.go): allocated with the machine and reused by every
+	// region, so a run with many regions pays the ~140 KB
+	// per-processor allocation once. scratchBusy arbitrates the rare
+	// nested or concurrent claim, which falls back to a fresh block.
+	scratch     *regionScratch
+	scratchBusy atomic.Bool
+
+	// root is the fast engine's top-level cpu, carved out of the
+	// Machine allocation so Run allocates nothing. A second Run on the
+	// same machine (the slab is already consumed, but callers may) gets
+	// a fresh cpu instead.
+	root     cpu
+	rootUsed bool
+}
+
+// regionScratch is the reusable per-region fork state: processor
+// contexts for pids 1.. (pid 0 runs on the parent cpu), plus per-pid
+// output sinks and error slots.
+type regionScratch struct {
+	subs [MaxProcessors - 1]cpu
+	outs [MaxProcessors]strings.Builder
+	errs [MaxProcessors]error
+}
+
+// claimScratch hands out the machine's region scratch block, or a fresh
+// one if it is already claimed (nested parallel regions).
+func (m *Machine) claimScratch() *regionScratch {
+	if m.scratchBusy.CompareAndSwap(false, true) {
+		if m.scratch == nil {
+			m.scratch = new(regionScratch)
+		}
+		return m.scratch
+	}
+	return new(regionScratch)
+}
+
+func (m *Machine) releaseScratch(s *regionScratch) {
+	if s == m.scratch {
+		m.scratchBusy.Store(false)
+	}
 }
 
 // NewMachine loads a program.
@@ -73,31 +137,57 @@ func NewMachine(prog *Program, processors int) *Machine {
 	}
 	m := &Machine{prog: prog, mem: make([]byte, size), Processors: processors}
 	copy(m.mem[prog.DataBase:], prog.Data)
+	if processors > 1 {
+		// Pre-allocate the fast engine's region scratch so parallel
+		// regions never allocate at run time.
+		m.scratch = new(regionScratch)
+	}
 	return m
 }
 
-// cpu is one processor context.
+// cpu is one processor context. It is copied by value at parallel-region
+// forks, so every field (including the vector register file and the
+// scoreboard arrays) must be value state; shared state reaches it through
+// m (the memory slab) and out (the output sink).
 type cpu struct {
-	m    *Machine
-	r    [NumIntRegs]int64
-	f    [NumFltRegs]float64
-	vrf  [VRFWords]float64
-	vl   int64
+	m   *Machine
+	out *strings.Builder
+	r   [NumIntRegs]int64
+	f   [NumFltRegs]float64
+	vrf [VRFWords]float64
+	vl  int64
+	// vlc is vl clamped to at least 1, the value the timing model and
+	// FLOP accounting use. The fast engine keeps it alongside vl
+	// (updated at Vsetl, 1 at entry) so the per-instruction charge
+	// needs no clamp branch; the reference interpreter clamps inline
+	// and ignores this field.
+	vlc  int64
 	pid  int64
 	args []argval
 
-	// Scoreboard state.
+	// Scoreboard state. vecReady is indexed by VRF slot (mod VRFWords,
+	// like the register file itself): a fixed array instead of a map so
+	// parallel-region forks are plain struct copies with no per-region
+	// allocation.
 	clock    int64 // dispatch clock
 	intReady [NumIntRegs]int64
 	fltReady [NumFltRegs]int64
-	vecReady map[int]int64 // per-slot base
-	intUnit  int64         // next cycle the unit can accept work
+	vecReady [VRFWords]int64
+	intUnit  int64 // next cycle the unit can accept work
 	fltUnit  int64
 	memUnit  int64
 
 	cycles int64 // completion horizon
 	flops  int64
 	icount int64
+
+	// Scratch scoreboard slots for the fast engine's branchless charge
+	// (engine.go): decoded instructions carry byte offsets into this
+	// struct for their operand ready-times and destination; ops without
+	// an operand read sbZero (never written, so never a constraint) and
+	// ops without a destination write sbSink (never read).
+	sbZero int64
+	sbSink int64
 }
 
 type argval struct {
@@ -106,13 +196,40 @@ type argval struct {
 	isFlt bool
 }
 
-// Run executes main (or the named entry) to completion.
+// vslot maps an arbitrary slot index into the vector register file,
+// wrapping the way the per-element accesses always have and tolerating
+// negative indices instead of panicking.
+func vslot(i int) int {
+	i %= VRFWords
+	if i < 0 {
+		i += VRFWords
+	}
+	return i
+}
+
+// Run executes main (or the named entry) to completion on the fast
+// engine (engine.go): pre-decoded dispatch, slab vector kernels, and
+// goroutine-backed parallel regions. Result is bit-identical to
+// RunReference by construction; the differential tests enforce it.
+// A non-nil Trace falls back to the reference interpreter, whose
+// per-instruction loop carries the hook.
 func (m *Machine) Run(entry string) (Result, error) {
+	if m.Trace != nil {
+		return m.RunReference(entry)
+	}
+	return m.runFastEntry(entry)
+}
+
+// RunReference executes on the reference interpreter: one instruction
+// at a time through the original dispatch/exec pair, parallel regions
+// serialized processor by processor. It defines the simulator's
+// semantics; the fast engine is validated against it.
+func (m *Machine) RunReference(entry string) (Result, error) {
 	f, ok := m.prog.Funcs[entry]
 	if !ok {
 		return Result{}, fmt.Errorf("titan: no function %q", entry)
 	}
-	c := &cpu{m: m, vecReady: map[int]int64{}}
+	c := &cpu{m: m, out: &m.out}
 	c.r[RegSP] = int64(len(m.mem)) - 8
 	max := m.MaxInstrs
 	if max == 0 {
@@ -168,10 +285,10 @@ func (c *cpu) dispatch(in Instr) int64 {
 		maxr(c.intReady[in.Rs1])
 		maxr(c.intReady[in.Rs2])
 	case OpVadd, OpVsub, OpVmul, OpVdiv, OpVmov:
-		maxr(c.vecReady[in.Rs1])
-		maxr(c.vecReady[in.Rs2])
+		maxr(c.vecReady[vslot(in.Rs1)])
+		maxr(c.vecReady[vslot(in.Rs2)])
 	case OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr:
-		maxr(c.vecReady[in.Rs1])
+		maxr(c.vecReady[vslot(in.Rs1)])
 		maxr(c.fltReady[in.Rs2])
 	}
 
@@ -241,7 +358,7 @@ func (c *cpu) dispatch(in Instr) int64 {
 		c.fltReady[in.Rd] = done
 	case OpVld, OpVadd, OpVsub, OpVmul, OpVdiv,
 		OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr, OpVmov, OpVbcast:
-		c.vecReady[in.Rd] = done
+		c.vecReady[vslot(in.Rd)] = done
 	}
 
 	// FLOP accounting.
@@ -331,61 +448,61 @@ func (c *cpu) exec(f *Func, pc int, stop int, maxInstrs int64) error {
 			c.r[in.Rd] = int64(c.m.Processors)
 
 		case OpLd1:
-			a, err := c.addr(in, 1)
+			a, err := c.addr(in, 1, "load", f.Name, pc)
 			if err != nil {
 				return err
 			}
 			c.r[in.Rd] = int64(int8(c.m.mem[a]))
 		case OpLd2:
-			a, err := c.addr(in, 2)
+			a, err := c.addr(in, 2, "load", f.Name, pc)
 			if err != nil {
 				return err
 			}
 			c.r[in.Rd] = int64(int16(binary.LittleEndian.Uint16(c.m.mem[a:])))
 		case OpLd4:
-			a, err := c.addr(in, 4)
+			a, err := c.addr(in, 4, "load", f.Name, pc)
 			if err != nil {
 				return err
 			}
 			c.r[in.Rd] = int64(int32(binary.LittleEndian.Uint32(c.m.mem[a:])))
 		case OpSt1:
-			a, err := c.addr(in, 1)
+			a, err := c.addr(in, 1, "store", f.Name, pc)
 			if err != nil {
 				return err
 			}
 			c.m.mem[a] = byte(c.r[in.Rs2])
 		case OpSt2:
-			a, err := c.addr(in, 2)
+			a, err := c.addr(in, 2, "store", f.Name, pc)
 			if err != nil {
 				return err
 			}
 			binary.LittleEndian.PutUint16(c.m.mem[a:], uint16(c.r[in.Rs2]))
 		case OpSt4:
-			a, err := c.addr(in, 4)
+			a, err := c.addr(in, 4, "store", f.Name, pc)
 			if err != nil {
 				return err
 			}
 			binary.LittleEndian.PutUint32(c.m.mem[a:], uint32(c.r[in.Rs2]))
 		case OpFld4:
-			a, err := c.addr(in, 4)
+			a, err := c.addr(in, 4, "load", f.Name, pc)
 			if err != nil {
 				return err
 			}
 			c.f[in.Rd] = float64(math.Float32frombits(binary.LittleEndian.Uint32(c.m.mem[a:])))
 		case OpFld8:
-			a, err := c.addr(in, 8)
+			a, err := c.addr(in, 8, "load", f.Name, pc)
 			if err != nil {
 				return err
 			}
 			c.f[in.Rd] = math.Float64frombits(binary.LittleEndian.Uint64(c.m.mem[a:]))
 		case OpFst4:
-			a, err := c.addr(in, 4)
+			a, err := c.addr(in, 4, "store", f.Name, pc)
 			if err != nil {
 				return err
 			}
 			binary.LittleEndian.PutUint32(c.m.mem[a:], math.Float32bits(float32(c.f[in.Rs2])))
 		case OpFst8:
-			a, err := c.addr(in, 8)
+			a, err := c.addr(in, 8, "store", f.Name, pc)
 			if err != nil {
 				return err
 			}
@@ -432,11 +549,11 @@ func (c *cpu) exec(f *Func, pc int, stop int, maxInstrs int64) error {
 			}
 			c.vl = vl
 		case OpVld:
-			if err := c.vecLoad(in); err != nil {
+			if err := c.vecLoad(in, f.Name, pc); err != nil {
 				return err
 			}
 		case OpVst:
-			if err := c.vecStore(in); err != nil {
+			if err := c.vecStore(in, f.Name, pc); err != nil {
 				return err
 			}
 		case OpVadd:
@@ -461,11 +578,11 @@ func (c *cpu) exec(f *Func, pc int, stop int, maxInstrs int64) error {
 			c.vecScalar(in, func(a, s float64) float64 { return s / a })
 		case OpVmov:
 			for k := int64(0); k < c.vl; k++ {
-				c.vrf[(int64(in.Rd)+k)%VRFWords] = c.vrf[(int64(in.Rs1)+k)%VRFWords]
+				c.vrf[vslot(in.Rd+int(k))] = c.vrf[vslot(in.Rs1+int(k))]
 			}
 		case OpVbcast:
 			for k := int64(0); k < c.vl; k++ {
-				c.vrf[(int64(in.Rd)+k)%VRFWords] = c.f[in.Rs1]
+				c.vrf[vslot(in.Rd+int(k))] = c.f[in.Rs1]
 			}
 
 		case OpJmp:
@@ -498,7 +615,7 @@ func (c *cpu) exec(f *Func, pc int, stop int, maxInstrs int64) error {
 		case OpFarg:
 			c.args = append(c.args, argval{f: c.f[in.Rs1], isFlt: true})
 		case OpCall:
-			if err := c.call(in.Sym, maxInstrs); err != nil {
+			if err := c.call(in.Sym, f.Name, pc, maxInstrs); err != nil {
 				return err
 			}
 		case OpRet, OpHalt:
@@ -527,15 +644,15 @@ func (c *cpu) exec(f *Func, pc int, stop int, maxInstrs int64) error {
 	return nil
 }
 
-func (c *cpu) addr(in Instr, size int64) (int64, error) {
+func (c *cpu) addr(in Instr, size int64, kind, fn string, pc int) (int64, error) {
 	a := c.r[in.Rs1] + in.Imm
-	if a < 0 || a+size > int64(len(c.m.mem)) {
-		return 0, fmt.Errorf("titan: memory fault at address %d (size %d)", a, size)
+	if a < 0 || a+size > int64(len(c.m.mem)) || a+size < a {
+		return 0, &Fault{Addr: a, Size: size, Kind: kind, Func: fn, PC: pc}
 	}
 	return a, nil
 }
 
-func (c *cpu) vecLoad(in Instr) error {
+func (c *cpu) vecLoad(in Instr, fn string, pc int) error {
 	base := c.r[in.Rs1]
 	stride := c.r[in.Rs2]
 	for k := int64(0); k < c.vl; k++ {
@@ -543,19 +660,19 @@ func (c *cpu) vecLoad(in Instr) error {
 		switch in.Imm {
 		case ElemF32:
 			if a < 0 || a+4 > int64(len(c.m.mem)) {
-				return fmt.Errorf("titan: vector load fault at %d", a)
+				return &Fault{Addr: a, Size: 4, Kind: "vector load", Func: fn, PC: pc}
 			}
-			c.vrf[(int64(in.Rd)+k)%VRFWords] = float64(math.Float32frombits(binary.LittleEndian.Uint32(c.m.mem[a:])))
+			c.vrf[vslot(in.Rd+int(k))] = float64(math.Float32frombits(binary.LittleEndian.Uint32(c.m.mem[a:])))
 		case ElemF64:
 			if a < 0 || a+8 > int64(len(c.m.mem)) {
-				return fmt.Errorf("titan: vector load fault at %d", a)
+				return &Fault{Addr: a, Size: 8, Kind: "vector load", Func: fn, PC: pc}
 			}
-			c.vrf[(int64(in.Rd)+k)%VRFWords] = math.Float64frombits(binary.LittleEndian.Uint64(c.m.mem[a:]))
+			c.vrf[vslot(in.Rd+int(k))] = math.Float64frombits(binary.LittleEndian.Uint64(c.m.mem[a:]))
 		case ElemI32:
 			if a < 0 || a+4 > int64(len(c.m.mem)) {
-				return fmt.Errorf("titan: vector load fault at %d", a)
+				return &Fault{Addr: a, Size: 4, Kind: "vector load", Func: fn, PC: pc}
 			}
-			c.vrf[(int64(in.Rd)+k)%VRFWords] = float64(int32(binary.LittleEndian.Uint32(c.m.mem[a:])))
+			c.vrf[vslot(in.Rd+int(k))] = float64(int32(binary.LittleEndian.Uint32(c.m.mem[a:])))
 		default:
 			return fmt.Errorf("titan: bad vector element kind %d", in.Imm)
 		}
@@ -563,26 +680,26 @@ func (c *cpu) vecLoad(in Instr) error {
 	return nil
 }
 
-func (c *cpu) vecStore(in Instr) error {
+func (c *cpu) vecStore(in Instr, fn string, pc int) error {
 	base := c.r[in.Rs1]
 	stride := c.r[in.Rs2]
 	for k := int64(0); k < c.vl; k++ {
 		a := base + k*stride
-		v := c.vrf[(int64(in.Rd)+k)%VRFWords]
+		v := c.vrf[vslot(in.Rd+int(k))]
 		switch in.Imm {
 		case ElemF32:
 			if a < 0 || a+4 > int64(len(c.m.mem)) {
-				return fmt.Errorf("titan: vector store fault at %d", a)
+				return &Fault{Addr: a, Size: 4, Kind: "vector store", Func: fn, PC: pc}
 			}
 			binary.LittleEndian.PutUint32(c.m.mem[a:], math.Float32bits(float32(v)))
 		case ElemF64:
 			if a < 0 || a+8 > int64(len(c.m.mem)) {
-				return fmt.Errorf("titan: vector store fault at %d", a)
+				return &Fault{Addr: a, Size: 8, Kind: "vector store", Func: fn, PC: pc}
 			}
 			binary.LittleEndian.PutUint64(c.m.mem[a:], math.Float64bits(v))
 		case ElemI32:
 			if a < 0 || a+4 > int64(len(c.m.mem)) {
-				return fmt.Errorf("titan: vector store fault at %d", a)
+				return &Fault{Addr: a, Size: 4, Kind: "vector store", Func: fn, PC: pc}
 			}
 			binary.LittleEndian.PutUint32(c.m.mem[a:], uint32(int32(v)))
 		default:
@@ -594,24 +711,25 @@ func (c *cpu) vecStore(in Instr) error {
 
 func (c *cpu) vecBin(in Instr, f func(a, b float64) float64) {
 	for k := int64(0); k < c.vl; k++ {
-		c.vrf[(int64(in.Rd)+k)%VRFWords] = f(
-			c.vrf[(int64(in.Rs1)+k)%VRFWords],
-			c.vrf[(int64(in.Rs2)+k)%VRFWords])
+		c.vrf[vslot(in.Rd+int(k))] = f(
+			c.vrf[vslot(in.Rs1+int(k))],
+			c.vrf[vslot(in.Rs2+int(k))])
 	}
 }
 
 func (c *cpu) vecScalar(in Instr, f func(a, s float64) float64) {
 	s := c.f[in.Rs2]
 	for k := int64(0); k < c.vl; k++ {
-		c.vrf[(int64(in.Rd)+k)%VRFWords] = f(c.vrf[(int64(in.Rs1)+k)%VRFWords], s)
+		c.vrf[vslot(in.Rd+int(k))] = f(c.vrf[vslot(in.Rs1+int(k))], s)
 	}
 }
 
-// call implements register-windowed calls plus runtime intrinsics.
-func (c *cpu) call(name string, maxInstrs int64) error {
-	if c.intrinsic(name) {
+// call implements register-windowed calls plus runtime intrinsics. fn
+// and pc locate the call site for fault attribution.
+func (c *cpu) call(name, fn string, pc int, maxInstrs int64) error {
+	if handled, err := c.intrinsic(name); handled {
 		c.args = nil
-		return nil
+		return locateFault(err, fn, pc)
 	}
 	callee, ok := c.m.prog.Funcs[name]
 	if !ok {
@@ -620,7 +738,6 @@ func (c *cpu) call(name string, maxInstrs int64) error {
 	// Register window: snapshot, run, restore all but results.
 	savedR := c.r
 	savedF := c.f
-	savedArgs := c.args
 	c.args = nil
 	if err := c.exec(callee, 0, -1, maxInstrs); err != nil {
 		return err
@@ -631,14 +748,25 @@ func (c *cpu) call(name string, maxInstrs int64) error {
 	c.f = savedF
 	c.r[RegRetInt] = retI
 	c.f[RegRetFlt] = retF
-	_ = savedArgs
 	return nil
 }
 
+// locateFault stamps the call site onto an intrinsic's Fault (cstring
+// reads have no pc of their own).
+func locateFault(err error, fn string, pc int) error {
+	if f, ok := err.(*Fault); ok && f.Func == "" {
+		f.Func = fn
+		f.PC = pc
+	}
+	return err
+}
+
 // parallelRegion runs [start, end) once per processor, charging the
-// maximum chunk time plus fork/join overhead.
+// maximum chunk time plus fork/join overhead. This is the reference
+// model: processors run serialized, in pid order, on the host thread.
+const forkOverhead = 20 // cycles per processor spawn via shared memory
+
 func (c *cpu) parallelRegion(f *Func, start, end int, maxInstrs int64) error {
-	const forkOverhead = 20 // cycles per processor spawn via shared memory
 	base := *c
 	var maxDelta int64
 	var flops, icount int64
@@ -646,7 +774,6 @@ func (c *cpu) parallelRegion(f *Func, start, end int, maxInstrs int64) error {
 	for pid := 0; pid < c.m.Processors; pid++ {
 		sub := base
 		sub.pid = int64(pid)
-		sub.vecReady = cloneReady(base.vecReady)
 		start0 := sub.cycles
 		if err := sub.exec(f, start, end, maxInstrs); err != nil {
 			return err
@@ -674,14 +801,6 @@ func (c *cpu) parallelRegion(f *Func, start, end int, maxInstrs int64) error {
 	return nil
 }
 
-func cloneReady(m map[int]int64) map[int]int64 {
-	out := make(map[int]int64, len(m))
-	for k, v := range m {
-		out[k] = v
-	}
-	return out
-}
-
 func (c *cpu) findParEnd(f *Func, pc int) int {
 	depth := 0
 	for i := pc + 1; i < len(f.Instrs); i++ {
@@ -699,43 +818,57 @@ func (c *cpu) findParEnd(f *Func, pc int) int {
 }
 
 // intrinsic implements the tiny runtime: printf (with %d/%g/%f/%s/%c and
-// %%), putchar, puts, and exit-less abort stubs used by examples.
-func (c *cpu) intrinsic(name string) bool {
+// %%), putchar, puts, and exit-less abort stubs used by examples. It
+// reports whether the name was an intrinsic, plus any fault raised while
+// reading string arguments from simulated memory.
+func (c *cpu) intrinsic(name string) (bool, error) {
 	switch name {
 	case "printf":
-		c.doPrintf()
-		return true
+		return true, c.doPrintf()
 	case "putchar":
 		if len(c.args) > 0 {
-			c.m.out.WriteByte(byte(c.args[0].i))
+			c.out.WriteByte(byte(c.args[0].i))
 		}
 		c.r[RegRetInt] = 0
-		return true
+		return true, nil
 	case "puts":
 		if len(c.args) > 0 {
-			c.m.out.WriteString(c.cstring(c.args[0].i))
-			c.m.out.WriteByte('\n')
+			s, err := c.cstring(c.args[0].i)
+			if err != nil {
+				return true, err
+			}
+			c.out.WriteString(s)
+			c.out.WriteByte('\n')
 		}
 		c.r[RegRetInt] = 0
-		return true
+		return true, nil
 	}
-	return false
+	return false, nil
 }
 
-func (c *cpu) cstring(addr int64) string {
+// cstring reads a NUL-terminated string from simulated memory. A start
+// address outside memory is a fault; a string running to the end of
+// memory without a NUL is truncated there, as before.
+func (c *cpu) cstring(addr int64) (string, error) {
+	if addr < 0 || addr >= int64(len(c.m.mem)) {
+		return "", &Fault{Addr: addr, Size: 1, Kind: "cstring"}
+	}
 	var sb strings.Builder
-	for addr >= 0 && addr < int64(len(c.m.mem)) && c.m.mem[addr] != 0 {
+	for addr < int64(len(c.m.mem)) && c.m.mem[addr] != 0 {
 		sb.WriteByte(c.m.mem[addr])
 		addr++
 	}
-	return sb.String()
+	return sb.String(), nil
 }
 
-func (c *cpu) doPrintf() {
+func (c *cpu) doPrintf() error {
 	if len(c.args) == 0 {
-		return
+		return nil
 	}
-	format := c.cstring(c.args[0].i)
+	format, err := c.cstring(c.args[0].i)
+	if err != nil {
+		return err
+	}
 	rest := c.args[1:]
 	next := func() argval {
 		if len(rest) == 0 {
@@ -749,7 +882,7 @@ func (c *cpu) doPrintf() {
 	for i < len(format) {
 		ch := format[i]
 		if ch != '%' || i+1 >= len(format) {
-			c.m.out.WriteByte(ch)
+			c.out.WriteByte(ch)
 			i++
 			continue
 		}
@@ -767,30 +900,35 @@ func (c *cpu) doPrintf() {
 		i++
 		switch verb {
 		case 'd', 'i':
-			fmt.Fprintf(&c.m.out, strings.ReplaceAll(spec, "l", "")+"d", next().i)
+			fmt.Fprintf(c.out, strings.ReplaceAll(spec, "l", "")+"d", next().i)
 		case 'u':
-			fmt.Fprintf(&c.m.out, strings.ReplaceAll(spec, "l", "")+"d", next().i)
+			fmt.Fprintf(c.out, strings.ReplaceAll(spec, "l", "")+"d", next().i)
 		case 'x':
-			fmt.Fprintf(&c.m.out, strings.ReplaceAll(spec, "l", "")+"x", next().i)
+			fmt.Fprintf(c.out, strings.ReplaceAll(spec, "l", "")+"x", next().i)
 		case 'c':
-			c.m.out.WriteByte(byte(next().i))
+			c.out.WriteByte(byte(next().i))
 		case 'f', 'e', 'g':
 			a := next()
 			v := a.f
 			if !a.isFlt {
 				v = float64(a.i)
 			}
-			fmt.Fprintf(&c.m.out, spec+string(verb), v)
+			fmt.Fprintf(c.out, spec+string(verb), v)
 		case 's':
-			c.m.out.WriteString(c.cstring(next().i))
+			s, err := c.cstring(next().i)
+			if err != nil {
+				return err
+			}
+			c.out.WriteString(s)
 		case '%':
-			c.m.out.WriteByte('%')
+			c.out.WriteByte('%')
 		default:
-			c.m.out.WriteByte('%')
-			c.m.out.WriteByte(verb)
+			c.out.WriteByte('%')
+			c.out.WriteByte(verb)
 		}
 	}
 	c.r[RegRetInt] = int64(len(format))
+	return nil
 }
 
 func b2i(b bool) int64 {
