@@ -10,11 +10,14 @@
 //
 // Usage:
 //
-//	ildump [-after pass] [-phase N] file.c
+//	ildump [-after pass] [-phase N] [-remarks] file.c
 //
 // With -after, only the snapshot following the named pass is shown
 // (e.g. -after lower, -after scalarize, -after vectorize). With -phase N,
-// only the N'th snapshot (0 = lowered IL) is shown.
+// only the N'th snapshot (0 = lowered IL) is shown. With -remarks, the
+// pipeline's structured diagnostics (per-loop vectorize/parallelize
+// verdicts, inline decisions, scalar-opt rewrites) are appended after the
+// snapshots.
 package main
 
 import (
@@ -31,23 +34,25 @@ import (
 func main() {
 	after := flag.String("after", "", "show only the snapshot after this pass")
 	phase := flag.Int("phase", -1, "show only the N'th snapshot (0 = lowered IL)")
+	remarks := flag.Bool("remarks", false, "append the pipeline's structured diagnostics")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ildump [-after pass] [-phase N] file.c")
+		fmt.Fprintln(os.Stderr, "usage: ildump [-after pass] [-phase N] [-remarks] file.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	if err := dump(os.Stdout, string(src), *after, *phase); err != nil {
+	if err := dump(os.Stdout, string(src), *after, *phase, *remarks); err != nil {
 		fatal(err)
 	}
 }
 
 // dump compiles src once and writes the requested pass-boundary
-// snapshots. An empty after and negative phase mean "all".
-func dump(w io.Writer, src, after string, phase int) error {
+// snapshots. An empty after and negative phase mean "all"; remarks
+// appends the diagnostic stream after the snapshots.
+func dump(w io.Writer, src, after string, phase int, remarks bool) error {
 	type snapshot struct {
 		name string
 		text string
@@ -78,6 +83,12 @@ func dump(w io.Writer, src, after string, phase int) error {
 	}
 	if shown == 0 {
 		return fmt.Errorf("no snapshot matched (passes: lower %v)", pass.NewManager(opts).Passes())
+	}
+	if remarks {
+		fmt.Fprintln(w, "==== remarks ====")
+		for _, d := range ctx.Diags.All() {
+			fmt.Fprintln(w, d.String())
+		}
 	}
 	return nil
 }

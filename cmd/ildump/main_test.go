@@ -35,7 +35,7 @@ int main(void)
 // loudly.
 func TestPhaseOrder(t *testing.T) {
 	var sb strings.Builder
-	if err := dump(&sb, daxpySrc, "", -1); err != nil {
+	if err := dump(&sb, daxpySrc, "", -1, false); err != nil {
 		t.Fatal(err)
 	}
 	headers := regexp.MustCompile(`==== phase \d+: [^=]+ ====`).FindAllString(sb.String(), -1)
@@ -65,7 +65,7 @@ func TestPhaseOrder(t *testing.T) {
 //	UPDATE_GOLDEN=1 go test ./cmd/ildump
 func TestGoldenDump(t *testing.T) {
 	var sb strings.Builder
-	if err := dump(&sb, daxpySrc, "", -1); err != nil {
+	if err := dump(&sb, daxpySrc, "", -1, false); err != nil {
 		t.Fatal(err)
 	}
 	got := sb.String()
@@ -91,7 +91,7 @@ func TestGoldenDump(t *testing.T) {
 // TestDumpFilters checks the -after and -phase selectors.
 func TestDumpFilters(t *testing.T) {
 	var sb strings.Builder
-	if err := dump(&sb, daxpySrc, "vectorize", -1); err != nil {
+	if err := dump(&sb, daxpySrc, "vectorize", -1, false); err != nil {
 		t.Fatal(err)
 	}
 	if n := strings.Count(sb.String(), "==== phase"); n != 1 {
@@ -101,13 +101,42 @@ func TestDumpFilters(t *testing.T) {
 		t.Errorf("-after vectorize: wrong header in %q", sb.String())
 	}
 	sb.Reset()
-	if err := dump(&sb, daxpySrc, "", 0); err != nil {
+	if err := dump(&sb, daxpySrc, "", 0, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "phase 0: lowered IL") {
 		t.Errorf("-phase 0: missing lowered IL header in %q", sb.String())
 	}
-	if err := dump(&strings.Builder{}, daxpySrc, "no-such-pass", -1); err == nil {
+	if err := dump(&strings.Builder{}, daxpySrc, "no-such-pass", -1, false); err == nil {
 		t.Error("unknown pass name should error")
+	}
+}
+
+// TestDumpRemarks checks that -remarks appends the diagnostic stream
+// after the snapshots and that every remark carries a real source
+// position.
+func TestDumpRemarks(t *testing.T) {
+	var sb strings.Builder
+	if err := dump(&sb, daxpySrc, "", 0, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	idx := strings.Index(out, "==== remarks ====")
+	if idx < 0 {
+		t.Fatalf("missing remarks section in %q", out)
+	}
+	body := strings.TrimSpace(out[idx+len("==== remarks ===="):])
+	if body == "" {
+		t.Fatal("remarks section is empty for the full daxpy pipeline")
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "0:0:") {
+			t.Errorf("remark with zero position: %s", line)
+		}
+	}
+	for _, code := range []string{"vect-", "par-"} {
+		if !strings.Contains(body, code) {
+			t.Errorf("remarks lack a %s* verdict:\n%s", code, body)
+		}
 	}
 }

@@ -17,6 +17,7 @@
 //	-S               print Titan assembly
 //	-il              print optimized IL
 //	-run             simulate after compiling
+//	-engine e        execution engine for -run: fast (default) or ref
 //	-p N             processors for -run (1–4)
 //	-entry name      entry function for -run (default main)
 //	-stats           print a host throughput line after -run (wall time,
@@ -29,15 +30,23 @@
 //	-time-passes     print per-pass wall time and IL statement deltas
 //	-dump-after=p    print the IL snapshot after pass p (e.g. scalarize,
 //	                 vectorize, strength; "lower" is the pre-pass IL)
+//	-remarks         print the structured diagnostics the pipeline emitted:
+//	                 per-loop vectorize/parallelize verdicts, inline
+//	                 decisions, scalar-opt rewrites — one line each, sorted
+//	                 by procedure and source position
+//	-remarks=json    the same stream as a JSON array (the service's diag
+//	                 wire form)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"time"
 
+	"repro/internal/diag"
 	"repro/internal/driver"
 	"repro/internal/il"
 	"repro/internal/inline"
@@ -50,6 +59,27 @@ type catalogList []string
 
 func (c *catalogList) String() string     { return fmt.Sprint(*c) }
 func (c *catalogList) Set(s string) error { *c = append(*c, s); return nil }
+
+// remarksFlag is the -remarks mode: "" (off), "text" (bare -remarks), or
+// "json" (-remarks=json).
+type remarksFlag struct{ mode string }
+
+func (f *remarksFlag) String() string   { return f.mode }
+func (f *remarksFlag) IsBoolFlag() bool { return true }
+
+func (f *remarksFlag) Set(s string) error {
+	switch s {
+	case "true", "text":
+		f.mode = "text"
+	case "json":
+		f.mode = "json"
+	case "false":
+		f.mode = ""
+	default:
+		return fmt.Errorf("unknown remarks format %q (want text or json)", s)
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -64,6 +94,7 @@ func main() {
 		asm        = flag.Bool("S", false, "print Titan assembly")
 		dumpIL     = flag.Bool("il", false, "print optimized IL")
 		runIt      = flag.Bool("run", false, "simulate after compiling")
+		engine     = flag.String("engine", "fast", "execution engine for -run: fast or ref")
 		procs      = flag.Int("p", 1, "processors for -run")
 		entry      = flag.String("entry", "main", "entry function for -run")
 		stats      = flag.Bool("stats", false, "print host simulation throughput after -run")
@@ -72,13 +103,18 @@ func main() {
 		timePasses = flag.Bool("time-passes", false, "print per-pass wall time and IL statement deltas")
 		dumpAfter  = flag.String("dump-after", "", "print the IL snapshot after the named pass")
 		catalogs   catalogList
+		remarks    remarksFlag
 	)
 	flag.Var(&catalogs, "catalog", "attach a procedure catalog (repeatable)")
+	flag.Var(&remarks, "remarks", "print pipeline diagnostics (text, or -remarks=json)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: titancc [flags] file.c")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *engine != "fast" && *engine != "ref" {
+		fatal(fmt.Errorf("unknown engine %q (want fast or ref)", *engine))
 	}
 	if *runIt {
 		if err := titan.ValidateProcessors(*procs); err != nil {
@@ -142,8 +178,12 @@ func main() {
 
 	res, err := driver.CompileWith(string(src), opts, ctx)
 	if err != nil {
+		// Front-end failures land on the context as positioned error
+		// diagnostics; with -remarks the structured form is shown too.
+		printRemarks(remarks.mode, ctx.Diags.All())
 		fatal(err)
 	}
+	printRemarks(remarks.mode, ctx.Diags.All())
 	if *dumpAfter != "" {
 		if dumped == "" {
 			fatal(fmt.Errorf("no pass named %q ran (pipeline: lower %v)",
@@ -170,7 +210,12 @@ func main() {
 		}
 		m := titan.NewMachine(res.Machine, *procs)
 		start := time.Now()
-		r, err := m.Run(*entry)
+		var r titan.Result
+		if *engine == "ref" {
+			r, err = m.RunReference(*entry)
+		} else {
+			r, err = m.Run(*entry)
+		}
 		wall := time.Since(start)
 		stopCPU()
 		if err != nil {
@@ -185,10 +230,27 @@ func main() {
 			fatal(err)
 		}
 	}
-	if !*dumpIL && !*asm && !*runIt && !*timePasses && *dumpAfter == "" {
+	if !*dumpIL && !*asm && !*runIt && !*timePasses && *dumpAfter == "" && remarks.mode == "" {
 		fmt.Printf("compiled %s: %d procedures, %d inlined calls, %d vector stmts, %d parallel loops\n",
 			flag.Arg(0), len(res.IL.Procs), res.InlinedCalls,
 			res.VectorStats.VectorStmts, res.VectorStats.ParallelLoops+res.ParallelStats.LoopsParallelized)
+	}
+}
+
+// printRemarks writes the diagnostic stream in the chosen -remarks mode;
+// mode "" is off.
+func printRemarks(mode string, ds []diag.Diagnostic) {
+	switch mode {
+	case "text":
+		for _, d := range ds {
+			fmt.Println(d.String())
+		}
+	case "json":
+		out, err := json.MarshalIndent(ds, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
 	}
 }
 

@@ -1,0 +1,37 @@
+package driver
+
+import (
+	"errors"
+
+	"repro/internal/diag"
+	"repro/internal/lexer"
+	"repro/internal/lower"
+	"repro/internal/parser"
+	"repro/internal/sema"
+)
+
+// ErrorDiagnostic converts a front-end failure into a positioned,
+// coded diagnostic. The lexer, parser, type checker, and lowerer each
+// carry a token.Pos on their error types; this is the single place those
+// ad-hoc error shapes become the structured diag form the service and
+// tools report. The bool is false for errors with no front-end position
+// (pipeline or codegen failures), which callers report untyped.
+func ErrorDiagnostic(err error) (diag.Diagnostic, bool) {
+	var (
+		le *lexer.Error
+		pe *parser.Error
+		se *sema.Error
+		we *lower.Error
+	)
+	switch {
+	case errors.As(err, &le):
+		return diag.Diagnostic{Severity: diag.SevError, Code: diag.LexError, Pos: le.Pos, Pass: "lex", Message: le.Msg}, true
+	case errors.As(err, &pe):
+		return diag.Diagnostic{Severity: diag.SevError, Code: diag.ParseError, Pos: pe.Pos, Pass: "parse", Message: pe.Msg}, true
+	case errors.As(err, &se):
+		return diag.Diagnostic{Severity: diag.SevError, Code: diag.SemaError, Pos: se.Pos, Pass: "sema", Message: se.Msg}, true
+	case errors.As(err, &we):
+		return diag.Diagnostic{Severity: diag.SevError, Code: diag.LowerError, Pos: we.Pos, Pass: "lower", Message: we.Msg}, true
+	}
+	return diag.Diagnostic{}, false
+}

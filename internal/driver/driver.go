@@ -122,6 +122,14 @@ func CompileIL(src string, opts Options) (*Result, error) {
 func CompileILWith(src string, opts Options, ctx *pass.Context) (*Result, error) {
 	res := &Result{}
 	if err := frontEnd(src, res); err != nil {
+		// Record the positioned form on the caller's context so tools
+		// that own the context see front-end failures in the same
+		// structured stream as the optimization remarks.
+		if ctx != nil {
+			if d, ok := ErrorDiagnostic(err); ok {
+				ctx.Diags.Report(d)
+			}
+		}
 		return nil, err
 	}
 	if err := OptimizeILWith(res, opts, ctx); err != nil {

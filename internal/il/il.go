@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/ctype"
+	"repro/internal/token"
 )
 
 // VarID indexes a procedure's Vars table.
@@ -247,7 +248,11 @@ func (e *VecRef) exprNode()      {}
 
 // ---------------------------------------------------------------- Statements
 
-// Stmt is an IL statement.
+// Stmt is an IL statement. Every statement carries the source position of
+// the C statement it was lowered from (or, for statements manufactured by
+// the optimizer, the position of the construct that caused them — the
+// converted loop, the inline call site); StmtPos/SetStmtPos access it
+// uniformly.
 type Stmt interface {
 	String() string
 	stmtNode()
@@ -258,6 +263,7 @@ type Stmt interface {
 type Assign struct {
 	Dst Expr
 	Src Expr
+	Pos token.Pos
 }
 
 // String renders the assignment.
@@ -272,6 +278,7 @@ type Call struct {
 	FunPtr Expr // non-nil for indirect calls
 	Args   []Expr
 	T      *ctype.Type // result type (void for none)
+	Pos    token.Pos
 }
 
 // String renders the call.
@@ -296,6 +303,7 @@ type If struct {
 	Cond Expr
 	Then []Stmt
 	Else []Stmt
+	Pos  token.Pos
 }
 
 // String renders a one-line summary.
@@ -311,6 +319,7 @@ type While struct {
 	// Safe is set by "#pragma safe": the loop body is free of aliasing
 	// between distinct pointer parameters.
 	Safe bool
+	Pos  token.Pos
 }
 
 // String renders a one-line summary.
@@ -328,6 +337,7 @@ type DoLoop struct {
 	Step  Expr
 	Body  []Stmt
 	Safe  bool
+	Pos   token.Pos
 }
 
 // String renders a one-line summary.
@@ -344,6 +354,7 @@ type DoParallel struct {
 	Limit Expr
 	Step  Expr
 	Body  []Stmt
+	Pos   token.Pos
 }
 
 // String renders a one-line summary.
@@ -362,6 +373,7 @@ type VectorAssign struct {
 	Len       Expr
 	Elem      *ctype.Type
 	RHS       Expr
+	Pos       token.Pos
 }
 
 // String renders the vector statement.
@@ -371,21 +383,30 @@ func (s *VectorAssign) String() string {
 func (s *VectorAssign) stmtNode() {}
 
 // Goto transfers control to a label.
-type Goto struct{ Target string }
+type Goto struct {
+	Target string
+	Pos    token.Pos
+}
 
 // String renders the goto.
 func (s *Goto) String() string { return "goto " + s.Target }
 func (s *Goto) stmtNode()      {}
 
 // Label marks a goto target.
-type Label struct{ Name string }
+type Label struct {
+	Name string
+	Pos  token.Pos
+}
 
 // String renders the label.
 func (s *Label) String() string { return s.Name + ":" }
 func (s *Label) stmtNode()      {}
 
 // Return leaves the procedure, optionally with a value.
-type Return struct{ Val Expr }
+type Return struct {
+	Val Expr
+	Pos token.Pos
+}
 
 // String renders the return.
 func (s *Return) String() string {

@@ -1,0 +1,75 @@
+package il
+
+import "repro/internal/token"
+
+// StmtPos returns the source position recorded on s (the zero Pos if the
+// statement was never stamped).
+func StmtPos(s Stmt) token.Pos {
+	switch n := s.(type) {
+	case *Assign:
+		return n.Pos
+	case *Call:
+		return n.Pos
+	case *If:
+		return n.Pos
+	case *While:
+		return n.Pos
+	case *DoLoop:
+		return n.Pos
+	case *DoParallel:
+		return n.Pos
+	case *VectorAssign:
+		return n.Pos
+	case *Goto:
+		return n.Pos
+	case *Label:
+		return n.Pos
+	case *Return:
+		return n.Pos
+	}
+	return token.Pos{}
+}
+
+// SetStmtPos records position p on s (top-level only; nested bodies are
+// untouched).
+func SetStmtPos(s Stmt, p token.Pos) {
+	switch n := s.(type) {
+	case *Assign:
+		n.Pos = p
+	case *Call:
+		n.Pos = p
+	case *If:
+		n.Pos = p
+	case *While:
+		n.Pos = p
+	case *DoLoop:
+		n.Pos = p
+	case *DoParallel:
+		n.Pos = p
+	case *VectorAssign:
+		n.Pos = p
+	case *Goto:
+		n.Pos = p
+	case *Label:
+		n.Pos = p
+	case *Return:
+		n.Pos = p
+	}
+}
+
+// StampStmts fills position p into every statement in list (recursively)
+// whose position is still zero. Lowering uses it to give
+// compiler-manufactured statements the position of the C statement they
+// implement, and inline expansion uses it to give cloned catalog bodies
+// the call-site position — so no diagnostic ever prints a zero position.
+func StampStmts(list []Stmt, p token.Pos) {
+	if p.Line == 0 {
+		return
+	}
+	WalkStmts(list, func(s Stmt) bool {
+		if q := StmtPos(s); q.Line == 0 {
+			SetStmtPos(s, p)
+		}
+		return true
+	})
+}

@@ -214,26 +214,26 @@ func CloneExpr(e Expr) Expr {
 func CloneStmt(s Stmt) Stmt {
 	switch n := s.(type) {
 	case *Assign:
-		return &Assign{Dst: CloneExpr(n.Dst), Src: CloneExpr(n.Src)}
+		return &Assign{Dst: CloneExpr(n.Dst), Src: CloneExpr(n.Src), Pos: n.Pos}
 	case *Call:
-		m := &Call{Dst: n.Dst, Callee: n.Callee, T: n.T, FunPtr: CloneExpr(n.FunPtr)}
+		m := &Call{Dst: n.Dst, Callee: n.Callee, T: n.T, FunPtr: CloneExpr(n.FunPtr), Pos: n.Pos}
 		for _, a := range n.Args {
 			m.Args = append(m.Args, CloneExpr(a))
 		}
 		return m
 	case *If:
-		return &If{Cond: CloneExpr(n.Cond), Then: CloneStmts(n.Then), Else: CloneStmts(n.Else)}
+		return &If{Cond: CloneExpr(n.Cond), Then: CloneStmts(n.Then), Else: CloneStmts(n.Else), Pos: n.Pos}
 	case *While:
-		return &While{Cond: CloneExpr(n.Cond), Body: CloneStmts(n.Body), Safe: n.Safe}
+		return &While{Cond: CloneExpr(n.Cond), Body: CloneStmts(n.Body), Safe: n.Safe, Pos: n.Pos}
 	case *DoLoop:
 		return &DoLoop{IV: n.IV, Init: CloneExpr(n.Init), Limit: CloneExpr(n.Limit),
-			Step: CloneExpr(n.Step), Body: CloneStmts(n.Body), Safe: n.Safe}
+			Step: CloneExpr(n.Step), Body: CloneStmts(n.Body), Safe: n.Safe, Pos: n.Pos}
 	case *DoParallel:
 		return &DoParallel{IV: n.IV, Init: CloneExpr(n.Init), Limit: CloneExpr(n.Limit),
-			Step: CloneExpr(n.Step), Body: CloneStmts(n.Body)}
+			Step: CloneExpr(n.Step), Body: CloneStmts(n.Body), Pos: n.Pos}
 	case *VectorAssign:
 		return &VectorAssign{DstBase: CloneExpr(n.DstBase), DstStride: CloneExpr(n.DstStride),
-			Len: CloneExpr(n.Len), Elem: n.Elem, RHS: CloneExpr(n.RHS)}
+			Len: CloneExpr(n.Len), Elem: n.Elem, RHS: CloneExpr(n.RHS), Pos: n.Pos}
 	case *Goto:
 		m := *n
 		return &m
@@ -241,7 +241,7 @@ func CloneStmt(s Stmt) Stmt {
 		m := *n
 		return &m
 	case *Return:
-		return &Return{Val: CloneExpr(n.Val)}
+		return &Return{Val: CloneExpr(n.Val), Pos: n.Pos}
 	}
 	panic("il: CloneStmt of unknown node")
 }

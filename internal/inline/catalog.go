@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/ctype"
 	"repro/internal/il"
+	"repro/internal/token"
 )
 
 // Catalog is a set of procedures plus the globals they reference
@@ -31,8 +32,14 @@ type Catalog struct {
 }
 
 const (
-	catalogMagic   = "TITANCAT"
-	catalogVersion = 1
+	catalogMagic = "TITANCAT"
+	// catalogVersion 2 added per-statement source positions (line, col)
+	// ahead of each statement tag, so diagnostics on inlined bodies can
+	// point at the callee's source. Version-1 catalogs still read; their
+	// statements decode with zero positions and inherit the call site at
+	// expansion time.
+	catalogVersion    = 2
+	catalogMinVersion = 1
 )
 
 // BuildCatalog packages a program's procedures and globals for archiving.
@@ -115,12 +122,14 @@ func ReadCatalog(r io.Reader) (c *Catalog, err error) {
 		return nil, fmt.Errorf("catalog: bad magic %q (want %q): not a Titan procedure catalog", magic, catalogMagic)
 	}
 	dec := &decoder{r: br}
-	if v := dec.u64(); dec.err != nil || v != catalogVersion {
-		if dec.err != nil {
-			return nil, fmt.Errorf("catalog: truncated input: missing version: %w", dec.err)
-		}
-		return nil, fmt.Errorf("catalog: unsupported version %d (this build reads version %d)", v, catalogVersion)
+	v := dec.u64()
+	if dec.err != nil {
+		return nil, fmt.Errorf("catalog: truncated input: missing version: %w", dec.err)
 	}
+	if v < catalogMinVersion || v > catalogVersion {
+		return nil, fmt.Errorf("catalog: unsupported version %d (this build reads versions %d through %d)", v, catalogMinVersion, catalogVersion)
+	}
+	dec.version = int(v)
 	dec.readTypeTable()
 
 	c = &Catalog{}
@@ -325,6 +334,9 @@ func (e *encoder) stmts(list []il.Stmt) {
 }
 
 func (e *encoder) stmt(s il.Stmt) {
+	pos := il.StmtPos(s)
+	e.u64(uint64(pos.Line))
+	e.u64(uint64(pos.Col))
 	switch n := s.(type) {
 	case *il.Assign:
 		e.u64(tAssign)
@@ -441,10 +453,11 @@ func (e *encoder) expr(x il.Expr) {
 // ---------------------------------------------------------------- decoder
 
 type decoder struct {
-	r     *bufio.Reader
-	err   error
-	types []*ctype.Type
-	depth int // statement/expression recursion depth (bounded)
+	r       *bufio.Reader
+	err     error
+	version int
+	types   []*ctype.Type
+	depth   int // statement/expression recursion depth (bounded)
 }
 
 // maxDecodeDepth bounds statement/expression nesting so a crafted input
@@ -719,6 +732,19 @@ func (d *decoder) stmt() il.Stmt {
 		return &il.Label{Name: ".bad"}
 	}
 	defer func() { d.depth-- }()
+	var pos token.Pos
+	if d.version >= 2 {
+		pos.Line = int(d.u64())
+		pos.Col = int(d.u64())
+	}
+	s := d.stmtBody()
+	if pos.Line > 0 {
+		il.SetStmtPos(s, pos)
+	}
+	return s
+}
+
+func (d *decoder) stmtBody() il.Stmt {
 	switch tag := d.u64(); tag {
 	case tAssign:
 		dst := d.expr()

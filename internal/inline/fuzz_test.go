@@ -148,8 +148,8 @@ func TestReadCatalogUnsupportedVersion(t *testing.T) {
 		t.Fatal("want error for version 99")
 	}
 	msg := err.Error()
-	if !strings.Contains(msg, "99") || !strings.Contains(msg, "version 1") {
-		t.Fatalf("version error should name found and expected versions, got %q", msg)
+	if !strings.Contains(msg, "99") || !strings.Contains(msg, "versions 1 through 2") {
+		t.Fatalf("version error should name found and supported versions, got %q", msg)
 	}
 }
 

@@ -10,7 +10,9 @@ package inline
 import (
 	"fmt"
 
+	"repro/internal/diag"
 	"repro/internal/il"
+	"repro/internal/token"
 )
 
 // Config controls expansion policy.
@@ -44,14 +46,52 @@ type Inliner struct {
 	Catalog map[string]*il.Proc
 	Cfg     Config
 
+	// Diags receives §7's expansion decisions: inline-expanded,
+	// inline-recursive, inline-refused, and inline-static-export. Nil
+	// drops them. ExpandProc revisits surviving calls once per depth
+	// round, so refusals are deduplicated per (code, site, message).
+	Diags *diag.Reporter
+
 	// Expanded counts call sites expanded (for tests and reports).
 	Expanded int
 	seq      int
+	seen     map[string]bool
 }
 
 // New returns an inliner over prog.
 func New(prog *il.Program, cfg Config) *Inliner {
-	return &Inliner{Prog: prog, Catalog: map[string]*il.Proc{}, Cfg: cfg}
+	return &Inliner{Prog: prog, Catalog: map[string]*il.Proc{}, Cfg: cfg, seen: map[string]bool{}}
+}
+
+// report forwards d to Diags, dropping exact repeats (the depth loop
+// re-examines refused calls every round).
+func (in *Inliner) report(d diag.Diagnostic) {
+	if in.Diags == nil {
+		return
+	}
+	if in.seen == nil {
+		in.seen = map[string]bool{}
+	}
+	key := fmt.Sprintf("%s|%s|%d:%d|%s", d.Code, d.Proc, d.Pos.Line, d.Pos.Col, d.Message)
+	if in.seen[key] {
+		return
+	}
+	in.seen[key] = true
+	in.Diags.Report(d)
+}
+
+// refuseReason names why Inlinable rejected a known callee.
+func (in *Inliner) refuseReason(callee *il.Proc) string {
+	switch {
+	case callee.Variadic:
+		return "variadic callee"
+	case in.Cfg.MaxStmts > 0 && il.CountStmts(callee.Body) > in.Cfg.MaxStmts:
+		return fmt.Sprintf("callee has %d statements (limit %d)", il.CountStmts(callee.Body), in.Cfg.MaxStmts)
+	case len(in.Cfg.Only) > 0 && !in.Cfg.Only[callee.Name]:
+		return "not in the inline-only list"
+	default:
+		return "policy"
+	}
 }
 
 // AddCatalog attaches a library catalog; its procedures become candidates,
@@ -147,11 +187,36 @@ func (in *Inliner) expandCall(p *il.Proc, call *il.Call, stack map[string]bool) 
 	if call.FunPtr != nil || call.Callee == "" {
 		return nil, false // indirect calls hide the callee
 	}
-	if stack[call.Callee] || !in.Inlinable(call.Callee) {
+	if stack[call.Callee] {
+		in.report(diag.Diagnostic{
+			Severity: diag.SevRemark, Code: diag.InlineRecursive,
+			Pos: call.Pos, Proc: p.Name, Pass: "inline",
+			Args:    map[string]string{"callee": call.Callee},
+			Message: fmt.Sprintf("call to %s not inlined: recursion detected (§7)", call.Callee),
+		})
+		return nil, false
+	}
+	if !in.Inlinable(call.Callee) {
+		// Unknown callees (externs with no catalog body) are an absence,
+		// not a decision; only known-but-refused callees get a remark.
+		if known := in.lookup(call.Callee); known != nil {
+			in.report(diag.Diagnostic{
+				Severity: diag.SevRemark, Code: diag.InlineRefused,
+				Pos: call.Pos, Proc: p.Name, Pass: "inline",
+				Args:    map[string]string{"callee": call.Callee, "reason": in.refuseReason(known)},
+				Message: fmt.Sprintf("call to %s not inlined: %s", call.Callee, in.refuseReason(known)),
+			})
+		}
 		return nil, false
 	}
 	callee := in.lookup(call.Callee)
 	if len(call.Args) != len(callee.Params) {
+		in.report(diag.Diagnostic{
+			Severity: diag.SevRemark, Code: diag.InlineRefused,
+			Pos: call.Pos, Proc: p.Name, Pass: "inline",
+			Args:    map[string]string{"callee": call.Callee, "reason": "argument count mismatch"},
+			Message: fmt.Sprintf("call to %s not inlined: argument count mismatch", call.Callee),
+		})
 		return nil, false // old-style mismatch; leave the call alone
 	}
 
@@ -171,6 +236,14 @@ func (in *Inliner) expandCall(p *il.Proc, call *il.Call, stack map[string]bool) 
 				varMap[i] = id
 			} else {
 				varMap[i] = p.AddVar(il.Var{Name: cv.Name, Type: cv.Type, Class: cv.Class, AddrTaken: cv.AddrTaken})
+			}
+			if cv.Class == il.ClassStatic {
+				in.report(diag.Diagnostic{
+					Severity: diag.SevRemark, Code: diag.InlineStaticExport,
+					Pos: call.Pos, Proc: p.Name, Pass: "inline",
+					Args:    map[string]string{"callee": call.Callee, "var": cv.Name},
+					Message: fmt.Sprintf("static %s of inlined %s kept as program-level storage (§7 static export)", cv.Name, call.Callee),
+				})
 			}
 		default:
 			varMap[i] = p.AddVar(il.Var{
@@ -197,6 +270,27 @@ func (in *Inliner) expandCall(p *il.Proc, call *il.Call, stack map[string]bool) 
 	body = rewriteInlined(body, varMap, prefix, call.Dst, endLabel, p)
 	out = append(out, body...)
 	out = append(out, &il.Label{Name: endLabel})
+
+	// Report the expansion. When the cloned body carries its own source
+	// position (unit-local callees, version-2 catalogs), the remark points
+	// there and names the call site via InlinedFrom; otherwise it sits on
+	// the call itself.
+	ed := diag.Diagnostic{
+		Severity: diag.SevRemark, Code: diag.InlineExpanded,
+		Pos: call.Pos, Proc: p.Name, Pass: "inline",
+		Args:    map[string]string{"callee": call.Callee},
+		Message: fmt.Sprintf("call to %s expanded inline (§7)", call.Callee),
+	}
+	if bp := firstStmtPos(body); bp.Line != 0 && bp != call.Pos {
+		site := call.Pos
+		ed.Pos = bp
+		ed.InlinedFrom = &site
+	}
+	in.report(ed)
+
+	// Compiler-manufactured and position-less cloned statements inherit
+	// the call site, so no later diagnostic prints a zero position.
+	il.StampStmts(out, call.Pos)
 
 	// Mark the callee in the stack while expanding nested calls inside
 	// the clone (mutual recursion guard).
@@ -294,4 +388,16 @@ func rewriteInlined(body []il.Stmt, varMap []il.VarID, prefix string, dst il.Var
 		return out
 	}
 	return rewrite(body)
+}
+
+// firstStmtPos returns the first nonzero statement position in list.
+func firstStmtPos(list []il.Stmt) (pos token.Pos) {
+	il.WalkStmts(list, func(s il.Stmt) bool {
+		if q := il.StmtPos(s); q.Line != 0 {
+			pos = q
+			return false
+		}
+		return true
+	})
+	return pos
 }

@@ -190,7 +190,22 @@ func (lw *lowerer) varID(sym *sema.Symbol) il.VarID {
 
 // ---------------------------------------------------------------- statements
 
+// stmt lowers one AST statement and stamps every resulting IL statement
+// that does not yet have a position with the source statement's position.
+// Nested statements were stamped by their own recursive lowering first, so
+// the outer stamp only fills compiler-manufactured statements (temp
+// assignments, branch scaffolding) — no lowered statement escapes with a
+// zero token.Pos.
 func (lw *lowerer) stmt(s ast.Stmt) ([]il.Stmt, error) {
+	out, err := lw.stmtInner(s)
+	if err != nil {
+		return nil, err
+	}
+	il.StampStmts(out, s.Pos())
+	return out, nil
+}
+
+func (lw *lowerer) stmtInner(s ast.Stmt) ([]il.Stmt, error) {
 	switch n := s.(type) {
 	case *ast.CompoundStmt:
 		var out []il.Stmt

@@ -4,6 +4,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/ctype"
 	"repro/internal/dataflow"
+	"repro/internal/diag"
 	"repro/internal/il"
 )
 
@@ -20,9 +21,15 @@ func PropagateConstants(p *il.Proc) int { return PropagateConstantsWith(p, nil) 
 // PropagateConstantsWith is PropagateConstants against an analysis cache
 // (nil re-solves every round).
 func PropagateConstantsWith(p *il.Proc, ac *analysis.Cache) int {
+	return propagateConstants(p, ac, nil)
+}
+
+// propagateConstants is the emitter-threaded implementation: §8's
+// unreachable-code deletions surface as const-unreachable-delete remarks.
+func propagateConstants(p *il.Proc, ac *analysis.Cache, em *emitter) int {
 	total := 0
 	for {
-		n := propagateOnce(p, ac)
+		n := propagateOnce(p, ac, em)
 		total += n
 		if n == 0 {
 			return total
@@ -30,7 +37,7 @@ func PropagateConstantsWith(p *il.Proc, ac *analysis.Cache) int {
 	}
 }
 
-func propagateOnce(p *il.Proc, ac *analysis.Cache) int {
+func propagateOnce(p *il.Proc, ac *analysis.Cache, em *emitter) int {
 	a, err := ac.Dataflow(p)
 	if err != nil {
 		return 0
@@ -91,11 +98,11 @@ func propagateOnce(p *il.Proc, ac *analysis.Cache) int {
 	})
 
 	// Simplify control flow on constant conditions (§8).
-	p.Body = simplifyControl(p.Body, &changed)
+	p.Body = simplifyControl(p.Body, &changed, em)
 
 	// Remove code made unreachable by unconditional transfers (§8's
 	// vectorizer postpass).
-	changed += postpassUnreachable(p)
+	changed += postpassUnreachable(p, em)
 	p.Changed(changed + folds)
 	return changed
 }
@@ -182,15 +189,22 @@ func foldNode(e il.Expr) il.Expr {
 
 // simplifyControl deletes untaken branches of constant ifs and zero-trip
 // loops, splicing the surviving statements in place.
-func simplifyControl(list []il.Stmt, changed *int) []il.Stmt {
+func simplifyControl(list []il.Stmt, changed *int, em *emitter) []il.Stmt {
 	out := make([]il.Stmt, 0, len(list))
 	for _, s := range list {
 		switch n := s.(type) {
 		case *il.If:
-			n.Then = simplifyControl(n.Then, changed)
-			n.Else = simplifyControl(n.Else, changed)
+			n.Then = simplifyControl(n.Then, changed, em)
+			n.Else = simplifyControl(n.Else, changed, em)
 			if c, ok := il.IsIntConst(n.Cond); ok {
 				*changed++
+				kept := "then"
+				if c == 0 {
+					kept = "else"
+				}
+				em.remark(diag.ConstUnreachableDelete, "constprop", n.Pos,
+					map[string]string{"kept": kept},
+					"condition is the constant %d; untaken branch deleted (§8)", c)
 				if c != 0 {
 					out = append(out, n.Then...)
 				} else {
@@ -203,21 +217,27 @@ func simplifyControl(list []il.Stmt, changed *int) []il.Stmt {
 				continue
 			}
 		case *il.While:
-			n.Body = simplifyControl(n.Body, changed)
+			n.Body = simplifyControl(n.Body, changed, em)
 			if c, ok := il.IsIntConst(n.Cond); ok && c == 0 {
 				*changed++
+				em.remark(diag.ConstUnreachableDelete, "constprop", n.Pos, nil,
+					"while condition is constant zero; loop deleted (§8)")
 				continue
 			}
 		case *il.DoLoop:
-			n.Body = simplifyControl(n.Body, changed)
+			n.Body = simplifyControl(n.Body, changed, em)
 			if zeroTrip(n.Init, n.Limit, n.Step) {
 				*changed++
+				em.remark(diag.ConstUnreachableDelete, "constprop", n.Pos, nil,
+					"DO loop provably executes zero times; deleted (§8)")
 				continue
 			}
 		case *il.DoParallel:
-			n.Body = simplifyControl(n.Body, changed)
+			n.Body = simplifyControl(n.Body, changed, em)
 			if zeroTrip(n.Init, n.Limit, n.Step) {
 				*changed++
+				em.remark(diag.ConstUnreachableDelete, "constprop", n.Pos, nil,
+					"parallel DO loop provably executes zero times; deleted (§8)")
 				continue
 			}
 		}
@@ -245,7 +265,7 @@ func zeroTrip(init, limit, step il.Expr) bool {
 // branches that are always taken is difficult to uncover as unreachable
 // during constant propagation. The vectorizer has a separate postpass").
 // It also deletes gotos that target the immediately following label.
-func postpassUnreachable(p *il.Proc) int {
+func postpassUnreachable(p *il.Proc, em *emitter) int {
 	removed := 0
 	// clean removes dead statements; follow is the label that control
 	// reaches immediately after the list ends (so trailing `goto follow`
@@ -260,6 +280,8 @@ func postpassUnreachable(p *il.Proc) int {
 			}
 			if dead {
 				removed++
+				em.remark(diag.ConstUnreachableDelete, "constprop", il.StmtPos(s), nil,
+					"statement after an always-taken transfer is unreachable; deleted (§8 postpass)")
 				continue
 			}
 			// The label control falls to after this statement.

@@ -1,7 +1,10 @@
 package opt
 
 import (
+	"strconv"
+
 	"repro/internal/ctype"
+	"repro/internal/diag"
 	"repro/internal/il"
 )
 
@@ -15,7 +18,7 @@ import (
 // later statement redefines one of its operands is re-examined when the
 // blocker is itself rewritten. Returns the number of rewrites performed.
 func SubstituteInductionVariables(p *il.Proc) int {
-	return ivsubProc(p, true)
+	return ivsubProc(p, true, nil)
 }
 
 // SubstituteInductionVariablesSimple is the A2 ablation: recurrence
@@ -23,32 +26,32 @@ func SubstituteInductionVariables(p *il.Proc) int {
 // one substitution pass runs, which is the "straightforward technique"
 // §5.3 says cannot handle the translated *a++ loop.
 func SubstituteInductionVariablesSimple(p *il.Proc) int {
-	return ivsubProc(p, false)
+	return ivsubProc(p, false, nil)
 }
 
-func ivsubProc(p *il.Proc, full bool) int {
+func ivsubProc(p *il.Proc, full bool, em *emitter) int {
 	changed := 0
-	p.Body = ivsubList(p, p.Body, full, &changed)
+	p.Body = ivsubList(p, p.Body, full, &changed, em)
 	return p.Changed(changed)
 }
 
 // ivsubList processes loops innermost-first, splicing preheader statements
 // before rewritten loops.
-func ivsubList(p *il.Proc, list []il.Stmt, full bool, changed *int) []il.Stmt {
+func ivsubList(p *il.Proc, list []il.Stmt, full bool, changed *int, em *emitter) []il.Stmt {
 	out := make([]il.Stmt, 0, len(list))
 	for _, s := range list {
 		switch n := s.(type) {
 		case *il.If:
-			n.Then = ivsubList(p, n.Then, full, changed)
-			n.Else = ivsubList(p, n.Else, full, changed)
+			n.Then = ivsubList(p, n.Then, full, changed, em)
+			n.Else = ivsubList(p, n.Else, full, changed, em)
 		case *il.While:
-			n.Body = ivsubList(p, n.Body, full, changed)
+			n.Body = ivsubList(p, n.Body, full, changed, em)
 		case *il.DoLoop:
-			n.Body = ivsubList(p, n.Body, full, changed)
-			pre := ivsubLoop(p, n, full, changed)
+			n.Body = ivsubList(p, n.Body, full, changed, em)
+			pre := ivsubLoop(p, n, full, changed, em)
 			out = append(out, pre...)
 		case *il.DoParallel:
-			n.Body = ivsubList(p, n.Body, full, changed)
+			n.Body = ivsubList(p, n.Body, full, changed, em)
 		}
 		out = append(out, s)
 	}
@@ -59,21 +62,30 @@ func ivsubList(p *il.Proc, list []il.Stmt, full bool, changed *int) []il.Stmt {
 func ivLimit(body []il.Stmt) int { return len(body) + 2 }
 
 // ivsubLoop rewrites one DO loop, returning preheader statements to place
-// before it.
-func ivsubLoop(p *il.Proc, loop *il.DoLoop, full bool, changed *int) []il.Stmt {
+// before it. Preheader statements inherit the loop's source position so
+// later diagnostics on them never print a zero position.
+func ivsubLoop(p *il.Proc, loop *il.DoLoop, full bool, changed *int, em *emitter) []il.Stmt {
 	var pre []il.Stmt
 	passes := ivLimit(loop.Body)
 	if !full {
 		passes = 1
 	}
+	loopTotal := 0
 	for pass := 0; pass < passes; pass++ {
 		n := 0
 		pre = append(pre, closedFormPass(p, loop, full, &n)...)
-		n += forwardSubstPass(p, loop, !full)
+		n += forwardSubstPass(p, loop, !full, em)
 		*changed += n
+		loopTotal += n
 		if n == 0 {
 			break
 		}
+	}
+	il.StampStmts(pre, loop.Pos)
+	if loopTotal > 0 {
+		em.remark(diag.IVSubstituted, "ivsub", loop.Pos,
+			map[string]string{"rewrites": strconv.Itoa(loopTotal)},
+			"auxiliary induction variables rewritten into closed form over the loop index (§5.3)")
 	}
 	return pre
 }
@@ -304,7 +316,7 @@ func closedFormPass(p *il.Proc, loop *il.DoLoop, resolveCopies bool, changed *in
 // blocking statement stops substitution before its own uses are rewritten,
 // so the front end's pointer-bump pattern never resolves. Returns the
 // number of substitutions.
-func forwardSubstPass(p *il.Proc, loop *il.DoLoop, strict bool) int {
+func forwardSubstPass(p *il.Proc, loop *il.DoLoop, strict bool, em *emitter) int {
 	changed := 0
 	body := loop.Body
 	defined := bodyDefinedVars(p, body)
@@ -354,6 +366,9 @@ func forwardSubstPass(p *il.Proc, loop *il.DoLoop, strict bool) int {
 				// A structured statement that redefines an operand may
 				// interleave the redefinition with uses of x; do not
 				// substitute into it at all.
+				em.remark(diag.IVBlocked, "ivsub", il.StmtPos(s),
+					map[string]string{"var": v.Name, "blocker": t.String()},
+					"forward substitution of %s blocked: a later statement redefines an operand (§5.3)", v.Name)
 				break
 			}
 			il.RewriteTreeExprs(t, func(x il.Expr) il.Expr {
@@ -366,6 +381,9 @@ func forwardSubstPass(p *il.Proc, loop *il.DoLoop, strict bool) int {
 			if redefines {
 				// Blocked by t; §5.3's backtracking re-examines this
 				// candidate on the next pass, after t has been rewritten.
+				em.remark(diag.IVBlocked, "ivsub", il.StmtPos(s),
+					map[string]string{"var": v.Name, "blocker": t.String()},
+					"forward substitution of %s stopped at a redefining statement; will backtrack once the blocker is rewritten (§5.3)", v.Name)
 				break
 			}
 		}

@@ -2,6 +2,7 @@ package opt
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/diag"
 	"repro/internal/il"
 )
 
@@ -46,17 +47,23 @@ func SubPasses(opts Options) []SubPass { return SubPassesWith(opts, nil) }
 // SubPassesWith is SubPasses with the sub-passes bound to an analysis
 // cache; a nil cache re-solves every analysis (the uncached baseline).
 func SubPassesWith(opts Options, ac *analysis.Cache) []SubPass {
-	constprop := func(p *il.Proc) int { return PropagateConstantsWith(p, ac) }
+	return subPassesDiag(opts, ac, nil)
+}
+
+// subPassesDiag builds the sub-pass list with each sub-pass reporting its
+// decisions through em (nil reports nothing).
+func subPassesDiag(opts Options, ac *analysis.Cache, em *emitter) []SubPass {
+	constprop := func(p *il.Proc) int { return propagateConstants(p, ac, em) }
 	var sp []SubPass
 	if !opts.NoWhileConversion {
-		sp = append(sp, SubPass{"while-to-do", func(p *il.Proc) int { return ConvertWhileLoopsWith(p, ac) }})
+		sp = append(sp, SubPass{"while-to-do", func(p *il.Proc) int { return convertWhileLoops(p, ac, em) }})
 	}
 	sp = append(sp, SubPass{"constprop", constprop})
 	if opts.IVSub {
 		if opts.SimpleIVSub {
-			sp = append(sp, SubPass{"ivsub-simple", SubstituteInductionVariablesSimple})
+			sp = append(sp, SubPass{"ivsub-simple", func(p *il.Proc) int { return ivsubProc(p, false, em) }})
 		} else {
-			sp = append(sp, SubPass{"ivsub", SubstituteInductionVariables})
+			sp = append(sp, SubPass{"ivsub", func(p *il.Proc) int { return ivsubProc(p, true, em) }})
 		}
 	}
 	if !opts.NoCopyProp {
@@ -105,7 +112,11 @@ func Optimize(p *il.Proc, opts Options) Counts {
 // changes in between — become cache hits instead of full re-solves. A nil
 // cache re-solves everything (the uncached baseline).
 func OptimizeWith(p *il.Proc, opts Options, ac *analysis.Cache) Counts {
-	sub := SubPassesWith(opts, ac)
+	return optimize(p, opts, ac, nil)
+}
+
+func optimize(p *il.Proc, opts Options, ac *analysis.Cache, em *emitter) Counts {
+	sub := subPassesDiag(opts, ac, em)
 	counts := Counts{}
 	for round := 0; round < maxRounds; round++ {
 		changed := 0
@@ -119,6 +130,8 @@ func OptimizeWith(p *il.Proc, opts Options, ac *analysis.Cache) Counts {
 		}
 		if round == maxRounds-1 {
 			counts[FixpointCapped]++
+			em.warn(diag.FixpointCapped, "scalar-opt", procPos(p),
+				"scalar optimizer hit the %d-round cap with changes still being made; results are valid but may not be fully propagated", maxRounds)
 		}
 	}
 	return counts

@@ -9,6 +9,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/ctype"
 	"repro/internal/dataflow"
+	"repro/internal/diag"
 	"repro/internal/il"
 )
 
@@ -41,6 +42,13 @@ type conversion struct {
 // ConvertWhileLoopsWith is ConvertWhileLoops against an analysis cache
 // (nil analyzes directly).
 func ConvertWhileLoopsWith(p *il.Proc, ac *analysis.Cache) int {
+	return convertWhileLoops(p, ac, nil)
+}
+
+// convertWhileLoops is the emitter-threaded implementation: each
+// conversion is reported as a whiledo-converted remark at the while loop's
+// source position (§5.2).
+func convertWhileLoops(p *il.Proc, ac *analysis.Cache, em *emitter) int {
 	// Converting a loop invalidates the analysis for enclosing loops, so
 	// the conversion iterates — each sweep converts the loops whose
 	// analysis is still exact (innermost first). Between sweeps the §5.2
@@ -61,7 +69,7 @@ func ConvertWhileLoopsWith(p *il.Proc, ac *analysis.Cache) int {
 		}
 		n := 0
 		var convs []conversion
-		p.Body = convertList(p, a, p.Body, &n, &convs)
+		p.Body = convertList(p, a, p.Body, &n, &convs, em)
 		total += n
 		p.Changed(n)
 		if n == 0 {
@@ -76,25 +84,27 @@ func ConvertWhileLoopsWith(p *il.Proc, ac *analysis.Cache) int {
 	}
 }
 
-func convertList(p *il.Proc, a *dataflow.Analysis, list []il.Stmt, n *int, convs *[]conversion) []il.Stmt {
+func convertList(p *il.Proc, a *dataflow.Analysis, list []il.Stmt, n *int, convs *[]conversion, em *emitter) []il.Stmt {
 	out := make([]il.Stmt, 0, len(list))
 	for _, s := range list {
 		switch st := s.(type) {
 		case *il.While:
-			st.Body = convertList(p, a, st.Body, n, convs)
+			st.Body = convertList(p, a, st.Body, n, convs, em)
 			if d := tryConvert(p, a, st, out); d != nil {
 				*n++
 				*convs = append(*convs, conversion{st, d})
+				em.remark(diag.WhileConverted, "while-to-do", st.Pos, nil,
+					"while loop proven countable and converted to a DO loop")
 				out = append(out, d)
 				continue
 			}
 		case *il.If:
-			st.Then = convertList(p, a, st.Then, n, convs)
-			st.Else = convertList(p, a, st.Else, n, convs)
+			st.Then = convertList(p, a, st.Then, n, convs, em)
+			st.Else = convertList(p, a, st.Else, n, convs, em)
 		case *il.DoLoop:
-			st.Body = convertList(p, a, st.Body, n, convs)
+			st.Body = convertList(p, a, st.Body, n, convs, em)
 		case *il.DoParallel:
-			st.Body = convertList(p, a, st.Body, n, convs)
+			st.Body = convertList(p, a, st.Body, n, convs, em)
 		}
 		out = append(out, s)
 	}
@@ -242,6 +252,7 @@ func tryCandidate(p *il.Proc, a *dataflow.Analysis, w *il.While, prev []il.Stmt,
 		Step:  il.Int(stepC),
 		Body:  w.Body,
 		Safe:  w.Safe,
+		Pos:   w.Pos,
 	}
 }
 

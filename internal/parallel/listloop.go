@@ -25,6 +25,7 @@ package parallel
 
 import (
 	"fmt"
+	"repro/internal/diag"
 
 	"repro/internal/ctype"
 	"repro/internal/il"
@@ -45,26 +46,36 @@ func (s *ListStats) Add(o ListStats) { s.LoopsConverted += o.LoopsConverted }
 // The prog is needed to allocate the shared pointer buffer. The caller
 // asserts the §10 independence assumption by calling at all.
 func ParallelizeListLoops(prog *il.Program, p *il.Proc) ListStats {
+	return ParallelizeListLoopsDiag(prog, p, nil)
+}
+
+// ParallelizeListLoopsDiag is ParallelizeListLoops with a diagnostic
+// reporter: each converted chase loop gets a list-parallelized remark.
+func ParallelizeListLoopsDiag(prog *il.Program, p *il.Proc, r *diag.Reporter) ListStats {
 	var st ListStats
-	p.Body = walkList(prog, p, p.Body, &st)
+	p.Body = walkList(prog, p, p.Body, r, &st)
 	return st
 }
 
-func walkList(prog *il.Program, p *il.Proc, list []il.Stmt, st *ListStats) []il.Stmt {
+func walkList(prog *il.Program, p *il.Proc, list []il.Stmt, r *diag.Reporter, st *ListStats) []il.Stmt {
 	out := make([]il.Stmt, 0, len(list))
 	for _, s := range list {
 		switch n := s.(type) {
 		case *il.If:
-			n.Then = walkList(prog, p, n.Then, st)
-			n.Else = walkList(prog, p, n.Else, st)
+			n.Then = walkList(prog, p, n.Then, r, st)
+			n.Else = walkList(prog, p, n.Else, r, st)
 		case *il.DoLoop:
-			n.Body = walkList(prog, p, n.Body, st)
+			n.Body = walkList(prog, p, n.Body, r, st)
 		case *il.DoParallel:
 			// leave
 		case *il.While:
-			n.Body = walkList(prog, p, n.Body, st)
+			n.Body = walkList(prog, p, n.Body, r, st)
 			if repl, ok := convertListLoop(prog, p, n); ok {
 				st.LoopsConverted++
+				il.StampStmts(repl, n.Pos)
+				r.Report(diag.Diagnostic{Severity: diag.SevRemark, Code: diag.ListParallelized,
+					Pos: n.Pos, Proc: p.Name, Pass: "list-parallelize",
+					Message: "linked-list chase loop parallelized under the independent-storage assumption (§10)"})
 				p.BumpGeneration()
 				out = append(out, repl...)
 				continue

@@ -20,6 +20,7 @@ package parallel
 
 import (
 	"repro/internal/ctype"
+	"repro/internal/diag"
 	"repro/internal/il"
 )
 
@@ -33,29 +34,40 @@ func (s *NestStats) Add(o NestStats) { s.NestsParallelized += o.NestsParallelize
 
 // ParallelizeNests converts eligible outer loops of 2-level nests.
 func ParallelizeNests(p *il.Proc) NestStats {
+	return ParallelizeNestsDiag(p, nil)
+}
+
+// ParallelizeNestsDiag is ParallelizeNests with a diagnostic reporter:
+// every converted nest gets a nest-parallelized remark. (Rejections are
+// silent here — most loops are simply not two-level nests; the later
+// vectorize/parallelize passes give every surviving loop its verdict.)
+func ParallelizeNestsDiag(p *il.Proc, r *diag.Reporter) NestStats {
 	var st NestStats
-	p.Body = walkNests(p, p.Body, &st)
+	p.Body = walkNests(p, p.Body, r, &st)
 	return st
 }
 
-func walkNests(p *il.Proc, list []il.Stmt, st *NestStats) []il.Stmt {
+func walkNests(p *il.Proc, list []il.Stmt, r *diag.Reporter, st *NestStats) []il.Stmt {
 	out := make([]il.Stmt, 0, len(list))
 	for _, s := range list {
 		switch n := s.(type) {
 		case *il.If:
-			n.Then = walkNests(p, n.Then, st)
-			n.Else = walkNests(p, n.Else, st)
+			n.Then = walkNests(p, n.Then, r, st)
+			n.Else = walkNests(p, n.Else, r, st)
 		case *il.While:
-			n.Body = walkNests(p, n.Body, st)
+			n.Body = walkNests(p, n.Body, r, st)
 		case *il.DoParallel:
 			// already parallel
 		case *il.DoLoop:
-			n.Body = walkNests(p, n.Body, st)
+			n.Body = walkNests(p, n.Body, r, st)
 			if nestIndependent(p, n) {
 				st.NestsParallelized++
+				r.Report(diag.Diagnostic{Severity: diag.SevRemark, Code: diag.NestParallelized,
+					Pos: n.Pos, Proc: p.Name, Pass: "nest-parallelize",
+					Message: "outer loop of nest parallelized: outer stride clears the inner sweep"})
 				p.BumpGeneration()
 				out = append(out, &il.DoParallel{IV: n.IV, Init: n.Init,
-					Limit: n.Limit, Step: n.Step, Body: n.Body})
+					Limit: n.Limit, Step: n.Step, Body: n.Body, Pos: n.Pos})
 				continue
 			}
 		}

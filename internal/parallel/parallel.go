@@ -13,8 +13,11 @@
 package parallel
 
 import (
+	"fmt"
+
 	"repro/internal/analysis"
 	"repro/internal/depend"
+	"repro/internal/diag"
 	"repro/internal/il"
 )
 
@@ -38,34 +41,56 @@ func ParallelizeProc(p *il.Proc, opts depend.Options) Stats {
 // ParallelizeProcWith is ParallelizeProc against an analysis cache that
 // memoizes the per-loop dependence graphs (nil analyzes directly).
 func ParallelizeProcWith(p *il.Proc, opts depend.Options, ac *analysis.Cache) Stats {
+	return ParallelizeProcDiag(p, opts, ac, nil)
+}
+
+// ParallelizeProcDiag is ParallelizeProcWith with a diagnostic reporter:
+// every examined DO loop gets exactly one parallelize-or-not verdict
+// remark, with the blocking dependence named on rejection.
+func ParallelizeProcDiag(p *il.Proc, opts depend.Options, ac *analysis.Cache, r *diag.Reporter) Stats {
 	var st Stats
-	p.Body = walk(p, p.Body, opts, ac, &st)
+	p.Body = walk(p, p.Body, opts, ac, r, &st)
 	return st
 }
 
-func walk(p *il.Proc, list []il.Stmt, opts depend.Options, ac *analysis.Cache, st *Stats) []il.Stmt {
+// remark files one verdict diagnostic for the loop (nil-reporter safe).
+func remark(r *diag.Reporter, p *il.Proc, loop *il.DoLoop, code diag.Code, args map[string]string, format string, a ...any) {
+	r.Report(diag.Diagnostic{
+		Severity: diag.SevRemark,
+		Code:     code,
+		Pos:      loop.Pos,
+		Proc:     p.Name,
+		Pass:     "parallelize",
+		Message:  fmt.Sprintf(format, a...),
+		Args:     args,
+	})
+}
+
+func walk(p *il.Proc, list []il.Stmt, opts depend.Options, ac *analysis.Cache, r *diag.Reporter, st *Stats) []il.Stmt {
 	out := make([]il.Stmt, 0, len(list))
 	for _, s := range list {
 		switch n := s.(type) {
 		case *il.If:
-			n.Then = walk(p, n.Then, opts, ac, st)
-			n.Else = walk(p, n.Else, opts, ac, st)
+			n.Then = walk(p, n.Then, opts, ac, r, st)
+			n.Else = walk(p, n.Else, opts, ac, r, st)
 		case *il.While:
-			n.Body = walk(p, n.Body, opts, ac, st)
+			n.Body = walk(p, n.Body, opts, ac, r, st)
 		case *il.DoParallel:
 			// Already parallel (vectorizer output); leave its body alone —
 			// nested parallelism is not profitable on a 4-processor
 			// machine.
 		case *il.DoLoop:
-			n.Body = walk(p, n.Body, opts, ac, st)
+			n.Body = walk(p, n.Body, opts, ac, r, st)
 			st.LoopsExamined++
-			if ok := independent(p, n, opts, ac); ok {
+			if ok := independent(p, n, opts, ac, r); ok {
 				st.LoopsParallelized++
+				remark(r, p, n, diag.ParParallelized, nil,
+					"loop parallelized: iterations are independent")
 				// The loop object changes identity and kind; stale cached
 				// analyses of the enclosing procedure must not survive.
 				p.BumpGeneration()
 				out = append(out, &il.DoParallel{IV: n.IV, Init: n.Init,
-					Limit: n.Limit, Step: n.Step, Body: n.Body})
+					Limit: n.Limit, Step: n.Step, Body: n.Body, Pos: n.Pos})
 				continue
 			}
 		}
@@ -76,25 +101,32 @@ func walk(p *il.Proc, list []il.Stmt, opts depend.Options, ac *analysis.Cache, s
 
 // independent reports whether the loop's iterations can run concurrently:
 // no carried dependence of any kind, no barriers (calls, volatile,
-// irregular control), and no scalar live-out computed iteratively.
-func independent(p *il.Proc, loop *il.DoLoop, opts depend.Options, ac *analysis.Cache) bool {
+// irregular control), and no scalar live-out computed iteratively. On
+// rejection it files the verdict remark naming the first blocker found.
+func independent(p *il.Proc, loop *il.DoLoop, opts depend.Options, ac *analysis.Cache, r *diag.Reporter) bool {
 	// Nested loops inside the body are themselves statements the
 	// dependence pass treats as barriers; a loop nest parallelizes at the
 	// level whose body is loop-free.
-	for _, s := range loop.Body {
+	for i, s := range loop.Body {
 		switch s.(type) {
 		case *il.DoLoop, *il.While, *il.DoParallel, *il.Goto, *il.Label, *il.Return, *il.Call:
+			remark(r, p, loop, diag.ParIrregular, map[string]string{"stmt": s.String()},
+				"loop not parallelized: body statement S%d (%T) blocks spreading", i, s)
 			return false
 		}
 	}
 	ld := ac.LoopDeps(p, loop, opts)
-	for _, b := range ld.Barrier {
+	for i, b := range ld.Barrier {
 		if b {
+			remark(r, p, loop, diag.ParBarrier, map[string]string{"stmt": loop.Body[i].String()},
+				"loop not parallelized: statement S%d is a dependence barrier", i)
 			return false
 		}
 	}
 	for _, d := range ld.Deps {
 		if d.Carried {
+			remark(r, p, loop, diag.ParCarriedDep, map[string]string{"dep": d.String()},
+				"loop not parallelized: carried dependence %s", d.String())
 			return false
 		}
 	}
@@ -106,14 +138,21 @@ func independent(p *il.Proc, loop *il.DoLoop, opts depend.Options, ac *analysis.
 	// covers use-before-def. Globals and address-taken variables remain
 	// unsafe because other code can read them after the loop.
 	unsafe := false
+	unsafeVar := ""
 	il.WalkStmts(loop.Body, func(sub il.Stmt) bool {
 		if dv := il.DefinedVar(sub); dv != il.NoVar {
 			v := &p.Vars[dv]
 			if v.Class == il.ClassGlobal || v.Class == il.ClassStatic || v.AddrTaken || v.IsVolatile() {
 				unsafe = true
+				unsafeVar = v.Name
 			}
 		}
 		return !unsafe
 	})
-	return !unsafe
+	if unsafe {
+		remark(r, p, loop, diag.ParLiveOut, map[string]string{"var": unsafeVar},
+			"loop not parallelized: scalar %s is observable after the loop", unsafeVar)
+		return false
+	}
+	return true
 }

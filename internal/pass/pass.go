@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/diag"
 	"repro/internal/il"
 )
 
@@ -71,13 +72,19 @@ type Context struct {
 	// sub-pass re-solves from scratch (the pre-cache behavior, kept as
 	// the differential-testing baseline).
 	Analysis *analysis.Cache
+	// Diags collects the structured diagnostics and optimization remarks
+	// every pass emits (per-loop vectorize/parallelize verdicts, §5.3
+	// iv-substitution outcomes, §7 inline decisions, §8 unreachable
+	// deletions, ...). Manager.Run folds the sorted stream into
+	// Report.Diags. Nil drops diagnostics (the Reporter is nil-safe).
+	Diags *diag.Reporter
 }
 
 // NewContext returns the default context: verifier on, worker pool as
 // wide as GOMAXPROCS, analysis cache on.
 func NewContext() *Context {
 	return &Context{Report: &Report{}, Verify: true, Workers: runtime.GOMAXPROCS(0),
-		Analysis: analysis.NewCache()}
+		Analysis: analysis.NewCache(), Diags: &diag.Reporter{}}
 }
 
 func (ctx *Context) workers() int {
@@ -153,6 +160,7 @@ func (m *Manager) Run(prog *il.Program, ctx *Context) (*Report, error) {
 		}
 	}
 	rep.Analysis = ctx.Analysis.Stats()
+	rep.Diags = ctx.Diags.All()
 	return rep, nil
 }
 

@@ -94,6 +94,7 @@ func (ip *inlinePass) Run(prog *il.Program, ctx *Context) error {
 		cfg = *ip.opts.InlineConfig
 	}
 	in := inline.New(prog, cfg)
+	in.Diags = ctx.Diags
 	for _, c := range ip.opts.Catalogs {
 		in.AddCatalog(c)
 	}
@@ -116,7 +117,7 @@ func (sp *scalarPass) Run(prog *il.Program, ctx *Context) error {
 		ctx.Report.Scalar = opt.Counts{}
 	}
 	for _, c := range forEachProc(prog, ctx.workers(), func(p *il.Proc) opt.Counts {
-		return opt.OptimizeWith(p, sp.opts, ctx.Analysis)
+		return opt.OptimizeDiag(p, sp.opts, ctx.Analysis, ctx.Diags)
 	}) {
 		ctx.Report.Scalar.Add(c)
 	}
@@ -129,7 +130,9 @@ type nestPass struct{}
 func (*nestPass) Name() string { return PassNest }
 
 func (*nestPass) Run(prog *il.Program, ctx *Context) error {
-	for _, st := range forEachProc(prog, ctx.workers(), parallel.ParallelizeNests) {
+	for _, st := range forEachProc(prog, ctx.workers(), func(p *il.Proc) parallel.NestStats {
+		return parallel.ParallelizeNestsDiag(p, ctx.Diags)
+	}) {
 		ctx.Report.Nest.Add(st)
 	}
 	return nil
@@ -143,6 +146,7 @@ func (*vectorPass) Name() string { return PassVectorize }
 func (vp *vectorPass) Run(prog *il.Program, ctx *Context) error {
 	cfg := vp.cfg
 	cfg.Analysis = ctx.Analysis
+	cfg.Diags = ctx.Diags
 	for _, st := range forEachProc(prog, ctx.workers(), func(p *il.Proc) vector.Stats {
 		return vector.VectorizeProc(p, cfg)
 	}) {
@@ -158,7 +162,7 @@ func (*parallelPass) Name() string { return PassParallelize }
 
 func (pp *parallelPass) Run(prog *il.Program, ctx *Context) error {
 	for _, st := range forEachProc(prog, ctx.workers(), func(p *il.Proc) parallel.Stats {
-		return parallel.ParallelizeProcWith(p, pp.dopts, ctx.Analysis)
+		return parallel.ParallelizeProcDiag(p, pp.dopts, ctx.Analysis, ctx.Diags)
 	}) {
 		ctx.Report.Parallel.Add(st)
 	}
@@ -175,7 +179,7 @@ func (*listPass) Name() string { return PassListParallel }
 
 func (*listPass) Run(prog *il.Program, ctx *Context) error {
 	for _, st := range forEachProc(prog, 1, func(p *il.Proc) parallel.ListStats {
-		return parallel.ParallelizeListLoops(prog, p)
+		return parallel.ParallelizeListLoopsDiag(prog, p, ctx.Diags)
 	}) {
 		ctx.Report.List.Add(st)
 	}
@@ -191,6 +195,7 @@ func (*strengthPass) Name() string { return PassStrength }
 func (sp *strengthPass) Run(prog *il.Program, ctx *Context) error {
 	cfg := sp.cfg
 	cfg.Analysis = ctx.Analysis
+	cfg.Diags = ctx.Diags
 	for _, st := range forEachProc(prog, ctx.workers(), func(p *il.Proc) strength.Stats {
 		return strength.OptimizeLoops(p, cfg)
 	}) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/diag"
 	"repro/internal/inline"
 	"repro/internal/opt"
 	"repro/internal/parallel"
@@ -46,6 +47,11 @@ type Report struct {
 	// Analysis is the analysis cache's hit/miss tally for the run (all
 	// zero when the cache was disabled).
 	Analysis analysis.Stats `json:"analysis"`
+	// Diags is the run's structured diagnostic stream (warnings and
+	// optimization remarks), sorted by procedure then source position.
+	// It rides the /compile artifact JSON, so cached responses replay the
+	// same remarks the leader compile produced.
+	Diags []diag.Diagnostic `json:"diags,omitempty"`
 }
 
 // Pass returns the stat row for the named pass, or nil. If a pass ran

@@ -171,7 +171,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			s.metrics.failed()
-			httpError(w, http.StatusUnprocessableEntity, fl.err)
+			compileError(w, http.StatusUnprocessableEntity, fl.err)
 			return
 		}
 		if leader {
@@ -264,6 +264,18 @@ func (s *Server) compile(key string, req CompileRequest, opts driver.Options) ([
 	s.cache.Put(key, blob)
 	s.metrics.miss(res.Report)
 	return blob, nil
+}
+
+// compileError writes a compile failure, attaching the positioned
+// structured form when the error came from the front end (lex, parse,
+// sema, lower), so clients get a machine-readable code and source
+// location alongside the message.
+func compileError(w http.ResponseWriter, status int, err error) {
+	if d, ok := driver.ErrorDiagnostic(err); ok {
+		writeJSON(w, status, map[string]any{"error": err.Error(), "diag": d})
+		return
+	}
+	httpError(w, status, err)
 }
 
 // respondArtifact stamps the per-request fields onto a cached artifact

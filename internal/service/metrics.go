@@ -18,6 +18,7 @@ type metrics struct {
 	compiles CompileCounters
 	passes   map[string]*PassTotals
 	analysis analysis.Stats
+	remarks  map[string]int64
 	latency  LatencySummary
 }
 
@@ -64,11 +65,17 @@ type MetricsResponse struct {
 	// Analysis is the cumulative in-compile analysis-cache tally (use-def,
 	// liveness, dependence graphs) summed over every real compile's report.
 	Analysis analysis.Stats `json:"analysis"`
-	Latency  LatencySummary `json:"latency"`
+	// Remarks counts diagnostics by code across every real compile served
+	// (cache hits replay the remarks stored with the artifact but do not
+	// re-count them, mirroring the per-pass totals). The fleet-level view
+	// of what the optimizer is deciding: how many loops vectorized, which
+	// codes dominate the rejections.
+	Remarks map[string]int64 `json:"remarks,omitempty"`
+	Latency LatencySummary   `json:"latency"`
 }
 
 func newMetrics() *metrics {
-	return &metrics{start: time.Now(), passes: map[string]*PassTotals{}}
+	return &metrics{start: time.Now(), passes: map[string]*PassTotals{}, remarks: map[string]int64{}}
 }
 
 func (m *metrics) begin() {
@@ -119,6 +126,9 @@ func (m *metrics) miss(rep *pass.Report) {
 			t.TotalNS += p.Duration.Nanoseconds()
 		}
 		m.analysis.Add(rep.Analysis)
+		for _, d := range rep.Diags {
+			m.remarks[string(d.Code)]++
+		}
 	}
 	m.mu.Unlock()
 }
@@ -165,6 +175,13 @@ func (m *metrics) snapshot(cache CacheStats, catalogs int) MetricsResponse {
 	for name, t := range m.passes {
 		passes[name] = *t
 	}
+	var remarks map[string]int64
+	if len(m.remarks) > 0 {
+		remarks = make(map[string]int64, len(m.remarks))
+		for code, n := range m.remarks {
+			remarks[code] = n
+		}
+	}
 	lat := m.latency
 	if lat.Count > 0 {
 		lat.MeanNS = lat.TotalNS / lat.Count
@@ -176,6 +193,7 @@ func (m *metrics) snapshot(cache CacheStats, catalogs int) MetricsResponse {
 		Catalogs: catalogs,
 		Passes:   passes,
 		Analysis: m.analysis,
+		Remarks:  remarks,
 		Latency:  lat,
 	}
 }

@@ -1,0 +1,89 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/diag"
+)
+
+// TestCompileCarriesRemarks: the /compile artifact includes the pipeline's
+// structured diagnostics, cache hits replay them, and /metrics counts each
+// remark code once per real compile (not per hit).
+func TestCompileCarriesRemarks(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := CompileRequest{Source: daxpySrc, Options: fullOpts()}
+
+	first, code := postCompile(t, ts, req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if first.Report == nil || len(first.Report.Diags) == 0 {
+		t.Fatal("compile artifact carries no diagnostics")
+	}
+	var sawVect bool
+	for _, d := range first.Report.Diags {
+		if d.Pos.Line == 0 {
+			t.Errorf("diagnostic %s has zero position: %s", d.Code, d)
+		}
+		if d.Code == diag.VectVectorized {
+			sawVect = true
+		}
+	}
+	if !sawVect {
+		t.Error("daxpy artifact lacks a vect-vectorized remark")
+	}
+
+	m1 := getMetrics(t, ts)
+	if len(m1.Remarks) == 0 || m1.Remarks[string(diag.VectVectorized)] == 0 {
+		t.Fatalf("metrics remarks after miss: %v", m1.Remarks)
+	}
+
+	second, code := postCompile(t, ts, req)
+	if code != http.StatusOK || !second.Cached {
+		t.Fatalf("second: status %d cached %v", code, second.Cached)
+	}
+	if len(second.Report.Diags) != len(first.Report.Diags) {
+		t.Errorf("cache hit replayed %d diags, want %d",
+			len(second.Report.Diags), len(first.Report.Diags))
+	}
+	m2 := getMetrics(t, ts)
+	for code, n := range m2.Remarks {
+		if n != m1.Remarks[code] {
+			t.Errorf("remark %s counted on a cache hit: %d -> %d", code, m1.Remarks[code], n)
+		}
+	}
+}
+
+// TestCompileErrorCarriesDiag: a front-end failure comes back 422 with the
+// positioned structured form alongside the message.
+func TestCompileErrorCarriesDiag(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body, _ := json.Marshal(CompileRequest{Source: "int main(void) { return ; }"})
+	resp, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", resp.StatusCode)
+	}
+	var out struct {
+		Error string          `json:"error"`
+		Diag  diag.Diagnostic `json:"diag"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Error == "" {
+		t.Error("422 body lacks error message")
+	}
+	if out.Diag.Severity != diag.SevError || out.Diag.Pos.Line == 0 {
+		t.Errorf("422 body lacks positioned diag: %+v", out.Diag)
+	}
+	if out.Diag.Code == "" {
+		t.Error("422 diag lacks a stable code")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/ctype"
 	"repro/internal/depend"
+	"repro/internal/diag"
 	"repro/internal/il"
 )
 
@@ -58,6 +59,9 @@ type Config struct {
 	// Analysis, when non-nil, memoizes per-loop dependence graphs across
 	// this pass and the vector/parallel consumers of the same loops.
 	Analysis *analysis.Cache
+	// Diags receives a strength-reduced remark for each loop §6 rewrote.
+	// Nil drops the remarks.
+	Diags *diag.Reporter
 }
 
 // OptimizeLoops transforms every serial innermost DO loop of p.
@@ -124,6 +128,7 @@ func eligible(loop *il.DoLoop) bool {
 // statements.
 func transformLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) []il.Stmt {
 	var pre []il.Stmt
+	base := *st // snapshot so the remark reports this loop's counts only
 	changed := false
 	if !cfg.NoPromotion {
 		if stmts, ok := promote(p, loop, cfg, st); ok {
@@ -144,6 +149,19 @@ func transformLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) []il.Stmt
 	if changed {
 		st.LoopsTransformed++
 		p.BumpGeneration()
+		il.StampStmts(pre, loop.Pos)
+		if cfg.Diags != nil {
+			cfg.Diags.Report(diag.Diagnostic{
+				Severity: diag.SevRemark,
+				Code:     diag.StrengthReduced,
+				Pos:      loop.Pos,
+				Proc:     p.Name,
+				Pass:     "strength",
+				Message: fmt.Sprintf(
+					"loop strength-reduced: %d load(s) promoted to registers, %d reference(s) rewritten to bumped pointers, %d invariant expression(s) hoisted (§6)",
+					st.PromotedLoads-base.PromotedLoads, st.ReducedRefs-base.ReducedRefs, st.HoistedExprs-base.HoistedExprs),
+			})
+		}
 	}
 	return pre
 }

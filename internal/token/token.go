@@ -157,8 +157,8 @@ var Keywords = map[string]Kind{
 
 // Pos is a source position.
 type Pos struct {
-	Line int // 1-based
-	Col  int // 1-based
+	Line int `json:"line"` // 1-based
+	Col  int `json:"col"`  // 1-based
 }
 
 // String formats the position as "line:col".

@@ -9,9 +9,12 @@
 package vector
 
 import (
+	"fmt"
+
 	"repro/internal/analysis"
 	"repro/internal/ctype"
 	"repro/internal/depend"
+	"repro/internal/diag"
 	"repro/internal/il"
 )
 
@@ -31,6 +34,10 @@ type Config struct {
 	// Analysis, when non-nil, memoizes per-loop dependence graphs across
 	// this pass and the parallel/strength consumers of the same loops.
 	Analysis *analysis.Cache
+	// Diags receives one verdict remark per examined innermost loop:
+	// vect-vectorized with the chosen strip shape, or a rejection code
+	// naming the blocking dependence edge. Nil drops the remarks.
+	Diags *diag.Reporter
 }
 
 func (c Config) vl() int64 {
@@ -106,15 +113,61 @@ func isInnermost(body []il.Stmt) bool {
 	return !inner
 }
 
+// remark files one verdict diagnostic for the loop (nil-reporter safe).
+func remark(cfg Config, p *il.Proc, loop *il.DoLoop, code diag.Code, args map[string]string, format string, a ...any) {
+	cfg.Diags.Report(diag.Diagnostic{
+		Severity: diag.SevRemark,
+		Code:     code,
+		Pos:      loop.Pos,
+		Proc:     p.Name,
+		Pass:     "vectorize",
+		Message:  fmt.Sprintf(format, a...),
+		Args:     args,
+	})
+}
+
+// blockingDep scans the loop's dependence edges for the one that kills
+// vectorization of the statements in scc: a carried self-dependence or any
+// edge between two members of a multi-statement cycle. Returns false when
+// the component fails for a non-dependence reason.
+func blockingDep(ld *depend.LoopDeps, scc []int) (depend.Dep, bool) {
+	member := make(map[int]bool, len(scc))
+	for _, i := range scc {
+		member[i] = true
+	}
+	var fallback depend.Dep
+	found := false
+	for _, d := range ld.Deps {
+		if !member[d.From] || !member[d.To] {
+			continue
+		}
+		if len(scc) == 1 && !(d.From == d.To && d.Carried) {
+			continue
+		}
+		if d.Carried {
+			return d, true
+		}
+		if !found {
+			fallback, found = d, true
+		}
+	}
+	return fallback, found
+}
+
 // vectorizeLoop attempts Allen–Kennedy codegen on one innermost loop,
-// returning the replacement statement sequence.
+// returning the replacement statement sequence. Exactly one verdict remark
+// is reported per call (§5's accept-or-reject decision, with the blocking
+// dependence named on rejection).
 func vectorizeLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) ([]il.Stmt, bool) {
 	if !normalize(p, loop) {
+		remark(cfg, p, loop, diag.VectNotNormalized, nil,
+			"loop not vectorized: step is not a known non-zero constant")
 		return nil, false
 	}
 	ld := cfg.Analysis.LoopDeps(p, loop, cfg.Depend)
 	n := len(loop.Body)
 	if n == 0 {
+		remark(cfg, p, loop, diag.VectEmptyBody, nil, "loop not vectorized: empty body")
 		return nil, false
 	}
 
@@ -152,6 +205,32 @@ func vectorizeLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) ([]il.Stm
 		}
 	}
 	if !anyVector {
+		// Name what blocked every component: prefer the dependence cycle,
+		// then a barrier statement, then the shape of the store.
+		var dep depend.Dep
+		depFound := false
+		barrier := -1
+		for _, pc := range pieces {
+			if d, ok := blockingDep(ld, pc.stmts); ok && (!depFound || (d.Carried && !dep.Carried)) {
+				dep, depFound = d, true
+			}
+			for _, i := range pc.stmts {
+				if ld.Barrier[i] && barrier < 0 {
+					barrier = i
+				}
+			}
+		}
+		switch {
+		case depFound:
+			remark(cfg, p, loop, diag.VectDepCycle, map[string]string{"dep": dep.String()},
+				"loop not vectorized: dependence cycle %s", dep.String())
+		case barrier >= 0:
+			remark(cfg, p, loop, diag.VectBarrier, map[string]string{"stmt": loop.Body[barrier].String()},
+				"loop not vectorized: statement S%d is a dependence barrier (call or irregular control)", barrier)
+		default:
+			remark(cfg, p, loop, diag.VectNotAffine, nil,
+				"loop not vectorized: no store with addresses affine in the loop variable")
+		}
 		return nil, false
 	}
 
@@ -166,6 +245,8 @@ func vectorizeLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) ([]il.Stm
 	if len(pieces) > 1 {
 		for _, d := range ld.Deps {
 			if d.Scalar && sccOf[d.From] != sccOf[d.To] {
+				remark(cfg, p, loop, diag.VectScalarFlow, map[string]string{"dep": d.String()},
+					"loop not vectorized: scalar dependence %s crosses distribution components", d.String())
 				return nil, false
 			}
 		}
@@ -181,12 +262,14 @@ func vectorizeLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) ([]il.Stm
 	parallelOK := cfg.Parallel && !carried
 
 	var out []il.Stmt
+	vecStmts, residue := 0, 0
 	for _, pc := range pieces {
 		if pc.vector {
 			for _, i := range pc.stmts {
 				stmts := emitVector(p, loop, loop.Body[i].(*il.Assign), cfg, parallelOK, st)
 				out = append(out, stmts...)
 				st.VectorStmts++
+				vecStmts++
 			}
 			continue
 		}
@@ -195,11 +278,25 @@ func vectorizeLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) ([]il.Stm
 		for _, i := range pc.stmts {
 			body = append(body, loop.Body[i])
 			st.SerialResidue++
+			residue++
 		}
 		out = append(out, &il.DoLoop{IV: loop.IV, Init: il.CloneExpr(loop.Init),
 			Limit: il.CloneExpr(loop.Limit), Step: il.CloneExpr(loop.Step),
-			Body: body, Safe: loop.Safe})
+			Body: body, Safe: loop.Safe, Pos: loop.Pos})
 	}
+	// Optimizer-manufactured strip statements inherit the loop's position.
+	il.StampStmts(out, loop.Pos)
+	shape := "serial strips"
+	if parallelOK {
+		shape = "parallel strips"
+	}
+	remark(cfg, p, loop, diag.VectVectorized, map[string]string{
+		"vl":           fmt.Sprint(cfg.vl()),
+		"vector_stmts": fmt.Sprint(vecStmts),
+		"residue":      fmt.Sprint(residue),
+		"shape":        shape,
+	}, "loop vectorized: %d vector statement(s), VL=%d, %s (%d serial residue)",
+		vecStmts, cfg.vl(), shape, residue)
 	// The rewrite replaces statements the proc-wide chains and any cached
 	// dependence graphs were built over; stale entries must not survive.
 	p.BumpGeneration()
