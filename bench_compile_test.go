@@ -58,6 +58,14 @@ func TestMain(m *testing.M) {
 			_ = os.WriteFile("BENCH_compile.json", append(blob, '\n'), 0o644)
 		}
 	}
+	tuneBench.mu.Lock()
+	tuneRows := tuneBench.rows
+	tuneBench.mu.Unlock()
+	if len(tuneRows) > 0 {
+		if blob, err := json.MarshalIndent(tuneRows, "", "  "); err == nil {
+			_ = os.WriteFile("BENCH_tune.json", append(blob, '\n'), 0o644)
+		}
+	}
 	simBench.mu.Lock()
 	simRows := simBench.rows
 	simBench.mu.Unlock()

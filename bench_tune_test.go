@@ -1,0 +1,78 @@
+package repro
+
+// Autotuner benchmarks: tune.Tune over the E-series workloads, recording
+// both the search cost (ns/op) and the search outcome — default vs tuned
+// cycles and the candidate count — per workload. TestMain writes the set
+// to BENCH_tune.json so CI can archive the tuner's wins per commit:
+//
+//	go test -run=NONE -bench=Tune -benchtime=1x .
+//
+// The headline claim rides in the JSON: on every recorded workload
+// tuned_cycles ≤ default_cycles (the tuner never adopts a regression),
+// and on at least one workload the inequality is strict.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/tune"
+)
+
+// tuneBenchRow is one workload's search outcome as written to
+// BENCH_tune.json.
+type tuneBenchRow struct {
+	Name          string  `json:"name"`
+	DefaultCycles int64   `json:"default_cycles"`
+	TunedCycles   int64   `json:"tuned_cycles"`
+	Speedup       float64 `json:"speedup"`
+	Decisions     int     `json:"decisions"`
+	NonDefault    int     `json:"non_default"`
+	Measured      int     `json:"measured"`
+	NsPerOp       float64 `json:"ns_per_op"`
+}
+
+var tuneBench struct {
+	mu   sync.Mutex
+	rows []tuneBenchRow
+}
+
+func recordTuneBench(r tuneBenchRow) {
+	tuneBench.mu.Lock()
+	tuneBench.rows = append(tuneBench.rows, r)
+	tuneBench.mu.Unlock()
+}
+
+// BenchmarkTune measures the full schedule search per E-series workload.
+// ns/op is the cost of tuning (dozens of compiles + simulations); the
+// recorded row carries the outcome the cost buys.
+func BenchmarkTune(b *testing.B) {
+	opts := driver.FullOptions()
+	for _, w := range evalWorkloads() {
+		b.Run(w.Name, func(b *testing.B) {
+			var last *tune.Result
+			for i := 0; i < b.N; i++ {
+				res, err := tune.Tune(w.Src, opts, tune.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.StopTimer()
+			if last.TunedCycles > last.DefaultCycles {
+				b.Fatalf("tuner regressed %s: tuned %d > default %d",
+					w.Name, last.TunedCycles, last.DefaultCycles)
+			}
+			recordTuneBench(tuneBenchRow{
+				Name:          b.Name(),
+				DefaultCycles: last.DefaultCycles,
+				TunedCycles:   last.TunedCycles,
+				Speedup:       float64(last.DefaultCycles) / float64(last.TunedCycles),
+				Decisions:     len(last.Decisions),
+				NonDefault:    last.Schedules.Len(),
+				Measured:      last.Measured,
+				NsPerOp:       float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			})
+		})
+	}
+}

@@ -11,7 +11,11 @@
 //	-vector          enable vectorization (§5)
 //	-parallel        enable do-parallel generation (§2)
 //	-noalias         pointer parameters follow Fortran aliasing rules (§9)
-//	-vl N            vector strip length (default 32)
+//	-vl N            vector strip length (default 32, max titan.MaxVL)
+//	-tune            autotune per-loop schedules: measure a bounded grid of
+//	                 legal candidate schedules on the fast engine and compile
+//	                 with the cycle-minimal set (each decision surfaces as a
+//	                 sched-selected remark)
 //	-catalog f.cat   attach a procedure catalog for inlining (repeatable)
 //	-emit-catalog f  compile the unit into a catalog instead of code
 //	-S               print Titan assembly
@@ -52,7 +56,9 @@ import (
 	"repro/internal/inline"
 	"repro/internal/pass"
 	"repro/internal/profiling"
+	"repro/internal/schedule"
 	"repro/internal/titan"
+	"repro/internal/tune"
 )
 
 type catalogList []string
@@ -90,6 +96,7 @@ func main() {
 		noAlias    = flag.Bool("noalias", false, "pointer params follow Fortran aliasing rules")
 		listPar    = flag.Bool("list-parallel", false, "parallelize linked-list loops (asserts §10's independent-storage assumption)")
 		vl         = flag.Int("vl", 0, "vector strip length")
+		doTune     = flag.Bool("tune", false, "autotune per-loop schedules on the fast engine before compiling")
 		emitCat    = flag.String("emit-catalog", "", "write a procedure catalog instead of compiling")
 		asm        = flag.Bool("S", false, "print Titan assembly")
 		dumpIL     = flag.Bool("il", false, "print optimized IL")
@@ -139,6 +146,11 @@ func main() {
 		return
 	}
 
+	if *vl != 0 {
+		if err := schedule.ValidateVL(*vl); err != nil {
+			fatal(err)
+		}
+	}
 	opts := driver.Options{
 		OptLevel:       1,
 		Inline:         *doInline,
@@ -167,6 +179,16 @@ func main() {
 	}
 
 	ctx := pass.NewContext()
+	if *doTune {
+		tres, err := tune.Tune(string(src), opts, tune.Config{Processors: *procs, Entry: *entry})
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range tres.Remarks() {
+			ctx.Diags.Report(d)
+		}
+		ctx.Schedules = tres.Schedules
+	}
 	var dumped string
 	if *dumpAfter != "" {
 		ctx.Snapshot = func(name string, prog *il.Program) {

@@ -653,6 +653,32 @@ func (g *gen) doParallel(n *il.DoParallel) error {
 	}
 	g.emit(titan.Instr{Op: titan.OpPid, Rd: pid})
 	g.emit(titan.Instr{Op: titan.OpNproc, Rd: np})
+	topL := g.newLabel("ptop")
+	endL := g.newLabel("pend")
+	if n.Width > 0 {
+		// The schedule capped the spread: np = min(np, width), and
+		// processors with pid ≥ np sit the loop out (they still reach the
+		// ParEnd join). The engines are untouched — width is purely a
+		// different program.
+		w, err := g.getInt()
+		if err != nil {
+			return err
+		}
+		t, err := g.getInt()
+		if err != nil {
+			return err
+		}
+		g.emit(titan.Instr{Op: titan.OpLdi, Rd: w, Imm: int64(n.Width)})
+		g.emit(titan.Instr{Op: titan.OpCmpLt, Rd: t, Rs1: w, Rs2: np})
+		skipL := g.newLabel("pcap")
+		g.emit(titan.Instr{Op: titan.OpBeqz, Rs1: t, Sym: skipL})
+		g.emit(titan.Instr{Op: titan.OpMov, Rd: np, Rs1: w})
+		g.label(skipL)
+		g.emit(titan.Instr{Op: titan.OpCmpLt, Rd: t, Rs1: pid, Rs2: np})
+		g.emit(titan.Instr{Op: titan.OpBeqz, Rs1: t, Sym: endL})
+		g.putInt(w)
+		g.putInt(t)
+	}
 	// iv = init + pid*step
 	g.emit(titan.Instr{Op: titan.OpMuli, Rd: pid, Rs1: pid, Imm: stepC})
 	g.emit(titan.Instr{Op: titan.OpAdd, Rd: iv, Rs1: initR, Rs2: pid})
@@ -661,8 +687,6 @@ func (g *gen) doParallel(n *il.DoParallel) error {
 	g.putInt(initR)
 	g.putInt(pid)
 
-	topL := g.newLabel("ptop")
-	endL := g.newLabel("pend")
 	g.label(topL)
 	t, err := g.getInt()
 	if err != nil {

@@ -128,11 +128,25 @@ const (
 	ParLiveOut       Code = "par-liveout-scalar"
 	NestParallelized Code = "nest-parallelized"
 	ListParallelized Code = "list-parallelized"
+	// ParSchedSerial: spreading was legal, but the loop's schedule pinned
+	// it serial (serial_strips) — still this loop's one verdict.
+	ParSchedSerial Code = "par-sched-serial"
 )
 
 // Strength reduction remarks (§6).
 const (
 	StrengthReduced Code = "strength-reduced"
+)
+
+// Schedule-layer remarks: interchange applied by the vectorizer's
+// schedule, and the autotuner's per-loop selection.
+const (
+	// VectInterchanged: a perfect two-level nest had its headers swapped
+	// before vectorization, as directed by the loop's schedule.
+	VectInterchanged Code = "vect-interchanged"
+	// SchedSelected: the autotuner picked a schedule for a loop, with the
+	// measured cycle delta against the default schedule in the args.
+	SchedSelected Code = "sched-selected"
 )
 
 // Diagnostic is one structured compiler message.

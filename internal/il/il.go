@@ -354,11 +354,17 @@ type DoParallel struct {
 	Limit Expr
 	Step  Expr
 	Body  []Stmt
+	// Width caps how many processors the iterations spread over; 0 means
+	// every processor (the schedule layer sets nonzero widths).
+	Width int
 	Pos   token.Pos
 }
 
 // String renders a one-line summary.
 func (s *DoParallel) String() string {
+	if s.Width > 0 {
+		return fmt.Sprintf("do parallel(%d) v%d = %s, %s, %s [%d stmts]", s.Width, s.IV, s.Init, s.Limit, s.Step, len(s.Body))
+	}
 	return fmt.Sprintf("do parallel v%d = %s, %s, %s [%d stmts]", s.IV, s.Init, s.Limit, s.Step, len(s.Body))
 }
 func (s *DoParallel) stmtNode() {}

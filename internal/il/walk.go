@@ -230,7 +230,7 @@ func CloneStmt(s Stmt) Stmt {
 			Step: CloneExpr(n.Step), Body: CloneStmts(n.Body), Safe: n.Safe, Pos: n.Pos}
 	case *DoParallel:
 		return &DoParallel{IV: n.IV, Init: CloneExpr(n.Init), Limit: CloneExpr(n.Limit),
-			Step: CloneExpr(n.Step), Body: CloneStmts(n.Body), Pos: n.Pos}
+			Step: CloneExpr(n.Step), Body: CloneStmts(n.Body), Width: n.Width, Pos: n.Pos}
 	case *VectorAssign:
 		return &VectorAssign{DstBase: CloneExpr(n.DstBase), DstStride: CloneExpr(n.DstStride),
 			Len: CloneExpr(n.Len), Elem: n.Elem, RHS: CloneExpr(n.RHS), Pos: n.Pos}

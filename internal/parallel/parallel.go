@@ -19,6 +19,7 @@ import (
 	"repro/internal/depend"
 	"repro/internal/diag"
 	"repro/internal/il"
+	"repro/internal/schedule"
 )
 
 // Stats reports conversions.
@@ -48,9 +49,28 @@ func ParallelizeProcWith(p *il.Proc, opts depend.Options, ac *analysis.Cache) St
 // every examined DO loop gets exactly one parallelize-or-not verdict
 // remark, with the blocking dependence named on rejection.
 func ParallelizeProcDiag(p *il.Proc, opts depend.Options, ac *analysis.Cache, r *diag.Reporter) Stats {
+	return ParallelizeProcSched(p, opts, ac, r, nil)
+}
+
+// ParallelizeProcSched is ParallelizeProcDiag driven by explicit per-loop
+// schedules: a loop whose schedule pins serial_strips stays serial (with
+// a par-sched-serial verdict), and a nonzero parallel width caps how many
+// processors the converted loop spreads over. A nil set is the default
+// plan for every loop.
+func ParallelizeProcSched(p *il.Proc, opts depend.Options, ac *analysis.Cache, r *diag.Reporter, scheds *schedule.Set) Stats {
 	var st Stats
-	p.Body = walk(p, p.Body, opts, ac, r, &st)
+	w := walker{opts: opts, ac: ac, r: r, scheds: scheds, st: &st}
+	p.Body = w.walk(p, p.Body)
 	return st
+}
+
+// walker carries the per-run configuration through the statement walk.
+type walker struct {
+	opts   depend.Options
+	ac     *analysis.Cache
+	r      *diag.Reporter
+	scheds *schedule.Set
+	st     *Stats
 }
 
 // remark files one verdict diagnostic for the loop (nil-reporter safe).
@@ -66,31 +86,42 @@ func remark(r *diag.Reporter, p *il.Proc, loop *il.DoLoop, code diag.Code, args 
 	})
 }
 
-func walk(p *il.Proc, list []il.Stmt, opts depend.Options, ac *analysis.Cache, r *diag.Reporter, st *Stats) []il.Stmt {
+func (w *walker) walk(p *il.Proc, list []il.Stmt) []il.Stmt {
 	out := make([]il.Stmt, 0, len(list))
 	for _, s := range list {
 		switch n := s.(type) {
 		case *il.If:
-			n.Then = walk(p, n.Then, opts, ac, r, st)
-			n.Else = walk(p, n.Else, opts, ac, r, st)
+			n.Then = w.walk(p, n.Then)
+			n.Else = w.walk(p, n.Else)
 		case *il.While:
-			n.Body = walk(p, n.Body, opts, ac, r, st)
+			n.Body = w.walk(p, n.Body)
 		case *il.DoParallel:
 			// Already parallel (vectorizer output); leave its body alone —
 			// nested parallelism is not profitable on a 4-processor
 			// machine.
 		case *il.DoLoop:
-			n.Body = walk(p, n.Body, opts, ac, r, st)
-			st.LoopsExamined++
-			if ok := independent(p, n, opts, ac, r); ok {
-				st.LoopsParallelized++
-				remark(r, p, n, diag.ParParallelized, nil,
+			n.Body = w.walk(p, n.Body)
+			w.st.LoopsExamined++
+			if ok := independent(p, n, w.opts, w.ac, w.r); ok {
+				sched, explicit := w.scheds.Lookup(p.Name, n.Pos)
+				if explicit && sched.SerialStrips {
+					remark(w.r, p, n, diag.ParSchedSerial, map[string]string{"schedule": sched.String()},
+						"loop kept serial: iterations are independent but the loop schedule pins serial strips")
+					out = append(out, s)
+					continue
+				}
+				width := 0
+				if explicit {
+					width = sched.ParallelWidth
+				}
+				w.st.LoopsParallelized++
+				remark(w.r, p, n, diag.ParParallelized, map[string]string{"schedule": sched.String()},
 					"loop parallelized: iterations are independent")
 				// The loop object changes identity and kind; stale cached
 				// analyses of the enclosing procedure must not survive.
 				p.BumpGeneration()
 				out = append(out, &il.DoParallel{IV: n.IV, Init: n.Init,
-					Limit: n.Limit, Step: n.Step, Body: n.Body, Pos: n.Pos})
+					Limit: n.Limit, Step: n.Step, Body: n.Body, Width: width, Pos: n.Pos})
 				continue
 			}
 		}

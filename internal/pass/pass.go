@@ -17,6 +17,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/diag"
 	"repro/internal/il"
+	"repro/internal/schedule"
 )
 
 // Canonical pass names, in pipeline order. Tools address passes by these
@@ -78,6 +79,10 @@ type Context struct {
 	// deletions, ...). Manager.Run folds the sorted stream into
 	// Report.Diags. Nil drops diagnostics (the Reporter is nil-safe).
 	Diags *diag.Reporter
+	// Schedules carries explicit per-loop plans (the autotuner's output)
+	// into the loop phases. Nil means every loop follows
+	// schedule.Default() — the paper's hardwired strategy.
+	Schedules *schedule.Set
 }
 
 // NewContext returns the default context: verifier on, worker pool as

@@ -147,6 +147,7 @@ func (vp *vectorPass) Run(prog *il.Program, ctx *Context) error {
 	cfg := vp.cfg
 	cfg.Analysis = ctx.Analysis
 	cfg.Diags = ctx.Diags
+	cfg.Schedules = ctx.Schedules
 	for _, st := range forEachProc(prog, ctx.workers(), func(p *il.Proc) vector.Stats {
 		return vector.VectorizeProc(p, cfg)
 	}) {
@@ -162,7 +163,7 @@ func (*parallelPass) Name() string { return PassParallelize }
 
 func (pp *parallelPass) Run(prog *il.Program, ctx *Context) error {
 	for _, st := range forEachProc(prog, ctx.workers(), func(p *il.Proc) parallel.Stats {
-		return parallel.ParallelizeProcDiag(p, pp.dopts, ctx.Analysis, ctx.Diags)
+		return parallel.ParallelizeProcSched(p, pp.dopts, ctx.Analysis, ctx.Diags, ctx.Schedules)
 	}) {
 		ctx.Report.Parallel.Add(st)
 	}
@@ -196,6 +197,7 @@ func (sp *strengthPass) Run(prog *il.Program, ctx *Context) error {
 	cfg := sp.cfg
 	cfg.Analysis = ctx.Analysis
 	cfg.Diags = ctx.Diags
+	cfg.Schedules = ctx.Schedules
 	for _, st := range forEachProc(prog, ctx.workers(), func(p *il.Proc) strength.Stats {
 		return strength.OptimizeLoops(p, cfg)
 	}) {

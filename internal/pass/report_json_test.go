@@ -64,7 +64,7 @@ func TestReportJSONStable(t *testing.T) {
 		`"vector":{"loops_examined":5,"loops_vectorized":2,"vector_stmts":7,"parallel_loops":1,"serial_residue":3},` +
 		`"parallel":{"loops_examined":4,"loops_parallelized":2},` +
 		`"list":{"loops_converted":1},` +
-		`"strength":{"promoted_loads":2,"reduced_refs":3,"pointers":1,"hoisted_exprs":4,"loops_transformed":2},` +
+		`"strength":{"promoted_loads":2,"reduced_refs":3,"pointers":1,"hoisted_exprs":4,"loops_transformed":2,"unrolled_loops":0},` +
 		`"analysis":{"dataflow_hits":9,"dataflow_misses":4,"liveness_hits":3,"liveness_misses":2,"depend_hits":6,"depend_misses":5}}`
 	if string(blob) != want {
 		t.Fatalf("wire shape drifted:\n got %s\nwant %s", blob, want)

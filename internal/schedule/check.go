@@ -1,0 +1,122 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/depend"
+	"repro/internal/il"
+)
+
+// Check decides whether schedule s may legally be applied to loop inside
+// p, consulting the same cached dependence graphs the loop phases use
+// (a nil cache computes directly). It rejects any plan the phases could
+// not carry out soundly:
+//
+//   - ParallelWidth > 0 (spreading strips across processors) requires
+//     independent iterations: no carried dependence and no barrier
+//     statement (call, volatile access, irregular control).
+//   - Unroll > 1 requires a countable straight-line loop: constant
+//     nonzero step and an all-Assign body, so body replicas can be
+//     stamped out with IV+j·step substitution.
+//   - Interchange requires a perfect two-level nest with rectangular
+//     bounds (inner bounds invariant in the outer IV) where neither
+//     level carries a dependence over the innermost statements — every
+//     direction vector is (=,=), so the swap trivially preserves all
+//     dependences.
+//
+// The phases keep their own guards as well; Check is the tuner's and
+// the service's gate, not the only line of defense.
+func Check(p *il.Proc, loop *il.DoLoop, s Schedule, ac *analysis.Cache, opts depend.Options) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if s.ParallelWidth > 0 && !s.SerialStrips {
+		ld := ac.LoopDeps(p, loop, opts)
+		for i, b := range ld.Barrier {
+			if b {
+				return fmt.Errorf("schedule: parallel width %d illegal: statement S%d is a barrier", s.ParallelWidth, i)
+			}
+		}
+		for i := range ld.Deps {
+			if d := &ld.Deps[i]; d.Carried {
+				return fmt.Errorf("schedule: parallel width %d illegal: carried dependence %s", s.ParallelWidth, d)
+			}
+		}
+	}
+	if s.Unroll > 1 {
+		if c, ok := loop.Step.(*il.ConstInt); !ok || c.Val == 0 {
+			return fmt.Errorf("schedule: unroll %d illegal: loop step is not a nonzero constant", s.Unroll)
+		}
+		for i, st := range loop.Body {
+			if _, ok := st.(*il.Assign); !ok {
+				return fmt.Errorf("schedule: unroll %d illegal: body statement S%d is not an assignment", s.Unroll, i)
+			}
+		}
+	}
+	if s.Interchange {
+		if err := CheckInterchange(p, loop, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckInterchange verifies loop is a perfect rectangular two-level nest
+// whose innermost statements carry no dependence over either index.
+func CheckInterchange(p *il.Proc, loop *il.DoLoop, opts depend.Options) error {
+	inner, ok := perfectNestInner(loop)
+	if !ok {
+		return fmt.Errorf("schedule: interchange illegal: loop is not a perfect two-level nest")
+	}
+	for _, e := range []il.Expr{inner.Init, inner.Limit, inner.Step} {
+		if il.UsesVar(e, loop.IV) {
+			return fmt.Errorf("schedule: interchange illegal: inner bounds depend on the outer index (triangular nest)")
+		}
+	}
+	if _, ok := loop.Step.(*il.ConstInt); !ok {
+		return fmt.Errorf("schedule: interchange illegal: outer step is not constant")
+	}
+	if _, ok := inner.Step.(*il.ConstInt); !ok {
+		return fmt.Errorf("schedule: interchange illegal: inner step is not constant")
+	}
+	// Dependences over the inner index, then over the outer index: the
+	// latter via a synthetic loop iterating the outer IV directly over
+	// the innermost statements. Synthetic loops are never cached — their
+	// identity is fresh each call.
+	if d := carriedDep(depend.AnalyzeLoop(p, inner, opts)); d != nil {
+		return fmt.Errorf("schedule: interchange illegal: inner-carried dependence %s", d)
+	}
+	outerView := &il.DoLoop{IV: loop.IV, Init: loop.Init, Limit: loop.Limit,
+		Step: loop.Step, Body: inner.Body, Safe: loop.Safe || inner.Safe, Pos: loop.Pos}
+	if d := carriedDep(depend.AnalyzeLoop(p, outerView, opts)); d != nil {
+		return fmt.Errorf("schedule: interchange illegal: outer-carried dependence %s", d)
+	}
+	return nil
+}
+
+// perfectNestInner returns the inner loop of a perfect two-level nest:
+// the outer body must be exactly the inner DoLoop.
+func perfectNestInner(loop *il.DoLoop) (*il.DoLoop, bool) {
+	if len(loop.Body) != 1 {
+		return nil, false
+	}
+	inner, ok := loop.Body[0].(*il.DoLoop)
+	return inner, ok
+}
+
+// carriedDep returns the first carried dependence or barrier-induced
+// edge in ld, or nil when iterations are independent.
+func carriedDep(ld *depend.LoopDeps) *depend.Dep {
+	for i, b := range ld.Barrier {
+		if b {
+			return &depend.Dep{From: i, To: i, Kind: depend.Output, Carried: true}
+		}
+	}
+	for i := range ld.Deps {
+		if ld.Deps[i].Carried {
+			return &ld.Deps[i]
+		}
+	}
+	return nil
+}

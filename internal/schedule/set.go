@@ -1,0 +1,118 @@
+package schedule
+
+import (
+	"encoding/json"
+	"sort"
+
+	"repro/internal/token"
+)
+
+// LoopKey identifies one source loop: the owning procedure plus the
+// loop's source position. Positions survive the pipeline (every rewrite
+// stamps manufactured statements with the originating construct's
+// position), so the key is stable from the tuner's snapshot of the
+// program to the final schedule-driven compile — and across compiles of
+// the same translation unit, which is what makes the titand tuned-
+// schedule cache sound.
+type LoopKey struct {
+	Proc string `json:"proc"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// KeyFor builds the key for a loop at pos inside proc.
+func KeyFor(proc string, pos token.Pos) LoopKey {
+	return LoopKey{Proc: proc, Line: pos.Line, Col: pos.Col}
+}
+
+func (k LoopKey) less(o LoopKey) bool {
+	if k.Proc != o.Proc {
+		return k.Proc < o.Proc
+	}
+	if k.Line != o.Line {
+		return k.Line < o.Line
+	}
+	return k.Col < o.Col
+}
+
+// Set maps source loops to their schedules. A nil *Set is valid and
+// holds nothing: every Lookup reports the default schedule, so the
+// phases take their pre-schedule-layer path untouched.
+type Set struct {
+	m map[LoopKey]Schedule
+}
+
+// NewSet returns an empty schedule set.
+func NewSet() *Set { return &Set{m: map[LoopKey]Schedule{}} }
+
+// Put assigns s to the loop identified by key.
+func (t *Set) Put(key LoopKey, s Schedule) {
+	if t.m == nil {
+		t.m = map[LoopKey]Schedule{}
+	}
+	t.m[key] = s
+}
+
+// Lookup returns the schedule for the loop at pos in proc, falling back
+// to Default() when the set is nil or has no entry. The second result
+// reports whether an explicit entry was found.
+func (t *Set) Lookup(proc string, pos token.Pos) (Schedule, bool) {
+	if t == nil || t.m == nil {
+		return Default(), false
+	}
+	if s, ok := t.m[KeyFor(proc, pos)]; ok {
+		return s, true
+	}
+	return Default(), false
+}
+
+// Len reports the number of explicit entries.
+func (t *Set) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.m)
+}
+
+// Keys returns the explicit loop keys in deterministic order.
+func (t *Set) Keys() []LoopKey {
+	if t == nil {
+		return nil
+	}
+	keys := make([]LoopKey, 0, len(t.m))
+	for k := range t.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	return keys
+}
+
+// entry is the wire form of one (loop, schedule) pair. A sorted array of
+// pairs rather than a map keyed by a composite string: the encoding is
+// byte-deterministic, so schedule sets can ride cache keys and artifacts.
+type entry struct {
+	Loop     LoopKey  `json:"loop"`
+	Schedule Schedule `json:"schedule"`
+}
+
+// MarshalJSON encodes the set as a sorted array of entries.
+func (t *Set) MarshalJSON() ([]byte, error) {
+	entries := make([]entry, 0, t.Len())
+	for _, k := range t.Keys() {
+		entries = append(entries, entry{Loop: k, Schedule: t.m[k]})
+	}
+	return json.Marshal(entries)
+}
+
+// UnmarshalJSON decodes the sorted-array wire form.
+func (t *Set) UnmarshalJSON(data []byte) error {
+	var entries []entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return err
+	}
+	t.m = make(map[LoopKey]Schedule, len(entries))
+	for _, e := range entries {
+		t.m[e.Loop] = e.Schedule
+	}
+	return nil
+}

@@ -13,7 +13,9 @@ import (
 	"repro/internal/driver"
 	"repro/internal/inline"
 	"repro/internal/pass"
+	"repro/internal/schedule"
 	"repro/internal/titan"
+	"repro/internal/tune"
 )
 
 // CompileRequest is the POST /compile body: one C translation unit plus
@@ -41,6 +43,13 @@ type CompileOptions struct {
 	ListParallel   bool  `json:"list_parallel,omitempty"`
 	NoAlias        bool  `json:"noalias,omitempty"`
 	VL             int   `json:"vl,omitempty"`
+	// Tune autotunes per-loop schedules before compiling: a bounded grid
+	// of legal candidates is measured on the fast engine and the
+	// cycle-minimal set wins. Tuned schedule sets are cached by the
+	// compile's base content fingerprint (source + options, not the run
+	// spec), so repeat tuned requests — even at a different processor
+	// count — reuse the plan without re-measuring.
+	Tune bool `json:"tune,omitempty"`
 	// Catalogs lists registry ids (content fingerprints from POST
 	// /catalogs) to attach for inline expansion.
 	Catalogs []string `json:"catalogs,omitempty"`
@@ -135,6 +144,14 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if req.Options.VL != 0 {
+		// Strip lengths are bounded by the Titan vector register file;
+		// reject rather than clamp, like the processor count.
+		if err := schedule.ValidateVL(req.Options.VL); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
 	if req.Entry == "" {
 		req.Entry = "main"
 	}
@@ -204,6 +221,11 @@ func requestKey(req CompileRequest, opts driver.Options) (string, error) {
 	}
 	h := sha256.New()
 	io.WriteString(h, base)
+	if req.Options.Tune {
+		// Tuned and untuned compiles of the same unit are distinct
+		// artifacts (different schedules, different code).
+		fmt.Fprintf(h, "\ntune:entry=%s", req.Entry)
+	}
 	if req.Processors > 0 {
 		fmt.Fprintf(h, "\nrun:procs=%d,entry=%s", req.Processors, req.Entry)
 	}
@@ -225,7 +247,21 @@ func (s *Server) compile(key string, req CompileRequest, opts driver.Options) ([
 		s.compileHook(key)
 	}
 
-	res, err := driver.Compile(req.Source, opts)
+	ctx := pass.NewContext()
+	if req.Options.Tune {
+		tres, err := s.tunedSchedules(req, opts)
+		if err != nil {
+			return nil, err
+		}
+		// Replay the decision log as sched-selected remarks so the
+		// artifact (and every cache hit on it) carries the tuner's
+		// verdicts, whether this compile tuned or reused a cached plan.
+		for _, d := range tres.Remarks() {
+			ctx.Diags.Report(d)
+		}
+		ctx.Schedules = tres.Schedules
+	}
+	res, err := driver.CompileWith(req.Source, opts, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -264,6 +300,36 @@ func (s *Server) compile(key string, req CompileRequest, opts driver.Options) ([
 	s.cache.Put(key, blob)
 	s.metrics.miss(res.Report)
 	return blob, nil
+}
+
+// tunedSchedules returns the tuned schedule set for the request's unit,
+// from the schedule cache when a previous request already paid for the
+// search, otherwise by running the autotuner (and publishing the result).
+// The cache key is the base compile fingerprint plus the tuning entry —
+// NOT the run spec — so requests that differ only in processor count
+// share one tuned plan.
+func (s *Server) tunedSchedules(req CompileRequest, opts driver.Options) (*tune.Result, error) {
+	base, err := driver.CacheKey(req.Source, opts)
+	if err != nil {
+		return nil, err
+	}
+	key := base + "/tune:" + req.Entry
+	if tres, ok := s.schedules.get(key); ok {
+		s.metrics.schedHit()
+		return tres, nil
+	}
+	s.metrics.schedMiss()
+	procs := req.Processors
+	if procs <= 0 {
+		procs = 1
+	}
+	tres, err := tune.Tune(req.Source, opts, tune.Config{Processors: procs, Entry: req.Entry})
+	if err != nil {
+		return nil, fmt.Errorf("autotune: %w", err)
+	}
+	s.schedules.put(key, tres)
+	s.metrics.tuned()
+	return tres, nil
 }
 
 // compileError writes a compile failure, attaching the positioned

@@ -16,6 +16,7 @@ type metrics struct {
 	mu       sync.Mutex
 	start    time.Time
 	compiles CompileCounters
+	tuneCtrs TuneCounters
 	passes   map[string]*PassTotals
 	analysis analysis.Stats
 	remarks  map[string]int64
@@ -37,6 +38,17 @@ type CompileCounters struct {
 	Rejected     int64 `json:"rejected"` // queue full
 	Timeouts     int64 `json:"timeouts"`
 	InFlight     int64 `json:"in_flight"` // gauge: requests inside the handler now
+}
+
+// TuneCounters tracks the autotuner's schedule cache. A tuned request
+// either reuses a cached plan (ScheduleCacheHits) or pays for a fresh
+// search (ScheduleCacheMisses, each of which becomes one Tunes once the
+// search completes and publishes). Entries is the live cache size.
+type TuneCounters struct {
+	Tunes               int64 `json:"tunes"`
+	ScheduleCacheHits   int64 `json:"schedule_cache_hits"`
+	ScheduleCacheMisses int64 `json:"schedule_cache_misses"`
+	Entries             int   `json:"entries"`
 }
 
 // PassTotals is one pass's cumulative cost across every compile served.
@@ -71,7 +83,10 @@ type MetricsResponse struct {
 	// of what the optimizer is deciding: how many loops vectorized, which
 	// codes dominate the rejections.
 	Remarks map[string]int64 `json:"remarks,omitempty"`
-	Latency LatencySummary   `json:"latency"`
+	// Tune is the autotuner's schedule-cache tally: a repeat tuned
+	// request shows up as a schedule_cache_hit with tunes flat.
+	Tune    TuneCounters   `json:"tune"`
+	Latency LatencySummary `json:"latency"`
 }
 
 func newMetrics() *metrics {
@@ -133,6 +148,24 @@ func (m *metrics) miss(rep *pass.Report) {
 	m.mu.Unlock()
 }
 
+func (m *metrics) schedHit() {
+	m.mu.Lock()
+	m.tuneCtrs.ScheduleCacheHits++
+	m.mu.Unlock()
+}
+
+func (m *metrics) schedMiss() {
+	m.mu.Lock()
+	m.tuneCtrs.ScheduleCacheMisses++
+	m.mu.Unlock()
+}
+
+func (m *metrics) tuned() {
+	m.mu.Lock()
+	m.tuneCtrs.Tunes++
+	m.mu.Unlock()
+}
+
 func (m *metrics) failed() {
 	m.mu.Lock()
 	m.compiles.Total++
@@ -168,7 +201,7 @@ func (m *metrics) observe(d time.Duration) {
 	m.mu.Unlock()
 }
 
-func (m *metrics) snapshot(cache CacheStats, catalogs int) MetricsResponse {
+func (m *metrics) snapshot(cache CacheStats, catalogs, schedEntries int) MetricsResponse {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	passes := make(map[string]PassTotals, len(m.passes))
@@ -186,6 +219,8 @@ func (m *metrics) snapshot(cache CacheStats, catalogs int) MetricsResponse {
 	if lat.Count > 0 {
 		lat.MeanNS = lat.TotalNS / lat.Count
 	}
+	tc := m.tuneCtrs
+	tc.Entries = schedEntries
 	return MetricsResponse{
 		UptimeNS: time.Since(m.start).Nanoseconds(),
 		Compiles: m.compiles,
@@ -194,6 +229,7 @@ func (m *metrics) snapshot(cache CacheStats, catalogs int) MetricsResponse {
 		Passes:   passes,
 		Analysis: m.analysis,
 		Remarks:  remarks,
+		Tune:     tc,
 		Latency:  lat,
 	}
 }

@@ -76,11 +76,12 @@ func (c Config) withDefaults() Config {
 // Server is the compile service. Create with New, mount Handler on an
 // http.Server, and call Drain during shutdown.
 type Server struct {
-	cfg      Config
-	cache    *Cache
-	registry *catalogRegistry
-	metrics  *metrics
-	flight   flightGroup
+	cfg       Config
+	cache     *Cache
+	schedules *scheduleCache
+	registry  *catalogRegistry
+	metrics   *metrics
+	flight    flightGroup
 
 	queueSem  chan struct{} // admission: Workers+QueueDepth slots
 	workerSem chan struct{} // execution: Workers slots
@@ -102,6 +103,7 @@ func New(cfg Config) (*Server, error) {
 	return &Server{
 		cfg:       cfg,
 		cache:     cache,
+		schedules: newScheduleCache(),
 		registry:  newCatalogRegistry(),
 		metrics:   newMetrics(),
 		queueSem:  make(chan struct{}, cfg.Workers+cfg.QueueDepth),
@@ -125,7 +127,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.Stats(), s.registry.count()))
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.Stats(), s.registry.count(), s.schedules.len()))
 }
 
 // HealthResponse is the GET /healthz body.
@@ -136,7 +138,7 @@ type HealthResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	snap := s.metrics.snapshot(CacheStats{}, 0)
+	snap := s.metrics.snapshot(CacheStats{}, 0, 0)
 	h := HealthResponse{Status: "ok", InFlight: snap.Compiles.InFlight, UptimeNS: snap.UptimeNS}
 	status := http.StatusOK
 	if s.draining.Load() {

@@ -1,0 +1,46 @@
+package service
+
+import (
+	"sync"
+
+	"repro/internal/tune"
+)
+
+// scheduleCache holds autotuned schedule sets keyed by the compile's base
+// content fingerprint (driver.CacheKey over source + canonical options,
+// deliberately excluding the run spec). Tuning is by far the most
+// expensive thing the daemon does — dozens of candidate compiles, each
+// simulated — so its result is cached one level above the artifact
+// cache: a second tuned request for the same unit at a *different*
+// processor count misses the artifact cache but reuses the tuned plan
+// without re-measuring.
+//
+// Entries are small (a decision log plus a handful of schedules), so the
+// cache is unbounded; it lives and dies with the process.
+type scheduleCache struct {
+	mu sync.Mutex
+	m  map[string]*tune.Result
+}
+
+func newScheduleCache() *scheduleCache {
+	return &scheduleCache{m: map[string]*tune.Result{}}
+}
+
+func (c *scheduleCache) get(key string) (*tune.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[key]
+	return r, ok
+}
+
+func (c *scheduleCache) put(key string, r *tune.Result) {
+	c.mu.Lock()
+	c.m[key] = r
+	c.mu.Unlock()
+}
+
+func (c *scheduleCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

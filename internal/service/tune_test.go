@@ -1,0 +1,124 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/diag"
+)
+
+func tuneOpts() CompileOptions {
+	o := fullOpts()
+	o.Tune = true
+	return o
+}
+
+func schedSelected(out CompileResponse) []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	for _, d := range out.Report.Diags {
+		if d.Code == diag.SchedSelected {
+			ds = append(ds, d)
+		}
+	}
+	return ds
+}
+
+// TestCompileTuneScheduleCache is the tentpole's service-side acceptance
+// check: the first tuned request pays for the schedule search; a second
+// tuned request at a *different* processor count misses the artifact
+// cache (distinct run spec) but reuses the tuned plan — the tune counter
+// stays flat while the schedule-cache hit counter increments — and its
+// artifact replays the same sched-selected remarks.
+func TestCompileTuneScheduleCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	first, code := postCompile(t, ts, CompileRequest{Source: daxpySrc, Options: tuneOpts(), Processors: 1})
+	if code != http.StatusOK {
+		t.Fatalf("first tuned compile: status %d", code)
+	}
+	if first.Cached {
+		t.Error("first tuned compile reported cached")
+	}
+	firstSched := schedSelected(first)
+	if len(firstSched) == 0 {
+		t.Fatal("tuned artifact carries no sched-selected remarks")
+	}
+
+	m := getMetrics(t, ts)
+	if m.Tune.Tunes != 1 || m.Tune.ScheduleCacheMisses != 1 || m.Tune.ScheduleCacheHits != 0 {
+		t.Fatalf("after first tuned compile: tune counters %+v", m.Tune)
+	}
+	if m.Tune.Entries != 1 {
+		t.Fatalf("schedule cache entries = %d, want 1", m.Tune.Entries)
+	}
+
+	second, code := postCompile(t, ts, CompileRequest{Source: daxpySrc, Options: tuneOpts(), Processors: 2})
+	if code != http.StatusOK {
+		t.Fatalf("second tuned compile: status %d", code)
+	}
+	if second.Cached {
+		t.Error("different processor count must miss the artifact cache")
+	}
+	if second.Key == first.Key {
+		t.Error("different run specs produced the same artifact key")
+	}
+
+	m = getMetrics(t, ts)
+	if m.Tune.Tunes != 1 {
+		t.Errorf("second tuned request re-ran the tuner: tunes = %d, want 1", m.Tune.Tunes)
+	}
+	if m.Tune.ScheduleCacheHits != 1 {
+		t.Errorf("schedule cache hits = %d, want 1", m.Tune.ScheduleCacheHits)
+	}
+	if m.Tune.Entries != 1 {
+		t.Errorf("schedule cache entries = %d, want 1", m.Tune.Entries)
+	}
+
+	secondSched := schedSelected(second)
+	if len(secondSched) != len(firstSched) {
+		t.Fatalf("replayed remarks differ: %d vs %d sched-selected", len(secondSched), len(firstSched))
+	}
+	for i := range firstSched {
+		if firstSched[i].Message != secondSched[i].Message {
+			t.Errorf("remark %d drifted across the schedule cache:\n first %s\nsecond %s",
+				i, firstSched[i].Message, secondSched[i].Message)
+		}
+	}
+}
+
+// A tuned and an untuned compile of the same unit are distinct artifacts.
+func TestCompileTuneDistinctArtifact(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	plain, _ := postCompile(t, ts, CompileRequest{Source: daxpySrc, Options: fullOpts(), Processors: 1})
+	tuned, _ := postCompile(t, ts, CompileRequest{Source: daxpySrc, Options: tuneOpts(), Processors: 1})
+	if plain.Key == tuned.Key {
+		t.Fatal("tune=true and tune=false share an artifact key")
+	}
+	if tuned.Run == nil || plain.Run == nil {
+		t.Fatal("missing run results")
+	}
+	if tuned.Run.Cycles > plain.Run.Cycles {
+		t.Errorf("tuned compile is slower: %d cycles vs %d default", tuned.Run.Cycles, plain.Run.Cycles)
+	}
+}
+
+// Strip lengths outside the Titan register file are rejected up front.
+func TestCompileVLValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, vl := range []int{-1, 4096} {
+		opts := fullOpts()
+		opts.VL = vl
+		_, code, err := tryCompile(ts, CompileRequest{Source: daxpySrc, Options: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code != http.StatusBadRequest {
+			t.Errorf("vl=%d: status %d, want 400", vl, code)
+		}
+	}
+	opts := fullOpts()
+	opts.VL = 64
+	if _, code := postCompile(t, ts, CompileRequest{Source: daxpySrc, Options: opts}); code != http.StatusOK {
+		t.Errorf("vl=64: status %d, want 200", code)
+	}
+}

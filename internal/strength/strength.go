@@ -28,6 +28,7 @@ import (
 	"repro/internal/depend"
 	"repro/internal/diag"
 	"repro/internal/il"
+	"repro/internal/schedule"
 )
 
 // Stats reports what the pass did.
@@ -37,6 +38,7 @@ type Stats struct {
 	Pointers         int `json:"pointers"`          // pointer temporaries introduced
 	HoistedExprs     int `json:"hoisted_exprs"`     // invariant expressions moved to the preheader
 	LoopsTransformed int `json:"loops_transformed"` // loops §6 rewrote
+	UnrolledLoops    int `json:"unrolled_loops"`    // loops replicated per their schedule
 }
 
 // Add folds another procedure's stats into s.
@@ -46,6 +48,7 @@ func (s *Stats) Add(o Stats) {
 	s.Pointers += o.Pointers
 	s.HoistedExprs += o.HoistedExprs
 	s.LoopsTransformed += o.LoopsTransformed
+	s.UnrolledLoops += o.UnrolledLoops
 }
 
 // Config controls the pass.
@@ -62,6 +65,10 @@ type Config struct {
 	// Diags receives a strength-reduced remark for each loop §6 rewrote.
 	// Nil drops the remarks.
 	Diags *diag.Reporter
+	// Schedules holds explicit per-loop plans; a loop whose schedule asks
+	// for Unroll > 1 has its body replicated after the §6 rewrites. Nil
+	// (or no entry) means no unrolling — the paper's behavior.
+	Schedules *schedule.Set
 }
 
 // OptimizeLoops transforms every serial innermost DO loop of p.
@@ -85,8 +92,11 @@ func walk(p *il.Proc, list []il.Stmt, cfg Config, st *Stats) []il.Stmt {
 		case *il.DoLoop:
 			n.Body = walk(p, n.Body, cfg, st)
 			if eligible(n) {
-				pre := transformLoop(p, n, cfg, st)
+				pre, post := transformLoop(p, n, cfg, st)
 				out = append(out, pre...)
+				out = append(out, s)
+				out = append(out, post...)
+				continue
 			}
 		}
 		out = append(out, s)
@@ -124,10 +134,10 @@ func eligible(loop *il.DoLoop) bool {
 	return true
 }
 
-// transformLoop applies promotion then reduction, returning preheader
-// statements.
-func transformLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) []il.Stmt {
-	var pre []il.Stmt
+// transformLoop applies promotion, reduction, hoisting, then any
+// schedule-directed unrolling, returning preheader statements and the
+// statements to place after the loop (the unroll remainder loop).
+func transformLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) (pre, post []il.Stmt) {
 	base := *st // snapshot so the remark reports this loop's counts only
 	changed := false
 	if !cfg.NoPromotion {
@@ -146,24 +156,93 @@ func transformLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) []il.Stmt
 		pre = append(pre, stmts...)
 		changed = true
 	}
+	sched, _ := cfg.Schedules.Lookup(p.Name, loop.Pos)
+	unrolled := 1
+	if sched.Unroll > 1 {
+		if rem, ok := unroll(p, loop, sched.Unroll, st); ok {
+			post = rem
+			unrolled = sched.Unroll
+			changed = true
+		}
+	}
 	if changed {
 		st.LoopsTransformed++
 		p.BumpGeneration()
 		il.StampStmts(pre, loop.Pos)
 		if cfg.Diags != nil {
+			promoted := st.PromotedLoads - base.PromotedLoads
+			reduced := st.ReducedRefs - base.ReducedRefs
+			hoisted := st.HoistedExprs - base.HoistedExprs
+			msg := fmt.Sprintf(
+				"loop strength-reduced: %d load(s) promoted to registers, %d reference(s) rewritten to bumped pointers, %d invariant expression(s) hoisted (§6)",
+				promoted, reduced, hoisted)
+			if unrolled > 1 {
+				msg += fmt.Sprintf(", body unrolled %d×", unrolled)
+			}
 			cfg.Diags.Report(diag.Diagnostic{
 				Severity: diag.SevRemark,
 				Code:     diag.StrengthReduced,
 				Pos:      loop.Pos,
 				Proc:     p.Name,
 				Pass:     "strength",
-				Message: fmt.Sprintf(
-					"loop strength-reduced: %d load(s) promoted to registers, %d reference(s) rewritten to bumped pointers, %d invariant expression(s) hoisted (§6)",
-					st.PromotedLoads-base.PromotedLoads, st.ReducedRefs-base.ReducedRefs, st.HoistedExprs-base.HoistedExprs),
+				Message:  msg,
+				Args: map[string]string{
+					"promoted": fmt.Sprint(promoted),
+					"reduced":  fmt.Sprint(reduced),
+					"hoisted":  fmt.Sprint(hoisted),
+					"unroll":   fmt.Sprint(unrolled),
+					"schedule": sched.String(),
+				},
 			})
 		}
 	}
-	return pre
+	return pre, post
+}
+
+// unroll replicates the loop body factor times (replica j reads the IV as
+// IV + j·step), widens the step to factor·step, pulls the limit in by
+// (factor−1)·step so every replica stays in bounds, and returns a
+// remainder loop that continues from the main loop's exit IV — the §6
+// loop-overhead reduction the schedule layer can ask for on serial loops.
+// Replication in source order preserves every dependence, carried or not;
+// the strength-reduction pointer bumps replicate with the body, so each
+// replica advances the reduced pointers exactly as the original iteration
+// did.
+func unroll(p *il.Proc, loop *il.DoLoop, factor int, st *Stats) ([]il.Stmt, bool) {
+	stepC, ok := il.IsIntConst(loop.Step)
+	if !ok || stepC == 0 || factor < 2 {
+		return nil, false
+	}
+	ivType := p.Vars[loop.IV].Type
+	if ivType == nil {
+		ivType = ctype.IntType
+	}
+	// The remainder continues at the main loop's exit IV (codegen defines
+	// it: Init + trips·Step), covering the trips the widened step skips.
+	rem := &il.DoLoop{IV: loop.IV, Init: il.Ref(loop.IV, ivType),
+		Limit: il.CloneExpr(loop.Limit), Step: il.CloneExpr(loop.Step),
+		Body: il.CloneStmts(loop.Body), Safe: loop.Safe, Pos: loop.Pos}
+	var body []il.Stmt
+	for j := 0; j < factor; j++ {
+		clone := il.CloneStmts(loop.Body)
+		if j > 0 {
+			off := int64(j) * stepC
+			for _, cs := range clone {
+				il.RewriteTreeExprs(cs, func(e il.Expr) il.Expr {
+					if v, isVar := e.(*il.VarRef); isVar && v.ID == loop.IV {
+						return il.Add(il.Ref(loop.IV, ivType), il.Int(off), ivType)
+					}
+					return e
+				})
+			}
+		}
+		body = append(body, clone...)
+	}
+	loop.Body = body
+	loop.Limit = il.Sub(il.CloneExpr(loop.Limit), il.Int(int64(factor-1)*stepC), ctype.IntType)
+	loop.Step = il.Int(stepC * int64(factor))
+	st.UnrolledLoops++
+	return []il.Stmt{rem}, true
 }
 
 // ---------------------------------------------------------------- promotion

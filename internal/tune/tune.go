@@ -1,0 +1,315 @@
+// Package tune is the measurement-driven schedule autotuner. The paper
+// picks one loop strategy at compile time from static rules; the Titan
+// simulator is deterministic and fast, so this package instead *measures*:
+// it enumerates a bounded grid of legal candidate schedules per loop,
+// compiles each candidate through the unmodified pipeline, runs the
+// result on the fast Titan engine, and keeps the cycle-minimal plan.
+//
+// The search is greedy coordinate descent over loops: loops are visited
+// in deterministic key order, each loop's candidates are measured against
+// the best schedule set found so far, and a candidate is adopted only
+// when it strictly beats the incumbent's total cycles AND reproduces the
+// baseline's exit code and output (a misbehaving candidate is discarded,
+// never diagnosed — the phases' own legality guards make this a belt-and-
+// suspenders check, not the primary defense).
+//
+// Every examined loop yields one sched-selected remark naming the winning
+// schedule and the measured cycle delta against the default plan, so
+// -remarks surfaces the tuner's decisions exactly like the phase verdicts.
+package tune
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/depend"
+	"repro/internal/diag"
+	"repro/internal/driver"
+	"repro/internal/il"
+	"repro/internal/pass"
+	"repro/internal/schedule"
+	"repro/internal/titan"
+	"repro/internal/token"
+)
+
+// Config bounds the search and fixes the measurement harness.
+type Config struct {
+	// Processors is the machine width candidates are measured on (1 when
+	// zero) — measure on the width you will run on.
+	Processors int
+	// Entry is the simulated entry procedure (main when empty).
+	Entry string
+	// MaxLoops caps how many loops are tuned, hottest-independent order
+	// not known statically so first-by-key order is used (8 when zero).
+	MaxLoops int
+	// Budget caps the number of measured candidate compiles beyond the
+	// baseline (64 when zero).
+	Budget int
+}
+
+func (c Config) processors() int {
+	if c.Processors <= 0 {
+		return 1
+	}
+	return c.Processors
+}
+
+func (c Config) entry() string {
+	if c.Entry == "" {
+		return "main"
+	}
+	return c.Entry
+}
+
+func (c Config) maxLoops() int {
+	if c.MaxLoops <= 0 {
+		return 8
+	}
+	return c.MaxLoops
+}
+
+func (c Config) budget() int {
+	if c.Budget <= 0 {
+		return 64
+	}
+	return c.Budget
+}
+
+// Decision records the tuner's verdict for one loop.
+type Decision struct {
+	Loop     schedule.LoopKey  `json:"loop"`
+	Schedule schedule.Schedule `json:"schedule"`
+	// DefaultCycles is the whole-program cycle count under the schedule
+	// set before this loop was tuned; Cycles is the count with the
+	// winning schedule adopted. Equal when the default won.
+	DefaultCycles int64 `json:"default_cycles"`
+	Cycles        int64 `json:"cycles"`
+	// Candidates is how many alternatives were measured for this loop.
+	Candidates int `json:"candidates"`
+}
+
+// Result is the tuner's output: the non-default schedules to compile
+// with, plus the decision log the remarks and BENCH_tune.json are built
+// from.
+type Result struct {
+	Schedules *schedule.Set `json:"schedules"`
+	Decisions []Decision    `json:"decisions"`
+	// DefaultCycles/TunedCycles bracket the whole search: cycles under
+	// schedule.Default() everywhere vs. under the final set.
+	DefaultCycles int64 `json:"default_cycles"`
+	TunedCycles   int64 `json:"tuned_cycles"`
+	// Measured counts candidate compiles beyond the baseline.
+	Measured int `json:"measured"`
+}
+
+// Remarks renders one sched-selected diagnostic per decision. The slice
+// is regenerated from the decision log, so a cached Result (titand's
+// tuned-schedule cache) replays identical remarks without re-tuning.
+func (r *Result) Remarks() []diag.Diagnostic {
+	ds := make([]diag.Diagnostic, 0, len(r.Decisions))
+	for _, d := range r.Decisions {
+		delta := d.DefaultCycles - d.Cycles
+		ds = append(ds, diag.Diagnostic{
+			Severity: diag.SevRemark,
+			Code:     diag.SchedSelected,
+			Pos:      token.Pos{Line: d.Loop.Line, Col: d.Loop.Col},
+			Proc:     d.Loop.Proc,
+			Pass:     "tune",
+			Message: fmt.Sprintf("schedule selected: %s (measured %d cycles, default %d, saved %d)",
+				d.Schedule, d.Cycles, d.DefaultCycles, delta),
+			Args: map[string]string{
+				"schedule":       d.Schedule.String(),
+				"cycles":         fmt.Sprint(d.Cycles),
+				"default_cycles": fmt.Sprint(d.DefaultCycles),
+				"delta":          fmt.Sprint(delta),
+			},
+		})
+	}
+	return ds
+}
+
+// loopInfo is one tunable loop discovered from the mid-pipeline snapshot.
+type loopInfo struct {
+	key        schedule.LoopKey
+	candidates []schedule.Schedule
+}
+
+// Tune searches for the cycle-minimal schedule set for src compiled under
+// opts. The source must simulate successfully under the default schedule;
+// the returned set holds only the loops where a non-default plan won.
+func Tune(src string, opts driver.Options, cfg Config) (*Result, error) {
+	loops, err := discover(src, opts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := measure(src, opts, nil, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("tune: baseline run failed: %w", err)
+	}
+	res := &Result{Schedules: schedule.NewSet(), DefaultCycles: baseline.Cycles, TunedCycles: baseline.Cycles}
+	best := baseline
+	budget := cfg.budget()
+	for _, li := range loops {
+		dec := Decision{Loop: li.key, Schedule: schedule.Default(), DefaultCycles: best.Cycles, Cycles: best.Cycles}
+		for _, cand := range li.candidates {
+			if res.Measured >= budget {
+				break
+			}
+			trial := cloneSet(res.Schedules)
+			trial.Put(li.key, cand)
+			got, err := measure(src, opts, trial, cfg)
+			res.Measured++
+			dec.Candidates++
+			if err != nil || got.ExitCode != baseline.ExitCode || got.Output != baseline.Output {
+				continue // candidate miscompiled or diverged: discard
+			}
+			if got.Cycles < dec.Cycles {
+				dec.Cycles = got.Cycles
+				dec.Schedule = cand
+			}
+		}
+		if !dec.Schedule.IsDefault() {
+			res.Schedules.Put(li.key, dec.Schedule)
+			best.Cycles = dec.Cycles
+		}
+		res.Decisions = append(res.Decisions, dec)
+	}
+	res.TunedCycles = best.Cycles
+	return res, nil
+}
+
+// measure compiles src under the schedule set and runs it on the fast
+// Titan engine, returning the deterministic simulation result.
+func measure(src string, opts driver.Options, set *schedule.Set, cfg Config) (titan.Result, error) {
+	ctx := pass.NewContext()
+	ctx.Diags = nil
+	ctx.Schedules = set
+	res, err := driver.CompileWith(src, opts, ctx)
+	if err != nil {
+		return titan.Result{}, err
+	}
+	entry := cfg.entry()
+	if _, ok := res.Machine.Funcs[entry]; !ok {
+		return titan.Result{}, fmt.Errorf("tune: entry function %q is not defined", entry)
+	}
+	return titan.NewMachine(res.Machine, cfg.processors()).Run(entry)
+}
+
+// discover compiles src once with a snapshot hook and collects the
+// tunable loops as they exist when the loop phases will see them (after
+// scalar optimization, before vectorization), with a legality-checked
+// candidate grid per loop.
+func discover(src string, opts driver.Options, cfg Config) ([]loopInfo, error) {
+	dopts := depend.Options{NoAlias: opts.NoAlias}
+	infos := map[schedule.LoopKey]loopInfo{}
+	snapName := pass.SnapshotInput
+	if opts.OptLevel >= 1 {
+		snapName = pass.PassScalar
+	}
+	ctx := pass.NewContext()
+	ctx.Diags = nil
+	ctx.Snapshot = func(name string, prog *il.Program) {
+		if name != snapName {
+			return
+		}
+		for _, p := range prog.Procs {
+			collectLoops(p, p.Body, dopts, cfg, infos)
+		}
+	}
+	if _, err := driver.CompileILWith(src, opts, ctx); err != nil {
+		return nil, err
+	}
+	keys := make([]schedule.LoopKey, 0, len(infos))
+	for k := range infos {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	if len(keys) > cfg.maxLoops() {
+		keys = keys[:cfg.maxLoops()]
+	}
+	out := make([]loopInfo, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, infos[k])
+	}
+	return out, nil
+}
+
+// collectLoops walks the statement tree gathering every DO loop with a
+// non-empty candidate grid.
+func collectLoops(p *il.Proc, list []il.Stmt, dopts depend.Options, cfg Config, infos map[schedule.LoopKey]loopInfo) {
+	il.WalkStmts(list, func(s il.Stmt) bool {
+		loop, ok := s.(*il.DoLoop)
+		if !ok {
+			return true
+		}
+		cands := candidates(p, loop, dopts, cfg)
+		if len(cands) > 0 {
+			key := schedule.KeyFor(p.Name, loop.Pos)
+			infos[key] = loopInfo{key: key, candidates: cands}
+		}
+		return true
+	})
+}
+
+// candidates builds the bounded legal grid for one loop: strip-length
+// variants and serial/width shapes for independent loops, unroll factors
+// for countable straight-line loops, interchange for permutable perfect
+// nests. Every candidate passes schedule.Check before it is offered.
+func candidates(p *il.Proc, loop *il.DoLoop, dopts depend.Options, cfg Config) []schedule.Schedule {
+	var out []schedule.Schedule
+	try := func(s schedule.Schedule) {
+		if s.IsDefault() {
+			return
+		}
+		if schedule.Check(p, loop, s, nil, dopts) == nil {
+			out = append(out, s)
+		}
+	}
+	// Spreading-shape variants only matter when iterations are
+	// independent; probe once with a width-capped plan.
+	independent := schedule.Check(p, loop, schedule.Schedule{VL: schedule.DefaultVL, Unroll: 1,
+		ParallelWidth: titan.MaxProcessors}, nil, dopts) == nil
+	if independent {
+		for _, vl := range []int{16, 64, 128} {
+			try(schedule.Schedule{VL: vl, Unroll: 1})
+		}
+		try(schedule.Schedule{VL: schedule.DefaultVL, Unroll: 1, SerialStrips: true})
+		if cfg.processors() > 1 {
+			for w := 1; w < cfg.processors() && w < titan.MaxProcessors; w++ {
+				try(schedule.Schedule{VL: schedule.DefaultVL, Unroll: 1, ParallelWidth: w})
+			}
+		}
+	}
+	for _, k := range []int{2, 4, 8} {
+		if k <= schedule.MaxUnroll {
+			try(schedule.Schedule{VL: schedule.DefaultVL, Unroll: k})
+		}
+	}
+	try(schedule.Schedule{VL: schedule.DefaultVL, Unroll: 1, Interchange: true})
+	return out
+}
+
+// cloneSet copies a schedule set so a trial mutation cannot leak into the
+// incumbent.
+func cloneSet(s *schedule.Set) *schedule.Set {
+	out := schedule.NewSet()
+	for _, k := range s.Keys() {
+		if v, ok := lookupKey(s, k); ok {
+			out.Put(k, v)
+		}
+	}
+	return out
+}
+
+func lookupKey(s *schedule.Set, k schedule.LoopKey) (schedule.Schedule, bool) {
+	return s.Lookup(k.Proc, token.Pos{Line: k.Line, Col: k.Col})
+}

@@ -1,0 +1,125 @@
+package tune_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/diag"
+	"repro/internal/driver"
+	"repro/internal/pass"
+	"repro/internal/titan"
+	"repro/internal/tune"
+)
+
+// TestTuneDaxpyImproves is the autotune smoke check: on the paper's E2
+// daxpy workload the tuner must find a legal non-default schedule that
+// strictly beats the default plan, and compiling with the returned set
+// must reproduce the measured win (same cycles, same output).
+func TestTuneDaxpyImproves(t *testing.T) {
+	w := bench.Daxpy(256)
+	opts := driver.FullOptions()
+	res, err := tune.Tune(w.Src, opts, tune.Config{})
+	if err != nil {
+		t.Fatalf("Tune: %v", err)
+	}
+	if res.Schedules.Len() == 0 {
+		t.Fatal("tuner found no non-default schedule on daxpy")
+	}
+	if res.TunedCycles >= res.DefaultCycles {
+		t.Fatalf("tuned plan does not beat default: tuned %d, default %d",
+			res.TunedCycles, res.DefaultCycles)
+	}
+	if res.Measured == 0 {
+		t.Fatal("tuner measured no candidates")
+	}
+
+	// Every adopted schedule must be internally valid.
+	for _, d := range res.Decisions {
+		if err := d.Schedule.Validate(); err != nil {
+			t.Errorf("decision for %v selected an invalid schedule: %v", d.Loop, err)
+		}
+		if d.Cycles > d.DefaultCycles {
+			t.Errorf("decision for %v regressed: %d cycles vs %d incumbent", d.Loop, d.Cycles, d.DefaultCycles)
+		}
+	}
+
+	// Recompile under the winning set: the measured result must reproduce.
+	ctx := pass.NewContext()
+	ctx.Schedules = res.Schedules
+	cres, err := driver.CompileWith(w.Src, opts, ctx)
+	if err != nil {
+		t.Fatalf("recompile with tuned set: %v", err)
+	}
+	r, err := titan.NewMachine(cres.Machine, 1).Run("main")
+	if err != nil {
+		t.Fatalf("run tuned program: %v", err)
+	}
+	if r.Cycles != res.TunedCycles {
+		t.Errorf("tuned cycles not reproducible: ran %d, tuner reported %d", r.Cycles, res.TunedCycles)
+	}
+	if r.ExitCode != 0 {
+		t.Errorf("tuned program exits %d", r.ExitCode)
+	}
+}
+
+// The tuner is deterministic: two searches over the same unit agree on
+// every decision (the schedule cache and BENCH_tune.json depend on it).
+func TestTuneDeterministic(t *testing.T) {
+	w := bench.CopyLoop(256)
+	opts := driver.FullOptions()
+	a, err := tune.Tune(w.Src, opts, tune.Config{})
+	if err != nil {
+		t.Fatalf("first Tune: %v", err)
+	}
+	b, err := tune.Tune(w.Src, opts, tune.Config{})
+	if err != nil {
+		t.Fatalf("second Tune: %v", err)
+	}
+	if !reflect.DeepEqual(a.Decisions, b.Decisions) {
+		t.Errorf("decisions differ across identical searches:\n first %+v\nsecond %+v", a.Decisions, b.Decisions)
+	}
+	if a.TunedCycles != b.TunedCycles {
+		t.Errorf("tuned cycles differ: %d vs %d", a.TunedCycles, b.TunedCycles)
+	}
+}
+
+// Remarks renders exactly one sched-selected diagnostic per decision,
+// positioned at the loop, with the measured delta in the args.
+func TestTuneRemarks(t *testing.T) {
+	w := bench.Daxpy(256)
+	res, err := tune.Tune(w.Src, driver.FullOptions(), tune.Config{})
+	if err != nil {
+		t.Fatalf("Tune: %v", err)
+	}
+	ds := res.Remarks()
+	if len(ds) != len(res.Decisions) {
+		t.Fatalf("%d remarks for %d decisions", len(ds), len(res.Decisions))
+	}
+	for i, d := range ds {
+		if d.Code != diag.SchedSelected {
+			t.Errorf("remark %d has code %s", i, d.Code)
+		}
+		dec := res.Decisions[i]
+		if d.Proc != dec.Loop.Proc || d.Pos.Line != dec.Loop.Line {
+			t.Errorf("remark %d positioned at %s:%v, decision at %+v", i, d.Proc, d.Pos, dec.Loop)
+		}
+		for _, key := range []string{"schedule", "cycles", "default_cycles", "delta"} {
+			if _, ok := d.Args[key]; !ok {
+				t.Errorf("remark %d missing arg %q", i, key)
+			}
+		}
+	}
+}
+
+// The candidate budget is respected.
+func TestTuneBudget(t *testing.T) {
+	w := bench.Daxpy(256)
+	res, err := tune.Tune(w.Src, driver.FullOptions(), tune.Config{Budget: 3})
+	if err != nil {
+		t.Fatalf("Tune: %v", err)
+	}
+	if res.Measured > 3 {
+		t.Errorf("measured %d candidates with budget 3", res.Measured)
+	}
+}

@@ -16,16 +16,19 @@ import (
 	"repro/internal/depend"
 	"repro/internal/diag"
 	"repro/internal/il"
+	"repro/internal/schedule"
 )
 
 // DefaultVL is the strip length. The Titan's vector register file holds
 // 8192 words; the compiler uses 32-element strips so four strips of eight
 // vector temporaries fit comfortably (and matching the paper's §9 output).
-const DefaultVL = 32
+// The schedule layer owns the constant; this alias keeps old call sites.
+const DefaultVL = schedule.DefaultVL
 
 // Config controls vectorization.
 type Config struct {
-	// VL is the strip length (DefaultVL when zero).
+	// VL overrides the default strip length for loops without an explicit
+	// schedule (DefaultVL when zero).
 	VL int
 	// Parallel enables emitting do-parallel strip loops when legal.
 	Parallel bool
@@ -38,13 +41,25 @@ type Config struct {
 	// vect-vectorized with the chosen strip shape, or a rejection code
 	// naming the blocking dependence edge. Nil drops the remarks.
 	Diags *diag.Reporter
+	// Schedules holds explicit per-loop plans (the tuner's output). Loops
+	// without an entry follow schedule.Default() with the VL override.
+	Schedules *schedule.Set
 }
 
-func (c Config) vl() int64 {
-	if c.VL <= 0 {
-		return DefaultVL
+// schedFor resolves the plan for one loop: an explicit Set entry wins;
+// otherwise the default schedule with Config.VL applied.
+func (c Config) schedFor(p *il.Proc, loop *il.DoLoop) schedule.Schedule {
+	if s, ok := c.Schedules.Lookup(p.Name, loop.Pos); ok {
+		if s.VL <= 0 {
+			s.VL = schedule.DefaultVL
+		}
+		return s
 	}
-	return int64(c.VL)
+	s := schedule.Default()
+	if c.VL > 0 {
+		s.VL = c.VL
+	}
+	return s
 }
 
 // Stats reports what the vectorizer did to a procedure.
@@ -83,6 +98,7 @@ func vectorizeList(p *il.Proc, list []il.Stmt, cfg Config, st *Stats) []il.Stmt 
 		case *il.While:
 			n.Body = vectorizeList(p, n.Body, cfg, st)
 		case *il.DoLoop:
+			maybeInterchange(p, n, cfg)
 			n.Body = vectorizeList(p, n.Body, cfg, st)
 			if isInnermost(n.Body) {
 				st.LoopsExamined++
@@ -111,6 +127,28 @@ func isInnermost(body []il.Stmt) bool {
 		return !inner
 	})
 	return !inner
+}
+
+// maybeInterchange swaps the headers of a perfect two-level nest when the
+// outer loop's explicit schedule asks for it and the swap is provably
+// legal (every direction vector is (=,=)). Runs before the walk descends,
+// so the vectorizer then sees the interchanged inner dimension.
+func maybeInterchange(p *il.Proc, outer *il.DoLoop, cfg Config) {
+	s, explicit := cfg.Schedules.Lookup(p.Name, outer.Pos)
+	if !explicit || !s.Interchange {
+		return
+	}
+	if err := schedule.CheckInterchange(p, outer, cfg.Depend); err != nil {
+		return
+	}
+	inner := outer.Body[0].(*il.DoLoop)
+	outer.IV, inner.IV = inner.IV, outer.IV
+	outer.Init, inner.Init = inner.Init, outer.Init
+	outer.Limit, inner.Limit = inner.Limit, outer.Limit
+	outer.Step, inner.Step = inner.Step, outer.Step
+	p.BumpGeneration()
+	remark(cfg, p, outer, diag.VectInterchanged, map[string]string{"schedule": s.String()},
+		"loop nest interchanged: outer and inner headers swapped by the loop schedule")
 }
 
 // remark files one verdict diagnostic for the loop (nil-reporter safe).
@@ -252,21 +290,23 @@ func vectorizeLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) ([]il.Stm
 		}
 	}
 
-	// No carried dependence anywhere ⇒ strips are independent ⇒ parallel.
+	// No carried dependence anywhere ⇒ strips are independent ⇒ parallel,
+	// unless the loop's schedule pins the strips serial.
 	carried := false
 	for _, d := range ld.Deps {
 		if d.Carried {
 			carried = true
 		}
 	}
-	parallelOK := cfg.Parallel && !carried
+	sched := cfg.schedFor(p, loop)
+	parallelOK := cfg.Parallel && !carried && !sched.SerialStrips
 
 	var out []il.Stmt
 	vecStmts, residue := 0, 0
 	for _, pc := range pieces {
 		if pc.vector {
 			for _, i := range pc.stmts {
-				stmts := emitVector(p, loop, loop.Body[i].(*il.Assign), cfg, parallelOK, st)
+				stmts := emitVector(p, loop, loop.Body[i].(*il.Assign), sched, parallelOK, st)
 				out = append(out, stmts...)
 				st.VectorStmts++
 				vecStmts++
@@ -291,12 +331,13 @@ func vectorizeLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) ([]il.Stm
 		shape = "parallel strips"
 	}
 	remark(cfg, p, loop, diag.VectVectorized, map[string]string{
-		"vl":           fmt.Sprint(cfg.vl()),
+		"vl":           fmt.Sprint(sched.VL),
 		"vector_stmts": fmt.Sprint(vecStmts),
 		"residue":      fmt.Sprint(residue),
 		"shape":        shape,
+		"schedule":     sched.String(),
 	}, "loop vectorized: %d vector statement(s), VL=%d, %s (%d serial residue)",
-		vecStmts, cfg.vl(), shape, residue)
+		vecStmts, sched.VL, shape, residue)
 	// The rewrite replaces statements the proc-wide chains and any cached
 	// dependence graphs were built over; stale entries must not survive.
 	p.BumpGeneration()
@@ -463,9 +504,10 @@ func affine(p *il.Proc, iv il.VarID, e il.Expr) (int64, il.Expr, bool) {
 }
 
 // emitVector produces the strip-mined vector code for one store statement
-// of a normalized loop (IV 0..Limit step 1).
-func emitVector(p *il.Proc, loop *il.DoLoop, as *il.Assign, cfg Config, parallelOK bool, st *Stats) []il.Stmt {
-	vl := cfg.vl()
+// of a normalized loop (IV 0..Limit step 1), following the loop's schedule
+// for strip length and parallel shape.
+func emitVector(p *il.Proc, loop *il.DoLoop, as *il.Assign, sched schedule.Schedule, parallelOK bool, st *Stats) []il.Stmt {
+	vl := int64(sched.VL)
 	dst := as.Dst.(*il.Load)
 	dstCoef, dstBase, _ := affine(p, loop.IV, dst.Addr)
 
@@ -529,7 +571,8 @@ func emitVector(p *il.Proc, loop *il.DoLoop, as *il.Assign, cfg Config, parallel
 	limit := il.CloneExpr(loop.Limit)
 	if parallelOK {
 		st.ParallelLoops++
-		return []il.Stmt{&il.DoParallel{IV: vi, Init: il.Int(0), Limit: limit, Step: il.Int(vl), Body: body}}
+		return []il.Stmt{&il.DoParallel{IV: vi, Init: il.Int(0), Limit: limit, Step: il.Int(vl),
+			Body: body, Width: sched.ParallelWidth}}
 	}
 	return []il.Stmt{&il.DoLoop{IV: vi, Init: il.Int(0), Limit: limit, Step: il.Int(vl), Body: body}}
 }
