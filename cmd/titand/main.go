@@ -17,11 +17,25 @@
 //	-cache-mb N       in-memory artifact cache budget (default 64)
 //	-cache-dir DIR    also persist artifacts under DIR so restarts
 //	                  serve them warm (default off)
+//	-rate N           per-client admitted compiles per second
+//	                  (0: no rate limiting)
+//	-burst N          per-client burst (default 2×rate)
 //
-// Endpoints: POST /compile, POST+GET /catalogs, GET /metrics,
-// GET /healthz. SIGINT/SIGTERM shut down gracefully: the listener
-// closes, in-flight compiles drain and publish to the cache, then the
-// process exits.
+// Cluster mode (see internal/cluster): a static peer list turns N
+// daemons into one sharded compile service with a remote cache tier.
+//
+//	-self URL         this node's advertised base URL
+//	                  (default http://<addr>)
+//	-peers URLs       comma-separated peer base URLs
+//	-peers-file PATH  file of peer URLs, one per line (# comments);
+//	                  combined with -peers
+//
+// Endpoints: POST /compile, POST /compile/batch, POST+GET /catalogs,
+// GET /metrics, GET /healthz (liveness), GET /readyz (readiness), and
+// the peer cache tier (GET/PUT /cache/{key}, GET/PUT /schedules/{key},
+// GET /catalogs/{id}). SIGINT/SIGTERM shut down gracefully: readiness
+// goes false, the listener closes, in-flight compiles drain and publish
+// to the cache, then the process exits.
 package main
 
 import (
@@ -30,26 +44,51 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8344", "listen address")
-		workers  = flag.Int("workers", 0, "concurrent compiles (0: GOMAXPROCS)")
-		queue    = flag.Int("queue", 64, "queued compiles before 503")
-		timeout  = flag.Duration("timeout", 60*time.Second, "per-request wait bound")
-		cacheMB  = flag.Int64("cache-mb", 64, "in-memory artifact cache budget (MiB)")
-		cacheDir = flag.String("cache-dir", "", "persist artifacts under this directory (off when empty)")
-		drainFor = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight compiles at shutdown")
+		addr      = flag.String("addr", "127.0.0.1:8344", "listen address")
+		workers   = flag.Int("workers", 0, "concurrent compiles (0: GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "queued compiles before 503")
+		timeout   = flag.Duration("timeout", 60*time.Second, "per-request wait bound")
+		cacheMB   = flag.Int64("cache-mb", 64, "in-memory artifact cache budget (MiB)")
+		cacheDir  = flag.String("cache-dir", "", "persist artifacts under this directory (off when empty)")
+		drainFor  = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight compiles at shutdown")
+		rate      = flag.Float64("rate", 0, "per-client admitted compiles per second (0: off)")
+		burst     = flag.Int("burst", 0, "per-client burst (0: 2×rate)")
+		self      = flag.String("self", "", "this node's advertised base URL (default http://<addr>)")
+		peers     = flag.String("peers", "", "comma-separated peer base URLs")
+		peersFile = flag.String("peers-file", "", "file of peer base URLs, one per line")
 	)
 	flag.Parse()
 	log.SetPrefix("titand: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	peerList, err := resolvePeers(*peers, *peersFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var clu *cluster.Cluster
+	if len(peerList) > 0 {
+		selfURL := *self
+		if selfURL == "" {
+			selfURL = "http://" + *addr
+		}
+		clu, err = cluster.New(cluster.Config{Self: selfURL, Peers: peerList})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("cluster mode: self=%s peers=%s", selfURL, strings.Join(peerList, ","))
+	}
 
 	srv, err := service.New(service.Config{
 		Workers:    *workers,
@@ -57,6 +96,9 @@ func main() {
 		Timeout:    *timeout,
 		CacheBytes: *cacheMB << 20,
 		CacheDir:   *cacheDir,
+		Cluster:    clu,
+		RatePerSec: *rate,
+		RateBurst:  *burst,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -87,5 +129,31 @@ func main() {
 	if err := srv.Drain(shutdownCtx); err != nil {
 		log.Printf("drain: %v", err)
 	}
+	clu.Close()
 	log.Print("drained; exiting")
+}
+
+// resolvePeers merges the -peers flag with the -peers-file contents
+// (one URL per line, blank lines and # comments skipped).
+func resolvePeers(flagList, file string) ([]string, error) {
+	var out []string
+	for _, p := range strings.Split(flagList, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	if file != "" {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(raw), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			out = append(out, line)
+		}
+	}
+	return out, nil
 }

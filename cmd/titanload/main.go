@@ -1,0 +1,376 @@
+// Command titanload drives a titand cluster with a synthetic compile
+// workload and reports what the cluster actually delivered: sustained
+// throughput, latency percentiles, and — the number cluster mode exists
+// for — the measured cross-node cache hit rate.
+//
+// Usage:
+//
+//	titanload -targets URL[,URL...] [flags]
+//
+// Flags:
+//
+//	-targets URLs    comma-separated titand base URLs (required)
+//	-duration D      how long to drive load (default 10s)
+//	-concurrency N   concurrent client workers (default 8)
+//	-sources N       distinct synthetic translation units (default 32)
+//	-batch N         send batches of N units via /compile/batch
+//	                 (0: single POST /compile requests)
+//	-client ID       X-Client-ID prefix; worker i sends <ID>-<i>
+//	-o PATH          write the JSON report to PATH (default stdout)
+//
+// Workers round-robin requests across the targets, so every source is
+// eventually requested on a node that did not compile it; those
+// requests can only be answered without recompiling through the remote
+// peer tier, which is what the remote hit rate measures. The report
+// ends with a /metrics scrape of every node (per-peer health, ring
+// state, remote hit/miss/timeout counters).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Report is the titanload JSON output.
+type Report struct {
+	Targets     string    `json:"targets"`
+	Duration    string    `json:"duration"`
+	Concurrency int       `json:"concurrency"`
+	Sources     int       `json:"sources"`
+	BatchSize   int       `json:"batch_size"`
+	Started     time.Time `json:"started"`
+	ElapsedNS   int64     `json:"elapsed_ns"`
+
+	Requests      int64   `json:"requests"` // HTTP round-trips
+	Units         int64   `json:"units"`    // translation units requested
+	OK            int64   `json:"ok"`
+	Failed        int64   `json:"failed"`       // non-200 units
+	RateLimited   int64   `json:"rate_limited"` // 429 round-trips
+	Compiled      int64   `json:"compiled"`
+	LocalHits     int64   `json:"local_hits"`  // memory/disk/inflight
+	RemoteHits    int64   `json:"remote_hits"` // served by the owning peer
+	RemoteHitRate float64 `json:"remote_hit_rate"`
+	UnitsPerSec   float64 `json:"units_per_sec"`
+
+	Latency LatencyReport `json:"latency"`
+
+	Nodes []NodeReport `json:"nodes"`
+}
+
+// LatencyReport summarizes per-request wall time.
+type LatencyReport struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// NodeReport is one node's own /metrics view after the run.
+type NodeReport struct {
+	URL     string                   `json:"url"`
+	Error   string                   `json:"error,omitempty"`
+	Metrics *service.MetricsResponse `json:"metrics,omitempty"`
+}
+
+// tally accumulates worker results.
+type tally struct {
+	requests, units, ok, failed, rateLimited atomic.Int64
+	compiled, localHits, remoteHits          atomic.Int64
+
+	mu        sync.Mutex
+	latencies []time.Duration
+}
+
+func (tl *tally) observe(d time.Duration) {
+	tl.mu.Lock()
+	tl.latencies = append(tl.latencies, d)
+	tl.mu.Unlock()
+}
+
+func (tl *tally) unit(status int, art *service.CompileResponse) {
+	if status != http.StatusOK || art == nil {
+		tl.failed.Add(1)
+		return
+	}
+	tl.ok.Add(1)
+	switch {
+	case art.CacheTier == service.TierRemote:
+		tl.remoteHits.Add(1)
+	case art.Cached:
+		tl.localHits.Add(1)
+	default:
+		tl.compiled.Add(1)
+	}
+}
+
+func main() {
+	var (
+		targets     = flag.String("targets", "", "comma-separated titand base URLs")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		concurrency = flag.Int("concurrency", 8, "concurrent client workers")
+		sources     = flag.Int("sources", 32, "distinct synthetic translation units")
+		batch       = flag.Int("batch", 0, "units per /compile/batch request (0: single requests)")
+		client      = flag.String("client", "titanload", "X-Client-ID prefix")
+		out         = flag.String("o", "", "write the JSON report here (default stdout)")
+	)
+	flag.Parse()
+	log.SetPrefix("titanload: ")
+	log.SetFlags(0)
+
+	urls := splitList(*targets)
+	if len(urls) == 0 {
+		log.Fatal("-targets is required (comma-separated titand base URLs)")
+	}
+	if *concurrency < 1 || *sources < 1 {
+		log.Fatal("-concurrency and -sources must be positive")
+	}
+
+	srcs := make([]string, *sources)
+	for i := range srcs {
+		srcs[i] = syntheticSource(i)
+	}
+
+	tl := &tally{}
+	httpc := &http.Client{Timeout: 2 * time.Minute}
+	start := time.Now()
+	deadline := start.Add(*duration)
+	// Sources enter the working set one at a time across the first half
+	// of the run, like fresh translation units landing in a build. A new
+	// unit is compiled once on whichever node sees it first; by the time
+	// the other nodes' rotations reach it, the artifact has settled on
+	// its ring owner — so their first encounters exercise the remote
+	// tier instead of folding into one warmup compile storm.
+	intro := *duration / (2 * time.Duration(*sources))
+	if intro <= 0 {
+		intro = time.Millisecond
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("%s-%d", *client, w)
+			for i := 0; ; i++ {
+				now := time.Now()
+				if !now.Before(deadline) {
+					return
+				}
+				active := int(now.Sub(start)/intro) + 1
+				if active > len(srcs) {
+					active = len(srcs)
+				}
+				// Stride by worker so different workers hit the same
+				// source on different nodes — the cross-node case.
+				target := urls[(w+i)%len(urls)]
+				if *batch > 0 {
+					runBatch(httpc, tl, target, id, srcs[:active], (w*7+i)*(*batch), *batch)
+				} else {
+					runSingle(httpc, tl, target, id, srcs[(w*7+i)%active])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{
+		Targets:     strings.Join(urls, ","),
+		Duration:    duration.String(),
+		Concurrency: *concurrency,
+		Sources:     *sources,
+		BatchSize:   *batch,
+		Started:     start.UTC(),
+		ElapsedNS:   elapsed.Nanoseconds(),
+		Requests:    tl.requests.Load(),
+		Units:       tl.units.Load(),
+		OK:          tl.ok.Load(),
+		Failed:      tl.failed.Load(),
+		RateLimited: tl.rateLimited.Load(),
+		Compiled:    tl.compiled.Load(),
+		LocalHits:   tl.localHits.Load(),
+		RemoteHits:  tl.remoteHits.Load(),
+		Latency:     summarize(tl.latencies),
+	}
+	if rep.OK > 0 {
+		rep.RemoteHitRate = float64(rep.RemoteHits) / float64(rep.OK)
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.UnitsPerSec = float64(rep.OK) / secs
+	}
+	for _, u := range urls {
+		rep.Nodes = append(rep.Nodes, scrapeNode(httpc, u))
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d units in %s: %.1f units/s, %.1f%% remote hits, %d failed",
+		rep.OK, elapsed.Round(time.Millisecond), rep.UnitsPerSec, 100*rep.RemoteHitRate, rep.Failed)
+}
+
+func runSingle(httpc *http.Client, tl *tally, target, clientID, src string) {
+	body, _ := json.Marshal(service.CompileRequest{
+		Source:  src,
+		Options: service.CompileOptions{Inline: true, Vectorize: true, Parallelize: true},
+	})
+	status, blob := post(httpc, tl, target+"/compile", clientID, body)
+	tl.units.Add(1)
+	if status != http.StatusOK {
+		tl.unit(status, nil)
+		return
+	}
+	var art service.CompileResponse
+	if err := json.Unmarshal(blob, &art); err != nil {
+		tl.unit(http.StatusInternalServerError, nil)
+		return
+	}
+	tl.unit(status, &art)
+}
+
+func runBatch(httpc *http.Client, tl *tally, target, clientID string, srcs []string, off, n int) {
+	set := make([]string, n)
+	for i := range set {
+		set[i] = srcs[(off+i)%len(srcs)]
+	}
+	body, _ := json.Marshal(service.BatchRequest{
+		Sources: set,
+		Options: service.CompileOptions{Inline: true, Vectorize: true, Parallelize: true},
+	})
+	status, blob := post(httpc, tl, target+"/compile/batch", clientID, body)
+	tl.units.Add(int64(n))
+	if status != http.StatusOK {
+		tl.failed.Add(int64(n))
+		return
+	}
+	var bresp service.BatchResponse
+	if err := json.Unmarshal(blob, &bresp); err != nil {
+		tl.failed.Add(int64(n))
+		return
+	}
+	for _, res := range bresp.Results {
+		tl.unit(res.Status, res.Artifact)
+	}
+}
+
+// post sends one JSON request and records the round-trip. It returns
+// the status (0 on transport error) and the response body.
+func post(httpc *http.Client, tl *tally, url, clientID string, body []byte) (int, []byte) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client-ID", clientID)
+	t0 := time.Now()
+	resp, err := httpc.Do(req)
+	tl.requests.Add(1)
+	if err != nil {
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	tl.observe(time.Since(t0))
+	if resp.StatusCode == http.StatusTooManyRequests {
+		tl.rateLimited.Add(1)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func scrapeNode(httpc *http.Client, url string) NodeReport {
+	nr := NodeReport{URL: url}
+	resp, err := httpc.Get(url + "/metrics")
+	if err != nil {
+		nr.Error = err.Error()
+		return nr
+	}
+	defer resp.Body.Close()
+	var m service.MetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		nr.Error = err.Error()
+		return nr
+	}
+	nr.Metrics = &m
+	return nr
+}
+
+func summarize(lats []time.Duration) LatencyReport {
+	var lr LatencyReport
+	if len(lats) == 0 {
+		return lr
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var total time.Duration
+	for _, d := range lats {
+		total += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(lats)-1))
+		return lats[idx]
+	}
+	lr.Count = int64(len(lats))
+	lr.MeanMS = ms(total / time.Duration(len(lats)))
+	lr.P50MS = ms(pct(0.50))
+	lr.P90MS = ms(pct(0.90))
+	lr.P99MS = ms(pct(0.99))
+	lr.MaxMS = ms(lats[len(lats)-1])
+	return lr
+}
+
+// syntheticSource builds the i'th distinct translation unit: a
+// vectorizable loop kernel with unit-specific constants so every unit
+// gets its own cache key but costs about the same to compile.
+func syntheticSource(i int) string {
+	return fmt.Sprintf(`
+void kernel%d(float *x, float *y, float *z, int n)
+{
+	int i;
+	for (i = 0; i < n; i++)
+		x[i] = y[i] * %d.0f + z[i] + %d.0f;
+}
+
+int main(void)
+{
+	float a[64], b[64], c[64];
+	int i;
+	for (i = 0; i < 64; i++) {
+		b[i] = i;
+		c[i] = 1;
+	}
+	kernel%d(a, b, c, 64);
+	return 0;
+}
+`, i, i%9+1, i%17, i)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

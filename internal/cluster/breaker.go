@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states, exported through /metrics so an operator can see at a
+// glance which peers the node has written off.
+const (
+	BreakerClosed   = "closed"    // peer healthy: requests flow
+	BreakerOpen     = "open"      // peer written off: requests fail fast
+	BreakerHalfOpen = "half-open" // cooldown elapsed: one probe in flight
+)
+
+// breaker is a per-peer circuit breaker. Fetching from a live peer is
+// cheap; fetching from a dead one costs a connect timeout per attempt,
+// which under load multiplies into the exact latency collapse the
+// remote tier exists to avoid. After threshold consecutive failures the
+// breaker opens and every fetch fails fast (the caller degrades to a
+// local compile); after cooldown one trial request is let through, and
+// its outcome decides between closing the breaker and re-opening it.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu       sync.Mutex
+	failures int
+	openedAt time.Time
+	open     bool
+	probing  bool // a half-open trial is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a request may proceed. In the half-open state
+// exactly one caller wins the probe slot; everyone else keeps failing
+// fast until the probe's outcome is known.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.now().Sub(b.openedAt) < b.cooldown || b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// success records a completed request and closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.failures = 0
+	b.open = false
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure records a failed request; threshold consecutive failures (or
+// a failed half-open probe) open the breaker.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	b.failures++
+	if b.probing || b.failures >= b.threshold {
+		b.open = true
+		b.openedAt = b.now()
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// state names the breaker's current state for /metrics.
+func (b *breaker) state() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case !b.open:
+		return BreakerClosed
+	case b.probing || b.now().Sub(b.openedAt) >= b.cooldown:
+		return BreakerHalfOpen
+	default:
+		return BreakerOpen
+	}
+}

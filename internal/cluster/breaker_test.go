@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b := newBreaker(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("breaker open after %d failures", i)
+		}
+		b.failure()
+	}
+	if b.state() != BreakerClosed {
+		t.Fatalf("state after 2 failures: %s", b.state())
+	}
+	b.failure() // third consecutive failure
+	if b.state() != BreakerOpen {
+		t.Fatalf("state after threshold: %s", b.state())
+	}
+	if b.allow() {
+		t.Error("open breaker allowed a request inside the cooldown")
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := newBreaker(1, time.Minute)
+	now := time.Now()
+	b.now = func() time.Time { return now }
+	b.failure()
+	if b.allow() {
+		t.Fatal("open breaker allowed a request")
+	}
+
+	// Cooldown elapses: exactly one caller wins the probe slot.
+	now = now.Add(2 * time.Minute)
+	if !b.allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.state() != BreakerHalfOpen {
+		t.Fatalf("state during probe: %s", b.state())
+	}
+	if b.allow() {
+		t.Error("second caller admitted while the probe is in flight")
+	}
+
+	// Failed probe re-opens with a fresh cooldown.
+	b.failure()
+	if b.allow() {
+		t.Error("breaker admitted a request right after a failed probe")
+	}
+
+	// A successful probe closes it fully.
+	now = now.Add(2 * time.Minute)
+	if !b.allow() {
+		t.Fatal("second probe refused")
+	}
+	b.success()
+	if b.state() != BreakerClosed {
+		t.Fatalf("state after successful probe: %s", b.state())
+	}
+	if !b.allow() || !b.allow() {
+		t.Error("closed breaker throttled requests")
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b := newBreaker(3, time.Minute)
+	b.failure()
+	b.failure()
+	b.success()
+	b.failure()
+	b.failure()
+	if b.state() != BreakerClosed {
+		t.Errorf("non-consecutive failures opened the breaker: %s", b.state())
+	}
+}

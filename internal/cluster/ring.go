@@ -1,0 +1,136 @@
+// Package cluster turns N titand processes into one compile service.
+// Artifact keys, tuned-schedule plans, and §7 catalogs are already
+// content-addressed (SHA-256 hex), so sharding them is a pure function
+// of the key: a ketama-style consistent-hash ring with virtual nodes
+// maps every key to an *owner* node, and the rest of the package is the
+// machinery for talking to owners safely — a per-peer HTTP client with
+// bounded retries and jittered backoff, a circuit breaker that stops
+// hammering a dead peer, and background readiness probes that feed
+// per-peer health into /metrics.
+//
+// The membership model is deliberately static: the peer list comes from
+// -peers (or a peers file) at startup and never changes. A static ring
+// keeps ownership a pure function — every node computes the same owner
+// for every key with no gossip, no coordinator, and no rebalancing
+// races — and failures are handled by *degradation*, not membership
+// change: when an owner is unreachable the requesting node simply
+// compiles locally, so a dead peer costs cache efficiency, never
+// availability.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-node virtual point count. 128 points
+// per node keeps the expected load imbalance across a handful of nodes
+// within a few percent without making owner lookup slow.
+const DefaultVirtualNodes = 128
+
+// Ring is an immutable ketama-style consistent-hash ring: each node
+// contributes VirtualNodes points placed by hashing "node#i", and a key
+// is owned by the node of the first point at or clockwise after the
+// key's hash. Immutability is what makes the ring safe to share across
+// every request goroutine with no locking.
+type Ring struct {
+	vnodes int
+	nodes  []string // sorted, deduplicated node IDs
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds the ring over the given node IDs (advertised URLs).
+// Duplicates are collapsed; order does not matter — every process that
+// is given the same set builds the identical ring.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := map[string]bool{}
+	uniq := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node id in ring")
+		}
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	sort.Strings(uniq)
+	r := &Ring{vnodes: vnodes, nodes: uniq}
+	r.points = make([]ringPoint, 0, len(uniq)*vnodes)
+	for _, n := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", n, i)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by node so the ring stays
+		// deterministic across processes regardless of input order.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// hash64 is the ring's point/key hash: the first 8 bytes of SHA-256.
+// Keys are themselves SHA-256 hex digests, but re-hashing keeps the
+// ring correct for arbitrary strings (catalog ids, schedule keys).
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the node that owns key.
+func (r *Ring) Owner(key string) string {
+	return r.points[r.search(key)].node
+}
+
+// OwnerOrder returns every distinct node in preference order for key:
+// the owner first, then successors clockwise around the ring. Fallback
+// lookups (catalog fetches when the owner is down) walk this order.
+func (r *Ring) OwnerOrder(key string) []string {
+	out := make([]string, 0, len(r.nodes))
+	seen := map[string]bool{}
+	i := r.search(key)
+	for n := 0; n < len(r.points) && len(out) < len(r.nodes); n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+func (r *Ring) search(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the ring is circular
+	}
+	return i
+}
+
+// Nodes returns the ring's member IDs in sorted order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// VirtualNodes reports the per-node point count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+func keyN(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestRingDeterministicAcrossInputOrder(t *testing.T) {
+	a, err := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://n3", "http://n1", "http://n2", "http://n2"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		k := keyN(i)
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %d: owner differs by input order: %s vs %s", i, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"http://n1", "http://n2", "http://n3", "http://n4"}
+	r, err := NewRing(nodes, 0) // default vnodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 20000
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(keyN(i))]++
+	}
+	want := keys / len(nodes)
+	for _, n := range nodes {
+		got := counts[n]
+		// Virtual nodes keep imbalance modest; 35% slack is generous
+		// enough to never flake while still catching a broken hash.
+		if got < want*65/100 || got > want*135/100 {
+			t.Errorf("node %s owns %d of %d keys (want ~%d)", n, got, keys, want)
+		}
+	}
+}
+
+// TestRingStabilityUnderMembership: removing one node must only move
+// the keys that node owned — every other key keeps its owner. This is
+// the property that makes consistent hashing worth the trouble.
+func TestRingStabilityUnderMembership(t *testing.T) {
+	full, err := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]string{"http://n1", "http://n2"}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < 5000; i++ {
+		k := keyN(i)
+		before, after := full.Owner(k), reduced.Owner(k)
+		if before == "http://n3" {
+			continue // had to move
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the removed node changed owner", moved)
+	}
+}
+
+func TestRingOwnerOrder(t *testing.T) {
+	r, err := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		k := keyN(i)
+		order := r.OwnerOrder(k)
+		if len(order) != 3 {
+			t.Fatalf("key %d: order has %d nodes", i, len(order))
+		}
+		if order[0] != r.Owner(k) {
+			t.Fatalf("key %d: order[0]=%s but Owner=%s", i, order[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, n := range order {
+			if seen[n] {
+				t.Fatalf("key %d: duplicate node %s in owner order", i, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestRingRejectsEmpty(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{""}, 8); err == nil {
+		t.Error("empty node id accepted")
+	}
+}

@@ -1,7 +1,10 @@
 package service
 
 import (
+	"bytes"
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -13,6 +16,11 @@ import (
 // restarted daemon serves its old artifacts warm. Keys are hex digests
 // (driver.CacheKey plus the request's run spec), so equal keys imply
 // equal artifacts and Put is idempotent.
+//
+// Disk entries are written with a SHA-256 content header and verified
+// on every read: a flipped bit (disk rot, torn write, an operator's
+// stray edit) makes the entry fail verification, and the cache silently
+// deletes it and reports a miss rather than serving a corrupt artifact.
 type Cache struct {
 	mu        sync.Mutex
 	budget    int64 // in-memory byte budget; <= 0 means unbounded
@@ -22,6 +30,7 @@ type Cache struct {
 	dir       string // disk tier root; "" disables it
 	evictions int64
 	diskErrs  int64
+	corrupt   int64
 }
 
 type cacheItem struct {
@@ -36,9 +45,13 @@ type CacheStats struct {
 	BudgetBytes int64 `json:"budget_bytes"`
 	Evictions   int64 `json:"evictions"`
 	DiskErrors  int64 `json:"disk_errors"`
+	// CorruptDrops counts disk entries that failed SHA-256 verification
+	// on read and were deleted instead of served.
+	CorruptDrops int64 `json:"corrupt_drops"`
 }
 
-// Cache tiers reported by Get.
+// Cache tiers reported by Get (plus the two pseudo-tiers the compile
+// handler stamps on responses it served without a local cache read).
 const (
 	TierNone   = ""
 	TierMemory = "memory"
@@ -47,7 +60,15 @@ const (
 	// when a request was served by joining an identical in-flight
 	// compile rather than by the cache.
 	TierInflight = "inflight"
+	// TierRemote is not a Cache tier either: it marks an artifact
+	// fetched from the owning cluster peer instead of recompiled.
+	TierRemote = "remote"
 )
+
+// diskMagic heads every disk-tier file, followed by the hex SHA-256 of
+// the artifact bytes and a newline. Files without the header (or whose
+// body does not hash to the recorded digest) are corrupt and deleted.
+const diskMagic = "titanart1 "
 
 // NewCache returns a cache with the given in-memory budget and optional
 // disk directory (created if missing).
@@ -67,7 +88,7 @@ func NewCache(budgetBytes int64, dir string) (*Cache, error) {
 
 // Get returns the artifact for key and the tier that served it
 // (TierMemory, TierDisk, or TierNone when absent). A disk hit is
-// promoted into memory.
+// verified against its content digest, then promoted into memory.
 func (c *Cache) Get(key string) ([]byte, string) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
@@ -80,18 +101,60 @@ func (c *Cache) Get(key string) ([]byte, string) {
 	if c.dir == "" {
 		return nil, TierNone
 	}
-	blob, err := os.ReadFile(c.path(key))
+	raw, err := os.ReadFile(c.path(key))
 	if err != nil {
+		return nil, TierNone
+	}
+	blob, ok := decodeDiskEntry(raw)
+	if !ok {
+		// Corrupt on disk: drop it so it is recompiled, never served.
+		os.Remove(c.path(key))
+		c.mu.Lock()
+		c.corrupt++
+		c.mu.Unlock()
 		return nil, TierNone
 	}
 	c.put(key, blob, false)
 	return blob, TierDisk
 }
 
+// decodeDiskEntry strips and verifies the content header.
+func decodeDiskEntry(raw []byte) ([]byte, bool) {
+	rest, ok := bytes.CutPrefix(raw, []byte(diskMagic))
+	if !ok {
+		return nil, false
+	}
+	digest, blob, ok := bytes.Cut(rest, []byte{'\n'})
+	if !ok || len(digest) != sha256.Size*2 {
+		return nil, false
+	}
+	sum := sha256.Sum256(blob)
+	if hex.EncodeToString(sum[:]) != string(digest) {
+		return nil, false
+	}
+	return blob, true
+}
+
+// encodeDiskEntry prepends the content header.
+func encodeDiskEntry(blob []byte) []byte {
+	sum := sha256.Sum256(blob)
+	out := make([]byte, 0, len(diskMagic)+sha256.Size*2+1+len(blob))
+	out = append(out, diskMagic...)
+	out = hex.AppendEncode(out, sum[:])
+	out = append(out, '\n')
+	return append(out, blob...)
+}
+
 // Put stores an artifact in memory (budget permitting) and, when a disk
 // tier is configured, durably on disk. Disk failures are counted, not
 // fatal: the cache is an accelerator, never a correctness dependency.
 func (c *Cache) Put(key string, blob []byte) { c.put(key, blob, true) }
+
+// PutLocal stores an artifact in memory only. The remote tier uses it
+// to promote peer-fetched artifacts: the owning peer is the durable
+// copy, so replicating it onto every reader's disk would just multiply
+// the fleet's storage by the node count.
+func (c *Cache) PutLocal(key string, blob []byte) { c.put(key, blob, false) }
 
 func (c *Cache) put(key string, blob []byte, writeDisk bool) {
 	c.mu.Lock()
@@ -118,7 +181,7 @@ func (c *Cache) put(key string, blob []byte, writeDisk bool) {
 		// Atomic publish so a concurrent Get never reads a half-written
 		// artifact and a crash never leaves one behind.
 		tmp := c.path(key) + ".tmp"
-		err := os.WriteFile(tmp, blob, 0o644)
+		err := os.WriteFile(tmp, encodeDiskEntry(blob), 0o644)
 		if err == nil {
 			err = os.Rename(tmp, c.path(key))
 		}
@@ -136,11 +199,12 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Entries:     c.order.Len(),
-		Bytes:       c.bytes,
-		BudgetBytes: c.budget,
-		Evictions:   c.evictions,
-		DiskErrors:  c.diskErrs,
+		Entries:      c.order.Len(),
+		Bytes:        c.bytes,
+		BudgetBytes:  c.budget,
+		Evictions:    c.evictions,
+		DiskErrors:   c.diskErrs,
+		CorruptDrops: c.corrupt,
 	}
 }
 

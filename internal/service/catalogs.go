@@ -21,6 +21,7 @@ import (
 type catalogRegistry struct {
 	mu   sync.RWMutex
 	cats map[string]*inline.Catalog
+	raws map[string][]byte // serialized form, re-served to cluster peers
 	meta map[string]CatalogRecord
 }
 
@@ -35,12 +36,17 @@ type CatalogRecord struct {
 }
 
 func newCatalogRegistry() *catalogRegistry {
-	return &catalogRegistry{cats: map[string]*inline.Catalog{}, meta: map[string]CatalogRecord{}}
+	return &catalogRegistry{
+		cats: map[string]*inline.Catalog{},
+		raws: map[string][]byte{},
+		meta: map[string]CatalogRecord{},
+	}
 }
 
-// add registers a catalog under its fingerprint; re-uploading identical
-// content is idempotent and keeps the original record.
-func (r *catalogRegistry) add(cat *inline.Catalog, name string, size int) (CatalogRecord, bool, error) {
+// add registers a catalog under its fingerprint, keeping the serialized
+// bytes so the registry can re-serve them to cluster peers; re-adding
+// identical content is idempotent and keeps the original record.
+func (r *catalogRegistry) add(cat *inline.Catalog, name string, raw []byte) (CatalogRecord, bool, error) {
 	id, err := cat.Fingerprint()
 	if err != nil {
 		return CatalogRecord{}, false, err
@@ -55,29 +61,42 @@ func (r *catalogRegistry) add(cat *inline.Catalog, name string, size int) (Catal
 		procs = append(procs, p.Name)
 	}
 	sort.Strings(procs)
-	rec := CatalogRecord{ID: id, Name: name, Procs: procs, Globals: len(cat.Globals), Bytes: size, Uploaded: time.Now().UTC()}
+	rec := CatalogRecord{ID: id, Name: name, Procs: procs, Globals: len(cat.Globals), Bytes: len(raw), Uploaded: time.Now().UTC()}
 	r.cats[id] = cat
+	r.raws[id] = append([]byte(nil), raw...)
 	r.meta[id] = rec
 	return rec, true, nil
 }
 
-// resolve maps catalog ids from a compile request to catalogs. Unknown
-// ids are an error naming the id, so clients learn to upload first.
-func (r *catalogRegistry) resolve(ids []string) ([]*inline.Catalog, error) {
+// resolveKnown maps catalog ids to the decoded catalogs this registry
+// holds, returning the ids it does not. The caller decides what a miss
+// means (an error single-node, a peer fetch in cluster mode). The
+// decoded catalogs are shared by pointer — they are immutable after
+// upload — so a batch of compiles resolves once and every unit reuses
+// the same decoded tables.
+func (r *catalogRegistry) resolveKnown(ids []string) (cats []*inline.Catalog, missing []string) {
 	if len(ids) == 0 {
 		return nil, nil
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]*inline.Catalog, 0, len(ids))
+	cats = make([]*inline.Catalog, 0, len(ids))
 	for _, id := range ids {
-		c, ok := r.cats[id]
-		if !ok {
-			return nil, fmt.Errorf("unknown catalog %q: upload it via POST /catalogs first", id)
+		if c, ok := r.cats[id]; ok {
+			cats = append(cats, c)
+		} else {
+			missing = append(missing, id)
 		}
-		out = append(out, c)
 	}
-	return out, nil
+	return cats, missing
+}
+
+// raw returns the serialized bytes of a registered catalog.
+func (r *catalogRegistry) raw(id string) ([]byte, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	b, ok := r.raws[id]
+	return b, ok
 }
 
 func (r *catalogRegistry) list() []CatalogRecord {
@@ -124,7 +143,7 @@ func (s *Server) handleCatalogs(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		rec, created, err := s.registry.add(cat, r.URL.Query().Get("name"), len(body))
+		rec, created, err := s.registry.add(cat, r.URL.Query().Get("name"), body)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
@@ -132,6 +151,9 @@ func (s *Server) handleCatalogs(w http.ResponseWriter, r *http.Request) {
 		status := http.StatusOK
 		if created {
 			status = http.StatusCreated
+			// Hand the catalog to its ring owner so any node can resolve
+			// it in one hop, wherever the client happened to upload it.
+			s.pushCatalogToOwner(rec.ID, body)
 		}
 		writeJSON(w, status, CatalogUploadResponse{Catalog: rec, Created: created})
 	case http.MethodGet:

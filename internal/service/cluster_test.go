@@ -1,0 +1,359 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/driver"
+)
+
+// testCluster is an in-process N-node cluster: each node is a full
+// Server behind its own httptest listener, with a cluster view of every
+// listener URL. Handlers are swapped in after construction because the
+// peer URLs must exist before service.New can build the ring.
+type testCluster struct {
+	nodes   []*Server
+	servers []*httptest.Server
+	clus    []*cluster.Cluster
+}
+
+func newTestCluster(t *testing.T, n int, mutate func(i int, cfg *Config)) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		nodes:   make([]*Server, n),
+		servers: make([]*httptest.Server, n),
+		clus:    make([]*cluster.Cluster, n),
+	}
+	handlers := make([]atomic.Value, n)
+	urls := make([]string, n)
+	for i := range tc.servers {
+		i := i
+		tc.servers[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			h, _ := handlers[i].Load().(http.Handler)
+			if h == nil {
+				http.Error(w, "node starting", http.StatusServiceUnavailable)
+				return
+			}
+			h.ServeHTTP(w, r)
+		}))
+		t.Cleanup(tc.servers[i].Close)
+		urls[i] = tc.servers[i].URL
+	}
+	for i := range tc.nodes {
+		clu, err := cluster.New(cluster.Config{
+			Self:          urls[i],
+			Peers:         urls,
+			FetchTimeout:  2 * time.Second,
+			ProbeInterval: -1, // tests drive ProbeOnce by hand
+		})
+		if err != nil {
+			t.Fatalf("cluster.New node %d: %v", i, err)
+		}
+		t.Cleanup(clu.Close)
+		cfg := Config{Cluster: clu}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New node %d: %v", i, err)
+		}
+		handlers[i].Store(s.Handler())
+		tc.nodes[i] = s
+		tc.clus[i] = clu
+	}
+	for _, clu := range tc.clus {
+		clu.ProbeOnce()
+	}
+	return tc
+}
+
+// ownerIndex returns which node the ring says owns key. Every node
+// computes the same answer; we ask node 0.
+func (tc *testCluster) ownerIndex(t *testing.T, key string) int {
+	t.Helper()
+	owner := tc.clus[0].Owner(key)
+	if owner == nil {
+		return 0
+	}
+	for i, ts := range tc.servers {
+		if ts.URL == owner.URL() {
+			return i
+		}
+	}
+	t.Fatalf("owner of %s is not a cluster member", key)
+	return -1
+}
+
+// waitForArtifact polls a node's local cache until the write-through
+// push for key lands.
+func waitForArtifact(t *testing.T, s *Server, key string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, tier := s.cache.Get(key); tier != TierNone {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("artifact %s never reached the node", key)
+}
+
+// keyFor computes the cache key a request will get, exactly as the
+// serving path does.
+func keyFor(t *testing.T, req CompileRequest) string {
+	t.Helper()
+	if err := validateUnit(&req); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	key, err := requestKey(req, req.Options.driverOptions(nil))
+	if err != nil {
+		t.Fatalf("requestKey: %v", err)
+	}
+	return key
+}
+
+// TestClusterRemoteCacheHit is the tentpole's core promise: a source
+// compiled anywhere in the cluster is a remote cache hit everywhere
+// else, served by the ring owner without recompiling.
+func TestClusterRemoteCacheHit(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	req := CompileRequest{Source: daxpySrc, Options: fullOpts()}
+
+	first, code := postCompile(t, tc.servers[0], req)
+	if code != http.StatusOK || first.Cached {
+		t.Fatalf("first compile: %d cached=%v", code, first.Cached)
+	}
+
+	// The compiling node pushes the artifact to its ring owner
+	// asynchronously; wait for it to land before querying elsewhere.
+	ownerIdx := tc.ownerIndex(t, first.Key)
+	waitForArtifact(t, tc.nodes[ownerIdx], first.Key)
+
+	// Query a node that neither compiled nor owns the artifact: its
+	// only way to answer without compiling is the remote tier.
+	querier := 1
+	if ownerIdx != 0 {
+		querier = 3 - ownerIdx // the node that is neither 0 nor the owner
+	}
+	second, code := postCompile(t, tc.servers[querier], req)
+	if code != http.StatusOK {
+		t.Fatalf("second compile: %d", code)
+	}
+	if !second.Cached || second.CacheTier != TierRemote {
+		t.Fatalf("cross-node request: cached=%v tier=%q, want remote hit", second.Cached, second.CacheTier)
+	}
+	if second.Key != first.Key {
+		t.Errorf("keys differ across nodes: %s vs %s", first.Key, second.Key)
+	}
+
+	m := getMetrics(t, tc.servers[querier])
+	if m.Compiles.RemoteHits != 1 {
+		t.Errorf("remote_hits = %d, want 1", m.Compiles.RemoteHits)
+	}
+	if m.Cluster == nil || len(m.Cluster.Nodes) != 3 || !m.Cluster.Bootstrapped {
+		t.Errorf("cluster snapshot: %+v", m.Cluster)
+	}
+
+	// The remote hit was promoted into local memory: the node answers
+	// the next identical request itself.
+	third, code := postCompile(t, tc.servers[querier], req)
+	if code != http.StatusOK || third.CacheTier != TierMemory {
+		t.Errorf("after promotion: %d tier=%q, want memory hit", code, third.CacheTier)
+	}
+}
+
+// TestClusterPeerDeathDegradesToLocal kills the node that owns a key
+// and asserts the rest of the cluster still answers: the remote lookup
+// fails, the requester compiles locally, no request errors.
+func TestClusterPeerDeathDegradesToLocal(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+
+	// Find a source whose artifact is owned by a node other than 0, so
+	// node 0's request must cross the wire.
+	var req CompileRequest
+	var ownerIdx int
+	for i := 0; ; i++ {
+		req = CompileRequest{Source: fmt.Sprintf("int main(void) { return %d; }", i)}
+		if ownerIdx = tc.ownerIndex(t, keyFor(t, req)); ownerIdx != 0 {
+			break
+		}
+	}
+
+	tc.servers[ownerIdx].Close()
+
+	out, code := postCompile(t, tc.servers[0], req)
+	if code != http.StatusOK {
+		t.Fatalf("compile with dead owner: %d", code)
+	}
+	if out.Cached {
+		t.Errorf("artifact claims cached with the owner dead: tier=%q", out.CacheTier)
+	}
+
+	// The failure is visible in the peer counters, not in the response.
+	m := getMetrics(t, tc.servers[0])
+	var dead *cluster.PeerStatus
+	for i := range m.Cluster.Peers {
+		if m.Cluster.Peers[i].URL == tc.servers[ownerIdx].URL {
+			dead = &m.Cluster.Peers[i]
+		}
+	}
+	if dead == nil {
+		t.Fatal("dead peer missing from snapshot")
+	}
+	if dead.FetchErrors == 0 && dead.FetchTimeouts == 0 && dead.BreakerDrops == 0 {
+		t.Errorf("dead peer shows no failures: %+v", *dead)
+	}
+
+	// Repeat requests keep working (served from node 0's own cache now).
+	again, code := postCompile(t, tc.servers[0], req)
+	if code != http.StatusOK || !again.Cached {
+		t.Errorf("repeat with dead owner: %d cached=%v", code, again.Cached)
+	}
+}
+
+// TestClusterCatalogResolution uploads a §7 catalog to one node and
+// compiles against its id on another: the second node fetches the
+// catalog from its peers, verifies the fingerprint, and inlines.
+func TestClusterCatalogResolution(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	var buf bytes.Buffer
+	if err := driver.WriteCatalogFromSource(&buf, "float scale(float x, float a) { return x * a; }"); err != nil {
+		t.Fatalf("build catalog: %v", err)
+	}
+
+	resp, err := http.Post(tc.servers[0].URL+"/catalogs?name=libscale", "application/octet-stream", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("POST /catalogs: %v", err)
+	}
+	var up CatalogUploadResponse
+	json.NewDecoder(resp.Body).Decode(&up)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: %d %+v", resp.StatusCode, up)
+	}
+
+	src := `
+float scale(float x, float a);
+int main(void) {
+	float r;
+	r = scale(3.0f, 2.0f);
+	if (r == 6.0f) return 0;
+	return 1;
+}
+`
+	// Node 2 has never seen this catalog; it resolves the id through
+	// the cluster (from the owner, or node 0 which has the original).
+	out, code := postCompile(t, tc.servers[2], CompileRequest{
+		Source:     src,
+		Options:    CompileOptions{Inline: true, Catalogs: []string{up.Catalog.ID}},
+		Processors: 1,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("compile with peer catalog: %d", code)
+	}
+	if out.Report.Inline.CallsExpanded == 0 {
+		t.Error("peer-fetched catalog was not inlined")
+	}
+	if out.Run == nil || out.Run.ExitCode != 0 {
+		t.Errorf("run: %+v", out.Run)
+	}
+}
+
+// TestReadyzGatesOnBootstrap: a cluster node is not ready until its
+// first probe round completes, and /healthz stays 200 throughout.
+func TestReadyzGatesOnBootstrap(t *testing.T) {
+	peer := httptest.NewServer(http.NotFoundHandler())
+	defer peer.Close()
+	clu, err := cluster.New(cluster.Config{
+		Self:          "http://self.invalid:1",
+		Peers:         []string{peer.URL},
+		ProbeInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clu.Close()
+	_, ts := newTestServer(t, Config{Cluster: clu})
+
+	check := func(path string, want int, wantStatus string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var h HealthResponse
+		json.NewDecoder(resp.Body).Decode(&h)
+		if resp.StatusCode != want || h.Status != wantStatus {
+			t.Errorf("%s: %d %q, want %d %q", path, resp.StatusCode, h.Status, want, wantStatus)
+		}
+	}
+	check("/readyz", http.StatusServiceUnavailable, "bootstrapping")
+	check("/healthz", http.StatusOK, "ok")
+	clu.ProbeOnce()
+	check("/readyz", http.StatusOK, "ready")
+}
+
+// TestPeerTierEndpoints drives the owner-side storage API directly.
+func TestPeerTierEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	client := ts.Client()
+	key := keyFor(t, CompileRequest{Source: "int main(void) { return 7; }"})
+
+	do := func(method, path string, body []byte) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(method, ts.URL+path, bytes.NewReader(body))
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, path, err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	// Malformed keys never reach storage.
+	if resp := do("GET", "/cache/not-a-key", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed key: %d", resp.StatusCode)
+	}
+	// A miss is 404, not an error.
+	if resp := do("GET", "/cache/"+key, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("miss: %d", resp.StatusCode)
+	}
+	// A write-through must carry the artifact it claims: key mismatch
+	// and undecodable blobs are rejected.
+	other, _ := json.Marshal(CompileResponse{Key: "0000000000000000000000000000000000000000000000000000000000000000"})
+	if resp := do("PUT", "/cache/"+key, other); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("mismatched PUT: %d", resp.StatusCode)
+	}
+	if resp := do("PUT", "/cache/"+key, []byte("not json")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage PUT: %d", resp.StatusCode)
+	}
+	// A valid write-through round-trips.
+	blob, _ := json.Marshal(CompileResponse{Key: key, Asm: "ret"})
+	if resp := do("PUT", "/cache/"+key, blob); resp.StatusCode != http.StatusNoContent {
+		t.Errorf("valid PUT: %d", resp.StatusCode)
+	}
+	resp := do("GET", "/cache/"+key, nil)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache-Tier") != TierMemory {
+		t.Errorf("GET after PUT: %d tier=%q", resp.StatusCode, resp.Header.Get("X-Cache-Tier"))
+	}
+	var got CompileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil || got.Key != key {
+		t.Errorf("round-trip: %v %+v", err, got)
+	}
+	// Schedule plans: miss is 404, catalogs likewise.
+	if resp := do("GET", "/schedules/"+key, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("plan miss: %d", resp.StatusCode)
+	}
+	if resp := do("GET", "/catalogs/deadbeef", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("catalog miss: %d", resp.StatusCode)
+	}
+}

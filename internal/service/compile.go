@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -8,8 +9,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/driver"
 	"repro/internal/inline"
 	"repro/internal/pass"
@@ -48,7 +51,8 @@ type CompileOptions struct {
 	// cycle-minimal set wins. Tuned schedule sets are cached by the
 	// compile's base content fingerprint (source + options, not the run
 	// spec), so repeat tuned requests — even at a different processor
-	// count — reuse the plan without re-measuring.
+	// count, even on a different cluster node — reuse the plan without
+	// re-measuring.
 	Tune bool `json:"tune,omitempty"`
 	// Catalogs lists registry ids (content fingerprints from POST
 	// /catalogs) to attach for inline expansion.
@@ -93,7 +97,8 @@ type RunResult struct {
 
 // CompileResponse is the POST /compile reply. Key, IL, Asm, Report, and
 // Run form the cached artifact; Cached, CacheTier, and ElapsedNS are
-// stamped per request.
+// stamped per request. CacheTier "remote" marks an artifact served by
+// the owning cluster peer rather than recompiled.
 type CompileResponse struct {
 	Key    string       `json:"key"`
 	IL     string       `json:"il"`
@@ -102,16 +107,53 @@ type CompileResponse struct {
 	Run    *RunResult   `json:"run,omitempty"`
 
 	Cached    bool   `json:"cached"`
-	CacheTier string `json:"cache_tier,omitempty"` // memory, disk, or inflight
+	CacheTier string `json:"cache_tier,omitempty"` // memory, disk, inflight, or remote
 	ElapsedNS int64  `json:"elapsed_ns"`
 }
 
 // errQueueFull rejects work when every worker is busy and the queue is
-// at depth; clients should back off and retry.
+// at depth; clients should back off and retry (the 503 carries a
+// Retry-After and the queue geometry).
 var errQueueFull = errors.New("service: compile queue full")
 
-// handleCompile serves POST /compile: cache lookup, then a deduplicated,
-// queued, timed compile.
+// unitOutcome is how one translation unit's request ended: either an
+// artifact blob (with its cache provenance) or an HTTP status + error.
+type unitOutcome struct {
+	blob   []byte
+	cached bool
+	tier   string
+	status int
+	err    error
+}
+
+// validateUnit normalizes and bounds-checks one compile request.
+func validateUnit(req *CompileRequest) error {
+	if req.Source == "" {
+		return errors.New("source must not be empty")
+	}
+	if req.Processors != 0 {
+		// The paper's machine tops out at four processors; reject rather
+		// than silently clamp (§2).
+		if err := titan.ValidateProcessors(req.Processors); err != nil {
+			return err
+		}
+	}
+	if req.Options.VL != 0 {
+		// Strip lengths are bounded by the Titan vector register file;
+		// reject rather than clamp, like the processor count.
+		if err := schedule.ValidateVL(req.Options.VL); err != nil {
+			return err
+		}
+	}
+	if req.Entry == "" {
+		req.Entry = "main"
+	}
+	return nil
+}
+
+// handleCompile serves POST /compile: admission, cache lookup (local
+// tiers, then the owning peer), then a deduplicated, queued, timed
+// compile.
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
@@ -119,8 +161,6 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	s.metrics.begin()
-	defer s.metrics.end()
 
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
@@ -132,45 +172,46 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	if req.Source == "" {
-		httpError(w, http.StatusBadRequest, errors.New("source must not be empty"))
+	if err := validateUnit(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if req.Processors != 0 {
-		// The paper's machine tops out at four processors; reject rather
-		// than silently clamp (§2).
-		if err := titan.ValidateProcessors(req.Processors); err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
+	if !s.admit(w, r, 1) {
+		return
 	}
-	if req.Options.VL != 0 {
-		// Strip lengths are bounded by the Titan vector register file;
-		// reject rather than clamp, like the processor count.
-		if err := schedule.ValidateVL(req.Options.VL); err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-	}
-	if req.Entry == "" {
-		req.Entry = "main"
-	}
-	cats, err := s.registry.resolve(req.Options.Catalogs)
+	cats, err := s.resolveCatalogs(req.Options.Catalogs)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	opts := req.Options.driverOptions(cats)
+	out := s.serveUnit(r.Context(), req, req.Options.driverOptions(cats))
+	s.writeUnit(w, out, start)
+}
+
+// serveUnit runs the full per-unit path: key, local cache, remote peer
+// tier, then the deduplicated queued compile bounded by the server
+// timeout. Both POST /compile and each unit of POST /compile/batch land
+// here, so the two endpoints share caching, dedup, and admission
+// semantics exactly.
+func (s *Server) serveUnit(ctx context.Context, req CompileRequest, opts driver.Options) unitOutcome {
+	s.metrics.begin()
+	defer s.metrics.end()
+
 	key, err := requestKey(req, opts)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+		return unitOutcome{status: http.StatusBadRequest, err: err}
 	}
 
 	if blob, tier := s.cache.Get(key); tier != TierNone {
 		s.metrics.hit(tier)
-		s.respondArtifact(w, blob, start, true, tier)
-		return
+		return unitOutcome{blob: blob, cached: true, tier: tier}
+	}
+	if blob, ok := s.remoteFetch(key); ok {
+		s.metrics.hit(TierRemote)
+		// Promote into local memory (not disk: the owner keeps the
+		// durable copy) so the node's next request is a memory hit.
+		s.cache.PutLocal(key, blob)
+		return unitOutcome{blob: blob, cached: true, tier: TierRemote}
 	}
 
 	fl, leader := s.flight.do(key, &s.inflight, func() ([]byte, error) {
@@ -184,36 +225,134 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		if fl.err != nil {
 			if errors.Is(fl.err, errQueueFull) {
 				s.metrics.rejected()
-				httpError(w, http.StatusServiceUnavailable, fl.err)
-				return
+				return unitOutcome{status: http.StatusServiceUnavailable, err: fl.err}
 			}
 			s.metrics.failed()
-			compileError(w, http.StatusUnprocessableEntity, fl.err)
-			return
+			return unitOutcome{status: http.StatusUnprocessableEntity, err: fl.err}
 		}
 		if leader {
 			// The leader's compile already recorded the miss (with its
 			// pass report) in s.compile.
-			s.respondArtifact(w, fl.blob, start, false, TierNone)
-		} else {
-			s.metrics.hit(TierInflight)
-			s.respondArtifact(w, fl.blob, start, true, TierInflight)
+			return unitOutcome{blob: fl.blob}
 		}
+		s.metrics.hit(TierInflight)
+		return unitOutcome{blob: fl.blob, cached: true, tier: TierInflight}
 	case <-timeout.C:
 		// The compile keeps running (it is tracked for drain and will
 		// warm the cache); only this request gives up waiting.
 		s.metrics.timeout()
-		httpError(w, http.StatusGatewayTimeout,
-			fmt.Errorf("compile still running after %s; retry to pick up the cached result", s.cfg.Timeout))
-	case <-r.Context().Done():
+		return unitOutcome{status: http.StatusGatewayTimeout,
+			err: fmt.Errorf("compile still running after %s; retry to pick up the cached result", s.cfg.Timeout)}
+	case <-ctx.Done():
 		s.metrics.timeout()
-		httpError(w, http.StatusServiceUnavailable, r.Context().Err())
+		return unitOutcome{status: http.StatusServiceUnavailable, err: ctx.Err()}
 	}
+}
+
+// writeUnit turns a unit outcome into the HTTP response for the single
+// /compile endpoint.
+func (s *Server) writeUnit(w http.ResponseWriter, out unitOutcome, start time.Time) {
+	if out.err != nil {
+		if errors.Is(out.err, errQueueFull) {
+			s.writeQueueFull(w, out.err)
+			return
+		}
+		if out.status == http.StatusUnprocessableEntity {
+			compileError(w, out.status, out.err)
+			return
+		}
+		httpError(w, out.status, out.err)
+		return
+	}
+	s.respondArtifact(w, out.blob, start, out.cached, out.tier)
+}
+
+// writeQueueFull is the admission-queue 503: a Retry-After header plus
+// a JSON body naming the queue geometry, so clients (titanload included)
+// can back off by the server's own estimate instead of guessing.
+func (s *Server) writeQueueFull(w http.ResponseWriter, err error) {
+	occupied := len(s.queueSem)
+	queued := occupied - s.cfg.Workers
+	if queued < 0 {
+		queued = 0
+	}
+	wait := s.queueWaitEstimate(queued)
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(wait)))
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":          err.Error(),
+		"queue_depth":    s.cfg.QueueDepth,
+		"queued":         queued,
+		"workers":        s.cfg.Workers,
+		"retry_after_ms": wait.Milliseconds(),
+	})
+}
+
+// queueWaitEstimate guesses how long the backlog needs to drain: the
+// observed mean compile latency times the queue length per worker.
+// Crude, but an honest crude number beats a bare 503.
+func (s *Server) queueWaitEstimate(queued int) time.Duration {
+	mean := s.metrics.meanLatency()
+	if mean <= 0 {
+		mean = time.Second
+	}
+	est := mean * time.Duration(queued/s.cfg.Workers+1)
+	if est > 30*time.Second {
+		est = 30 * time.Second
+	}
+	return est
+}
+
+// remoteFetch consults the cluster for a key this node does not own:
+// when the owner is a remote peer, ask it (deduplicating concurrent
+// fetches of the same key singleflight-style). Reports false — degrade
+// to a local compile — when clustering is off, this node is the owner,
+// the owner misses, or the owner is unreachable.
+func (s *Server) remoteFetch(key string) ([]byte, bool) {
+	if !s.cluster.Enabled() {
+		return nil, false
+	}
+	owner := s.cluster.Owner(key)
+	if owner == nil {
+		return nil, false // we own it; a local miss means compile
+	}
+	fl, _ := s.flight.do("remote\x00"+key, &s.inflight, func() ([]byte, error) {
+		blob, found, err := owner.Fetch(cluster.CachePath(key))
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			return nil, errRemoteMiss
+		}
+		return blob, nil
+	})
+	<-fl.done
+	return fl.blob, fl.err == nil
+}
+
+// errRemoteMiss marks a clean 404 from the owning peer (vs. a failure).
+var errRemoteMiss = errors.New("service: owner peer does not have the key")
+
+// pushToOwner write-throughs a freshly compiled artifact to the key's
+// owning peer, asynchronously and best-effort: the push rides the drain
+// WaitGroup so shutdown doesn't strand it, but a failed push costs only
+// future cache efficiency (the peer counters record it).
+func (s *Server) pushToOwner(key string, blob []byte) {
+	owner := s.cluster.Owner(key)
+	if owner == nil {
+		return
+	}
+	s.inflight.Add(1)
+	go func() {
+		defer s.inflight.Done()
+		owner.Push(http.MethodPut, cluster.CachePath(key), "application/json", blob)
+	}()
 }
 
 // requestKey extends the driver's content-addressed compile key with the
 // run spec, so "compile" and "compile and simulate on 2 processors" are
-// distinct artifacts.
+// distinct artifacts. The key is a pure function of request content, so
+// every cluster node computes the same key — which is what makes ring
+// ownership coherent.
 func requestKey(req CompileRequest, opts driver.Options) (string, error) {
 	base, err := driver.CacheKey(req.Source, opts)
 	if err != nil {
@@ -233,7 +372,8 @@ func requestKey(req CompileRequest, opts driver.Options) (string, error) {
 }
 
 // compile is the leader path: take a queue slot, wait for a worker, run
-// the full pipeline (plus optional simulation), cache the artifact.
+// the full pipeline (plus optional simulation), cache the artifact and
+// write it through to its cluster owner.
 func (s *Server) compile(key string, req CompileRequest, opts driver.Options) ([]byte, error) {
 	select {
 	case s.queueSem <- struct{}{}:
@@ -298,24 +438,30 @@ func (s *Server) compile(key string, req CompileRequest, opts driver.Options) ([
 		return nil, err
 	}
 	s.cache.Put(key, blob)
+	s.pushToOwner(key, blob)
 	s.metrics.miss(res.Report)
 	return blob, nil
 }
 
-// tunedSchedules returns the tuned schedule set for the request's unit,
-// from the schedule cache when a previous request already paid for the
-// search, otherwise by running the autotuner (and publishing the result).
-// The cache key is the base compile fingerprint plus the tuning entry —
+// tunedSchedules returns the tuned schedule set for the request's unit:
+// from the local schedule cache when a previous request already paid for
+// the search, else from the plan's owning cluster peer, else by running
+// the autotuner (and publishing the result locally and to the owner).
+// The plan key is the base compile fingerprint plus the tuning entry —
 // NOT the run spec — so requests that differ only in processor count
-// share one tuned plan.
+// share one tuned plan, cluster-wide.
 func (s *Server) tunedSchedules(req CompileRequest, opts driver.Options) (*tune.Result, error) {
-	base, err := driver.CacheKey(req.Source, opts)
+	key, err := planKey(req, opts)
 	if err != nil {
 		return nil, err
 	}
-	key := base + "/tune:" + req.Entry
 	if tres, ok := s.schedules.get(key); ok {
 		s.metrics.schedHit()
+		return tres, nil
+	}
+	if tres, ok := s.remotePlanFetch(key); ok {
+		s.metrics.schedRemoteHit()
+		s.schedules.put(key, tres)
 		return tres, nil
 	}
 	s.metrics.schedMiss()
@@ -329,7 +475,20 @@ func (s *Server) tunedSchedules(req CompileRequest, opts driver.Options) (*tune.
 	}
 	s.schedules.put(key, tres)
 	s.metrics.tuned()
+	s.pushPlanToOwner(key, tres)
 	return tres, nil
+}
+
+// planKey is the cluster-wide identity of a tuned schedule plan: a hex
+// digest over the base compile fingerprint and the tuning entry, hex so
+// it can ride the peer tier's /schedules/{key} path like cache keys do.
+func planKey(req CompileRequest, opts driver.Options) (string, error) {
+	base, err := driver.CacheKey(req.Source, opts)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(base + "\ntune:entry=" + req.Entry))
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // compileError writes a compile failure, attaching the positioned

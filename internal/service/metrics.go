@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/cluster"
 	"repro/internal/pass"
 )
 
@@ -17,6 +18,7 @@ type metrics struct {
 	start    time.Time
 	compiles CompileCounters
 	tuneCtrs TuneCounters
+	batches  BatchCounters
 	passes   map[string]*PassTotals
 	analysis analysis.Stats
 	remarks  map[string]int64
@@ -24,30 +26,43 @@ type metrics struct {
 }
 
 // CompileCounters counts request outcomes. CacheHits is the sum of the
-// per-tier hit counters; Total = CacheHits + CacheMisses + Errors +
-// Rejected (timeouts are not an outcome — the compile a timed-out
-// request started still completes and lands in Misses).
+// per-tier hit counters (memory, disk, inflight, remote); Total =
+// CacheHits + CacheMisses + Errors + Rejected + RateLimited (timeouts
+// are not an outcome — the compile a timed-out request started still
+// completes and lands in Misses).
 type CompileCounters struct {
 	Total        int64 `json:"total"`
 	CacheHits    int64 `json:"cache_hits"`
 	MemoryHits   int64 `json:"memory_hits"`
 	DiskHits     int64 `json:"disk_hits"`
 	InflightHits int64 `json:"inflight_hits"` // joined an identical running compile
+	RemoteHits   int64 `json:"remote_hits"`   // artifact fetched from the owning peer
 	CacheMisses  int64 `json:"cache_misses"`
 	Errors       int64 `json:"errors"`
-	Rejected     int64 `json:"rejected"` // queue full
+	Rejected     int64 `json:"rejected"`     // queue full
+	RateLimited  int64 `json:"rate_limited"` // per-client token bucket said no
 	Timeouts     int64 `json:"timeouts"`
-	InFlight     int64 `json:"in_flight"` // gauge: requests inside the handler now
+	InFlight     int64 `json:"in_flight"` // gauge: units inside the compile path now
+}
+
+// BatchCounters tracks POST /compile/batch: how many batch requests
+// arrived and how many translation units they carried (each unit also
+// lands in CompileCounters like a single request would).
+type BatchCounters struct {
+	Batches int64 `json:"batches"`
+	Units   int64 `json:"units"`
 }
 
 // TuneCounters tracks the autotuner's schedule cache. A tuned request
-// either reuses a cached plan (ScheduleCacheHits) or pays for a fresh
-// search (ScheduleCacheMisses, each of which becomes one Tunes once the
-// search completes and publishes). Entries is the live cache size.
+// either reuses a cached plan (ScheduleCacheHits), pulls one the owning
+// peer already paid for (PlanRemoteHits), or pays for a fresh search
+// (each completed search becomes one Tunes). Entries is the live cache
+// size.
 type TuneCounters struct {
 	Tunes               int64 `json:"tunes"`
 	ScheduleCacheHits   int64 `json:"schedule_cache_hits"`
 	ScheduleCacheMisses int64 `json:"schedule_cache_misses"`
+	PlanRemoteHits      int64 `json:"plan_remote_hits"`
 	Entries             int   `json:"entries"`
 }
 
@@ -85,8 +100,13 @@ type MetricsResponse struct {
 	Remarks map[string]int64 `json:"remarks,omitempty"`
 	// Tune is the autotuner's schedule-cache tally: a repeat tuned
 	// request shows up as a schedule_cache_hit with tunes flat.
-	Tune    TuneCounters   `json:"tune"`
+	Tune TuneCounters `json:"tune"`
+	// Batch tracks POST /compile/batch traffic.
+	Batch   BatchCounters  `json:"batch"`
 	Latency LatencySummary `json:"latency"`
+	// Cluster is the node's ring and per-peer health/counter view,
+	// omitted when the daemon runs single-node.
+	Cluster *cluster.Snapshot `json:"cluster,omitempty"`
 }
 
 func newMetrics() *metrics {
@@ -106,7 +126,7 @@ func (m *metrics) end() {
 }
 
 // hit records a request served without compiling, by tier (TierMemory,
-// TierDisk, or TierInflight).
+// TierDisk, TierInflight, or TierRemote).
 func (m *metrics) hit(tier string) {
 	m.mu.Lock()
 	m.compiles.Total++
@@ -118,6 +138,8 @@ func (m *metrics) hit(tier string) {
 		m.compiles.DiskHits++
 	case TierInflight:
 		m.compiles.InflightHits++
+	case TierRemote:
+		m.compiles.RemoteHits++
 	}
 	m.mu.Unlock()
 }
@@ -160,9 +182,29 @@ func (m *metrics) schedMiss() {
 	m.mu.Unlock()
 }
 
+func (m *metrics) schedRemoteHit() {
+	m.mu.Lock()
+	m.tuneCtrs.PlanRemoteHits++
+	m.mu.Unlock()
+}
+
 func (m *metrics) tuned() {
 	m.mu.Lock()
 	m.tuneCtrs.Tunes++
+	m.mu.Unlock()
+}
+
+func (m *metrics) batch(units int) {
+	m.mu.Lock()
+	m.batches.Batches++
+	m.batches.Units += int64(units)
+	m.mu.Unlock()
+}
+
+func (m *metrics) rateLimited() {
+	m.mu.Lock()
+	m.compiles.Total++
+	m.compiles.RateLimited++
 	m.mu.Unlock()
 }
 
@@ -186,6 +228,17 @@ func (m *metrics) timeout() {
 	m.mu.Unlock()
 }
 
+// meanLatency is the observed mean end-to-end latency (0 before any
+// response); the queue-full 503 uses it to estimate Retry-After.
+func (m *metrics) meanLatency() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.latency.Count == 0 {
+		return 0
+	}
+	return time.Duration(m.latency.TotalNS / m.latency.Count)
+}
+
 func (m *metrics) observe(d time.Duration) {
 	ns := d.Nanoseconds()
 	m.mu.Lock()
@@ -201,7 +254,7 @@ func (m *metrics) observe(d time.Duration) {
 	m.mu.Unlock()
 }
 
-func (m *metrics) snapshot(cache CacheStats, catalogs, schedEntries int) MetricsResponse {
+func (m *metrics) snapshot(cache CacheStats, catalogs, schedEntries int, clu *cluster.Snapshot) MetricsResponse {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	passes := make(map[string]PassTotals, len(m.passes))
@@ -230,6 +283,8 @@ func (m *metrics) snapshot(cache CacheStats, catalogs, schedEntries int) Metrics
 		Analysis: m.analysis,
 		Remarks:  remarks,
 		Tune:     tc,
+		Batch:    m.batches,
 		Latency:  lat,
+		Cluster:  clu,
 	}
 }

@@ -1,0 +1,251 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/cluster"
+	"repro/internal/inline"
+	"repro/internal/tune"
+)
+
+// The peer tier is the owner side of cluster mode: plain content-
+// addressed storage endpoints that cluster members call on each other.
+//
+//	GET /cache/{key}      — serve a locally cached artifact (never
+//	                        recursing to the remote tier, never compiling)
+//	PUT /cache/{key}      — accept a write-through from the node that
+//	                        compiled an artifact this node owns
+//	GET /schedules/{key}  — serve a tuned schedule plan
+//	PUT /schedules/{key}  — accept a tuned plan write-through
+//	GET /catalogs/{id}    — serve a registered §7 catalog's raw bytes
+//
+// Everything stored here is content-addressed, so the handlers are
+// idempotent and need no coordination: re-PUTting an artifact is a
+// no-op, and a GET either has the exact bytes or answers 404 (the
+// requester then compiles locally — a peer miss is never an error).
+
+// validKey gates peer-tier keys: artifact and plan keys are SHA-256 hex
+// digests; anything else is rejected before it can touch the disk tier.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// handleCacheGet serves GET /cache/{key}: the local memory and disk
+// tiers only. Deliberately no remote recursion — the requester already
+// determined this node is the owner, and owners that re-forward would
+// turn one lookup into a storm.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validKey(key) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("malformed cache key %q", key))
+		return
+	}
+	blob, tier := s.cache.Get(key)
+	if tier == TierNone {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no artifact for key %s", key))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache-Tier", tier)
+	w.Write(blob)
+}
+
+// handleCachePut accepts a write-through artifact from a peer. The blob
+// must decode as an artifact whose embedded key matches the path — a
+// peer (or a confused client) cannot poison key K with artifact B.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validKey(key) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("malformed cache key %q", key))
+		return
+	}
+	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("reading artifact body: %w", err))
+		return
+	}
+	var art CompileResponse
+	if err := json.Unmarshal(blob, &art); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("artifact does not decode: %w", err))
+		return
+	}
+	if art.Key != key {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("artifact key %s does not match path key %s", art.Key, key))
+		return
+	}
+	s.cache.Put(key, blob)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleScheduleGet serves GET /schedules/{key}: a tuned plan this node
+// holds, as tune.Result JSON.
+func (s *Server) handleScheduleGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validKey(key) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("malformed plan key %q", key))
+		return
+	}
+	tres, ok := s.schedules.get(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no tuned plan for key %s", key))
+		return
+	}
+	writeJSON(w, http.StatusOK, tres)
+}
+
+// handleSchedulePut accepts a tuned-plan write-through.
+func (s *Server) handleSchedulePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validKey(key) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("malformed plan key %q", key))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("reading plan body: %w", err))
+		return
+	}
+	var tres tune.Result
+	if err := json.Unmarshal(body, &tres); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("plan does not decode: %w", err))
+		return
+	}
+	s.schedules.put(key, &tres)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleCatalogGet serves GET /catalogs/{id}: the raw serialized bytes
+// of a registered catalog, for peers resolving a catalog id they don't
+// hold. Catalog ids are content fingerprints, so the caller verifies
+// what it gets.
+func (s *Server) handleCatalogGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	raw, ok := s.registry.raw(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no catalog %q registered here", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(raw)
+}
+
+// remotePlanFetch asks the plan's owning peer for a tuned schedule set
+// some other node already paid to search.
+func (s *Server) remotePlanFetch(key string) (*tune.Result, bool) {
+	if !s.cluster.Enabled() {
+		return nil, false
+	}
+	owner := s.cluster.Owner(key)
+	if owner == nil {
+		return nil, false
+	}
+	blob, found, err := owner.Fetch(cluster.SchedulePath(key))
+	if err != nil || !found {
+		return nil, false
+	}
+	var tres tune.Result
+	if err := json.Unmarshal(blob, &tres); err != nil {
+		return nil, false
+	}
+	return &tres, true
+}
+
+// pushPlanToOwner write-throughs a freshly tuned plan to its owner,
+// asynchronously: tuning costs dozens of measured compiles, so sharing
+// the result is the single highest-value byte stream in the cluster.
+func (s *Server) pushPlanToOwner(key string, tres *tune.Result) {
+	owner := s.cluster.Owner(key)
+	if owner == nil {
+		return
+	}
+	blob, err := json.Marshal(tres)
+	if err != nil {
+		return
+	}
+	s.inflight.Add(1)
+	go func() {
+		defer s.inflight.Done()
+		owner.Push(http.MethodPut, cluster.SchedulePath(key), "application/json", blob)
+	}()
+}
+
+// resolveCatalogs maps catalog ids to decoded catalogs: from the local
+// registry first, then — in cluster mode — from peers in ring order
+// (owner first). A catalog fetched from a peer is verified against its
+// content fingerprint and registered locally, so the fleet converges on
+// every node holding what its clients use.
+func (s *Server) resolveCatalogs(ids []string) ([]*inline.Catalog, error) {
+	cats, missing := s.registry.resolveKnown(ids)
+	if len(missing) == 0 {
+		return cats, nil
+	}
+	if !s.cluster.Enabled() {
+		return nil, fmt.Errorf("unknown catalog %q: upload it via POST /catalogs first", missing[0])
+	}
+	for _, id := range missing {
+		if err := s.fetchCatalogFromPeers(id); err != nil {
+			return nil, err
+		}
+	}
+	cats, missing = s.registry.resolveKnown(ids)
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("unknown catalog %q: upload it via POST /catalogs first", missing[0])
+	}
+	return cats, nil
+}
+
+// fetchCatalogFromPeers walks the id's ring preference order asking
+// each peer for the raw catalog. Content is verified: bytes that do not
+// decode, or decode to a different fingerprint, are discarded and the
+// walk continues.
+func (s *Server) fetchCatalogFromPeers(id string) error {
+	for _, p := range s.cluster.OwnerOrder(id) {
+		raw, found, err := p.Fetch(cluster.CatalogPath(id))
+		if err != nil || !found {
+			continue
+		}
+		cat, err := inline.ReadCatalog(bytes.NewReader(raw))
+		if err != nil {
+			continue
+		}
+		fp, err := cat.Fingerprint()
+		if err != nil || fp != id {
+			continue
+		}
+		s.registry.add(cat, "", raw)
+		return nil
+	}
+	return fmt.Errorf("unknown catalog %q: not registered here or on any reachable peer; upload it via POST /catalogs first", id)
+}
+
+// pushCatalogToOwner write-throughs an uploaded catalog to its owning
+// peer so cluster-wide resolution is one hop from anywhere.
+func (s *Server) pushCatalogToOwner(id string, raw []byte) {
+	if !s.cluster.Enabled() {
+		return
+	}
+	owner := s.cluster.Owner(id)
+	if owner == nil {
+		return
+	}
+	buf := make([]byte, len(raw))
+	copy(buf, raw)
+	s.inflight.Add(1)
+	go func() {
+		defer s.inflight.Done()
+		owner.Push(http.MethodPost, "/catalogs", "application/octet-stream", buf)
+	}()
+}

@@ -7,19 +7,34 @@
 //
 // The daemon exposes:
 //
-//	POST /compile  — C source + options → IL, Titan assembly, the pass
-//	                 report, and optionally a simulation result
-//	POST /catalogs — upload a §7 procedure catalog; registered by
-//	                 content fingerprint
-//	GET  /catalogs — list the catalog registry
-//	GET  /metrics  — aggregated pass.Report, cache and queue counters,
-//	                 latency summary
-//	GET  /healthz  — liveness and drain state
+//	POST /compile        — C source + options → IL, Titan assembly, the
+//	                       pass report, and optionally a simulation result
+//	POST /compile/batch  — a whole translation set in one round-trip,
+//	                       sharing decoded catalogs across the units
+//	POST /catalogs       — upload a §7 procedure catalog; registered by
+//	                       content fingerprint
+//	GET  /catalogs       — list the catalog registry
+//	GET  /metrics        — aggregated pass.Report, cache/queue/cluster
+//	                       counters, latency summary
+//	GET  /healthz        — liveness (is the process up)
+//	GET  /readyz         — readiness (false while draining or while the
+//	                       peer ring is bootstrapping)
 //
 // Compiles run on a bounded worker pool behind a bounded queue (overload
-// answers 503, not collapse), identical in-flight requests are
-// deduplicated singleflight-style, and results land in an in-memory LRU
-// under a byte budget with an optional disk tier so restarts stay warm.
+// answers 503 with a Retry-After, not collapse), identical in-flight
+// requests are deduplicated singleflight-style, and results land in an
+// in-memory LRU under a byte budget with an optional disk tier so
+// restarts stay warm. An optional per-client token bucket keeps one
+// greedy client from starving the admission queue for everyone else.
+//
+// In cluster mode (see internal/cluster) N daemons share one cache
+// namespace: artifact keys, tuned-schedule plans, and catalogs each have
+// an owner node on a consistent-hash ring, a local miss consults the
+// owner before recompiling (GET /cache/{key} on the peer tier), and
+// completed work is written through to its owner — so a unit compiled or
+// tuned anywhere is a one-hop hit everywhere. Peer failures degrade to
+// local compilation; they never fail a request.
+//
 // Shutdown drains: in-flight compiles finish and publish to the cache
 // before the daemon exits.
 package service
@@ -31,6 +46,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/cluster"
 )
 
 // Config sizes the daemon. The zero value is usable: every field has a
@@ -52,6 +69,20 @@ type Config struct {
 	CacheDir string
 	// MaxBodyBytes bounds request bodies (default 8 MiB).
 	MaxBodyBytes int64
+	// MaxBatchUnits bounds the translation units in one POST
+	// /compile/batch (default 256).
+	MaxBatchUnits int
+	// Cluster, when non-nil, joins this node to a peer ring: cache
+	// keys, tuned plans, and catalogs gain cluster-wide owners, and a
+	// local miss consults the owner before recompiling. The caller
+	// retains ownership (titand closes it at shutdown).
+	Cluster *cluster.Cluster
+	// RatePerSec > 0 enables per-client admission rate limiting: each
+	// client ID (X-Client-ID header, else the peer host) gets a token
+	// bucket refilled at this rate. A batch of N units costs N tokens.
+	RatePerSec float64
+	// RateBurst is the bucket capacity (default 2×RatePerSec, min 1).
+	RateBurst int
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +101,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.MaxBatchUnits <= 0 {
+		c.MaxBatchUnits = 256
+	}
+	if c.RatePerSec > 0 && c.RateBurst <= 0 {
+		c.RateBurst = int(2 * c.RatePerSec)
+		if c.RateBurst < 1 {
+			c.RateBurst = 1
+		}
+	}
 	return c
 }
 
@@ -82,6 +122,8 @@ type Server struct {
 	registry  *catalogRegistry
 	metrics   *metrics
 	flight    flightGroup
+	cluster   *cluster.Cluster // nil in single-node mode
+	limiter   *rateLimiter     // nil when rate limiting is off
 
 	queueSem  chan struct{} // admission: Workers+QueueDepth slots
 	workerSem chan struct{} // execution: Workers slots
@@ -100,24 +142,39 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		cache:     cache,
 		schedules: newScheduleCache(),
 		registry:  newCatalogRegistry(),
 		metrics:   newMetrics(),
+		cluster:   cfg.Cluster,
 		queueSem:  make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		workerSem: make(chan struct{}, cfg.Workers),
-	}, nil
+	}
+	if cfg.RatePerSec > 0 {
+		s.limiter = newRateLimiter(cfg.RatePerSec, float64(cfg.RateBurst))
+	}
+	return s, nil
 }
 
-// Handler returns the daemon's route table.
+// Handler returns the daemon's route table: the client API plus the
+// peer tier cluster members use among themselves.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/compile/batch", s.handleBatch)
 	mux.HandleFunc("/catalogs", s.handleCatalogs)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	// Peer tier: owner-side storage for the cluster's remote cache,
+	// tuned-plan, and catalog lookups.
+	mux.HandleFunc("GET /cache/{key}", s.handleCacheGet)
+	mux.HandleFunc("PUT /cache/{key}", s.handleCachePut)
+	mux.HandleFunc("GET /schedules/{key}", s.handleScheduleGet)
+	mux.HandleFunc("PUT /schedules/{key}", s.handleSchedulePut)
+	mux.HandleFunc("GET /catalogs/{id}", s.handleCatalogGet)
 	return mux
 }
 
@@ -127,32 +184,52 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.Stats(), s.registry.count(), s.schedules.len()))
+	writeJSON(w, http.StatusOK,
+		s.metrics.snapshot(s.cache.Stats(), s.registry.count(), s.schedules.len(), s.cluster.Snapshot()))
 }
 
-// HealthResponse is the GET /healthz body.
+// HealthResponse is the GET /healthz and /readyz body.
 type HealthResponse struct {
-	Status   string `json:"status"` // ok | draining
+	Status   string `json:"status"` // ok | ready | draining | bootstrapping
 	InFlight int64  `json:"in_flight"`
 	UptimeNS int64  `json:"uptime_ns"`
 }
 
+// handleHealthz is pure liveness: if the process can answer, it is
+// alive — even while draining. Orchestrators use this to decide whether
+// to restart the process, so reporting unhealthy during a graceful
+// drain would turn every deploy into a kill.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	snap := s.metrics.snapshot(CacheStats{}, 0, 0)
-	h := HealthResponse{Status: "ok", InFlight: snap.Compiles.InFlight, UptimeNS: snap.UptimeNS}
+	snap := s.metrics.snapshot(CacheStats{}, 0, 0, nil)
+	writeJSON(w, http.StatusOK,
+		HealthResponse{Status: "ok", InFlight: snap.Compiles.InFlight, UptimeNS: snap.UptimeNS})
+}
+
+// handleReadyz is routability: 503 while draining (stop sending new
+// work; existing work finishes) and while the peer ring is still
+// bootstrapping (the node would compile everything locally and miss the
+// remote tier). Load balancers and cluster peers route around nodes
+// that answer not-ready.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.snapshot(CacheStats{}, 0, 0, nil)
+	h := HealthResponse{Status: "ready", InFlight: snap.Compiles.InFlight, UptimeNS: snap.UptimeNS}
 	status := http.StatusOK
-	if s.draining.Load() {
-		// Load balancers should stop routing here; existing work drains.
+	switch {
+	case s.draining.Load():
 		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	case !s.cluster.Bootstrapped():
+		h.Status = "bootstrapping"
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, h)
 }
 
-// Drain marks the server draining and waits for every tracked compile —
-// including compiles whose requester already timed out — to finish and
-// publish to the cache, or for ctx to expire. The caller shuts the
-// http.Server down first (which waits for in-flight handlers), then
+// Drain marks the server draining (readiness goes false so the cluster
+// routes around it) and waits for every tracked compile — including
+// compiles whose requester already timed out, and write-through pushes
+// to peer owners — to finish, or for ctx to expire. The caller shuts
+// the http.Server down first (which waits for in-flight handlers), then
 // drains the compile pool.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)

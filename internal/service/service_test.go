@@ -431,16 +431,25 @@ func TestDrainWaitsForInflightCompiles(t *testing.T) {
 		t.Error("drained compile did not publish to the cache")
 	}
 
-	// And the daemon advertises the drain on /healthz.
-	resp, err := http.Get(ts.URL + "/healthz")
+	// The drain shows on readiness (route new work elsewhere) but not
+	// on liveness (do not restart a draining process).
+	resp, err := http.Get(ts.URL + "/readyz")
 	if err != nil {
-		t.Fatalf("GET /healthz: %v", err)
+		t.Fatalf("GET /readyz: %v", err)
 	}
 	defer resp.Body.Close()
 	var h HealthResponse
 	json.NewDecoder(resp.Body).Decode(&h)
 	if resp.StatusCode != http.StatusServiceUnavailable || h.Status != "draining" {
-		t.Errorf("healthz during drain: %d %+v", resp.StatusCode, h)
+		t.Errorf("readyz during drain: %d %+v", resp.StatusCode, h)
+	}
+	live, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer live.Body.Close()
+	if live.StatusCode != http.StatusOK {
+		t.Errorf("healthz during drain: %d, want 200 (liveness is not readiness)", live.StatusCode)
 	}
 }
 
@@ -474,9 +483,32 @@ func TestQueueFullRejects(t *testing.T) {
 		t.Fatalf("queue not saturated: %d", len(s.queueSem))
 	}
 
-	_, code := postCompile(t, ts, CompileRequest{Source: "int main(void) { return 2; }"})
-	if code != http.StatusServiceUnavailable {
-		t.Fatalf("overload status %d, want 503", code)
+	body, _ := json.Marshal(CompileRequest{Source: "int main(void) { return 2; }"})
+	resp, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /compile: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overload status %d, want 503", resp.StatusCode)
+	}
+	// The 503 tells the client when and why: a Retry-After estimate and
+	// a body naming the queue state it hit.
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("queue-full 503 missing Retry-After header")
+	}
+	var payload struct {
+		Error        string `json:"error"`
+		QueueDepth   int    `json:"queue_depth"`
+		Queued       int    `json:"queued"`
+		Workers      int    `json:"workers"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatalf("decode 503 body: %v", err)
+	}
+	if payload.QueueDepth != 1 || payload.Workers != 1 || payload.RetryAfterMS < 1 {
+		t.Errorf("503 body: %+v", payload)
 	}
 	m := getMetrics(t, ts)
 	if m.Compiles.Rejected != 1 {
@@ -484,7 +516,7 @@ func TestQueueFullRejects(t *testing.T) {
 	}
 }
 
-func TestHealthz(t *testing.T) {
+func TestHealthzAndReadyz(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -497,6 +529,19 @@ func TestHealthz(t *testing.T) {
 	}
 	if resp.StatusCode != http.StatusOK || h.Status != "ok" {
 		t.Errorf("healthz: %d %+v", resp.StatusCode, h)
+	}
+	// A single-node server (nil cluster) is born ready.
+	rresp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	defer rresp.Body.Close()
+	var rh HealthResponse
+	if err := json.NewDecoder(rresp.Body).Decode(&rh); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if rresp.StatusCode != http.StatusOK || rh.Status != "ready" {
+		t.Errorf("readyz: %d %+v", rresp.StatusCode, rh)
 	}
 }
 
