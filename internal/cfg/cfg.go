@@ -25,6 +25,10 @@ type Node struct {
 	IVDef il.VarID
 	// Latch marks the per-iteration re-entry node of a DO loop.
 	Latch bool
+	// Inline storage for the first few edges; most nodes have at most two
+	// successors and two predecessors, so edge wiring rarely allocates.
+	succBuf [2]int
+	predBuf [2]int
 }
 
 // Graph is the CFG of one procedure.
@@ -43,6 +47,9 @@ type builder struct {
 	g           *Graph
 	gotoFixups  []fixup
 	returnNodes []int
+	// nodeSlab is the chunk nodes are carved from; full chunks are
+	// abandoned (still referenced via g.Nodes), keeping pointers stable.
+	nodeSlab []Node
 }
 
 type fixup struct {
@@ -79,7 +86,20 @@ func Build(body []il.Stmt) (*Graph, error) {
 }
 
 func (b *builder) newNode(s il.Stmt) *Node {
-	n := &Node{ID: len(b.g.Nodes), Stmt: s, IVDef: il.NoVar}
+	if len(b.nodeSlab) == cap(b.nodeSlab) {
+		c := 2 * cap(b.nodeSlab)
+		if c < 64 {
+			c = 64
+		}
+		if c > 1024 {
+			c = 1024
+		}
+		b.nodeSlab = make([]Node, 0, c)
+	}
+	b.nodeSlab = append(b.nodeSlab, Node{ID: len(b.g.Nodes), Stmt: s, IVDef: il.NoVar})
+	n := &b.nodeSlab[len(b.nodeSlab)-1]
+	n.Succs = n.succBuf[:0]
+	n.Preds = n.predBuf[:0]
 	b.g.Nodes = append(b.g.Nodes, n)
 	if s != nil {
 		b.g.NodeOf[s] = n

@@ -40,6 +40,11 @@ func scheduleFunc(f *titan.Func) {
 
 	flush := func(block []titan.Instr, oldStart int) {
 		oldToNew[oldStart] = len(out)
+		if len(block) <= 2 {
+			// Nothing to reorder; skip the scheduler's bookkeeping.
+			out = append(out, block...)
+			return
+		}
 		order := scheduleBlock(block)
 		for _, oi := range order {
 			out = append(out, block[oi])
@@ -115,80 +120,106 @@ type regRef struct {
 	num   int
 }
 
-// defsUses returns the registers an instruction writes and reads.
-func defsUses(in titan.Instr) (defs, uses []regRef) {
+// regRefs holds an instruction's register operands in fixed-size storage
+// (no instruction writes more than one register or reads more than four),
+// so dependence construction never allocates per instruction.
+type regRefs struct {
+	defs [1]regRef
+	nDef int
+	uses [4]regRef
+	nUse int
+}
+
+func (r *regRefs) def(x regRef) {
+	r.defs[r.nDef] = x
+	r.nDef++
+}
+
+func (r *regRefs) use(xs ...regRef) {
+	r.nUse += copy(r.uses[r.nUse:], xs)
+}
+
+// instrRefs returns the registers an instruction writes and reads.
+func instrRefs(in titan.Instr) (r regRefs) {
 	ir := func(n int) regRef { return regRef{rcInt, n} }
 	fr := func(n int) regRef { return regRef{rcFlt, n} }
 	vr := func(n int) regRef { return regRef{rcVec, n} }
 	switch in.Op {
 	case titan.OpLdi:
-		defs = append(defs, ir(in.Rd))
+		r.def(ir(in.Rd))
 	case titan.OpFldi:
-		defs = append(defs, fr(in.Rd))
+		r.def(fr(in.Rd))
 	case titan.OpMov, titan.OpNeg, titan.OpNot, titan.OpBnot, titan.OpAddi, titan.OpMuli:
-		defs = append(defs, ir(in.Rd))
-		uses = append(uses, ir(in.Rs1))
+		r.def(ir(in.Rd))
+		r.use(ir(in.Rs1))
 	case titan.OpAdd, titan.OpSub, titan.OpMul, titan.OpDiv, titan.OpRem,
 		titan.OpAnd, titan.OpOr, titan.OpXor, titan.OpShl, titan.OpShr,
 		titan.OpCmpEq, titan.OpCmpNe, titan.OpCmpLt, titan.OpCmpLe,
 		titan.OpCmpGt, titan.OpCmpGe:
-		defs = append(defs, ir(in.Rd))
-		uses = append(uses, ir(in.Rs1), ir(in.Rs2))
+		r.def(ir(in.Rd))
+		r.use(ir(in.Rs1), ir(in.Rs2))
 	case titan.OpPid, titan.OpNproc:
-		defs = append(defs, ir(in.Rd))
+		r.def(ir(in.Rd))
 	case titan.OpLd1, titan.OpLd2, titan.OpLd4:
-		defs = append(defs, ir(in.Rd))
-		uses = append(uses, ir(in.Rs1))
+		r.def(ir(in.Rd))
+		r.use(ir(in.Rs1))
 	case titan.OpSt1, titan.OpSt2, titan.OpSt4:
-		uses = append(uses, ir(in.Rs1), ir(in.Rs2))
+		r.use(ir(in.Rs1), ir(in.Rs2))
 	case titan.OpFld4, titan.OpFld8:
-		defs = append(defs, fr(in.Rd))
-		uses = append(uses, ir(in.Rs1))
+		r.def(fr(in.Rd))
+		r.use(ir(in.Rs1))
 	case titan.OpFst4, titan.OpFst8:
-		uses = append(uses, ir(in.Rs1), fr(in.Rs2))
+		r.use(ir(in.Rs1), fr(in.Rs2))
 	case titan.OpFmov, titan.OpFneg:
-		defs = append(defs, fr(in.Rd))
-		uses = append(uses, fr(in.Rs1))
+		r.def(fr(in.Rd))
+		r.use(fr(in.Rs1))
 	case titan.OpFadd, titan.OpFsub, titan.OpFmul, titan.OpFdiv:
-		defs = append(defs, fr(in.Rd))
-		uses = append(uses, fr(in.Rs1), fr(in.Rs2))
+		r.def(fr(in.Rd))
+		r.use(fr(in.Rs1), fr(in.Rs2))
 	case titan.OpFcmpEq, titan.OpFcmpNe, titan.OpFcmpLt, titan.OpFcmpLe,
 		titan.OpFcmpGt, titan.OpFcmpGe:
-		defs = append(defs, ir(in.Rd))
-		uses = append(uses, fr(in.Rs1), fr(in.Rs2))
+		r.def(ir(in.Rd))
+		r.use(fr(in.Rs1), fr(in.Rs2))
 	case titan.OpCvtIF:
-		defs = append(defs, fr(in.Rd))
-		uses = append(uses, ir(in.Rs1))
+		r.def(fr(in.Rd))
+		r.use(ir(in.Rs1))
 	case titan.OpCvtFI:
-		defs = append(defs, ir(in.Rd))
-		uses = append(uses, fr(in.Rs1))
+		r.def(ir(in.Rd))
+		r.use(fr(in.Rs1))
 	case titan.OpVsetl:
-		defs = append(defs, regRef{rcVL, 0})
-		uses = append(uses, ir(in.Rs1))
+		r.def(regRef{rcVL, 0})
+		r.use(ir(in.Rs1))
 	case titan.OpVld:
-		defs = append(defs, vr(in.Rd))
-		uses = append(uses, ir(in.Rs1), ir(in.Rs2), regRef{rcVL, 0})
+		r.def(vr(in.Rd))
+		r.use(ir(in.Rs1), ir(in.Rs2), regRef{rcVL, 0})
 	case titan.OpVst:
-		uses = append(uses, vr(in.Rd), ir(in.Rs1), ir(in.Rs2), regRef{rcVL, 0})
+		r.use(vr(in.Rd), ir(in.Rs1), ir(in.Rs2), regRef{rcVL, 0})
 	case titan.OpVadd, titan.OpVsub, titan.OpVmul, titan.OpVdiv:
-		defs = append(defs, vr(in.Rd))
-		uses = append(uses, vr(in.Rs1), vr(in.Rs2), regRef{rcVL, 0})
+		r.def(vr(in.Rd))
+		r.use(vr(in.Rs1), vr(in.Rs2), regRef{rcVL, 0})
 	case titan.OpVadds, titan.OpVsubs, titan.OpVsubsr, titan.OpVmuls,
 		titan.OpVdivs, titan.OpVdivsr:
-		defs = append(defs, vr(in.Rd))
-		uses = append(uses, vr(in.Rs1), fr(in.Rs2), regRef{rcVL, 0})
+		r.def(vr(in.Rd))
+		r.use(vr(in.Rs1), fr(in.Rs2), regRef{rcVL, 0})
 	case titan.OpVmov:
-		defs = append(defs, vr(in.Rd))
-		uses = append(uses, vr(in.Rs1), regRef{rcVL, 0})
+		r.def(vr(in.Rd))
+		r.use(vr(in.Rs1), regRef{rcVL, 0})
 	case titan.OpVbcast:
-		defs = append(defs, vr(in.Rd))
-		uses = append(uses, fr(in.Rs1), regRef{rcVL, 0})
+		r.def(vr(in.Rd))
+		r.use(fr(in.Rs1), regRef{rcVL, 0})
 	case titan.OpArg, titan.OpBeqz, titan.OpBnez:
-		uses = append(uses, ir(in.Rs1))
+		r.use(ir(in.Rs1))
 	case titan.OpFarg:
-		uses = append(uses, fr(in.Rs1))
+		r.use(fr(in.Rs1))
 	}
-	return defs, uses
+	return r
+}
+
+// defsUses returns the registers an instruction writes and reads as
+// slices; the scheduler's hot path uses instrRefs directly.
+func defsUses(in titan.Instr) (defs, uses []regRef) {
+	r := instrRefs(in)
+	return r.defs[:r.nDef], r.uses[:r.nUse]
 }
 
 func isLoad(op titan.Op) bool {
@@ -244,11 +275,15 @@ func scheduleBlock(block []titan.Instr) []int {
 		return order
 	}
 
-	// Build dependences.
-	succ := make([][]int, n)
+	// Build dependences. Edges are collected into one pooled list and the
+	// per-node successor slices carved from a single backing array
+	// afterwards (insertion order preserved), instead of growing n small
+	// slices.
+	type depEdge struct{ from, to int }
+	var edges []depEdge
 	npred := make([]int, n)
 	addEdge := func(a, b int) {
-		succ[a] = append(succ[a], b)
+		edges = append(edges, depEdge{a, b})
 		npred[b]++
 	}
 	lastDef := map[regRef]int{}
@@ -256,14 +291,14 @@ func scheduleBlock(block []titan.Instr) []int {
 	lastStore := -1
 	var loadsSinceStore []int
 	for i := 0; i < n; i++ {
-		defs, uses := defsUses(block[i])
-		for _, u := range uses {
+		refs := instrRefs(block[i])
+		for _, u := range refs.uses[:refs.nUse] {
 			if d, ok := lastDef[u]; ok {
 				addEdge(d, i) // RAW
 			}
 			lastUses[u] = append(lastUses[u], i)
 		}
-		for _, d := range defs {
+		for _, d := range refs.defs[:refs.nDef] {
 			if pd, ok := lastDef[d]; ok {
 				addEdge(pd, i) // WAW
 			}
@@ -292,6 +327,20 @@ func scheduleBlock(block []titan.Instr) []int {
 			}
 			loadsSinceStore = append(loadsSinceStore, i)
 		}
+	}
+	succ := make([][]int, n)
+	succBacking := make([]int, len(edges))
+	cnt := make([]int, n)
+	for _, e := range edges {
+		cnt[e.from]++
+	}
+	off := 0
+	for i := 0; i < n; i++ {
+		succ[i] = succBacking[off : off : off+cnt[i]]
+		off += cnt[i]
+	}
+	for _, e := range edges {
+		succ[e.from] = append(succ[e.from], e.to)
 	}
 
 	// Critical-path priority: longest latency-weighted path to any sink.

@@ -34,8 +34,14 @@ type Analysis struct {
 	Proc  *il.Proc
 	Graph *cfg.Graph
 
-	Defs   []*Def
-	defsOf map[il.VarID][]*Def
+	Defs []*Def
+	// defsOf is indexed by VarID (grown on demand for variables created
+	// after the analysis, e.g. while→DO dummy IVs).
+	defsOf [][]*Def
+	// defSlab is the current chunk Defs are carved from; a full chunk is
+	// abandoned (still referenced through Defs) and a fresh one started,
+	// so Def pointers stay stable.
+	defSlab []Def
 	// in[n] is the bitset of defs reaching node n's entry.
 	in  []bitset
 	out []bitset
@@ -48,8 +54,10 @@ type Analysis struct {
 	// analysis instead of once per clobbering statement.
 	clobbers []il.VarID
 	// defMask lazily caches, per variable, the bitset of its def IDs, so
-	// chain queries intersect words instead of probing def-by-def.
-	defMask map[il.VarID]bitset
+	// chain queries intersect words instead of probing def-by-def. Masks
+	// are bump-allocated from maskBacking.
+	defMask     []bitset
+	maskBacking []uint64
 }
 
 // Analyze builds the CFG and reaching-definition chains for p.
@@ -58,7 +66,7 @@ func Analyze(p *il.Proc) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := &Analysis{Proc: p, Graph: g, defsOf: map[il.VarID][]*Def{}}
+	a := &Analysis{Proc: p, Graph: g, defsOf: make([][]*Def, len(p.Vars))}
 	a.collectClobbers()
 	a.collectDefs()
 	a.solve()
@@ -83,63 +91,96 @@ func (a *Analysis) clobberSet(call bool) []il.VarID {
 }
 
 func (a *Analysis) addDef(node *cfg.Node, v il.VarID, ambiguous, entry bool) *Def {
-	d := &Def{ID: len(a.Defs), Node: node, Var: v, Ambiguous: ambiguous, Entry: entry}
+	if len(a.defSlab) == cap(a.defSlab) {
+		n := 2 * cap(a.defSlab)
+		if n < 256 {
+			n = 256
+		}
+		if n > 4096 {
+			n = 4096
+		}
+		a.defSlab = make([]Def, 0, n)
+	}
+	a.defSlab = append(a.defSlab, Def{ID: len(a.Defs), Node: node, Var: v, Ambiguous: ambiguous, Entry: entry})
+	d := &a.defSlab[len(a.defSlab)-1]
 	a.Defs = append(a.Defs, d)
-	a.defsOf[v] = append(a.defsOf[v], d)
 	return d
+}
+
+// indexDefs builds defsOf from the collected Defs, carving the per-var
+// slices out of one backing array (capped, so a later append — the
+// while→DO splice — reallocates instead of clobbering a neighbor).
+func (a *Analysis) indexDefs() {
+	counts := make([]int, len(a.defsOf))
+	for _, d := range a.Defs {
+		counts[d.Var]++
+	}
+	backing := make([]*Def, len(a.Defs))
+	off := 0
+	for v, c := range counts {
+		a.defsOf[v] = backing[off : off : off+c]
+		off += c
+	}
+	for _, d := range a.Defs {
+		a.defsOf[d.Var] = append(a.defsOf[d.Var], d)
+	}
 }
 
 func (a *Analysis) collectDefs() {
 	nNodes := len(a.Graph.Nodes)
 	a.defsAt = make([][]*Def, nNodes)
 
-	// Entry definitions: every variable has an initial (unknown) value;
-	// parameters are unambiguous, everything else ambiguous.
+	// Defs are appended to a.Defs node-by-node, so each node's def list is
+	// a contiguous range of a.Defs — defsAt slices that range (capped, so
+	// the while→DO splice's later append reallocates) instead of growing
+	// per-node slices. The entry node carries no statement or IV, so the
+	// per-node loop below never adds to its range.
 	entryNode := a.Graph.Nodes[a.Graph.Entry]
 	for i := range a.Proc.Vars {
+		// Entry definitions: every variable has an initial (unknown) value;
+		// parameters are unambiguous, everything else ambiguous.
 		id := il.VarID(i)
 		isParam := a.Proc.Vars[i].Class == il.ClassParam
-		d := a.addDef(entryNode, id, !isParam, true)
-		a.defsAt[entryNode.ID] = append(a.defsAt[entryNode.ID], d)
+		a.addDef(entryNode, id, !isParam, true)
 	}
+	a.defsAt[entryNode.ID] = a.Defs[0:len(a.Defs):len(a.Defs)]
 
 	for _, n := range a.Graph.Nodes {
+		start := len(a.Defs)
 		// DO-loop heads define the IV's initial value; latches define its
 		// per-iteration advance.
 		if n.IVDef != il.NoVar {
-			d := a.addDef(n, n.IVDef, false, false)
-			a.defsAt[n.ID] = append(a.defsAt[n.ID], d)
+			a.addDef(n, n.IVDef, false, false)
 		}
-		if n.Stmt == nil {
-			continue
-		}
-		switch s := n.Stmt.(type) {
-		case *il.Assign:
-			if v, ok := s.Dst.(*il.VarRef); ok {
-				d := a.addDef(n, v.ID, false, false)
-				a.defsAt[n.ID] = append(a.defsAt[n.ID], d)
-			} else {
+		if n.Stmt != nil {
+			switch s := n.Stmt.(type) {
+			case *il.Assign:
+				if v, ok := s.Dst.(*il.VarRef); ok {
+					a.addDef(n, v.ID, false, false)
+				} else {
+					for _, v := range a.clobberSet(false) {
+						a.addDef(n, v, true, false)
+					}
+				}
+			case *il.VectorAssign:
 				for _, v := range a.clobberSet(false) {
-					d := a.addDef(n, v, true, false)
-					a.defsAt[n.ID] = append(a.defsAt[n.ID], d)
+					a.addDef(n, v, true, false)
+				}
+			case *il.Call:
+				if s.Dst != il.NoVar {
+					a.addDef(n, s.Dst, false, false)
+				}
+				for _, v := range a.clobberSet(true) {
+					a.addDef(n, v, true, false)
 				}
 			}
-		case *il.VectorAssign:
-			for _, v := range a.clobberSet(false) {
-				d := a.addDef(n, v, true, false)
-				a.defsAt[n.ID] = append(a.defsAt[n.ID], d)
-			}
-		case *il.Call:
-			if s.Dst != il.NoVar {
-				d := a.addDef(n, s.Dst, false, false)
-				a.defsAt[n.ID] = append(a.defsAt[n.ID], d)
-			}
-			for _, v := range a.clobberSet(true) {
-				d := a.addDef(n, v, true, false)
-				a.defsAt[n.ID] = append(a.defsAt[n.ID], d)
-			}
+		}
+		if end := len(a.Defs); end > start {
+			a.defsAt[n.ID] = a.Defs[start:end:end]
 		}
 	}
+
+	a.indexDefs()
 
 	// gen/kill, carved from one backing slab (capped sub-slices, so a
 	// later grow reallocates instead of clobbering its neighbor).
@@ -258,15 +299,28 @@ func (a *Analysis) forEachReachingAt(n *cfg.Node, v il.VarID, fn func(*Def)) {
 
 // maskOf returns (building lazily) the bitset of v's def IDs.
 func (a *Analysis) maskOf(v il.VarID) bitset {
-	if m, ok := a.defMask[v]; ok {
-		return m
+	if int(v) < len(a.defMask) {
+		if m := a.defMask[v]; m != nil {
+			return m
+		}
 	}
-	if a.defMask == nil {
-		a.defMask = map[il.VarID]bitset{}
+	for int(v) >= len(a.defMask) {
+		a.defMask = append(a.defMask, nil)
 	}
-	m := newBitset(len(a.Defs))
-	for _, d := range a.defsOf[v] {
-		m.set(d.ID)
+	words := (len(a.Defs) + 63) / 64
+	if len(a.maskBacking) < words {
+		c := 16 * words
+		if c < 256 {
+			c = 256
+		}
+		a.maskBacking = make([]uint64, c)
+	}
+	m := bitset(a.maskBacking[:words:words])
+	a.maskBacking = a.maskBacking[words:]
+	if int(v) < len(a.defsOf) {
+		for _, d := range a.defsOf[v] {
+			m.set(d.ID)
+		}
 	}
 	a.defMask[v] = m
 	return m
@@ -286,7 +340,7 @@ func (a *Analysis) UniqueDef(s il.Stmt, v il.VarID) *Def {
 // given set.
 func (a *Analysis) DefsInside(v il.VarID, set map[il.Stmt]bool) []*Def {
 	var out []*Def
-	for _, d := range a.defsOf[v] {
+	for _, d := range a.DefsOf(v) {
 		if d.Node.Stmt != nil && set[d.Node.Stmt] {
 			out = append(out, d)
 		}
@@ -295,7 +349,12 @@ func (a *Analysis) DefsInside(v il.VarID, set map[il.Stmt]bool) []*Def {
 }
 
 // DefsOf returns all definitions of v.
-func (a *Analysis) DefsOf(v il.VarID) []*Def { return a.defsOf[v] }
+func (a *Analysis) DefsOf(v il.VarID) []*Def {
+	if int(v) >= len(a.defsOf) {
+		return nil
+	}
+	return a.defsOf[v]
+}
 
 // SpliceWhileConversion patches the analysis in place after while→DO
 // conversion replaced w with d (same body statements, fresh dummy IV):
@@ -321,8 +380,14 @@ func (a *Analysis) SpliceWhileConversion(w *il.While, d *il.DoLoop) bool {
 	n.IVDef = d.IV
 
 	def := a.addDef(n, d.IV, false, false)
+	for int(d.IV) >= len(a.defsOf) {
+		a.defsOf = append(a.defsOf, nil)
+	}
+	a.defsOf[d.IV] = append(a.defsOf[d.IV], def)
 	a.defsAt[n.ID] = append(a.defsAt[n.ID], def)
-	delete(a.defMask, d.IV)
+	if int(d.IV) < len(a.defMask) {
+		a.defMask[d.IV] = nil
+	}
 
 	nDefs := len(a.Defs)
 	a.gen[n.ID] = growTo(a.gen[n.ID], nDefs)
@@ -359,21 +424,25 @@ func growTo(b bitset, width int) bitset {
 // UsedVars returns the variables read by statement s (in its expressions;
 // a scalar assignment destination is not a use, but a store's address is).
 func UsedVars(s il.Stmt) []il.VarID {
-	seen := map[il.VarID]bool{}
 	var order []il.VarID
 	add := func(e il.Expr) {
 		il.WalkExpr(e, func(x il.Expr) bool {
+			id := il.NoVar
 			switch n := x.(type) {
 			case *il.VarRef:
-				if !seen[n.ID] {
-					seen[n.ID] = true
-					order = append(order, n.ID)
-				}
+				id = n.ID
 			case *il.AddrOf:
-				if !seen[n.ID] {
-					seen[n.ID] = true
-					order = append(order, n.ID)
+				id = n.ID
+			}
+			if id != il.NoVar {
+				// Statements reference few distinct variables; a linear
+				// dedup scan beats a per-call map.
+				for _, o := range order {
+					if o == id {
+						return true
+					}
 				}
+				order = append(order, id)
 			}
 			return true
 		})

@@ -19,6 +19,7 @@ package driver
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -70,22 +71,33 @@ type Result struct {
 }
 
 // frontEnd runs parse → type check → lower and fills res.AST and res.IL.
-func frontEnd(src string, res *Result) error {
-	f, err := parser.Parse(src)
+// workers bounds the per-function parallelism of all three phases (1 runs
+// the classic serial front end, the differential baseline).
+func frontEnd(src string, res *Result, workers int) error {
+	f, err := parser.ParseWorkers(src, workers)
 	if err != nil {
 		return err
 	}
 	res.AST = f
-	info, err := sema.Check(f)
+	info, err := sema.CheckWorkers(f, workers)
 	if err != nil {
 		return err
 	}
-	prog, err := lower.File(f, info)
+	prog, err := lower.FileWorkers(f, info, workers)
 	if err != nil {
 		return err
 	}
 	res.IL = prog
 	return nil
+}
+
+// frontEndWorkers resolves the front end's worker count from a pass
+// context, mirroring pass.Context's convention (nil or 0 → GOMAXPROCS).
+func frontEndWorkers(ctx *pass.Context) int {
+	if ctx != nil && ctx.Workers > 0 {
+		return ctx.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Compile runs the full pipeline over one source buffer.
@@ -121,7 +133,7 @@ func CompileIL(src string, opts Options) (*Result, error) {
 // CompileILWith is CompileIL with an explicit pass context.
 func CompileILWith(src string, opts Options, ctx *pass.Context) (*Result, error) {
 	res := &Result{}
-	if err := frontEnd(src, res); err != nil {
+	if err := frontEnd(src, res, frontEndWorkers(ctx)); err != nil {
 		// Record the positioned form on the caller's context so tools
 		// that own the context see front-end failures in the same
 		// structured stream as the optimization remarks.
@@ -184,7 +196,7 @@ func RunEntry(src, entry string, opts Options, processors int) (titan.Result, er
 // WriteCatalogFromSource compiles a library source and writes its catalog.
 func WriteCatalogFromSource(w io.Writer, src string) error {
 	res := &Result{}
-	if err := frontEnd(src, res); err != nil {
+	if err := frontEnd(src, res, frontEndWorkers(nil)); err != nil {
 		return err
 	}
 	return inline.WriteCatalog(w, inline.BuildCatalog(res.IL))

@@ -1,0 +1,356 @@
+package il
+
+// Arena-backed allocation for IL nodes. A compile allocates each
+// procedure's statements and expressions from chunked slabs owned by the
+// procedure, so node allocation is a bump pointer instead of a malloc,
+// nodes of the same kind sit contiguously in memory, and freeing a
+// compile is one Release call that drops the slabs (instead of the
+// garbage collector tracing a few hundred thousand individual nodes).
+//
+// Ownership contract:
+//
+//   - The front end attaches one Arena per Proc (lower.File); every pass
+//     that rewrites a procedure allocates replacement nodes from
+//     p.Arena(). Nodes never migrate between procedures — inline
+//     expansion clones catalog bodies into the caller's arena.
+//   - A nil *Arena is valid everywhere and falls back to individual heap
+//     allocation, so hand-built test IL and catalog-decoded procedures
+//     keep working unchanged (and the serial-heap differential baseline
+//     stays available).
+//   - Release drops the arena's slab references and retires its bytes
+//     from the process-wide ArenaBytesLive gauge. The nodes themselves
+//     stay valid as long as the IL references them (chunks are reclaimed
+//     by the collector with the Program); Release marks the moment the
+//     compile stops holding bulk IL memory, which is what the titand
+//     daemon frees after an artifact is encoded.
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/ctype"
+)
+
+// liveBytes is the process-wide total of bytes held by un-released
+// arenas: chunk allocations add, Release subtracts. The titand /metrics
+// arena_bytes_live gauge reads it.
+var liveBytes atomic.Int64
+
+// ArenaBytesLive reports the bytes currently held by all un-released
+// arenas in the process.
+func ArenaBytesLive() int64 { return liveBytes.Load() }
+
+// Chunk geometry: slabs start small (most procedures are small) and
+// double up to the cap so large procedures amortize to one allocation
+// per 1024 nodes of a kind.
+const (
+	arenaChunkMin = 64
+	arenaChunkMax = 1024
+)
+
+// slab is one node kind's chunked storage. alloc hands out pointers into
+// the current chunk; when it fills, a new chunk is started and the old
+// one stays reachable through the handed-out pointers.
+type slab[T any] struct {
+	cur  []T
+	next int // next chunk's capacity
+}
+
+func (s *slab[T]) alloc(a *Arena) *T {
+	if len(s.cur) == cap(s.cur) {
+		if s.next < arenaChunkMin {
+			s.next = arenaChunkMin
+		} else if s.next < arenaChunkMax {
+			s.next *= 2
+		}
+		s.cur = make([]T, 0, s.next)
+		var zero T
+		a.grew(int64(unsafe.Sizeof(zero)) * int64(s.next))
+	}
+	s.cur = s.cur[:len(s.cur)+1]
+	return &s.cur[len(s.cur)-1]
+}
+
+func (s *slab[T]) drop() { s.cur = nil; s.next = 0 }
+
+// Arena owns chunked slabs for every IL node kind. The zero value is
+// ready to use; a nil *Arena is valid and allocates from the heap.
+// An Arena is not safe for concurrent use: it is owned by one Proc and
+// the pass manager's worker pool never runs two passes over one
+// procedure at once.
+type Arena struct {
+	bytes    int64
+	released bool
+
+	constInts   slab[ConstInt]
+	constFloats slab[ConstFloat]
+	varRefs     slab[VarRef]
+	addrOfs     slab[AddrOf]
+	loads       slab[Load]
+	bins        slab[Bin]
+	uns         slab[Un]
+	casts       slab[Cast]
+	vecRefs     slab[VecRef]
+
+	assigns    slab[Assign]
+	calls      slab[Call]
+	ifs        slab[If]
+	whiles     slab[While]
+	doLoops    slab[DoLoop]
+	doPars     slab[DoParallel]
+	vecAssigns slab[VectorAssign]
+	gotos      slab[Goto]
+	labels     slab[Label]
+	returns    slab[Return]
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+func (a *Arena) grew(n int64) {
+	a.bytes += n
+	liveBytes.Add(n)
+}
+
+// Bytes reports the bytes of chunk storage the arena has allocated.
+func (a *Arena) Bytes() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.bytes
+}
+
+// Release drops the arena's slab references and retires its bytes from
+// the ArenaBytesLive gauge. Safe to call more than once; a released
+// arena keeps working (new allocations open fresh chunks and are
+// accounted again).
+func (a *Arena) Release() {
+	if a == nil || a.released {
+		return
+	}
+	a.released = true
+	liveBytes.Add(-a.bytes)
+	a.bytes = 0
+	a.constInts.drop()
+	a.constFloats.drop()
+	a.varRefs.drop()
+	a.addrOfs.drop()
+	a.loads.drop()
+	a.bins.drop()
+	a.uns.drop()
+	a.casts.drop()
+	a.vecRefs.drop()
+	a.assigns.drop()
+	a.calls.drop()
+	a.ifs.drop()
+	a.whiles.drop()
+	a.doLoops.drop()
+	a.doPars.drop()
+	a.vecAssigns.drop()
+	a.gotos.drop()
+	a.labels.drop()
+	a.returns.drop()
+}
+
+// ---------------------------------------------------------------- expressions
+
+// ConstInt allocates an integer constant.
+func (a *Arena) ConstInt(v int64, t *ctype.Type) *ConstInt {
+	if a == nil {
+		return &ConstInt{Val: v, T: t}
+	}
+	n := a.constInts.alloc(a)
+	n.Val, n.T = v, t
+	return n
+}
+
+// ConstFloat allocates a floating constant.
+func (a *Arena) ConstFloat(v float64, t *ctype.Type) *ConstFloat {
+	if a == nil {
+		return &ConstFloat{Val: v, T: t}
+	}
+	n := a.constFloats.alloc(a)
+	n.Val, n.T = v, t
+	return n
+}
+
+// VarRef allocates a variable reference.
+func (a *Arena) VarRef(id VarID, t *ctype.Type) *VarRef {
+	if a == nil {
+		return &VarRef{ID: id, T: t}
+	}
+	n := a.varRefs.alloc(a)
+	n.ID, n.T = id, t
+	return n
+}
+
+// AddrOf allocates an address-of expression.
+func (a *Arena) AddrOf(id VarID, t *ctype.Type) *AddrOf {
+	if a == nil {
+		return &AddrOf{ID: id, T: t}
+	}
+	n := a.addrOfs.alloc(a)
+	n.ID, n.T = id, t
+	return n
+}
+
+// Load allocates a memory load.
+func (a *Arena) Load(addr Expr, t *ctype.Type, volatile bool) *Load {
+	if a == nil {
+		return &Load{Addr: addr, T: t, Volatile: volatile}
+	}
+	n := a.loads.alloc(a)
+	n.Addr, n.T, n.Volatile = addr, t, volatile
+	return n
+}
+
+// Bin allocates a binary expression (no folding; see NewBinIn).
+func (a *Arena) Bin(op Op, l, r Expr, t *ctype.Type) *Bin {
+	if a == nil {
+		return &Bin{Op: op, L: l, R: r, T: t}
+	}
+	n := a.bins.alloc(a)
+	n.Op, n.L, n.R, n.T = op, l, r, t
+	return n
+}
+
+// Un allocates a unary expression (no folding; see NewUnIn).
+func (a *Arena) Un(op Op, x Expr, t *ctype.Type) *Un {
+	if a == nil {
+		return &Un{Op: op, X: x, T: t}
+	}
+	n := a.uns.alloc(a)
+	n.Op, n.X, n.T = op, x, t
+	return n
+}
+
+// Cast allocates a cast (no simplification; see NewCastIn).
+func (a *Arena) Cast(x Expr, t *ctype.Type) *Cast {
+	if a == nil {
+		return &Cast{X: x, T: t}
+	}
+	n := a.casts.alloc(a)
+	n.X, n.T = x, t
+	return n
+}
+
+// VecRef allocates a vector section reference.
+func (a *Arena) VecRef(base, stride Expr, t *ctype.Type) *VecRef {
+	if a == nil {
+		return &VecRef{Base: base, Stride: stride, T: t}
+	}
+	n := a.vecRefs.alloc(a)
+	n.Base, n.Stride, n.T = base, stride, t
+	return n
+}
+
+// ---------------------------------------------------------------- statements
+
+// Assign allocates an assignment statement.
+func (a *Arena) Assign(s Assign) *Assign {
+	if a == nil {
+		n := s
+		return &n
+	}
+	n := a.assigns.alloc(a)
+	*n = s
+	return n
+}
+
+// Call allocates a call statement.
+func (a *Arena) Call(s Call) *Call {
+	if a == nil {
+		n := s
+		return &n
+	}
+	n := a.calls.alloc(a)
+	*n = s
+	return n
+}
+
+// If allocates an if statement.
+func (a *Arena) If(s If) *If {
+	if a == nil {
+		n := s
+		return &n
+	}
+	n := a.ifs.alloc(a)
+	*n = s
+	return n
+}
+
+// While allocates a while statement.
+func (a *Arena) While(s While) *While {
+	if a == nil {
+		n := s
+		return &n
+	}
+	n := a.whiles.alloc(a)
+	*n = s
+	return n
+}
+
+// DoLoop allocates a DO loop.
+func (a *Arena) DoLoop(s DoLoop) *DoLoop {
+	if a == nil {
+		n := s
+		return &n
+	}
+	n := a.doLoops.alloc(a)
+	*n = s
+	return n
+}
+
+// DoParallel allocates a parallel DO loop.
+func (a *Arena) DoParallel(s DoParallel) *DoParallel {
+	if a == nil {
+		n := s
+		return &n
+	}
+	n := a.doPars.alloc(a)
+	*n = s
+	return n
+}
+
+// VectorAssign allocates a vector assignment.
+func (a *Arena) VectorAssign(s VectorAssign) *VectorAssign {
+	if a == nil {
+		n := s
+		return &n
+	}
+	n := a.vecAssigns.alloc(a)
+	*n = s
+	return n
+}
+
+// Goto allocates a goto.
+func (a *Arena) Goto(s Goto) *Goto {
+	if a == nil {
+		n := s
+		return &n
+	}
+	n := a.gotos.alloc(a)
+	*n = s
+	return n
+}
+
+// Label allocates a label.
+func (a *Arena) Label(s Label) *Label {
+	if a == nil {
+		n := s
+		return &n
+	}
+	n := a.labels.alloc(a)
+	*n = s
+	return n
+}
+
+// Return allocates a return.
+func (a *Arena) Return(s Return) *Return {
+	if a == nil {
+		n := s
+		return &n
+	}
+	n := a.returns.alloc(a)
+	*n = s
+	return n
+}

@@ -43,7 +43,10 @@ func IsOne(e Expr) bool {
 
 // NewBin builds a binary expression, folding integer constant operands and
 // applying the identities x+0, x-0, x*1, x*0, 0+x, 1*x, x/1.
-func NewBin(op Op, l, r Expr, t *ctype.Type) Expr {
+func NewBin(op Op, l, r Expr, t *ctype.Type) Expr { return NewBinIn(nil, op, l, r, t) }
+
+// NewBinIn is NewBin allocating from arena a (nil allocates from the heap).
+func NewBinIn(a *Arena, op Op, l, r Expr, t *ctype.Type) Expr {
 	lc, lok := l.(*ConstInt)
 	rc, rok := r.(*ConstInt)
 	if lok && rok && t.IsInteger() {
@@ -54,7 +57,7 @@ func NewBin(op Op, l, r Expr, t *ctype.Type) Expr {
 			(unsignedType(rc.T) && rc.Val < 0)
 		if !unsignedHazard {
 			if v, ok := foldInt(op, lc.Val, rc.Val); ok {
-				return &ConstInt{Val: v, T: t}
+				return a.ConstInt(v, t)
 			}
 		}
 	}
@@ -62,7 +65,7 @@ func NewBin(op Op, l, r Expr, t *ctype.Type) Expr {
 	rf, rfok := r.(*ConstFloat)
 	if lfok && rfok && t.IsFloat() {
 		if v, ok := foldFloat(op, lf.Val, rf.Val); ok {
-			return &ConstFloat{Val: v, T: t}
+			return a.ConstFloat(v, t)
 		}
 	}
 	switch op {
@@ -85,17 +88,54 @@ func NewBin(op Op, l, r Expr, t *ctype.Type) Expr {
 			return l
 		}
 		if t.IsInteger() && (IsZero(l) || IsZero(r)) {
-			return &ConstInt{Val: 0, T: t}
+			return a.ConstInt(0, t)
 		}
 	case OpDiv:
 		if IsOne(r) {
 			return l
 		}
 	}
-	return &Bin{Op: op, L: l, R: r, T: t}
+	return a.Bin(op, l, r, t)
 }
 
 func unsignedType(t *ctype.Type) bool { return t != nil && t.Unsigned }
+
+// BinFoldable reports whether NewBin(op, l, r, t) would return anything
+// other than a fresh Bin with the same operands — i.e. whether constant
+// folding or an algebraic identity applies. It mirrors NewBinIn's checks
+// exactly, letting callers skip the constructor (and its allocation) on
+// the common nothing-to-fold path.
+func BinFoldable(op Op, l, r Expr, t *ctype.Type) bool {
+	lc, lok := l.(*ConstInt)
+	rc, rok := r.(*ConstInt)
+	if lok && rok && t.IsInteger() {
+		unsignedHazard := (unsignedType(lc.T) && lc.Val < 0) ||
+			(unsignedType(rc.T) && rc.Val < 0)
+		if !unsignedHazard {
+			if _, ok := foldInt(op, lc.Val, rc.Val); ok {
+				return true
+			}
+		}
+	}
+	lf, lfok := l.(*ConstFloat)
+	rf, rfok := r.(*ConstFloat)
+	if lfok && rfok && t.IsFloat() {
+		if _, ok := foldFloat(op, lf.Val, rf.Val); ok {
+			return true
+		}
+	}
+	switch op {
+	case OpAdd:
+		return IsZero(l) || IsZero(r)
+	case OpSub:
+		return IsZero(r)
+	case OpMul:
+		return IsOne(l) || IsOne(r) || (t.IsInteger() && (IsZero(l) || IsZero(r)))
+	case OpDiv:
+		return IsOne(r)
+	}
+	return false
+}
 
 func foldInt(op Op, a, b int64) (int64, bool) {
 	b2i := func(c bool) int64 {
@@ -205,48 +245,54 @@ func Sub(l, r Expr, t *ctype.Type) Expr { return NewBin(OpSub, l, r, t) }
 func Mul(l, r Expr, t *ctype.Type) Expr { return NewBin(OpMul, l, r, t) }
 
 // NewUn builds a unary expression, folding constants.
-func NewUn(op Op, x Expr, t *ctype.Type) Expr {
+func NewUn(op Op, x Expr, t *ctype.Type) Expr { return NewUnIn(nil, op, x, t) }
+
+// NewUnIn is NewUn allocating from arena a.
+func NewUnIn(a *Arena, op Op, x Expr, t *ctype.Type) Expr {
 	if c, ok := x.(*ConstInt); ok {
 		switch op {
 		case OpNeg:
-			return &ConstInt{Val: -c.Val, T: t}
+			return a.ConstInt(-c.Val, t)
 		case OpBitNot:
-			return &ConstInt{Val: ^c.Val, T: t}
+			return a.ConstInt(^c.Val, t)
 		case OpNot:
 			v := int64(0)
 			if c.Val == 0 {
 				v = 1
 			}
-			return &ConstInt{Val: v, T: t}
+			return a.ConstInt(v, t)
 		}
 	}
 	if c, ok := x.(*ConstFloat); ok && op == OpNeg {
-		return &ConstFloat{Val: -c.Val, T: t}
+		return a.ConstFloat(-c.Val, t)
 	}
-	return &Un{Op: op, X: x, T: t}
+	return a.Un(op, x, t)
 }
 
 // NewCast builds a cast, folding constant operands and eliding identity
 // casts between same-kind scalar types.
-func NewCast(x Expr, to *ctype.Type) Expr {
+func NewCast(x Expr, to *ctype.Type) Expr { return NewCastIn(nil, x, to) }
+
+// NewCastIn is NewCast allocating from arena a.
+func NewCastIn(a *Arena, x Expr, to *ctype.Type) Expr {
 	if x.Type() != nil && x.Type().Kind == to.Kind && x.Type().Unsigned == to.Unsigned {
 		return x
 	}
 	if c, ok := x.(*ConstInt); ok {
 		if to.IsFloat() {
-			return &ConstFloat{Val: float64(c.Val), T: to}
+			return a.ConstFloat(float64(c.Val), to)
 		}
 		if to.IsInteger() || to.Kind == ctype.Pointer {
-			return &ConstInt{Val: c.Val, T: to}
+			return a.ConstInt(c.Val, to)
 		}
 	}
 	if c, ok := x.(*ConstFloat); ok {
 		if to.IsInteger() {
-			return &ConstInt{Val: int64(c.Val), T: to}
+			return a.ConstInt(int64(c.Val), to)
 		}
 		if to.IsFloat() {
-			return &ConstFloat{Val: c.Val, T: to}
+			return a.ConstFloat(c.Val, to)
 		}
 	}
-	return &Cast{X: x, T: to}
+	return a.Cast(x, to)
 }

@@ -437,6 +437,12 @@ type Proc struct {
 	Variadic bool
 
 	labelSeq int
+	// arena, when non-nil, owns the chunked slabs this procedure's
+	// statements and expressions are allocated from (the front end
+	// attaches one per procedure). Passes reach it through Arena(); a
+	// procedure without one (hand-built test IL, catalog-decoded procs)
+	// allocates from the heap node by node.
+	arena *Arena
 	// gen counts mutations of the procedure (body rewrites, new
 	// variables). Analyses memoize per (proc, generation): a pass that
 	// made no changes leaves gen alone, so the next analysis request can
@@ -452,6 +458,13 @@ type Proc struct {
 func NewProc(name string, ret *ctype.Type) *Proc {
 	return &Proc{Name: name, Ret: ret}
 }
+
+// Arena returns the procedure's node arena, or nil when the procedure
+// allocates from the heap. A nil result is safe to allocate from.
+func (p *Proc) Arena() *Arena { return p.arena }
+
+// SetArena attaches the arena the procedure's nodes are allocated from.
+func (p *Proc) SetArena(a *Arena) { p.arena = a }
 
 // Generation returns the procedure's mutation counter. Two calls
 // returning the same value bracket a window in which no pass registered a
@@ -547,5 +560,18 @@ func (pr *Program) Global(name string) *GlobalVar {
 func (pr *Program) AddGlobal(g GlobalVar) {
 	if pr.Global(g.Name) == nil {
 		pr.Globals = append(pr.Globals, g)
+	}
+}
+
+// Release releases every procedure's arena (see Arena.Release): the
+// program stops holding bulk IL memory and the ArenaBytesLive gauge
+// drops by its share. The IL remains readable until the Program itself
+// is dropped. Safe on a nil program and safe to call more than once.
+func (pr *Program) Release() {
+	if pr == nil {
+		return
+	}
+	for _, p := range pr.Procs {
+		p.arena.Release()
 	}
 }

@@ -1,6 +1,10 @@
 package il
 
-import "repro/internal/ctype"
+import (
+	"math"
+
+	"repro/internal/ctype"
+)
 
 // SimplifyLinear canonicalizes an integer or pointer-typed sum: it
 // collects additive terms (constants, scaled variables and addresses,
@@ -8,28 +12,33 @@ import "repro/internal/ctype"
 // The pass turns the induction-variable algebra the optimizer generates —
 // (a + 4·n) + (−4·n), x + 0, 2·i + 3·i — back into readable, cheap forms.
 // Expressions containing volatile references are returned unchanged.
-func SimplifyLinear(e Expr) Expr {
+func SimplifyLinear(e Expr) Expr { return SimplifyLinearIn(nil, e) }
+
+// SimplifyLinearIn is SimplifyLinear with rebuilt nodes allocated from
+// arena a (nil allocates from the heap).
+func SimplifyLinearIn(a *Arena, e Expr) Expr {
 	t := e.Type()
 	if t == nil || !(t.IsInteger() || t.Kind == ctype.Pointer) {
 		return e
 	}
-	c := &collector{terms: map[string]*term{}}
+	var c collector
+	c.terms = c.buf[:0]
 	if !c.collect(e, 1) {
 		return e
 	}
 	// Only rebuild when something actually combined or vanished; the
 	// canonical form is idempotent, so the folding fixpoint terminates.
 	zeroed := false
-	for _, tm := range c.terms {
-		if tm.coef == 0 {
+	for i := range c.terms {
+		if c.terms[i].coef == 0 {
 			zeroed = true
 		}
 	}
 	if !c.combined && !zeroed && c.constCount < 2 {
 		return e
 	}
-	if len(c.order) == 0 {
-		return &ConstInt{Val: c.constant, T: t}
+	if len(c.terms) == 0 {
+		return a.ConstInt(c.constant, t)
 	}
 	// Rebuild: terms in first-seen order, constant last.
 	var out Expr
@@ -38,10 +47,10 @@ func SimplifyLinear(e Expr) Expr {
 			out = x
 			return
 		}
-		out = &Bin{Op: OpAdd, L: out, R: x, T: t}
+		out = a.Bin(OpAdd, out, x, t)
 	}
-	for _, key := range c.order {
-		tm := c.terms[key]
+	for i := range c.terms {
+		tm := &c.terms[i]
 		if tm.coef == 0 {
 			continue
 		}
@@ -49,21 +58,21 @@ func SimplifyLinear(e Expr) Expr {
 		// (or with a merged duplicate term).
 		switch {
 		case tm.coef == 1:
-			add(CloneExpr(tm.expr))
+			add(CloneExprIn(a, tm.expr))
 		case tm.coef == -1:
-			add(&Un{Op: OpNeg, X: CloneExpr(tm.expr), T: ctype.IntType})
+			add(a.Un(OpNeg, CloneExprIn(a, tm.expr), ctype.IntType))
 		default:
-			add(&Bin{Op: OpMul, L: &ConstInt{Val: tm.coef, T: ctype.IntType},
-				R: CloneExpr(tm.expr), T: ctype.IntType})
+			add(a.Bin(OpMul, a.ConstInt(tm.coef, ctype.IntType),
+				CloneExprIn(a, tm.expr), ctype.IntType))
 		}
 	}
 	if out == nil {
-		return &ConstInt{Val: c.constant, T: t}
+		return a.ConstInt(c.constant, t)
 	}
 	if c.constant > 0 {
-		out = &Bin{Op: OpAdd, L: out, R: &ConstInt{Val: c.constant, T: t}, T: t}
+		out = a.Bin(OpAdd, out, a.ConstInt(c.constant, t), t)
 	} else if c.constant < 0 {
-		out = &Bin{Op: OpSub, L: out, R: &ConstInt{Val: -c.constant, T: t}, T: t}
+		out = a.Bin(OpSub, out, a.ConstInt(-c.constant, t), t)
 	}
 	// Give the root the original type.
 	setExprType(out, t)
@@ -86,12 +95,19 @@ type term struct {
 	coef int64
 }
 
+// collector accumulates the additive terms of a sum. Terms are held in a
+// small slice in first-seen order and matched structurally (sameTerm),
+// which keeps collection allocation-free for the common few-term case —
+// the previous implementation keyed a map by e.String(), which built a
+// string per node visit.
 type collector struct {
 	constant   int64
 	constCount int
-	terms      map[string]*term
-	order      []string
+	terms      []term
 	combined   bool
+	// buf backs terms for the common few-term case, keeping collection
+	// allocation-free (the collector itself lives on the caller's stack).
+	buf [8]term
 }
 
 // collect walks e as a signed sum; returns false when the expression is
@@ -169,13 +185,61 @@ func (c *collector) addTerm(e Expr, coef int64) bool {
 	if impure {
 		return false
 	}
-	key := e.String()
-	if tm, ok := c.terms[key]; ok {
-		tm.coef += coef
-		c.combined = true
+	for i := range c.terms {
+		if sameTerm(c.terms[i].expr, e) {
+			c.terms[i].coef += coef
+			c.combined = true
+			return true
+		}
+	}
+	c.terms = append(c.terms, term{expr: e, coef: coef})
+	return true
+}
+
+// sameTerm reports whether two expressions print identically — it is the
+// structural mirror of String() equality, which is what term merging has
+// always keyed on (so constants of different declared types merge, while
+// casts to differently-spelled types do not). Keeping exactly this
+// equivalence is what keeps SimplifyLinear's output bit-identical to the
+// string-keyed implementation it replaced.
+func sameTerm(x, y Expr) bool {
+	if x == y {
 		return true
 	}
-	c.terms[key] = &term{expr: e, coef: coef}
-	c.order = append(c.order, key)
-	return true
+	if x == nil || y == nil {
+		return false
+	}
+	switch a := x.(type) {
+	case *ConstInt:
+		b, ok := y.(*ConstInt)
+		return ok && a.Val == b.Val
+	case *ConstFloat:
+		b, ok := y.(*ConstFloat)
+		// %g prints a unique shortest form per value; NaNs all print "NaN".
+		return ok && (math.Float64bits(a.Val) == math.Float64bits(b.Val) ||
+			(math.IsNaN(a.Val) && math.IsNaN(b.Val)))
+	case *VarRef:
+		b, ok := y.(*VarRef)
+		return ok && a.ID == b.ID
+	case *AddrOf:
+		b, ok := y.(*AddrOf)
+		return ok && a.ID == b.ID
+	case *Load:
+		b, ok := y.(*Load)
+		return ok && a.Volatile == b.Volatile && sameTerm(a.Addr, b.Addr)
+	case *Bin:
+		b, ok := y.(*Bin)
+		return ok && a.Op == b.Op && sameTerm(a.L, b.L) && sameTerm(a.R, b.R)
+	case *Un:
+		b, ok := y.(*Un)
+		return ok && a.Op == b.Op && sameTerm(a.X, b.X)
+	case *Cast:
+		b, ok := y.(*Cast)
+		// Cast prints its full target type spelling.
+		return ok && (a.T == b.T || a.T.String() == b.T.String()) && sameTerm(a.X, b.X)
+	case *VecRef:
+		b, ok := y.(*VecRef)
+		return ok && sameTerm(a.Base, b.Base) && sameTerm(a.Stride, b.Stride)
+	}
+	return false
 }

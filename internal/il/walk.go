@@ -86,76 +86,103 @@ func StmtExprs(s Stmt, f func(Expr)) {
 }
 
 // RewriteExpr rebuilds e bottom-up, replacing each node with f(node).
-// f receives a node whose children have already been rewritten.
+// f receives a node whose children have already been rewritten. The
+// rewrite is copy-on-write: a node whose children came back unchanged is
+// passed to f as-is (not copied), and when f is the identity over a
+// whole subtree the subtree is returned untouched. Rewriters therefore
+// must not mutate the node they receive — they return a replacement (or
+// the argument) instead. The input tree is never mutated.
 func RewriteExpr(e Expr, f func(Expr) Expr) Expr {
+	return RewriteExprIn(nil, e, f)
+}
+
+// RewriteExprIn is RewriteExpr with the copied spine nodes allocated
+// from arena a (nil allocates from the heap). Passes rewriting a
+// procedure pass p.Arena().
+func RewriteExprIn(a *Arena, e Expr, f func(Expr) Expr) Expr {
 	if e == nil {
 		return nil
 	}
 	switch n := e.(type) {
 	case *Load:
-		m := *n
-		m.Addr = RewriteExpr(n.Addr, f)
-		return f(&m)
+		addr := RewriteExprIn(a, n.Addr, f)
+		if addr != n.Addr {
+			return f(a.Load(addr, n.T, n.Volatile))
+		}
+		return f(n)
 	case *Bin:
-		m := *n
-		m.L = RewriteExpr(n.L, f)
-		m.R = RewriteExpr(n.R, f)
-		return f(&m)
+		l := RewriteExprIn(a, n.L, f)
+		r := RewriteExprIn(a, n.R, f)
+		if l != n.L || r != n.R {
+			return f(a.Bin(n.Op, l, r, n.T))
+		}
+		return f(n)
 	case *Un:
-		m := *n
-		m.X = RewriteExpr(n.X, f)
-		return f(&m)
+		x := RewriteExprIn(a, n.X, f)
+		if x != n.X {
+			return f(a.Un(n.Op, x, n.T))
+		}
+		return f(n)
 	case *Cast:
-		m := *n
-		m.X = RewriteExpr(n.X, f)
-		return f(&m)
+		x := RewriteExprIn(a, n.X, f)
+		if x != n.X {
+			return f(a.Cast(x, n.T))
+		}
+		return f(n)
 	case *VecRef:
-		m := *n
-		m.Base = RewriteExpr(n.Base, f)
-		m.Stride = RewriteExpr(n.Stride, f)
-		return f(&m)
+		base := RewriteExprIn(a, n.Base, f)
+		stride := RewriteExprIn(a, n.Stride, f)
+		if base != n.Base || stride != n.Stride {
+			return f(a.VecRef(base, stride, n.T))
+		}
+		return f(n)
 	default:
-		return f(CloneExpr(e))
+		return f(e)
 	}
 }
 
 // RewriteStmtExprs applies RewriteExpr with f to every expression operand
 // of s, in place.
 func RewriteStmtExprs(s Stmt, f func(Expr) Expr) {
+	RewriteStmtExprsIn(nil, s, f)
+}
+
+// RewriteStmtExprsIn is RewriteStmtExprs allocating from arena a.
+func RewriteStmtExprsIn(a *Arena, s Stmt, f func(Expr) Expr) {
 	switch n := s.(type) {
 	case *Assign:
 		// The destination of a store is an expression too, but a VarRef
 		// destination is a definition, not a use; rewriters that must
 		// distinguish handle Assign themselves before calling this.
-		n.Dst = RewriteExpr(n.Dst, f)
-		n.Src = RewriteExpr(n.Src, f)
+		n.Dst = RewriteExprIn(a, n.Dst, f)
+		n.Src = RewriteExprIn(a, n.Src, f)
 	case *Call:
 		if n.FunPtr != nil {
-			n.FunPtr = RewriteExpr(n.FunPtr, f)
+			n.FunPtr = RewriteExprIn(a, n.FunPtr, f)
 		}
 		for i := range n.Args {
-			n.Args[i] = RewriteExpr(n.Args[i], f)
+			n.Args[i] = RewriteExprIn(a, n.Args[i], f)
 		}
 	case *If:
-		n.Cond = RewriteExpr(n.Cond, f)
+		n.Cond = RewriteExprIn(a, n.Cond, f)
 	case *While:
-		n.Cond = RewriteExpr(n.Cond, f)
+		n.Cond = RewriteExprIn(a, n.Cond, f)
 	case *DoLoop:
-		n.Init = RewriteExpr(n.Init, f)
-		n.Limit = RewriteExpr(n.Limit, f)
-		n.Step = RewriteExpr(n.Step, f)
+		n.Init = RewriteExprIn(a, n.Init, f)
+		n.Limit = RewriteExprIn(a, n.Limit, f)
+		n.Step = RewriteExprIn(a, n.Step, f)
 	case *DoParallel:
-		n.Init = RewriteExpr(n.Init, f)
-		n.Limit = RewriteExpr(n.Limit, f)
-		n.Step = RewriteExpr(n.Step, f)
+		n.Init = RewriteExprIn(a, n.Init, f)
+		n.Limit = RewriteExprIn(a, n.Limit, f)
+		n.Step = RewriteExprIn(a, n.Step, f)
 	case *VectorAssign:
-		n.DstBase = RewriteExpr(n.DstBase, f)
-		n.DstStride = RewriteExpr(n.DstStride, f)
-		n.Len = RewriteExpr(n.Len, f)
-		n.RHS = RewriteExpr(n.RHS, f)
+		n.DstBase = RewriteExprIn(a, n.DstBase, f)
+		n.DstStride = RewriteExprIn(a, n.DstStride, f)
+		n.Len = RewriteExprIn(a, n.Len, f)
+		n.RHS = RewriteExprIn(a, n.RHS, f)
 	case *Return:
 		if n.Val != nil {
-			n.Val = RewriteExpr(n.Val, f)
+			n.Val = RewriteExprIn(a, n.Val, f)
 		}
 	}
 }
@@ -165,95 +192,106 @@ func RewriteStmtExprs(s Stmt, f func(Expr) Expr) {
 // destinations are definitions, not uses, and are left alone; store
 // destinations have their address rewritten.
 func RewriteTreeExprs(s Stmt, f func(Expr) Expr) {
+	RewriteTreeExprsIn(nil, s, f)
+}
+
+// RewriteTreeExprsIn is RewriteTreeExprs allocating from arena a.
+func RewriteTreeExprsIn(a *Arena, s Stmt, f func(Expr) Expr) {
 	WalkStmts([]Stmt{s}, func(sub Stmt) bool {
 		if as, ok := sub.(*Assign); ok {
 			if ld, isStore := as.Dst.(*Load); isStore {
-				as.Dst = &Load{Addr: RewriteExpr(ld.Addr, f), T: ld.T, Volatile: ld.Volatile}
+				if addr := RewriteExprIn(a, ld.Addr, f); addr != ld.Addr {
+					as.Dst = a.Load(addr, ld.T, ld.Volatile)
+				}
 			}
-			as.Src = RewriteExpr(as.Src, f)
+			as.Src = RewriteExprIn(a, as.Src, f)
 			return true
 		}
-		RewriteStmtExprs(sub, f)
+		RewriteStmtExprsIn(a, sub, f)
 		return true
 	})
 }
 
 // CloneExpr deep-copies an expression.
-func CloneExpr(e Expr) Expr {
+func CloneExpr(e Expr) Expr { return CloneExprIn(nil, e) }
+
+// CloneExprIn deep-copies an expression into arena a (nil copies to the
+// heap).
+func CloneExprIn(a *Arena, e Expr) Expr {
 	if e == nil {
 		return nil
 	}
 	switch n := e.(type) {
 	case *ConstInt:
-		m := *n
-		return &m
+		return a.ConstInt(n.Val, n.T)
 	case *ConstFloat:
-		m := *n
-		return &m
+		return a.ConstFloat(n.Val, n.T)
 	case *VarRef:
-		m := *n
-		return &m
+		return a.VarRef(n.ID, n.T)
 	case *AddrOf:
-		m := *n
-		return &m
+		return a.AddrOf(n.ID, n.T)
 	case *Load:
-		return &Load{Addr: CloneExpr(n.Addr), T: n.T, Volatile: n.Volatile}
+		return a.Load(CloneExprIn(a, n.Addr), n.T, n.Volatile)
 	case *Bin:
-		return &Bin{Op: n.Op, L: CloneExpr(n.L), R: CloneExpr(n.R), T: n.T}
+		return a.Bin(n.Op, CloneExprIn(a, n.L), CloneExprIn(a, n.R), n.T)
 	case *Un:
-		return &Un{Op: n.Op, X: CloneExpr(n.X), T: n.T}
+		return a.Un(n.Op, CloneExprIn(a, n.X), n.T)
 	case *Cast:
-		return &Cast{X: CloneExpr(n.X), T: n.T}
+		return a.Cast(CloneExprIn(a, n.X), n.T)
 	case *VecRef:
-		return &VecRef{Base: CloneExpr(n.Base), Stride: CloneExpr(n.Stride), T: n.T}
+		return a.VecRef(CloneExprIn(a, n.Base), CloneExprIn(a, n.Stride), n.T)
 	}
 	panic("il: CloneExpr of unknown node")
 }
 
 // CloneStmt deep-copies a statement.
-func CloneStmt(s Stmt) Stmt {
+func CloneStmt(s Stmt) Stmt { return CloneStmtIn(nil, s) }
+
+// CloneStmtIn deep-copies a statement into arena a.
+func CloneStmtIn(a *Arena, s Stmt) Stmt {
 	switch n := s.(type) {
 	case *Assign:
-		return &Assign{Dst: CloneExpr(n.Dst), Src: CloneExpr(n.Src), Pos: n.Pos}
+		return a.Assign(Assign{Dst: CloneExprIn(a, n.Dst), Src: CloneExprIn(a, n.Src), Pos: n.Pos})
 	case *Call:
-		m := &Call{Dst: n.Dst, Callee: n.Callee, T: n.T, FunPtr: CloneExpr(n.FunPtr), Pos: n.Pos}
-		for _, a := range n.Args {
-			m.Args = append(m.Args, CloneExpr(a))
+		m := a.Call(Call{Dst: n.Dst, Callee: n.Callee, T: n.T, FunPtr: CloneExprIn(a, n.FunPtr), Pos: n.Pos})
+		for _, arg := range n.Args {
+			m.Args = append(m.Args, CloneExprIn(a, arg))
 		}
 		return m
 	case *If:
-		return &If{Cond: CloneExpr(n.Cond), Then: CloneStmts(n.Then), Else: CloneStmts(n.Else), Pos: n.Pos}
+		return a.If(If{Cond: CloneExprIn(a, n.Cond), Then: CloneStmtsIn(a, n.Then), Else: CloneStmtsIn(a, n.Else), Pos: n.Pos})
 	case *While:
-		return &While{Cond: CloneExpr(n.Cond), Body: CloneStmts(n.Body), Safe: n.Safe, Pos: n.Pos}
+		return a.While(While{Cond: CloneExprIn(a, n.Cond), Body: CloneStmtsIn(a, n.Body), Safe: n.Safe, Pos: n.Pos})
 	case *DoLoop:
-		return &DoLoop{IV: n.IV, Init: CloneExpr(n.Init), Limit: CloneExpr(n.Limit),
-			Step: CloneExpr(n.Step), Body: CloneStmts(n.Body), Safe: n.Safe, Pos: n.Pos}
+		return a.DoLoop(DoLoop{IV: n.IV, Init: CloneExprIn(a, n.Init), Limit: CloneExprIn(a, n.Limit),
+			Step: CloneExprIn(a, n.Step), Body: CloneStmtsIn(a, n.Body), Safe: n.Safe, Pos: n.Pos})
 	case *DoParallel:
-		return &DoParallel{IV: n.IV, Init: CloneExpr(n.Init), Limit: CloneExpr(n.Limit),
-			Step: CloneExpr(n.Step), Body: CloneStmts(n.Body), Width: n.Width, Pos: n.Pos}
+		return a.DoParallel(DoParallel{IV: n.IV, Init: CloneExprIn(a, n.Init), Limit: CloneExprIn(a, n.Limit),
+			Step: CloneExprIn(a, n.Step), Body: CloneStmtsIn(a, n.Body), Width: n.Width, Pos: n.Pos})
 	case *VectorAssign:
-		return &VectorAssign{DstBase: CloneExpr(n.DstBase), DstStride: CloneExpr(n.DstStride),
-			Len: CloneExpr(n.Len), Elem: n.Elem, RHS: CloneExpr(n.RHS), Pos: n.Pos}
+		return a.VectorAssign(VectorAssign{DstBase: CloneExprIn(a, n.DstBase), DstStride: CloneExprIn(a, n.DstStride),
+			Len: CloneExprIn(a, n.Len), Elem: n.Elem, RHS: CloneExprIn(a, n.RHS), Pos: n.Pos})
 	case *Goto:
-		m := *n
-		return &m
+		return a.Goto(*n)
 	case *Label:
-		m := *n
-		return &m
+		return a.Label(*n)
 	case *Return:
-		return &Return{Val: CloneExpr(n.Val), Pos: n.Pos}
+		return a.Return(Return{Val: CloneExprIn(a, n.Val), Pos: n.Pos})
 	}
 	panic("il: CloneStmt of unknown node")
 }
 
 // CloneStmts deep-copies a statement list.
-func CloneStmts(list []Stmt) []Stmt {
+func CloneStmts(list []Stmt) []Stmt { return CloneStmtsIn(nil, list) }
+
+// CloneStmtsIn deep-copies a statement list into arena a.
+func CloneStmtsIn(a *Arena, list []Stmt) []Stmt {
 	if list == nil {
 		return nil
 	}
 	out := make([]Stmt, len(list))
 	for i, s := range list {
-		out[i] = CloneStmt(s)
+		out[i] = CloneStmtIn(a, s)
 	}
 	return out
 }

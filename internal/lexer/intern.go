@@ -1,0 +1,35 @@
+package lexer
+
+import "strings"
+
+// Interner is a per-compile symbol table that canonicalizes identifier and
+// string-literal spellings: every occurrence of the same text yields the
+// same backing string. Beyond deduplication, interning copies the (small)
+// spellings out of the source buffer, so tokens, AST nodes, and the IL no
+// longer pin the whole source text via substring references — the buffer
+// becomes collectable as soon as lexing finishes.
+//
+// An Interner is not safe for concurrent use; the front end interns during
+// the single serial lexing pass, before any parallel phase starts. A nil
+// *Interner is valid and interns nothing.
+type Interner struct {
+	m map[string]string
+}
+
+// NewInterner returns an empty per-compile interner.
+func NewInterner() *Interner {
+	return &Interner{m: make(map[string]string, 128)}
+}
+
+// Intern returns the canonical instance of s.
+func (in *Interner) Intern(s string) string {
+	if in == nil {
+		return s
+	}
+	if c, ok := in.m[s]; ok {
+		return c
+	}
+	c := strings.Clone(s)
+	in.m[c] = c
+	return c
+}

@@ -26,10 +26,11 @@ func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
 
 // Lexer scans one source buffer.
 type Lexer struct {
-	src  string
-	off  int
-	line int
-	col  int
+	src    string
+	off    int
+	line   int
+	col    int
+	intern *Interner
 }
 
 // New returns a lexer over src.
@@ -37,10 +38,22 @@ func New(src string) *Lexer {
 	return &Lexer{src: src, line: 1, col: 1}
 }
 
+// NewInterning returns a lexer over src that canonicalizes identifier and
+// string-literal spellings through in (nil interns nothing).
+func NewInterning(src string, in *Interner) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1, intern: in}
+}
+
 // Tokenize scans the entire input, returning all tokens up to and including
 // the EOF token.
 func Tokenize(src string) ([]token.Token, error) {
-	lx := New(src)
+	return TokenizeInterned(src, nil)
+}
+
+// TokenizeInterned is Tokenize with identifier/string-literal interning
+// through the given per-compile interner (nil interns nothing).
+func TokenizeInterned(src string, in *Interner) ([]token.Token, error) {
+	lx := NewInterning(src, in)
 	var toks []token.Token
 	for {
 		t, err := lx.Next()
@@ -182,7 +195,7 @@ func (l *Lexer) lexIdent(pos token.Pos) token.Token {
 	if kw, ok := token.Keywords[text]; ok {
 		return token.Token{Kind: kw, Text: text, Pos: pos}
 	}
-	return token.Token{Kind: token.Ident, Text: text, Pos: pos}
+	return token.Token{Kind: token.Ident, Text: l.intern.Intern(text), Pos: pos}
 }
 
 func (l *Lexer) lexNumber(pos token.Pos) (token.Token, error) {
@@ -362,7 +375,7 @@ func (l *Lexer) lexString(pos token.Pos) (token.Token, error) {
 		}
 		sb.WriteByte(c)
 	}
-	s := sb.String()
+	s := l.intern.Intern(sb.String())
 	return token.Token{Kind: token.StringLit, Text: s, Pos: pos, StrVal: s}, nil
 }
 
@@ -423,17 +436,20 @@ func (l *Lexer) lexOperator(pos token.Pos) (token.Token, error) {
 	case strings.HasPrefix(rest, "^="):
 		return mk(token.CaretAssign, 2)
 	}
-	single := map[byte]token.Kind{
-		'(': token.LParen, ')': token.RParen, '{': token.LBrace, '}': token.RBrace,
-		'[': token.LBracket, ']': token.RBracket, ';': token.Semi, ',': token.Comma,
-		':': token.Colon, '?': token.Question, '=': token.Assign,
-		'+': token.Plus, '-': token.Minus, '*': token.Star, '/': token.Slash,
-		'%': token.Percent, '<': token.Lt, '>': token.Gt, '!': token.Not,
-		'&': token.Amp, '|': token.Pipe, '^': token.Caret, '~': token.Tilde,
-		'.': token.Dot,
-	}
-	if k, ok := single[l.peek()]; ok {
+	if k, ok := singleOps[l.peek()]; ok {
 		return mk(k, 1)
 	}
 	return token.Token{}, l.errorf(pos, "unexpected character %q", string(l.peek()))
+}
+
+// singleOps maps single-character operators to their kinds. Package-level
+// so lexOperator (called once per operator token) allocates nothing.
+var singleOps = map[byte]token.Kind{
+	'(': token.LParen, ')': token.RParen, '{': token.LBrace, '}': token.RBrace,
+	'[': token.LBracket, ']': token.RBracket, ';': token.Semi, ',': token.Comma,
+	':': token.Colon, '?': token.Question, '=': token.Assign,
+	'+': token.Plus, '-': token.Minus, '*': token.Star, '/': token.Slash,
+	'%': token.Percent, '<': token.Lt, '>': token.Gt, '!': token.Not,
+	'&': token.Amp, '|': token.Pipe, '^': token.Caret, '~': token.Tilde,
+	'.': token.Dot,
 }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/il"
 	"repro/internal/sema"
 	"repro/internal/token"
+	"repro/internal/workpool"
 )
 
 // Error is a lowering error with position.
@@ -44,8 +45,18 @@ func errf(pos token.Pos, format string, args ...interface{}) error {
 
 // File lowers a checked file to an IL program.
 func File(f *ast.File, info *sema.Info) (*il.Program, error) {
+	return FileWorkers(f, info, 1)
+}
+
+// FileWorkers is File with up to `workers` function bodies lowering
+// concurrently on the pass worker pool (1 lowers serially). Lowering one
+// function is a pure function of (decl, info): the only program-level
+// writes — function statics and string-literal globals — are buffered on
+// the per-function lowerer and flushed in declaration order, with string
+// globals renumbered to the serial .strN sequence at flush. The resulting
+// program is bit-identical to serial lowering.
+func FileWorkers(f *ast.File, info *sema.Info, workers int) (*il.Program, error) {
 	prog := &il.Program{}
-	strCount := 0
 	for _, g := range f.Globals {
 		gv := il.GlobalVar{Name: g.Name, Type: g.Type}
 		if g.Init != nil {
@@ -66,41 +77,81 @@ func File(f *ast.File, info *sema.Info) (*il.Program, error) {
 		}
 		prog.AddGlobal(gv)
 	}
+	var defs []*ast.FuncDecl
 	for _, fn := range f.Funcs {
-		if fn.Body == nil {
-			continue
+		if fn.Body != nil {
+			defs = append(defs, fn)
 		}
-		p, err := lowerFunc(fn, info, prog, &strCount)
-		if err != nil {
-			return nil, err
+	}
+	procs := make([]*il.Proc, len(defs))
+	lws := make([]*lowerer, len(defs))
+	errs := make([]error, len(defs))
+	workpool.ForEachN(len(defs), workers, func(i int) {
+		procs[i], lws[i], errs[i] = lowerFunc(defs[i], info)
+	})
+	// Deterministic merge in declaration order: the first error is the
+	// serial one (lowering errors are per-function), and each function's
+	// buffered globals land exactly where serial lowering appended them.
+	strCount := 0
+	for i := range defs {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		prog.Procs = append(prog.Procs, p)
+		lw := lws[i]
+		for _, r := range lw.strRefs {
+			strCount++
+			name := fmt.Sprintf(".str%d", strCount)
+			lw.pending[r.global].Name = name
+			procs[i].Vars[r.v].Name = name
+		}
+		for _, gv := range lw.pending {
+			prog.AddGlobal(gv)
+		}
+		prog.Procs = append(prog.Procs, procs[i])
 	}
 	return prog, nil
 }
 
 type lowerer struct {
 	proc *il.Proc
-	prog *il.Program
 	info *sema.Info
 	vars map[*sema.Symbol]il.VarID
+	// ar is the proc's arena; every lowered node is carved from it.
+	ar *il.Arena
 
 	breakTo    string // label to goto on break ("" if none)
 	continueTo string
 	breakUsed  *bool
 	contUsed   *bool
 
-	strCount *int
+	// pending buffers the globals this function creates — statics and
+	// string literals, in encounter order — so lowering never touches the
+	// shared program; FileWorkers flushes them in declaration order.
+	pending []il.GlobalVar
+	// strRefs marks which pending entries are string literals (and the
+	// proc-local vars naming them) for the flush-time .strN renumbering.
+	strRefs []strRef
 
 	// pendingSafe is set after "#pragma safe"; the next loop lowered gets
 	// its Safe flag.
 	pendingSafe bool
 }
 
-func lowerFunc(fn *ast.FuncDecl, info *sema.Info, prog *il.Program, strCount *int) (*il.Proc, error) {
+// strRef ties a function-local string literal to its pending-global slot
+// and the proc variable that addresses it.
+type strRef struct {
+	global int
+	v      il.VarID
+}
+
+func lowerFunc(fn *ast.FuncDecl, info *sema.Info) (*il.Proc, *lowerer, error) {
 	p := il.NewProc(fn.Name, fn.Type.Ret)
 	p.Variadic = fn.Type.Variadic
-	lw := &lowerer{proc: p, prog: prog, info: info, vars: map[*sema.Symbol]il.VarID{}, strCount: strCount}
+	// Every proc owns an arena: lowered nodes and everything the optimizer
+	// rebuilds come from per-proc slabs, released in one step when the
+	// compile's result is dropped (see DESIGN.md, "Memory architecture").
+	p.SetArena(il.NewArena())
+	lw := &lowerer{proc: p, info: info, vars: map[*sema.Symbol]il.VarID{}, ar: p.Arena()}
 	for _, psym := range info.ParamSyms[fn] {
 		id := p.AddVar(il.Var{Name: psym.Name, Type: psym.Type, Class: il.ClassParam, AddrTaken: psym.AddrTaken})
 		p.Params = append(p.Params, id)
@@ -108,10 +159,10 @@ func lowerFunc(fn *ast.FuncDecl, info *sema.Info, prog *il.Program, strCount *in
 	}
 	stmts, err := lw.stmt(fn.Body)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	p.Body = stmts
-	return p, nil
+	return p, lw, nil
 }
 
 // constValue extracts a compile-time constant from an initializer
@@ -163,6 +214,18 @@ func writeCell(b []byte, t *ctype.Type, iv int64, fv float64) {
 	}
 }
 
+// Arena-allocating shorthands for the constant and arithmetic builders the
+// lowering uses on nearly every expression.
+func (lw *lowerer) intC(v int64) *il.ConstInt { return lw.ar.ConstInt(v, ctype.IntType) }
+
+func (lw *lowerer) addC(l, r il.Expr, t *ctype.Type) il.Expr {
+	return il.NewBinIn(lw.ar, il.OpAdd, l, r, t)
+}
+
+func (lw *lowerer) mulC(l, r il.Expr, t *ctype.Type) il.Expr {
+	return il.NewBinIn(lw.ar, il.OpMul, l, r, t)
+}
+
 // varID returns the procedure-local variable for a symbol, creating the
 // table entry on first use. Globals and function statics become ClassGlobal
 // / ClassStatic entries that name program-level storage.
@@ -177,7 +240,7 @@ func (lw *lowerer) varID(sym *sema.Symbol) il.VarID {
 	case sema.SymStaticLocal:
 		v.Class = il.ClassStatic
 		v.Name = sym.MangledName
-		lw.prog.AddGlobal(il.GlobalVar{Name: sym.MangledName, Type: sym.Type})
+		lw.pending = append(lw.pending, il.GlobalVar{Name: sym.MangledName, Type: sym.Type})
 	case sema.SymParam:
 		v.Class = il.ClassParam
 	default:
@@ -235,10 +298,10 @@ func (lw *lowerer) stmtInner(s ast.Stmt) ([]il.Stmt, error) {
 					return nil, err
 				}
 				out = append(out, sl...)
-				out = append(out, &il.Assign{
-					Dst: il.Ref(id, sym.Type),
+				out = append(out, lw.ar.Assign(il.Assign{
+					Dst: lw.ar.VarRef(id, sym.Type),
 					Src: lw.coerce(e, sym.Type),
-				})
+				}))
 			}
 			if d.InitList != nil {
 				sl, err := lw.initList(d, sym, id)
@@ -267,7 +330,7 @@ func (lw *lowerer) stmtInner(s ast.Stmt) ([]il.Stmt, error) {
 				return nil, err
 			}
 		}
-		return append(condSL, &il.If{Cond: cond, Then: then, Else: els}), nil
+		return append(condSL, lw.ar.If(il.If{Cond: cond, Then: then, Else: els})), nil
 	case *ast.WhileStmt:
 		return lw.whileLoop(n.Cond, n.Body, nil)
 	case *ast.ForStmt:
@@ -293,33 +356,33 @@ func (lw *lowerer) stmtInner(s ast.Stmt) ([]il.Stmt, error) {
 		return lw.doWhile(n)
 	case *ast.ReturnStmt:
 		if n.X == nil {
-			return []il.Stmt{&il.Return{}}, nil
+			return []il.Stmt{lw.ar.Return(il.Return{})}, nil
 		}
 		sl, e, err := lw.expr(n.X)
 		if err != nil {
 			return nil, err
 		}
-		return append(sl, &il.Return{Val: lw.coerce(e, lw.proc.Ret)}), nil
+		return append(sl, lw.ar.Return(il.Return{Val: lw.coerce(e, lw.proc.Ret)})), nil
 	case *ast.BreakStmt:
 		if lw.breakTo == "" {
 			return nil, errf(n.Pos(), "break outside loop")
 		}
 		*lw.breakUsed = true
-		return []il.Stmt{&il.Goto{Target: lw.breakTo}}, nil
+		return []il.Stmt{lw.ar.Goto(il.Goto{Target: lw.breakTo})}, nil
 	case *ast.ContinueStmt:
 		if lw.continueTo == "" {
 			return nil, errf(n.Pos(), "continue outside loop")
 		}
 		*lw.contUsed = true
-		return []il.Stmt{&il.Goto{Target: lw.continueTo}}, nil
+		return []il.Stmt{lw.ar.Goto(il.Goto{Target: lw.continueTo})}, nil
 	case *ast.GotoStmt:
-		return []il.Stmt{&il.Goto{Target: "." + n.Label}}, nil
+		return []il.Stmt{lw.ar.Goto(il.Goto{Target: "." + n.Label})}, nil
 	case *ast.LabeledStmt:
 		inner, err := lw.stmt(n.Stmt)
 		if err != nil {
 			return nil, err
 		}
-		return append([]il.Stmt{&il.Label{Name: "." + n.Label}}, inner...), nil
+		return append([]il.Stmt{lw.ar.Label(il.Label{Name: "." + n.Label})}, inner...), nil
 	case *ast.SwitchStmt:
 		return lw.switchStmt(n)
 	case *ast.CaseStmt:
@@ -332,7 +395,7 @@ func (lw *lowerer) stmtInner(s ast.Stmt) ([]il.Stmt, error) {
 // past the list are zeroed, per C semantics.
 func (lw *lowerer) initList(d *ast.VarDecl, sym *sema.Symbol, id il.VarID) ([]il.Stmt, error) {
 	cells := ctype.ScalarCells(sym.Type)
-	base := &il.AddrOf{ID: id, T: ctype.PointerTo(sym.Type)}
+	base := lw.ar.AddrOf(id, ctype.PointerTo(sym.Type))
 	var out []il.Stmt
 	// Scalar declared with braces: plain assignment.
 	if !sym.Type.IsAggregate() && sym.Type.Kind != ctype.Array {
@@ -341,28 +404,28 @@ func (lw *lowerer) initList(d *ast.VarDecl, sym *sema.Symbol, id il.VarID) ([]il
 			return nil, err
 		}
 		out = append(out, sl...)
-		return append(out, &il.Assign{Dst: il.Ref(id, sym.Type), Src: lw.coerce(e, sym.Type)}), nil
+		return append(out, lw.ar.Assign(il.Assign{Dst: lw.ar.VarRef(id, sym.Type), Src: lw.coerce(e, sym.Type)})), nil
 	}
 	for i, cell := range cells {
-		addr := il.Add(il.CloneExpr(base), il.Int(int64(cell.Offset)), ctype.PointerTo(cell.Type))
-		dst := &il.Load{Addr: addr, T: cell.Type, Volatile: cell.Type.Volatile}
+		addr := lw.addC(il.CloneExprIn(lw.ar, base), lw.intC(int64(cell.Offset)), ctype.PointerTo(cell.Type))
+		dst := lw.ar.Load(addr, cell.Type, cell.Type.Volatile)
 		if i < len(d.InitList) {
 			sl, e, err := lw.expr(d.InitList[i])
 			if err != nil {
 				return nil, err
 			}
 			out = append(out, sl...)
-			out = append(out, &il.Assign{Dst: dst, Src: lw.coerce(e, cell.Type)})
+			out = append(out, lw.ar.Assign(il.Assign{Dst: dst, Src: lw.coerce(e, cell.Type)}))
 			continue
 		}
 		// Zero the rest.
 		var zero il.Expr
 		if cell.Type.IsFloat() {
-			zero = il.Flt(0, cell.Type)
+			zero = lw.ar.ConstFloat(0, cell.Type)
 		} else {
-			zero = il.Int(0)
+			zero = lw.intC(0)
 		}
-		out = append(out, &il.Assign{Dst: dst, Src: zero})
+		out = append(out, lw.ar.Assign(il.Assign{Dst: dst, Src: zero}))
 	}
 	return out, nil
 }
@@ -396,7 +459,7 @@ func (lw *lowerer) whileLoop(cond ast.Expr, body ast.Stmt, post ast.Expr) ([]il.
 	var loopBody []il.Stmt
 	loopBody = append(loopBody, bodySL...)
 	if contUsed {
-		loopBody = append(loopBody, &il.Label{Name: contLbl})
+		loopBody = append(loopBody, lw.ar.Label(il.Label{Name: contLbl}))
 	}
 	if post != nil {
 		postSL, err := lw.exprStmt(post)
@@ -406,12 +469,12 @@ func (lw *lowerer) whileLoop(cond ast.Expr, body ast.Stmt, post ast.Expr) ([]il.
 		loopBody = append(loopBody, postSL...)
 	}
 	// Duplicate the condition's statement list at the loop bottom (§4).
-	loopBody = append(loopBody, il.CloneStmts(condSL)...)
+	loopBody = append(loopBody, il.CloneStmtsIn(lw.ar, condSL)...)
 
 	out := condSL
-	out = append(out, &il.While{Cond: condE, Body: loopBody, Safe: safe})
+	out = append(out, lw.ar.While(il.While{Cond: condE, Body: loopBody, Safe: safe}))
 	if breakUsed {
-		out = append(out, &il.Label{Name: breakLbl})
+		out = append(out, lw.ar.Label(il.Label{Name: breakLbl}))
 	}
 	return out, nil
 }
@@ -438,15 +501,15 @@ func (lw *lowerer) doWhile(n *ast.DoWhileStmt) ([]il.Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := []il.Stmt{&il.Label{Name: top}}
+	out := []il.Stmt{lw.ar.Label(il.Label{Name: top})}
 	out = append(out, body...)
 	if contUsed {
-		out = append(out, &il.Label{Name: contLbl})
+		out = append(out, lw.ar.Label(il.Label{Name: contLbl}))
 	}
 	out = append(out, condSL...)
-	out = append(out, &il.If{Cond: condE, Then: []il.Stmt{&il.Goto{Target: top}}})
+	out = append(out, &il.If{Cond: condE, Then: []il.Stmt{lw.ar.Goto(il.Goto{Target: top})}})
 	if breakUsed {
-		out = append(out, &il.Label{Name: breakLbl})
+		out = append(out, lw.ar.Label(il.Label{Name: breakLbl}))
 	}
 	return out, nil
 }
@@ -460,7 +523,7 @@ func (lw *lowerer) switchStmt(n *ast.SwitchStmt) ([]il.Stmt, error) {
 	}
 	out := tagSL
 	tag := lw.proc.NewTemp(ctype.IntType)
-	out = append(out, &il.Assign{Dst: il.Ref(tag, ctype.IntType), Src: tagE})
+	out = append(out, lw.ar.Assign(il.Assign{Dst: lw.ar.VarRef(tag, ctype.IntType), Src: tagE}))
 
 	endLbl := lw.proc.NewLabel("swend")
 	// Collect the case arms in source order.
@@ -493,11 +556,11 @@ func (lw *lowerer) switchStmt(n *ast.SwitchStmt) ([]il.Stmt, error) {
 			continue
 		}
 		out = append(out, &il.If{
-			Cond: il.NewBin(il.OpEq, il.Ref(tag, ctype.IntType), il.Int(*a.val), ctype.IntType),
-			Then: []il.Stmt{&il.Goto{Target: a.label}},
+			Cond: il.NewBinIn(lw.ar, il.OpEq, lw.ar.VarRef(tag, ctype.IntType), lw.intC(*a.val), ctype.IntType),
+			Then: []il.Stmt{lw.ar.Goto(il.Goto{Target: a.label})},
 		})
 	}
-	out = append(out, &il.Goto{Target: defaultLbl})
+	out = append(out, lw.ar.Goto(il.Goto{Target: defaultLbl}))
 
 	// Lower the body with break → end and cases → labels.
 	var breakUsed bool
@@ -512,7 +575,7 @@ func (lw *lowerer) switchStmt(n *ast.SwitchStmt) ([]il.Stmt, error) {
 		return nil, err
 	}
 	out = append(out, bodySL...)
-	out = append(out, &il.Label{Name: endLbl})
+	out = append(out, lw.ar.Label(il.Label{Name: endLbl}))
 	return out, nil
 }
 
@@ -551,7 +614,7 @@ func (lw *lowerer) switchBody(s ast.Stmt, labels map[*ast.CaseStmt]string) ([]il
 		if err != nil {
 			return nil, err
 		}
-		return append([]il.Stmt{&il.Label{Name: labels[n]}}, inner...), nil
+		return append([]il.Stmt{lw.ar.Label(il.Label{Name: labels[n]})}, inner...), nil
 	default:
 		return lw.stmt(s)
 	}
@@ -598,7 +661,7 @@ func (lw *lowerer) cond(e ast.Expr) ([]il.Stmt, il.Expr, error) {
 	// Pointers and floats compare against zero; integers are used directly.
 	t := v.Type()
 	if t != nil && t.IsFloat() {
-		v = il.NewBin(il.OpNe, v, il.Flt(0, t), ctype.IntType)
+		v = il.NewBinIn(lw.ar, il.OpNe, v, lw.ar.ConstFloat(0, t), ctype.IntType)
 	}
 	return sl, v, nil
 }
@@ -617,16 +680,16 @@ func (lw *lowerer) expr(e ast.Expr) ([]il.Stmt, il.Expr, error) {
 		if sym.Kind == sema.SymFunc {
 			// Function designator in expression context: its "value" is a
 			// name; only calls and function pointers consume it.
-			return nil, &il.AddrOf{ID: lw.funcRef(sym), T: ctype.PointerTo(sym.Type)}, nil
+			return nil, lw.ar.AddrOf(lw.funcRef(sym), ctype.PointerTo(sym.Type)), nil
 		}
 		id := lw.varID(sym)
 		t := sym.Type
 		if t.Kind == ctype.Array || t.IsAggregate() {
 			// Arrays decay to their base address in rvalue context;
 			// aggregates are referenced by address.
-			return nil, &il.AddrOf{ID: id, T: ctype.PointerTo(t.Decay().Elem)}, nil
+			return nil, lw.ar.AddrOf(id, ctype.PointerTo(t.Decay().Elem)), nil
 		}
-		return nil, il.Ref(id, t), nil
+		return nil, lw.ar.VarRef(id, t), nil
 	case *ast.UnaryExpr:
 		return lw.unary(n)
 	case *ast.BinaryExpr:
@@ -656,13 +719,13 @@ func (lw *lowerer) expr(e ast.Expr) ([]il.Stmt, il.Expr, error) {
 		if t.Kind == ctype.Array || t.IsAggregate() {
 			return addr.sl, addr.e, nil // decay again
 		}
-		return addr.sl, &il.Load{Addr: addr.e, T: t, Volatile: vol || t.Volatile}, nil
+		return addr.sl, lw.ar.Load(addr.e, t, vol || t.Volatile), nil
 	case *ast.CastExpr:
 		sl, v, err := lw.expr(n.X)
 		if err != nil {
 			return nil, nil, err
 		}
-		return sl, il.NewCast(v, n.To), nil
+		return sl, il.NewCastIn(lw.ar, v, n.To), nil
 	case *ast.SizeofExpr:
 		var t *ctype.Type
 		if n.OfType != nil {
@@ -670,7 +733,7 @@ func (lw *lowerer) expr(e ast.Expr) ([]il.Stmt, il.Expr, error) {
 		} else {
 			t = n.X.Type()
 		}
-		return nil, il.Int(int64(t.Size())), nil
+		return nil, lw.intC(int64(t.Size())), nil
 	}
 	return nil, nil, errf(e.Pos(), "unhandled expression %T", e)
 }
@@ -686,18 +749,17 @@ func (lw *lowerer) funcRef(sym *sema.Symbol) il.VarID {
 	return id
 }
 
-// stringLit interns a string literal as a char-array global.
+// stringLit interns a string literal as a char-array global. The global
+// goes into the pending buffer with an empty name; FileWorkers assigns the
+// serial .strN name (unit-wide, in declaration-then-encounter order) when
+// it flushes the buffers.
 func (lw *lowerer) stringLit(n *ast.StrConst) il.Expr {
-	*lw.strCount++
-	name := fmt.Sprintf(".str%d", *lw.strCount)
 	data := append([]byte(n.Value), 0)
-	lw.prog.Globals = append(lw.prog.Globals, il.GlobalVar{
-		Name: name,
-		Type: ctype.ArrayOf(ctype.CharType, len(data)),
-	})
-	lw.prog.Globals[len(lw.prog.Globals)-1].Data = data
-	id := lw.proc.AddVar(il.Var{Name: name, Type: ctype.ArrayOf(ctype.CharType, len(data)), Class: il.ClassGlobal})
-	return &il.AddrOf{ID: id, T: ctype.PointerTo(ctype.CharType)}
+	t := ctype.ArrayOf(ctype.CharType, len(data))
+	lw.pending = append(lw.pending, il.GlobalVar{Name: "", Type: t, Data: data})
+	id := lw.proc.AddVar(il.Var{Name: "", Type: t, Class: il.ClassGlobal})
+	lw.strRefs = append(lw.strRefs, strRef{global: len(lw.pending) - 1, v: id})
+	return lw.ar.AddrOf(id, ctype.PointerTo(ctype.CharType))
 }
 
 type addrRes struct {
@@ -712,7 +774,7 @@ func (lw *lowerer) lvalueAddr(e ast.Expr) (addrRes, bool, error) {
 	case *ast.IdentExpr:
 		sym := lw.info.Uses[n]
 		id := lw.varID(sym)
-		return addrRes{e: &il.AddrOf{ID: id, T: ctype.PointerTo(sym.Type)}}, sym.Type.Volatile, nil
+		return addrRes{e: lw.ar.AddrOf(id, ctype.PointerTo(sym.Type))}, sym.Type.Volatile, nil
 	case *ast.UnaryExpr:
 		if n.Op == ast.Deref {
 			sl, v, err := lw.expr(n.X)
@@ -741,8 +803,8 @@ func (lw *lowerer) lvalueAddr(e ast.Expr) (addrRes, bool, error) {
 			return addrRes{}, false, err
 		}
 		elem := xt.Elem
-		off := il.Mul(il.Int(int64(elem.Size())), iE, ctype.IntType)
-		addr := il.Add(bE, off, bE.Type())
+		off := lw.mulC(lw.intC(int64(elem.Size())), iE, ctype.IntType)
+		addr := lw.addC(bE, off, bE.Type())
 		return addrRes{sl: append(bSL, iSL...), e: addr}, elem.Volatile, nil
 	case *ast.MemberExpr:
 		var base addrRes
@@ -767,7 +829,7 @@ func (lw *lowerer) lvalueAddr(e ast.Expr) (addrRes, bool, error) {
 			st = n.X.Type()
 		}
 		f := st.Field(n.Name)
-		addr := il.Add(base.e, il.Int(int64(f.Offset)), base.e.Type())
+		addr := lw.addC(base.e, lw.intC(int64(f.Offset)), base.e.Type())
 		return addrRes{sl: base.sl, e: addr}, f.Type.Volatile, nil
 	}
 	return addrRes{}, false, errf(e.Pos(), "not an lvalue: %T", e)
@@ -789,22 +851,22 @@ func (lw *lowerer) unary(n *ast.UnaryExpr) ([]il.Stmt, il.Expr, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		return sl, il.NewUn(il.OpNeg, lw.coerce(v, n.Type()), n.Type()), nil
+		return sl, il.NewUnIn(lw.ar, il.OpNeg, lw.coerce(v, n.Type()), n.Type()), nil
 	case ast.BitNot:
 		sl, v, err := lw.expr(n.X)
 		if err != nil {
 			return nil, nil, err
 		}
-		return sl, il.NewUn(il.OpBitNot, lw.coerce(v, n.Type()), n.Type()), nil
+		return sl, il.NewUnIn(lw.ar, il.OpBitNot, lw.coerce(v, n.Type()), n.Type()), nil
 	case ast.Not:
 		sl, v, err := lw.expr(n.X)
 		if err != nil {
 			return nil, nil, err
 		}
 		if v.Type() != nil && v.Type().IsFloat() {
-			return sl, il.NewBin(il.OpEq, v, il.Flt(0, v.Type()), ctype.IntType), nil
+			return sl, il.NewBinIn(lw.ar, il.OpEq, v, lw.ar.ConstFloat(0, v.Type()), ctype.IntType), nil
 		}
-		return sl, il.NewUn(il.OpNot, v, ctype.IntType), nil
+		return sl, il.NewUnIn(lw.ar, il.OpNot, v, ctype.IntType), nil
 	case ast.Deref:
 		sl, v, err := lw.expr(n.X)
 		if err != nil {
@@ -816,7 +878,7 @@ func (lw *lowerer) unary(n *ast.UnaryExpr) ([]il.Stmt, il.Expr, error) {
 		}
 		pt := n.X.Type().Decay()
 		vol := t.Volatile || (pt.Kind == ctype.Pointer && pt.Elem.Volatile)
-		return sl, &il.Load{Addr: v, T: t, Volatile: vol}, nil
+		return sl, lw.ar.Load(v, t, vol), nil
 	case ast.Addr:
 		res, _, err := lw.lvalueAddr(n.X)
 		if err != nil {
@@ -839,31 +901,31 @@ func (lw *lowerer) incDec(n *ast.UnaryExpr, needValue bool) ([]il.Stmt, il.Expr,
 	if n.Op == ast.PreDec || n.Op == ast.PostDec {
 		op = il.OpSub
 	}
-	delta := il.Int(1)
+	delta := lw.intC(1)
 	if t.Kind == ctype.Pointer {
-		delta = il.Int(scale(n.X.Type()))
+		delta = lw.intC(scale(n.X.Type()))
 	}
 	isPost := n.Op == ast.PostInc || n.Op == ast.PostDec
 
 	// Fast path: a named scalar variable.
 	if id, simple := lw.simpleVar(n.X); simple {
-		vref := il.Ref(id, lw.proc.Vars[id].Type)
+		vref := lw.ar.VarRef(id, lw.proc.Vars[id].Type)
 		if !needValue {
-			return []il.Stmt{&il.Assign{Dst: vref, Src: il.NewBin(op, il.CloneExpr(vref), delta, t)}}, nil, nil
+			return []il.Stmt{lw.ar.Assign(il.Assign{Dst: vref, Src: il.NewBinIn(lw.ar, op, il.CloneExprIn(lw.ar, vref), delta, t)})}, nil, nil
 		}
 		tmp := lw.proc.NewTemp(t)
 		var sl []il.Stmt
 		if isPost {
 			// t = a; a = t ± d; value t  (the paper's §5.3 shape)
 			sl = append(sl,
-				&il.Assign{Dst: il.Ref(tmp, t), Src: il.CloneExpr(vref)},
-				&il.Assign{Dst: il.CloneExpr(vref).(*il.VarRef), Src: il.NewBin(op, il.Ref(tmp, t), delta, t)})
+				lw.ar.Assign(il.Assign{Dst: lw.ar.VarRef(tmp, t), Src: il.CloneExprIn(lw.ar, vref)}),
+				lw.ar.Assign(il.Assign{Dst: il.CloneExprIn(lw.ar, vref).(*il.VarRef), Src: il.NewBinIn(lw.ar, op, lw.ar.VarRef(tmp, t), delta, t)}))
 		} else {
 			sl = append(sl,
-				&il.Assign{Dst: il.CloneExpr(vref).(*il.VarRef), Src: il.NewBin(op, il.CloneExpr(vref), delta, t)},
-				&il.Assign{Dst: il.Ref(tmp, t), Src: il.CloneExpr(vref)})
+				lw.ar.Assign(il.Assign{Dst: il.CloneExprIn(lw.ar, vref).(*il.VarRef), Src: il.NewBinIn(lw.ar, op, il.CloneExprIn(lw.ar, vref), delta, t)}),
+				lw.ar.Assign(il.Assign{Dst: lw.ar.VarRef(tmp, t), Src: il.CloneExprIn(lw.ar, vref)}))
 		}
-		return sl, il.Ref(tmp, t), nil
+		return sl, lw.ar.VarRef(tmp, t), nil
 	}
 
 	// General lvalue: compute the address once.
@@ -874,24 +936,24 @@ func (lw *lowerer) incDec(n *ast.UnaryExpr, needValue bool) ([]il.Stmt, il.Expr,
 	sl := res.sl
 	addrT := ctype.PointerTo(t)
 	addrTmp := lw.proc.NewTemp(addrT)
-	sl = append(sl, &il.Assign{Dst: il.Ref(addrTmp, addrT), Src: res.e})
-	loadOld := &il.Load{Addr: il.Ref(addrTmp, addrT), T: t, Volatile: vol}
+	sl = append(sl, lw.ar.Assign(il.Assign{Dst: lw.ar.VarRef(addrTmp, addrT), Src: res.e}))
+	loadOld := lw.ar.Load(lw.ar.VarRef(addrTmp, addrT), t, vol)
 	valTmp := lw.proc.NewTemp(t)
-	sl = append(sl, &il.Assign{Dst: il.Ref(valTmp, t), Src: loadOld})
-	newVal := il.NewBin(op, il.Ref(valTmp, t), delta, t)
-	sl = append(sl, &il.Assign{
-		Dst: &il.Load{Addr: il.Ref(addrTmp, addrT), T: t, Volatile: vol},
+	sl = append(sl, lw.ar.Assign(il.Assign{Dst: lw.ar.VarRef(valTmp, t), Src: loadOld}))
+	newVal := il.NewBinIn(lw.ar, op, lw.ar.VarRef(valTmp, t), delta, t)
+	sl = append(sl, lw.ar.Assign(il.Assign{
+		Dst: lw.ar.Load(lw.ar.VarRef(addrTmp, addrT), t, vol),
 		Src: newVal,
-	})
+	}))
 	if !needValue {
 		return sl, nil, nil
 	}
 	if isPost {
-		return sl, il.Ref(valTmp, t), nil
+		return sl, lw.ar.VarRef(valTmp, t), nil
 	}
 	resTmp := lw.proc.NewTemp(t)
-	sl = append(sl, &il.Assign{Dst: il.Ref(resTmp, t), Src: il.NewBin(op, il.Ref(valTmp, t), delta, t)})
-	return sl, il.Ref(resTmp, t), nil
+	sl = append(sl, lw.ar.Assign(il.Assign{Dst: lw.ar.VarRef(resTmp, t), Src: il.NewBinIn(lw.ar, op, lw.ar.VarRef(valTmp, t), delta, t)}))
+	return sl, lw.ar.VarRef(resTmp, t), nil
 }
 
 // simpleVar reports whether e is a direct reference to a scalar variable.
@@ -939,23 +1001,23 @@ func (lw *lowerer) binary(n *ast.BinaryExpr) ([]il.Stmt, il.Expr, error) {
 	if n.Op == ast.Add || n.Op == ast.Sub {
 		switch {
 		case lt.Kind == ctype.Pointer && rt.IsInteger():
-			off := il.Mul(il.Int(scale(lt)), rE, ctype.IntType)
-			return sl, il.NewBin(op, lE, off, lt), nil
+			off := lw.mulC(lw.intC(scale(lt)), rE, ctype.IntType)
+			return sl, il.NewBinIn(lw.ar, op, lE, off, lt), nil
 		case rt.Kind == ctype.Pointer && lt.IsInteger() && n.Op == ast.Add:
-			off := il.Mul(il.Int(scale(rt)), lE, ctype.IntType)
-			return sl, il.NewBin(op, rE, off, rt), nil
+			off := lw.mulC(lw.intC(scale(rt)), lE, ctype.IntType)
+			return sl, il.NewBinIn(lw.ar, op, rE, off, rt), nil
 		case lt.Kind == ctype.Pointer && rt.Kind == ctype.Pointer && n.Op == ast.Sub:
-			diff := il.NewBin(il.OpSub, lE, rE, ctype.IntType)
-			return sl, il.NewBin(il.OpDiv, diff, il.Int(scale(lt)), ctype.IntType), nil
+			diff := il.NewBinIn(lw.ar, il.OpSub, lE, rE, ctype.IntType)
+			return sl, il.NewBinIn(lw.ar, il.OpDiv, diff, lw.intC(scale(lt)), ctype.IntType), nil
 		}
 	}
 
 	if op.IsComparison() {
 		common := ctype.Common(lt, rt)
-		return sl, il.NewBin(op, lw.coerce(lE, common), lw.coerce(rE, common), ctype.IntType), nil
+		return sl, il.NewBinIn(lw.ar, op, lw.coerce(lE, common), lw.coerce(rE, common), ctype.IntType), nil
 	}
 	t := n.Type()
-	return sl, il.NewBin(op, lw.coerce(lE, t), lw.coerce(rE, t), t), nil
+	return sl, il.NewBinIn(lw.ar, op, lw.coerce(lE, t), lw.coerce(rE, t), t), nil
 }
 
 // logical lowers && and || into an If assigning a temp, since the IL has no
@@ -975,18 +1037,20 @@ func (lw *lowerer) logical(n *ast.BinaryExpr) ([]il.Stmt, il.Expr, error) {
 		if b, ok := e.(*il.Bin); ok && b.Op.IsComparison() {
 			return e
 		}
-		return il.NewBin(il.OpNe, e, il.Int(0), ctype.IntType)
+		return il.NewBinIn(lw.ar, il.OpNe, e, lw.intC(0), ctype.IntType)
 	}
-	set := func(e il.Expr) il.Stmt { return &il.Assign{Dst: il.Ref(tmp, ctype.IntType), Src: bool01(e)} }
+	set := func(e il.Expr) il.Stmt {
+		return lw.ar.Assign(il.Assign{Dst: lw.ar.VarRef(tmp, ctype.IntType), Src: bool01(e)})
+	}
 	inner := append(rSL, set(rE))
 	var out []il.Stmt
 	out = append(out, lSL...)
 	if n.Op == ast.LogAnd {
-		out = append(out, set(il.Int(0)), &il.If{Cond: lE, Then: inner})
+		out = append(out, set(lw.intC(0)), lw.ar.If(il.If{Cond: lE, Then: inner}))
 	} else {
-		out = append(out, set(il.Int(1)), &il.If{Cond: il.NewUn(il.OpNot, lE, ctype.IntType), Then: inner})
+		out = append(out, set(lw.intC(1)), lw.ar.If(il.If{Cond: il.NewUnIn(lw.ar, il.OpNot, lE, ctype.IntType), Then: inner}))
 	}
-	return out, il.Ref(tmp, ctype.IntType), nil
+	return out, lw.ar.VarRef(tmp, ctype.IntType), nil
 }
 
 // condExpr lowers ?: into an If assigning a temp.
@@ -1005,10 +1069,10 @@ func (lw *lowerer) condExpr(n *ast.CondExpr) ([]il.Stmt, il.Expr, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	then := append(tSL, &il.Assign{Dst: il.Ref(tmp, t), Src: lw.coerce(tE, t)})
-	els := append(eSL, &il.Assign{Dst: il.Ref(tmp, t), Src: lw.coerce(eE, t)})
-	out := append(cSL, &il.If{Cond: cE, Then: then, Else: els})
-	return out, il.Ref(tmp, t), nil
+	then := append(tSL, lw.ar.Assign(il.Assign{Dst: lw.ar.VarRef(tmp, t), Src: lw.coerce(tE, t)}))
+	els := append(eSL, lw.ar.Assign(il.Assign{Dst: lw.ar.VarRef(tmp, t), Src: lw.coerce(eE, t)}))
+	out := append(cSL, lw.ar.If(il.If{Cond: cE, Then: then, Else: els}))
+	return out, lw.ar.VarRef(tmp, t), nil
 }
 
 // assign lowers an assignment for effect only.
@@ -1038,27 +1102,27 @@ func (lw *lowerer) assignCommon(n *ast.AssignExpr, needValue bool) ([]il.Stmt, i
 		op := binOpMap[*n.Op]
 		// Pointer compound assignment scales.
 		if lt.Decay().Kind == ctype.Pointer {
-			off := il.Mul(il.Int(scale(lt)), rE, ctype.IntType)
-			return il.NewBin(op, cur, off, lt.Decay())
+			off := lw.mulC(lw.intC(scale(lt)), rE, ctype.IntType)
+			return il.NewBinIn(lw.ar, op, cur, off, lt.Decay())
 		}
 		common := ctype.Common(lt.Decay(), n.R.Type().Decay())
-		v := il.NewBin(op, lw.coerce(cur, common), lw.coerce(rE, common), common)
+		v := il.NewBinIn(lw.ar, op, lw.coerce(cur, common), lw.coerce(rE, common), common)
 		return lw.coerce(v, lt)
 	}
 
 	if id, simple := lw.simpleVar(n.L); simple {
-		vref := il.Ref(id, lw.proc.Vars[id].Type)
+		vref := lw.ar.VarRef(id, lw.proc.Vars[id].Type)
 		var sl []il.Stmt
 		sl = append(sl, rSL...)
 		if !needValue {
-			sl = append(sl, &il.Assign{Dst: vref, Src: makeRHS(il.CloneExpr(vref))})
+			sl = append(sl, lw.ar.Assign(il.Assign{Dst: vref, Src: makeRHS(il.CloneExprIn(lw.ar, vref))}))
 			return sl, nil, nil
 		}
 		// t = RHS; v = t; value t — writes v once, never reads it.
 		tmp := lw.proc.NewTemp(lt)
-		sl = append(sl, &il.Assign{Dst: il.Ref(tmp, lt), Src: makeRHS(il.CloneExpr(vref))})
-		sl = append(sl, &il.Assign{Dst: vref, Src: il.Ref(tmp, lt)})
-		return sl, il.Ref(tmp, lt), nil
+		sl = append(sl, lw.ar.Assign(il.Assign{Dst: lw.ar.VarRef(tmp, lt), Src: makeRHS(il.CloneExprIn(lw.ar, vref))}))
+		sl = append(sl, lw.ar.Assign(il.Assign{Dst: vref, Src: lw.ar.VarRef(tmp, lt)}))
+		return sl, lw.ar.VarRef(tmp, lt), nil
 	}
 
 	res, vol, err := lw.lvalueAddr(n.L)
@@ -1073,24 +1137,24 @@ func (lw *lowerer) assignCommon(n *ast.AssignExpr, needValue bool) ([]il.Stmt, i
 		// Pin the address in a temp so reads and the write agree.
 		addrT := ctype.PointerTo(lt)
 		at := lw.proc.NewTemp(addrT)
-		sl = append(sl, &il.Assign{Dst: il.Ref(at, addrT), Src: addr})
-		addr = il.Ref(at, addrT)
+		sl = append(sl, lw.ar.Assign(il.Assign{Dst: lw.ar.VarRef(at, addrT), Src: addr}))
+		addr = lw.ar.VarRef(at, addrT)
 	}
-	cur := &il.Load{Addr: il.CloneExpr(addr), T: lt, Volatile: vol}
+	cur := lw.ar.Load(il.CloneExprIn(lw.ar, addr), lt, vol)
 	if !needValue {
-		sl = append(sl, &il.Assign{
-			Dst: &il.Load{Addr: addr, T: lt, Volatile: vol},
+		sl = append(sl, lw.ar.Assign(il.Assign{
+			Dst: lw.ar.Load(addr, lt, vol),
 			Src: makeRHS(cur),
-		})
+		}))
 		return sl, nil, nil
 	}
 	tmp := lw.proc.NewTemp(lt)
-	sl = append(sl, &il.Assign{Dst: il.Ref(tmp, lt), Src: makeRHS(cur)})
-	sl = append(sl, &il.Assign{
-		Dst: &il.Load{Addr: addr, T: lt, Volatile: vol},
-		Src: il.Ref(tmp, lt),
-	})
-	return sl, il.Ref(tmp, lt), nil
+	sl = append(sl, lw.ar.Assign(il.Assign{Dst: lw.ar.VarRef(tmp, lt), Src: makeRHS(cur)}))
+	sl = append(sl, lw.ar.Assign(il.Assign{
+		Dst: lw.ar.Load(addr, lt, vol),
+		Src: lw.ar.VarRef(tmp, lt),
+	}))
+	return sl, lw.ar.VarRef(tmp, lt), nil
 }
 
 // call lowers a function call to a Call statement.
@@ -1120,7 +1184,7 @@ func (lw *lowerer) call(n *ast.CallExpr, needValue bool) ([]il.Stmt, il.Expr, er
 	retT := ft.Ret
 	if needValue && retT.Kind != ctype.Void {
 		dst = lw.proc.NewTemp(retT)
-		result = il.Ref(dst, retT)
+		result = lw.ar.VarRef(dst, retT)
 	}
 	call := &il.Call{Dst: dst, Args: args, T: retT}
 	if id, ok := n.Fun.(*ast.IdentExpr); ok {
@@ -1165,5 +1229,5 @@ func (lw *lowerer) coerce(e il.Expr, to *ctype.Type) il.Expr {
 	if from.Kind == ctype.Pointer && to.IsInteger() || from.IsInteger() && to.Kind == ctype.Pointer {
 		return e // same word
 	}
-	return il.NewCast(e, to)
+	return il.NewCastIn(lw.ar, e, to)
 }

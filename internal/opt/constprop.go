@@ -43,17 +43,18 @@ func propagateOnce(p *il.Proc, ac *analysis.Cache, em *emitter) int {
 		return 0
 	}
 	changed := 0
+	ar := p.Arena()
 
 	// Substitute uses whose every reaching definition assigns the same
 	// constant.
 	il.WalkStmts(p.Body, func(s il.Stmt) bool {
 		subst := func(e il.Expr) il.Expr {
-			return il.RewriteExpr(e, func(x il.Expr) il.Expr {
+			return il.RewriteExprIn(ar, e, func(x il.Expr) il.Expr {
 				v, ok := x.(*il.VarRef)
 				if !ok {
 					return x
 				}
-				if c := constValueAt(p, a, s, v.ID); c != nil {
+				if c := constValueAt(p, ar, a, s, v.ID); c != nil {
 					changed++
 					return c
 				}
@@ -67,9 +68,9 @@ func propagateOnce(p *il.Proc, ac *analysis.Cache, em *emitter) int {
 			}
 			n.Src = subst(n.Src)
 		default:
-			il.RewriteStmtExprs(s, func(x il.Expr) il.Expr {
+			il.RewriteStmtExprsIn(ar, s, func(x il.Expr) il.Expr {
 				if v, ok := x.(*il.VarRef); ok {
-					if c := constValueAt(p, a, s, v.ID); c != nil {
+					if c := constValueAt(p, ar, a, s, v.ID); c != nil {
 						changed++
 						return c
 					}
@@ -87,8 +88,8 @@ func propagateOnce(p *il.Proc, ac *analysis.Cache, em *emitter) int {
 	// exactly so real folds are detectable here.
 	folds := 0
 	il.WalkStmts(p.Body, func(s il.Stmt) bool {
-		il.RewriteStmtExprs(s, func(e il.Expr) il.Expr {
-			f := foldNode(e)
+		il.RewriteStmtExprsIn(ar, s, func(e il.Expr) il.Expr {
+			f := foldNode(ar, e)
 			if f != e {
 				folds++
 			}
@@ -109,76 +110,94 @@ func propagateOnce(p *il.Proc, ac *analysis.Cache, em *emitter) int {
 
 // constValueAt returns the constant value of v at statement s if every
 // reaching definition is an unambiguous assignment of that same constant.
-func constValueAt(p *il.Proc, a *dataflow.Analysis, s il.Stmt, v il.VarID) il.Expr {
+// The returned clone is allocated from ar.
+func constValueAt(p *il.Proc, ar *il.Arena, a *dataflow.Analysis, s il.Stmt, v il.VarID) il.Expr {
 	if p.Vars[v].IsVolatile() {
 		return nil
 	}
-	defs := a.ReachingDefs(s, v)
-	if len(defs) == 0 {
-		return nil
-	}
 	var val il.Expr
-	for _, d := range defs {
+	bad := false
+	a.ForEachReachingDef(s, v, func(d *dataflow.Def) {
+		if bad {
+			return
+		}
 		if d.Ambiguous || d.Node.Stmt == nil {
-			return nil
+			bad = true
+			return
 		}
 		as, ok := d.Node.Stmt.(*il.Assign)
 		if !ok {
-			return nil
+			bad = true
+			return
 		}
 		switch as.Src.(type) {
 		case *il.ConstInt, *il.ConstFloat:
 		default:
-			return nil
+			bad = true
+			return
 		}
 		if val == nil {
 			val = as.Src
 		} else if !il.ExprEqual(val, as.Src) {
-			return nil
+			bad = true
 		}
-	}
-	if val == nil {
+	})
+	if bad || val == nil {
 		return nil
 	}
-	return il.CloneExpr(val)
+	return il.CloneExprIn(ar, val)
 }
 
 // foldNode rebuilds one expression node through the folding constructors,
-// adding the float-comparison folding NewBin leaves alone.
-func foldNode(e il.Expr) il.Expr {
+// adding the float-comparison folding NewBin leaves alone. Rebuilt nodes
+// come from ar; the constructors are only invoked when a fold or identity
+// actually applies, so the nothing-to-fold path allocates nothing.
+func foldNode(ar *il.Arena, e il.Expr) il.Expr {
 	switch n := e.(type) {
 	case *il.Bin:
 		if n.Op.IsComparison() {
 			if lf, ok := n.L.(*il.ConstFloat); ok {
 				if rf, ok := n.R.(*il.ConstFloat); ok {
 					if v, ok := il.FoldCompareFloat(n.Op, lf.Val, rf.Val); ok {
-						return &il.ConstInt{Val: v, T: ctype.IntType}
+						return ar.ConstInt(v, ctype.IntType)
 					}
 				}
 			}
 		}
-		folded := il.NewBin(n.Op, n.L, n.R, n.T)
+		// Keep the original node when nothing folds, so callers can detect
+		// real rewrites by identity (SimplifyLinear already returns its
+		// argument when nothing combines).
+		var folded il.Expr = n
+		if il.BinFoldable(n.Op, n.L, n.R, n.T) {
+			folded = il.NewBinIn(ar, n.Op, n.L, n.R, n.T)
+		}
 		if b, stillBin := folded.(*il.Bin); stillBin {
-			if b.Op == n.Op && b.L == n.L && b.R == n.R {
-				// Nothing folded: keep the original node, so callers can
-				// detect real rewrites by identity (SimplifyLinear already
-				// returns its argument when nothing combines).
-				folded = n
-				b = n
-			}
 			if b.Op == il.OpAdd || b.Op == il.OpSub {
-				return il.SimplifyLinear(folded)
+				return il.SimplifyLinearIn(ar, folded)
 			}
 		}
 		return folded
 	case *il.Un:
-		folded := il.NewUn(n.Op, n.X, n.T)
-		if u, still := folded.(*il.Un); still && u.Op == n.Op && u.X == n.X {
-			return n
+		switch n.X.(type) {
+		case *il.ConstInt, *il.ConstFloat:
+			folded := il.NewUnIn(ar, n.Op, n.X, n.T)
+			if u, still := folded.(*il.Un); still && u.Op == n.Op && u.X == n.X {
+				return n
+			}
+			return folded
 		}
-		return folded
+		return n
 	case *il.Cast:
-		folded := il.NewCast(n.X, n.T)
+		xt := n.X.Type()
+		elide := xt != nil && xt.Kind == n.T.Kind && xt.Unsigned == n.T.Unsigned
+		switch n.X.(type) {
+		case *il.ConstInt, *il.ConstFloat:
+		default:
+			if !elide {
+				return n
+			}
+		}
+		folded := il.NewCastIn(ar, n.X, n.T)
 		if c, still := folded.(*il.Cast); still && c.X == n.X {
 			return n
 		}
@@ -272,7 +291,9 @@ func postpassUnreachable(p *il.Proc, em *emitter) int {
 	// statements are no-ops, even from inside an If arm).
 	var clean func(list []il.Stmt, follow string) []il.Stmt
 	clean = func(list []il.Stmt, follow string) []il.Stmt {
-		out := make([]il.Stmt, 0, len(list))
+		// Filter in place: the write index never passes the read index
+		// (each kept statement is appended at most once per consumed one).
+		out := list[:0]
 		dead := false
 		for i, s := range list {
 			if _, isLabel := s.(*il.Label); isLabel {
@@ -337,7 +358,7 @@ func RemoveUnusedLabels(p *il.Proc) int {
 	removed := 0
 	var clean func([]il.Stmt) []il.Stmt
 	clean = func(list []il.Stmt) []il.Stmt {
-		out := make([]il.Stmt, 0, len(list))
+		out := list[:0] // in place: write index never passes read index
 		for _, s := range list {
 			if l, ok := s.(*il.Label); ok && !targets[l.Name] {
 				removed++

@@ -34,7 +34,7 @@ func dceOnce(p *il.Proc, ac *analysis.Cache) int {
 	removed := 0
 	var clean func([]il.Stmt) []il.Stmt
 	clean = func(list []il.Stmt) []il.Stmt {
-		out := make([]il.Stmt, 0, len(list))
+		out := list[:0] // in place: write index never passes read index
 		for _, s := range list {
 			switch n := s.(type) {
 			case *il.Assign:
@@ -167,6 +167,7 @@ func copyPropOnce(p *il.Proc, ac *analysis.Cache) int {
 		return 0
 	}
 	g := a.Graph
+	ar := p.Arena()
 
 	// Collect copy instances: pure, load-free, volatile-free sources of
 	// bounded size that do not reference their own destination.
@@ -208,83 +209,84 @@ func copyPropOnce(p *il.Proc, ac *analysis.Cache) int {
 		return 0
 	}
 
-	// nodeKills returns the variables a node may define.
-	nodeKills := func(s il.Stmt) []il.VarID {
-		if s == nil {
-			return nil
+	// killByVar[v] is the set of copies invalidated by a definition of v
+	// (v is their destination or a source operand); clobberKill is its
+	// union over the clobberable (address-taken/global/static) variables.
+	// copiesByDst[v] lists v's copies in copy-index order.
+	nCopies := len(copies)
+	killByVar := make([]cpset, len(p.Vars))
+	copiesByDst := make([][]int, len(p.Vars))
+	killsOf := func(v il.VarID) cpset {
+		if killByVar[v] == nil {
+			killByVar[v] = newCpset(nCopies)
 		}
-		var out []il.VarID
-		if dv := il.DefinedVar(s); dv != il.NoVar {
-			out = append(out, dv)
+		return killByVar[v]
+	}
+	for ci := range copies {
+		c := &copies[ci]
+		killsOf(c.dst).set(ci)
+		copiesByDst[c.dst] = append(copiesByDst[c.dst], ci)
+		for _, sv := range c.srcVars {
+			killsOf(sv).set(ci)
 		}
-		clobbers := false
-		switch s.(type) {
-		case *il.Call, *il.VectorAssign:
-			clobbers = true
-		case *il.Assign:
-			clobbers = il.IsStore(s)
+	}
+	clobberKill := newCpset(nCopies)
+	for i := range p.Vars {
+		v := &p.Vars[i]
+		if (v.AddrTaken || v.Class == il.ClassGlobal || v.Class == il.ClassStatic) &&
+			killByVar[i] != nil {
+			clobberKill.or(killByVar[i])
 		}
-		if clobbers {
-			for i := range p.Vars {
-				v := &p.Vars[i]
-				if v.AddrTaken || v.Class == il.ClassGlobal || v.Class == il.ClassStatic {
-					out = append(out, il.VarID(i))
-				}
-			}
-		}
-		return out
 	}
 
 	// gen/kill bitsets over copies.
 	nNodes := len(g.Nodes)
-	gen := make([]map[int]bool, nNodes)
-	kill := make([]map[int]bool, nNodes)
+	gen := newCpsetSlab(nNodes, nCopies)
+	kill := newCpsetSlab(nNodes, nCopies)
 	for id, n := range g.Nodes {
-		gen[id] = map[int]bool{}
-		kill[id] = map[int]bool{}
-		kills := nodeKills(n.Stmt)
-		if n.IVDef != il.NoVar {
-			kills = append(kills, n.IVDef)
-		}
-		for _, kv := range kills {
-			for ci := range copies {
-				c := &copies[ci]
-				if c.dst == kv {
-					kill[id][ci] = true
-				}
-				for _, sv := range c.srcVars {
-					if sv == kv {
-						kill[id][ci] = true
-					}
-				}
+		if s := n.Stmt; s != nil {
+			if dv := il.DefinedVar(s); dv != il.NoVar && killByVar[dv] != nil {
+				kill[id].or(killByVar[dv])
 			}
-		}
-		if n.Stmt != nil {
-			if ci, ok := copyIdx[n.Stmt]; ok {
+			clobbers := false
+			switch s.(type) {
+			case *il.Call, *il.VectorAssign:
+				clobbers = true
+			case *il.Assign:
+				clobbers = il.IsStore(s)
+			}
+			if clobbers {
+				kill[id].or(clobberKill)
+			}
+			if ci, ok := copyIdx[s]; ok {
 				// gen is applied after kill, so the copy survives its own
 				// destination-kill (a copy never defines its source).
-				gen[id][ci] = true
+				gen[id].set(ci)
 			}
+		}
+		if n.IVDef != il.NoVar && killByVar[n.IVDef] != nil {
+			kill[id].or(killByVar[n.IVDef])
 		}
 	}
 
-	// Forward must-analysis: in[n] = ∩ out[preds]; entry = ∅.
-	all := map[int]bool{}
-	for i := range copies {
-		all[i] = true
-	}
-	in := make([]map[int]bool, nNodes)
-	out := make([]map[int]bool, nNodes)
+	// Forward must-analysis: in[n] = ∩ out[preds]; entry = ∅. Non-entry
+	// nodes start at ⊤ (all copies); the Gauss–Seidel sweep converges to
+	// the same greatest fixpoint the map-based sets produced.
+	in := newCpsetSlab(nNodes, nCopies)
+	out := newCpsetSlab(nNodes, nCopies)
 	reach := g.Reachable()
+	all := newCpset(nCopies)
+	for i := 0; i < nCopies; i++ {
+		all.set(i)
+	}
 	for i := 0; i < nNodes; i++ {
-		if i == g.Entry {
-			out[i] = map[int]bool{}
-			in[i] = map[int]bool{}
-		} else {
-			out[i] = cloneSet(all)
-			in[i] = cloneSet(all)
+		if i != g.Entry {
+			copy(in[i], all)
+			copy(out[i], all)
 		}
 	}
+	inScratch := newCpset(nCopies)
+	outScratch := newCpset(nCopies)
 	changed := true
 	for changed {
 		changed = false
@@ -292,30 +294,27 @@ func copyPropOnce(p *il.Proc, ac *analysis.Cache) int {
 			if !reach[id] || id == g.Entry {
 				continue
 			}
-			var newIn map[int]bool
+			first := true
 			for _, pr := range n.Preds {
 				if !reach[pr] {
 					continue
 				}
-				if newIn == nil {
-					newIn = cloneSet(out[pr])
+				if first {
+					copy(inScratch, out[pr])
+					first = false
 				} else {
-					newIn = intersectSet(newIn, out[pr])
+					inScratch.and(out[pr])
 				}
 			}
-			if newIn == nil {
-				newIn = map[int]bool{}
+			if first {
+				inScratch.clear()
 			}
-			newOut := cloneSet(newIn)
-			for k := range kill[id] {
-				delete(newOut, k)
-			}
-			for k := range gen[id] {
-				newOut[k] = true
-			}
-			if !equalSet(newIn, in[id]) || !equalSet(newOut, out[id]) {
-				in[id] = newIn
-				out[id] = newOut
+			copy(outScratch, inScratch)
+			outScratch.andNot(kill[id])
+			outScratch.or(gen[id])
+			if !inScratch.equal(in[id]) || !outScratch.equal(out[id]) {
+				copy(in[id], inScratch)
+				copy(out[id], outScratch)
 				changed = true
 			}
 		}
@@ -336,10 +335,10 @@ func copyPropOnce(p *il.Proc, ac *analysis.Cache) int {
 			}
 			// Iterate in copy-index order for determinism when several
 			// copies of the same destination are available.
-			for ci := range copies {
-				if avail[ci] && copies[ci].dst == v.ID && copies[ci].stmt != s {
+			for _, ci := range copiesByDst[v.ID] {
+				if avail.get(ci) && copies[ci].stmt != s {
 					rewrites++
-					return il.CloneExpr(copies[ci].src)
+					return il.CloneExprIn(ar, copies[ci].src)
 				}
 			}
 			return x
@@ -347,43 +346,66 @@ func copyPropOnce(p *il.Proc, ac *analysis.Cache) int {
 		switch n := s.(type) {
 		case *il.Assign:
 			if ld, ok := n.Dst.(*il.Load); ok {
-				ld.Addr = il.RewriteExpr(ld.Addr, replace)
+				ld.Addr = il.RewriteExprIn(ar, ld.Addr, replace)
 			}
-			n.Src = il.RewriteExpr(n.Src, replace)
+			n.Src = il.RewriteExprIn(ar, n.Src, replace)
 		default:
-			il.RewriteStmtExprs(s, replace)
+			il.RewriteStmtExprsIn(ar, s, replace)
 		}
 		return true
 	})
 	return p.Changed(rewrites)
 }
 
-func cloneSet(s map[int]bool) map[int]bool {
-	c := make(map[int]bool, len(s))
-	for k := range s {
-		c[k] = true
+// cpset is a bitset over copy indices, carved from a shared slab.
+type cpset []uint64
+
+func newCpset(n int) cpset { return make(cpset, (n+63)/64) }
+
+func (b cpset) set(i int)      { b[i/64] |= 1 << uint(i%64) }
+func (b cpset) get(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+
+func (b cpset) or(o cpset) {
+	for i := range b {
+		b[i] |= o[i]
 	}
-	return c
 }
 
-func intersectSet(a, b map[int]bool) map[int]bool {
-	o := map[int]bool{}
-	for k := range a {
-		if b[k] {
-			o[k] = true
-		}
+func (b cpset) and(o cpset) {
+	for i := range b {
+		b[i] &= o[i]
 	}
-	return o
 }
 
-func equalSet(a, b map[int]bool) bool {
-	if len(a) != len(b) {
-		return false
+func (b cpset) andNot(o cpset) {
+	for i := range b {
+		b[i] &^= o[i]
 	}
-	for k := range a {
-		if !b[k] {
+}
+
+func (b cpset) clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func (b cpset) equal(o cpset) bool {
+	for i := range b {
+		if b[i] != o[i] {
 			return false
 		}
 	}
 	return true
+}
+
+// newCpsetSlab carves n sets of the given width from one backing
+// allocation (capped sub-slices, so growth cannot clobber a neighbor).
+func newCpsetSlab(n, width int) []cpset {
+	words := (width + 63) / 64
+	backing := make([]uint64, n*words)
+	out := make([]cpset, n)
+	for i := range out {
+		out[i] = cpset(backing[i*words : (i+1)*words : (i+1)*words])
+	}
+	return out
 }

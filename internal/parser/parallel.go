@@ -1,0 +1,132 @@
+package parser
+
+import (
+	"errors"
+
+	"repro/internal/ast"
+	"repro/internal/ctype"
+	"repro/internal/lexer"
+	"repro/internal/token"
+	"repro/internal/workpool"
+)
+
+// Deferred-body parallel parsing.
+//
+// ParseWorkers lexes once (interning identifier and string spellings
+// through a per-compile lexer.Interner), then skims the translation unit
+// serially: file-scope declarations parse inline, but each function body is
+// skipped over its balanced braces and recorded. The recorded bodies then
+// parse concurrently on the pass worker pool, each with a fresh parser
+// positioned at the body's first token, sharing the file-scope typedef,
+// tag, and enum tables read-only.
+//
+// The scheme is bit-identical to serial parsing because a body parse is a
+// pure function of (tokens, start, shared tables), and two guards ensure
+// the shared tables match what the serial parser would have at that point:
+//
+//  1. A body containing typedef/struct/union/enum tokens could write the
+//     shared tables (block-scope typedefs, tag definitions or forward
+//     references, enum constants — which this parser scopes file-wide);
+//     skipBody detects those tokens and bails out to a full serial parse.
+//  2. A file-scope typedef/tag/enum defined *after* a body would be
+//     visible to a deferred parse but not to a serial one; each deferred
+//     body snapshots the table-write counter, and a snapshot that differs
+//     from the final count bails out to a full serial parse.
+//
+// Any parse error — during the skim or in any body — also falls back to
+// one serial parse, so error positions and messages are exactly the serial
+// parser's, whichever body raced to fail first.
+type skimState struct {
+	bodies []deferredBody
+}
+
+type deferredBody struct {
+	fd    *ast.FuncDecl
+	start int // token index of the body's LBrace
+	snap  int // defCount at the body's source position
+}
+
+// errBailout aborts a skim that cannot prove body independence.
+var errBailout = errors.New("parser: deferred-body parse bailout")
+
+// skipBody advances over a balanced-brace function body without parsing
+// it, failing (errBailout) on constructs that could write the shared
+// typedef/tag/enum tables, or on EOF inside the body.
+func (p *parser) skipBody() error {
+	depth := 0
+	for {
+		switch p.peek().Kind {
+		case token.EOF:
+			return errBailout
+		case token.LBrace:
+			depth++
+		case token.RBrace:
+			depth--
+		case token.KwTypedef, token.KwStruct, token.KwUnion, token.KwEnum:
+			return errBailout
+		}
+		p.next()
+		if depth == 0 {
+			return nil
+		}
+	}
+}
+
+// ParseWorkers parses a translation unit with up to `workers` function
+// bodies parsing concurrently (1 parses everything serially). The result —
+// AST or error — is bit-identical to Parse for every input.
+func ParseWorkers(src string, workers int) (*ast.File, error) {
+	toks, err := lexer.TokenizeInterned(src, lexer.NewInterner())
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 1 {
+		return newParser(toks).parseFile()
+	}
+	p := newParser(toks)
+	p.skim = &skimState{}
+	f, err := p.parseFile()
+	if err != nil {
+		// Skim error or bailout: one serial parse gives the exact serial
+		// result (error position/message, or success for bailouts).
+		return newParser(toks).parseFile()
+	}
+	for _, d := range p.skim.bodies {
+		if d.snap != p.defCount {
+			// A file-scope type definition follows this body; serial
+			// parsing would not let the body see it.
+			return newParser(toks).parseFile()
+		}
+	}
+	bodies := p.skim.bodies
+	errs := make([]error, len(bodies))
+	fileScope := p.typedefs[0]
+	workpool.ForEachN(len(bodies), workers, func(i int) {
+		d := bodies[i]
+		bp := &parser{
+			toks: toks,
+			pos:  d.start,
+			// Share the file-scope tables read-only: skipBody proved the
+			// body cannot write them, and parseCompound pushes a fresh
+			// typedef scope for anything it declares.
+			typedefs: []map[string]*ctype.Type{fileScope},
+			tags:     p.tags,
+			enums:    p.enums,
+		}
+		body, err := bp.parseCompound()
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		d.fd.Body = body
+	})
+	for _, e := range errs {
+		if e != nil {
+			// Reproduce the serial error: the serial parser reports the
+			// first failing construct in source order, which may even be a
+			// different body than the one that failed here.
+			return newParser(toks).parseFile()
+		}
+	}
+	return f, nil
+}

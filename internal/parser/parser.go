@@ -37,22 +37,28 @@ type parser struct {
 	tags map[string]*ctype.Type
 	// enum constants.
 	enums map[string]int64
+
+	// defCount counts every write to the shared typedef/tag/enum tables;
+	// the deferred-body skim (parallel.go) snapshots it per function body
+	// to prove each body sees the same table state it would see serially.
+	defCount int
+	// skim, when non-nil, makes parseFile record function bodies for
+	// deferred parallel parsing instead of parsing them inline.
+	skim *skimState
 }
 
-// Parse parses a complete translation unit.
-func Parse(src string) (*ast.File, error) {
-	toks, err := lexer.Tokenize(src)
-	if err != nil {
-		return nil, err
-	}
-	p := &parser{
+// newParser returns a parser over a pre-lexed token stream.
+func newParser(toks []token.Token) *parser {
+	return &parser{
 		toks:     toks,
 		typedefs: []map[string]*ctype.Type{{}},
 		tags:     map[string]*ctype.Type{},
 		enums:    map[string]int64{},
 	}
-	return p.parseFile()
 }
+
+// Parse parses a complete translation unit.
+func Parse(src string) (*ast.File, error) { return ParseWorkers(src, 1) }
 
 // ParseExpr parses a single expression (used by tests).
 func ParseExpr(src string) (ast.Expr, error) {
@@ -60,12 +66,7 @@ func ParseExpr(src string) (ast.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{
-		toks:     toks,
-		typedefs: []map[string]*ctype.Type{{}},
-		tags:     map[string]*ctype.Type{},
-		enums:    map[string]int64{},
-	}
+	p := newParser(toks)
 	e, err := p.parseExpr()
 	if err != nil {
 		return nil, err
@@ -128,6 +129,7 @@ func (p *parser) lookupTypedef(name string) *ctype.Type {
 }
 
 func (p *parser) defineTypedef(name string, t *ctype.Type) {
+	p.defCount++
 	p.typedefs[len(p.typedefs)-1][name] = t
 }
 
@@ -174,6 +176,19 @@ func (p *parser) parseFile() (*ast.File, error) {
 			continue
 		}
 		if typ.Kind == ctype.Func && p.at(token.LBrace) {
+			if p.skim != nil {
+				// Deferred-body mode: skip the balanced body now, record
+				// where it starts, and parse it on the worker pool later.
+				start := p.pos
+				if err := p.skipBody(); err != nil {
+					return nil, err
+				}
+				fd := &ast.FuncDecl{P: p.peek().Pos, Name: name, Type: typ, Storage: storage}
+				p.skim.bodies = append(p.skim.bodies, deferredBody{fd: fd, start: start, snap: p.defCount})
+				f.Funcs = append(f.Funcs, fd)
+				f.Order = append(f.Order, fd)
+				continue
+			}
 			body, err := p.parseCompound()
 			if err != nil {
 				return nil, err
@@ -353,6 +368,7 @@ func (p *parser) parseStructOrUnion() (*ctype.Type, error) {
 		if isUnion {
 			t.Kind = ctype.Union
 		}
+		p.defCount++
 		p.tags[tag] = t
 		return t, nil
 	}
@@ -391,6 +407,7 @@ func (p *parser) parseStructOrUnion() (*ctype.Type, error) {
 			*prev = *t
 			t = prev
 		}
+		p.defCount++
 		p.tags[tag] = t
 	}
 	return t, nil
@@ -424,6 +441,7 @@ func (p *parser) parseEnum() (*ctype.Type, error) {
 			}
 			val = v
 		}
+		p.defCount++
 		p.enums[nameTok.Text] = val
 		val++
 		if !p.accept(token.Comma) {

@@ -1,15 +1,14 @@
 package pass
 
 import (
-	"sync"
-
 	"repro/internal/il"
+	"repro/internal/workpool"
 )
 
-// forEachProc applies fn to every procedure of prog, running up to
-// `workers` procedures concurrently, and returns the per-procedure results
-// indexed by position in prog.Procs. Callers merge the slice in order, so
-// the aggregate is identical whatever order the workers finish in.
+// forEachProc applies fn to every procedure of prog on the bounded
+// workpool and returns the per-procedure results indexed by position in
+// prog.Procs. Callers merge the slice in order, so the aggregate is
+// identical whatever order the workers finish in.
 //
 // fn must touch only its own procedure: the per-proc phases (nest
 // parallelization, vectorization, do-parallel conversion, strength
@@ -19,32 +18,8 @@ import (
 // through it — or must pass workers=1.
 func forEachProc[S any](prog *il.Program, workers int, fn func(*il.Proc) S) []S {
 	out := make([]S, len(prog.Procs))
-	if workers <= 1 || len(prog.Procs) <= 1 {
-		for i, p := range prog.Procs {
-			out[i] = fn(p)
-		}
-		return out
-	}
-	if workers > len(prog.Procs) {
-		workers = len(prog.Procs)
-	}
-	// Feed indexes through a channel so `workers` goroutines bound the
-	// concurrency however many procedures the unit has.
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				out[i] = fn(prog.Procs[i])
-			}
-		}()
-	}
-	for i := range prog.Procs {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+	workpool.ForEachN(len(prog.Procs), workers, func(i int) {
+		out[i] = fn(prog.Procs[i])
+	})
 	return out
 }

@@ -1,0 +1,41 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/il"
+)
+
+// TestCompileReleasesArenas: the compile path must free the compile's IL
+// arenas once the artifact blob is encoded, and /metrics must export the
+// process-wide gauge. After the request completes, arena_bytes_live is
+// back at the pre-request baseline — a compile's arenas do not outlive
+// its artifact.
+func TestCompileReleasesArenas(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	before := il.ArenaBytesLive()
+
+	out, code := postCompile(t, ts, CompileRequest{Source: daxpySrc, Options: fullOpts(), Processors: 2})
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if out.IL == "" || out.Asm == "" || out.Run == nil {
+		t.Fatalf("incomplete artifact: il=%d asm=%d run=%v", len(out.IL), len(out.Asm), out.Run != nil)
+	}
+
+	m := getMetrics(t, ts)
+	if m.ArenaBytesLive != before {
+		t.Errorf("arena_bytes_live = %d after compile, want baseline %d (leaked %d bytes)",
+			m.ArenaBytesLive, before, m.ArenaBytesLive-before)
+	}
+
+	// A failing compile (front-end error) allocates no procedures and must
+	// not move the gauge either.
+	if _, code := postCompile(t, ts, CompileRequest{Source: "int main(void) { return ; }", Options: fullOpts()}); code != http.StatusUnprocessableEntity {
+		t.Fatalf("bad source: status %d", code)
+	}
+	if got := il.ArenaBytesLive(); got != before {
+		t.Errorf("arena_bytes_live = %d after failed compile, want %d", got, before)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/cluster"
+	"repro/internal/il"
 	"repro/internal/pass"
 )
 
@@ -107,6 +108,11 @@ type MetricsResponse struct {
 	// Cluster is the node's ring and per-peer health/counter view,
 	// omitted when the daemon runs single-node.
 	Cluster *cluster.Snapshot `json:"cluster,omitempty"`
+	// ArenaBytesLive is the process-wide gauge of IL arena bytes not yet
+	// released. The compile path frees each compile's arenas as soon as
+	// its artifact blob is encoded, so a value that tracks the number of
+	// in-flight compiles is healthy and a monotonic climb is a leak.
+	ArenaBytesLive int64 `json:"arena_bytes_live"`
 }
 
 func newMetrics() *metrics {
@@ -275,16 +281,17 @@ func (m *metrics) snapshot(cache CacheStats, catalogs, schedEntries int, clu *cl
 	tc := m.tuneCtrs
 	tc.Entries = schedEntries
 	return MetricsResponse{
-		UptimeNS: time.Since(m.start).Nanoseconds(),
-		Compiles: m.compiles,
-		Cache:    cache,
-		Catalogs: catalogs,
-		Passes:   passes,
-		Analysis: m.analysis,
-		Remarks:  remarks,
-		Tune:     tc,
-		Batch:    m.batches,
-		Latency:  lat,
-		Cluster:  clu,
+		UptimeNS:       time.Since(m.start).Nanoseconds(),
+		Compiles:       m.compiles,
+		Cache:          cache,
+		Catalogs:       catalogs,
+		Passes:         passes,
+		Analysis:       m.analysis,
+		Remarks:        remarks,
+		Tune:           tc,
+		Batch:          m.batches,
+		Latency:        lat,
+		Cluster:        clu,
+		ArenaBytesLive: il.ArenaBytesLive(),
 	}
 }

@@ -481,9 +481,10 @@ func affineParts(iv il.VarID, e il.Expr) (coef int64, base il.Expr, off int64, o
 	if !okA {
 		return 0, nil, 0, false
 	}
-	// Split the constant part out of rest.
+	// Split the constant part out of rest. Clone first: splitConst hands
+	// back subtrees that outlive the statement they came from.
 	off = 0
-	base = il.RewriteExpr(rest, func(x il.Expr) il.Expr { return x })
+	base = il.CloneExpr(rest)
 	base, off = splitConst(base)
 	return c, base, off, true
 }

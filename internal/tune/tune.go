@@ -188,6 +188,9 @@ func measure(src string, opts driver.Options, set *schedule.Set, cfg Config) (ti
 	if err != nil {
 		return titan.Result{}, err
 	}
+	// Candidate compiles are measure-and-discard; free their IL arenas so
+	// a tuning search doesn't inflate the arena_bytes_live gauge.
+	defer res.IL.Release()
 	entry := cfg.entry()
 	if _, ok := res.Machine.Funcs[entry]; !ok {
 		return titan.Result{}, fmt.Errorf("tune: entry function %q is not defined", entry)
@@ -216,9 +219,12 @@ func discover(src string, opts driver.Options, cfg Config) ([]loopInfo, error) {
 			collectLoops(p, p.Body, dopts, cfg, infos)
 		}
 	}
-	if _, err := driver.CompileILWith(src, opts, ctx); err != nil {
+	dres, err := driver.CompileILWith(src, opts, ctx)
+	if err != nil {
 		return nil, err
 	}
+	// Only the snapshot's loop grid survives; drop the discovery IL.
+	dres.IL.Release()
 	keys := make([]schedule.LoopKey, 0, len(infos))
 	for k := range infos {
 		keys = append(keys, k)

@@ -517,7 +517,10 @@ func emitVector(p *il.Proc, loop *il.DoLoop, as *il.Assign, sched schedule.Sched
 	// RHS with loads replaced by vector section references of the strip
 	// origin; the strip IV is added to bases below.
 	makeRHS := func(originIV il.Expr) il.Expr {
-		return il.RewriteExpr(as.Src, func(e il.Expr) il.Expr {
+		// Clone per call: the rewrite is copy-on-write, and makeRHS runs
+		// once per emitted strip form — without the clone the strip and
+		// remainder statements would share invariant subtrees.
+		return il.RewriteExpr(il.CloneExpr(as.Src), func(e il.Expr) il.Expr {
 			ld, ok := e.(*il.Load)
 			if !ok {
 				return e
