@@ -66,6 +66,14 @@ func TestMain(m *testing.M) {
 			_ = os.WriteFile("BENCH_tune.json", append(blob, '\n'), 0o644)
 		}
 	}
+	doacrossBench.mu.Lock()
+	doacrossRows := doacrossBench.rows
+	doacrossBench.mu.Unlock()
+	if len(doacrossRows) > 0 {
+		if blob, err := json.MarshalIndent(doacrossRows, "", "  "); err == nil {
+			_ = os.WriteFile("BENCH_doacross.json", append(blob, '\n'), 0o644)
+		}
+	}
 	simBench.mu.Lock()
 	simRows := simBench.rows
 	simBench.mu.Unlock()

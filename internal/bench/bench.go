@@ -305,6 +305,109 @@ int main(void)
 `, verts, verts, verts, KernelMarker)}
 }
 
+// LagRecurrence is the DOACROSS benchmark's first kernel: a lag-3
+// autoregressive filter. The dependence cycle runs through the whole
+// (single) statement, so the loop neither vectorizes nor distributes,
+// but at distance 3 three chains pipeline concurrently: the critical
+// path advances three iterations per synchronized handoff. The checksum
+// loop makes the exit code data-dependent, so a miscompiled sync shows
+// up as an output difference, not just a cycle difference.
+func LagRecurrence(n int) Workload {
+	return Workload{Name: "lagrec3", Src: fmt.Sprintf(`
+float a[%d], b[%d], c[%d];
+
+void lagrec(int n)
+{
+	int i;
+	for (i = 3; i < n; i++)
+		a[i] = a[i-3] * 0.5f + b[i] * c[i] + b[i];
+}
+
+int main(void)
+{
+	int i, chk;
+	for (i = 0; i < %d; i++) {
+		a[i] = i * 0.001f;
+		b[i] = 0.5f;
+		c[i] = 1.25f;
+	}
+	lagrec(%d); %s
+	chk = 0;
+	for (i = 0; i < %d; i++)
+		if (a[i] > c[i])
+			chk = chk + 1;
+	return chk %% 251;
+}
+`, n, n, n, n, n, KernelMarker, n)}
+}
+
+// SmoothDamp is the DOACROSS benchmark's second kernel: an order-8
+// damped smoothing recurrence. The distance covers the machine width,
+// so under round-robin spreading every processor consumes a value it
+// produced itself and codegen's wait elides to program order — DOACROSS
+// becomes sync-free parallelism on a loop a DOALL check must reject.
+func SmoothDamp(n int) Workload {
+	return Workload{Name: "smooth8", Src: fmt.Sprintf(`
+float a[%d], b[%d], c[%d];
+
+void smooth(int n)
+{
+	int i;
+	for (i = 8; i < n; i++)
+		a[i] = (a[i-8] + b[i] * c[i]) * 0.5f;
+}
+
+int main(void)
+{
+	int i, chk;
+	for (i = 0; i < %d; i++) {
+		a[i] = i * 0.01f;
+		b[i] = 1.5f;
+		c[i] = 0.75f;
+	}
+	smooth(%d); %s
+	chk = 0;
+	for (i = 0; i < %d; i++)
+		if (a[i] > b[i])
+			chk = chk + 1;
+	return chk %% 251;
+}
+`, n, n, n, n, n, KernelMarker, n)}
+}
+
+// Wavefront is the DOACROSS benchmark's third kernel: a diagonal
+// recurrence flattened to one dimension, carried at distance 32 — far
+// enough that several processors run whole iterations between waits and
+// the tuner can legally coalesce posting (distance >= stride * width).
+func Wavefront(n int) Workload {
+	return Workload{Name: "wavefront", Src: fmt.Sprintf(`
+float a[%d], b[%d], c[%d];
+
+void wave(int n)
+{
+	int i;
+	for (i = 32; i < n; i++)
+		a[i] = a[i-32] * 0.9f + b[i] * c[i] + c[i] * 0.5f;
+}
+
+int main(void)
+{
+	int i, chk;
+	for (i = 0; i < %d; i++) {
+		a[i] = i * 0.01f;
+		b[i] = 0.5f;
+		c[i] = 1.25f;
+	}
+	wave(%d); %s
+	chk = 0;
+	for (i = 0; i < %d; i++)
+		if (a[i] > b[i])
+			chk = chk + 1;
+	return chk %% 251;
+}
+`, n, n, n, n, n, KernelMarker, n)}
+}
+
 // SyntheticDoall is the execution-engine benchmark's parallel workload:
 // reps serial passes over an n-element dependence-free update, each pass
 // a doall loop the compiler spreads across the processors (and

@@ -142,6 +142,33 @@ type gen struct {
 	labelSeq int
 	// spillBase is the frame area for expression spills.
 	vecSlotNext int
+	// sync is the active DOACROSS register context; non-nil only while
+	// lowering the body of a DoParallel with a Sync annotation.
+	sync *syncGen
+}
+
+// syncGen holds the registers doParallel sets up for a DOACROSS region so
+// SyncPost/SyncWait markers in the body can lower to post/wait. Cells are
+// indexed by processor id: each processor posts its own cell and waits on
+// the cell of the processor running iteration iv - dist·step.
+type syncGen struct {
+	postCell int // r: this processor's cell (= pid)
+	waitCell int // r: producer's cell ((pid - dist mod np) mod np)
+	selfDiff int // r: waitCell - pid; 0 → dependence stays on-processor
+	initR    int // r: loop init value, for the startup guard
+	iv       int // r: induction variable
+	stepC    int64
+	dist     int64 // dependence distance, iterations
+	stride   int64 // SyncStride: post every stride-th local iteration
+	// stride > 1 extras: producers post only on their lattice
+	// {local index ≡ 0 mod stride}, so consumers round thresholds up to
+	// the producer's lattice (legal only when dist ≥ stride·np, checked
+	// by schedule.Check, which keeps the awaited iteration strictly
+	// earlier than the waiter and the pipeline deadlock-free).
+	baseQ  int // r: init + waitCell·step (producer lattice origin)
+	period int // r: stride·np·step (producer lattice period, iv units)
+	zero   int // r: 0
+	cd     int // r: post countdown
 }
 
 func genProc(p *il.Proc, tp *titan.Program) (*titan.Func, error) {
@@ -314,6 +341,10 @@ func (g *gen) stmt(s il.Stmt) error {
 		return g.doLoop(n)
 	case *il.DoParallel:
 		return g.doParallel(n)
+	case *il.SyncPost:
+		return g.syncPost(n)
+	case *il.SyncWait:
+		return g.syncWait(n)
 	case *il.VectorAssign:
 		return g.vectorAssign(n)
 	case *il.Goto:
@@ -653,6 +684,25 @@ func (g *gen) doParallel(n *il.DoParallel) error {
 	}
 	g.emit(titan.Instr{Op: titan.OpPid, Rd: pid})
 	g.emit(titan.Instr{Op: titan.OpNproc, Rd: np})
+	prevSync := g.sync
+	g.sync = nil
+	var sy *syncGen
+	if n.Sync != nil {
+		if stepC <= 0 {
+			return errf("DOACROSS loop requires a positive constant step")
+		}
+		sy = &syncGen{stepC: stepC, dist: n.Sync.Distance, stride: int64(n.Sync.Stride), iv: iv, initR: initR}
+		if sy.stride < 1 {
+			sy.stride = 1
+		}
+		if sy.postCell, err = g.getInt(); err != nil {
+			return err
+		}
+		// The post cell is this processor's id. Computed before the
+		// width cap so sitting-out processors still reach the sentinel
+		// post at the join with a valid cell.
+		g.emit(titan.Instr{Op: titan.OpMov, Rd: sy.postCell, Rs1: pid})
+	}
 	topL := g.newLabel("ptop")
 	endL := g.newLabel("pend")
 	if n.Width > 0 {
@@ -679,13 +729,55 @@ func (g *gen) doParallel(n *il.DoParallel) error {
 		g.putInt(w)
 		g.putInt(t)
 	}
+	if sy != nil {
+		// waitCell = (pid - dist mod np + np) mod np: the processor that
+		// runs iteration iv - dist·step under the cyclic spread. pid and
+		// np are still the raw values here (the width cap only shrinks
+		// np, which is exactly what the cyclic map uses).
+		if sy.waitCell, err = g.getInt(); err != nil {
+			return err
+		}
+		if sy.selfDiff, err = g.getInt(); err != nil {
+			return err
+		}
+		g.emit(titan.Instr{Op: titan.OpLdi, Rd: sy.waitCell, Imm: sy.dist})
+		g.emit(titan.Instr{Op: titan.OpRem, Rd: sy.waitCell, Rs1: sy.waitCell, Rs2: np})
+		g.emit(titan.Instr{Op: titan.OpSub, Rd: sy.waitCell, Rs1: pid, Rs2: sy.waitCell})
+		g.emit(titan.Instr{Op: titan.OpAdd, Rd: sy.waitCell, Rs1: sy.waitCell, Rs2: np})
+		g.emit(titan.Instr{Op: titan.OpRem, Rd: sy.waitCell, Rs1: sy.waitCell, Rs2: np})
+		g.emit(titan.Instr{Op: titan.OpSub, Rd: sy.selfDiff, Rs1: sy.waitCell, Rs2: pid})
+	}
 	// iv = init + pid*step
 	g.emit(titan.Instr{Op: titan.OpMuli, Rd: pid, Rs1: pid, Imm: stepC})
 	g.emit(titan.Instr{Op: titan.OpAdd, Rd: iv, Rs1: initR, Rs2: pid})
 	// stride = nproc * step (reuse np)
 	g.emit(titan.Instr{Op: titan.OpMuli, Rd: np, Rs1: np, Imm: stepC})
-	g.putInt(initR)
+	if sy == nil {
+		g.putInt(initR)
+	} else if sy.stride > 1 {
+		// Producer lattice for threshold rounding: origin init +
+		// waitCell·step, period stride·np·step (np already holds
+		// np·step here).
+		if sy.baseQ, err = g.getInt(); err != nil {
+			return err
+		}
+		if sy.period, err = g.getInt(); err != nil {
+			return err
+		}
+		if sy.zero, err = g.getInt(); err != nil {
+			return err
+		}
+		if sy.cd, err = g.getInt(); err != nil {
+			return err
+		}
+		g.emit(titan.Instr{Op: titan.OpMuli, Rd: sy.baseQ, Rs1: sy.waitCell, Imm: stepC})
+		g.emit(titan.Instr{Op: titan.OpAdd, Rd: sy.baseQ, Rs1: initR, Rs2: sy.baseQ})
+		g.emit(titan.Instr{Op: titan.OpMuli, Rd: sy.period, Rs1: np, Imm: sy.stride})
+		g.emit(titan.Instr{Op: titan.OpLdi, Rd: sy.zero, Imm: 0})
+		g.emit(titan.Instr{Op: titan.OpLdi, Rd: sy.cd, Imm: 1})
+	}
 	g.putInt(pid)
+	g.sync = sy
 
 	g.label(topL)
 	t, err := g.getInt()
@@ -705,9 +797,106 @@ func (g *gen) doParallel(n *il.DoParallel) error {
 	g.emit(titan.Instr{Op: titan.OpAdd, Rd: iv, Rs1: iv, Rs2: np})
 	g.emit(titan.Instr{Op: titan.OpJmp, Sym: topL})
 	g.label(endL)
+	if sy != nil {
+		// Sentinel: releases every outstanding wait on this processor's
+		// cell — consumers of its coalesced or never-started iterations
+		// (width-capped sit-outs jump straight here).
+		t, err := g.getInt()
+		if err != nil {
+			return err
+		}
+		g.emit(titan.Instr{Op: titan.OpLdi, Rd: t, Imm: 1 << 62})
+		g.emit(titan.Instr{Op: titan.OpPost, Rs1: sy.postCell, Rs2: t})
+		g.putInt(t)
+	}
 	g.emit(titan.Instr{Op: titan.OpParEnd})
+	g.sync = prevSync
+	if sy != nil {
+		g.putInt(initR)
+		g.putInt(sy.postCell)
+		g.putInt(sy.waitCell)
+		g.putInt(sy.selfDiff)
+		if sy.stride > 1 {
+			g.putInt(sy.baseQ)
+			g.putInt(sy.period)
+			g.putInt(sy.zero)
+			g.putInt(sy.cd)
+		}
+	}
 	g.putInt(np)
 	g.putInt(limR)
+	return nil
+}
+
+// syncPost lowers a SyncPost marker: publish the current iteration to
+// this processor's cell. With SyncStride > 1 only every stride-th local
+// iteration posts (countdown in a register), the rest are covered by a
+// later lattice post or the region-exit sentinel.
+func (g *gen) syncPost(n *il.SyncPost) error {
+	sy := g.sync
+	if sy == nil {
+		return errf("sync.post outside a DOACROSS parallel region")
+	}
+	if sy.stride <= 1 {
+		g.emit(titan.Instr{Op: titan.OpPost, Rs1: sy.postCell, Rs2: sy.iv})
+		return nil
+	}
+	skipL := g.newLabel("spost")
+	g.emit(titan.Instr{Op: titan.OpAddi, Rd: sy.cd, Rs1: sy.cd, Imm: -1})
+	g.emit(titan.Instr{Op: titan.OpBnez, Rs1: sy.cd, Sym: skipL})
+	g.emit(titan.Instr{Op: titan.OpPost, Rs1: sy.postCell, Rs2: sy.iv})
+	g.emit(titan.Instr{Op: titan.OpLdi, Rd: sy.cd, Imm: sy.stride})
+	g.label(skipL)
+	return nil
+}
+
+// syncWait lowers a SyncWait marker: block until the producer of
+// iteration iv - dist·step has passed its SyncPost. Skipped when the
+// dependence stays on this processor (program order already orders the
+// iterations) and during pipeline startup (no producer iteration
+// exists). With SyncStride > 1 the threshold rounds up to the producer's
+// posting lattice.
+func (g *gen) syncWait(n *il.SyncWait) error {
+	sy := g.sync
+	if sy == nil {
+		return errf("sync.wait outside a DOACROSS parallel region")
+	}
+	skipL := g.newLabel("swskip")
+	g.emit(titan.Instr{Op: titan.OpBeqz, Rs1: sy.selfDiff, Sym: skipL})
+	th, err := g.getInt()
+	if err != nil {
+		return err
+	}
+	t, err := g.getInt()
+	if err != nil {
+		return err
+	}
+	g.emit(titan.Instr{Op: titan.OpAddi, Rd: th, Rs1: sy.iv, Imm: -sy.dist * sy.stepC})
+	g.emit(titan.Instr{Op: titan.OpCmpLt, Rd: t, Rs1: th, Rs2: sy.initR})
+	g.emit(titan.Instr{Op: titan.OpBnez, Rs1: t, Sym: skipL})
+	if sy.stride > 1 {
+		// th = baseQ + ceil(max(th-baseQ, 0)/period)·period
+		waitL := g.newLabel("swlat")
+		g.emit(titan.Instr{Op: titan.OpSub, Rd: t, Rs1: th, Rs2: sy.baseQ})
+		g.emit(titan.Instr{Op: titan.OpMov, Rd: th, Rs1: sy.baseQ})
+		tb, err := g.getInt()
+		if err != nil {
+			return err
+		}
+		g.emit(titan.Instr{Op: titan.OpCmpGt, Rd: tb, Rs1: t, Rs2: sy.zero})
+		g.emit(titan.Instr{Op: titan.OpBeqz, Rs1: tb, Sym: waitL})
+		g.emit(titan.Instr{Op: titan.OpAdd, Rd: t, Rs1: t, Rs2: sy.period})
+		g.emit(titan.Instr{Op: titan.OpAddi, Rd: t, Rs1: t, Imm: -1})
+		g.emit(titan.Instr{Op: titan.OpDiv, Rd: t, Rs1: t, Rs2: sy.period})
+		g.emit(titan.Instr{Op: titan.OpMul, Rd: t, Rs1: t, Rs2: sy.period})
+		g.emit(titan.Instr{Op: titan.OpAdd, Rd: th, Rs1: sy.baseQ, Rs2: t})
+		g.label(waitL)
+		g.putInt(tb)
+	}
+	g.emit(titan.Instr{Op: titan.OpWait, Rs1: sy.waitCell, Rs2: th})
+	g.label(skipL)
+	g.putInt(th)
+	g.putInt(t)
 	return nil
 }
 

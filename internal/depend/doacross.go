@@ -1,0 +1,98 @@
+package depend
+
+import "repro/internal/il"
+
+// MaxDoacrossDistance bounds the dependence distances DOACROSS
+// synchronization will enforce. Distances beyond it leave so much slack
+// between producer and consumer at 4 processors that the loop behaves as
+// independent in practice, and huge thresholds stress nothing useful.
+const MaxDoacrossDistance = 64
+
+// DoacrossPlan says how a loop whose carried dependences all have known
+// constant distances can be pipelined across processors with one
+// post/wait pair per iteration (the combined/hoisted synchronization of
+// arXiv:1211.4101: one post per dependence class per iteration).
+type DoacrossPlan struct {
+	// Distance is the combined synchronization distance: the gcd of all
+	// carried memory-dependence distances. Waiting on iteration
+	// iv - Distance·step forms a chain that transitively covers every
+	// multiple of Distance, hence every original dependence.
+	Distance int64
+	// WaitIdx is the body statement index the wait is placed before. It
+	// is min(earliest sink, latest source) so the wait also precedes the
+	// post — required for the chain coverage above to be transitive.
+	WaitIdx int
+	// PostIdx is the body statement index the post is placed after: the
+	// latest source statement of any carried dependence, so a post
+	// certifies every dependence source of the iteration has executed.
+	PostIdx int
+	// Dep names the tightest (minimum-distance) carried dependence, for
+	// remarks.
+	Dep string
+}
+
+// Doacross decides whether the analyzed loop can be scheduled DOACROSS
+// and returns the synchronization plan, or nil when it cannot:
+//
+//   - barrier statements (calls, volatile accesses, irregular control)
+//     cannot be ordered by post/wait;
+//   - every carried memory dependence must have a known constant
+//     distance in [1, MaxDoacrossDistance];
+//   - a carried scalar flow dependence is a genuine scalar recurrence —
+//     privatization cannot break it;
+//   - carried scalar anti/output dependences on processor-private
+//     temporaries vanish under the cyclic spread (each processor keeps
+//     its own register copy); on observable variables they are fatal.
+func Doacross(p *il.Proc, ld *LoopDeps) *DoacrossPlan {
+	for _, b := range ld.Barrier {
+		if b {
+			return nil
+		}
+	}
+	var (
+		g        int64
+		minDist  int64
+		minDep   string
+		waitIdx  = len(ld.Loop.Body)
+		postIdx  = -1
+		memCount int
+	)
+	for i := range ld.Deps {
+		d := &ld.Deps[i]
+		if !d.Carried {
+			continue
+		}
+		if d.Scalar {
+			if d.Kind == Flow {
+				return nil
+			}
+			v := &p.Vars[d.Var]
+			if v.Class == il.ClassGlobal || v.Class == il.ClassStatic || v.AddrTaken || v.IsVolatile() {
+				return nil
+			}
+			continue
+		}
+		if !d.Known || d.Distance < 1 || d.Distance > MaxDoacrossDistance {
+			return nil
+		}
+		memCount++
+		g = gcd64(g, d.Distance)
+		if minDep == "" || d.Distance < minDist {
+			minDist = d.Distance
+			minDep = d.String()
+		}
+		if d.To < waitIdx {
+			waitIdx = d.To
+		}
+		if d.From > postIdx {
+			postIdx = d.From
+		}
+	}
+	if memCount == 0 {
+		return nil // independent: DOALL territory, not DOACROSS
+	}
+	if waitIdx > postIdx {
+		waitIdx = postIdx // waiting earlier is always sound; see WaitIdx
+	}
+	return &DoacrossPlan{Distance: g, WaitIdx: waitIdx, PostIdx: postIdx, Dep: minDep}
+}

@@ -131,6 +131,11 @@ const (
 	// ParSchedSerial: spreading was legal, but the loop's schedule pinned
 	// it serial (serial_strips) — still this loop's one verdict.
 	ParSchedSerial Code = "par-sched-serial"
+	// ParDoacross: iterations carry a constant-distance dependence, so
+	// the loop was pipelined DOACROSS with post/wait instead of being
+	// rejected; args name the dependence, its combined distance, and the
+	// sync stride.
+	ParDoacross Code = "par-doacross"
 )
 
 // Strength reduction remarks (§6).

@@ -16,7 +16,8 @@ import (
 
 // kernelProc returns a vectorizable + strength-reducible procedure named
 // name: one counted copy loop (vectorizes) plus one loop with a carried
-// dependence (stays serial, gets strength-reduced addressing).
+// dependence of unknown distance (stays serial — even DOACROSS needs a
+// computable constant distance — and gets strength-reduced addressing).
 func kernelProc(name string) string {
 	return fmt.Sprintf(`
 void %[1]s(float *a, float *b, int n)
@@ -25,7 +26,7 @@ void %[1]s(float *a, float *b, int n)
 	for (i = 0; i < n; i++)
 		a[i] = b[i] + 1.0f;
 	for (i = 1; i < n; i++)
-		a[i] = a[i-1] * b[i];
+		a[2*i] = a[i] * b[i];
 }
 `, name)
 }

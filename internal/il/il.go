@@ -357,17 +357,67 @@ type DoParallel struct {
 	// Width caps how many processors the iterations spread over; 0 means
 	// every processor (the schedule layer sets nonzero widths).
 	Width int
-	Pos   token.Pos
+	// Sync, when non-nil, makes the loop a DOACROSS region: iterations
+	// carry a dependence of constant distance Sync.Distance, enforced by
+	// SyncPost/SyncWait markers in Body that codegen lowers to post/wait.
+	Sync *SyncInfo
+	Pos  token.Pos
+}
+
+// SyncInfo annotates a DoParallel scheduled DOACROSS: its iterations are
+// not independent but pipeline across processors, synchronized on the
+// carried dependence it describes (arXiv:1211.4101). All carried
+// dependences of the loop are covered by one combined post/wait pair at
+// the minimum distance.
+type SyncInfo struct {
+	// Distance is the combined (minimum) constant dependence distance in
+	// iterations; the consumer of iteration i waits for iteration
+	// i-Distance to pass its SyncPost.
+	Distance int64
+	// Stride coalesces posts: only every Stride-th iteration posts,
+	// trading sync overhead for pipeline latency (schedule SyncStride).
+	Stride int
+	// Desc names the dependence being synchronized, for remarks.
+	Desc string
 }
 
 // String renders a one-line summary.
 func (s *DoParallel) String() string {
-	if s.Width > 0 {
-		return fmt.Sprintf("do parallel(%d) v%d = %s, %s, %s [%d stmts]", s.Width, s.IV, s.Init, s.Limit, s.Step, len(s.Body))
+	suffix := ""
+	if s.Sync != nil {
+		suffix = fmt.Sprintf(" sync(%d)", s.Sync.Distance)
 	}
-	return fmt.Sprintf("do parallel v%d = %s, %s, %s [%d stmts]", s.IV, s.Init, s.Limit, s.Step, len(s.Body))
+	if s.Width > 0 {
+		return fmt.Sprintf("do parallel(%d)%s v%d = %s, %s, %s [%d stmts]", s.Width, suffix, s.IV, s.Init, s.Limit, s.Step, len(s.Body))
+	}
+	return fmt.Sprintf("do parallel%s v%d = %s, %s, %s [%d stmts]", suffix, s.IV, s.Init, s.Limit, s.Step, len(s.Body))
 }
 func (s *DoParallel) stmtNode() {}
+
+// SyncPost marks the point in a DOACROSS body after which the iteration's
+// contribution to the carried dependence is complete: codegen emits the
+// post releasing iteration IV+Distance here. Valid only directly inside a
+// DoParallel with Sync set.
+type SyncPost struct {
+	Pos token.Pos
+}
+
+// String renders a one-line summary.
+func (s *SyncPost) String() string { return "sync.post" }
+func (s *SyncPost) stmtNode()      {}
+
+// SyncWait marks the point in a DOACROSS body before which the iteration
+// must observe iteration IV-Distance's SyncPost: codegen emits the wait
+// here. Valid only directly inside a DoParallel with Sync set.
+type SyncWait struct {
+	// Distance mirrors the enclosing loop's Sync.Distance.
+	Distance int64
+	Pos      token.Pos
+}
+
+// String renders a one-line summary.
+func (s *SyncWait) String() string { return fmt.Sprintf("sync.wait(%d)", s.Distance) }
+func (s *SyncWait) stmtNode()      {}
 
 // VectorAssign is the vector statement  dst[0:Len) = RHS  where the
 // destination section starts at byte address DstBase with byte stride

@@ -90,7 +90,11 @@ func (p *Proc) StmtString(s Stmt, indent int) string {
 			p.ExprString(n.Init), p.ExprString(n.Limit), p.ExprString(n.Step), safe,
 			p.stmtsString(n.Body, indent+1), pad)
 	case *DoParallel:
-		return fmt.Sprintf("%sdo parallel %s = %s, %s, %s {\n%s%s}", pad, p.varName(n.IV),
+		sync := ""
+		if n.Sync != nil {
+			sync = fmt.Sprintf(" sync(%d)", n.Sync.Distance)
+		}
+		return fmt.Sprintf("%sdo parallel%s %s = %s, %s, %s {\n%s%s}", pad, sync, p.varName(n.IV),
 			p.ExprString(n.Init), p.ExprString(n.Limit), p.ExprString(n.Step),
 			p.stmtsString(n.Body, indent+1), pad)
 	case *VectorAssign:

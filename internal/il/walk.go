@@ -266,8 +266,17 @@ func CloneStmtIn(a *Arena, s Stmt) Stmt {
 		return a.DoLoop(DoLoop{IV: n.IV, Init: CloneExprIn(a, n.Init), Limit: CloneExprIn(a, n.Limit),
 			Step: CloneExprIn(a, n.Step), Body: CloneStmtsIn(a, n.Body), Safe: n.Safe, Pos: n.Pos})
 	case *DoParallel:
-		return a.DoParallel(DoParallel{IV: n.IV, Init: CloneExprIn(a, n.Init), Limit: CloneExprIn(a, n.Limit),
+		m := a.DoParallel(DoParallel{IV: n.IV, Init: CloneExprIn(a, n.Init), Limit: CloneExprIn(a, n.Limit),
 			Step: CloneExprIn(a, n.Step), Body: CloneStmtsIn(a, n.Body), Width: n.Width, Pos: n.Pos})
+		if n.Sync != nil {
+			info := *n.Sync
+			m.Sync = &info
+		}
+		return m
+	case *SyncPost:
+		return &SyncPost{Pos: n.Pos}
+	case *SyncWait:
+		return &SyncWait{Distance: n.Distance, Pos: n.Pos}
 	case *VectorAssign:
 		return a.VectorAssign(VectorAssign{DstBase: CloneExprIn(a, n.DstBase), DstStride: CloneExprIn(a, n.DstStride),
 			Len: CloneExprIn(a, n.Len), Elem: n.Elem, RHS: CloneExprIn(a, n.RHS), Pos: n.Pos})

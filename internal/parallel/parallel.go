@@ -20,18 +20,23 @@ import (
 	"repro/internal/diag"
 	"repro/internal/il"
 	"repro/internal/schedule"
+	"repro/internal/titan"
 )
 
 // Stats reports conversions.
 type Stats struct {
 	LoopsExamined     int `json:"loops_examined"`
 	LoopsParallelized int `json:"loops_parallelized"`
+	// LoopsDoacross counts loops pipelined with post/wait rather than
+	// spread as independent iterations.
+	LoopsDoacross int `json:"loops_doacross,omitempty"`
 }
 
 // Add folds another procedure's stats into s.
 func (s *Stats) Add(o Stats) {
 	s.LoopsExamined += o.LoopsExamined
 	s.LoopsParallelized += o.LoopsParallelized
+	s.LoopsDoacross += o.LoopsDoacross
 }
 
 // ParallelizeProc converts eligible serial DO loops in place.
@@ -102,7 +107,8 @@ func (w *walker) walk(p *il.Proc, list []il.Stmt) []il.Stmt {
 		case *il.DoLoop:
 			n.Body = w.walk(p, n.Body)
 			w.st.LoopsExamined++
-			if ok := independent(p, n, w.opts, w.ac, w.r); ok {
+			rej := classify(p, n, w.opts, w.ac)
+			if rej == nil {
 				sched, explicit := w.scheds.Lookup(p.Name, n.Pos)
 				if explicit && sched.SerialStrips {
 					remark(w.r, p, n, diag.ParSchedSerial, map[string]string{"schedule": sched.String()},
@@ -124,66 +130,177 @@ func (w *walker) walk(p *il.Proc, list []il.Stmt) []il.Stmt {
 					Limit: n.Limit, Step: n.Step, Body: n.Body, Width: width, Pos: n.Pos})
 				continue
 			}
+			// Carried dependences are not necessarily fatal: when every
+			// one has a computable constant distance the loop can
+			// pipeline DOACROSS (§2's spreading plus post/wait).
+			if rej.code == diag.ParCarriedDep {
+				if dp := w.doacross(p, n); dp != nil {
+					out = append(out, dp)
+					continue
+				}
+			}
+			remark(w.r, p, n, rej.code, rej.args, "%s", rej.msg)
 		}
 		out = append(out, s)
 	}
 	return out
 }
 
-// independent reports whether the loop's iterations can run concurrently:
+// rejection is one deferred verdict remark: the walker files it unless a
+// DOACROSS conversion supersedes it.
+type rejection struct {
+	code diag.Code
+	args map[string]string
+	msg  string
+}
+
+// classify reports whether the loop's iterations can run concurrently:
 // no carried dependence of any kind, no barriers (calls, volatile,
-// irregular control), and no scalar live-out computed iteratively. On
-// rejection it files the verdict remark naming the first blocker found.
-func independent(p *il.Proc, loop *il.DoLoop, opts depend.Options, ac *analysis.Cache, r *diag.Reporter) bool {
+// irregular control), and no scalar live-out computed iteratively. A nil
+// result means independent; otherwise the first blocker found comes back
+// as the would-be verdict remark.
+func classify(p *il.Proc, loop *il.DoLoop, opts depend.Options, ac *analysis.Cache) *rejection {
 	// Nested loops inside the body are themselves statements the
 	// dependence pass treats as barriers; a loop nest parallelizes at the
 	// level whose body is loop-free.
 	for i, s := range loop.Body {
 		switch s.(type) {
 		case *il.DoLoop, *il.While, *il.DoParallel, *il.Goto, *il.Label, *il.Return, *il.Call:
-			remark(r, p, loop, diag.ParIrregular, map[string]string{"stmt": s.String()},
-				"loop not parallelized: body statement S%d (%T) blocks spreading", i, s)
-			return false
+			return &rejection{code: diag.ParIrregular, args: map[string]string{"stmt": s.String()},
+				msg: fmt.Sprintf("loop not parallelized: body statement S%d (%T) blocks spreading", i, s)}
 		}
 	}
 	ld := ac.LoopDeps(p, loop, opts)
 	for i, b := range ld.Barrier {
 		if b {
-			remark(r, p, loop, diag.ParBarrier, map[string]string{"stmt": loop.Body[i].String()},
-				"loop not parallelized: statement S%d is a dependence barrier", i)
-			return false
+			return &rejection{code: diag.ParBarrier, args: map[string]string{"stmt": loop.Body[i].String()},
+				msg: fmt.Sprintf("loop not parallelized: statement S%d is a dependence barrier", i)}
 		}
 	}
 	for _, d := range ld.Deps {
 		if d.Carried {
-			remark(r, p, loop, diag.ParCarriedDep, map[string]string{"dep": d.String()},
-				"loop not parallelized: carried dependence %s", d.String())
-			return false
+			args := map[string]string{"dep": d.String()}
+			if d.Known {
+				args["distance"] = fmt.Sprintf("%d", d.Distance)
+			}
+			return &rejection{code: diag.ParCarriedDep, args: args,
+				msg: fmt.Sprintf("loop not parallelized: carried dependence %s", d.String())}
 		}
 	}
-	// Scalars written in the body must not be observable after the loop
-	// (each processor would race on them). Temporaries local to an
-	// iteration are freshly assigned before use; we accept only variables
-	// whose every use within the body follows their (single) definition —
-	// the dependence pass already rejected carried scalar flow, which
-	// covers use-before-def. Globals and address-taken variables remain
-	// unsafe because other code can read them after the loop.
-	unsafe := false
-	unsafeVar := ""
-	il.WalkStmts(loop.Body, func(sub il.Stmt) bool {
+	if v := unsafeScalar(p, loop.Body); v != "" {
+		return &rejection{code: diag.ParLiveOut, args: map[string]string{"var": v},
+			msg: fmt.Sprintf("loop not parallelized: scalar %s is observable after the loop", v)}
+	}
+	return nil
+}
+
+// unsafeScalar returns the name of a scalar written in the body that is
+// observable after the loop (each processor would race on it), or "".
+// Temporaries local to an iteration are freshly assigned before use; we
+// accept only variables whose every use within the body follows their
+// (single) definition — the dependence pass already rejected carried
+// scalar flow, which covers use-before-def. Globals and address-taken
+// variables remain unsafe because other code can read them after the
+// loop.
+func unsafeScalar(p *il.Proc, body []il.Stmt) string {
+	name := ""
+	il.WalkStmts(body, func(sub il.Stmt) bool {
 		if dv := il.DefinedVar(sub); dv != il.NoVar {
 			v := &p.Vars[dv]
 			if v.Class == il.ClassGlobal || v.Class == il.ClassStatic || v.AddrTaken || v.IsVolatile() {
-				unsafe = true
-				unsafeVar = v.Name
+				name = v.Name
 			}
 		}
-		return !unsafe
+		return name == ""
 	})
-	if unsafe {
-		remark(r, p, loop, diag.ParLiveOut, map[string]string{"var": unsafeVar},
-			"loop not parallelized: scalar %s is observable after the loop", unsafeVar)
-		return false
+	return name
+}
+
+// doacrossHandoffCost approximates, in bodyCost units (one unit per
+// executed node), the per-handoff price of the synchronization codegen
+// emits: the post, the wait's latency, and the bookkeeping ALU ops
+// around them.
+const doacrossHandoffCost = 4
+
+// doacross tries to convert a carried-dependence loop into a pipelined
+// DOACROSS region. It returns nil — leaving the loop serial and its
+// rejection remark standing — when no constant-distance plan exists,
+// when an observable scalar blocks spreading, or when the body is too
+// small to pay for the synchronization.
+func (w *walker) doacross(p *il.Proc, n *il.DoLoop) *il.DoParallel {
+	stepC, ok := il.IsIntConst(n.Step)
+	if !ok || stepC <= 0 {
+		return nil // codegen's cell math needs a positive constant step
 	}
-	return true
+	plan := depend.Doacross(p, w.ac.LoopDeps(p, n, w.opts))
+	if plan == nil {
+		return nil
+	}
+	if unsafeScalar(p, n.Body) != "" {
+		return nil
+	}
+	sched, explicit := w.scheds.Lookup(p.Name, n.Pos)
+	if explicit && sched.SerialStrips {
+		return nil // the schedule pinned it serial; keep the serial verdict
+	}
+	// Profitability: pipelined, the loop's critical path advances one
+	// dependence distance per handoff — the sync plus the statements
+	// inside the wait..post window; everything outside the window
+	// overlaps freely across processors. Project that chain bound
+	// against the serial body and demand a 1.5x win. A distance that
+	// covers the machine width needs no waits at all (each processor
+	// consumes its own earlier iteration), so it is always worth taking;
+	// an explicit schedule that asks for DOACROSS (SyncStride set) also
+	// bypasses the estimate — the autotuner measures instead of guessing.
+	if !(explicit && sched.SyncStride > 0) && plan.Distance < int64(titan.MaxProcessors) {
+		window := bodyCost(n.Body[plan.WaitIdx : plan.PostIdx+1])
+		if 3*(doacrossHandoffCost+window) > 2*int(plan.Distance)*bodyCost(n.Body) {
+			return nil
+		}
+	}
+	width := 0
+	stride := 1
+	if explicit {
+		width = sched.ParallelWidth
+		np := width
+		if np == 0 {
+			np = titan.MaxProcessors
+		}
+		// Post coalescing is only deadlock-free when the awaited lattice
+		// iteration stays strictly earlier than the waiter; degrade an
+		// overreaching stride rather than miscompile.
+		if sched.SyncStride > 1 && plan.Distance >= int64(sched.SyncStride)*int64(np) {
+			stride = sched.SyncStride
+		}
+	}
+	body := make([]il.Stmt, 0, len(n.Body)+2)
+	body = append(body, n.Body[:plan.WaitIdx]...)
+	body = append(body, &il.SyncWait{Distance: plan.Distance, Pos: n.Pos})
+	body = append(body, n.Body[plan.WaitIdx:plan.PostIdx+1]...)
+	body = append(body, &il.SyncPost{Pos: n.Pos})
+	body = append(body, n.Body[plan.PostIdx+1:]...)
+	w.st.LoopsDoacross++
+	remark(w.r, p, n, diag.ParDoacross, map[string]string{
+		"dep":         plan.Dep,
+		"distance":    fmt.Sprintf("%d", plan.Distance),
+		"sync_stride": fmt.Sprintf("%d", stride),
+	}, "loop pipelined DOACROSS: carried dependence %s synchronized at distance %d", plan.Dep, plan.Distance)
+	p.BumpGeneration()
+	return &il.DoParallel{IV: n.IV, Init: n.Init, Limit: n.Limit, Step: n.Step,
+		Body: body, Width: width,
+		Sync: &il.SyncInfo{Distance: plan.Distance, Stride: stride, Desc: plan.Dep},
+		Pos:  n.Pos}
+}
+
+// bodyCost is a crude per-iteration cycle estimate: one cycle per
+// statement plus one per expression node.
+func bodyCost(body []il.Stmt) int {
+	cost := 0
+	for _, s := range body {
+		cost++
+		il.StmtExprs(s, func(e il.Expr) {
+			il.WalkExpr(e, func(il.Expr) bool { cost++; return true })
+		})
+	}
+	return cost
 }

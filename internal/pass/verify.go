@@ -58,6 +58,22 @@ func verifyProc(p *il.Proc, allowVector bool) error {
 		return err
 	}
 
+	// Sync markers are only meaningful directly inside a DoParallel that
+	// carries a Sync annotation: codegen needs the region's cell registers
+	// and induction variable in scope to lower them to post/wait.
+	okSync := map[il.Stmt]bool{}
+	il.WalkStmts(p.Body, func(s il.Stmt) bool {
+		if dp, ok := s.(*il.DoParallel); ok && dp.Sync != nil {
+			for _, b := range dp.Body {
+				switch b.(type) {
+				case *il.SyncPost, *il.SyncWait:
+					okSync[b] = true
+				}
+			}
+		}
+		return true
+	})
+
 	// Pass 2: statement and expression invariants.
 	il.WalkStmts(p.Body, func(s il.Stmt) bool {
 		if err != nil {
@@ -89,6 +105,29 @@ func verifyProc(p *il.Proc, allowVector bool) error {
 			err = verifyCountedLoop(p, n.IV, n.Init, n.Limit, n.Step, n.Body, s)
 		case *il.DoParallel:
 			err = verifyCountedLoop(p, n.IV, n.Init, n.Limit, n.Step, n.Body, s)
+			if err == nil && n.Sync != nil {
+				if n.Sync.Distance < 1 {
+					err = fmt.Errorf("DOACROSS loop %q has non-positive sync distance %d", s, n.Sync.Distance)
+				} else if n.Sync.Stride < 1 {
+					err = fmt.Errorf("DOACROSS loop %q has non-positive sync stride %d", s, n.Sync.Stride)
+				}
+				for _, b := range n.Body {
+					if w, ok := b.(*il.SyncWait); ok && err == nil && w.Distance != n.Sync.Distance {
+						err = fmt.Errorf("sync.wait distance %d disagrees with loop sync distance %d in %q",
+							w.Distance, n.Sync.Distance, s)
+					}
+				}
+			}
+		case *il.SyncPost:
+			if !okSync[s] {
+				err = fmt.Errorf("sync.post at offset %d outside a DOACROSS parallel region", n.Pos)
+				return false
+			}
+		case *il.SyncWait:
+			if !okSync[s] {
+				err = fmt.Errorf("sync.wait(%d) at offset %d outside a DOACROSS parallel region", n.Distance, n.Pos)
+				return false
+			}
 		case *il.VectorAssign:
 			if !allowVector {
 				err = fmt.Errorf("vector statement %q before the vectorizer slot", s)

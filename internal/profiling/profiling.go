@@ -60,6 +60,30 @@ func FormatStats(r titan.Result, wall time.Duration) string {
 	if r.Cycles > 0 {
 		nsPerCycle = float64(wall.Nanoseconds()) / float64(r.Cycles)
 	}
-	return fmt.Sprintf("stats: wall=%v host_instrs_per_sec=%.0f ns_per_sim_cycle=%.2f sim_mflops=%.2f",
+	line := fmt.Sprintf("stats: wall=%v host_instrs_per_sec=%.0f ns_per_sim_cycle=%.2f sim_mflops=%.2f",
 		wall.Round(time.Microsecond), instrsPerSec, nsPerCycle, r.MFLOPS())
+	if r.SyncStalls > 0 {
+		line += fmt.Sprintf(" sync_stall_cycles=%d", r.SyncStalls)
+	}
+	if procs := FormatProcStats(r); procs != "" {
+		line += "\n" + procs
+	}
+	return line
+}
+
+// FormatProcStats renders the per-processor busy/stall/idle breakdown of
+// the run's parallel regions, one line per processor that did work, or
+// "" when the program never forked.
+func FormatProcStats(r titan.Result) string {
+	out := ""
+	for pid, ps := range r.Procs {
+		if ps.Busy == 0 && ps.SyncStall == 0 && ps.JoinIdle == 0 {
+			continue
+		}
+		if out != "" {
+			out += "\n"
+		}
+		out += fmt.Sprintf("  proc %d: busy=%d sync_stall=%d join_idle=%d", pid, ps.Busy, ps.SyncStall, ps.JoinIdle)
+	}
+	return out
 }

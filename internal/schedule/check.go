@@ -6,6 +6,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/depend"
 	"repro/internal/il"
+	"repro/internal/titan"
 )
 
 // Check decides whether schedule s may legally be applied to loop inside
@@ -39,8 +40,36 @@ func Check(p *il.Proc, loop *il.DoLoop, s Schedule, ac *analysis.Cache, opts dep
 			}
 		}
 		for i := range ld.Deps {
-			if d := &ld.Deps[i]; d.Carried {
+			if d := &ld.Deps[i]; d.Carried && s.SyncStride == 0 {
 				return fmt.Errorf("schedule: parallel width %d illegal: carried dependence %s", s.ParallelWidth, d)
+			}
+		}
+	}
+	if s.SyncStride > 0 && !s.SerialStrips {
+		// A sync stride only makes sense for DOACROSS: the loop must have
+		// carried dependences the parallelizer can plan post/wait for, and
+		// coalesced posting (stride > 1) must keep the awaited iteration
+		// strictly earlier than the waiter at the scheduled width.
+		ld := ac.LoopDeps(p, loop, opts)
+		carried := false
+		for i := range ld.Deps {
+			if ld.Deps[i].Carried {
+				carried = true
+				break
+			}
+		}
+		if carried {
+			plan := depend.Doacross(p, ld)
+			if plan == nil {
+				return fmt.Errorf("schedule: sync stride %d illegal: no computable DOACROSS plan for the loop's carried dependences", s.SyncStride)
+			}
+			width := s.ParallelWidth
+			if width == 0 {
+				width = titan.MaxProcessors
+			}
+			if s.SyncStride > 1 && plan.Distance < int64(s.SyncStride)*int64(width) {
+				return fmt.Errorf("schedule: sync stride %d illegal: coalesced posting needs dependence distance ≥ stride·width (distance %d, width %d)",
+					s.SyncStride, plan.Distance, width)
 			}
 		}
 	}

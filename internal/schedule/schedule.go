@@ -41,6 +41,11 @@ const DefaultVL = 32
 // scheduler models without buying further loop-overhead reduction.
 const MaxUnroll = 8
 
+// MaxSyncStride bounds DOACROSS post coalescing; beyond 8 the legality
+// condition (distance ≥ stride·width) is out of reach for the distances
+// the dependence test accepts at useful widths.
+const MaxSyncStride = 8
+
 // Schedule describes how the loop phases transform one DO loop. The
 // zero value is not meaningful; use Default().
 type Schedule struct {
@@ -60,6 +65,14 @@ type Schedule struct {
 	// legal — for short loops the fork/join overhead outweighs the
 	// spread (§2's "significant speedups" need enough work per strip).
 	SerialStrips bool `json:"serial_strips,omitempty"`
+	// SyncStride tunes DOACROSS synchronization for loops with carried
+	// constant-distance dependences: 0 leaves the parallelizer's default
+	// (post every iteration), N ≥ 1 posts every N-th iteration per
+	// processor, trading sync traffic for pipeline slack. Strides above
+	// 1 are only legal when the dependence distance covers
+	// stride·width (Check enforces this; coalesced posting would
+	// deadlock the pipeline otherwise).
+	SyncStride int `json:"sync_stride,omitempty"`
 }
 
 // Default is the paper's hardwired strategy: 32-element strips, no
@@ -84,6 +97,9 @@ func (s Schedule) String() string {
 	if s.SerialStrips {
 		sb.WriteString(" serial-strips")
 	}
+	if s.SyncStride > 0 {
+		fmt.Fprintf(&sb, " sync=%d", s.SyncStride)
+	}
 	return sb.String()
 }
 
@@ -107,6 +123,9 @@ func (s Schedule) Validate() error {
 	}
 	if s.ParallelWidth < 0 || s.ParallelWidth > titan.MaxProcessors {
 		return fmt.Errorf("schedule: parallel width %d out of range (0..%d)", s.ParallelWidth, titan.MaxProcessors)
+	}
+	if s.SyncStride < 0 || s.SyncStride > MaxSyncStride {
+		return fmt.Errorf("schedule: sync stride %d out of range (0..%d)", s.SyncStride, MaxSyncStride)
 	}
 	return nil
 }

@@ -93,6 +93,31 @@ type RunResult struct {
 	Processors int     `json:"processors"`
 	HostNanos  int64   `json:"host_nanos"`
 	Output     string  `json:"output,omitempty"`
+	// SyncStalls counts simulated cycles processors spent blocked in
+	// DOACROSS wait instructions; Procs breaks parallel-region time down
+	// per processor (omitted when the program never forked).
+	SyncStalls int64          `json:"sync_stall_cycles,omitempty"`
+	Procs      []ProcStatJSON `json:"procs,omitempty"`
+}
+
+// ProcStatJSON is one processor's share of the run's parallel regions.
+type ProcStatJSON struct {
+	Pid       int   `json:"pid"`
+	Busy      int64 `json:"busy_cycles"`
+	SyncStall int64 `json:"sync_stall_cycles"`
+	JoinIdle  int64 `json:"join_idle_cycles"`
+}
+
+// procStatsJSON extracts the nonzero per-processor entries.
+func procStatsJSON(r titan.Result) []ProcStatJSON {
+	var out []ProcStatJSON
+	for pid, ps := range r.Procs {
+		if ps.Busy == 0 && ps.SyncStall == 0 && ps.JoinIdle == 0 {
+			continue
+		}
+		out = append(out, ProcStatJSON{Pid: pid, Busy: ps.Busy, SyncStall: ps.SyncStall, JoinIdle: ps.JoinIdle})
+	}
+	return out
 }
 
 // CompileResponse is the POST /compile reply. Key, IL, Asm, Report, and
@@ -436,6 +461,8 @@ func (s *Server) compile(key string, req CompileRequest, opts driver.Options) ([
 			Processors: req.Processors,
 			HostNanos:  hostNanos,
 			Output:     r.Output,
+			SyncStalls: r.SyncStalls,
+			Procs:      procStatsJSON(r),
 		}
 	}
 	blob, err := json.Marshal(art)

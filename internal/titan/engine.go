@@ -179,8 +179,10 @@ func timeOf(op Op) (unit unitKind, vscale uint8, lat, occ int64) {
 		return uInt, 0, 12, 8
 	case OpLd1, OpLd2, OpLd4, OpFld4, OpFld8:
 		return uMem, 0, 6, 1
-	case OpSt1, OpSt2, OpSt4, OpFst4, OpFst8:
+	case OpSt1, OpSt2, OpSt4, OpFst4, OpFst8, OpPost:
 		return uMem, 0, 1, 1
+	case OpWait:
+		return uMem, 0, waitLatency, 1
 	case OpFadd, OpFsub, OpFmul, OpFneg,
 		OpFcmpEq, OpFcmpNe, OpFcmpLt, OpFcmpLe, OpFcmpGt, OpFcmpGe,
 		OpCvtIF, OpCvtFI, OpFmov, OpFldi:
@@ -214,7 +216,7 @@ func srcKinds(op Op) (s1k, s2k regKind) {
 		return rkInt, rkNone
 	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
 		OpCmpEq, OpCmpNe, OpCmpLt, OpCmpLe, OpCmpGt, OpCmpGe,
-		OpVld, OpVst:
+		OpVld, OpVst, OpPost, OpWait:
 		return rkInt, rkInt
 	case OpFmov, OpFneg, OpCvtFI, OpFarg, OpVbcast:
 		return rkFlt, rkNone
@@ -348,6 +350,12 @@ func decodeFunc(f *Func) *dfunc {
 				case OpParEnd:
 					if depth == 0 {
 						d.tgt = int32(i)
+						// Flag regions containing post/wait (imm is unused
+						// by par.begin): they need the synchronization
+						// fabric and the truly concurrent execution path.
+						if hasSyncOps(f.Instrs, pc+1, i) {
+							d.imm = 1
+						}
 						i = n
 					} else {
 						depth--
@@ -434,12 +442,15 @@ func (m *Machine) runFastEntry(entry string) (Result, error) {
 	if err := c.runFast(df, 0, -1, max); err != nil {
 		return Result{}, err
 	}
+	procs, stalls := m.runStats()
 	return Result{
-		Cycles:    c.cycles,
-		FlopCount: c.flops,
-		Instrs:    c.icount,
-		ExitCode:  c.r[RegRetInt],
-		Output:    m.out.String(),
+		Cycles:     c.cycles,
+		FlopCount:  c.flops,
+		Instrs:     c.icount,
+		ExitCode:   c.r[RegRetInt],
+		Output:     m.out.String(),
+		SyncStalls: stalls,
+		Procs:      procs,
 	}, nil
 }
 
@@ -723,13 +734,45 @@ func (c *cpu) runFast(df *dfunc, pc, stop int, maxInstrs int64) error {
 				return fmt.Errorf("titan: unmatched par.begin in %s", df.name)
 			}
 			end := int(d.tgt)
-			if err := c.parallelRegionFast(df, pc+1, end, maxInstrs); err != nil {
+			if err := c.parallelRegionFast(df, pc+1, end, maxInstrs, d.imm == 1); err != nil {
 				return err
 			}
 			pc = end + 1
 			continue
 		case OpParEnd:
 			return fmt.Errorf("titan: stray par.end in %s", df.name)
+
+		case OpPost:
+			if c.sync == nil || !c.inRegionFrame {
+				return fmt.Errorf("titan: post outside parallel region in %s", df.name)
+			}
+			cell := c.r[d.rs1]
+			if cell < 0 || cell >= NumSyncCells {
+				return &Fault{Addr: cell, Size: 8, Kind: "sync post", Func: df.name, PC: pc}
+			}
+			// The inlined charge left clock = issue+1; the post's value
+			// becomes visible at issue+lat, the store-like completion.
+			c.sync.post(int(cell), c.r[d.rs2], c.clock-1+int64(d.lat))
+		case OpWait:
+			if c.sync == nil || !c.inRegionFrame {
+				return fmt.Errorf("titan: wait outside parallel region in %s", df.name)
+			}
+			cell := c.r[d.rs1]
+			if cell < 0 || cell >= NumSyncCells {
+				return &Fault{Addr: cell, Size: 8, Kind: "sync wait", Func: df.name, PC: pc}
+			}
+			t, err := c.sync.waitFast(int(cell), c.r[d.rs2], df.name)
+			if err != nil {
+				return err
+			}
+			done := c.clock - 1 + int64(d.lat)
+			if eff := t + waitLatency; eff > done {
+				c.syncStall += eff - done
+				c.clock = eff
+				if eff > c.cycles {
+					c.cycles = eff
+				}
+			}
 
 		default:
 			return fmt.Errorf("titan: unimplemented op %v", d.op)
@@ -807,10 +850,13 @@ func (c *cpu) callFast(d *dinstr, df *dfunc, pc int, maxInstrs int64) error {
 	}
 	savedR := c.r
 	savedF := c.f
+	savedFrame := c.inRegionFrame
+	c.inRegionFrame = false
 	c.args = nil
 	if err := c.runFast(callee, 0, -1, maxInstrs); err != nil {
 		return err
 	}
+	c.inRegionFrame = savedFrame
 	retI := c.r[RegRetInt]
 	retF := c.f[RegRetFlt]
 	c.r = savedR
@@ -833,17 +879,29 @@ func (c *cpu) callFast(d *dinstr, df *dfunc, pc int, maxInstrs int64) error {
 // Cycle accounting is the reference join: every processor's cycle delta
 // is measured from the common fork point, the maximum wins, and fork
 // overhead is charged per extra processor.
-func (c *cpu) parallelRegionFast(df *dfunc, start, end int, maxInstrs int64) error {
+func (c *cpu) parallelRegionFast(df *dfunc, start, end int, maxInstrs int64, hasSync bool) error {
 	procs := c.m.Processors
 	if procs == 1 {
 		// Single processor: the reference copies state in, runs, and
 		// adopts everything back, so the join degenerates to forcing
 		// pid 0 and synchronizing clock and units to the completion
-		// horizon — run directly on c with no copy at all.
+		// horizon — run directly on c with no copy at all. A sync
+		// region still gets its fabric: posts must land somewhere, and
+		// a wait that nothing could satisfy must deadlock (procs == 1
+		// trips the all-blocked detection immediately).
+		baseCycles, baseStall := c.cycles, c.syncStall
+		savedSync, savedFrame := c.sync, c.inRegionFrame
+		if hasSync {
+			c.sync = newSyncState(1)
+			c.inRegionFrame = true
+		}
 		c.pid = 0
 		if err := c.runFast(df, start, end, maxInstrs); err != nil {
 			return err
 		}
+		c.sync, c.inRegionFrame = savedSync, savedFrame
+		stall := c.syncStall - baseStall
+		c.m.recordProcStat(0, c.cycles-baseCycles-stall, stall, 0)
 		c.pid = 0
 		c.clock = c.cycles
 		c.intUnit, c.fltUnit, c.memUnit = c.cycles, c.cycles, c.cycles
@@ -857,17 +915,29 @@ func (c *cpu) parallelRegionFast(df *dfunc, start, end int, maxInstrs int64) err
 	// byte-identical to the reference's serialized pid-order run.
 	scr := c.m.claimScratch()
 	defer c.m.releaseScratch(scr)
-	baseCycles, baseFlops, baseIcount := c.cycles, c.flops, c.icount
+	baseCycles, baseFlops, baseIcount, baseStall := c.cycles, c.flops, c.icount, c.syncStall
 	parentOut := c.out
-	concurrent := engineHostParallelism > 1
+	savedSync, savedFrame := c.sync, c.inRegionFrame
+	var ss *syncState
+	if hasSync {
+		ss = newSyncState(procs)
+	}
+	// Sync regions must fan out for real even on a single-core host:
+	// their processors block on each other mid-region, which the
+	// serialized fallback cannot express (goroutines still interleave
+	// at the blocking points under GOMAXPROCS=1).
+	concurrent := engineHostParallelism > 1 || hasSync
 	var wg sync.WaitGroup
 	var maxDelta, flops, icount int64
+	var deltas, stallDeltas [MaxProcessors]int64
 	var firstSubErr error
 	if concurrent {
 		for pid := 1; pid < procs; pid++ {
 			sub := &scr.subs[pid-1]
 			*sub = *c
 			sub.pid = int64(pid)
+			sub.sync = ss
+			sub.inRegionFrame = hasSync
 			scr.outs[pid].Reset()
 			sub.out = &scr.outs[pid]
 			// The struct copy shares the args backing array; clone it
@@ -879,6 +949,9 @@ func (c *cpu) parallelRegionFast(df *dfunc, start, end int, maxInstrs int64) err
 			go func(sub *cpu, err *error) {
 				defer wg.Done()
 				*err = sub.runFast(df, start, end, maxInstrs)
+				if ss != nil {
+					ss.finish()
+				}
 			}(sub, &scr.errs[pid])
 		}
 	} else {
@@ -900,7 +973,8 @@ func (c *cpu) parallelRegionFast(df *dfunc, start, end int, maxInstrs int64) err
 				}
 				continue
 			}
-			if d := sub.cycles - baseCycles; d > maxDelta {
+			deltas[pid] = sub.cycles - baseCycles
+			if d := deltas[pid]; d > maxDelta {
 				maxDelta = d
 			}
 			flops += sub.flops - baseFlops
@@ -913,7 +987,12 @@ func (c *cpu) parallelRegionFast(df *dfunc, start, end int, maxInstrs int64) err
 	scr.outs[0].Reset()
 	c.pid = 0
 	c.out = &scr.outs[0]
+	c.sync = ss
+	c.inRegionFrame = hasSync
 	err0 := c.runFast(df, start, end, maxInstrs)
+	if ss != nil {
+		ss.finish()
+	}
 	c.out = parentOut
 	if concurrent {
 		wg.Wait()
@@ -925,13 +1004,16 @@ func (c *cpu) parallelRegionFast(df *dfunc, start, end int, maxInstrs int64) err
 				continue
 			}
 			sub := &scr.subs[pid-1]
-			if d := sub.cycles - baseCycles; d > maxDelta {
+			deltas[pid] = sub.cycles - baseCycles
+			stallDeltas[pid] = sub.syncStall - baseStall
+			if d := deltas[pid]; d > maxDelta {
 				maxDelta = d
 			}
 			flops += sub.flops - baseFlops
 			icount += sub.icount - baseIcount
 		}
 	}
+	c.sync, c.inRegionFrame = savedSync, savedFrame
 	// Pid 0's error wins, then the lowest erroring pid — the order the
 	// reference, which runs pids serially from 0, reports them in.
 	if err0 != nil {
@@ -944,8 +1026,13 @@ func (c *cpu) parallelRegionFast(df *dfunc, start, end int, maxInstrs int64) err
 		parentOut.WriteString(scr.outs[pid].String())
 	}
 	c.pid = 0
-	if d0 := c.cycles - baseCycles; d0 > maxDelta {
+	deltas[0] = c.cycles - baseCycles
+	stallDeltas[0] = c.syncStall - baseStall
+	if d0 := deltas[0]; d0 > maxDelta {
 		maxDelta = d0
+	}
+	for pid := 0; pid < procs; pid++ {
+		c.m.recordProcStat(pid, deltas[pid]-stallDeltas[pid], stallDeltas[pid], maxDelta-deltas[pid])
 	}
 	c.flops += flops
 	c.icount += icount

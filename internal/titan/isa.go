@@ -115,7 +115,18 @@ const (
 	// share of iterations.
 	OpParBegin
 	OpParEnd
+
+	// DOACROSS synchronization (arXiv:1211.4101): post publishes r[rs2]
+	// into sync cell r[rs1] (monotone max), wait blocks until cell r[rs1]
+	// reaches at least r[rs2]. Valid only inside a parallel region; the
+	// cells live per region and reset at par.begin.
+	OpPost
+	OpWait
 )
+
+// NumSyncCells is the number of per-region synchronization cells post and
+// wait may address (r[rs1] must be in [0, NumSyncCells)).
+const NumSyncCells = 256
 
 // Element kinds for vector memory operations (Instr.Imm).
 const (
@@ -166,6 +177,7 @@ var opNames = map[Op]string{
 	OpJmp:    "jmp", OpBeqz: "beqz", OpBnez: "bnez", OpCall: "call",
 	OpRet: "ret", OpArg: "arg", OpFarg: "farg", OpHalt: "halt",
 	OpParBegin: "par.begin", OpParEnd: "par.end",
+	OpPost: "post", OpWait: "wait",
 }
 
 // String disassembles one instruction.
@@ -202,6 +214,8 @@ func (in Instr) String() string {
 		return fmt.Sprintf("%s r%d, f%d", n, in.Rd, in.Rs1)
 	case OpVsetl:
 		return fmt.Sprintf("%s r%d", n, in.Rs1)
+	case OpPost, OpWait:
+		return fmt.Sprintf("%s r%d, r%d", n, in.Rs1, in.Rs2)
 	case OpVld, OpVst:
 		return fmt.Sprintf("%s v%d, (r%d), r%d, ek%d", n, in.Rd, in.Rs1, in.Rs2, in.Imm)
 	case OpVadd, OpVsub, OpVmul, OpVdiv:

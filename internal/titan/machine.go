@@ -19,6 +19,24 @@ type Result struct {
 	Instrs    int64
 	ExitCode  int64
 	Output    string
+	// SyncStalls is the total cycles processors spent blocked in wait
+	// instructions across all parallel regions (DOACROSS pipelining).
+	SyncStalls int64
+	// Procs is the per-processor busy/stall breakdown over parallel
+	// regions: entries beyond the machine's processor count stay zero.
+	// A fixed-size array keeps Result comparable with == (the
+	// differential engine tests rely on that).
+	Procs [MaxProcessors]ProcStat
+}
+
+// ProcStat is one processor's cycle breakdown over the parallel regions
+// of a run: Busy is cycles spent executing, SyncStall is cycles blocked
+// in wait instructions, and JoinIdle is cycles idle at region joins
+// waiting for the slowest processor.
+type ProcStat struct {
+	Busy      int64 `json:"busy"`
+	SyncStall int64 `json:"sync_stall"`
+	JoinIdle  int64 `json:"join_idle"`
 }
 
 // MFLOPS returns millions of floating-point operations per simulated
@@ -94,6 +112,29 @@ type Machine struct {
 	// a fresh cpu instead.
 	root     cpu
 	rootUsed bool
+
+	// procStats accumulates the per-processor busy/stall/idle breakdown
+	// at every parallel-region join. Updated with atomics: joins of
+	// nested regions can run on sibling goroutines in the fast engine.
+	procStats [MaxProcessors]ProcStat
+}
+
+// recordProcStat folds one processor's region deltas into the machine
+// totals at a region join.
+func (m *Machine) recordProcStat(pid int, busy, stall, joinIdle int64) {
+	atomic.AddInt64(&m.procStats[pid].Busy, busy)
+	atomic.AddInt64(&m.procStats[pid].SyncStall, stall)
+	atomic.AddInt64(&m.procStats[pid].JoinIdle, joinIdle)
+}
+
+// runStats snapshots the accumulated per-processor breakdown for a
+// Result.
+func (m *Machine) runStats() (procs [MaxProcessors]ProcStat, syncStalls int64) {
+	procs = m.procStats
+	for i := range procs {
+		syncStalls += procs[i].SyncStall
+	}
+	return procs, syncStalls
 }
 
 // regionScratch is the reusable per-region fork state: processor
@@ -164,6 +205,15 @@ type cpu struct {
 	vlc  int64
 	pid  int64
 	args []argval
+
+	// DOACROSS synchronization: sync is the enclosing parallel region's
+	// fabric (nil outside regions), inRegionFrame says whether this
+	// frame is the region's own (post/wait inside a called function are
+	// rejected — the region scheduler could not resume mid-call), and
+	// syncStall accumulates cycles blocked in waits.
+	sync          *syncState
+	inRegionFrame bool
+	syncStall     int64
 
 	// Scoreboard state. vecReady is indexed by VRF slot (mod VRFWords,
 	// like the register file itself): a fixed array instead of a map so
@@ -238,12 +288,15 @@ func (m *Machine) RunReference(entry string) (Result, error) {
 	if err := c.exec(f, 0, -1, max); err != nil {
 		return Result{}, err
 	}
+	procs, stalls := m.runStats()
 	return Result{
-		Cycles:    c.cycles,
-		FlopCount: c.flops,
-		Instrs:    c.icount,
-		ExitCode:  c.r[RegRetInt],
-		Output:    m.out.String(),
+		Cycles:     c.cycles,
+		FlopCount:  c.flops,
+		Instrs:     c.icount,
+		ExitCode:   c.r[RegRetInt],
+		Output:     m.out.String(),
+		SyncStalls: stalls,
+		Procs:      procs,
 	}, nil
 }
 
@@ -262,7 +315,8 @@ func (c *cpu) dispatch(in Instr) int64 {
 		OpVsetl, OpCvtIF, OpPid, OpNproc:
 		maxr(c.intReady[in.Rs1])
 	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
-		OpCmpEq, OpCmpNe, OpCmpLt, OpCmpLe, OpCmpGt, OpCmpGe:
+		OpCmpEq, OpCmpNe, OpCmpLt, OpCmpLe, OpCmpGt, OpCmpGe,
+		OpPost, OpWait:
 		maxr(c.intReady[in.Rs1])
 		maxr(c.intReady[in.Rs2])
 	case OpLd1, OpLd2, OpLd4, OpFld4, OpFld8:
@@ -306,8 +360,10 @@ func (c *cpu) dispatch(in Instr) int64 {
 		unit, lat, occ = &c.intUnit, 12, 8
 	case OpLd1, OpLd2, OpLd4, OpFld4, OpFld8:
 		unit, lat, occ = &c.memUnit, 6, 1
-	case OpSt1, OpSt2, OpSt4, OpFst4, OpFst8:
+	case OpSt1, OpSt2, OpSt4, OpFst4, OpFst8, OpPost:
 		unit, lat, occ = &c.memUnit, 1, 1
+	case OpWait:
+		unit, lat, occ = &c.memUnit, waitLatency, 1
 	case OpFadd, OpFsub, OpFmul, OpFneg,
 		OpFcmpEq, OpFcmpNe, OpFcmpLt, OpFcmpLe, OpFcmpGt, OpFcmpGe,
 		OpCvtIF, OpCvtFI, OpFmov, OpFldi:
@@ -383,8 +439,19 @@ func (c *cpu) exec(f *Func, pc int, stop int, maxInstrs int64) error {
 			return fmt.Errorf("titan: instruction budget exhausted in %s (possible infinite loop)", f.Name)
 		}
 		in := f.Instrs[pc]
+		if in.Op == OpWait && c.sync != nil && c.inRegionFrame {
+			// An unsatisfied wait charges nothing and retires nothing:
+			// the region scheduler parks this processor here and retries
+			// after other processors have run (see parallelRegionSync).
+			cell := c.r[in.Rs1]
+			if cell >= 0 && cell < NumSyncCells {
+				if _, ok := c.sync.peek(int(cell), c.r[in.Rs2]); !ok {
+					return &waitBlocked{pc: pc}
+				}
+			}
+		}
 		c.icount++
-		c.dispatch(in)
+		done := c.dispatch(in)
 		if c.m.Trace != nil {
 			c.m.Trace(fmt.Sprintf("%s+%d: %s", f.Name, pc, in))
 		}
@@ -636,6 +703,35 @@ func (c *cpu) exec(f *Func, pc int, stop int, maxInstrs int64) error {
 			// is a stray marker.
 			return fmt.Errorf("titan: stray par.end in %s", f.Name)
 
+		case OpPost:
+			if c.sync == nil || !c.inRegionFrame {
+				return fmt.Errorf("titan: post outside parallel region in %s", f.Name)
+			}
+			cell := c.r[in.Rs1]
+			if cell < 0 || cell >= NumSyncCells {
+				return &Fault{Addr: cell, Size: 8, Kind: "sync post", Func: f.Name, PC: pc}
+			}
+			c.sync.post(int(cell), c.r[in.Rs2], done)
+		case OpWait:
+			if c.sync == nil || !c.inRegionFrame {
+				return fmt.Errorf("titan: wait outside parallel region in %s", f.Name)
+			}
+			cell := c.r[in.Rs1]
+			if cell < 0 || cell >= NumSyncCells {
+				return &Fault{Addr: cell, Size: 8, Kind: "sync wait", Func: f.Name, PC: pc}
+			}
+			// Satisfied (the pre-dispatch peek passed): the wait's data
+			// arrives waitLatency after the releasing post completed, or
+			// at the wait's own latency if the post was already old.
+			t, _ := c.sync.peek(int(cell), c.r[in.Rs2])
+			if eff := t + waitLatency; eff > done {
+				c.syncStall += eff - done
+				c.clock = eff
+				if eff > c.cycles {
+					c.cycles = eff
+				}
+			}
+
 		default:
 			return fmt.Errorf("titan: unimplemented op %v", in.Op)
 		}
@@ -735,13 +831,18 @@ func (c *cpu) call(name, fn string, pc int, maxInstrs int64) error {
 	if !ok {
 		return fmt.Errorf("titan: call to undefined function %q", name)
 	}
-	// Register window: snapshot, run, restore all but results.
+	// Register window: snapshot, run, restore all but results. The
+	// callee is not the parallel region's own frame: post/wait inside it
+	// are rejected (the region scheduler cannot park mid-call).
 	savedR := c.r
 	savedF := c.f
+	savedFrame := c.inRegionFrame
+	c.inRegionFrame = false
 	c.args = nil
 	if err := c.exec(callee, 0, -1, maxInstrs); err != nil {
 		return err
 	}
+	c.inRegionFrame = savedFrame
 	retI := c.r[RegRetInt]
 	retF := c.f[RegRetFlt]
 	c.r = savedR
@@ -767,9 +868,13 @@ func locateFault(err error, fn string, pc int) error {
 const forkOverhead = 20 // cycles per processor spawn via shared memory
 
 func (c *cpu) parallelRegion(f *Func, start, end int, maxInstrs int64) error {
+	if hasSyncOps(f.Instrs, start, end) {
+		return c.parallelRegionSync(f, start, end, maxInstrs)
+	}
 	base := *c
 	var maxDelta int64
 	var flops, icount int64
+	var deltas [MaxProcessors]int64
 	var finalState *cpu
 	for pid := 0; pid < c.m.Processors; pid++ {
 		sub := base
@@ -779,6 +884,7 @@ func (c *cpu) parallelRegion(f *Func, start, end int, maxInstrs int64) error {
 			return err
 		}
 		delta := sub.cycles - start0
+		deltas[pid] = delta
 		if delta > maxDelta {
 			maxDelta = delta
 		}
@@ -789,6 +895,9 @@ func (c *cpu) parallelRegion(f *Func, start, end int, maxInstrs int64) error {
 			finalState = &s
 		}
 	}
+	for pid := 0; pid < c.m.Processors; pid++ {
+		c.m.recordProcStat(pid, deltas[pid], 0, maxDelta-deltas[pid])
+	}
 	// Adopt processor 0's register state (scalar results inside parallel
 	// regions are chunk-local by construction), with pooled costs.
 	*c = *finalState
@@ -796,6 +905,101 @@ func (c *cpu) parallelRegion(f *Func, start, end int, maxInstrs int64) error {
 	c.flops = base.flops + flops
 	c.icount = base.icount + icount
 	c.cycles = base.cycles + maxDelta + forkOverhead*int64(c.m.Processors-1)
+	c.clock = c.cycles
+	c.intUnit, c.fltUnit, c.memUnit = c.cycles, c.cycles, c.cycles
+	return nil
+}
+
+// waitBlocked is the sentinel exec returns when a wait's threshold has
+// not been posted yet: the region scheduler parks the processor at pc
+// and retries after others have run. Nothing was charged or retired.
+type waitBlocked struct{ pc int }
+
+func (w *waitBlocked) Error() string { return "titan: wait blocked" }
+
+// parallelRegionSync is the reference execution of a region containing
+// post/wait: a deterministic round-robin over the processors, each run
+// until it finishes the region or blocks on an unsatisfied wait. A full
+// round with no processor retiring anything means no post can ever
+// arrive — deadlock. The join math matches parallelRegion exactly;
+// per-processor output is buffered and concatenated in pid order, which
+// is what the serialized pid-by-pid execution produced naturally.
+func (c *cpu) parallelRegionSync(f *Func, start, end int, maxInstrs int64) error {
+	procs := c.m.Processors
+	base := *c
+	ss := newSyncState(procs)
+	subs := make([]*cpu, procs)
+	outs := make([]strings.Builder, procs)
+	pcs := make([]int, procs)
+	running := make([]bool, procs)
+	for pid := 0; pid < procs; pid++ {
+		sub := base
+		sub.pid = int64(pid)
+		sub.sync = ss
+		sub.inRegionFrame = true
+		sub.out = &outs[pid]
+		sub.args = append([]argval(nil), base.args...)
+		s := sub
+		subs[pid] = &s
+		pcs[pid] = start
+		running[pid] = true
+	}
+	live := procs
+	for live > 0 {
+		progress := false
+		for pid := 0; pid < procs; pid++ {
+			if !running[pid] {
+				continue
+			}
+			sub := subs[pid]
+			ic0 := sub.icount
+			err := sub.exec(f, pcs[pid], end, maxInstrs)
+			if wb, ok := err.(*waitBlocked); ok {
+				pcs[pid] = wb.pc
+				if sub.icount > ic0 {
+					progress = true
+				}
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			running[pid] = false
+			live--
+			progress = true
+		}
+		if live > 0 && !progress {
+			return fmt.Errorf("titan: sync deadlock in parallel region in %s", f.Name)
+		}
+	}
+	var maxDelta, flops, icount, stalls int64
+	var deltas, stallDeltas [MaxProcessors]int64
+	for pid := 0; pid < procs; pid++ {
+		sub := subs[pid]
+		deltas[pid] = sub.cycles - base.cycles
+		stallDeltas[pid] = sub.syncStall - base.syncStall
+		if deltas[pid] > maxDelta {
+			maxDelta = deltas[pid]
+		}
+		flops += sub.flops - base.flops
+		icount += sub.icount - base.icount
+		stalls += stallDeltas[pid]
+	}
+	for pid := 0; pid < procs; pid++ {
+		c.m.recordProcStat(pid, deltas[pid]-stallDeltas[pid], stallDeltas[pid], maxDelta-deltas[pid])
+	}
+	for pid := 0; pid < procs; pid++ {
+		base.out.WriteString(outs[pid].String())
+	}
+	*c = *subs[0]
+	c.pid = 0
+	c.sync = base.sync
+	c.inRegionFrame = base.inRegionFrame
+	c.out = base.out
+	c.args = base.args
+	c.flops = base.flops + flops
+	c.icount = base.icount + icount
+	c.cycles = base.cycles + maxDelta + forkOverhead*int64(procs-1)
 	c.clock = c.cycles
 	c.intUnit, c.fltUnit, c.memUnit = c.cycles, c.cycles, c.cycles
 	return nil

@@ -295,6 +295,22 @@ func candidates(p *il.Proc, loop *il.DoLoop, dopts depend.Options, cfg Config) [
 			}
 		}
 	}
+	// Dependent loops may still pipeline DOACROSS; when a sync plan
+	// exists, search the post-coalescing stride (Check prunes strides the
+	// dependence distance cannot cover at the scheduled width).
+	if !independent {
+		for _, ss := range []int{1, 2, 4, 8} {
+			if ss > schedule.MaxSyncStride {
+				continue
+			}
+			try(schedule.Schedule{VL: schedule.DefaultVL, Unroll: 1, SyncStride: ss})
+			if cfg.processors() > 1 {
+				for w := 2; w <= cfg.processors() && w <= titan.MaxProcessors; w *= 2 {
+					try(schedule.Schedule{VL: schedule.DefaultVL, Unroll: 1, ParallelWidth: w, SyncStride: ss})
+				}
+			}
+		}
+	}
 	for _, k := range []int{2, 4, 8} {
 		if k <= schedule.MaxUnroll {
 			try(schedule.Schedule{VL: schedule.DefaultVL, Unroll: k})
