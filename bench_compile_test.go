@@ -74,6 +74,14 @@ func TestMain(m *testing.M) {
 			_ = os.WriteFile("BENCH_doacross.json", append(blob, '\n'), 0o644)
 		}
 	}
+	maskedBench.mu.Lock()
+	maskedRows := maskedBench.rows
+	maskedBench.mu.Unlock()
+	if len(maskedRows) > 0 {
+		if blob, err := json.MarshalIndent(maskedRows, "", "  "); err == nil {
+			_ = os.WriteFile("BENCH_masked.json", append(blob, '\n'), 0o644)
+		}
+	}
 	simBench.mu.Lock()
 	simRows := simBench.rows
 	simBench.mu.Unlock()

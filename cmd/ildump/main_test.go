@@ -44,10 +44,11 @@ func TestPhaseOrder(t *testing.T) {
 		"==== phase 1: after inline ====",
 		"==== phase 2: after scalarize ====",
 		"==== phase 3: after nest-parallelize ====",
-		"==== phase 4: after vectorize ====",
-		"==== phase 5: after parallelize ====",
-		"==== phase 6: after strength ====",
-		"==== phase 7: after cleanup ====",
+		"==== phase 4: after ifconvert ====",
+		"==== phase 5: after vectorize ====",
+		"==== phase 6: after parallelize ====",
+		"==== phase 7: after strength ====",
+		"==== phase 8: after cleanup ====",
 	}
 	if len(headers) != len(want) {
 		t.Fatalf("got %d phases %v, want %d", len(headers), headers, len(want))

@@ -78,7 +78,7 @@ func Run(w Workload, cfg Config) (Measurement, error) {
 		KernelFlops:  full.FlopCount,
 	}
 	if strings.Contains(w.Src, KernelMarker) {
-		baseSrc := stripKernel(w.Src)
+		baseSrc := StripKernel(w.Src)
 		base, err := driver.Run(baseSrc, cfg.Opts, cfg.Processors)
 		if err != nil {
 			return Measurement{}, fmt.Errorf("%s/%s baseline: %w", w.Name, cfg.Name, err)
@@ -92,8 +92,9 @@ func Run(w Workload, cfg Config) (Measurement, error) {
 	return m, nil
 }
 
-// stripKernel removes every line containing the marker.
-func stripKernel(src string) string {
+// StripKernel removes every line containing the marker, producing the
+// baseline variant used for kernel-differential measurement.
+func StripKernel(src string) string {
 	lines := strings.Split(src, "\n")
 	out := make([]string, 0, len(lines))
 	for _, l := range lines {
@@ -402,6 +403,110 @@ int main(void)
 	chk = 0;
 	for (i = 0; i < %d; i++)
 		if (a[i] > b[i])
+			chk = chk + 1;
+	return chk %% 251;
+}
+`, n, n, n, n, n, KernelMarker, n)}
+}
+
+// Clip is the masked-execution benchmark's first kernel: the classic
+// saturation loop. The guarded store is the only statement, so
+// if-conversion turns the whole body into one predicated assignment and
+// the vectorizer emits a single masked strip. With inputs ramping past
+// the limit, roughly half the lanes are active — the mask utilization
+// the stats layer reports should sit near 0.5.
+func Clip(n int) Workload {
+	return Workload{Name: "clip", Src: fmt.Sprintf(`
+float in[%d], out[%d];
+
+void clip(int n, float limit)
+{
+	int i;
+	for (i = 0; i < n; i++)
+		if (in[i] > limit)
+			out[i] = limit;
+}
+
+int main(void)
+{
+	int i, chk;
+	for (i = 0; i < %d; i++) {
+		in[i] = i * 0.25f;
+		out[i] = in[i];
+	}
+	clip(%d, %d.0f); %s
+	chk = 0;
+	for (i = 0; i < %d; i++)
+		if (out[i] < in[i])
+			chk = chk + 1;
+	return chk %% 251;
+}
+`, n, n, n, n, n/8, KernelMarker, n)}
+}
+
+// ThresholdAccum is the masked benchmark's second kernel: a guarded
+// read-modify-write. Both the load and the store on acc[] must be
+// governed by the mask (an inactive lane must neither fault nor write),
+// so it exercises masked loads, masked adds, and the masked store in one
+// statement.
+func ThresholdAccum(n int) Workload {
+	return Workload{Name: "threshacc", Src: fmt.Sprintf(`
+float in[%d], acc[%d];
+
+void thresh(int n, float t)
+{
+	int i;
+	for (i = 0; i < n; i++)
+		if (in[i] > t)
+			acc[i] = acc[i] + in[i];
+}
+
+int main(void)
+{
+	int i, chk;
+	for (i = 0; i < %d; i++) {
+		in[i] = (i %% 7) * 0.5f;
+		acc[i] = 1.0f;
+	}
+	thresh(%d, 1.5f); %s
+	chk = 0;
+	for (i = 0; i < %d; i++)
+		if (acc[i] > 2.0f)
+			chk = chk + 1;
+	return chk %% 251;
+}
+`, n, n, n, n, KernelMarker, n)}
+}
+
+// SparseSaxpy is the masked benchmark's third kernel: axpy guarded by a
+// nonzero test on a separate mask array — the sparse-update pattern
+// masked execution exists for. The guard reads m[], the body reads and
+// writes different arrays, so the mask register carries across three
+// distinct memory streams.
+func SparseSaxpy(n int) Workload {
+	return Workload{Name: "sparsesaxpy", Src: fmt.Sprintf(`
+float x[%d], y[%d], m[%d];
+
+void ssaxpy(int n, float a)
+{
+	int i;
+	for (i = 0; i < n; i++)
+		if (m[i] != 0.0f)
+			y[i] = y[i] + a * x[i];
+}
+
+int main(void)
+{
+	int i, chk;
+	for (i = 0; i < %d; i++) {
+		x[i] = i * 0.125f;
+		y[i] = 1.0f;
+		m[i] = (i %% 3 == 0) ? 1.0f : 0.0f;
+	}
+	ssaxpy(%d, 2.0f); %s
+	chk = 0;
+	for (i = 0; i < %d; i++)
+		if (y[i] > 1.0f)
 			chk = chk + 1;
 	return chk %% 251;
 }

@@ -30,7 +30,7 @@ func TestKernelDifferentialMeasurement(t *testing.T) {
 
 func TestStripKernelRemovesOnlyMarkedLines(t *testing.T) {
 	src := "a\nb " + KernelMarker + "\nc\n"
-	got := stripKernel(src)
+	got := StripKernel(src)
 	if got != "a\nc\n" {
 		t.Errorf("stripKernel: %q", got)
 	}

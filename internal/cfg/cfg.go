@@ -128,7 +128,7 @@ func (b *builder) stmt(s il.Stmt, froms []int) []int {
 		}
 	}
 	switch n := s.(type) {
-	case *il.Assign, *il.Call, *il.VectorAssign, *il.SyncPost, *il.SyncWait:
+	case *il.Assign, *il.PredAssign, *il.Call, *il.VectorAssign, *il.SyncPost, *il.SyncWait:
 		nd := b.newNode(s)
 		connect(nd)
 		return []int{nd.ID}

@@ -142,6 +142,9 @@ type gen struct {
 	labelSeq int
 	// spillBase is the frame area for expression spills.
 	vecSlotNext int
+	// maskNext allocates vector-mask registers within one masked vector
+	// statement (reset per statement; the compare/combine tree is short).
+	maskNext int
 	// sync is the active DOACROSS register context; non-nil only while
 	// lowering the body of a DoParallel with a Sync annotation.
 	sync *syncGen
@@ -331,6 +334,8 @@ func (g *gen) stmt(s il.Stmt) error {
 	switch n := s.(type) {
 	case *il.Assign:
 		return g.assign(n)
+	case *il.PredAssign:
+		return g.predAssign(n)
 	case *il.Call:
 		return g.call(n)
 	case *il.If:
@@ -446,6 +451,25 @@ func (g *gen) assign(n *il.Assign) error {
 		return nil
 	}
 	return errf("bad assignment destination %T", n.Dst)
+}
+
+// predAssign lowers a predicated store in its serial (branchy) form: the
+// guard is evaluated and a branch skips the store on false lanes. Masked
+// vector execution of predicated statements happens in vectorAssign; this
+// path covers serial residue loops and branchy-serial schedules.
+func (g *gen) predAssign(n *il.PredAssign) error {
+	cond, err := g.evalInt(n.Cond)
+	if err != nil {
+		return err
+	}
+	skipL := g.newLabel("pskip")
+	g.emit(titan.Instr{Op: titan.OpBeqz, Rs1: cond, Sym: skipL})
+	g.putInt(cond)
+	if err := g.assign(&il.Assign{Dst: n.Dst, Src: n.Src, Pos: n.Pos}); err != nil {
+		return err
+	}
+	g.label(skipL)
+	return nil
 }
 
 // storeToLoc stores register r (of var type t) to a stack or global
@@ -900,7 +924,11 @@ func (g *gen) syncWait(n *il.SyncWait) error {
 	return nil
 }
 
-// vectorAssign lowers one vector statement.
+// vectorAssign lowers one vector statement. A masked statement computes
+// its guard into a mask register (vcmp/mand/mor/mnot over dense operands —
+// the guard itself executes on every lane, exactly as the source program
+// evaluated the condition every iteration), then rides masked loads, arith
+// and the masked store so inactive lanes have no memory effects.
 func (g *gen) vectorAssign(n *il.VectorAssign) error {
 	lenR, err := g.evalInt(n.Len)
 	if err != nil {
@@ -909,14 +937,22 @@ func (g *gen) vectorAssign(n *il.VectorAssign) error {
 	g.emit(titan.Instr{Op: titan.OpVsetl, Rs1: lenR})
 	g.putInt(lenR)
 	g.vecSlotNext = 0
+	g.maskNext = 0
+	mr := -1
+	if n.Mask != nil {
+		if mr, err = g.genMask(n.Mask); err != nil {
+			return err
+		}
+	}
 	var slot int
 	if containsVec(n.RHS) {
-		slot, err = g.vecExpr(n.RHS)
+		slot, err = g.vecExpr(n.RHS, mr)
 		if err != nil {
 			return err
 		}
 	} else {
-		// Pure scalar right-hand side: broadcast it across the lanes.
+		// Pure scalar right-hand side: broadcast it across the lanes
+		// (register-only, so no lane suppression is needed).
 		sc, err := g.evalFltAny(n.RHS)
 		if err != nil {
 			return err
@@ -933,10 +969,182 @@ func (g *gen) vectorAssign(n *il.VectorAssign) error {
 	if err != nil {
 		return err
 	}
-	g.emit(titan.Instr{Op: titan.OpVst, Rd: slot, Rs1: base, Rs2: stride, Imm: elemKind(n.Elem)})
+	if mr >= 0 {
+		g.emit(titan.Instr{Op: titan.OpVstm, Rd: slot, Rs1: base, Rs2: stride,
+			Imm: elemKind(n.Elem) | int64(mr)<<8})
+	} else {
+		g.emit(titan.Instr{Op: titan.OpVst, Rd: slot, Rs1: base, Rs2: stride, Imm: elemKind(n.Elem)})
+	}
 	g.putInt(base)
 	g.putInt(stride)
 	return nil
+}
+
+// nextMask allocates a mask register within the current vector statement.
+func (g *gen) nextMask() (int, error) {
+	if g.maskNext >= titan.NumMaskRegs {
+		return 0, errf("mask expression too complex (%d mask registers)", titan.NumMaskRegs)
+	}
+	m := g.maskNext
+	g.maskNext++
+	return m, nil
+}
+
+// genMask lowers a guard expression to a mask register: comparisons become
+// vcmp.{lt,le,eq,ne} (vector-vector or vector-scalar), ! becomes mnot, and
+// &/| become mand/mor. Compare operands are evaluated densely — the guard
+// runs on every lane.
+func (g *gen) genMask(e il.Expr) (int, error) {
+	switch n := e.(type) {
+	case *il.Bin:
+		if n.Op.IsComparison() {
+			return g.genCompare(n)
+		}
+		switch n.Op {
+		case il.OpAnd, il.OpOr:
+			lm, err := g.genMask(n.L)
+			if err != nil {
+				return 0, err
+			}
+			rm, err := g.genMask(n.R)
+			if err != nil {
+				return 0, err
+			}
+			op := titan.OpMand
+			if n.Op == il.OpOr {
+				op = titan.OpMor
+			}
+			m, err := g.nextMask()
+			if err != nil {
+				return 0, err
+			}
+			g.emit(titan.Instr{Op: op, Rd: m, Rs1: lm, Rs2: rm})
+			return m, nil
+		}
+	case *il.Un:
+		if n.Op == il.OpNot {
+			xm, err := g.genMask(n.X)
+			if err != nil {
+				return 0, err
+			}
+			m, err := g.nextMask()
+			if err != nil {
+				return 0, err
+			}
+			g.emit(titan.Instr{Op: titan.OpMnot, Rd: m, Rs1: xm})
+			return m, nil
+		}
+	case *il.Cast:
+		return g.genMask(n.X)
+	}
+	return 0, errf("expression %s is not a mask expression", e)
+}
+
+// genCompare lowers one comparison to a vcmp. Gt/Ge normalize to Lt/Le by
+// operand swap; a scalar right operand uses the vector-scalar compare
+// forms, a scalar left operand flips via negation identities
+// (s < v ⇔ !(v ≤ s)); two scalar operands broadcast the left one.
+func (g *gen) genCompare(n *il.Bin) (int, error) {
+	op, l, r := n.Op, n.L, n.R
+	switch op {
+	case il.OpGt:
+		op, l, r = il.OpLt, r, l
+	case il.OpGe:
+		op, l, r = il.OpLe, r, l
+	}
+	lVec, rVec := containsVec(l), containsVec(r)
+	// Symmetric compares canonicalize the vector operand left.
+	if !lVec && rVec && (op == il.OpEq || op == il.OpNe) {
+		l, r = r, l
+		lVec, rVec = rVec, lVec
+	}
+	emitCmp := func(vvOp, vsOp titan.Op, ls int, l2 il.Expr, vec bool) (int, error) {
+		m, err := g.nextMask()
+		if err != nil {
+			return 0, err
+		}
+		if vec {
+			rs, err := g.vecExpr(l2, -1)
+			if err != nil {
+				return 0, err
+			}
+			g.emit(titan.Instr{Op: vvOp, Rd: m, Rs1: ls, Rs2: rs})
+			return m, nil
+		}
+		sc, err := g.evalFltAny(l2)
+		if err != nil {
+			return 0, err
+		}
+		g.emit(titan.Instr{Op: vsOp, Rd: m, Rs1: ls, Rs2: sc})
+		g.putFlt(sc)
+		return m, nil
+	}
+	negate := func(m int, err error) (int, error) {
+		if err != nil {
+			return 0, err
+		}
+		nm, err := g.nextMask()
+		if err != nil {
+			return 0, err
+		}
+		g.emit(titan.Instr{Op: titan.OpMnot, Rd: nm, Rs1: m})
+		return nm, nil
+	}
+
+	if !lVec {
+		if rVec {
+			// Scalar-left ordered compare: s < v ⇔ !(v ≤ s), s ≤ v ⇔ !(v < s).
+			rs, err := g.vecExpr(r, -1)
+			if err != nil {
+				return 0, err
+			}
+			switch op {
+			case il.OpLt:
+				return negate(emitCmp(titan.OpVcmpLe, titan.OpVcmpLes, rs, l, false))
+			case il.OpLe:
+				return negate(emitCmp(titan.OpVcmpLt, titan.OpVcmpLts, rs, l, false))
+			}
+			return 0, errf("comparison operator %v unsupported in mask", op)
+		}
+		// Loop-invariant guard: broadcast the left operand and compare
+		// vector-scalar (the mask is uniform across lanes).
+		sc, err := g.evalFltAny(l)
+		if err != nil {
+			return 0, err
+		}
+		slot := g.nextSlot()
+		g.emit(titan.Instr{Op: titan.OpVbcast, Rd: slot, Rs1: sc})
+		g.putFlt(sc)
+		switch op {
+		case il.OpLt:
+			return emitCmp(titan.OpVcmpLt, titan.OpVcmpLts, slot, r, false)
+		case il.OpLe:
+			return emitCmp(titan.OpVcmpLe, titan.OpVcmpLes, slot, r, false)
+		case il.OpEq:
+			return emitCmp(titan.OpVcmpEq, titan.OpVcmpEqs, slot, r, false)
+		case il.OpNe:
+			return emitCmp(titan.OpVcmpNe, titan.OpVcmpNes, slot, r, false)
+		}
+		return 0, errf("comparison operator %v unsupported in mask", op)
+	}
+	ls, err := g.vecExpr(l, -1)
+	if err != nil {
+		return 0, err
+	}
+	var vvOp, vsOp titan.Op
+	switch op {
+	case il.OpLt:
+		vvOp, vsOp = titan.OpVcmpLt, titan.OpVcmpLts
+	case il.OpLe:
+		vvOp, vsOp = titan.OpVcmpLe, titan.OpVcmpLes
+	case il.OpEq:
+		vvOp, vsOp = titan.OpVcmpEq, titan.OpVcmpEqs
+	case il.OpNe:
+		vvOp, vsOp = titan.OpVcmpNe, titan.OpVcmpNes
+	default:
+		return 0, errf("comparison operator %v unsupported in mask", op)
+	}
+	return emitCmp(vvOp, vsOp, ls, r, rVec)
 }
 
 func elemKind(t *ctype.Type) int64 {
@@ -953,8 +1161,12 @@ func elemKind(t *ctype.Type) int64 {
 }
 
 // vecExpr generates a vector expression into a VRF slot. Scalar operands
-// broadcast through vector-scalar instructions.
-func (g *gen) vecExpr(e il.Expr) (int, error) {
+// broadcast through vector-scalar instructions. A governing mask register
+// mr ≥ 0 makes memory-touching ops masked (loads suppress inactive lanes)
+// and vector-vector arithmetic ride the masked forms; register-only ops
+// (broadcasts, vector-scalar arith) stay dense — inactive lanes may
+// compute garbage, which the masked store then never writes back.
+func (g *gen) vecExpr(e il.Expr, mr int) (int, error) {
 	switch n := e.(type) {
 	case *il.VecRef:
 		base, err := g.evalInt(n.Base)
@@ -966,27 +1178,33 @@ func (g *gen) vecExpr(e il.Expr) (int, error) {
 			return 0, err
 		}
 		slot := g.nextSlot()
-		g.emit(titan.Instr{Op: titan.OpVld, Rd: slot, Rs1: base, Rs2: stride, Imm: elemKind(n.T)})
+		if mr >= 0 {
+			g.emit(titan.Instr{Op: titan.OpVldm, Rd: slot, Rs1: base, Rs2: stride,
+				Imm: elemKind(n.T) | int64(mr)<<8})
+		} else {
+			g.emit(titan.Instr{Op: titan.OpVld, Rd: slot, Rs1: base, Rs2: stride, Imm: elemKind(n.T)})
+		}
 		g.putInt(base)
 		g.putInt(stride)
 		return slot, nil
 	case *il.Cast:
 		// The VRF holds float64 internally; conversions are free.
-		return g.vecExpr(n.X)
+		return g.vecExpr(n.X, mr)
 	case *il.Bin:
 		lVec := containsVec(n.L)
 		rVec := containsVec(n.R)
 		switch {
 		case lVec && rVec:
-			ls, err := g.vecExpr(n.L)
+			ls, err := g.vecExpr(n.L, mr)
 			if err != nil {
 				return 0, err
 			}
-			rs, err := g.vecExpr(n.R)
+			rs, err := g.vecExpr(n.R, mr)
 			if err != nil {
 				return 0, err
 			}
 			var op titan.Op
+			var imm int64
 			switch n.Op {
 			case il.OpAdd:
 				op = titan.OpVadd
@@ -999,11 +1217,24 @@ func (g *gen) vecExpr(e il.Expr) (int, error) {
 			default:
 				return 0, errf("vector operator %v unsupported", n.Op)
 			}
+			if mr >= 0 {
+				switch n.Op {
+				case il.OpAdd:
+					op = titan.OpVaddm
+				case il.OpSub:
+					op = titan.OpVsubm
+				case il.OpMul:
+					op = titan.OpVmulm
+				case il.OpDiv:
+					op = titan.OpVdivm
+				}
+				imm = int64(mr) << 8
+			}
 			slot := g.nextSlot()
-			g.emit(titan.Instr{Op: op, Rd: slot, Rs1: ls, Rs2: rs})
+			g.emit(titan.Instr{Op: op, Rd: slot, Rs1: ls, Rs2: rs, Imm: imm})
 			return slot, nil
 		case lVec:
-			ls, err := g.vecExpr(n.L)
+			ls, err := g.vecExpr(n.L, mr)
 			if err != nil {
 				return 0, err
 			}
@@ -1029,7 +1260,7 @@ func (g *gen) vecExpr(e il.Expr) (int, error) {
 			g.putFlt(sc)
 			return slot, nil
 		case rVec:
-			rs, err := g.vecExpr(n.R)
+			rs, err := g.vecExpr(n.R, mr)
 			if err != nil {
 				return 0, err
 			}
@@ -1057,7 +1288,7 @@ func (g *gen) vecExpr(e il.Expr) (int, error) {
 		}
 	case *il.Un:
 		if n.Op == il.OpNeg && containsVec(n.X) {
-			xs, err := g.vecExpr(n.X)
+			xs, err := g.vecExpr(n.X, mr)
 			if err != nil {
 				return 0, err
 			}

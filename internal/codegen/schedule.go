@@ -112,7 +112,8 @@ const (
 	rcInt regClass = iota
 	rcFlt
 	rcVec
-	rcVL // the vector length register
+	rcMask // vector-mask registers
+	rcVL   // the vector length register
 )
 
 type regRef struct {
@@ -121,12 +122,13 @@ type regRef struct {
 }
 
 // regRefs holds an instruction's register operands in fixed-size storage
-// (no instruction writes more than one register or reads more than four),
-// so dependence construction never allocates per instruction.
+// (no instruction writes more than one register or reads more than five —
+// vst.m reads a vector, base, stride, mask, and VL), so dependence
+// construction never allocates per instruction.
 type regRefs struct {
 	defs [1]regRef
 	nDef int
-	uses [4]regRef
+	uses [5]regRef
 	nUse int
 }
 
@@ -144,6 +146,7 @@ func instrRefs(in titan.Instr) (r regRefs) {
 	ir := func(n int) regRef { return regRef{rcInt, n} }
 	fr := func(n int) regRef { return regRef{rcFlt, n} }
 	vr := func(n int) regRef { return regRef{rcVec, n} }
+	mk := func(n int) regRef { return regRef{rcMask, n} }
 	switch in.Op {
 	case titan.OpLdi:
 		r.def(ir(in.Rd))
@@ -207,6 +210,26 @@ func instrRefs(in titan.Instr) (r regRefs) {
 	case titan.OpVbcast:
 		r.def(vr(in.Rd))
 		r.use(fr(in.Rs1), regRef{rcVL, 0})
+	case titan.OpVcmpLt, titan.OpVcmpLe, titan.OpVcmpEq, titan.OpVcmpNe:
+		r.def(mk(in.Rd))
+		r.use(vr(in.Rs1), vr(in.Rs2), regRef{rcVL, 0})
+	case titan.OpVcmpLts, titan.OpVcmpLes, titan.OpVcmpEqs, titan.OpVcmpNes:
+		r.def(mk(in.Rd))
+		r.use(vr(in.Rs1), fr(in.Rs2), regRef{rcVL, 0})
+	case titan.OpMand, titan.OpMor:
+		r.def(mk(in.Rd))
+		r.use(mk(in.Rs1), mk(in.Rs2), regRef{rcVL, 0})
+	case titan.OpMnot:
+		r.def(mk(in.Rd))
+		r.use(mk(in.Rs1), regRef{rcVL, 0})
+	case titan.OpVldm:
+		r.def(vr(in.Rd))
+		r.use(ir(in.Rs1), ir(in.Rs2), mk(int(in.Imm>>8)), regRef{rcVL, 0})
+	case titan.OpVstm:
+		r.use(vr(in.Rd), ir(in.Rs1), ir(in.Rs2), mk(int(in.Imm>>8)), regRef{rcVL, 0})
+	case titan.OpVaddm, titan.OpVsubm, titan.OpVmulm, titan.OpVdivm:
+		r.def(vr(in.Rd))
+		r.use(vr(in.Rs1), vr(in.Rs2), mk(int(in.Imm>>8)), regRef{rcVL, 0})
 	case titan.OpArg, titan.OpBeqz, titan.OpBnez:
 		r.use(ir(in.Rs1))
 	case titan.OpFarg:
@@ -224,7 +247,8 @@ func defsUses(in titan.Instr) (defs, uses []regRef) {
 
 func isLoad(op titan.Op) bool {
 	switch op {
-	case titan.OpLd1, titan.OpLd2, titan.OpLd4, titan.OpFld4, titan.OpFld8, titan.OpVld:
+	case titan.OpLd1, titan.OpLd2, titan.OpLd4, titan.OpFld4, titan.OpFld8,
+		titan.OpVld, titan.OpVldm:
 		return true
 	}
 	return false
@@ -232,7 +256,8 @@ func isLoad(op titan.Op) bool {
 
 func isStore(op titan.Op) bool {
 	switch op {
-	case titan.OpSt1, titan.OpSt2, titan.OpSt4, titan.OpFst4, titan.OpFst8, titan.OpVst:
+	case titan.OpSt1, titan.OpSt2, titan.OpSt4, titan.OpFst4, titan.OpFst8,
+		titan.OpVst, titan.OpVstm:
 		return true
 	}
 	return false
@@ -253,9 +278,12 @@ func latencyOf(op titan.Op) int {
 	case titan.OpFdiv:
 		return 18
 	case titan.OpVld, titan.OpVst, titan.OpVadd, titan.OpVsub, titan.OpVmul,
-		titan.OpVadds, titan.OpVsubs, titan.OpVsubsr, titan.OpVmuls, titan.OpVbcast:
+		titan.OpVadds, titan.OpVsubs, titan.OpVsubsr, titan.OpVmuls, titan.OpVbcast,
+		titan.OpVldm, titan.OpVstm, titan.OpVaddm, titan.OpVsubm, titan.OpVmulm,
+		titan.OpVcmpLt, titan.OpVcmpLe, titan.OpVcmpEq, titan.OpVcmpNe,
+		titan.OpVcmpLts, titan.OpVcmpLes, titan.OpVcmpEqs, titan.OpVcmpNes:
 		return 16
-	case titan.OpVdiv, titan.OpVdivs, titan.OpVdivsr:
+	case titan.OpVdiv, titan.OpVdivs, titan.OpVdivsr, titan.OpVdivm:
 		return 32
 	default:
 		return 1

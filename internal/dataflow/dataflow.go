@@ -162,6 +162,12 @@ func (a *Analysis) collectDefs() {
 						a.addDef(n, v, true, false)
 					}
 				}
+			case *il.PredAssign:
+				// A predicated store may or may not write memory; either way
+				// it only ever clobbers, never defines, a scalar.
+				for _, v := range a.clobberSet(false) {
+					a.addDef(n, v, true, false)
+				}
 			case *il.VectorAssign:
 				for _, v := range a.clobberSet(false) {
 					a.addDef(n, v, true, false)

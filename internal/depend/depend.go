@@ -149,6 +149,15 @@ func AnalyzeLoop(p *il.Proc, loop *il.DoLoop, opts Options) *LoopDeps {
 			if ld.collectStmtRefs(p, loop, i, n) {
 				ld.Barrier[i] = true
 			}
+		case *il.PredAssign:
+			// Predicated stores are ordinary graph nodes, not barriers:
+			// the guard's loads, the store, and the source loads all
+			// participate, and the SCC machinery decides whether a carried
+			// dependence crosses the guard (if it does, the vectorizer
+			// rejects the statement's component like any other cycle).
+			if ld.collectPredRefs(p, loop, i, n) {
+				ld.Barrier[i] = true
+			}
 		case *il.Call:
 			ld.Barrier[i] = true
 		case *il.If, *il.While, *il.DoLoop, *il.DoParallel, *il.Goto, *il.Label, *il.Return:
@@ -223,6 +232,33 @@ func (ld *LoopDeps) collectStmtRefs(p *il.Proc, loop *il.DoLoop, idx int, as *il
 		barrier = true
 	}
 	if v, ok := as.Dst.(*il.VarRef); ok && p.Vars[v.ID].IsVolatile() {
+		barrier = true
+	}
+	return barrier
+}
+
+// collectPredRefs extracts the refs of one predicated store: the guarded
+// destination and source via the assignment collector, plus the guard's
+// own loads — if-conversion evaluates the predicate every iteration, so
+// its reads participate in the dependence graph like any other use.
+func (ld *LoopDeps) collectPredRefs(p *il.Proc, loop *il.DoLoop, idx int, ps *il.PredAssign) bool {
+	barrier := ld.collectStmtRefs(p, loop, idx, &il.Assign{Dst: ps.Dst, Src: ps.Src, Pos: ps.Pos})
+	il.WalkExpr(ps.Cond, func(x il.Expr) bool {
+		if l, ok := x.(*il.Load); ok {
+			r := normalizeRef(p, loop, l.Addr)
+			r.StmtIdx = idx
+			r.IsWrite = false
+			r.Size = l.T.Size()
+			r.Volatile = l.Volatile
+			r.Expr = l.Addr
+			if l.Volatile {
+				barrier = true
+			}
+			ld.Refs = append(ld.Refs, r)
+		}
+		return true
+	})
+	if p.HasVolatile(ps.Cond) {
 		barrier = true
 	}
 	return barrier

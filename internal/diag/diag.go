@@ -117,6 +117,22 @@ const (
 	// VectNotAffine: no statement is a store with addresses affine in the
 	// loop IV.
 	VectNotAffine Code = "vect-not-affine"
+	// VectMasked: the loop vectorized and at least one strip executes under
+	// a mask (if-converted guarded stores). This replaces vect-vectorized
+	// as the loop's one verdict.
+	VectMasked Code = "vect-masked"
+	// VectIfRejected: the loop contained if-converted statements but a
+	// dependence crossing the guard kept it serial; args name the blocking
+	// dependence ("dep"). This is the loop's one verdict.
+	VectIfRejected Code = "vect-if-rejected"
+)
+
+// If-conversion remarks (emitted by the ifconvert pass, not vectorizer
+// verdicts — the examined loop still gets exactly one verdict later).
+const (
+	// VectIfConverted: a single-level conditional in a countable DO body
+	// was flattened to predicated stores ahead of vectorization.
+	VectIfConverted Code = "vect-if-converted"
 )
 
 // Parallelizer verdicts (§2, §5.1): exactly one per examined DO loop.

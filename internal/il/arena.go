@@ -91,16 +91,17 @@ type Arena struct {
 	casts       slab[Cast]
 	vecRefs     slab[VecRef]
 
-	assigns    slab[Assign]
-	calls      slab[Call]
-	ifs        slab[If]
-	whiles     slab[While]
-	doLoops    slab[DoLoop]
-	doPars     slab[DoParallel]
-	vecAssigns slab[VectorAssign]
-	gotos      slab[Goto]
-	labels     slab[Label]
-	returns    slab[Return]
+	assigns     slab[Assign]
+	predAssigns slab[PredAssign]
+	calls       slab[Call]
+	ifs         slab[If]
+	whiles      slab[While]
+	doLoops     slab[DoLoop]
+	doPars      slab[DoParallel]
+	vecAssigns  slab[VectorAssign]
+	gotos       slab[Goto]
+	labels      slab[Label]
+	returns     slab[Return]
 }
 
 // NewArena returns an empty arena.
@@ -140,6 +141,7 @@ func (a *Arena) Release() {
 	a.casts.drop()
 	a.vecRefs.drop()
 	a.assigns.drop()
+	a.predAssigns.drop()
 	a.calls.drop()
 	a.ifs.drop()
 	a.whiles.drop()
@@ -252,6 +254,17 @@ func (a *Arena) Assign(s Assign) *Assign {
 		return &n
 	}
 	n := a.assigns.alloc(a)
+	*n = s
+	return n
+}
+
+// PredAssign allocates a predicated-store statement.
+func (a *Arena) PredAssign(s PredAssign) *PredAssign {
+	if a == nil {
+		n := s
+		return &n
+	}
+	n := a.predAssigns.alloc(a)
 	*n = s
 	return n
 }

@@ -270,6 +270,27 @@ type Assign struct {
 func (s *Assign) String() string { return fmt.Sprintf("%s = %s", s.Dst, s.Src) }
 func (s *Assign) stmtNode()      {}
 
+// PredAssign is a predicated store, the scalar form if-conversion
+// rewrites a guarded assignment into:  if (Cond) Dst = Src  with no
+// branch. Dst must be a *Load (a store through an address): guarded
+// scalar-variable assignments stay as If so scalar dataflow is
+// unchanged. When Cond is false the statement has no effect — no store,
+// no fault from the destination address. The vectorizer turns these
+// into masked VectorAssign strips; codegen lowers a scalar residue
+// PredAssign to a conditional skip around the store.
+type PredAssign struct {
+	Cond Expr
+	Dst  Expr // must be *Load
+	Src  Expr
+	Pos  token.Pos
+}
+
+// String renders the predicated store.
+func (s *PredAssign) String() string {
+	return fmt.Sprintf("(%s)? %s = %s", s.Cond, s.Dst, s.Src)
+}
+func (s *PredAssign) stmtNode() {}
+
 // Call invokes Callee. Dst receives the result (NoVar to discard). An
 // indirect call through a function pointer sets FunPtr instead of Callee.
 type Call struct {
@@ -429,11 +450,20 @@ type VectorAssign struct {
 	Len       Expr
 	Elem      *ctype.Type
 	RHS       Expr
-	Pos       token.Pos
+	// Mask, when non-nil, predicates the statement per lane: only lanes
+	// where Mask evaluates non-zero load operands, compute, and store
+	// (if-conversion / masked vector execution). A nil Mask is the dense
+	// form. Mask is an expression over VecRef sections and scalar
+	// operands, like RHS, compared non-zero lane-wise.
+	Mask Expr
+	Pos  token.Pos
 }
 
 // String renders the vector statement.
 func (s *VectorAssign) String() string {
+	if s.Mask != nil {
+		return fmt.Sprintf("[%s :%s](0:%s) =?(%s) %s", s.DstBase, s.DstStride, s.Len, s.Mask, s.RHS)
+	}
 	return fmt.Sprintf("[%s :%s](0:%s) = %s", s.DstBase, s.DstStride, s.Len, s.RHS)
 }
 func (s *VectorAssign) stmtNode() {}

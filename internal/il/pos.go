@@ -8,6 +8,8 @@ func StmtPos(s Stmt) token.Pos {
 	switch n := s.(type) {
 	case *Assign:
 		return n.Pos
+	case *PredAssign:
+		return n.Pos
 	case *Call:
 		return n.Pos
 	case *If:
@@ -35,6 +37,8 @@ func StmtPos(s Stmt) token.Pos {
 func SetStmtPos(s Stmt, p token.Pos) {
 	switch n := s.(type) {
 	case *Assign:
+		n.Pos = p
+	case *PredAssign:
 		n.Pos = p
 	case *Call:
 		n.Pos = p

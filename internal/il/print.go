@@ -53,6 +53,9 @@ func (p *Proc) StmtString(s Stmt, indent int) string {
 	switch n := s.(type) {
 	case *Assign:
 		return fmt.Sprintf("%s%s = %s", pad, p.ExprString(n.Dst), p.ExprString(n.Src))
+	case *PredAssign:
+		return fmt.Sprintf("%s(%s)? %s = %s", pad, p.ExprString(n.Cond),
+			p.ExprString(n.Dst), p.ExprString(n.Src))
 	case *Call:
 		args := make([]string, len(n.Args))
 		for i, a := range n.Args {
@@ -98,6 +101,10 @@ func (p *Proc) StmtString(s Stmt, indent int) string {
 			p.ExprString(n.Init), p.ExprString(n.Limit), p.ExprString(n.Step),
 			p.stmtsString(n.Body, indent+1), pad)
 	case *VectorAssign:
+		if n.Mask != nil {
+			return fmt.Sprintf("%s[%s :%s](0:%s) =?(%s) %s", pad, p.ExprString(n.DstBase),
+				p.ExprString(n.DstStride), p.ExprString(n.Len), p.ExprString(n.Mask), p.ExprString(n.RHS))
+		}
 		return fmt.Sprintf("%s[%s :%s](0:%s) = %s", pad, p.ExprString(n.DstBase),
 			p.ExprString(n.DstStride), p.ExprString(n.Len), p.ExprString(n.RHS))
 	case *Goto:

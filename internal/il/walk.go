@@ -54,6 +54,10 @@ func StmtExprs(s Stmt, f func(Expr)) {
 	case *Assign:
 		f(n.Dst)
 		f(n.Src)
+	case *PredAssign:
+		f(n.Cond)
+		f(n.Dst)
+		f(n.Src)
 	case *Call:
 		if n.FunPtr != nil {
 			f(n.FunPtr)
@@ -78,6 +82,9 @@ func StmtExprs(s Stmt, f func(Expr)) {
 		f(n.DstStride)
 		f(n.Len)
 		f(n.RHS)
+		if n.Mask != nil {
+			f(n.Mask)
+		}
 	case *Return:
 		if n.Val != nil {
 			f(n.Val)
@@ -156,6 +163,10 @@ func RewriteStmtExprsIn(a *Arena, s Stmt, f func(Expr) Expr) {
 		// distinguish handle Assign themselves before calling this.
 		n.Dst = RewriteExprIn(a, n.Dst, f)
 		n.Src = RewriteExprIn(a, n.Src, f)
+	case *PredAssign:
+		n.Cond = RewriteExprIn(a, n.Cond, f)
+		n.Dst = RewriteExprIn(a, n.Dst, f)
+		n.Src = RewriteExprIn(a, n.Src, f)
 	case *Call:
 		if n.FunPtr != nil {
 			n.FunPtr = RewriteExprIn(a, n.FunPtr, f)
@@ -180,6 +191,9 @@ func RewriteStmtExprsIn(a *Arena, s Stmt, f func(Expr) Expr) {
 		n.DstStride = RewriteExprIn(a, n.DstStride, f)
 		n.Len = RewriteExprIn(a, n.Len, f)
 		n.RHS = RewriteExprIn(a, n.RHS, f)
+		if n.Mask != nil {
+			n.Mask = RewriteExprIn(a, n.Mask, f)
+		}
 	case *Return:
 		if n.Val != nil {
 			n.Val = RewriteExprIn(a, n.Val, f)
@@ -252,6 +266,9 @@ func CloneStmtIn(a *Arena, s Stmt) Stmt {
 	switch n := s.(type) {
 	case *Assign:
 		return a.Assign(Assign{Dst: CloneExprIn(a, n.Dst), Src: CloneExprIn(a, n.Src), Pos: n.Pos})
+	case *PredAssign:
+		return a.PredAssign(PredAssign{Cond: CloneExprIn(a, n.Cond), Dst: CloneExprIn(a, n.Dst),
+			Src: CloneExprIn(a, n.Src), Pos: n.Pos})
 	case *Call:
 		m := a.Call(Call{Dst: n.Dst, Callee: n.Callee, T: n.T, FunPtr: CloneExprIn(a, n.FunPtr), Pos: n.Pos})
 		for _, arg := range n.Args {
@@ -279,7 +296,8 @@ func CloneStmtIn(a *Arena, s Stmt) Stmt {
 		return &SyncWait{Distance: n.Distance, Pos: n.Pos}
 	case *VectorAssign:
 		return a.VectorAssign(VectorAssign{DstBase: CloneExprIn(a, n.DstBase), DstStride: CloneExprIn(a, n.DstStride),
-			Len: CloneExprIn(a, n.Len), Elem: n.Elem, RHS: CloneExprIn(a, n.RHS), Pos: n.Pos})
+			Len: CloneExprIn(a, n.Len), Elem: n.Elem, RHS: CloneExprIn(a, n.RHS),
+			Mask: CloneExprIn(a, n.Mask), Pos: n.Pos})
 	case *Goto:
 		return a.Goto(*n)
 	case *Label:
@@ -414,6 +432,8 @@ func IsStore(s Stmt) bool {
 	case *Assign:
 		_, isLoad := n.Dst.(*Load)
 		return isLoad
+	case *PredAssign:
+		return true
 	case *VectorAssign:
 		return true
 	}

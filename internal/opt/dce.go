@@ -85,7 +85,7 @@ func dceOnce(p *il.Proc, ac *analysis.Cache) int {
 func markNeededDefs(p *il.Proc, a *dataflow.Analysis) map[il.Stmt]bool {
 	essential := func(s il.Stmt) bool {
 		switch n := s.(type) {
-		case *il.Call, *il.Return, *il.VectorAssign, *il.If, *il.While,
+		case *il.Call, *il.Return, *il.PredAssign, *il.VectorAssign, *il.If, *il.While,
 			*il.DoLoop, *il.DoParallel, *il.Goto, *il.Label:
 			return true
 		case *il.Assign:

@@ -30,6 +30,7 @@ const (
 	PassInline       = "inline"
 	PassScalar       = "scalarize"
 	PassNest         = "nest-parallelize"
+	PassIfConvert    = "ifconvert"
 	PassVectorize    = "vectorize"
 	PassParallelize  = "parallelize"
 	PassListParallel = "list-parallelize"

@@ -18,8 +18,8 @@ func TestPipelineOrderFull(t *testing.T) {
 		ListParallel: true, StrengthReduce: true,
 	})
 	want := []string{
-		PassInline, PassScalar, PassNest, PassVectorize, PassParallelize,
-		PassListParallel, PassStrength, PassCleanup,
+		PassInline, PassScalar, PassNest, PassIfConvert, PassVectorize,
+		PassParallelize, PassListParallel, PassStrength, PassCleanup,
 	}
 	if got := m.Passes(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("pipeline order:\n got %v\nwant %v", got, want)

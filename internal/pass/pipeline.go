@@ -41,6 +41,10 @@ func BuildPipeline(opts Options) []Pass {
 		ps = append(ps, &nestPass{})
 	}
 	if opts.Vectorize {
+		// If-conversion flattens guarded stores to predicated statements so
+		// the vectorizer can judge them off the dependence graph and emit
+		// masked strips when legal.
+		ps = append(ps, &ifconvertPass{})
 		ps = append(ps, &vectorPass{cfg: vector.Config{
 			VL:       opts.VL,
 			Parallel: opts.Parallelize,
@@ -134,6 +138,21 @@ func (*nestPass) Run(prog *il.Program, ctx *Context) error {
 		return parallel.ParallelizeNestsDiag(p, ctx.Diags)
 	}) {
 		ctx.Report.Nest.Add(st)
+	}
+	return nil
+}
+
+// ifconvertPass flattens single-level conditionals in countable DO bodies
+// into predicated stores, ahead of the vectorizer.
+type ifconvertPass struct{}
+
+func (*ifconvertPass) Name() string { return PassIfConvert }
+
+func (*ifconvertPass) Run(prog *il.Program, ctx *Context) error {
+	for _, st := range forEachProc(prog, ctx.workers(), func(p *il.Proc) vector.IfConvStats {
+		return vector.IfConvertProc(p, ctx.Schedules, ctx.Diags)
+	}) {
+		ctx.Report.IfConv.Add(st)
 	}
 	return nil
 }

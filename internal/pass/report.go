@@ -40,6 +40,7 @@ type Report struct {
 	Inline   inline.Stats       `json:"inline"`
 	Scalar   opt.Counts         `json:"scalar,omitempty"` // per scalar sub-pass change counts (scalarize + cleanup)
 	Nest     parallel.NestStats `json:"nest"`
+	IfConv   vector.IfConvStats `json:"ifconvert"`
 	Vector   vector.Stats       `json:"vector"`
 	Parallel parallel.Stats     `json:"parallel"`
 	List     parallel.ListStats `json:"list"`
@@ -99,10 +100,14 @@ func (r *Report) String() string {
 	if r.Nest != (parallel.NestStats{}) {
 		fmt.Fprintf(&sb, "nest-parallelize: %d nests\n", r.Nest.NestsParallelized)
 	}
+	if r.IfConv != (vector.IfConvStats{}) {
+		fmt.Fprintf(&sb, "ifconvert: %d conditionals flattened to %d predicated stores in %d loops\n",
+			r.IfConv.IfsConverted, r.IfConv.StmtsPredicated, r.IfConv.LoopsExamined)
+	}
 	if r.Vector != (vector.Stats{}) {
-		fmt.Fprintf(&sb, "vectorize: %d/%d loops, %d vector stmts, %d parallel strips, %d serial residue\n",
+		fmt.Fprintf(&sb, "vectorize: %d/%d loops, %d vector stmts (%d masked), %d parallel strips, %d serial residue\n",
 			r.Vector.LoopsVectorized, r.Vector.LoopsExamined, r.Vector.VectorStmts,
-			r.Vector.ParallelLoops, r.Vector.SerialResidue)
+			r.Vector.MaskedStmts, r.Vector.ParallelLoops, r.Vector.SerialResidue)
 	}
 	if r.Parallel != (parallel.Stats{}) {
 		fmt.Fprintf(&sb, "parallelize: %d/%d loops\n",

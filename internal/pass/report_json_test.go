@@ -61,7 +61,8 @@ func TestReportJSONStable(t *testing.T) {
 		`"inline":{"calls_expanded":3},` +
 		`"scalar":{"constprop":4,"dce":2},` +
 		`"nest":{"nests_parallelized":1},` +
-		`"vector":{"loops_examined":5,"loops_vectorized":2,"vector_stmts":7,"parallel_loops":1,"serial_residue":3},` +
+		`"ifconvert":{"loops_examined":0,"ifs_converted":0,"stmts_predicated":0},` +
+		`"vector":{"loops_examined":5,"loops_vectorized":2,"vector_stmts":7,"masked_stmts":0,"parallel_loops":1,"serial_residue":3},` +
 		`"parallel":{"loops_examined":4,"loops_parallelized":2},` +
 		`"list":{"loops_converted":1},` +
 		`"strength":{"promoted_loads":2,"reduced_refs":3,"pointers":1,"hoisted_exprs":4,"loops_transformed":2,"unrolled_loops":0},` +

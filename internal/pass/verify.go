@@ -87,6 +87,13 @@ func verifyProc(p *il.Proc, allowVector bool) error {
 				err = fmt.Errorf("assignment destination %s is neither variable nor store", n.Dst)
 				return false
 			}
+		case *il.PredAssign:
+			// Predicated stores are restricted to memory destinations so
+			// scalar dataflow never depends on a predicate.
+			if _, ok := n.Dst.(*il.Load); !ok {
+				err = fmt.Errorf("predicated assignment destination %s is not a store", n.Dst)
+				return false
+			}
 		case *il.Call:
 			if n.Dst != il.NoVar && (int(n.Dst) < 0 || int(n.Dst) >= len(p.Vars)) {
 				err = fmt.Errorf("call result id v%d out of range in %q", n.Dst, s)

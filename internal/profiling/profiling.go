@@ -65,6 +65,13 @@ func FormatStats(r titan.Result, wall time.Duration) string {
 	if r.SyncStalls > 0 {
 		line += fmt.Sprintf(" sync_stall_cycles=%d", r.SyncStalls)
 	}
+	if r.MaskOps > 0 {
+		util := 0.0
+		if r.MaskLanesTotal > 0 {
+			util = float64(r.MaskLanesActive) / float64(r.MaskLanesTotal)
+		}
+		line += fmt.Sprintf(" mask_ops=%d mask_lane_utilization=%.2f", r.MaskOps, util)
+	}
 	if procs := FormatProcStats(r); procs != "" {
 		line += "\n" + procs
 	}

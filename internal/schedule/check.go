@@ -88,6 +88,21 @@ func Check(p *il.Proc, loop *il.DoLoop, s Schedule, ac *analysis.Cache, opts dep
 			return err
 		}
 	}
+	if s.MaskStrategy == MaskAuto || s.MaskStrategy == MaskBranchy {
+		// Masked strategies direct how a guard is executed; a loop with no
+		// conditional (and nothing already if-converted) has no guard to
+		// direct, so the plan is inapplicable.
+		guarded := false
+		for _, st := range loop.Body {
+			switch st.(type) {
+			case *il.If, *il.PredAssign:
+				guarded = true
+			}
+		}
+		if !guarded {
+			return fmt.Errorf("schedule: mask strategy %q illegal: loop body has no conditional to if-convert", s.MaskStrategy)
+		}
+	}
 	return nil
 }
 

@@ -73,7 +73,22 @@ type Schedule struct {
 	// stride·width (Check enforces this; coalesced posting would
 	// deadlock the pipeline otherwise).
 	SyncStride int `json:"sync_stride,omitempty"`
+	// MaskStrategy directs how conditionals in the loop body are handled
+	// ahead of vectorization: "" and MaskAuto if-convert and vectorize
+	// under a mask when legal (the default), MaskOff suppresses
+	// if-conversion for this loop, and MaskBranchy if-converts but keeps
+	// the strips scalar (predicated serial execution — profitable when
+	// the mask is almost always false and masked vector ops would charge
+	// full-density cycles for idle lanes).
+	MaskStrategy string `json:"mask_strategy,omitempty"`
 }
+
+// MaskStrategy values. The empty string means MaskAuto.
+const (
+	MaskAuto    = "masked"
+	MaskOff     = "off"
+	MaskBranchy = "branchy-serial"
+)
 
 // Default is the paper's hardwired strategy: 32-element strips, no
 // unrolling, no interchange, spread over every processor when legal.
@@ -99,6 +114,9 @@ func (s Schedule) String() string {
 	}
 	if s.SyncStride > 0 {
 		fmt.Fprintf(&sb, " sync=%d", s.SyncStride)
+	}
+	if s.MaskStrategy != "" {
+		fmt.Fprintf(&sb, " mask=%s", s.MaskStrategy)
 	}
 	return sb.String()
 }
@@ -126,6 +144,12 @@ func (s Schedule) Validate() error {
 	}
 	if s.SyncStride < 0 || s.SyncStride > MaxSyncStride {
 		return fmt.Errorf("schedule: sync stride %d out of range (0..%d)", s.SyncStride, MaxSyncStride)
+	}
+	switch s.MaskStrategy {
+	case "", MaskAuto, MaskOff, MaskBranchy:
+	default:
+		return fmt.Errorf("schedule: unknown mask strategy %q (want %q, %q, or %q)",
+			s.MaskStrategy, MaskAuto, MaskOff, MaskBranchy)
 	}
 	return nil
 }

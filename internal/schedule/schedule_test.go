@@ -3,6 +3,7 @@ package schedule_test
 import (
 	"encoding/json"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/schedule"
@@ -18,6 +19,8 @@ func sampleSet() *schedule.Set {
 		schedule.Schedule{VL: 32, Unroll: 1, SerialStrips: true})
 	s.Put(schedule.LoopKey{Proc: "main", Line: 3, Col: 2},
 		schedule.Schedule{VL: 32, Unroll: 1, Interchange: true, ParallelWidth: 2})
+	s.Put(schedule.LoopKey{Proc: "clip", Line: 7, Col: 2},
+		schedule.Schedule{VL: 32, Unroll: 1, MaskStrategy: schedule.MaskBranchy})
 	return s
 }
 
@@ -56,6 +59,7 @@ func TestSetJSONStable(t *testing.T) {
 		t.Fatalf("marshal: %v", err)
 	}
 	const want = `[` +
+		`{"loop":{"proc":"clip","line":7,"col":2},"schedule":{"vl":32,"unroll":1,"mask_strategy":"branchy-serial"}},` +
 		`{"loop":{"proc":"daxpy","line":4,"col":2},"schedule":{"vl":32,"unroll":1,"serial_strips":true}},` +
 		`{"loop":{"proc":"main","line":3,"col":2},"schedule":{"vl":32,"unroll":1,"interchange":true,"parallel_width":2}},` +
 		`{"loop":{"proc":"main","line":10,"col":2},"schedule":{"vl":64,"unroll":2}}]`
@@ -79,6 +83,36 @@ func TestSetJSONEmpty(t *testing.T) {
 	}
 	if got.Len() != 0 {
 		t.Fatalf("empty round trip has %d entries", got.Len())
+	}
+}
+
+// TestSetValidateRejectsUnknownMaskStrategy: the wire form decodes any
+// string into MaskStrategy (a newer peer may know strategies we don't),
+// so Set.Validate is the gate — it must reject unknown values and name
+// the offending loop. titand's PUT /schedules handler answers 400 on
+// this error.
+func TestSetValidateRejectsUnknownMaskStrategy(t *testing.T) {
+	if err := sampleSet().Validate(); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+	var nilSet *schedule.Set
+	if err := nilSet.Validate(); err != nil {
+		t.Fatalf("nil set rejected: %v", err)
+	}
+	blob := []byte(`[{"loop":{"proc":"clip","line":7,"col":2},` +
+		`"schedule":{"vl":32,"unroll":1,"mask_strategy":"diagonal"}}]`)
+	got := schedule.NewSet()
+	if err := json.Unmarshal(blob, got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	err := got.Validate()
+	if err == nil {
+		t.Fatal("unknown mask strategy validated")
+	}
+	for _, want := range []string{"clip:7:2", "diagonal"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
 	}
 }
 
@@ -111,6 +145,10 @@ func TestValidateBounds(t *testing.T) {
 		{"width max", schedule.Schedule{VL: 32, Unroll: 1, ParallelWidth: titan.MaxProcessors}, true},
 		{"width too big", schedule.Schedule{VL: 32, Unroll: 1, ParallelWidth: titan.MaxProcessors + 1}, false},
 		{"width negative", schedule.Schedule{VL: 32, Unroll: 1, ParallelWidth: -1}, false},
+		{"mask auto", schedule.Schedule{VL: 32, Unroll: 1, MaskStrategy: schedule.MaskAuto}, true},
+		{"mask off", schedule.Schedule{VL: 32, Unroll: 1, MaskStrategy: schedule.MaskOff}, true},
+		{"mask branchy", schedule.Schedule{VL: 32, Unroll: 1, MaskStrategy: schedule.MaskBranchy}, true},
+		{"mask unknown", schedule.Schedule{VL: 32, Unroll: 1, MaskStrategy: "sideways"}, false},
 	}
 	for _, c := range cases {
 		if err := c.s.Validate(); (err == nil) != c.ok {

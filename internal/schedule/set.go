@@ -2,6 +2,7 @@ package schedule
 
 import (
 	"encoding/json"
+	"fmt"
 	"sort"
 
 	"repro/internal/token"
@@ -85,6 +86,22 @@ func (t *Set) Keys() []LoopKey {
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
 	return keys
+}
+
+// Validate checks every schedule in the set against the machine-range
+// invariants (Schedule.Validate), naming the offending loop. Wire
+// consumers (titand's plan write-through) reject sets that fail this
+// before caching them.
+func (t *Set) Validate() error {
+	if t == nil {
+		return nil
+	}
+	for _, k := range t.Keys() {
+		if err := t.m[k].Validate(); err != nil {
+			return fmt.Errorf("loop %s:%d:%d: %w", k.Proc, k.Line, k.Col, err)
+		}
+	}
+	return nil
 }
 
 // entry is the wire form of one (loop, schedule) pair. A sorted array of

@@ -353,6 +353,27 @@ func TestPeerTierEndpoints(t *testing.T) {
 	if resp := do("GET", "/schedules/"+key, nil); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("plan miss: %d", resp.StatusCode)
 	}
+	// A plan write-through is validated before it can enter the cache: a
+	// set whose schedule carries an unknown mask strategy (a corrupt or
+	// newer-versioned peer) is rejected with 400, and the bad plan is not
+	// served back.
+	badPlan := []byte(`{"schedules":[{"loop":{"proc":"clip","line":7,"col":2},` +
+		`"schedule":{"vl":32,"unroll":1,"mask_strategy":"diagonal"}}],"decisions":null,` +
+		`"default_cycles":0,"tuned_cycles":0,"measured":0}`)
+	if resp := do("PUT", "/schedules/"+key, badPlan); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown mask strategy PUT: %d, want 400", resp.StatusCode)
+	}
+	if resp := do("GET", "/schedules/"+key, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("rejected plan was cached: GET %d", resp.StatusCode)
+	}
+	// The same plan with a known strategy is accepted and round-trips.
+	goodPlan := bytes.Replace(badPlan, []byte("diagonal"), []byte("branchy-serial"), 1)
+	if resp := do("PUT", "/schedules/"+key, goodPlan); resp.StatusCode != http.StatusNoContent {
+		t.Errorf("valid plan PUT: %d", resp.StatusCode)
+	}
+	if resp := do("GET", "/schedules/"+key, nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("plan after PUT: %d", resp.StatusCode)
+	}
 	if resp := do("GET", "/catalogs/deadbeef", nil); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("catalog miss: %d", resp.StatusCode)
 	}

@@ -98,6 +98,12 @@ type RunResult struct {
 	// per processor (omitted when the program never forked).
 	SyncStalls int64          `json:"sync_stall_cycles,omitempty"`
 	Procs      []ProcStatJSON `json:"procs,omitempty"`
+	// MaskOps counts retired masked vector operations; MaskLanesActive /
+	// MaskLanesTotal give the run's mask-lane utilization (omitted for
+	// programs with no masked code).
+	MaskOps         int64 `json:"mask_ops,omitempty"`
+	MaskLanesActive int64 `json:"mask_lanes_active,omitempty"`
+	MaskLanesTotal  int64 `json:"mask_lanes_total,omitempty"`
 }
 
 // ProcStatJSON is one processor's share of the run's parallel regions.
@@ -453,17 +459,21 @@ func (s *Server) compile(key string, req CompileRequest, opts driver.Options) ([
 			return nil, fmt.Errorf("simulation: %w", err)
 		}
 		art.Run = &RunResult{
-			ExitCode:   r.ExitCode,
-			Cycles:     r.Cycles,
-			Instrs:     r.Instrs,
-			Flops:      r.FlopCount,
-			MFLOPS:     r.MFLOPS(),
-			Processors: req.Processors,
-			HostNanos:  hostNanos,
-			Output:     r.Output,
-			SyncStalls: r.SyncStalls,
-			Procs:      procStatsJSON(r),
+			ExitCode:        r.ExitCode,
+			Cycles:          r.Cycles,
+			Instrs:          r.Instrs,
+			Flops:           r.FlopCount,
+			MFLOPS:          r.MFLOPS(),
+			Processors:      req.Processors,
+			HostNanos:       hostNanos,
+			Output:          r.Output,
+			SyncStalls:      r.SyncStalls,
+			Procs:           procStatsJSON(r),
+			MaskOps:         r.MaskOps,
+			MaskLanesActive: r.MaskLanesActive,
+			MaskLanesTotal:  r.MaskLanesTotal,
 		}
+		s.metrics.maskRun(r.MaskOps, r.MaskLanesActive, r.MaskLanesTotal)
 	}
 	blob, err := json.Marshal(art)
 	if err != nil {

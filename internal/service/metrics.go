@@ -20,6 +20,7 @@ type metrics struct {
 	compiles CompileCounters
 	tuneCtrs TuneCounters
 	batches  BatchCounters
+	maskCtrs MaskCounters
 	passes   map[string]*PassTotals
 	analysis analysis.Stats
 	remarks  map[string]int64
@@ -67,6 +68,19 @@ type TuneCounters struct {
 	Entries             int   `json:"entries"`
 }
 
+// MaskCounters aggregates masked vector execution across every simulated
+// run the daemon performed: Runs counts runs that retired at least one
+// masked op, and LanesActive/LanesTotal give the fleet-wide mask-lane
+// utilization (active/total; masked ops charge dense-timing cycles, so
+// a low ratio flags workloads the branchy-serial strategy might serve
+// better).
+type MaskCounters struct {
+	Runs        int64 `json:"runs"`
+	Ops         int64 `json:"ops"`
+	LanesActive int64 `json:"lanes_active"`
+	LanesTotal  int64 `json:"lanes_total"`
+}
+
 // PassTotals is one pass's cumulative cost across every compile served.
 type PassTotals struct {
 	Runs    int64 `json:"runs"`
@@ -102,6 +116,8 @@ type MetricsResponse struct {
 	// Tune is the autotuner's schedule-cache tally: a repeat tuned
 	// request shows up as a schedule_cache_hit with tunes flat.
 	Tune TuneCounters `json:"tune"`
+	// Mask is the masked-execution tally over every simulated run.
+	Mask MaskCounters `json:"mask"`
 	// Batch tracks POST /compile/batch traffic.
 	Batch   BatchCounters  `json:"batch"`
 	Latency LatencySummary `json:"latency"`
@@ -200,6 +216,20 @@ func (m *metrics) tuned() {
 	m.mu.Unlock()
 }
 
+// maskRun folds one simulated run's masked-op tally into the fleet view
+// (no-op for runs that retired no masked ops).
+func (m *metrics) maskRun(ops, lanesActive, lanesTotal int64) {
+	if ops == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.maskCtrs.Runs++
+	m.maskCtrs.Ops += ops
+	m.maskCtrs.LanesActive += lanesActive
+	m.maskCtrs.LanesTotal += lanesTotal
+	m.mu.Unlock()
+}
+
 func (m *metrics) batch(units int) {
 	m.mu.Lock()
 	m.batches.Batches++
@@ -289,6 +319,7 @@ func (m *metrics) snapshot(cache CacheStats, catalogs, schedEntries int, clu *cl
 		Analysis:       m.analysis,
 		Remarks:        remarks,
 		Tune:           tc,
+		Mask:           m.maskCtrs,
 		Batch:          m.batches,
 		Latency:        lat,
 		Cluster:        clu,

@@ -123,6 +123,13 @@ func (s *Server) handleSchedulePut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("plan does not decode: %w", err))
 		return
 	}
+	// A plan from a peer still has to obey the machine-range invariants
+	// (VL bounds, unroll bounds, known mask strategies): a corrupt or
+	// newer-versioned plan must not enter the cache and poison compiles.
+	if err := tres.Schedules.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("plan rejected: %w", err))
+		return
+	}
 	s.schedules.put(key, &tres)
 	w.WriteHeader(http.StatusNoContent)
 }

@@ -41,6 +41,7 @@ const (
 	rkInt
 	rkFlt
 	rkVec
+	rkMask
 )
 
 // unitKind selects the functional unit that executes an op.
@@ -85,12 +86,14 @@ type dinstr struct {
 	rs1 int32
 	rs2 int32
 	tgt int32 // branch target pc, or par.end index; -1 if unresolved
-	// Byte offsets into the cpu struct of the two operand ready-times,
+	// Byte offsets into the cpu struct of the operand ready-times,
 	// the destination ready-time, and the issuing unit, so charge runs
 	// branch-free: absent operands point at cpu.sbZero (always zero)
-	// and absent destinations at cpu.sbSink (never read).
+	// and absent destinations at cpu.sbSink (never read). s3off is the
+	// governing mask register of masked vector ops (sbZero otherwise).
 	s1off   int32
 	s2off   int32
+	s3off   int32
 	doff    int32
 	unitOff int32
 	lat     int32
@@ -121,14 +124,15 @@ type dfunc struct {
 // Byte offsets of the scoreboard arrays and unit clocks within cpu,
 // the basis of the decoded charge offsets.
 var (
-	offIntReady = int32(unsafe.Offsetof(cpu{}.intReady))
-	offFltReady = int32(unsafe.Offsetof(cpu{}.fltReady))
-	offVecReady = int32(unsafe.Offsetof(cpu{}.vecReady))
-	offIntUnit  = int32(unsafe.Offsetof(cpu{}.intUnit))
-	offFltUnit  = int32(unsafe.Offsetof(cpu{}.fltUnit))
-	offMemUnit  = int32(unsafe.Offsetof(cpu{}.memUnit))
-	offSbZero   = int32(unsafe.Offsetof(cpu{}.sbZero))
-	offSbSink   = int32(unsafe.Offsetof(cpu{}.sbSink))
+	offIntReady  = int32(unsafe.Offsetof(cpu{}.intReady))
+	offFltReady  = int32(unsafe.Offsetof(cpu{}.fltReady))
+	offVecReady  = int32(unsafe.Offsetof(cpu{}.vecReady))
+	offMaskReady = int32(unsafe.Offsetof(cpu{}.maskReady))
+	offIntUnit   = int32(unsafe.Offsetof(cpu{}.intUnit))
+	offFltUnit   = int32(unsafe.Offsetof(cpu{}.fltUnit))
+	offMemUnit   = int32(unsafe.Offsetof(cpu{}.memUnit))
+	offSbZero    = int32(unsafe.Offsetof(cpu{}.sbZero))
+	offSbSink    = int32(unsafe.Offsetof(cpu{}.sbSink))
 )
 
 // sbOff resolves an operand's ready-time slot to its byte offset in cpu.
@@ -151,6 +155,9 @@ func sbOff(k regKind, r int32, write bool) int32 {
 	case rkVec:
 		// Pre-wrapped by the decoder into [0, VRFWords).
 		return offVecReady + 8*r
+	case rkMask:
+		// Pre-wrapped by the decoder into [0, NumMaskRegs).
+		return offMaskReady + 8*r
 	}
 	if write {
 		return offSbSink
@@ -189,12 +196,17 @@ func timeOf(op Op) (unit unitKind, vscale uint8, lat, occ int64) {
 		return uFlt, 0, 6, 1
 	case OpFdiv:
 		return uFlt, 0, 18, 12
-	case OpVld, OpVst:
+	case OpVld, OpVst, OpVldm, OpVstm:
 		return uMem, 1, 6, 2
-	case OpVadd, OpVsub, OpVmul, OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVmov, OpVbcast:
+	case OpVadd, OpVsub, OpVmul, OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVmov, OpVbcast,
+		OpVaddm, OpVsubm, OpVmulm,
+		OpVcmpLt, OpVcmpLe, OpVcmpEq, OpVcmpNe,
+		OpVcmpLts, OpVcmpLes, OpVcmpEqs, OpVcmpNes:
 		return uFlt, 1, 8, 4
-	case OpVdiv, OpVdivs, OpVdivsr:
+	case OpVdiv, OpVdivs, OpVdivsr, OpVdivm:
 		return uFlt, 2, 12, 8
+	case OpMand, OpMor, OpMnot:
+		return uInt, 0, 2, 1
 	case OpJmp, OpBeqz, OpBnez:
 		return uInt, 0, 2, 1
 	case OpCall:
@@ -223,10 +235,19 @@ func srcKinds(op Op) (s1k, s2k regKind) {
 	case OpFadd, OpFsub, OpFmul, OpFdiv,
 		OpFcmpEq, OpFcmpNe, OpFcmpLt, OpFcmpLe, OpFcmpGt, OpFcmpGe:
 		return rkFlt, rkFlt
-	case OpVadd, OpVsub, OpVmul, OpVdiv, OpVmov:
+	case OpVadd, OpVsub, OpVmul, OpVdiv, OpVmov,
+		OpVcmpLt, OpVcmpLe, OpVcmpEq, OpVcmpNe,
+		OpVaddm, OpVsubm, OpVmulm, OpVdivm:
 		return rkVec, rkVec
-	case OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr:
+	case OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr,
+		OpVcmpLts, OpVcmpLes, OpVcmpEqs, OpVcmpNes:
 		return rkVec, rkFlt
+	case OpMand, OpMor:
+		return rkMask, rkMask
+	case OpMnot:
+		return rkMask, rkNone
+	case OpVldm, OpVstm:
+		return rkInt, rkInt
 	}
 	return rkNone, rkNone
 }
@@ -244,8 +265,13 @@ func dstKind(op Op) regKind {
 		OpFld4, OpFld8:
 		return rkFlt
 	case OpVld, OpVadd, OpVsub, OpVmul, OpVdiv,
-		OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr, OpVmov, OpVbcast:
+		OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr, OpVmov, OpVbcast,
+		OpVldm, OpVaddm, OpVsubm, OpVmulm, OpVdivm:
 		return rkVec
+	case OpVcmpLt, OpVcmpLe, OpVcmpEq, OpVcmpNe,
+		OpVcmpLts, OpVcmpLes, OpVcmpEqs, OpVcmpNes,
+		OpMand, OpMor, OpMnot:
+		return rkMask
 	}
 	return rkNone
 }
@@ -255,10 +281,21 @@ func flopOf(op Op) flopKind {
 	case OpFadd, OpFsub, OpFmul, OpFdiv:
 		return fOne
 	case OpVadd, OpVsub, OpVmul, OpVdiv,
-		OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr:
+		OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr,
+		OpVaddm, OpVsubm, OpVmulm, OpVdivm:
 		return fVL
 	}
 	return fNone
+}
+
+// maskedVecOp reports whether op reads a governing mask register out of
+// Imm bits 8.. (the third scoreboard operand).
+func maskedVecOp(op Op) bool {
+	switch op {
+	case OpVldm, OpVstm, OpVaddm, OpVsubm, OpVmulm, OpVdivm:
+		return true
+	}
+	return false
 }
 
 // fusableALU ops may lead a fuseBranch pair: register-only, no faults,
@@ -302,19 +339,29 @@ func decodeFunc(f *Func) *dfunc {
 		d.lat, d.occ = int32(lat), int32(occ)
 		d.vsc = int32(d.vscale)
 		d.fl = flopOf(in.Op)
-		// Pre-wrap vector register file indices, so the hot path indexes
-		// vecReady and kernel fast paths directly.
+		// Pre-wrap vector and mask register file indices, so the hot path
+		// indexes the ready arrays and kernel fast paths directly.
 		if d.s1k == rkVec {
 			d.rs1 = int32(vslot(in.Rs1))
+		} else if d.s1k == rkMask {
+			d.rs1 = int32(mslot(in.Rs1))
 		}
 		if d.s2k == rkVec {
 			d.rs2 = int32(vslot(in.Rs2))
+		} else if d.s2k == rkMask {
+			d.rs2 = int32(mslot(in.Rs2))
 		}
 		if d.dk == rkVec {
 			d.rd = int32(vslot(in.Rd))
+		} else if d.dk == rkMask {
+			d.rd = int32(mslot(in.Rd))
 		}
 		d.s1off = sbOff(d.s1k, d.rs1, false)
 		d.s2off = sbOff(d.s2k, d.rs2, false)
+		d.s3off = offSbZero
+		if maskedVecOp(in.Op) {
+			d.s3off = sbOff(rkMask, int32(maskReg(in)), false)
+		}
 		d.doff = sbOff(d.dk, d.rd, true)
 		switch d.unit {
 		case uInt:
@@ -400,6 +447,9 @@ func (c *cpu) charge(d *dinstr) {
 	if t := *(*int64)(unsafe.Add(base, uintptr(d.s2off))); t > ready {
 		ready = t
 	}
+	if t := *(*int64)(unsafe.Add(base, uintptr(d.s3off))); t > ready {
+		ready = t
+	}
 
 	vl := c.vlc
 	scale := int64(d.vsc) * vl
@@ -444,13 +494,16 @@ func (m *Machine) runFastEntry(entry string) (Result, error) {
 	}
 	procs, stalls := m.runStats()
 	return Result{
-		Cycles:     c.cycles,
-		FlopCount:  c.flops,
-		Instrs:     c.icount,
-		ExitCode:   c.r[RegRetInt],
-		Output:     m.out.String(),
-		SyncStalls: stalls,
-		Procs:      procs,
+		Cycles:          c.cycles,
+		FlopCount:       c.flops,
+		Instrs:          c.icount,
+		ExitCode:        c.r[RegRetInt],
+		Output:          m.out.String(),
+		SyncStalls:      stalls,
+		MaskOps:         c.maskOps,
+		MaskLanesActive: c.maskActive,
+		MaskLanesTotal:  c.maskTotal,
+		Procs:           procs,
 	}, nil
 }
 
@@ -482,6 +535,9 @@ func (c *cpu) runFast(df *dfunc, pc, stop int, maxInstrs int64) error {
 				ready = t
 			}
 			if t := *(*int64)(unsafe.Add(cb, uintptr(d.s2off))); t > ready {
+				ready = t
+			}
+			if t := *(*int64)(unsafe.Add(cb, uintptr(d.s3off))); t > ready {
 				ready = t
 			}
 			vl := c.vlc
@@ -681,6 +737,48 @@ func (c *cpu) runFast(df *dfunc, pc, stop int, maxInstrs int64) error {
 		case OpVbcast:
 			c.vbcastFast(d)
 
+		case OpVcmpLt:
+			c.vcmpVVFast(d, func(a, b float64) bool { return a < b })
+		case OpVcmpLe:
+			c.vcmpVVFast(d, func(a, b float64) bool { return a <= b })
+		case OpVcmpEq:
+			c.vcmpVVFast(d, func(a, b float64) bool { return a == b })
+		case OpVcmpNe:
+			c.vcmpVVFast(d, func(a, b float64) bool { return a != b })
+		case OpVcmpLts:
+			c.vcmpVSFast(d, func(a, s float64) bool { return a < s })
+		case OpVcmpLes:
+			c.vcmpVSFast(d, func(a, s float64) bool { return a <= s })
+		case OpVcmpEqs:
+			c.vcmpVSFast(d, func(a, s float64) bool { return a == s })
+		case OpVcmpNes:
+			c.vcmpVSFast(d, func(a, s float64) bool { return a != s })
+		case OpMand:
+			c.maskCombine(Instr{Rd: int(d.rd), Rs1: int(d.rs1), Rs2: int(d.rs2)},
+				func(a, b uint64) uint64 { return a & b })
+		case OpMor:
+			c.maskCombine(Instr{Rd: int(d.rd), Rs1: int(d.rs1), Rs2: int(d.rs2)},
+				func(a, b uint64) uint64 { return a | b })
+		case OpMnot:
+			c.maskCombine(Instr{Rd: int(d.rd), Rs1: int(d.rs1), Rs2: int(d.rs2)},
+				func(a, _ uint64) uint64 { return ^a })
+		case OpVldm:
+			if err := c.vldmFast(d, df.name, pc); err != nil {
+				return err
+			}
+		case OpVstm:
+			if err := c.vstmFast(d, df.name, pc); err != nil {
+				return err
+			}
+		case OpVaddm:
+			c.vbinmFast(d, OpVadd, func(a, b float64) float64 { return a + b })
+		case OpVsubm:
+			c.vbinmFast(d, OpVsub, func(a, b float64) float64 { return a - b })
+		case OpVmulm:
+			c.vbinmFast(d, OpVmul, func(a, b float64) float64 { return a * b })
+		case OpVdivm:
+			c.vbinmFast(d, OpVdiv, func(a, b float64) float64 { return a / b })
+
 		case OpJmp:
 			if c.icount >= maxInstrs {
 				return c.budgetErr(df)
@@ -789,6 +887,9 @@ func (c *cpu) runFast(df *dfunc, pc, stop int, maxInstrs int64) error {
 					ready = t
 				}
 				if t := *(*int64)(unsafe.Add(cb, uintptr(d2.s2off))); t > ready {
+					ready = t
+				}
+				if t := *(*int64)(unsafe.Add(cb, uintptr(d2.s3off))); t > ready {
 					ready = t
 				}
 				vl := c.vlc
@@ -916,6 +1017,7 @@ func (c *cpu) parallelRegionFast(df *dfunc, start, end int, maxInstrs int64, has
 	scr := c.m.claimScratch()
 	defer c.m.releaseScratch(scr)
 	baseCycles, baseFlops, baseIcount, baseStall := c.cycles, c.flops, c.icount, c.syncStall
+	baseMaskOps, baseMaskActive, baseMaskTotal := c.maskOps, c.maskActive, c.maskTotal
 	parentOut := c.out
 	savedSync, savedFrame := c.sync, c.inRegionFrame
 	var ss *syncState
@@ -929,6 +1031,7 @@ func (c *cpu) parallelRegionFast(df *dfunc, start, end int, maxInstrs int64, has
 	concurrent := engineHostParallelism > 1 || hasSync
 	var wg sync.WaitGroup
 	var maxDelta, flops, icount int64
+	var maskOps, maskActive, maskTotal int64
 	var deltas, stallDeltas [MaxProcessors]int64
 	var firstSubErr error
 	if concurrent {
@@ -979,6 +1082,9 @@ func (c *cpu) parallelRegionFast(df *dfunc, start, end int, maxInstrs int64, has
 			}
 			flops += sub.flops - baseFlops
 			icount += sub.icount - baseIcount
+			maskOps += sub.maskOps - baseMaskOps
+			maskActive += sub.maskActive - baseMaskActive
+			maskTotal += sub.maskTotal - baseMaskTotal
 		}
 	}
 	// Pid 0 executes on c itself — its state is the one the join adopts
@@ -1011,6 +1117,9 @@ func (c *cpu) parallelRegionFast(df *dfunc, start, end int, maxInstrs int64, has
 			}
 			flops += sub.flops - baseFlops
 			icount += sub.icount - baseIcount
+			maskOps += sub.maskOps - baseMaskOps
+			maskActive += sub.maskActive - baseMaskActive
+			maskTotal += sub.maskTotal - baseMaskTotal
 		}
 	}
 	c.sync, c.inRegionFrame = savedSync, savedFrame
@@ -1036,6 +1145,9 @@ func (c *cpu) parallelRegionFast(df *dfunc, start, end int, maxInstrs int64, has
 	}
 	c.flops += flops
 	c.icount += icount
+	c.maskOps += maskOps
+	c.maskActive += maskActive
+	c.maskTotal += maskTotal
 	c.cycles = baseCycles + maxDelta + forkOverhead*int64(procs-1)
 	c.clock = c.cycles
 	c.intUnit, c.fltUnit, c.memUnit = c.cycles, c.cycles, c.cycles
@@ -1320,4 +1432,101 @@ func (c *cpu) vbcastFast(d *dinstr) {
 	for k := range dst {
 		dst[k] = v
 	}
+}
+
+// vcmpVVFast computes a vector-vector compare mask over register-file
+// slices, falling back to the reference walk when a window wraps the
+// file. d.rd is the pre-wrapped destination mask slot.
+func (c *cpu) vcmpVVFast(d *dinstr, f func(a, b float64) bool) {
+	vl := int(c.vl)
+	r1, r2 := int(d.rs1), int(d.rs2)
+	if r1+vl > VRFWords || r2+vl > VRFWords {
+		c.vecCmpVV(Instr{Rd: int(d.rd), Rs1: r1, Rs2: r2}, f)
+		return
+	}
+	var out [maskWords]uint64
+	a := c.vrf[r1 : r1+vl]
+	b := c.vrf[r2 : r2+vl]
+	for k := range a {
+		if f(a[k], b[k]) {
+			out[k>>6] |= 1 << uint(k&63)
+		}
+	}
+	c.mk[d.rd] = out
+}
+
+// vcmpVSFast is vcmpVVFast's scalar-broadcast form.
+func (c *cpu) vcmpVSFast(d *dinstr, f func(a, s float64) bool) {
+	vl := int(c.vl)
+	r1 := int(d.rs1)
+	if r1+vl > VRFWords {
+		c.vecCmpVS(Instr{Rd: int(d.rd), Rs1: r1, Rs2: int(d.rs2)}, f)
+		return
+	}
+	var out [maskWords]uint64
+	s := c.f[d.rs2]
+	a := c.vrf[r1 : r1+vl]
+	for k := range a {
+		if f(a[k], s) {
+			out[k>>6] |= 1 << uint(k&63)
+		}
+	}
+	c.mk[d.rd] = out
+}
+
+// vldmFast is the engine's vld.m: a dense (all-true mask) strip takes
+// the vldFast slab kernel after the bounds pre-check proves no lane can
+// fault; everything else — partial masks, wrap-around, potential faults
+// — runs the reference per-lane walk, so lane suppression and masked
+// fault naming are identical by construction.
+func (c *cpu) vldmFast(d *dinstr, fn string, pc int) error {
+	vl := c.vl
+	mr := mslot(int(d.imm >> 8))
+	kind := d.imm & 0xff
+	width := elemWidth(kind)
+	if vl > 0 && width != 0 && int64(d.rd)+vl <= VRFWords &&
+		vecRangeOK(c.r[d.rs1], c.r[d.rs2], vl, width, int64(len(c.m.mem))) &&
+		c.maskAllTrue(mr) {
+		c.countMask(mr)
+		dd := *d
+		dd.op = OpVld
+		dd.imm = kind
+		return c.vldFast(&dd, fn, pc)
+	}
+	return c.vecLoadMasked(Instr{Op: OpVldm, Rd: int(d.rd), Rs1: int(d.rs1), Rs2: int(d.rs2), Imm: d.imm}, fn, pc)
+}
+
+// vstmFast is the engine's vst.m, mirroring vldmFast.
+func (c *cpu) vstmFast(d *dinstr, fn string, pc int) error {
+	vl := c.vl
+	mr := mslot(int(d.imm >> 8))
+	kind := d.imm & 0xff
+	width := elemWidth(kind)
+	if vl > 0 && width != 0 && int64(d.rd)+vl <= VRFWords &&
+		vecRangeOK(c.r[d.rs1], c.r[d.rs2], vl, width, int64(len(c.m.mem))) &&
+		c.maskAllTrue(mr) {
+		c.countMask(mr)
+		dd := *d
+		dd.op = OpVst
+		dd.imm = kind
+		return c.vstFast(&dd, fn, pc)
+	}
+	return c.vecStoreMasked(Instr{Op: OpVstm, Rd: int(d.rd), Rs1: int(d.rs1), Rs2: int(d.rs2), Imm: d.imm}, fn, pc)
+}
+
+// vbinmFast is the engine's masked vector arithmetic: all-true masks
+// take the dense vbinFast kernels (denseOp is the op's dense twin),
+// partial masks run the reference per-lane walk.
+func (c *cpu) vbinmFast(d *dinstr, denseOp Op, f func(a, b float64) float64) {
+	vl := int(c.vl)
+	mr := mslot(int(d.imm >> 8))
+	if int(d.rd)+vl <= VRFWords && int(d.rs1)+vl <= VRFWords && int(d.rs2)+vl <= VRFWords &&
+		c.maskAllTrue(mr) {
+		c.countMask(mr)
+		dd := *d
+		dd.op = denseOp
+		c.vbinFast(&dd)
+		return
+	}
+	c.vecBinMasked(Instr{Op: d.op, Rd: int(d.rd), Rs1: int(d.rs1), Rs2: int(d.rs2), Imm: d.imm}, f)
 }

@@ -122,7 +122,42 @@ const (
 	// cells live per region and reset at par.begin.
 	OpPost
 	OpWait
+
+	// Vector mask unit: compares produce per-lane predicates into one of
+	// NumMaskRegs mask registers; masked memory and arithmetic variants
+	// suppress the effects of inactive lanes but charge the same
+	// timing-table cycles as their dense forms (the pipeline still streams
+	// every lane — masking gates the write-back, not the issue).
+	OpVcmpLt  // mk[rd] ← vs1 < vs2, per lane
+	OpVcmpLe  // mk[rd] ← vs1 <= vs2
+	OpVcmpEq  // mk[rd] ← vs1 == vs2
+	OpVcmpNe  // mk[rd] ← vs1 != vs2
+	OpVcmpLts // mk[rd] ← vs1 < fs2 (scalar broadcast compare)
+	OpVcmpLes // mk[rd] ← vs1 <= fs2
+	OpVcmpEqs // mk[rd] ← vs1 == fs2
+	OpVcmpNes // mk[rd] ← vs1 != fs2
+	OpMand    // mk[rd] ← mk[rs1] & mk[rs2]
+	OpMor     // mk[rd] ← mk[rs1] | mk[rs2]
+	OpMnot    // mk[rd] ← ~mk[rs1] (over the active VL lanes)
+	// Masked memory and arithmetic: the governing mask register index
+	// rides in Imm bits 8.. (Imm>>8); Imm's low 8 bits keep whatever the
+	// dense form used there (the element kind for vld.m/vst.m, zero for
+	// arithmetic). Inactive lanes load nothing, store nothing, and keep
+	// the destination slot's prior contents.
+	OpVldm  // vrf[vd..] ←(mask) mem[rs1 + k·rs2]
+	OpVstm  // mem[rs1 + k·rs2] ←(mask) vrf[vd..]
+	OpVaddm // vd ←(mask) vs1 + vs2
+	OpVsubm
+	OpVmulm
+	OpVdivm
 )
+
+// NumMaskRegs is the size of the vector-mask register file: each mask
+// register holds one predicate bit per vector lane (MaxVL lanes).
+const NumMaskRegs = 8
+
+// maskWords is the per-register bitset length (MaxVL lanes / 64).
+const maskWords = MaxVL / 64
 
 // NumSyncCells is the number of per-region synchronization cells post and
 // wait may address (r[rs1] must be in [0, NumSyncCells)).
@@ -178,6 +213,12 @@ var opNames = map[Op]string{
 	OpRet: "ret", OpArg: "arg", OpFarg: "farg", OpHalt: "halt",
 	OpParBegin: "par.begin", OpParEnd: "par.end",
 	OpPost: "post", OpWait: "wait",
+	OpVcmpLt: "vcmp.lt", OpVcmpLe: "vcmp.le", OpVcmpEq: "vcmp.eq",
+	OpVcmpNe: "vcmp.ne", OpVcmpLts: "vcmp.lts", OpVcmpLes: "vcmp.les",
+	OpVcmpEqs: "vcmp.eqs", OpVcmpNes: "vcmp.nes",
+	OpMand: "mand", OpMor: "mor", OpMnot: "mnot",
+	OpVldm: "vld.m", OpVstm: "vst.m",
+	OpVaddm: "vadd.m", OpVsubm: "vsub.m", OpVmulm: "vmul.m", OpVdivm: "vdiv.m",
 }
 
 // String disassembles one instruction.
@@ -218,10 +259,22 @@ func (in Instr) String() string {
 		return fmt.Sprintf("%s r%d, r%d", n, in.Rs1, in.Rs2)
 	case OpVld, OpVst:
 		return fmt.Sprintf("%s v%d, (r%d), r%d, ek%d", n, in.Rd, in.Rs1, in.Rs2, in.Imm)
+	case OpVldm, OpVstm:
+		return fmt.Sprintf("%s v%d, (r%d), r%d, ek%d, m%d", n, in.Rd, in.Rs1, in.Rs2, in.Imm&0xff, in.Imm>>8)
 	case OpVadd, OpVsub, OpVmul, OpVdiv:
 		return fmt.Sprintf("%s v%d, v%d, v%d", n, in.Rd, in.Rs1, in.Rs2)
+	case OpVaddm, OpVsubm, OpVmulm, OpVdivm:
+		return fmt.Sprintf("%s v%d, v%d, v%d, m%d", n, in.Rd, in.Rs1, in.Rs2, in.Imm>>8)
 	case OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr:
 		return fmt.Sprintf("%s v%d, v%d, f%d", n, in.Rd, in.Rs1, in.Rs2)
+	case OpVcmpLt, OpVcmpLe, OpVcmpEq, OpVcmpNe:
+		return fmt.Sprintf("%s m%d, v%d, v%d", n, in.Rd, in.Rs1, in.Rs2)
+	case OpVcmpLts, OpVcmpLes, OpVcmpEqs, OpVcmpNes:
+		return fmt.Sprintf("%s m%d, v%d, f%d", n, in.Rd, in.Rs1, in.Rs2)
+	case OpMand, OpMor:
+		return fmt.Sprintf("%s m%d, m%d, m%d", n, in.Rd, in.Rs1, in.Rs2)
+	case OpMnot:
+		return fmt.Sprintf("%s m%d, m%d", n, in.Rd, in.Rs1)
 	case OpVmov:
 		return fmt.Sprintf("%s v%d, v%d", n, in.Rd, in.Rs1)
 	case OpVbcast:

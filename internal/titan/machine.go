@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 	"strings"
 	"sync/atomic"
 )
@@ -22,6 +23,15 @@ type Result struct {
 	// SyncStalls is the total cycles processors spent blocked in wait
 	// instructions across all parallel regions (DOACROSS pipelining).
 	SyncStalls int64
+	// MaskOps counts retired masked vector operations (vld.m, vst.m,
+	// masked arithmetic); MaskLanesActive / MaskLanesTotal break those
+	// down by lane so MaskLanesActive/MaskLanesTotal is the run's mask
+	// utilization (1.0 = every masked lane did useful work). Masked ops
+	// charge full dense-timing cycles regardless of density, so low
+	// utilization is the cost signal the autotuner weighs.
+	MaskOps         int64
+	MaskLanesActive int64
+	MaskLanesTotal  int64
 	// Procs is the per-processor busy/stall breakdown over parallel
 	// regions: entries beyond the machine's processor count stay zero.
 	// A fixed-size array keeps Result comparable with == (the
@@ -196,7 +206,13 @@ type cpu struct {
 	r   [NumIntRegs]int64
 	f   [NumFltRegs]float64
 	vrf [VRFWords]float64
-	vl  int64
+	// mk is the vector-mask register file: one bit per lane, packed into
+	// uint64 words. A fixed array like vrf so parallel-region forks stay
+	// plain struct copies. Compares write bits for lanes [0, vl) and
+	// clear the rest, so every mask register is always canonical (no
+	// stale bits beyond the last vsetl length that produced it).
+	mk [NumMaskRegs][maskWords]uint64
+	vl int64
 	// vlc is vl clamped to at least 1, the value the timing model and
 	// FLOP accounting use. The fast engine keeps it alongside vl
 	// (updated at Vsetl, 1 at entry) so the per-instruction charge
@@ -219,17 +235,24 @@ type cpu struct {
 	// like the register file itself): a fixed array instead of a map so
 	// parallel-region forks are plain struct copies with no per-region
 	// allocation.
-	clock    int64 // dispatch clock
-	intReady [NumIntRegs]int64
-	fltReady [NumFltRegs]int64
-	vecReady [VRFWords]int64
-	intUnit  int64 // next cycle the unit can accept work
-	fltUnit  int64
-	memUnit  int64
+	clock     int64 // dispatch clock
+	intReady  [NumIntRegs]int64
+	fltReady  [NumFltRegs]int64
+	vecReady  [VRFWords]int64
+	maskReady [NumMaskRegs]int64
+	intUnit   int64 // next cycle the unit can accept work
+	fltUnit   int64
+	memUnit   int64
 
 	cycles int64 // completion horizon
 	flops  int64
 	icount int64
+
+	// Mask-lane utilization counters (Result.MaskOps etc.): pooled at
+	// parallel-region joins exactly like flops.
+	maskOps    int64
+	maskActive int64
+	maskTotal  int64
 
 	// Scratch scoreboard slots for the fast engine's branchless charge
 	// (engine.go): decoded instructions carry byte offsets into this
@@ -255,6 +278,56 @@ func vslot(i int) int {
 		i += VRFWords
 	}
 	return i
+}
+
+// mslot maps an arbitrary mask-register index into the mask file, with
+// the same wrap-don't-panic policy as vslot.
+func mslot(i int) int {
+	i %= NumMaskRegs
+	if i < 0 {
+		i += NumMaskRegs
+	}
+	return i
+}
+
+// maskReg extracts the governing mask-register index a masked
+// instruction carries in Imm bits 8 and up.
+func maskReg(in Instr) int { return mslot(int(in.Imm >> 8)) }
+
+// maskBit reports whether lane k is active in mask register mr.
+func (c *cpu) maskBit(mr int, k int64) bool {
+	return c.mk[mr][k>>6]&(1<<uint(k&63)) != 0
+}
+
+// countMask charges the lane-utilization counters for one retired masked
+// operation over the current vector length.
+func (c *cpu) countMask(mr int) {
+	active := int64(0)
+	for k := int64(0); k < c.vl; k += 64 {
+		w := c.mk[mr][k>>6]
+		if rem := c.vl - k; rem < 64 {
+			w &= 1<<uint(rem) - 1
+		}
+		active += int64(bits.OnesCount64(w))
+	}
+	c.maskOps++
+	c.maskActive += active
+	c.maskTotal += c.vl
+}
+
+// maskAllTrue reports whether every lane in [0, vl) is active in mask
+// register mr — the gate for the fast engine's dense slab kernels.
+func (c *cpu) maskAllTrue(mr int) bool {
+	for k := int64(0); k < c.vl; k += 64 {
+		w := c.mk[mr][k>>6]
+		if rem := c.vl - k; rem < 64 {
+			w |= ^(1<<uint(rem) - 1)
+		}
+		if w != ^uint64(0) {
+			return false
+		}
+	}
+	return true
 }
 
 // Run executes main (or the named entry) to completion on the fast
@@ -290,13 +363,16 @@ func (m *Machine) RunReference(entry string) (Result, error) {
 	}
 	procs, stalls := m.runStats()
 	return Result{
-		Cycles:     c.cycles,
-		FlopCount:  c.flops,
-		Instrs:     c.icount,
-		ExitCode:   c.r[RegRetInt],
-		Output:     m.out.String(),
-		SyncStalls: stalls,
-		Procs:      procs,
+		Cycles:          c.cycles,
+		FlopCount:       c.flops,
+		Instrs:          c.icount,
+		ExitCode:        c.r[RegRetInt],
+		Output:          m.out.String(),
+		SyncStalls:      stalls,
+		MaskOps:         c.maskOps,
+		MaskLanesActive: c.maskActive,
+		MaskLanesTotal:  c.maskTotal,
+		Procs:           procs,
 	}, nil
 }
 
@@ -344,6 +420,27 @@ func (c *cpu) dispatch(in Instr) int64 {
 	case OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr:
 		maxr(c.vecReady[vslot(in.Rs1)])
 		maxr(c.fltReady[in.Rs2])
+	case OpVcmpLt, OpVcmpLe, OpVcmpEq, OpVcmpNe:
+		maxr(c.vecReady[vslot(in.Rs1)])
+		maxr(c.vecReady[vslot(in.Rs2)])
+	case OpVcmpLts, OpVcmpLes, OpVcmpEqs, OpVcmpNes:
+		maxr(c.vecReady[vslot(in.Rs1)])
+		maxr(c.fltReady[in.Rs2])
+	case OpMand, OpMor:
+		maxr(c.maskReady[mslot(in.Rs1)])
+		maxr(c.maskReady[mslot(in.Rs2)])
+	case OpMnot:
+		maxr(c.maskReady[mslot(in.Rs1)])
+	case OpVldm, OpVstm:
+		// Like the dense forms, masked memory ops dispatch on address and
+		// stride; the mask gate is a third operand on its own small file.
+		maxr(c.intReady[in.Rs1])
+		maxr(c.intReady[in.Rs2])
+		maxr(c.maskReady[maskReg(in)])
+	case OpVaddm, OpVsubm, OpVmulm, OpVdivm:
+		maxr(c.vecReady[vslot(in.Rs1)])
+		maxr(c.vecReady[vslot(in.Rs2)])
+		maxr(c.maskReady[maskReg(in)])
 	}
 
 	// Unit, latency, occupancy.
@@ -370,14 +467,21 @@ func (c *cpu) dispatch(in Instr) int64 {
 		unit, lat, occ = &c.fltUnit, 6, 1
 	case OpFdiv:
 		unit, lat, occ = &c.fltUnit, 18, 12
-	case OpVld, OpVst:
+	case OpVld, OpVst, OpVldm, OpVstm:
 		// The per-processor memory path is highly pipelined (§2): one
-		// element per cycle after a short setup.
+		// element per cycle after a short setup. Masked forms stream every
+		// lane through the pipe and drop inactive ones at the end, so
+		// they charge the dense timing regardless of mask density.
 		unit, lat, occ = &c.memUnit, 6+vl, 2+vl
-	case OpVadd, OpVsub, OpVmul, OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVmov, OpVbcast:
+	case OpVadd, OpVsub, OpVmul, OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVmov, OpVbcast,
+		OpVaddm, OpVsubm, OpVmulm,
+		OpVcmpLt, OpVcmpLe, OpVcmpEq, OpVcmpNe,
+		OpVcmpLts, OpVcmpLes, OpVcmpEqs, OpVcmpNes:
 		unit, lat, occ = &c.fltUnit, 8+vl, 4+vl
-	case OpVdiv, OpVdivs, OpVdivsr:
+	case OpVdiv, OpVdivs, OpVdivsr, OpVdivm:
 		unit, lat, occ = &c.fltUnit, 12+2*vl, 8+2*vl
+	case OpMand, OpMor, OpMnot:
+		unit, lat, occ = &c.intUnit, 2, 1
 	case OpJmp, OpBeqz, OpBnez:
 		unit, lat, occ = &c.intUnit, 2, 1
 	case OpCall:
@@ -413,16 +517,23 @@ func (c *cpu) dispatch(in Instr) int64 {
 		OpFld4, OpFld8:
 		c.fltReady[in.Rd] = done
 	case OpVld, OpVadd, OpVsub, OpVmul, OpVdiv,
-		OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr, OpVmov, OpVbcast:
+		OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr, OpVmov, OpVbcast,
+		OpVldm, OpVaddm, OpVsubm, OpVmulm, OpVdivm:
 		c.vecReady[vslot(in.Rd)] = done
+	case OpVcmpLt, OpVcmpLe, OpVcmpEq, OpVcmpNe,
+		OpVcmpLts, OpVcmpLes, OpVcmpEqs, OpVcmpNes,
+		OpMand, OpMor, OpMnot:
+		c.maskReady[mslot(in.Rd)] = done
 	}
 
-	// FLOP accounting.
+	// FLOP accounting. Masked arithmetic charges every lane like its
+	// dense form: inactive lanes still flow through the pipeline.
 	switch in.Op {
 	case OpFadd, OpFsub, OpFmul, OpFdiv:
 		c.flops++
 	case OpVadd, OpVsub, OpVmul, OpVdiv,
-		OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr:
+		OpVadds, OpVsubs, OpVsubsr, OpVmuls, OpVdivs, OpVdivsr,
+		OpVaddm, OpVsubm, OpVmulm, OpVdivm:
 		c.flops += vl
 	}
 	return done
@@ -652,6 +763,45 @@ func (c *cpu) exec(f *Func, pc int, stop int, maxInstrs int64) error {
 				c.vrf[vslot(in.Rd+int(k))] = c.f[in.Rs1]
 			}
 
+		case OpVcmpLt:
+			c.vecCmpVV(in, func(a, b float64) bool { return a < b })
+		case OpVcmpLe:
+			c.vecCmpVV(in, func(a, b float64) bool { return a <= b })
+		case OpVcmpEq:
+			c.vecCmpVV(in, func(a, b float64) bool { return a == b })
+		case OpVcmpNe:
+			c.vecCmpVV(in, func(a, b float64) bool { return a != b })
+		case OpVcmpLts:
+			c.vecCmpVS(in, func(a, s float64) bool { return a < s })
+		case OpVcmpLes:
+			c.vecCmpVS(in, func(a, s float64) bool { return a <= s })
+		case OpVcmpEqs:
+			c.vecCmpVS(in, func(a, s float64) bool { return a == s })
+		case OpVcmpNes:
+			c.vecCmpVS(in, func(a, s float64) bool { return a != s })
+		case OpMand:
+			c.maskCombine(in, func(a, b uint64) uint64 { return a & b })
+		case OpMor:
+			c.maskCombine(in, func(a, b uint64) uint64 { return a | b })
+		case OpMnot:
+			c.maskCombine(in, func(a, _ uint64) uint64 { return ^a })
+		case OpVldm:
+			if err := c.vecLoadMasked(in, f.Name, pc); err != nil {
+				return err
+			}
+		case OpVstm:
+			if err := c.vecStoreMasked(in, f.Name, pc); err != nil {
+				return err
+			}
+		case OpVaddm:
+			c.vecBinMasked(in, func(a, b float64) float64 { return a + b })
+		case OpVsubm:
+			c.vecBinMasked(in, func(a, b float64) float64 { return a - b })
+		case OpVmulm:
+			c.vecBinMasked(in, func(a, b float64) float64 { return a * b })
+		case OpVdivm:
+			c.vecBinMasked(in, func(a, b float64) float64 { return a / b })
+
 		case OpJmp:
 			t, ok := f.Labels[in.Sym]
 			if !ok {
@@ -820,6 +970,139 @@ func (c *cpu) vecScalar(in Instr, f func(a, s float64) float64) {
 	}
 }
 
+// setMask writes a freshly computed mask: bits [0, vl) from set, all
+// higher bits cleared, so mask registers never carry stale lanes.
+func (c *cpu) setMask(mr int, set func(k int64) bool) {
+	var out [maskWords]uint64
+	for k := int64(0); k < c.vl; k++ {
+		if set(k) {
+			out[k>>6] |= 1 << uint(k&63)
+		}
+	}
+	c.mk[mr] = out
+}
+
+func (c *cpu) vecCmpVV(in Instr, f func(a, b float64) bool) {
+	c.setMask(mslot(in.Rd), func(k int64) bool {
+		return f(c.vrf[vslot(in.Rs1+int(k))], c.vrf[vslot(in.Rs2+int(k))])
+	})
+}
+
+func (c *cpu) vecCmpVS(in Instr, f func(a, s float64) bool) {
+	s := c.f[in.Rs2]
+	c.setMask(mslot(in.Rd), func(k int64) bool {
+		return f(c.vrf[vslot(in.Rs1+int(k))], s)
+	})
+}
+
+// maskCombine applies a word-wise combinator over the active VL lanes
+// (mnot passes the same function with the second operand ignored) and
+// clears everything beyond them, preserving the canonical-mask
+// invariant compares establish.
+func (c *cpu) maskCombine(in Instr, f func(a, b uint64) uint64) {
+	a := &c.mk[mslot(in.Rs1)]
+	b := &c.mk[mslot(in.Rs2)]
+	var out [maskWords]uint64
+	for w := 0; w*64 < int(c.vl); w++ {
+		v := f(a[w], b[w])
+		if rem := c.vl - int64(w*64); rem < 64 {
+			v &= 1<<uint(rem) - 1
+		}
+		out[w] = v
+	}
+	c.mk[mslot(in.Rd)] = out
+}
+
+// vecLoadMasked is vld.m: active lanes load like vld, inactive lanes
+// touch no memory (no bounds check — lane suppression extends to
+// faults) and keep the destination slot's prior contents. Faults name
+// the faulting lane's own address.
+func (c *cpu) vecLoadMasked(in Instr, fn string, pc int) error {
+	mr := maskReg(in)
+	c.countMask(mr)
+	base := c.r[in.Rs1]
+	stride := c.r[in.Rs2]
+	kind := in.Imm & 0xff
+	for k := int64(0); k < c.vl; k++ {
+		if !c.maskBit(mr, k) {
+			continue
+		}
+		a := base + k*stride
+		switch kind {
+		case ElemF32:
+			if a < 0 || a+4 > int64(len(c.m.mem)) {
+				return &Fault{Addr: a, Size: 4, Kind: "masked vector load", Func: fn, PC: pc}
+			}
+			c.vrf[vslot(in.Rd+int(k))] = float64(math.Float32frombits(binary.LittleEndian.Uint32(c.m.mem[a:])))
+		case ElemF64:
+			if a < 0 || a+8 > int64(len(c.m.mem)) {
+				return &Fault{Addr: a, Size: 8, Kind: "masked vector load", Func: fn, PC: pc}
+			}
+			c.vrf[vslot(in.Rd+int(k))] = math.Float64frombits(binary.LittleEndian.Uint64(c.m.mem[a:]))
+		case ElemI32:
+			if a < 0 || a+4 > int64(len(c.m.mem)) {
+				return &Fault{Addr: a, Size: 4, Kind: "masked vector load", Func: fn, PC: pc}
+			}
+			c.vrf[vslot(in.Rd+int(k))] = float64(int32(binary.LittleEndian.Uint32(c.m.mem[a:])))
+		default:
+			return fmt.Errorf("titan: bad vector element kind %d", kind)
+		}
+	}
+	return nil
+}
+
+// vecStoreMasked is vst.m: active lanes store like vst, inactive lanes
+// leave memory untouched.
+func (c *cpu) vecStoreMasked(in Instr, fn string, pc int) error {
+	mr := maskReg(in)
+	c.countMask(mr)
+	base := c.r[in.Rs1]
+	stride := c.r[in.Rs2]
+	kind := in.Imm & 0xff
+	for k := int64(0); k < c.vl; k++ {
+		if !c.maskBit(mr, k) {
+			continue
+		}
+		a := base + k*stride
+		v := c.vrf[vslot(in.Rd+int(k))]
+		switch kind {
+		case ElemF32:
+			if a < 0 || a+4 > int64(len(c.m.mem)) {
+				return &Fault{Addr: a, Size: 4, Kind: "masked vector store", Func: fn, PC: pc}
+			}
+			binary.LittleEndian.PutUint32(c.m.mem[a:], math.Float32bits(float32(v)))
+		case ElemF64:
+			if a < 0 || a+8 > int64(len(c.m.mem)) {
+				return &Fault{Addr: a, Size: 8, Kind: "masked vector store", Func: fn, PC: pc}
+			}
+			binary.LittleEndian.PutUint64(c.m.mem[a:], math.Float64bits(v))
+		case ElemI32:
+			if a < 0 || a+4 > int64(len(c.m.mem)) {
+				return &Fault{Addr: a, Size: 4, Kind: "masked vector store", Func: fn, PC: pc}
+			}
+			binary.LittleEndian.PutUint32(c.m.mem[a:], uint32(int32(v)))
+		default:
+			return fmt.Errorf("titan: bad vector element kind %d", kind)
+		}
+	}
+	return nil
+}
+
+// vecBinMasked applies f on active lanes; inactive destination lanes
+// keep their prior contents.
+func (c *cpu) vecBinMasked(in Instr, f func(a, b float64) float64) {
+	mr := maskReg(in)
+	c.countMask(mr)
+	for k := int64(0); k < c.vl; k++ {
+		if !c.maskBit(mr, k) {
+			continue
+		}
+		c.vrf[vslot(in.Rd+int(k))] = f(
+			c.vrf[vslot(in.Rs1+int(k))],
+			c.vrf[vslot(in.Rs2+int(k))])
+	}
+}
+
 // call implements register-windowed calls plus runtime intrinsics. fn
 // and pc locate the call site for fault attribution.
 func (c *cpu) call(name, fn string, pc int, maxInstrs int64) error {
@@ -874,6 +1157,7 @@ func (c *cpu) parallelRegion(f *Func, start, end int, maxInstrs int64) error {
 	base := *c
 	var maxDelta int64
 	var flops, icount int64
+	var maskOps, maskActive, maskTotal int64
 	var deltas [MaxProcessors]int64
 	var finalState *cpu
 	for pid := 0; pid < c.m.Processors; pid++ {
@@ -890,6 +1174,9 @@ func (c *cpu) parallelRegion(f *Func, start, end int, maxInstrs int64) error {
 		}
 		flops += sub.flops - base.flops
 		icount += sub.icount - base.icount
+		maskOps += sub.maskOps - base.maskOps
+		maskActive += sub.maskActive - base.maskActive
+		maskTotal += sub.maskTotal - base.maskTotal
 		if pid == 0 {
 			s := sub
 			finalState = &s
@@ -904,6 +1191,9 @@ func (c *cpu) parallelRegion(f *Func, start, end int, maxInstrs int64) error {
 	c.pid = 0
 	c.flops = base.flops + flops
 	c.icount = base.icount + icount
+	c.maskOps = base.maskOps + maskOps
+	c.maskActive = base.maskActive + maskActive
+	c.maskTotal = base.maskTotal + maskTotal
 	c.cycles = base.cycles + maxDelta + forkOverhead*int64(c.m.Processors-1)
 	c.clock = c.cycles
 	c.intUnit, c.fltUnit, c.memUnit = c.cycles, c.cycles, c.cycles
@@ -973,6 +1263,7 @@ func (c *cpu) parallelRegionSync(f *Func, start, end int, maxInstrs int64) error
 		}
 	}
 	var maxDelta, flops, icount, stalls int64
+	var maskOps, maskActive, maskTotal int64
 	var deltas, stallDeltas [MaxProcessors]int64
 	for pid := 0; pid < procs; pid++ {
 		sub := subs[pid]
@@ -983,6 +1274,9 @@ func (c *cpu) parallelRegionSync(f *Func, start, end int, maxInstrs int64) error
 		}
 		flops += sub.flops - base.flops
 		icount += sub.icount - base.icount
+		maskOps += sub.maskOps - base.maskOps
+		maskActive += sub.maskActive - base.maskActive
+		maskTotal += sub.maskTotal - base.maskTotal
 		stalls += stallDeltas[pid]
 	}
 	for pid := 0; pid < procs; pid++ {
@@ -999,6 +1293,9 @@ func (c *cpu) parallelRegionSync(f *Func, start, end int, maxInstrs int64) error
 	c.args = base.args
 	c.flops = base.flops + flops
 	c.icount = base.icount + icount
+	c.maskOps = base.maskOps + maskOps
+	c.maskActive = base.maskActive + maskActive
+	c.maskTotal = base.maskTotal + maskTotal
 	c.cycles = base.cycles + maxDelta + forkOverhead*int64(procs-1)
 	c.clock = c.cycles
 	c.intUnit, c.fltUnit, c.memUnit = c.cycles, c.cycles, c.cycles

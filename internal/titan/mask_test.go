@@ -1,0 +1,232 @@
+package titan
+
+// Differential coverage of the vector-mask ISA: every masked program
+// must produce a bit-identical Result on the fast engine and the
+// reference interpreter at every supported processor count, masked ops
+// must charge dense-timing cycles regardless of mask density, inactive
+// lanes must have no memory effects, and a masked access that faults
+// must name the faulting lane's own address.
+
+import (
+	"errors"
+	"testing"
+)
+
+// maskImm builds the Imm field of a masked instruction: element kind in
+// the low byte, governing mask register in bits 8+.
+func maskImm(elem int64, mr int) int64 { return elem | int64(mr)<<8 }
+
+// runBoth runs prog on the fast engine and the reference interpreter at
+// procs processors and requires bit-identical Results.
+func runBoth(t *testing.T, prog *Program, procs int) Result {
+	t.Helper()
+	fast, errF := NewMachine(prog, procs).Run("main")
+	ref, errR := NewMachine(prog, procs).RunReference("main")
+	if errF != nil || errR != nil {
+		t.Fatalf("p=%d: engine err %v, reference err %v", procs, errF, errR)
+	}
+	if fast != ref {
+		t.Fatalf("p=%d: engine %+v != reference %+v", procs, fast, ref)
+	}
+	return fast
+}
+
+// iotaProgPrefix sets VL=4, writes B[k]=k at 4096, A[k]=1.0 at 4128,
+// and loads the iota into v0. Registers r11=&B, r12=4, r13=&A stay live.
+func iotaProgPrefix() []Instr {
+	return []Instr{
+		{Op: OpLdi, Rd: 10, Imm: 4},
+		{Op: OpVsetl, Rs1: 10},
+		{Op: OpLdi, Rd: 11, Imm: 4096},
+		{Op: OpLdi, Rd: 12, Imm: 4},
+		{Op: OpFldi, Rd: 1, FImm: 0},
+		{Op: OpFst4, Rs1: 11, Rs2: 1, Imm: 0},
+		{Op: OpFldi, Rd: 1, FImm: 1},
+		{Op: OpFst4, Rs1: 11, Rs2: 1, Imm: 4},
+		{Op: OpFldi, Rd: 1, FImm: 2},
+		{Op: OpFst4, Rs1: 11, Rs2: 1, Imm: 8},
+		{Op: OpFldi, Rd: 1, FImm: 3},
+		{Op: OpFst4, Rs1: 11, Rs2: 1, Imm: 12},
+		{Op: OpLdi, Rd: 13, Imm: 4128},
+		{Op: OpFldi, Rd: 2, FImm: 1},
+		{Op: OpVbcast, Rd: 0, Rs1: 2},
+		{Op: OpVst, Rd: 0, Rs1: 13, Rs2: 12, Imm: ElemF32},
+		{Op: OpVld, Rd: 0, Rs1: 11, Rs2: 12, Imm: ElemF32},
+	}
+}
+
+// TestMaskedStoreLaneSuppression: a vst.m under the mask (iota < 2)
+// rewrites lanes 0 and 1 only; lanes 2 and 3 keep their prior contents.
+func TestMaskedStoreLaneSuppression(t *testing.T) {
+	prog := mkProg(append(iotaProgPrefix(),
+		Instr{Op: OpFldi, Rd: 3, FImm: 2},
+		Instr{Op: OpVcmpLts, Rd: 0, Rs1: 0, Rs2: 3}, // m0 ← iota < 2
+		Instr{Op: OpFldi, Rd: 4, FImm: 9},
+		Instr{Op: OpVbcast, Rd: 200, Rs1: 4},
+		Instr{Op: OpVstm, Rd: 200, Rs1: 13, Rs2: 12, Imm: maskImm(ElemF32, 0)},
+		// exit = A[1]*10 + A[2] = 9*10 + 1 = 91
+		Instr{Op: OpFld4, Rd: 5, Rs1: 13, Imm: 4},
+		Instr{Op: OpCvtFI, Rd: 20, Rs1: 5},
+		Instr{Op: OpFld4, Rd: 6, Rs1: 13, Imm: 8},
+		Instr{Op: OpCvtFI, Rd: 21, Rs1: 6},
+		Instr{Op: OpLdi, Rd: 22, Imm: 10},
+		Instr{Op: OpMul, Rd: 20, Rs1: 20, Rs2: 22},
+		Instr{Op: OpAdd, Rd: RegRetInt, Rs1: 20, Rs2: 21},
+		Instr{Op: OpRet},
+	), nil)
+	for _, procs := range []int{1, 2, 4} {
+		res := runBoth(t, prog, procs)
+		if res.ExitCode != 91 {
+			t.Errorf("p=%d: exit %d, want 91 (lane suppression broken)", procs, res.ExitCode)
+		}
+		if res.MaskOps != 1 || res.MaskLanesActive != 2 || res.MaskLanesTotal != 4 {
+			t.Errorf("p=%d: mask tally ops=%d active=%d total=%d, want 1/2/4",
+				procs, res.MaskOps, res.MaskLanesActive, res.MaskLanesTotal)
+		}
+	}
+}
+
+// maskedRMWProg is a full masked read-modify-write strip — vld.m,
+// vadd.m, vst.m governed by (iota < threshold) — ending with exit =
+// (int)A[0].
+func maskedRMWProg(threshold float64) *Program {
+	return mkProg(append(iotaProgPrefix(),
+		Instr{Op: OpFldi, Rd: 3, FImm: threshold},
+		Instr{Op: OpVcmpLts, Rd: 0, Rs1: 0, Rs2: 3},
+		Instr{Op: OpVldm, Rd: 200, Rs1: 13, Rs2: 12, Imm: maskImm(ElemF32, 0)},
+		Instr{Op: OpVldm, Rd: 400, Rs1: 11, Rs2: 12, Imm: maskImm(ElemF32, 0)},
+		Instr{Op: OpVaddm, Rd: 600, Rs1: 200, Rs2: 400, Imm: maskImm(0, 0)},
+		Instr{Op: OpVstm, Rd: 600, Rs1: 13, Rs2: 12, Imm: maskImm(ElemF32, 0)},
+		Instr{Op: OpFld4, Rd: 5, Rs1: 13, Imm: 0},
+		Instr{Op: OpCvtFI, Rd: RegRetInt, Rs1: 5},
+		Instr{Op: OpRet},
+	), nil)
+}
+
+// TestAllFalseMaskChargesDenseCycles: an all-false masked strip touches
+// no memory (A[0] keeps its initial 1.0) yet costs exactly the same
+// cycles as the all-true strip — masked ops charge dense timing
+// regardless of density.
+func TestAllFalseMaskChargesDenseCycles(t *testing.T) {
+	allFalse := maskedRMWProg(-1) // iota < -1: no lane active
+	allTrue := maskedRMWProg(100) // every lane active
+	for _, procs := range []int{1, 2, 4} {
+		rf := runBoth(t, allFalse, procs)
+		rt := runBoth(t, allTrue, procs)
+		if rf.ExitCode != 1 {
+			t.Errorf("p=%d: all-false exit %d, want 1 (memory touched by inactive lanes)", procs, rf.ExitCode)
+		}
+		if rt.ExitCode != 1+0 { // A[0] += B[0] = 1.0 + 0.0
+			t.Errorf("p=%d: all-true exit %d, want 1", procs, rt.ExitCode)
+		}
+		if rf.Cycles != rt.Cycles {
+			t.Errorf("p=%d: all-false %d cycles != all-true %d cycles (masked ops must charge dense timing)",
+				procs, rf.Cycles, rt.Cycles)
+		}
+		if rf.MaskLanesActive != 0 || rf.MaskLanesTotal != 16 {
+			t.Errorf("p=%d: all-false lanes active=%d total=%d, want 0/16", procs, rf.MaskLanesActive, rf.MaskLanesTotal)
+		}
+	}
+}
+
+// TestMaskCombinators: mand, mor, and mnot compose lane predicates; the
+// engines must agree and the final store pattern must reflect
+// (iota < 1) OR NOT(iota < 3)  =  lanes {0, 3}.
+func TestMaskCombinators(t *testing.T) {
+	prog := mkProg(append(iotaProgPrefix(),
+		Instr{Op: OpFldi, Rd: 3, FImm: 1},
+		Instr{Op: OpVcmpLts, Rd: 0, Rs1: 0, Rs2: 3}, // m0 ← iota < 1
+		Instr{Op: OpFldi, Rd: 4, FImm: 3},
+		Instr{Op: OpVcmpLts, Rd: 1, Rs1: 0, Rs2: 4}, // m1 ← iota < 3
+		Instr{Op: OpMnot, Rd: 2, Rs1: 1},            // m2 ← !(iota < 3)
+		Instr{Op: OpMor, Rd: 3, Rs1: 0, Rs2: 2},     // m3 ← lanes {0,3}
+		Instr{Op: OpMand, Rd: 4, Rs1: 3, Rs2: 3},    // m4 = m3 (idempotence)
+		Instr{Op: OpFldi, Rd: 5, FImm: 7},
+		Instr{Op: OpVbcast, Rd: 200, Rs1: 5},
+		Instr{Op: OpVstm, Rd: 200, Rs1: 13, Rs2: 12, Imm: maskImm(ElemF32, 4)},
+		// exit = A[0]*1000 + A[1]*100 + A[2]*10 + A[3] = 7117
+		Instr{Op: OpFld4, Rd: 6, Rs1: 13, Imm: 0},
+		Instr{Op: OpCvtFI, Rd: 20, Rs1: 6},
+		Instr{Op: OpFld4, Rd: 6, Rs1: 13, Imm: 4},
+		Instr{Op: OpCvtFI, Rd: 21, Rs1: 6},
+		Instr{Op: OpFld4, Rd: 6, Rs1: 13, Imm: 8},
+		Instr{Op: OpCvtFI, Rd: 22, Rs1: 6},
+		Instr{Op: OpFld4, Rd: 6, Rs1: 13, Imm: 12},
+		Instr{Op: OpCvtFI, Rd: 23, Rs1: 6},
+		Instr{Op: OpLdi, Rd: 24, Imm: 1000},
+		Instr{Op: OpMul, Rd: 20, Rs1: 20, Rs2: 24},
+		Instr{Op: OpLdi, Rd: 24, Imm: 100},
+		Instr{Op: OpMul, Rd: 21, Rs1: 21, Rs2: 24},
+		Instr{Op: OpLdi, Rd: 24, Imm: 10},
+		Instr{Op: OpMul, Rd: 22, Rs1: 22, Rs2: 24},
+		Instr{Op: OpAdd, Rd: 20, Rs1: 20, Rs2: 21},
+		Instr{Op: OpAdd, Rd: 20, Rs1: 20, Rs2: 22},
+		Instr{Op: OpAdd, Rd: RegRetInt, Rs1: 20, Rs2: 23},
+		Instr{Op: OpRet},
+	), nil)
+	for _, procs := range []int{1, 2, 4} {
+		if res := runBoth(t, prog, procs); res.ExitCode != 7117 {
+			t.Errorf("p=%d: exit %d, want 7117", procs, res.ExitCode)
+		}
+	}
+}
+
+// maskedAccessAtTop builds a program whose masked access (vld.m when
+// load is true, else vst.m) runs with base = MemSize-4 and stride 4:
+// lane 0 is the last valid word, every higher lane is out of range. The
+// mask activates exactly one lane, selected by an iota compare.
+func maskedAccessAtTop(load bool, activeLane float64) *Program {
+	op := OpVstm
+	if load {
+		op = OpVldm
+	}
+	return mkProg(append(iotaProgPrefix(),
+		Instr{Op: OpFldi, Rd: 3, FImm: activeLane},
+		Instr{Op: OpVcmpEqs, Rd: 0, Rs1: 0, Rs2: 3}, // one active lane
+		Instr{Op: OpLdi, Rd: 14, Imm: 1<<20 - 4},    // mkProg's MemSize top
+		Instr{Op: op, Rd: 200, Rs1: 14, Rs2: 12, Imm: maskImm(ElemF32, 0)},
+		Instr{Op: OpLdi, Rd: RegRetInt, Imm: 0},
+		Instr{Op: OpRet},
+	), nil)
+}
+
+// TestMaskedFaultNamesLaneAddress: an active out-of-range lane faults
+// with the lane's own address; the same out-of-range lane inactive is
+// suppressed entirely. Both engines must agree on both outcomes.
+func TestMaskedFaultNamesLaneAddress(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		load bool
+		kind string
+	}{
+		{"load", true, "masked vector load"},
+		{"store", false, "masked vector store"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// Lane 0 active: the access stays in range, no fault.
+			for _, procs := range []int{1, 2, 4} {
+				runBoth(t, maskedAccessAtTop(tc.load, 0), procs)
+			}
+			// Lane 3 active: its address (top-4 + 3·4) is out of range.
+			prog := maskedAccessAtTop(tc.load, 3)
+			wantAddr := int64(1<<20 - 4 + 3*4)
+			for _, runner := range []struct {
+				name string
+				run  func(*Program) (Result, error)
+			}{
+				{"engine", func(p *Program) (Result, error) { return NewMachine(p, 1).Run("main") }},
+				{"reference", func(p *Program) (Result, error) { return NewMachine(p, 1).RunReference("main") }},
+			} {
+				_, err := runner.run(prog)
+				var f *Fault
+				if !errors.As(err, &f) {
+					t.Fatalf("%s: want a Fault, got %v", runner.name, err)
+				}
+				if f.Addr != wantAddr || f.Kind != tc.kind {
+					t.Errorf("%s: fault addr=%d kind=%q, want addr=%d kind=%q (the faulting lane's address)",
+						runner.name, f.Addr, f.Kind, wantAddr, tc.kind)
+				}
+			}
+		})
+	}
+}

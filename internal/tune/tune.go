@@ -316,8 +316,34 @@ func candidates(p *il.Proc, loop *il.DoLoop, dopts depend.Options, cfg Config) [
 			try(schedule.Schedule{VL: schedule.DefaultVL, Unroll: k})
 		}
 	}
+	// Conditional bodies add the mask axis. Masked execution is already
+	// the default plan, so the alternatives worth measuring are keeping
+	// the branch (off) and predicating without masking (branchy-serial);
+	// either wins when the mask utilization is too low to pay for the
+	// dense-timing masked strips.
+	if loopHasCond(loop) {
+		try(schedule.Schedule{VL: schedule.DefaultVL, Unroll: 1, MaskStrategy: schedule.MaskOff})
+		try(schedule.Schedule{VL: schedule.DefaultVL, Unroll: 1, MaskStrategy: schedule.MaskBranchy})
+	}
 	try(schedule.Schedule{VL: schedule.DefaultVL, Unroll: 1, Interchange: true})
 	return out
+}
+
+// loopHasCond reports whether the loop body contains a conditional (or an
+// already-predicated statement) the mask strategy could act on. The tuner
+// discovers loops before the ifconvert pass, so guarded stores still
+// appear as If statements here.
+func loopHasCond(loop *il.DoLoop) bool {
+	found := false
+	il.WalkStmts(loop.Body, func(s il.Stmt) bool {
+		switch s.(type) {
+		case *il.If, *il.PredAssign:
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // cloneSet copies a schedule set so a trial mutation cannot leak into the

@@ -8,6 +8,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/driver"
 	"repro/internal/pass"
+	"repro/internal/schedule"
 	"repro/internal/titan"
 	"repro/internal/tune"
 )
@@ -109,6 +110,53 @@ func TestTuneRemarks(t *testing.T) {
 				t.Errorf("remark %d missing arg %q", i, key)
 			}
 		}
+	}
+}
+
+// TestTuneMaskStrategy: loops carrying a conditional get the mask
+// alternatives (off, branchy-serial) as measured candidates. On the
+// clip workload the default masked plan wins by a wide margin, so the
+// tuner must keep it — no decision may adopt a strategy that loses to
+// masked execution — and recompiling under the final set must leave the
+// kernel masked and behavior-identical.
+func TestTuneMaskStrategy(t *testing.T) {
+	w := bench.Clip(256)
+	opts := driver.FullOptions()
+	res, err := tune.Tune(w.Src, opts, tune.Config{})
+	if err != nil {
+		t.Fatalf("Tune: %v", err)
+	}
+	if res.Measured == 0 {
+		t.Fatal("tuner measured no candidates")
+	}
+	for _, d := range res.Decisions {
+		if err := d.Schedule.Validate(); err != nil {
+			t.Errorf("decision for %v selected an invalid schedule: %v", d.Loop, err)
+		}
+		if d.Schedule.MaskStrategy == schedule.MaskOff || d.Schedule.MaskStrategy == schedule.MaskBranchy {
+			t.Errorf("tuner adopted %s for %v — masked execution should win on clip",
+				d.Schedule.MaskStrategy, d.Loop)
+		}
+	}
+	ctx := pass.NewContext()
+	ctx.Schedules = res.Schedules
+	cres, err := driver.CompileWith(w.Src, opts, ctx)
+	if err != nil {
+		t.Fatalf("recompile with tuned set: %v", err)
+	}
+	if cres.VectorStats.MaskedStmts < 1 {
+		t.Errorf("tuned compile lost masked execution: %+v", cres.VectorStats)
+	}
+	r, err := titan.NewMachine(cres.Machine, 1).Run("main")
+	if err != nil {
+		t.Fatalf("run tuned program: %v", err)
+	}
+	scalar, err := driver.Run(w.Src, driver.Options{OptLevel: 1}, 1)
+	if err != nil {
+		t.Fatalf("scalar baseline: %v", err)
+	}
+	if r.ExitCode != scalar.ExitCode || r.Output != scalar.Output {
+		t.Errorf("tuned program diverges from scalar: exit %d vs %d", r.ExitCode, scalar.ExitCode)
 	}
 }
 

@@ -67,6 +67,7 @@ type Stats struct {
 	LoopsExamined   int `json:"loops_examined"`
 	LoopsVectorized int `json:"loops_vectorized"` // at least one statement went vector
 	VectorStmts     int `json:"vector_stmts"`
+	MaskedStmts     int `json:"masked_stmts"` // vector statements executing under a mask
 	ParallelLoops   int `json:"parallel_loops"`
 	SerialResidue   int `json:"serial_residue"` // statements left in serial loops after distribution
 }
@@ -77,6 +78,7 @@ func (s *Stats) Add(o Stats) {
 	s.LoopsExamined += o.LoopsExamined
 	s.LoopsVectorized += o.LoopsVectorized
 	s.VectorStmts += o.VectorStmts
+	s.MaskedStmts += o.MaskedStmts
 	s.ParallelLoops += o.ParallelLoops
 	s.SerialResidue += o.SerialResidue
 }
@@ -209,6 +211,19 @@ func vectorizeLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) ([]il.Stm
 		return nil, false
 	}
 
+	sched := cfg.schedFor(p, loop)
+	// Predicated statements vectorize as masked strips only under the
+	// default/masked strategy; branchy-serial keeps them in the serial
+	// residue (predicated scalar execution).
+	allowMasked := sched.MaskStrategy == "" || sched.MaskStrategy == schedule.MaskAuto
+	hasPred := false
+	for _, s := range loop.Body {
+		if _, ok := s.(*il.PredAssign); ok {
+			hasPred = true
+			break
+		}
+	}
+
 	// Condense the dependence graph into SCCs.
 	adj := make([][]int, n)
 	for _, d := range ld.Deps {
@@ -233,7 +248,7 @@ func vectorizeLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) ([]il.Stm
 					selfCycle = true
 				}
 			}
-			if !selfCycle && !ld.Barrier[i] && vectorizableStmt(p, loop, loop.Body[i]) {
+			if !selfCycle && !ld.Barrier[i] && vectorizableStmt(p, loop, loop.Body[i], allowMasked) {
 				vec = true
 			}
 		}
@@ -259,6 +274,12 @@ func vectorizeLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) ([]il.Stm
 			}
 		}
 		switch {
+		case hasPred && !allowMasked:
+			remark(cfg, p, loop, diag.VectIfRejected, map[string]string{"schedule": sched.String()},
+				"loop kept branchy-serial: predicated statements pinned scalar by the loop's mask strategy")
+		case hasPred && depFound:
+			remark(cfg, p, loop, diag.VectIfRejected, map[string]string{"dep": dep.String()},
+				"if-converted loop not vectorized: dependence %s crosses the guard", dep.String())
 		case depFound:
 			remark(cfg, p, loop, diag.VectDepCycle, map[string]string{"dep": dep.String()},
 				"loop not vectorized: dependence cycle %s", dep.String())
@@ -298,15 +319,24 @@ func vectorizeLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) ([]il.Stm
 			carried = true
 		}
 	}
-	sched := cfg.schedFor(p, loop)
 	parallelOK := cfg.Parallel && !carried && !sched.SerialStrips
 
 	var out []il.Stmt
-	vecStmts, residue := 0, 0
+	vecStmts, maskedStmts, residue := 0, 0, 0
 	for _, pc := range pieces {
 		if pc.vector {
 			for _, i := range pc.stmts {
-				stmts := emitVector(p, loop, loop.Body[i].(*il.Assign), sched, parallelOK, st)
+				var dst *il.Load
+				var src, cond il.Expr
+				switch as := loop.Body[i].(type) {
+				case *il.Assign:
+					dst, src = as.Dst.(*il.Load), as.Src
+				case *il.PredAssign:
+					dst, src, cond = as.Dst.(*il.Load), as.Src, as.Cond
+					st.MaskedStmts++
+					maskedStmts++
+				}
+				stmts := emitVector(p, loop, dst, src, cond, sched, parallelOK, st)
 				out = append(out, stmts...)
 				st.VectorStmts++
 				vecStmts++
@@ -330,14 +360,23 @@ func vectorizeLoop(p *il.Proc, loop *il.DoLoop, cfg Config, st *Stats) ([]il.Stm
 	if parallelOK {
 		shape = "parallel strips"
 	}
-	remark(cfg, p, loop, diag.VectVectorized, map[string]string{
+	args := map[string]string{
 		"vl":           fmt.Sprint(sched.VL),
 		"vector_stmts": fmt.Sprint(vecStmts),
 		"residue":      fmt.Sprint(residue),
 		"shape":        shape,
 		"schedule":     sched.String(),
-	}, "loop vectorized: %d vector statement(s), VL=%d, %s (%d serial residue)",
-		vecStmts, sched.VL, shape, residue)
+	}
+	if maskedStmts > 0 {
+		args["masked_stmts"] = fmt.Sprint(maskedStmts)
+		remark(cfg, p, loop, diag.VectMasked, args,
+			"loop vectorized under a mask: %d vector statement(s) (%d masked), VL=%d, %s (%d serial residue)",
+			vecStmts, maskedStmts, sched.VL, shape, residue)
+	} else {
+		remark(cfg, p, loop, diag.VectVectorized, args,
+			"loop vectorized: %d vector statement(s), VL=%d, %s (%d serial residue)",
+			vecStmts, sched.VL, shape, residue)
+	}
 	// The rewrite replaces statements the proc-wide chains and any cached
 	// dependence graphs were built over; stale entries must not survive.
 	p.BumpGeneration()
@@ -382,13 +421,23 @@ func normalize(p *il.Proc, loop *il.DoLoop) bool {
 
 // vectorizableStmt reports whether s is a store whose destination and
 // every load are affine in the loop IV with non-zero destination stride,
-// and whose value expression uses the IV only inside load addresses.
-func vectorizableStmt(p *il.Proc, loop *il.DoLoop, s il.Stmt) bool {
-	as, ok := s.(*il.Assign)
-	if !ok {
+// and whose value expression uses the IV only inside load addresses. A
+// predicated store additionally needs a mask-lowerable condition and the
+// masked strategy enabled for the loop.
+func vectorizableStmt(p *il.Proc, loop *il.DoLoop, s il.Stmt, allowMasked bool) bool {
+	var dstE, src il.Expr
+	switch as := s.(type) {
+	case *il.Assign:
+		dstE, src = as.Dst, as.Src
+	case *il.PredAssign:
+		if !allowMasked || !maskableCond(p, loop, as.Cond) {
+			return false
+		}
+		dstE, src = as.Dst, as.Src
+	default:
 		return false
 	}
-	dst, ok := as.Dst.(*il.Load)
+	dst, ok := dstE.(*il.Load)
 	if !ok || dst.Volatile {
 		return false
 	}
@@ -399,9 +448,16 @@ func vectorizableStmt(p *il.Proc, loop *il.DoLoop, s il.Stmt) bool {
 		return false
 	}
 	// Loads must be affine; the residual expression must not use the IV.
-	ok = true
-	resid := il.RewriteExpr(as.Src, func(e il.Expr) il.Expr {
-		if ld, isLoad := e.(*il.Load); isLoad {
+	return vecOperandOK(p, loop, src)
+}
+
+// vecOperandOK reports whether e can ride a vector strip: every load is
+// non-volatile and affine in the loop IV, and the residual (non-address)
+// expression never uses the IV.
+func vecOperandOK(p *il.Proc, loop *il.DoLoop, e il.Expr) bool {
+	ok := true
+	resid := il.RewriteExpr(e, func(x il.Expr) il.Expr {
+		if ld, isLoad := x.(*il.Load); isLoad {
 			if ld.Volatile {
 				ok = false
 			}
@@ -412,15 +468,30 @@ func vectorizableStmt(p *il.Proc, loop *il.DoLoop, s il.Stmt) bool {
 			// residual (non-address) uses of the IV.
 			return il.Int(0)
 		}
-		return e
+		return x
 	})
-	if !ok {
-		return false
+	return ok && !il.UsesVar(resid, loop.IV)
+}
+
+// maskableCond reports whether cond can be lowered to Titan mask ops: a
+// comparison over vector-ridable operands, or !, & , | combinations of
+// such comparisons. This mirrors exactly what codegen's mask lowering
+// handles (vcmp.{lt,le,eq,ne} plus mnot/mand/mor).
+func maskableCond(p *il.Proc, loop *il.DoLoop, e il.Expr) bool {
+	switch n := e.(type) {
+	case *il.Bin:
+		if n.Op.IsComparison() {
+			return vecOperandOK(p, loop, n.L) && vecOperandOK(p, loop, n.R)
+		}
+		if n.Op == il.OpAnd || n.Op == il.OpOr {
+			return maskableCond(p, loop, n.L) && maskableCond(p, loop, n.R)
+		}
+	case *il.Un:
+		if n.Op == il.OpNot {
+			return maskableCond(p, loop, n.X)
+		}
 	}
-	if il.UsesVar(resid, loop.IV) {
-		return false
-	}
-	return true
+	return false
 }
 
 // splitAffine decomposes addr into (coef, base) with base IV-free.
@@ -503,31 +574,34 @@ func affine(p *il.Proc, iv il.VarID, e il.Expr) (int64, il.Expr, bool) {
 	return 0, nil, false
 }
 
-// emitVector produces the strip-mined vector code for one store statement
-// of a normalized loop (IV 0..Limit step 1), following the loop's schedule
-// for strip length and parallel shape.
-func emitVector(p *il.Proc, loop *il.DoLoop, as *il.Assign, sched schedule.Schedule, parallelOK bool, st *Stats) []il.Stmt {
+// emitVector produces the strip-mined vector code for one (possibly
+// predicated) store statement of a normalized loop (IV 0..Limit step 1),
+// following the loop's schedule for strip length and parallel shape. A
+// non-nil cond becomes the strip's mask expression.
+func emitVector(p *il.Proc, loop *il.DoLoop, dst *il.Load, src, cond il.Expr, sched schedule.Schedule, parallelOK bool, st *Stats) []il.Stmt {
 	vl := int64(sched.VL)
-	dst := as.Dst.(*il.Load)
 	dstCoef, dstBase, _ := affine(p, loop.IV, dst.Addr)
 
 	// Total length = Limit + 1 (normalized).
 	total := il.Add(il.CloneExpr(loop.Limit), il.Int(1), ctype.IntType)
 
-	// RHS with loads replaced by vector section references of the strip
-	// origin; the strip IV is added to bases below.
-	makeRHS := func(originIV il.Expr) il.Expr {
-		// Clone per call: the rewrite is copy-on-write, and makeRHS runs
+	// An expression with loads replaced by vector section references of
+	// the strip origin; the strip IV is added to bases below.
+	makeVec := func(e il.Expr, originIV il.Expr) il.Expr {
+		if e == nil {
+			return nil
+		}
+		// Clone per call: the rewrite is copy-on-write, and makeVec runs
 		// once per emitted strip form — without the clone the strip and
 		// remainder statements would share invariant subtrees.
-		return il.RewriteExpr(il.CloneExpr(as.Src), func(e il.Expr) il.Expr {
-			ld, ok := e.(*il.Load)
+		return il.RewriteExpr(il.CloneExpr(e), func(x il.Expr) il.Expr {
+			ld, ok := x.(*il.Load)
 			if !ok {
-				return e
+				return x
 			}
 			coef, base, _ := affine(p, loop.IV, ld.Addr)
 			if coef == 0 {
-				return e // invariant scalar load, broadcast
+				return x // invariant scalar load, broadcast
 			}
 			b := il.Add(base, il.Mul(il.Int(coef), il.CloneExpr(originIV), ctype.IntType), ld.Addr.Type())
 			return &il.VecRef{Base: b, Stride: il.Int(coef), T: ld.T}
@@ -542,7 +616,8 @@ func emitVector(p *il.Proc, loop *il.DoLoop, as *il.Assign, sched schedule.Sched
 			DstStride: il.Int(dstCoef),
 			Len:       il.Int(tc),
 			Elem:      dst.T,
-			RHS:       makeRHS(il.Int(0)),
+			RHS:       makeVec(src, il.Int(0)),
+			Mask:      makeVec(cond, il.Int(0)),
 		}
 		return []il.Stmt{va}
 	}
@@ -568,7 +643,8 @@ func emitVector(p *il.Proc, loop *il.DoLoop, as *il.Assign, sched schedule.Sched
 			DstStride: il.Int(dstCoef),
 			Len:       il.CloneExpr(vlenRef),
 			Elem:      dst.T,
-			RHS:       makeRHS(viRef),
+			RHS:       makeVec(src, viRef),
+			Mask:      makeVec(cond, viRef),
 		},
 	}
 	limit := il.CloneExpr(loop.Limit)

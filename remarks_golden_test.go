@@ -14,6 +14,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/diag"
 	"repro/internal/driver"
 	"repro/internal/pass"
@@ -30,8 +31,14 @@ func compileRemarks(t *testing.T, src string) []diag.Diagnostic {
 	return ctx.Diags.All()
 }
 
+// remarkWorkloads is the golden-remark corpus: the §9 E-series suite
+// plus the conditional (if-converted, masked) workloads.
+func remarkWorkloads() []bench.Workload {
+	return append(eseriesWorkloads(), maskedWorkloads()...)
+}
+
 func TestESeriesRemarksGolden(t *testing.T) {
-	for _, w := range eseriesWorkloads() {
+	for _, w := range remarkWorkloads() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			t.Parallel()
@@ -67,7 +74,7 @@ func TestESeriesRemarksGolden(t *testing.T) {
 // positioned, each loop gets at most one verdict per phase, and every
 // dependence-based rejection names the blocking dependence.
 func TestESeriesRemarkInvariants(t *testing.T) {
-	for _, w := range eseriesWorkloads() {
+	for _, w := range remarkWorkloads() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			t.Parallel()
@@ -77,6 +84,44 @@ func TestESeriesRemarkInvariants(t *testing.T) {
 			}
 			var vect, par int
 			seen := map[string]bool{}
+			// The vectorizer must pass exactly one verdict per examined
+			// loop; vect-if-converted and vect-interchanged are
+			// transformation notes, not verdicts, so a loop that was
+			// if-converted still gets its single verdict (vect-masked,
+			// vect-vectorized, or a rejection) at the same position.
+			verdicts := map[diag.Code]bool{
+				diag.VectVectorized: true, diag.VectMasked: true,
+				diag.VectDepCycle: true, diag.VectNotNormalized: true,
+				diag.VectEmptyBody: true, diag.VectScalarFlow: true,
+				diag.VectBarrier: true, diag.VectNotAffine: true,
+				diag.VectIfRejected: true,
+			}
+			verdictAt := map[string]int{}
+			verdictInProc := map[string]int{}
+			ifConvProc := map[string]bool{}
+			for _, d := range ds {
+				loop := d.Proc + "|" + d.Pos.String()
+				if verdicts[d.Code] {
+					verdictAt[loop]++
+					verdictInProc[d.Proc]++
+				}
+				if d.Code == diag.VectIfConverted {
+					ifConvProc[d.Proc] = true
+				}
+			}
+			for loop, n := range verdictAt {
+				if n > 1 {
+					t.Errorf("loop %s got %d vectorizer verdicts, want exactly one", loop, n)
+				}
+			}
+			// The note rides at the If's own position; the examined loop
+			// still gets its single verdict, so an if-converting proc
+			// without any verdict means the loop escaped judgment.
+			for proc := range ifConvProc {
+				if verdictInProc[proc] == 0 {
+					t.Errorf("proc %s if-converted a conditional but got no vectorizer verdict", proc)
+				}
+			}
 			for _, d := range ds {
 				if d.Pos.Line == 0 {
 					t.Errorf("diagnostic %s has zero position: %s", d.Code, d)

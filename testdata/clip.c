@@ -1,0 +1,22 @@
+/* Conditional kernel: the guarded store used to block vectorization
+ * (vect-scalar-flow); if-conversion + masked execution vectorize it. */
+float in[512], out[512];
+
+void clip(float limit, int n)
+{
+	int i;
+	for (i = 0; i < n; i++)
+		if (in[i] > limit)
+			out[i] = limit;
+}
+
+int main(void)
+{
+	int i;
+	for (i = 0; i < 512; i++) {
+		in[i] = i;
+		out[i] = in[i];
+	}
+	clip(64.0f, 512);
+	return 0;
+}
